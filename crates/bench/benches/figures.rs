@@ -1,0 +1,153 @@
+//! Criterion benchmarks for the evaluation pipeline itself — one bench
+//! per paper artifact, measuring the cost of regenerating each figure's
+//! data from a *pre-trained* model (training time is excluded; it is the
+//! `evaluate` binary's job and is reported in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use qrc_benchgen::BenchmarkFamily;
+use qrc_device::DeviceId;
+use qrc_predictor::{train, Baseline, PredictorConfig, RewardKind, TrainedPredictor};
+use qrc_rl::PpoConfig;
+
+fn tiny_model(reward: RewardKind) -> TrainedPredictor {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(4),
+        BenchmarkFamily::Qft.generate(4),
+        BenchmarkFamily::WState.generate(4),
+    ];
+    let config = PredictorConfig {
+        reward,
+        total_timesteps: 1024,
+        ppo: PpoConfig {
+            steps_per_update: 128,
+            hidden: vec![32],
+            ..PpoConfig::default()
+        },
+        seed: 1,
+        step_penalty: 0.0,
+    };
+    train(suite, &config)
+}
+
+/// Fig. 3a–c inner loop: one RL compile + both baselines on one circuit,
+/// scored under the respective metric.
+fn fig3_histogram_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_histograms");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let qc = BenchmarkFamily::Qaoa.generate(5);
+    for (metric, label) in [
+        (RewardKind::ExpectedFidelity, "fig3a_fidelity"),
+        (RewardKind::CriticalDepth, "fig3b_critical_depth"),
+        (RewardKind::Combination, "fig3c_combination"),
+    ] {
+        let model = tiny_model(metric);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let rl = model.compile(black_box(&qc)).reward;
+                let qk = Baseline::QiskitO3
+                    .compile(black_box(&qc), DeviceId::IbmqWashington, 3)
+                    .map(|out| {
+                        metric.evaluate(&out, &qrc_device::Device::get(DeviceId::IbmqWashington))
+                    })
+                    .unwrap_or(0.0);
+                let tk = Baseline::TketO2
+                    .compile(black_box(&qc), DeviceId::IbmqWashington, 3)
+                    .map(|out| {
+                        metric.evaluate(&out, &qrc_device::Device::get(DeviceId::IbmqWashington))
+                    })
+                    .unwrap_or(0.0);
+                (rl - qk, rl - tk)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 3d–f inner loop: per-family aggregation over one family's sizes.
+fn fig3_family_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_per_family");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let model = tiny_model(RewardKind::ExpectedFidelity);
+    for (family, label) in [
+        (BenchmarkFamily::Ghz, "fig3d_ghz_row"),
+        (BenchmarkFamily::Qft, "fig3e_qft_row"),
+        (BenchmarkFamily::Vqe, "fig3f_vqe_row"),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for n in 3..=5 {
+                    let qc = family.generate(n);
+                    acc += model.compile(black_box(&qc)).reward;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Table I inner loop: cross-scoring one model under all three metrics.
+fn table1_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let model = tiny_model(RewardKind::ExpectedFidelity);
+    let qc = BenchmarkFamily::GraphState.generate(5);
+    group.bench_function("cross_evaluation_row", |b| {
+        b.iter(|| {
+            let mut row = [0.0; 3];
+            for (j, metric) in RewardKind::ALL.iter().enumerate() {
+                row[j] = model.compile_scored(black_box(&qc), *metric).reward;
+            }
+            row
+        });
+    });
+    group.finish();
+}
+
+/// PPO training throughput: environment steps per second on the
+/// compilation MDP (determines the wall-clock of the paper's 100k-step
+/// training runs).
+fn training_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("ppo_512_env_steps", |b| {
+        b.iter(|| {
+            let suite = vec![
+                BenchmarkFamily::Ghz.generate(4),
+                BenchmarkFamily::Dj.generate(4),
+            ];
+            let config = PredictorConfig {
+                reward: RewardKind::ExpectedFidelity,
+                total_timesteps: 512,
+                ppo: PpoConfig {
+                    steps_per_update: 128,
+                    hidden: vec![32],
+                    ..PpoConfig::default()
+                },
+                seed: 9,
+                step_penalty: 0.0,
+            };
+            train(black_box(suite), &config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig3_histogram_point,
+    fig3_family_row,
+    table1_cell,
+    training_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Regenerates the paper's evaluation artifacts (Fig. 3a–f, Table I, and
+//! the §IV-B summary numbers).
+//!
+//! ```text
+//! cargo run --release -p qrc-bench --bin evaluate -- <target> [flags]
+//!
+//! targets:
+//!   fig3a | fig3b | fig3c   histograms (fidelity / critical depth /
+//!                           combination reward differences)
+//!   fig3d | fig3e | fig3f   per-family mean differences
+//!   table1                  3×3 model-vs-metric cross evaluation
+//!   summary                 the §IV-B headline percentages
+//!   ablation                design-choice ablations (shaping, masking,
+//!                           features, policy baselines)
+//!   all                     everything above from one evaluation run
+//!
+//! flags:
+//!   --timesteps N    PPO budget per model        (default 8000)
+//!   --max-qubits N   largest benchmark width     (default 6)
+//!   --seed N         master seed                 (default 3)
+//!   --full           paper scale: 2–20 qubits, 100k steps (hours)
+//!   --sparse         disable reward shaping (paper's pure sparse reward)
+//!   --penalty X      set the shaping step penalty (default 0.005)
+//!   --quiet          suppress training progress
+//! ```
+
+use qrc_bench::{
+    histogram, per_family_means, render_histogram, render_table1, reward_differences,
+    run_evaluation, summary, table1, Compare, EvalSettings, Evaluation,
+};
+use qrc_predictor::RewardKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let target = args[0].clone();
+    let mut settings = EvalSettings::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timesteps" => {
+                settings.timesteps = parse_next(&args, &mut i, "timesteps");
+            }
+            "--max-qubits" => {
+                settings.max_qubits = parse_next(&args, &mut i, "max-qubits");
+            }
+            "--seed" => {
+                settings.seed = parse_next(&args, &mut i, "seed");
+            }
+            "--full" => settings = EvalSettings::paper_scale(),
+            "--sparse" => settings.step_penalty = 0.0,
+            "--penalty" => {
+                settings.step_penalty = parse_next(&args, &mut i, "penalty");
+            }
+            "--quiet" => settings.verbose = false,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if target == "ablation" {
+        let ab = qrc_bench::ablation::AblationSettings {
+            max_qubits: settings.max_qubits.min(5),
+            timesteps: settings.timesteps,
+            reward: qrc_predictor::RewardKind::ExpectedFidelity,
+            seed: settings.seed,
+        };
+        println!("\n=== Ablations (objective: fidelity) ===");
+        let results = qrc_bench::ablation::run_ablations(&ab);
+        print!("{}", qrc_bench::ablation::render_ablations(&results));
+        return;
+    }
+    let eval = run_evaluation(&settings);
+    match target.as_str() {
+        "fig3a" => print_fig3_histogram(&eval, RewardKind::ExpectedFidelity, "Fig. 3a"),
+        "fig3b" => print_fig3_histogram(&eval, RewardKind::CriticalDepth, "Fig. 3b"),
+        "fig3c" => print_fig3_histogram(&eval, RewardKind::Combination, "Fig. 3c"),
+        "fig3d" => print_fig3_families(&eval, RewardKind::ExpectedFidelity, "Fig. 3d"),
+        "fig3e" => print_fig3_families(&eval, RewardKind::CriticalDepth, "Fig. 3e"),
+        "fig3f" => print_fig3_families(&eval, RewardKind::Combination, "Fig. 3f"),
+        "table1" => print_table1(&eval),
+        "summary" => print_summary(&eval),
+        "ablation" => unreachable!("handled before evaluation"),
+        "all" => {
+            print_fig3_histogram(&eval, RewardKind::ExpectedFidelity, "Fig. 3a");
+            print_fig3_histogram(&eval, RewardKind::CriticalDepth, "Fig. 3b");
+            print_fig3_histogram(&eval, RewardKind::Combination, "Fig. 3c");
+            print_fig3_families(&eval, RewardKind::ExpectedFidelity, "Fig. 3d");
+            print_fig3_families(&eval, RewardKind::CriticalDepth, "Fig. 3e");
+            print_fig3_families(&eval, RewardKind::Combination, "Fig. 3f");
+            print_table1(&eval);
+            print_summary(&eval);
+        }
+        other => {
+            eprintln!("unknown target `{other}`");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--{name} needs a numeric argument");
+            std::process::exit(2);
+        })
+}
+
+fn print_usage() {
+    println!(
+        "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|all> \
+         [--timesteps N] [--max-qubits N] [--seed N] [--full] [--sparse] [--penalty X] [--quiet]"
+    );
+}
+
+fn print_fig3_histogram(eval: &Evaluation, metric: RewardKind, label: &str) {
+    println!("\n=== {label}: reward difference histogram ({metric}) ===");
+    for (against, name) in [(Compare::Qiskit, "Qiskit"), (Compare::Tket, "TKET")] {
+        let diffs: Vec<f64> = reward_differences(eval, metric, against)
+            .into_iter()
+            .map(|(_, d)| d)
+            .collect();
+        let bins = histogram(&diffs, 0.05, -1.0, 1.0);
+        // Trim empty margins for readability.
+        let first = bins.iter().position(|b| b.frequency > 0.0).unwrap_or(0);
+        let last = bins.iter().rposition(|b| b.frequency > 0.0).unwrap_or(0);
+        println!("--- compared to {name} (x > 0 ⇒ RL better) ---");
+        print!("{}", render_histogram(&bins[first..=last]));
+    }
+}
+
+fn print_fig3_families(eval: &Evaluation, metric: RewardKind, label: &str) {
+    println!("\n=== {label}: mean reward difference per benchmark ({metric}) ===");
+    println!("{:<16} {:>12} {:>12}", "benchmark", "vs Qiskit", "vs TKET");
+    for (family, dq, dt) in per_family_means(eval, metric) {
+        println!("{:<16} {:>12.4} {:>12.4}", family.name(), dq, dt);
+    }
+}
+
+fn print_table1(eval: &Evaluation) {
+    println!("\n=== Table I: cross-evaluation of the three models ===");
+    print!("{}", render_table1(&table1(eval)));
+    println!(
+        "(diagonal should dominate each column: each model is best at its \
+         own objective)"
+    );
+}
+
+fn print_summary(eval: &Evaluation) {
+    println!("\n=== §IV-B summary (paper: 73%/80%, 84%/86%, 75%/78.5%) ===");
+    println!(
+        "{:<16} {:>18} {:>18} {:>14} {:>14}",
+        "metric", "≥ Qiskit", "≥ TKET", "Δ̄ vs Qiskit", "Δ̄ vs TKET"
+    );
+    for metric in RewardKind::ALL {
+        let q = summary(eval, metric, Compare::Qiskit);
+        let t = summary(eval, metric, Compare::Tket);
+        println!(
+            "{:<16} {:>17.1}% {:>17.1}% {:>14.4} {:>14.4}",
+            metric.name(),
+            q.wins_or_ties * 100.0,
+            t.wins_or_ties * 100.0,
+            q.mean_improvement,
+            t.mean_improvement
+        );
+    }
+    println!(
+        "\n({} circuits, 2–{} qubits, {} timesteps/model, seed {})",
+        eval.circuits.len(),
+        eval.settings.max_qubits,
+        eval.settings.timesteps,
+        eval.settings.seed
+    );
+}

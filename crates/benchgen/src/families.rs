@@ -1,0 +1,679 @@
+//! Generators for the 22 benchmark families of MQT Bench used in the
+//! paper's evaluation (Fig. 3).
+//!
+//! Each generator is deterministic: the same `(family, n)` always yields
+//! the same circuit (random ansatz parameters are seeded from the family
+//! name and size). Circuits are produced at MQT Bench's
+//! *target-independent* level: algorithmic gates, no device assumptions,
+//! measurements included.
+
+use qrc_circuit::QuantumCircuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// The 22 benchmark families, in the paper's Fig. 3 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchmarkFamily {
+    /// Amplitude estimation.
+    Ae,
+    /// Deutsch–Jozsa.
+    Dj,
+    /// GHZ state preparation.
+    Ghz,
+    /// Graph state preparation.
+    GraphState,
+    /// Ground-state VQE ansatz (chemistry style).
+    GroundState,
+    /// Portfolio optimization with QAOA.
+    PortfolioQaoa,
+    /// Portfolio optimization with VQE.
+    PortfolioVqe,
+    /// Option pricing (call) via amplitude estimation.
+    PricingCall,
+    /// Option pricing (put) via amplitude estimation.
+    PricingPut,
+    /// QAOA on random 3-regular graphs.
+    Qaoa,
+    /// Quantum Fourier transform.
+    Qft,
+    /// QFT on an entangled (GHZ) input.
+    QftEntangled,
+    /// Quantum GAN ansatz.
+    Qgan,
+    /// Quantum phase estimation, exactly representable phase.
+    QpeExact,
+    /// Quantum phase estimation, inexact phase.
+    QpeInexact,
+    /// RealAmplitudes ansatz with random parameters.
+    RealAmpRandom,
+    /// Vehicle-routing QAOA.
+    Routing,
+    /// EfficientSU2 ansatz with random parameters.
+    Su2Random,
+    /// Travelling-salesman QAOA.
+    Tsp,
+    /// TwoLocal ansatz with random parameters.
+    TwoLocalRandom,
+    /// VQE ansatz (linear entanglement).
+    Vqe,
+    /// W-state preparation.
+    WState,
+}
+
+impl BenchmarkFamily {
+    /// All families in Fig. 3 order.
+    pub const ALL: [BenchmarkFamily; 22] = [
+        BenchmarkFamily::Ae,
+        BenchmarkFamily::Dj,
+        BenchmarkFamily::Ghz,
+        BenchmarkFamily::GraphState,
+        BenchmarkFamily::GroundState,
+        BenchmarkFamily::PortfolioQaoa,
+        BenchmarkFamily::PortfolioVqe,
+        BenchmarkFamily::PricingCall,
+        BenchmarkFamily::PricingPut,
+        BenchmarkFamily::Qaoa,
+        BenchmarkFamily::Qft,
+        BenchmarkFamily::QftEntangled,
+        BenchmarkFamily::Qgan,
+        BenchmarkFamily::QpeExact,
+        BenchmarkFamily::QpeInexact,
+        BenchmarkFamily::RealAmpRandom,
+        BenchmarkFamily::Routing,
+        BenchmarkFamily::Su2Random,
+        BenchmarkFamily::Tsp,
+        BenchmarkFamily::TwoLocalRandom,
+        BenchmarkFamily::Vqe,
+        BenchmarkFamily::WState,
+    ];
+
+    /// The MQT Bench benchmark name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BenchmarkFamily::Ae => "ae",
+            BenchmarkFamily::Dj => "dj",
+            BenchmarkFamily::Ghz => "ghz",
+            BenchmarkFamily::GraphState => "graphstate",
+            BenchmarkFamily::GroundState => "groundstate",
+            BenchmarkFamily::PortfolioQaoa => "portfolioqaoa",
+            BenchmarkFamily::PortfolioVqe => "portfoliovqe",
+            BenchmarkFamily::PricingCall => "pricingcall",
+            BenchmarkFamily::PricingPut => "pricingput",
+            BenchmarkFamily::Qaoa => "qaoa",
+            BenchmarkFamily::Qft => "qft",
+            BenchmarkFamily::QftEntangled => "qftentangled",
+            BenchmarkFamily::Qgan => "qgan",
+            BenchmarkFamily::QpeExact => "qpeexact",
+            BenchmarkFamily::QpeInexact => "qpeinexact",
+            BenchmarkFamily::RealAmpRandom => "realamprandom",
+            BenchmarkFamily::Routing => "routing",
+            BenchmarkFamily::Su2Random => "su2random",
+            BenchmarkFamily::Tsp => "tsp",
+            BenchmarkFamily::TwoLocalRandom => "twolocalrandom",
+            BenchmarkFamily::Vqe => "vqe",
+            BenchmarkFamily::WState => "wstate",
+        }
+    }
+
+    /// Smallest supported circuit width.
+    pub const fn min_qubits(self) -> u32 {
+        match self {
+            BenchmarkFamily::Ae
+            | BenchmarkFamily::QpeExact
+            | BenchmarkFamily::QpeInexact
+            | BenchmarkFamily::Dj => 2,
+            BenchmarkFamily::PricingCall | BenchmarkFamily::PricingPut => 3,
+            _ => 2,
+        }
+    }
+
+    /// Generates the benchmark at `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is below [`BenchmarkFamily::min_qubits`].
+    pub fn generate(self, n: u32) -> QuantumCircuit {
+        assert!(
+            n >= self.min_qubits(),
+            "{} needs at least {} qubits",
+            self.name(),
+            self.min_qubits()
+        );
+        let mut qc = match self {
+            BenchmarkFamily::Ae => ae(n),
+            BenchmarkFamily::Dj => dj(n),
+            BenchmarkFamily::Ghz => ghz(n),
+            BenchmarkFamily::GraphState => graph_state(n),
+            BenchmarkFamily::GroundState => ground_state(n),
+            BenchmarkFamily::PortfolioQaoa => portfolio_qaoa(n),
+            BenchmarkFamily::PortfolioVqe => portfolio_vqe(n),
+            BenchmarkFamily::PricingCall => pricing(n, false),
+            BenchmarkFamily::PricingPut => pricing(n, true),
+            BenchmarkFamily::Qaoa => qaoa(n),
+            BenchmarkFamily::Qft => qft_bench(n),
+            BenchmarkFamily::QftEntangled => qft_entangled(n),
+            BenchmarkFamily::Qgan => qgan(n),
+            BenchmarkFamily::QpeExact => qpe(n, true),
+            BenchmarkFamily::QpeInexact => qpe(n, false),
+            BenchmarkFamily::RealAmpRandom => real_amplitudes(n, Entanglement::Full),
+            BenchmarkFamily::Routing => routing(n),
+            BenchmarkFamily::Su2Random => su2_random(n),
+            BenchmarkFamily::Tsp => tsp(n),
+            BenchmarkFamily::TwoLocalRandom => two_local_random(n),
+            BenchmarkFamily::Vqe => real_amplitudes(n, Entanglement::Linear),
+            BenchmarkFamily::WState => w_state(n),
+        };
+        qc.set_name(format!("{}_{n}", self.name()));
+        qc
+    }
+}
+
+impl std::fmt::Display for BenchmarkFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic per-(family, n) RNG.
+fn seeded_rng(tag: &str, n: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.bytes().chain(n.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+// --- entangling patterns shared by the ansatz families ---
+
+enum Entanglement {
+    Linear,
+    Circular,
+    Full,
+}
+
+fn entangle_cx(qc: &mut QuantumCircuit, n: u32, pattern: &Entanglement) {
+    match pattern {
+        Entanglement::Linear => {
+            for i in 0..n - 1 {
+                qc.cx(i, i + 1);
+            }
+        }
+        Entanglement::Circular => {
+            for i in 0..n - 1 {
+                qc.cx(i, i + 1);
+            }
+            if n > 2 {
+                qc.cx(n - 1, 0);
+            }
+        }
+        Entanglement::Full => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    qc.cx(i, j);
+                }
+            }
+        }
+    }
+}
+
+// --- individual generators ---
+
+/// Amplitude estimation: the canonical QPE-on-a-Grover-operator circuit.
+/// The state register is a single qubit rotated by `Ry(θ)`; its Grover
+/// operator is exactly `Ry(2θ)`, so controlled powers stay one gate.
+fn ae(n: u32) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    let eval = n - 1; // evaluation register size
+    let state = n - 1; // state qubit index
+    let theta = 2.0 * (0.2f64.sqrt()).asin(); // estimate a = 0.2
+    qc.ry(theta, state);
+    for k in 0..eval {
+        qc.h(k);
+    }
+    for k in 0..eval {
+        let power = 1u64 << k;
+        qc.cry(2.0 * theta * power as f64, k, state);
+    }
+    inverse_qft(&mut qc, eval);
+    for k in 0..eval {
+        qc.measure(k);
+    }
+    qc
+}
+
+/// Deutsch–Jozsa with a balanced oracle chosen from a seeded bitstring.
+fn dj(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("dj", n);
+    let mut qc = QuantumCircuit::new(n);
+    let ancilla = n - 1;
+    qc.x(ancilla);
+    for q in 0..n {
+        qc.h(q);
+    }
+    // Balanced oracle: parity over a random non-empty input subset.
+    let mut any = false;
+    for q in 0..n - 1 {
+        if rng.gen_bool(0.5) {
+            qc.cx(q, ancilla);
+            any = true;
+        }
+    }
+    if !any && n >= 2 {
+        qc.cx(0, ancilla);
+    }
+    for q in 0..n - 1 {
+        qc.h(q);
+        qc.measure(q);
+    }
+    qc
+}
+
+/// GHZ state: `(|0…0⟩ + |1…1⟩)/√2`.
+fn ghz(n: u32) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    qc.h(0);
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Graph state on a random degree-3-ish graph (ring plus chords).
+fn graph_state(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("graphstate", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    if n <= 2 {
+        edges.truncate(1);
+    }
+    // Random chords up to ~degree 3.
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    for (a, b) in edges {
+        qc.cz(a, b);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Chemistry-style ground-state ansatz: TwoLocal(Ry, CZ, full), 3 reps.
+fn ground_state(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("groundstate", n);
+    let mut qc = QuantumCircuit::new(n);
+    for _ in 0..3 {
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                qc.cz(i, j);
+            }
+        }
+    }
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// QAOA over a complete graph with random weights (portfolio QUBO), 2
+/// layers.
+fn portfolio_qaoa(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("portfolioqaoa", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _layer in 0..2 {
+        let gamma = rng.gen_range(0.0..PI);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w: f64 = rng.gen_range(0.1..1.0);
+                qc.rzz(gamma * w, i, j);
+            }
+        }
+        let beta = rng.gen_range(0.0..PI);
+        for q in 0..n {
+            qc.rx(2.0 * beta, q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// VQE ansatz over a complete interaction graph (portfolio problem).
+fn portfolio_vqe(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("portfoliovqe", n);
+    let mut qc = QuantumCircuit::new(n);
+    for _ in 0..3 {
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+            qc.rz(rng.gen_range(-PI..PI), q);
+        }
+        entangle_cx(&mut qc, n, &Entanglement::Full);
+    }
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Option-pricing kernel: uncertainty model (Ry loading), a comparator
+/// cascade onto an objective qubit, payoff rotations, and uncomputation.
+/// `put` flips the comparator direction.
+fn pricing(n: u32, put: bool) -> QuantumCircuit {
+    let mut rng = seeded_rng(if put { "pricingput" } else { "pricingcall" }, n);
+    let mut qc = QuantumCircuit::new(n);
+    let state_qubits = n - 2;
+    let objective = n - 1;
+    let ancilla = n - 2;
+    // Log-normal-ish distribution loading.
+    for q in 0..state_qubits {
+        qc.ry(rng.gen_range(0.2..PI - 0.2), q);
+    }
+    for q in 0..state_qubits.saturating_sub(1) {
+        qc.cry(rng.gen_range(0.1..0.8), q, q + 1);
+    }
+    // Comparator: strike threshold via a CX/CCX cascade onto the
+    // objective through the ancilla.
+    if put {
+        qc.x(ancilla);
+    }
+    qc.cx(0, ancilla);
+    if state_qubits >= 2 {
+        qc.ccx(state_qubits - 1, ancilla, objective);
+    } else {
+        qc.cx(ancilla, objective);
+    }
+    // Payoff rotations controlled by the comparator result.
+    for q in 0..state_qubits {
+        qc.cry(rng.gen_range(0.1..0.6) * (q + 1) as f64 / state_qubits as f64, objective, q);
+    }
+    // Uncompute the comparator.
+    if state_qubits >= 2 {
+        qc.ccx(state_qubits - 1, ancilla, objective);
+    } else {
+        qc.cx(ancilla, objective);
+    }
+    qc.cx(0, ancilla);
+    if put {
+        qc.x(ancilla);
+    }
+    qc.measure(objective);
+    qc
+}
+
+/// QAOA on a random 3-regular-ish graph, 2 layers.
+fn qaoa(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("qaoa", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    // Ring + random perfect-matching chords ≈ 3-regular.
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    if n <= 2 {
+        edges.truncate(1);
+    }
+    let mut unmatched: Vec<u32> = (0..n).collect();
+    while unmatched.len() >= 2 {
+        let a = unmatched.swap_remove(rng.gen_range(0..unmatched.len()));
+        let b = unmatched.swap_remove(rng.gen_range(0..unmatched.len()));
+        if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    for layer in 0..2 {
+        let gamma = rng.gen_range(0.0..PI);
+        for &(a, b) in &edges {
+            qc.rzz(gamma * (1.0 + layer as f64 * 0.5), a, b);
+        }
+        let beta = rng.gen_range(0.0..PI);
+        for q in 0..n {
+            qc.rx(2.0 * beta, q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// In-place QFT on qubits `0..m` (without measurement).
+fn qft_block(qc: &mut QuantumCircuit, m: u32) {
+    for i in (0..m).rev() {
+        qc.h(i);
+        for j in (0..i).rev() {
+            qc.cp(PI / (1u64 << (i - j)) as f64, j, i);
+        }
+    }
+    for i in 0..m / 2 {
+        qc.swap(i, m - 1 - i);
+    }
+}
+
+/// Inverse QFT on qubits `0..m`.
+fn inverse_qft(qc: &mut QuantumCircuit, m: u32) {
+    for i in 0..m / 2 {
+        qc.swap(i, m - 1 - i);
+    }
+    for i in 0..m {
+        for j in 0..i {
+            qc.cp(-PI / (1u64 << (i - j)) as f64, j, i);
+        }
+        qc.h(i);
+    }
+}
+
+fn qft_bench(n: u32) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    qft_block(&mut qc, n);
+    qc.measure_all();
+    qc
+}
+
+fn qft_entangled(n: u32) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    qc.h(0);
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qft_block(&mut qc, n);
+    qc.measure_all();
+    qc
+}
+
+/// Quantum GAN generator ansatz: Ry + Rz rotations with CZ ring, 3 reps.
+fn qgan(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("qgan", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+    }
+    for _ in 0..3 {
+        for i in 0..n - 1 {
+            qc.cz(i, i + 1);
+        }
+        if n > 2 {
+            qc.cz(n - 1, 0);
+        }
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Quantum phase estimation of a `P(2πθ)` eigenphase. With `exact`, θ is
+/// an `(n−1)`-bit dyadic fraction (measurable exactly); otherwise an
+/// irrational-ish value.
+fn qpe(n: u32, exact: bool) -> QuantumCircuit {
+    let mut rng = seeded_rng(if exact { "qpeexact" } else { "qpeinexact" }, n);
+    let eval = n - 1;
+    let target = n - 1;
+    let theta = if exact {
+        let max = (1u64 << eval.min(20)) as f64;
+        (rng.gen_range(1..(1u64 << eval.min(20))) as f64) / max
+    } else {
+        rng.gen_range(0.05..0.95) + 1e-3 * std::f64::consts::E
+    };
+    let mut qc = QuantumCircuit::new(n);
+    qc.x(target);
+    for k in 0..eval {
+        qc.h(k);
+    }
+    for k in 0..eval {
+        let power = (1u64 << k) as f64;
+        qc.cp(2.0 * PI * theta * power, k, target);
+    }
+    inverse_qft(&mut qc, eval);
+    for k in 0..eval {
+        qc.measure(k);
+    }
+    qc
+}
+
+/// RealAmplitudes ansatz: Ry rotations + CX entanglement, 3 reps.
+fn real_amplitudes(n: u32, ent: Entanglement) -> QuantumCircuit {
+    let tag = match ent {
+        Entanglement::Full => "realamprandom",
+        _ => "vqe",
+    };
+    let mut rng = seeded_rng(tag, n);
+    let mut qc = QuantumCircuit::new(n);
+    for _ in 0..3 {
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+        }
+        entangle_cx(&mut qc, n, &ent);
+    }
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Vehicle-routing QAOA: dense QUBO couplings, 2 layers, distinct seed.
+fn routing(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("routing", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _ in 0..2 {
+        let gamma = rng.gen_range(0.0..PI);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.7) {
+                    qc.rzz(gamma * rng.gen_range(0.2..1.0), i, j);
+                }
+            }
+        }
+        let beta = rng.gen_range(0.0..PI);
+        for q in 0..n {
+            qc.rx(2.0 * beta, q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// EfficientSU2 ansatz: Ry + Rz rotations, full CX entanglement, 3 reps.
+fn su2_random(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("su2random", n);
+    let mut qc = QuantumCircuit::new(n);
+    for _ in 0..3 {
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+            qc.rz(rng.gen_range(-PI..PI), q);
+        }
+        entangle_cx(&mut qc, n, &Entanglement::Full);
+    }
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+        qc.rz(rng.gen_range(-PI..PI), q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Travelling-salesman QAOA: structured QUBO with neighbor and
+/// time-slot couplings, 2 layers.
+fn tsp(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("tsp", n);
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    let stride = (n as f64).sqrt().max(2.0) as u32;
+    for _ in 0..2 {
+        let gamma = rng.gen_range(0.0..PI);
+        for i in 0..n {
+            let right = (i + 1) % n;
+            qc.rzz(gamma * rng.gen_range(0.3..1.0), i, right);
+            let down = (i + stride) % n;
+            if down != i && down != right {
+                qc.rzz(gamma * rng.gen_range(0.3..1.0), i, down);
+            }
+        }
+        let beta = rng.gen_range(0.0..PI);
+        for q in 0..n {
+            qc.rx(2.0 * beta, q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// TwoLocal ansatz: Ry rotations, circular CX entanglement, 3 reps.
+fn two_local_random(n: u32) -> QuantumCircuit {
+    let mut rng = seeded_rng("twolocalrandom", n);
+    let mut qc = QuantumCircuit::new(n);
+    for _ in 0..3 {
+        for q in 0..n {
+            qc.ry(rng.gen_range(-PI..PI), q);
+        }
+        entangle_cx(&mut qc, n, &Entanglement::Circular);
+    }
+    for q in 0..n {
+        qc.ry(rng.gen_range(-PI..PI), q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// W-state: equal superposition of all single-excitation basis states,
+/// via the cascade of controlled-rotation "splitter" blocks.
+fn w_state(n: u32) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    qc.x(n - 1);
+    // Splitter: moves amplitude from qubit a to qubit b with the right
+    // weight, then entangles back.
+    for i in (1..n).rev() {
+        // F-gate on (i, i-1) with θ = arccos(√(1/(i+1))): the first split
+        // peels 1/n of the amplitude, the next 1/(n−1) of the rest, …
+        let k = (i + 1) as f64;
+        let theta = (1.0 / k.sqrt()).acos();
+        qc.ry(-theta, i - 1);
+        qc.cz(i, i - 1);
+        qc.ry(theta, i - 1);
+    }
+    for i in (1..n).rev() {
+        qc.cx(i - 1, i);
+    }
+    qc.measure_all();
+    qc
+}

@@ -1,0 +1,207 @@
+//! # qrc-benchgen
+//!
+//! MQT-Bench-style benchmark circuit generators for the `mqt-predictor`
+//! workspace: all 22 algorithm families the paper evaluates on (Fig. 3),
+//! at the target-independent abstraction level, deterministic per
+//! `(family, size)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrc_benchgen::BenchmarkFamily;
+//!
+//! let ghz = BenchmarkFamily::Ghz.generate(5);
+//! assert_eq!(ghz.num_qubits(), 5);
+//! assert_eq!(ghz.name(), "ghz_5");
+//!
+//! let suite = qrc_benchgen::paper_suite(2, 8);
+//! assert!(suite.len() > 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod families;
+
+pub use families::BenchmarkFamily;
+use qrc_circuit::QuantumCircuit;
+
+/// Generates the paper's evaluation suite: every family at every width in
+/// `[min_qubits, max_qubits]` (families with a larger minimum start
+/// there). The paper uses 200 circuits from 2–20 qubits; call
+/// `paper_suite(2, 20)` and subsample if an exact count is needed.
+pub fn paper_suite(min_qubits: u32, max_qubits: u32) -> Vec<QuantumCircuit> {
+    let mut out = Vec::new();
+    for family in BenchmarkFamily::ALL {
+        let lo = family.min_qubits().max(min_qubits);
+        for n in lo..=max_qubits {
+            out.push(family.generate(n));
+        }
+    }
+    out
+}
+
+/// Looks a family up by its MQT Bench name.
+pub fn family_by_name(name: &str) -> Option<BenchmarkFamily> {
+    BenchmarkFamily::ALL.into_iter().find(|f| f.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_circuit::FeatureVector;
+    use qrc_sim::Statevector;
+
+    #[test]
+    fn all_families_generate_at_all_sizes() {
+        for family in BenchmarkFamily::ALL {
+            for n in family.min_qubits()..=10 {
+                let qc = family.generate(n);
+                assert_eq!(qc.num_qubits(), n, "{family} width");
+                assert!(!qc.is_empty(), "{family} at {n} empty");
+                assert!(qc.has_measurements(), "{family} at {n} unmeasured");
+                assert!(
+                    FeatureVector::of(&qc).is_normalized(),
+                    "{family} at {n} features out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in BenchmarkFamily::ALL {
+            let a = family.generate(6);
+            let b = family.generate(6);
+            assert_eq!(a, b, "{family} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn sizes_differ_structurally() {
+        for family in BenchmarkFamily::ALL {
+            let small = family.generate(family.min_qubits().max(3));
+            let large = family.generate(9);
+            assert!(
+                large.num_gates() > small.num_gates(),
+                "{family}: no growth with size"
+            );
+        }
+    }
+
+    #[test]
+    fn ghz_prepares_ghz_state() {
+        let mut qc = BenchmarkFamily::Ghz.generate(4);
+        qc.retain(|op| op.gate.is_unitary());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-10);
+        assert!((p[15] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn w_state_amplitudes_are_uniform_single_excitations() {
+        for n in 2..=5u32 {
+            let mut qc = BenchmarkFamily::WState.generate(n);
+            qc.retain(|op| op.gate.is_unitary());
+            let sv = Statevector::from_circuit(&qc).unwrap();
+            let p = sv.probabilities();
+            let expect = 1.0 / n as f64;
+            for (idx, prob) in p.iter().enumerate() {
+                if idx.count_ones() == 1 {
+                    assert!(
+                        (prob - expect).abs() < 1e-9,
+                        "n={n}, |{idx:b}⟩: {prob} vs {expect}"
+                    );
+                } else {
+                    assert!(*prob < 1e-9, "n={n}: weight on |{idx:b}⟩");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qpe_exact_recovers_phase_peak() {
+        // With an exact dyadic phase, one basis state of the evaluation
+        // register should carry (nearly) all probability.
+        let mut qc = BenchmarkFamily::QpeExact.generate(5);
+        qc.retain(|op| op.gate.is_unitary());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        // Marginalize out the target qubit (highest index).
+        let eval_dim = 1usize << 4;
+        let mut marginal = vec![0.0; eval_dim];
+        for (idx, prob) in p.iter().enumerate() {
+            marginal[idx % eval_dim] += prob;
+        }
+        let max = marginal.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.99, "phase peak {max}");
+    }
+
+    #[test]
+    fn qpe_inexact_spreads_probability() {
+        let mut qc = BenchmarkFamily::QpeInexact.generate(5);
+        qc.retain(|op| op.gate.is_unitary());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        let eval_dim = 1usize << 4;
+        let mut marginal = vec![0.0; eval_dim];
+        for (idx, prob) in p.iter().enumerate() {
+            marginal[idx % eval_dim] += prob;
+        }
+        let max = marginal.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 0.999, "inexact phase should not be a pure peak");
+    }
+
+    #[test]
+    fn dj_balanced_oracle_rejects_zero_string() {
+        // For a balanced function the all-zeros outcome has probability 0
+        // on the input register.
+        let mut qc = BenchmarkFamily::Dj.generate(5);
+        qc.retain(|op| op.gate.is_unitary());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        // Inputs are qubits 0..3; ancilla is qubit 4.
+        let zero_inputs: f64 = p
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & 0b1111 == 0)
+            .map(|(_, pr)| pr)
+            .sum();
+        assert!(zero_inputs < 1e-9, "balanced oracle leaked {zero_inputs}");
+    }
+
+    #[test]
+    fn qft_on_zero_state_is_uniform() {
+        let mut qc = BenchmarkFamily::Qft.generate(4);
+        qc.retain(|op| op.gate.is_unitary());
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        for prob in sv.probabilities() {
+            assert!((prob - 1.0 / 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn family_lookup_by_name() {
+        assert_eq!(family_by_name("qft"), Some(BenchmarkFamily::Qft));
+        assert_eq!(family_by_name("wstate"), Some(BenchmarkFamily::WState));
+        assert_eq!(family_by_name("nope"), None);
+        for f in BenchmarkFamily::ALL {
+            assert_eq!(family_by_name(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn paper_suite_counts() {
+        let suite = paper_suite(2, 20);
+        // 22 families × 19 sizes, minus the pricing families starting at 3.
+        assert_eq!(suite.len(), 22 * 19 - 2);
+        let small = paper_suite(2, 6);
+        assert!(small.iter().all(|c| c.num_qubits() <= 6));
+    }
+
+    #[test]
+    fn names_embed_family_and_size() {
+        let qc = BenchmarkFamily::PortfolioQaoa.generate(7);
+        assert_eq!(qc.name(), "portfolioqaoa_7");
+    }
+}

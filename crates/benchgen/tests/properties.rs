@@ -1,0 +1,106 @@
+//! Property/cross-cutting tests for the benchmark generators: QASM
+//! round-trips, platform translation, and structural invariants across
+//! the full (family × size) grid.
+
+use qrc_benchgen::{paper_suite, BenchmarkFamily};
+use qrc_circuit::qasm;
+use qrc_device::Platform;
+use qrc_passes::synthesis::translate_to_platform;
+use qrc_sim::equiv::measurement_equivalent;
+
+#[test]
+fn every_family_round_trips_through_qasm() {
+    for family in BenchmarkFamily::ALL {
+        let n = family.min_qubits().max(4);
+        let qc = family.generate(n);
+        let text = qasm::to_qasm(&qc);
+        let back = qasm::from_qasm(&text)
+            .unwrap_or_else(|e| panic!("{family} failed QASM round trip: {e}"));
+        assert_eq!(back.num_qubits(), qc.num_qubits(), "{family}");
+        assert_eq!(back.len(), qc.len(), "{family}");
+        for (a, b) in qc.iter().zip(back.iter()) {
+            assert!(a.gate.approx_eq(b.gate), "{family}: {:?} vs {:?}", a.gate, b.gate);
+            assert_eq!(a.qubits, b.qubits, "{family}");
+        }
+    }
+}
+
+#[test]
+fn every_family_translates_to_every_platform() {
+    for family in BenchmarkFamily::ALL {
+        let n = family.min_qubits().max(4);
+        let qc = family.generate(n);
+        for platform in Platform::ALL {
+            let native = translate_to_platform(&qc, platform)
+                .unwrap_or_else(|e| panic!("{family} on {platform}: {e}"));
+            assert!(
+                native
+                    .iter()
+                    .all(|op| platform.native_gates().contains(op.gate)),
+                "{family} on {platform}: non-native gates remain"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_instances_survive_translation_semantically() {
+    // Full semantic check at width 3–4 for a representative subset
+    // (the full grid × platforms is covered structurally above).
+    for family in [
+        BenchmarkFamily::Ghz,
+        BenchmarkFamily::WState,
+        BenchmarkFamily::Qft,
+        BenchmarkFamily::QpeExact,
+        BenchmarkFamily::Qaoa,
+        BenchmarkFamily::PricingCall,
+        BenchmarkFamily::GroundState,
+    ] {
+        let n = family.min_qubits().max(3);
+        let qc = family.generate(n);
+        for platform in Platform::ALL {
+            let native = translate_to_platform(&qc, platform).unwrap();
+            assert!(
+                measurement_equivalent(&qc, &native, 1e-6).unwrap(),
+                "{family} on {platform}: distribution changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_is_sorted_and_unique() {
+    let suite = paper_suite(2, 12);
+    let mut names: Vec<&str> = suite.iter().map(|c| c.name()).collect();
+    let before = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate circuit names in suite");
+}
+
+#[test]
+fn gate_vocabulary_is_algorithmic() {
+    // Target-independent circuits must not contain device-native-only
+    // artifacts like ECR, and widths must match the request.
+    for qc in paper_suite(2, 8) {
+        for op in qc.iter() {
+            assert!(
+                op.gate != qrc_circuit::Gate::Ecr,
+                "{}: raw ECR in algorithmic circuit",
+                qc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn two_qubit_gate_counts_scale_with_size() {
+    for family in BenchmarkFamily::ALL {
+        let lo = family.generate(family.min_qubits().max(4));
+        let hi = family.generate(12);
+        assert!(
+            hi.num_two_qubit_gates() >= lo.num_two_qubit_gates(),
+            "{family}: 2q count shrank with size"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Commutation analysis between operations.
+//!
+//! `CommutativeCancellation`-style passes need to know whether two adjacent
+//! operations commute. Cheap structural rules cover the common cases
+//! (disjoint supports, diagonal gates, control/target relations of CX);
+//! everything else falls back to an exact numeric check on the joint
+//! unitary of the two operations (supports are ≤ 3 qubits each, so the
+//! joint space is at most 64-dimensional).
+
+use crate::circuit::{Operation, Qubit};
+use crate::gate::Gate;
+use crate::math::CMatrix;
+
+/// Numeric tolerance for the matrix-based commutation fallback.
+const COMMUTE_TOL: f64 = 1e-10;
+
+/// Returns `true` if the two operations commute as linear operators.
+///
+/// Non-unitary directives (measure, barrier) never commute with anything
+/// overlapping them — reordering across them is never safe.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::{commute, Gate, Operation, Qubit};
+///
+/// let cx01 = Operation::new(Gate::Cx, &[Qubit(0), Qubit(1)]);
+/// let cx02 = Operation::new(Gate::Cx, &[Qubit(0), Qubit(2)]);
+/// let z0 = Operation::new(Gate::Z, &[Qubit(0)]);
+/// let x1 = Operation::new(Gate::X, &[Qubit(1)]);
+///
+/// assert!(commute::ops_commute(&cx01, &cx02)); // shared control
+/// assert!(commute::ops_commute(&cx01, &z0));   // Z on control
+/// assert!(commute::ops_commute(&cx01, &x1));   // X on target
+/// assert!(!commute::ops_commute(&z0, &Operation::new(Gate::X, &[Qubit(0)])));
+/// ```
+pub fn ops_commute(a: &Operation, b: &Operation) -> bool {
+    // Disjoint supports always commute.
+    if a.qubits.iter().all(|q| !b.qubits.contains(*q)) {
+        return true;
+    }
+    if !a.gate.is_unitary() || !b.gate.is_unitary() {
+        return false;
+    }
+    // Identical operations trivially commute.
+    if a.gate.approx_eq(b.gate) && a.qubits == b.qubits {
+        return true;
+    }
+    // Both diagonal in the computational basis.
+    if a.gate.is_diagonal() && b.gate.is_diagonal() {
+        return true;
+    }
+    if let Some(ans) = structural_rule(a, b).or_else(|| structural_rule(b, a)) {
+        return ans;
+    }
+    matrix_commute(a, b)
+}
+
+/// Directed structural fast paths. Returns `None` when no rule applies.
+fn structural_rule(a: &Operation, b: &Operation) -> Option<bool> {
+    use Gate::*;
+    // CX/CZ-family versus single-qubit gates on control or target.
+    if let (Cx, 1) = (a.gate, b.gate.num_qubits()) {
+        let control = a.qubits[0];
+        let target = a.qubits[1];
+        let q = b.qubits[0];
+        if q == control {
+            // Diagonal gates commute with the control.
+            return Some(b.gate.is_diagonal());
+        }
+        if q == target {
+            // X-axis gates commute with the target.
+            return Some(matches!(b.gate, X | Sx | Sxdg | Rx(_) | I));
+        }
+    }
+    // Two CX gates.
+    if a.gate == Cx && b.gate == Cx {
+        let (c1, t1) = (a.qubits[0], a.qubits[1]);
+        let (c2, t2) = (b.qubits[0], b.qubits[1]);
+        if c1 == c2 && t1 != t2 {
+            return Some(true); // shared control
+        }
+        if t1 == t2 && c1 != c2 {
+            return Some(true); // shared target
+        }
+        if c1 == c2 && t1 == t2 {
+            return Some(true);
+        }
+        return Some(false); // control of one is target of the other
+    }
+    None
+}
+
+/// Exact check: embed both operations in their joint qubit space and
+/// compare `AB` with `BA`.
+fn matrix_commute(a: &Operation, b: &Operation) -> bool {
+    let mut joint: Vec<Qubit> = a.qubits.iter().copied().collect();
+    for q in b.qubits.iter() {
+        if !joint.contains(q) {
+            joint.push(*q);
+        }
+    }
+    joint.sort_unstable();
+    let ma = embed(&a.gate.matrix(), a.qubits.as_slice(), &joint);
+    let mb = embed(&b.gate.matrix(), b.qubits.as_slice(), &joint);
+    ma.matmul(&mb).approx_eq(&mb.matmul(&ma), COMMUTE_TOL)
+}
+
+/// Embeds `gate_matrix` (acting on `op_qubits`, most-significant-first)
+/// into the space spanned by `joint` (sorted, most-significant-first).
+///
+/// Exposed for reuse by the simulator tests and the consolidation passes.
+pub fn embed(gate_matrix: &CMatrix, op_qubits: &[Qubit], joint: &[Qubit]) -> CMatrix {
+    let m = joint.len();
+    let dim = 1usize << m;
+    // Bit position (from the left / most significant) of each op qubit
+    // within the joint index.
+    let pos: Vec<usize> = op_qubits
+        .iter()
+        .map(|q| joint.iter().position(|j| j == q).expect("qubit in joint"))
+        .collect();
+    let k = op_qubits.len();
+    let mut out = CMatrix::zeros(dim);
+    for row in 0..dim {
+        for col in 0..dim {
+            // All bits outside the op support must agree.
+            let mut outside_equal = true;
+            for bit in 0..m {
+                if pos.contains(&bit) {
+                    continue;
+                }
+                let shift = m - 1 - bit;
+                if (row >> shift) & 1 != (col >> shift) & 1 {
+                    outside_equal = false;
+                    break;
+                }
+            }
+            if !outside_equal {
+                continue;
+            }
+            // Extract the sub-indices in gate-argument order.
+            let mut sub_row = 0usize;
+            let mut sub_col = 0usize;
+            for (i, &p) in pos.iter().enumerate() {
+                let shift = m - 1 - p;
+                sub_row |= ((row >> shift) & 1) << (k - 1 - i);
+                sub_col |= ((col >> shift) & 1) << (k - 1 - i);
+            }
+            out[(row, col)] = gate_matrix[(sub_row, sub_col)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Operation;
+    use crate::math::Complex;
+
+    fn op(gate: Gate, qubits: &[u32]) -> Operation {
+        let qs: Vec<Qubit> = qubits.iter().map(|&q| Qubit(q)).collect();
+        Operation::new(gate, &qs)
+    }
+
+    #[test]
+    fn disjoint_ops_commute() {
+        assert!(ops_commute(&op(Gate::H, &[0]), &op(Gate::H, &[1])));
+        assert!(ops_commute(&op(Gate::Cx, &[0, 1]), &op(Gate::Cx, &[2, 3])));
+    }
+
+    #[test]
+    fn measure_never_commutes_when_overlapping() {
+        assert!(!ops_commute(&op(Gate::Measure, &[0]), &op(Gate::H, &[0])));
+        assert!(ops_commute(&op(Gate::Measure, &[0]), &op(Gate::H, &[1])));
+    }
+
+    #[test]
+    fn diagonal_gates_commute() {
+        assert!(ops_commute(&op(Gate::Rz(0.3), &[0]), &op(Gate::T, &[0])));
+        assert!(ops_commute(&op(Gate::Cz, &[0, 1]), &op(Gate::Rz(0.5), &[1])));
+        assert!(ops_commute(&op(Gate::Cp(0.2), &[0, 1]), &op(Gate::Cz, &[1, 0])));
+    }
+
+    #[test]
+    fn cx_control_target_rules() {
+        let cx = op(Gate::Cx, &[0, 1]);
+        assert!(ops_commute(&cx, &op(Gate::Z, &[0])));
+        assert!(ops_commute(&cx, &op(Gate::Rz(0.7), &[0])));
+        assert!(ops_commute(&cx, &op(Gate::X, &[1])));
+        assert!(ops_commute(&cx, &op(Gate::Rx(0.7), &[1])));
+        assert!(!ops_commute(&cx, &op(Gate::X, &[0])));
+        assert!(!ops_commute(&cx, &op(Gate::Z, &[1])));
+        assert!(!ops_commute(&cx, &op(Gate::H, &[0])));
+    }
+
+    #[test]
+    fn cx_cx_rules() {
+        assert!(ops_commute(&op(Gate::Cx, &[0, 1]), &op(Gate::Cx, &[0, 2])));
+        assert!(ops_commute(&op(Gate::Cx, &[0, 2]), &op(Gate::Cx, &[1, 2])));
+        assert!(!ops_commute(&op(Gate::Cx, &[0, 1]), &op(Gate::Cx, &[1, 2])));
+        assert!(!ops_commute(&op(Gate::Cx, &[0, 1]), &op(Gate::Cx, &[1, 0])));
+    }
+
+    #[test]
+    fn matrix_fallback_agrees_with_structure() {
+        // H and X do not commute; H and H do.
+        assert!(!ops_commute(&op(Gate::H, &[0]), &op(Gate::X, &[0])));
+        assert!(ops_commute(&op(Gate::H, &[0]), &op(Gate::H, &[0])));
+        // Rxx commutes with X⊗I? e^{-iθXX/2} commutes with X on either
+        // qubit (X⊗I commutes with X⊗X).
+        assert!(ops_commute(&op(Gate::Rxx(0.4), &[0, 1]), &op(Gate::X, &[0])));
+        assert!(!ops_commute(&op(Gate::Rxx(0.4), &[0, 1]), &op(Gate::Z, &[0])));
+    }
+
+    #[test]
+    fn three_qubit_gates_fall_back_to_matrices() {
+        // CCX commutes with Z on either control, X on target.
+        let ccx = op(Gate::Ccx, &[0, 1, 2]);
+        assert!(ops_commute(&ccx, &op(Gate::Z, &[0])));
+        assert!(ops_commute(&ccx, &op(Gate::Z, &[1])));
+        assert!(ops_commute(&ccx, &op(Gate::X, &[2])));
+        assert!(!ops_commute(&ccx, &op(Gate::X, &[0])));
+        // CCX on overlapping-but-different qubits.
+        assert!(ops_commute(
+            &op(Gate::Ccx, &[0, 1, 2]),
+            &op(Gate::Ccx, &[1, 0, 2])
+        ));
+    }
+
+    #[test]
+    fn embed_identity_blocks() {
+        // Embedding X on qubit 1 of joint [0,1] gives I ⊗ X.
+        let joint = [Qubit(0), Qubit(1)];
+        let m = embed(&Gate::X.matrix(), &[Qubit(1)], &joint);
+        let expected = CMatrix::identity(2).kron(&Gate::X.matrix());
+        assert!(m.approx_eq(&expected, 1e-12));
+        // On qubit 0: X ⊗ I.
+        let m = embed(&Gate::X.matrix(), &[Qubit(0)], &joint);
+        let expected = Gate::X.matrix().kron(&CMatrix::identity(2));
+        assert!(m.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn embed_respects_argument_order() {
+        // CX with control=q1, target=q0 over joint [0,1]:
+        // |q0 q1> basis — control is the low bit.
+        let joint = [Qubit(0), Qubit(1)];
+        let m = embed(&Gate::Cx.matrix(), &[Qubit(1), Qubit(0)], &joint);
+        // |01> -> |11>, |11> -> |01>; |00>,|10> fixed.
+        assert_eq!(m[(0, 0)], Complex::ONE);
+        assert_eq!(m[(3, 1)], Complex::ONE);
+        assert_eq!(m[(1, 3)], Complex::ONE);
+        assert_eq!(m[(2, 2)], Complex::ONE);
+    }
+}

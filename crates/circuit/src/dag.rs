@@ -1,0 +1,224 @@
+//! Dependency-graph view of a circuit.
+//!
+//! [`CircuitDag`] computes, for every operation, its predecessors and
+//! successors on each qubit wire plus its ASAP (as-soon-as-possible)
+//! schedule level. The levels give the circuit depth, the critical path,
+//! and the per-layer structure used by the routing passes and the
+//! SupermarQ feature extraction.
+
+use crate::circuit::QuantumCircuit;
+
+/// Index of an operation within its circuit.
+pub type OpIndex = usize;
+
+/// Precomputed dependency structure of a [`QuantumCircuit`].
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::{QuantumCircuit, CircuitDag};
+///
+/// let mut qc = QuantumCircuit::new(3);
+/// qc.h(0).h(1).cx(0, 1).cx(1, 2);
+/// let dag = CircuitDag::new(&qc);
+/// assert_eq!(dag.depth(), 3);           // h — cx — cx
+/// assert_eq!(dag.layers().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    /// For op `i`, the ops that must run directly before it (one per wire,
+    /// deduplicated).
+    preds: Vec<Vec<OpIndex>>,
+    /// For op `i`, the ops that directly depend on it.
+    succs: Vec<Vec<OpIndex>>,
+    /// ASAP level of each op (0-based).
+    level: Vec<usize>,
+    /// Ops grouped by ASAP level.
+    layers: Vec<Vec<OpIndex>>,
+}
+
+impl CircuitDag {
+    /// Builds the dependency structure of `circuit`.
+    ///
+    /// Barriers participate in the dependency structure (they order
+    /// operations) but see [`CircuitDag::depth`] for how they are counted.
+    pub fn new(circuit: &QuantumCircuit) -> Self {
+        let n_ops = circuit.len();
+        let mut preds: Vec<Vec<OpIndex>> = vec![Vec::new(); n_ops];
+        let mut succs: Vec<Vec<OpIndex>> = vec![Vec::new(); n_ops];
+        let mut level: Vec<usize> = vec![0; n_ops];
+        let mut last_on_wire: Vec<Option<OpIndex>> = vec![None; circuit.num_qubits() as usize];
+
+        for (i, op) in circuit.iter().enumerate() {
+            let mut lvl = 0;
+            for q in op.qubits.iter() {
+                if let Some(p) = last_on_wire[q.index()] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                    lvl = lvl.max(level[p] + 1);
+                }
+            }
+            level[i] = lvl;
+            for q in op.qubits.iter() {
+                last_on_wire[q.index()] = Some(i);
+            }
+        }
+
+        let max_level = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut layers: Vec<Vec<OpIndex>> = vec![Vec::new(); max_level];
+        for (i, &l) in level.iter().enumerate() {
+            layers[l].push(i);
+        }
+
+        CircuitDag {
+            preds,
+            succs,
+            level,
+            layers,
+        }
+    }
+
+    /// Direct predecessors of op `i`.
+    pub fn predecessors(&self, i: OpIndex) -> &[OpIndex] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of op `i`.
+    pub fn successors(&self, i: OpIndex) -> &[OpIndex] {
+        &self.succs[i]
+    }
+
+    /// ASAP level of op `i` (0-based).
+    pub fn level(&self, i: OpIndex) -> usize {
+        self.level[i]
+    }
+
+    /// Operations grouped by ASAP level.
+    pub fn layers(&self) -> &[Vec<OpIndex>] {
+        &self.layers
+    }
+
+    /// Circuit depth: number of ASAP levels (counting every operation,
+    /// including measurements — matching Qiskit's `QuantumCircuit.depth`).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// One longest (critical) path through the DAG, as op indices in order.
+    ///
+    /// Returns an empty vector for an empty circuit. Among equal-length
+    /// paths an arbitrary but deterministic one is returned.
+    pub fn critical_path(&self) -> Vec<OpIndex> {
+        if self.level.is_empty() {
+            return Vec::new();
+        }
+        // Longest-to-sink length per node, computed right-to-left
+        // (ops are already topologically ordered by construction).
+        let n = self.level.len();
+        let mut to_sink = vec![0usize; n];
+        let mut next = vec![usize::MAX; n];
+        for i in (0..n).rev() {
+            for &s in &self.succs[i] {
+                if to_sink[s] + 1 > to_sink[i] {
+                    to_sink[i] = to_sink[s] + 1;
+                    next[i] = s;
+                }
+            }
+        }
+        // Start at the first source (level 0) with the longest path to a
+        // sink; ties resolve to the earliest op for determinism.
+        let mut start = usize::MAX;
+        let mut best = 0;
+        for i in 0..n {
+            if self.level[i] == 0 && (start == usize::MAX || to_sink[i] > best) {
+                best = to_sink[i];
+                start = i;
+            }
+        }
+        let mut path = vec![start];
+        let mut cur = start;
+        while next[cur] != usize::MAX {
+            cur = next[cur];
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantumCircuit;
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        let qc = QuantumCircuit::new(3);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.depth(), 0);
+        assert!(dag.critical_path().is_empty());
+    }
+
+    #[test]
+    fn parallel_gates_share_a_layer() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.h(0).h(1).h(2).h(3);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.depth(), 1);
+        assert_eq!(dag.layers()[0].len(), 4);
+    }
+
+    #[test]
+    fn chain_increases_depth() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).t(0).h(0);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn two_qubit_gate_joins_wires() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).h(1);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.depth(), 3);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(1), &[2]);
+        assert_eq!(dag.level(2), 2);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        // q0: h        (level 0)
+        // q1: h t t t  (levels 0..3)
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).h(1).t(1).t(1).t(1);
+        let dag = CircuitDag::new(&qc);
+        let path = dag.critical_path();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ghz_depth_is_linear() {
+        let n = 6;
+        let mut qc = QuantumCircuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.depth(), n as usize);
+        assert_eq!(dag.critical_path().len(), n as usize);
+    }
+
+    #[test]
+    fn duplicate_predecessor_edges_are_deduplicated() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).cx(0, 1);
+        let dag = CircuitDag::new(&qc);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for circuit construction and serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An operation referenced a qubit index beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit width.
+        width: u32,
+    },
+    /// A layout/permutation had fewer entries than the circuit has qubits.
+    LayoutTooShort {
+        /// Length of the provided layout.
+        layout: usize,
+        /// The circuit width.
+        width: u32,
+    },
+    /// The circuit cannot be inverted because of this gate.
+    NotInvertible {
+        /// Mnemonic of the non-invertible gate.
+        gate: &'static str,
+    },
+    /// OpenQASM parsing failed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit index {qubit} out of range for width {width}")
+            }
+            CircuitError::LayoutTooShort { layout, width } => {
+                write!(f, "layout of length {layout} too short for width {width}")
+            }
+            CircuitError::NotInvertible { gate } => {
+                write!(f, "circuit contains non-invertible gate `{gate}`")
+            }
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange { qubit: 9, width: 4 };
+        assert_eq!(e.to_string(), "qubit index 9 out of range for width 4");
+        let e = CircuitError::Parse {
+            line: 3,
+            message: "unknown gate `foo`".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Structural circuit metrics.
+//!
+//! These are the quantities the paper's reward functions and observation
+//! features are built from: depth, gate counts, and the SupermarQ-style
+//! *critical depth* (share of two-qubit gates on the longest path).
+
+use crate::circuit::QuantumCircuit;
+use crate::dag::CircuitDag;
+use crate::gate::Gate;
+
+/// Circuit depth (number of ASAP layers over all operations).
+///
+/// Convenience wrapper over [`CircuitDag::depth`]; build the DAG yourself if
+/// you need several metrics from one circuit.
+pub fn depth(circuit: &QuantumCircuit) -> usize {
+    CircuitDag::new(circuit).depth()
+}
+
+/// Depth counting only two-qubit unitary gates on each wire.
+///
+/// This is Qiskit's `depth(lambda op: op.num_qubits == 2)`: the length of
+/// the longest chain of two-qubit gates.
+pub fn two_qubit_depth(circuit: &QuantumCircuit) -> usize {
+    let mut wire_depth = vec![0usize; circuit.num_qubits() as usize];
+    let mut max = 0;
+    for op in circuit.iter() {
+        if !op.is_two_qubit() {
+            continue;
+        }
+        let lvl = op
+            .qubits
+            .iter()
+            .map(|q| wire_depth[q.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for q in op.qubits.iter() {
+            wire_depth[q.index()] = lvl;
+        }
+        max = max.max(lvl);
+    }
+    max
+}
+
+/// SupermarQ *critical depth*: the fraction of the circuit's two-qubit
+/// gates that lie on the longest (critical) path.
+///
+/// A value near `1.0` means the two-qubit gates form one long serial chain;
+/// near `0.0` means they are spread across parallel wires. Circuits without
+/// two-qubit gates score `0.0`.
+///
+/// The paper's second reward function is `1 − critical_depth`.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::{QuantumCircuit, metrics};
+///
+/// // A GHZ chain is fully serial: every CX is on the critical path.
+/// let mut qc = QuantumCircuit::new(4);
+/// qc.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+/// assert_eq!(metrics::critical_depth(&qc), 1.0);
+/// ```
+pub fn critical_depth(circuit: &QuantumCircuit) -> f64 {
+    let total_2q = circuit.num_two_qubit_gates();
+    if total_2q == 0 {
+        return 0.0;
+    }
+    let dag = CircuitDag::new(circuit);
+    let on_path = dag
+        .critical_path()
+        .into_iter()
+        .filter(|&i| circuit.ops()[i].is_two_qubit())
+        .count();
+    on_path as f64 / total_2q as f64
+}
+
+/// Number of gates cancelled between `before` and `after`
+/// (negative if the circuit grew).
+pub fn gate_delta(before: &QuantumCircuit, after: &QuantumCircuit) -> i64 {
+    before.num_gates() as i64 - after.num_gates() as i64
+}
+
+/// The qubit-interaction multigraph degree of every qubit: how many
+/// *distinct* other qubits each qubit shares a two-qubit gate with.
+pub fn interaction_degrees(circuit: &QuantumCircuit) -> Vec<usize> {
+    let n = circuit.num_qubits() as usize;
+    let mut neighbors: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
+    for op in circuit.iter() {
+        if !op.is_two_qubit() {
+            continue;
+        }
+        let a = op.qubits[0];
+        let b = op.qubits[1];
+        neighbors[a.index()].insert(b.0);
+        neighbors[b.index()].insert(a.0);
+    }
+    neighbors.into_iter().map(|s| s.len()).collect()
+}
+
+/// Returns `true` if the circuit contains no gate other than those accepted
+/// by `allowed`.
+///
+/// Measurements and barriers are always allowed — they are directives, not
+/// gates that hardware must synthesize.
+pub fn uses_only(circuit: &QuantumCircuit, mut allowed: impl FnMut(Gate) -> bool) -> bool {
+    circuit
+        .iter()
+        .all(|op| !op.gate.is_unitary() || allowed(op.gate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_qubit_depth_ignores_single_qubit_gates() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).h(1).cx(0, 1).t(1).cx(1, 2).cx(0, 1);
+        // cx(0,1) -> cx(1,2) -> cx(0,1): chain of 3 on shared wires.
+        assert_eq!(two_qubit_depth(&qc), 3);
+    }
+
+    #[test]
+    fn two_qubit_depth_parallel_pairs() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 1).cx(2, 3);
+        assert_eq!(two_qubit_depth(&qc), 1);
+    }
+
+    #[test]
+    fn critical_depth_zero_without_two_qubit_gates() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).h(1).t(0);
+        assert_eq!(critical_depth(&qc), 0.0);
+    }
+
+    #[test]
+    fn critical_depth_partial() {
+        // Serial chain on q0/q1 (2 CXs) plus one parallel CX on q2/q3 that
+        // is NOT on the critical path once padded with 1q gates.
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 1).t(1).cx(0, 1).t(1).cx(2, 3);
+        let cd = critical_depth(&qc);
+        // Critical path: cx t cx t (4 ops, 2 of 3 CXs).
+        assert!((cd - 2.0 / 3.0).abs() < 1e-12, "cd = {cd}");
+    }
+
+    #[test]
+    fn interaction_degrees_counts_distinct_partners() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 1).cx(0, 1).cx(0, 2);
+        let deg = interaction_degrees(&qc);
+        assert_eq!(deg, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn uses_only_skips_directives() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).measure_all();
+        assert!(uses_only(&qc, |g| matches!(g, Gate::H | Gate::Cx)));
+        assert!(!uses_only(&qc, |g| matches!(g, Gate::Cx)));
+    }
+
+    #[test]
+    fn gate_delta_sign() {
+        let mut a = QuantumCircuit::new(1);
+        a.h(0).h(0);
+        let mut b = QuantumCircuit::new(1);
+        b.h(0);
+        assert_eq!(gate_delta(&a, &b), 1);
+        assert_eq!(gate_delta(&b, &a), -1);
+    }
+}

@@ -1,0 +1,147 @@
+//! [`proptest`] strategies for generating random gates and circuits.
+//!
+//! Enabled with the `proptest-support` feature; used by the property-based
+//! test suites of every crate in the workspace.
+
+use crate::circuit::{Operation, QuantumCircuit, Qubit};
+use crate::gate::Gate;
+use proptest::prelude::*;
+
+/// Strategy over rotation angles in `(-2π, 2π)`, biased toward "nice"
+/// multiples of π/4 (the angles where Clifford/identity special cases
+/// live) and including exact `0.0`.
+pub fn angle() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        3 => (-2.0..2.0f64).prop_map(|t| t * std::f64::consts::PI),
+        2 => (-8i32..=8).prop_map(|k| k as f64 * std::f64::consts::FRAC_PI_4),
+        1 => Just(0.0),
+    ]
+}
+
+/// Strategy over arbitrary unitary gates (no measure/barrier).
+pub fn unitary_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        prop_oneof![
+            Just(Gate::I),
+            Just(Gate::X),
+            Just(Gate::Y),
+            Just(Gate::Z),
+            Just(Gate::H),
+            Just(Gate::S),
+            Just(Gate::Sdg),
+            Just(Gate::T),
+            Just(Gate::Tdg),
+            Just(Gate::Sx),
+            Just(Gate::Sxdg),
+        ],
+        angle().prop_map(Gate::Rx),
+        angle().prop_map(Gate::Ry),
+        angle().prop_map(Gate::Rz),
+        angle().prop_map(Gate::P),
+        (angle(), angle(), angle()).prop_map(|(a, b, c)| Gate::U(a, b, c)),
+        prop_oneof![
+            Just(Gate::Cx),
+            Just(Gate::Cy),
+            Just(Gate::Cz),
+            Just(Gate::Ch),
+            Just(Gate::Swap),
+            Just(Gate::Ecr),
+        ],
+        angle().prop_map(Gate::Cp),
+        angle().prop_map(Gate::Crx),
+        angle().prop_map(Gate::Cry),
+        angle().prop_map(Gate::Crz),
+        angle().prop_map(Gate::Rxx),
+        angle().prop_map(Gate::Ryy),
+        angle().prop_map(Gate::Rzz),
+        prop_oneof![Just(Gate::Ccx), Just(Gate::Cswap)],
+    ]
+}
+
+/// Strategy over single- and two-qubit unitary gates only (the subset most
+/// passes operate on natively).
+pub fn small_gate() -> impl Strategy<Value = Gate> {
+    unitary_gate().prop_filter("arity ≤ 2", |g| g.num_qubits() <= 2)
+}
+
+/// Strategy over circuits with `num_qubits` in `widths` and up to
+/// `max_ops` unitary operations (qubit arguments always distinct and in
+/// range).
+pub fn circuit(
+    widths: std::ops::RangeInclusive<u32>,
+    max_ops: usize,
+) -> impl Strategy<Value = QuantumCircuit> {
+    widths
+        .prop_flat_map(move |n| {
+            let gate_and_qubits = (unitary_gate(), proptest::collection::vec(0..n, 3))
+                .prop_filter_map("need distinct in-range qubits", move |(g, pool)| {
+                    let k = g.num_qubits();
+                    if (n as usize) < k {
+                        return None;
+                    }
+                    // Deduplicate the qubit pool, take the first k.
+                    let mut qs: Vec<u32> = Vec::new();
+                    for q in pool {
+                        if !qs.contains(&q) {
+                            qs.push(q);
+                        }
+                    }
+                    // Top up deterministically if dedup left too few.
+                    let mut next = 0;
+                    while qs.len() < k {
+                        if !qs.contains(&next) {
+                            qs.push(next);
+                        }
+                        next += 1;
+                    }
+                    Some((g, qs[..k].to_vec()))
+                });
+            (
+                Just(n),
+                proptest::collection::vec(gate_and_qubits, 0..=max_ops),
+            )
+        })
+        .prop_map(|(n, ops)| {
+            let mut qc = QuantumCircuit::new(n);
+            for (g, qs) in ops {
+                let qubits: Vec<Qubit> = qs.into_iter().map(Qubit).collect();
+                qc.push(Operation::new(g, &qubits)).expect("in range");
+            }
+            qc
+        })
+}
+
+/// Like [`circuit`] but restricted to 1- and 2-qubit gates.
+pub fn small_gate_circuit(
+    widths: std::ops::RangeInclusive<u32>,
+    max_ops: usize,
+) -> impl Strategy<Value = QuantumCircuit> {
+    widths
+        .prop_flat_map(move |n| {
+            let gate_and_qubits = (small_gate(), 0..n, 0..n).prop_filter_map(
+                "need distinct qubits",
+                move |(g, a, b)| {
+                    let k = g.num_qubits();
+                    if k == 1 {
+                        return Some((g, vec![a]));
+                    }
+                    if n < 2 || a == b {
+                        return None;
+                    }
+                    Some((g, vec![a, b]))
+                },
+            );
+            (
+                Just(n),
+                proptest::collection::vec(gate_and_qubits, 0..=max_ops),
+            )
+        })
+        .prop_map(|(n, ops)| {
+            let mut qc = QuantumCircuit::new(n);
+            for (g, qs) in ops {
+                let qubits: Vec<Qubit> = qs.into_iter().map(Qubit).collect();
+                qc.push(Operation::new(g, &qubits)).expect("in range");
+            }
+            qc
+        })
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the circuit IR.
+
+use proptest::prelude::*;
+use qrc_circuit::math::CMatrix;
+use qrc_circuit::strategies::{angle, circuit, unitary_gate};
+use qrc_circuit::{commute, metrics, normalize_angle, FeatureVector, Gate, Qubit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gate_matrices_are_unitary(g in unitary_gate()) {
+        let m = g.matrix();
+        prop_assert_eq!(m.dim(), 1 << g.num_qubits());
+        prop_assert!(m.is_unitary(1e-9), "{:?} not unitary", g);
+    }
+
+    #[test]
+    fn gate_inverse_matrix_is_dagger(g in unitary_gate()) {
+        if let Some(inv) = g.inverse() {
+            let expected = g.matrix().dagger();
+            prop_assert!(
+                inv.matrix().approx_eq_up_to_phase(&expected, 1e-9),
+                "inverse of {:?} disagrees with dagger", g
+            );
+        }
+    }
+
+    #[test]
+    fn normalize_angle_is_in_range_and_equivalent(t in -50.0..50.0f64) {
+        let n = normalize_angle(t);
+        prop_assert!(n > -std::f64::consts::PI - 1e-12);
+        prop_assert!(n <= std::f64::consts::PI + 1e-12);
+        // e^{it} must be unchanged.
+        let a = qrc_circuit::math::Complex::cis(t);
+        let b = qrc_circuit::math::Complex::cis(n);
+        prop_assert!(a.approx_eq(b, 1e-9));
+    }
+
+    #[test]
+    fn qasm_round_trip(qc in circuit(1..=6, 30)) {
+        let text = qrc_circuit::qasm::to_qasm(&qc);
+        let back = qrc_circuit::qasm::from_qasm(&text).unwrap();
+        prop_assert_eq!(back.num_qubits(), qc.num_qubits());
+        prop_assert_eq!(back.len(), qc.len());
+        for (a, b) in qc.iter().zip(back.iter()) {
+            prop_assert!(a.gate.approx_eq(b.gate), "{:?} vs {:?}", a.gate, b.gate);
+            prop_assert_eq!(a.qubits, b.qubits);
+        }
+    }
+
+    #[test]
+    fn features_always_normalized(qc in circuit(1..=8, 60)) {
+        let f = FeatureVector::of(&qc);
+        prop_assert!(f.is_normalized(), "out-of-range features: {:?}", f);
+    }
+
+    #[test]
+    fn depth_bounds(qc in circuit(1..=6, 40)) {
+        let d = metrics::depth(&qc);
+        prop_assert!(d <= qc.len());
+        if !qc.is_empty() {
+            prop_assert!(d >= 1);
+            // Depth at least ceil(ops / qubits): pigeonhole on layers.
+            let per_layer_cap = qc.num_qubits() as usize;
+            prop_assert!(d * per_layer_cap >= qc.len() / 3 * 1, "sanity");
+        }
+    }
+
+    #[test]
+    fn critical_depth_in_unit_interval(qc in circuit(1..=6, 40)) {
+        let cd = metrics::critical_depth(&qc);
+        prop_assert!((0.0..=1.0).contains(&cd));
+    }
+
+    #[test]
+    fn inverse_circuit_composes_to_identity_metrically(qc in circuit(1..=4, 15)) {
+        // Skip circuits containing iSWAP (no in-set inverse).
+        prop_assume!(qc.iter().all(|op| op.gate != Gate::ISwap));
+        let inv = qc.inverse().unwrap();
+        prop_assert_eq!(inv.len(), qc.len());
+        prop_assert_eq!(inv.num_gates(), qc.num_gates());
+    }
+
+    #[test]
+    fn commutation_is_symmetric(
+        qc in circuit(2..=4, 2),
+        g1 in unitary_gate(),
+        g2 in unitary_gate(),
+    ) {
+        prop_assume!(g1.num_qubits() <= 2 && g2.num_qubits() <= 2);
+        let n = qc.num_qubits();
+        prop_assume!(n >= 2);
+        let op1 = qrc_circuit::Operation::new(
+            g1,
+            &(0..g1.num_qubits() as u32).map(Qubit).collect::<Vec<_>>(),
+        );
+        let op2 = qrc_circuit::Operation::new(
+            g2,
+            &(0..g2.num_qubits() as u32).map(Qubit).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(
+            commute::ops_commute(&op1, &op2),
+            commute::ops_commute(&op2, &op1)
+        );
+    }
+
+    #[test]
+    fn embed_preserves_unitarity(g in unitary_gate(), extra in 1usize..3) {
+        let k = g.num_qubits();
+        let joint: Vec<Qubit> = (0..(k + extra) as u32).map(Qubit).collect();
+        let op_qubits: Vec<Qubit> = (0..k as u32).map(Qubit).collect();
+        let m = commute::embed(&g.matrix(), &op_qubits, &joint);
+        prop_assert!(m.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn rz_p_differ_only_by_phase(t in angle()) {
+        let rz = Gate::Rz(t).matrix();
+        let p = Gate::P(t).matrix();
+        prop_assert!(rz.approx_eq_up_to_phase(&p, 1e-9));
+    }
+
+    #[test]
+    fn u_gate_reconstructs_from_euler_angles(t in angle(), p in angle(), l in angle()) {
+        // U(θ,φ,λ) ≅ Rz(φ)·Ry(θ)·Rz(λ) up to global phase.
+        let u = Gate::U(t, p, l).matrix();
+        let prod = Gate::Rz(p)
+            .matrix()
+            .matmul(&Gate::Ry(t).matrix())
+            .matmul(&Gate::Rz(l).matrix());
+        prop_assert!(u.approx_eq_up_to_phase(&prod, 1e-9));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(g1 in unitary_gate(), g2 in unitary_gate()) {
+        prop_assume!(g1.num_qubits() + g2.num_qubits() <= 4);
+        let m = g1.matrix().kron(&g2.matrix());
+        prop_assert!(m.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn det_of_unitary_has_unit_modulus(g in unitary_gate()) {
+        prop_assume!(g.num_qubits() <= 2);
+        let d = g.matrix().det();
+        prop_assert!((d.abs() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn identity_embedding_is_identity() {
+    let joint: Vec<Qubit> = (0..3u32).map(Qubit).collect();
+    let m = commute::embed(&Gate::I.matrix(), &[Qubit(1)], &joint);
+    assert!(m.approx_eq(&CMatrix::identity(8), 1e-12));
+}

@@ -1,0 +1,241 @@
+//! The discrete action space of the compilation MDP (paper Sec. IV-A).
+//!
+//! 29 actions: 4 platform selections, 5 device selections, 1 synthesis,
+//! 3 layout methods, 4 routing methods, and 12 optimization passes drawn
+//! from both Qiskit and TKET.
+
+use qrc_device::{DeviceId, Platform};
+use qrc_passes::{layout, opt1q, opt2q, routing, synthesis, Pass};
+use serde::{Deserialize, Serialize};
+
+/// The three layout methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayoutMethod {
+    /// Qiskit `TrivialLayout`.
+    Trivial,
+    /// Qiskit `DenseLayout`.
+    Dense,
+    /// Qiskit `SabreLayout`.
+    Sabre,
+}
+
+/// The four routing methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingMethod {
+    /// Qiskit `BasicSwap`.
+    Basic,
+    /// Qiskit `StochasticSwap`.
+    Stochastic,
+    /// Qiskit `SabreSwap`.
+    Sabre,
+    /// TKET `RoutingPass` (with BRIDGE support).
+    Tket,
+}
+
+/// The twelve optimization passes, in the paper's listing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptPass {
+    /// Qiskit `Optimize1qGatesDecomposition`.
+    Optimize1qGates,
+    /// Qiskit `CXCancellation`.
+    CxCancellation,
+    /// Qiskit `CommutativeCancellation`.
+    CommutativeCancellation,
+    /// Qiskit `CommutativeInverseCancellation`.
+    CommutativeInverseCancellation,
+    /// Qiskit `RemoveDiagonalGatesBeforeMeasure`.
+    RemoveDiagonalGatesBeforeMeasure,
+    /// Qiskit `InverseCancellation`.
+    InverseCancellation,
+    /// Qiskit `OptimizeCliffords`.
+    OptimizeCliffords,
+    /// Qiskit `Collect2qBlocks` + `ConsolidateBlocks`.
+    ConsolidateBlocks,
+    /// TKET `PeepholeOptimise2Q`.
+    PeepholeOptimise2Q,
+    /// TKET `CliffordSimp`.
+    CliffordSimp,
+    /// TKET `FullPeepholeOptimise`.
+    FullPeepholeOptimise,
+    /// TKET `RemoveRedundancies`.
+    RemoveRedundancies,
+}
+
+impl OptPass {
+    /// All optimization passes.
+    pub const ALL: [OptPass; 12] = [
+        OptPass::Optimize1qGates,
+        OptPass::CxCancellation,
+        OptPass::CommutativeCancellation,
+        OptPass::CommutativeInverseCancellation,
+        OptPass::RemoveDiagonalGatesBeforeMeasure,
+        OptPass::InverseCancellation,
+        OptPass::OptimizeCliffords,
+        OptPass::ConsolidateBlocks,
+        OptPass::PeepholeOptimise2Q,
+        OptPass::CliffordSimp,
+        OptPass::FullPeepholeOptimise,
+        OptPass::RemoveRedundancies,
+    ];
+
+    /// Instantiates the underlying pass object.
+    pub fn to_pass(self) -> Box<dyn Pass> {
+        match self {
+            OptPass::Optimize1qGates => Box::new(opt1q::Optimize1qGates),
+            OptPass::CxCancellation => Box::new(opt1q::CxCancellation),
+            OptPass::CommutativeCancellation => Box::new(opt1q::CommutativeCancellation),
+            OptPass::CommutativeInverseCancellation => {
+                Box::new(opt1q::CommutativeInverseCancellation)
+            }
+            OptPass::RemoveDiagonalGatesBeforeMeasure => {
+                Box::new(opt1q::RemoveDiagonalGatesBeforeMeasure)
+            }
+            OptPass::InverseCancellation => Box::new(opt1q::InverseCancellation),
+            OptPass::OptimizeCliffords => Box::new(opt2q::OptimizeCliffords),
+            OptPass::ConsolidateBlocks => Box::new(opt2q::ConsolidateBlocks),
+            OptPass::PeepholeOptimise2Q => Box::new(opt2q::PeepholeOptimise2Q),
+            OptPass::CliffordSimp => Box::new(opt2q::CliffordSimp),
+            OptPass::FullPeepholeOptimise => Box::new(opt2q::FullPeepholeOptimise),
+            OptPass::RemoveRedundancies => Box::new(opt1q::RemoveRedundancies),
+        }
+    }
+}
+
+/// One action of the compilation MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Choose a hardware platform (fixes the native gate set).
+    SelectPlatform(Platform),
+    /// Choose a device of the selected platform (fixes qubits/topology).
+    SelectDevice(DeviceId),
+    /// Qiskit `BasisTranslator` to the platform's native gates.
+    Synthesize,
+    /// Apply an initial layout.
+    Layout(LayoutMethod),
+    /// Route to satisfy the coupling constraints.
+    Route(RoutingMethod),
+    /// A device-independent or device-dependent optimization pass.
+    Optimize(OptPass),
+}
+
+impl Action {
+    /// The full action list, in a fixed canonical order
+    /// (platforms, devices, synthesis, layouts, routings, optimizations).
+    pub fn all() -> Vec<Action> {
+        let mut v = Vec::with_capacity(29);
+        for p in Platform::ALL {
+            v.push(Action::SelectPlatform(p));
+        }
+        for d in DeviceId::ALL {
+            v.push(Action::SelectDevice(d));
+        }
+        v.push(Action::Synthesize);
+        for l in [LayoutMethod::Trivial, LayoutMethod::Dense, LayoutMethod::Sabre] {
+            v.push(Action::Layout(l));
+        }
+        for r in [
+            RoutingMethod::Basic,
+            RoutingMethod::Stochastic,
+            RoutingMethod::Sabre,
+            RoutingMethod::Tket,
+        ] {
+            v.push(Action::Route(r));
+        }
+        for o in OptPass::ALL {
+            v.push(Action::Optimize(o));
+        }
+        v
+    }
+
+    /// Number of actions in [`Action::all`].
+    pub const COUNT: usize = 29;
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Action::SelectPlatform(p) => format!("platform:{p}"),
+            Action::SelectDevice(d) => format!("device:{d}"),
+            Action::Synthesize => "synthesize".to_string(),
+            Action::Layout(LayoutMethod::Trivial) => "layout:trivial".into(),
+            Action::Layout(LayoutMethod::Dense) => "layout:dense".into(),
+            Action::Layout(LayoutMethod::Sabre) => "layout:sabre".into(),
+            Action::Route(RoutingMethod::Basic) => "route:basic".into(),
+            Action::Route(RoutingMethod::Stochastic) => "route:stochastic".into(),
+            Action::Route(RoutingMethod::Sabre) => "route:sabre".into(),
+            Action::Route(RoutingMethod::Tket) => "route:tket".into(),
+            Action::Optimize(o) => format!("opt:{}", o.to_pass().name()),
+        }
+    }
+
+    /// Instantiates pass objects for the structural actions.
+    pub(crate) fn layout_pass(method: LayoutMethod) -> Box<dyn Pass> {
+        match method {
+            LayoutMethod::Trivial => Box::new(layout::TrivialLayout),
+            LayoutMethod::Dense => Box::new(layout::DenseLayout),
+            LayoutMethod::Sabre => Box::new(layout::SabreLayout::default()),
+        }
+    }
+
+    /// Instantiates pass objects for the routing actions.
+    pub(crate) fn routing_pass(method: RoutingMethod) -> Box<dyn Pass> {
+        match method {
+            RoutingMethod::Basic => Box::new(routing::BasicSwap),
+            RoutingMethod::Stochastic => Box::new(routing::StochasticSwap::default()),
+            RoutingMethod::Sabre => Box::new(routing::SabreSwap::default()),
+            RoutingMethod::Tket => Box::new(routing::TketRouting::default()),
+        }
+    }
+
+    /// The synthesis pass object.
+    pub(crate) fn synthesis_pass() -> Box<dyn Pass> {
+        Box::new(synthesis::BasisTranslator)
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_count_matches_paper_structure() {
+        let all = Action::all();
+        assert_eq!(all.len(), Action::COUNT);
+        let platforms = all
+            .iter()
+            .filter(|a| matches!(a, Action::SelectPlatform(_)))
+            .count();
+        let devices = all
+            .iter()
+            .filter(|a| matches!(a, Action::SelectDevice(_)))
+            .count();
+        let opts = all
+            .iter()
+            .filter(|a| matches!(a, Action::Optimize(_)))
+            .count();
+        assert_eq!(platforms, 4);
+        assert_eq!(devices, 5);
+        assert_eq!(opts, 12);
+    }
+
+    #[test]
+    fn action_names_are_unique() {
+        let all = Action::all();
+        let names: std::collections::BTreeSet<String> =
+            all.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn every_opt_pass_instantiates() {
+        for o in OptPass::ALL {
+            let p = o.to_pass();
+            assert!(!p.name().is_empty());
+        }
+    }
+}

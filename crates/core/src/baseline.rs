@@ -1,0 +1,162 @@
+//! Baseline compilers: fixed pass pipelines emulating Qiskit's `O3` and
+//! TKET's `O2` flows, targeting a specific device (the paper compiles all
+//! baselines to `ibmq_washington` with these levels).
+
+use crate::action::{Action, LayoutMethod, OptPass, RoutingMethod};
+use crate::flow::{CompilationFlow, FlowError};
+use qrc_circuit::QuantumCircuit;
+use qrc_device::DeviceId;
+
+/// Which baseline pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Qiskit `optimization_level=3`-style flow (SABRE mapping, 2q-block
+    /// consolidation, commutative cancellation).
+    QiskitO3,
+    /// TKET `optimisation_level=2`-style flow (FullPeepholeOptimise,
+    /// BRIDGE-aware routing, Clifford simplification).
+    TketO2,
+}
+
+impl Baseline {
+    /// Name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Baseline::QiskitO3 => "qiskit_o3",
+            Baseline::TketO2 => "tket_o2",
+        }
+    }
+
+    /// The action sequence of the pipeline (after device selection).
+    fn actions(self) -> Vec<Action> {
+        match self {
+            Baseline::QiskitO3 => vec![
+                // Unroll to native gates, SABRE mapping, then the O3
+                // optimization loop.
+                Action::Synthesize,
+                Action::Layout(LayoutMethod::Sabre),
+                Action::Route(RoutingMethod::Sabre),
+                Action::Synthesize,
+                Action::Optimize(OptPass::ConsolidateBlocks),
+                Action::Synthesize,
+                Action::Optimize(OptPass::Optimize1qGates),
+                Action::Optimize(OptPass::CommutativeCancellation),
+                Action::Synthesize,
+                Action::Optimize(OptPass::Optimize1qGates),
+                Action::Optimize(OptPass::RemoveDiagonalGatesBeforeMeasure),
+            ],
+            Baseline::TketO2 => vec![
+                Action::Optimize(OptPass::FullPeepholeOptimise),
+                Action::Synthesize,
+                Action::Layout(LayoutMethod::Dense),
+                Action::Route(RoutingMethod::Tket),
+                Action::Synthesize,
+                Action::Optimize(OptPass::CliffordSimp),
+                Action::Synthesize,
+                Action::Optimize(OptPass::Optimize1qGates),
+                Action::Optimize(OptPass::RemoveRedundancies),
+                Action::Synthesize,
+            ],
+        }
+    }
+
+    /// Compiles `circuit` for `device`, returning the executable circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] if the device is too small for the circuit.
+    pub fn compile(
+        self,
+        circuit: &QuantumCircuit,
+        device: DeviceId,
+        seed: u64,
+    ) -> Result<QuantumCircuit, FlowError> {
+        let mut flow = CompilationFlow::new(circuit.clone(), seed);
+        flow.apply(Action::SelectPlatform(device.platform()))?;
+        flow.apply(Action::SelectDevice(device))?;
+        for action in self.actions() {
+            if flow.is_done() {
+                break;
+            }
+            if flow.is_legal(action) {
+                flow.apply(action)?;
+            }
+        }
+        // Safety net: ensure executability even if the fixed pipeline
+        // finished early (it always should be done by here).
+        if !flow.is_done() {
+            for action in [
+                Action::Synthesize,
+                Action::Layout(LayoutMethod::Trivial),
+                Action::Route(RoutingMethod::Basic),
+                Action::Synthesize,
+            ] {
+                if flow.is_done() {
+                    break;
+                }
+                if flow.is_legal(action) {
+                    flow.apply(action)?;
+                }
+            }
+        }
+        Ok(flow.into_circuit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_benchgen::BenchmarkFamily;
+    use qrc_device::Device;
+
+    #[test]
+    fn baselines_produce_executable_circuits() {
+        let dev = Device::get(DeviceId::IbmqWashington);
+        for family in [
+            BenchmarkFamily::Ghz,
+            BenchmarkFamily::Qft,
+            BenchmarkFamily::Qaoa,
+            BenchmarkFamily::WState,
+        ] {
+            let qc = family.generate(5);
+            for baseline in [Baseline::QiskitO3, Baseline::TketO2] {
+                let out = baseline.compile(&qc, DeviceId::IbmqWashington, 3).unwrap();
+                assert!(
+                    dev.check_executable(&out),
+                    "{} left {} non-executable: {:?}",
+                    baseline.name(),
+                    qc.name(),
+                    out.count_ops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let qc = BenchmarkFamily::Qft.generate(4);
+        for b in [Baseline::QiskitO3, Baseline::TketO2] {
+            let a = b.compile(&qc, DeviceId::IbmqWashington, 9).unwrap();
+            let c = b.compile(&qc, DeviceId::IbmqWashington, 9).unwrap();
+            assert_eq!(a, c, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn baselines_work_on_small_devices() {
+        let qc = BenchmarkFamily::Ghz.generate(4);
+        let dev = Device::get(DeviceId::OqcLucy);
+        for b in [Baseline::QiskitO3, Baseline::TketO2] {
+            let out = b.compile(&qc, DeviceId::OqcLucy, 1).unwrap();
+            assert!(dev.check_executable(&out), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn too_wide_circuit_errors() {
+        let qc = BenchmarkFamily::Ghz.generate(10);
+        assert!(Baseline::QiskitO3
+            .compile(&qc, DeviceId::OqcLucy, 0)
+            .is_err());
+    }
+}

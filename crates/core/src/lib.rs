@@ -1,0 +1,53 @@
+//! # qrc-predictor
+//!
+//! The paper's contribution: quantum circuit compilation modeled as a
+//! Markov Decision Process and optimized with reinforcement learning.
+//!
+//! * [`Action`] — the 29 discrete actions (platform/device selection,
+//!   synthesis, 3 layouts, 4 routings, 12 Qiskit/TKET optimizations),
+//! * [`CompilationFlow`] — the Fig. 2 state machine with constraint
+//!   checking and legality masks,
+//! * [`CompilationEnv`] — the Gym-style RL environment (7 circuit
+//!   features + progress encoding as observations, sparse terminal
+//!   reward),
+//! * [`RewardKind`] — expected fidelity, critical depth, combination,
+//! * [`Baseline`] — Qiskit-O3-like and TKET-O2-like reference pipelines,
+//! * [`train`] / [`TrainedPredictor`] — PPO training and greedy-rollout
+//!   compilation.
+//!
+//! # Examples
+//!
+//! Compiling with a baseline:
+//!
+//! ```
+//! use qrc_predictor::Baseline;
+//! use qrc_benchgen::BenchmarkFamily;
+//! use qrc_device::{Device, DeviceId};
+//!
+//! let qc = BenchmarkFamily::Ghz.generate(4);
+//! let compiled = Baseline::QiskitO3
+//!     .compile(&qc, DeviceId::IbmqWashington, 0)
+//!     .unwrap();
+//! assert!(Device::get(DeviceId::IbmqWashington).check_executable(&compiled));
+//! ```
+
+#![warn(missing_docs)]
+
+mod action;
+mod baseline;
+mod env;
+mod flow;
+mod predictor;
+mod reward;
+
+pub use action::{Action, LayoutMethod, OptPass, RoutingMethod};
+pub use baseline::Baseline;
+pub use env::{
+    observation_of, CompilationEnv, InvalidActionMode, ObservationMode, MAX_EPISODE_STEPS,
+    OBS_DIM,
+};
+pub use flow::{CompilationFlow, FlowError, FlowState};
+pub use predictor::{
+    train, train_with_progress, CompilationOutcome, PredictorConfig, TrainedPredictor,
+};
+pub use reward::RewardKind;

@@ -1,0 +1,113 @@
+//! The three reward functions of the paper (Sec. IV-A).
+
+use qrc_circuit::{metrics, QuantumCircuit};
+use qrc_device::{expected_fidelity, Device};
+use serde::{Deserialize, Serialize};
+
+/// Which quality metric the sparse final reward pays out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// Estimated success probability from calibration data (1 = perfect).
+    ExpectedFidelity,
+    /// `1 − critical_depth`: penalizes serial two-qubit chains.
+    CriticalDepth,
+    /// The mean of the other two.
+    Combination,
+}
+
+impl RewardKind {
+    /// The three reward functions in the paper's order.
+    pub const ALL: [RewardKind; 3] = [
+        RewardKind::ExpectedFidelity,
+        RewardKind::CriticalDepth,
+        RewardKind::Combination,
+    ];
+
+    /// A short stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RewardKind::ExpectedFidelity => "fidelity",
+            RewardKind::CriticalDepth => "critical_depth",
+            RewardKind::Combination => "combination",
+        }
+    }
+
+    /// Evaluates the metric for an *executable* circuit on `device`.
+    /// Returns a value in `[0, 1]`; non-executable circuits score 0.
+    pub fn evaluate(self, circuit: &QuantumCircuit, device: &Device) -> f64 {
+        if !device.check_executable(circuit) {
+            return 0.0;
+        }
+        match self {
+            RewardKind::ExpectedFidelity => expected_fidelity(circuit, device),
+            RewardKind::CriticalDepth => 1.0 - metrics::critical_depth(circuit),
+            RewardKind::Combination => {
+                (expected_fidelity(circuit, device)
+                    + (1.0 - metrics::critical_depth(circuit)))
+                    / 2.0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RewardKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_device::DeviceId;
+
+    #[test]
+    fn rewards_are_in_unit_interval() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut qc = QuantumCircuit::new(3);
+        qc.rz(0.3, 0).sx(0).cx(0, 1).cx(1, 2).measure_all();
+        for kind in RewardKind::ALL {
+            let r = kind.evaluate(&qc, &dev);
+            assert!((0.0..=1.0).contains(&r), "{kind}: {r}");
+        }
+        // A fully serial CX chain scores exactly 0 on critical depth…
+        assert_eq!(RewardKind::CriticalDepth.evaluate(&qc, &dev), 0.0);
+        // …while fidelity is strictly positive for an executable circuit.
+        assert!(RewardKind::ExpectedFidelity.evaluate(&qc, &dev) > 0.0);
+    }
+
+    #[test]
+    fn non_executable_scores_zero() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0); // not native
+        for kind in RewardKind::ALL {
+            assert_eq!(kind.evaluate(&qc, &dev), 0.0);
+        }
+    }
+
+    #[test]
+    fn combination_is_mean() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 1).rz(0.2, 1).cx(1, 2);
+        let f = RewardKind::ExpectedFidelity.evaluate(&qc, &dev);
+        let c = RewardKind::CriticalDepth.evaluate(&qc, &dev);
+        let m = RewardKind::Combination.evaluate(&qc, &dev);
+        assert!((m - (f + c) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_depth_rewards_parallelism() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        // Serial CX chain: critical depth 1 → reward 0.
+        let mut serial = QuantumCircuit::new(3);
+        serial.cx(0, 1).cx(1, 2);
+        // Parallel CXs on disjoint coupled pairs (montreal edges (0,1),(2,3)).
+        let mut parallel = QuantumCircuit::new(4);
+        parallel.cx(0, 1).cx(2, 3);
+        let rs = RewardKind::CriticalDepth.evaluate(&serial, &dev);
+        let rp = RewardKind::CriticalDepth.evaluate(&parallel, &dev);
+        assert!(rp > rs, "parallel {rp} vs serial {rs}");
+    }
+}

@@ -1,0 +1,288 @@
+//! The five target devices of the paper's action set.
+
+use crate::calibration::{Calibration, ErrorProfile};
+use crate::gateset::{NativeGateSet, Platform};
+use crate::topology::CouplingMap;
+use qrc_circuit::{Gate, QuantumCircuit};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the supported devices (paper Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// IBM `ibmq_montreal`, 27 qubits, heavy-hex.
+    IbmqMontreal,
+    /// IBM `ibmq_washington`, 127 qubits, heavy-hex.
+    IbmqWashington,
+    /// Rigetti `Aspen-M-2`, 80 qubits, octagonal lattice.
+    RigettiAspenM2,
+    /// IonQ `Harmony`, 11 qubits, all-to-all.
+    IonqHarmony,
+    /// OQC `Lucy`, 8 qubits, ring.
+    OqcLucy,
+}
+
+impl DeviceId {
+    /// Every device, in the paper's order.
+    pub const ALL: [DeviceId; 5] = [
+        DeviceId::IbmqMontreal,
+        DeviceId::IbmqWashington,
+        DeviceId::RigettiAspenM2,
+        DeviceId::IonqHarmony,
+        DeviceId::OqcLucy,
+    ];
+
+    /// The canonical device name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DeviceId::IbmqMontreal => "ibmq_montreal",
+            DeviceId::IbmqWashington => "ibmq_washington",
+            DeviceId::RigettiAspenM2 => "rigetti_aspen_m2",
+            DeviceId::IonqHarmony => "ionq_harmony",
+            DeviceId::OqcLucy => "oqc_lucy",
+        }
+    }
+
+    /// The platform the device belongs to.
+    pub const fn platform(self) -> Platform {
+        match self {
+            DeviceId::IbmqMontreal | DeviceId::IbmqWashington => Platform::Ibm,
+            DeviceId::RigettiAspenM2 => Platform::Rigetti,
+            DeviceId::IonqHarmony => Platform::Ionq,
+            DeviceId::OqcLucy => Platform::Oqc,
+        }
+    }
+
+    /// Devices offered by `platform`.
+    pub fn of_platform(platform: Platform) -> Vec<DeviceId> {
+        DeviceId::ALL
+            .into_iter()
+            .filter(|d| d.platform() == platform)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified target device: topology, native gates, calibration.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_device::{Device, DeviceId};
+///
+/// let dev = Device::get(DeviceId::IbmqMontreal);
+/// assert_eq!(dev.num_qubits(), 27);
+/// assert!(dev.coupling().is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    coupling: CouplingMap,
+    calibration: Calibration,
+}
+
+impl Device {
+    /// Constructs the model of a device (topology + synthetic calibration).
+    pub fn get(id: DeviceId) -> Device {
+        let coupling = match id {
+            DeviceId::IbmqMontreal => CouplingMap::ibm_falcon_27(),
+            DeviceId::IbmqWashington => CouplingMap::heavy_hex(7, 15),
+            DeviceId::RigettiAspenM2 => CouplingMap::octagonal(2, 5),
+            DeviceId::IonqHarmony => CouplingMap::all_to_all(11),
+            DeviceId::OqcLucy => CouplingMap::ring(8),
+        };
+        let profile = match id.platform() {
+            Platform::Ibm => ErrorProfile::SUPERCONDUCTING,
+            Platform::Rigetti => ErrorProfile::SUPERCONDUCTING_RIGETTI,
+            Platform::Ionq => ErrorProfile::TRAPPED_ION,
+            Platform::Oqc => ErrorProfile::SUPERCONDUCTING_OQC,
+        };
+        let calibration = Calibration::synthetic(id.name(), &coupling, profile);
+        Device {
+            id,
+            coupling,
+            calibration,
+        }
+    }
+
+    /// All five devices.
+    pub fn all() -> Vec<Device> {
+        DeviceId::ALL.into_iter().map(Device::get).collect()
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device name.
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+
+    /// The platform family.
+    pub fn platform(&self) -> Platform {
+        self.id.platform()
+    }
+
+    /// The native gate set.
+    pub fn native_gates(&self) -> NativeGateSet {
+        self.platform().native_gates()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.coupling.num_qubits()
+    }
+
+    /// The connectivity graph.
+    pub fn coupling(&self) -> &CouplingMap {
+        &self.coupling
+    }
+
+    /// The calibration data.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Condition 1 of the paper's MDP: does `circuit` use only gates native
+    /// to this device's platform?
+    pub fn check_native_gates(&self, circuit: &QuantumCircuit) -> bool {
+        let gates = self.native_gates();
+        circuit.iter().all(|op| gates.contains(op.gate))
+    }
+
+    /// Condition 2 of the paper's MDP: does `circuit` fit the device
+    /// (width within the qubit count, every two-qubit gate on a coupled
+    /// pair, no ≥ 3-qubit gates)?
+    pub fn check_connectivity(&self, circuit: &QuantumCircuit) -> bool {
+        if circuit.num_qubits() > self.num_qubits() {
+            return false;
+        }
+        circuit.iter().all(|op| {
+            if !op.gate.is_unitary() {
+                return true;
+            }
+            match op.qubits.len() {
+                1 => true,
+                2 => self
+                    .coupling
+                    .are_connected(op.qubits[0].0, op.qubits[1].0),
+                _ => false,
+            }
+        })
+    }
+
+    /// Both executability conditions: native gates *and* connectivity.
+    pub fn check_executable(&self, circuit: &QuantumCircuit) -> bool {
+        self.check_native_gates(circuit) && self.check_connectivity(circuit)
+    }
+
+    /// The error rate incurred by one operation on this device, or `None`
+    /// for directives/barriers and gates the device cannot execute at all.
+    pub fn operation_error(&self, op: &qrc_circuit::Operation) -> Option<f64> {
+        match op.gate {
+            Gate::Barrier => Some(0.0),
+            Gate::Measure => Some(self.calibration.readout_error[op.qubits[0].index()]),
+            g if g.num_qubits() == 1 => {
+                Some(self.calibration.single_qubit_error[op.qubits[0].index()])
+            }
+            g if g.num_qubits() == 2 => self
+                .calibration
+                .two_qubit_error_on(op.qubits[0].0, op.qubits[1].0),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_qubit_counts() {
+        assert_eq!(Device::get(DeviceId::IbmqMontreal).num_qubits(), 27);
+        assert_eq!(Device::get(DeviceId::IbmqWashington).num_qubits(), 127);
+        assert_eq!(Device::get(DeviceId::RigettiAspenM2).num_qubits(), 80);
+        assert_eq!(Device::get(DeviceId::IonqHarmony).num_qubits(), 11);
+        assert_eq!(Device::get(DeviceId::OqcLucy).num_qubits(), 8);
+    }
+
+    #[test]
+    fn all_devices_are_connected_graphs() {
+        for dev in Device::all() {
+            assert!(dev.coupling().is_connected(), "{}", dev.name());
+        }
+    }
+
+    #[test]
+    fn device_construction_is_deterministic() {
+        let a = Device::get(DeviceId::OqcLucy);
+        let b = Device::get(DeviceId::OqcLucy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn platform_device_listing() {
+        assert_eq!(
+            DeviceId::of_platform(Platform::Ibm),
+            vec![DeviceId::IbmqMontreal, DeviceId::IbmqWashington]
+        );
+        assert_eq!(DeviceId::of_platform(Platform::Ionq), vec![DeviceId::IonqHarmony]);
+    }
+
+    #[test]
+    fn native_gate_check() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut native = QuantumCircuit::new(2);
+        native.rz(0.4, 0).sx(0).cx(0, 1).measure_all();
+        assert!(dev.check_native_gates(&native));
+        let mut non_native = QuantumCircuit::new(2);
+        non_native.h(0);
+        assert!(!dev.check_native_gates(&non_native));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let dev = Device::get(DeviceId::OqcLucy); // ring of 8
+        let mut ok = QuantumCircuit::new(8);
+        ok.cx(0, 1).cx(7, 0);
+        assert!(dev.check_connectivity(&ok));
+        let mut bad = QuantumCircuit::new(8);
+        bad.cx(0, 4);
+        assert!(!dev.check_connectivity(&bad));
+        // Width overflow.
+        let wide = QuantumCircuit::new(9);
+        assert!(!dev.check_connectivity(&wide));
+        // Three-qubit gates are never executable.
+        let mut ccx = QuantumCircuit::new(8);
+        ccx.ccx(0, 1, 2);
+        assert!(!dev.check_connectivity(&ccx));
+    }
+
+    #[test]
+    fn ionq_accepts_any_pair() {
+        let dev = Device::get(DeviceId::IonqHarmony);
+        let mut qc = QuantumCircuit::new(11);
+        qc.rxx(0.5, 0, 10).rxx(0.5, 3, 7);
+        assert!(dev.check_connectivity(&qc));
+        assert!(dev.check_native_gates(&qc));
+        assert!(dev.check_executable(&qc));
+    }
+
+    #[test]
+    fn operation_error_lookup() {
+        let dev = Device::get(DeviceId::OqcLucy);
+        let mut qc = QuantumCircuit::new(8);
+        qc.x(0).cx(0, 1).cx(0, 4).measure(0);
+        let ops = qc.ops();
+        assert!(dev.operation_error(&ops[0]).unwrap() > 0.0);
+        assert!(dev.operation_error(&ops[1]).unwrap() > 0.0);
+        assert!(dev.operation_error(&ops[2]).is_none(), "uncoupled pair");
+        assert!(dev.operation_error(&ops[3]).unwrap() > 0.0);
+    }
+}

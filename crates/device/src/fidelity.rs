@@ -1,0 +1,145 @@
+//! Expected-fidelity estimation (the paper's first reward function).
+//!
+//! The *expected fidelity* — also called Estimated Success Probability
+//! (ESP) — of a compiled circuit is the product of the success
+//! probabilities of its operations:
+//!
+//! ```text
+//! F = Π_g (1 − ε_g) · Π_m (1 − ε_ro(m))
+//! ```
+//!
+//! where `ε_g` is the calibration error of each gate on the qubits it runs
+//! on and `ε_ro` the readout error of each measured qubit. `F = 1` means an
+//! error-free result; `F = 0` a certainly-wrong one.
+
+use crate::device::Device;
+use qrc_circuit::QuantumCircuit;
+
+/// Expected fidelity of `circuit` on `device`.
+///
+/// Returns `0.0` when the circuit is not executable on the device (wrong
+/// basis gates, uncoupled qubit pairs, or too wide) — matching the sparse
+/// reward of the paper's MDP, which only pays off in the *Done* state.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::QuantumCircuit;
+/// use qrc_device::{expected_fidelity, Device, DeviceId};
+///
+/// let dev = Device::get(DeviceId::IbmqMontreal);
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.rz(0.5, 0).sx(0).cx(0, 1).measure_all();
+/// let f = expected_fidelity(&qc, &dev);
+/// assert!(f > 0.9 && f < 1.0);
+/// ```
+pub fn expected_fidelity(circuit: &QuantumCircuit, device: &Device) -> f64 {
+    if !device.check_executable(circuit) {
+        return 0.0;
+    }
+    let mut fidelity = 1.0;
+    for op in circuit.iter() {
+        match device.operation_error(op) {
+            Some(err) => fidelity *= 1.0 - err,
+            None => return 0.0,
+        }
+    }
+    fidelity
+}
+
+/// Expected fidelity ignoring executability (useful to score *hypothetical*
+/// gains during compilation): non-native gates are priced as if they were
+/// native, uncoupled two-qubit gates at the device's worst two-qubit error.
+pub fn optimistic_fidelity(circuit: &QuantumCircuit, device: &Device) -> f64 {
+    let worst_2q = device.calibration().worst_two_qubit_error();
+    let mut fidelity: f64 = 1.0;
+    for op in circuit.iter() {
+        let err = device
+            .operation_error(op)
+            .unwrap_or(if op.gate.num_qubits() >= 2 { worst_2q } else { 0.0 });
+        fidelity *= 1.0 - err;
+    }
+    fidelity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    #[test]
+    fn empty_circuit_has_unit_fidelity() {
+        let dev = Device::get(DeviceId::OqcLucy);
+        let qc = QuantumCircuit::new(2);
+        assert_eq!(expected_fidelity(&qc, &dev), 1.0);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_gates() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut short = QuantumCircuit::new(2);
+        short.rz(0.1, 0).cx(0, 1);
+        let mut long = short.clone();
+        for _ in 0..10 {
+            long.cx(0, 1);
+        }
+        let fs = expected_fidelity(&short, &dev);
+        let fl = expected_fidelity(&long, &dev);
+        assert!(fs > fl, "{fs} vs {fl}");
+        assert!(fl > 0.0);
+    }
+
+    #[test]
+    fn non_executable_scores_zero() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut h = QuantumCircuit::new(1);
+        h.h(0); // H is not IBM-native
+        assert_eq!(expected_fidelity(&h, &dev), 0.0);
+        let mut far = QuantumCircuit::new(27);
+        far.cx(0, 26); // not coupled
+        assert_eq!(expected_fidelity(&far, &dev), 0.0);
+    }
+
+    #[test]
+    fn readout_errors_count() {
+        let dev = Device::get(DeviceId::IbmqMontreal);
+        let mut bare = QuantumCircuit::new(1);
+        bare.x(0);
+        let mut measured = bare.clone();
+        measured.measure(0);
+        assert!(expected_fidelity(&measured, &dev) < expected_fidelity(&bare, &dev));
+    }
+
+    #[test]
+    fn two_qubit_gates_cost_more_than_single() {
+        let dev = Device::get(DeviceId::IbmqWashington);
+        let mut one_q = QuantumCircuit::new(2);
+        one_q.x(0);
+        let mut two_q = QuantumCircuit::new(2);
+        two_q.cx(0, 1);
+        assert!(expected_fidelity(&one_q, &dev) > expected_fidelity(&two_q, &dev));
+    }
+
+    #[test]
+    fn optimistic_never_below_strict() {
+        let dev = Device::get(DeviceId::OqcLucy);
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 2); // non-native + uncoupled
+        assert_eq!(expected_fidelity(&qc, &dev), 0.0);
+        assert!(optimistic_fidelity(&qc, &dev) > 0.0);
+    }
+
+    #[test]
+    fn fidelity_in_unit_interval() {
+        let dev = Device::get(DeviceId::IonqHarmony);
+        let mut qc = QuantumCircuit::new(5);
+        for i in 0..4 {
+            qc.rxx(0.3, i, i + 1);
+            qc.rz(0.1, i);
+        }
+        qc.measure_all();
+        let f = expected_fidelity(&qc, &dev);
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.5, "11-qubit ion device should run this well: {f}");
+    }
+}

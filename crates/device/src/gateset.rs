@@ -1,0 +1,166 @@
+//! Native gate sets of the supported platforms.
+
+use qrc_circuit::Gate;
+use serde::{Deserialize, Serialize};
+
+/// The hardware platform families from the paper's action set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Platform {
+    /// IBM superconducting devices — native set {Rz, √X, X, CX}.
+    Ibm,
+    /// Rigetti superconducting devices — native set {Rx, Rz, CZ}.
+    Rigetti,
+    /// IonQ trapped-ion devices — native set {Rx, Ry, Rz, R_XX}.
+    Ionq,
+    /// Oxford Quantum Circuits devices — native set {Rz, √X, X, ECR}.
+    Oqc,
+}
+
+impl Platform {
+    /// All platforms, in the paper's order.
+    pub const ALL: [Platform; 4] = [
+        Platform::Ibm,
+        Platform::Rigetti,
+        Platform::Ionq,
+        Platform::Oqc,
+    ];
+
+    /// Human-readable platform name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Platform::Ibm => "ibm",
+            Platform::Rigetti => "rigetti",
+            Platform::Ionq => "ionq",
+            Platform::Oqc => "oqc",
+        }
+    }
+
+    /// The native gate set of the platform.
+    pub const fn native_gates(self) -> NativeGateSet {
+        NativeGateSet { platform: self }
+    }
+
+    /// Returns `true` if all devices of this platform have full (all-to-all)
+    /// connectivity, making the mapping step unnecessary — the `*` footnote
+    /// in the paper's Fig. 2.
+    pub const fn is_fully_connected(self) -> bool {
+        matches!(self, Platform::Ionq)
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Membership test for a platform's native gates.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_device::Platform;
+/// use qrc_circuit::Gate;
+///
+/// let ibm = Platform::Ibm.native_gates();
+/// assert!(ibm.contains(Gate::Sx));
+/// assert!(ibm.contains(Gate::Rz(0.3)));
+/// assert!(!ibm.contains(Gate::H));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NativeGateSet {
+    platform: Platform,
+}
+
+impl NativeGateSet {
+    /// The platform this set belongs to.
+    pub const fn platform(self) -> Platform {
+        self.platform
+    }
+
+    /// Returns `true` if `gate` is native (measure/barrier always count).
+    pub fn contains(self, gate: Gate) -> bool {
+        if !gate.is_unitary() {
+            return true;
+        }
+        match self.platform {
+            Platform::Ibm => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Cx),
+            Platform::Rigetti => matches!(gate, Gate::Rx(_) | Gate::Rz(_) | Gate::Cz),
+            Platform::Ionq => matches!(
+                gate,
+                Gate::Rx(_) | Gate::Ry(_) | Gate::Rz(_) | Gate::Rxx(_)
+            ),
+            Platform::Oqc => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Ecr),
+        }
+    }
+
+    /// The native two-qubit entangling gate of the platform.
+    pub const fn entangling_gate_name(self) -> &'static str {
+        match self.platform {
+            Platform::Ibm => "cx",
+            Platform::Rigetti => "cz",
+            Platform::Ionq => "rxx",
+            Platform::Oqc => "ecr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibm_basis() {
+        let s = Platform::Ibm.native_gates();
+        assert!(s.contains(Gate::X));
+        assert!(s.contains(Gate::Sx));
+        assert!(s.contains(Gate::Rz(1.0)));
+        assert!(s.contains(Gate::Cx));
+        assert!(!s.contains(Gate::Cz));
+        assert!(!s.contains(Gate::T));
+        assert!(!s.contains(Gate::Rx(0.5)));
+    }
+
+    #[test]
+    fn rigetti_basis() {
+        let s = Platform::Rigetti.native_gates();
+        assert!(s.contains(Gate::Rx(0.5)));
+        assert!(s.contains(Gate::Rz(0.5)));
+        assert!(s.contains(Gate::Cz));
+        assert!(!s.contains(Gate::Cx));
+        assert!(!s.contains(Gate::Sx));
+    }
+
+    #[test]
+    fn ionq_basis() {
+        let s = Platform::Ionq.native_gates();
+        assert!(s.contains(Gate::Rxx(0.5)));
+        assert!(s.contains(Gate::Ry(0.2)));
+        assert!(!s.contains(Gate::Cx));
+        assert!(!s.contains(Gate::Cz));
+    }
+
+    #[test]
+    fn oqc_basis() {
+        let s = Platform::Oqc.native_gates();
+        assert!(s.contains(Gate::Ecr));
+        assert!(s.contains(Gate::X));
+        assert!(!s.contains(Gate::Cx));
+    }
+
+    #[test]
+    fn directives_always_native() {
+        for p in Platform::ALL {
+            assert!(p.native_gates().contains(Gate::Measure));
+            assert!(p.native_gates().contains(Gate::Barrier));
+        }
+    }
+
+    #[test]
+    fn only_ionq_is_fully_connected() {
+        assert!(Platform::Ionq.is_fully_connected());
+        assert!(!Platform::Ibm.is_fully_connected());
+        assert!(!Platform::Rigetti.is_fully_connected());
+        assert!(!Platform::Oqc.is_fully_connected());
+    }
+}

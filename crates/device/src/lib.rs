@@ -1,0 +1,39 @@
+//! # qrc-device
+//!
+//! Device models for the `mqt-predictor` workspace: the five target devices
+//! of the paper (two IBM heavy-hex chips, a Rigetti octagonal lattice, an
+//! IonQ trapped-ion machine, and an OQC ring), each with
+//!
+//! * a connectivity graph ([`CouplingMap`]),
+//! * a platform native gate set ([`NativeGateSet`]),
+//! * deterministic synthetic calibration data ([`Calibration`]) replacing
+//!   the cloud calibration APIs the paper used, and
+//! * the expected-fidelity estimator ([`expected_fidelity`]) that the RL
+//!   reward functions are built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrc_device::{Device, DeviceId, expected_fidelity};
+//! use qrc_circuit::QuantumCircuit;
+//!
+//! let dev = Device::get(DeviceId::IbmqMontreal);
+//! let mut qc = QuantumCircuit::new(2);
+//! qc.rz(1.0, 0).sx(0).cx(0, 1).measure_all();
+//! assert!(dev.check_executable(&qc));
+//! assert!(expected_fidelity(&qc, &dev) > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibration;
+mod device;
+mod fidelity;
+mod gateset;
+mod topology;
+
+pub use calibration::{Calibration, ErrorProfile};
+pub use device::{Device, DeviceId};
+pub use fidelity::{expected_fidelity, optimistic_fidelity};
+pub use gateset::{NativeGateSet, Platform};
+pub use topology::CouplingMap;

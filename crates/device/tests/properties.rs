@@ -1,0 +1,98 @@
+//! Property-based tests for topologies and the fidelity model.
+
+use proptest::prelude::*;
+use qrc_circuit::strategies::small_gate_circuit;
+use qrc_device::{expected_fidelity, optimistic_fidelity, CouplingMap, Device, DeviceId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_distances_are_manhattan(rows in 2u32..5, cols in 2u32..5) {
+        let m = CouplingMap::grid(rows, cols);
+        for a in 0..rows * cols {
+            for b in 0..rows * cols {
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                let manhattan = ra.abs_diff(rb) + ca.abs_diff(cb);
+                prop_assert_eq!(m.distance(a, b), manhattan);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distances_wrap(n in 3u32..12, a in 0u32..12, b in 0u32..12) {
+        prop_assume!(a < n && b < n);
+        let m = CouplingMap::ring(n);
+        let direct = a.abs_diff(b);
+        let expect = direct.min(n - direct);
+        prop_assert_eq!(m.distance(a, b), expect);
+    }
+
+    #[test]
+    fn shortest_paths_match_distances(n in 4u32..10, seed in 0u64..50) {
+        // Random connected graph: ring + a few chords.
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let mut s = seed;
+        for _ in 0..n / 2 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (s >> 33) as u32 % n;
+            let b = (s >> 13) as u32 % n;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let m = CouplingMap::new(n, &edges);
+        for a in 0..n {
+            for b in 0..n {
+                let p = m.shortest_path(a, b).expect("connected");
+                prop_assert_eq!(p.len() as u32, m.distance(a, b) + 1);
+                for w in p.windows(2) {
+                    prop_assert!(m.are_connected(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_monotone_under_gate_append(qc in small_gate_circuit(2..=6, 15)) {
+        // Appending one more native gate can only lower the fidelity.
+        let dev = Device::get(DeviceId::IonqHarmony);
+        let mut translated =
+            qrc_passes::synthesis::translate_to_platform(&qc, dev.platform()).unwrap();
+        let before = expected_fidelity(&translated, &dev);
+        prop_assume!(before > 0.0);
+        translated.rz(0.37, 0);
+        let after = expected_fidelity(&translated, &dev);
+        prop_assert!(after <= before + 1e-15, "{before} -> {after}");
+        prop_assert!(after > 0.0);
+    }
+
+    #[test]
+    fn optimistic_dominates_strict_fidelity(qc in small_gate_circuit(2..=5, 12)) {
+        for dev in Device::all() {
+            let strict = expected_fidelity(&qc, &dev);
+            let optimistic = optimistic_fidelity(&qc, &dev);
+            prop_assert!(optimistic >= strict - 1e-12, "{}", dev.name());
+        }
+    }
+}
+
+#[test]
+fn every_device_edge_has_calibration_and_positive_fidelity_gates() {
+    for dev in Device::all() {
+        for (a, b) in dev.coupling().edges() {
+            let err = dev
+                .calibration()
+                .two_qubit_error_on(a, b)
+                .unwrap_or_else(|| panic!("{}: edge ({a},{b}) uncalibrated", dev.name()));
+            assert!(err > 0.0 && err < 0.5, "{}: ({a},{b}) = {err}", dev.name());
+        }
+        for q in 0..dev.num_qubits() {
+            let e1 = dev.calibration().single_qubit_error[q as usize];
+            assert!(e1 > 0.0 && e1 < 0.1);
+            let ro = dev.calibration().readout_error[q as usize];
+            assert!(ro > 0.0 && ro < 0.5);
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Stabilizer (Clifford) tableau and Aaronson–Gottesman resynthesis.
+//!
+//! A Clifford operation is fully characterized by its conjugation action on
+//! the Pauli generators: row `i` of the tableau is `C·X_i·C†`, row `n+i`
+//! is `C·Z_i·C†` (each a signed Pauli). [`CliffordTableau::synthesize`]
+//! re-emits any tableau as an `{H, S, CX, CZ, SWAP, X, Z}` circuit via
+//! symplectic Gaussian elimination — the engine behind the
+//! `OptimizeCliffords` (Qiskit) and `CliffordSimp` (TKET) passes.
+
+use qrc_circuit::{Gate, Operation, QuantumCircuit, Qubit};
+
+/// One signed Pauli row of the tableau.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PauliRow {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    /// `true` means a −1 sign.
+    sign: bool,
+}
+
+impl PauliRow {
+    fn identity(n: usize) -> Self {
+        PauliRow {
+            x: vec![false; n],
+            z: vec![false; n],
+            sign: false,
+        }
+    }
+}
+
+/// A stabilizer tableau over `n` qubits (destabilizer rows then stabilizer
+/// rows, Aaronson–Gottesman style, without scratch row).
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::QuantumCircuit;
+/// use qrc_passes::clifford::CliffordTableau;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.h(0).cx(0, 1); // Bell-pair preparation
+/// let tab = CliffordTableau::from_circuit(&qc).expect("clifford circuit");
+/// let resynth = tab.synthesize();
+/// let tab2 = CliffordTableau::from_circuit(&resynth).unwrap();
+/// assert_eq!(tab, tab2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliffordTableau {
+    n: usize,
+    /// `rows[0..n]` = images of `X_i`; `rows[n..2n]` = images of `Z_i`.
+    rows: Vec<PauliRow>,
+}
+
+impl CliffordTableau {
+    /// The identity Clifford on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        let mut rows = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let mut r = PauliRow::identity(n);
+            r.x[i] = true;
+            rows.push(r);
+        }
+        for i in 0..n {
+            let mut r = PauliRow::identity(n);
+            r.z[i] = true;
+            rows.push(r);
+        }
+        CliffordTableau { n, rows }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if this is exactly the identity tableau.
+    pub fn is_identity(&self) -> bool {
+        *self == CliffordTableau::identity(self.n)
+    }
+
+    /// Builds the tableau of a circuit, or `None` if any operation is not
+    /// Clifford (measures/barriers are not Clifford operations here).
+    pub fn from_circuit(circuit: &QuantumCircuit) -> Option<Self> {
+        let mut tab = CliffordTableau::identity(circuit.num_qubits() as usize);
+        for op in circuit.iter() {
+            tab.apply_operation(op)?;
+        }
+        Some(tab)
+    }
+
+    /// Applies a Clifford gate (appending it to the underlying circuit).
+    /// Returns `None` if the gate is not Clifford.
+    pub fn apply_operation(&mut self, op: &Operation) -> Option<()> {
+        use Gate::*;
+        let q = |i: usize| op.qubits[i].index();
+        match op.gate {
+            I => {}
+            X => self.apply_x(q(0)),
+            Y => {
+                self.apply_z(q(0));
+                self.apply_x(q(0));
+            }
+            Z => self.apply_z(q(0)),
+            H => self.apply_h(q(0)),
+            S => self.apply_s(q(0)),
+            Sdg => {
+                self.apply_z(q(0));
+                self.apply_s(q(0));
+            }
+            Sx => {
+                // √X = H·S·H (exactly).
+                self.apply_h(q(0));
+                self.apply_s(q(0));
+                self.apply_h(q(0));
+            }
+            Sxdg => {
+                self.apply_h(q(0));
+                self.apply_z(q(0));
+                self.apply_s(q(0));
+                self.apply_h(q(0));
+            }
+            Cx => self.apply_cx(q(0), q(1)),
+            Cz => self.apply_cz(q(0), q(1)),
+            Cy => {
+                // CY = (S_t)·CX·(S†_t) as conjugation.
+                self.apply_z(q(1));
+                self.apply_s(q(1));
+                self.apply_cx(q(0), q(1));
+                self.apply_s(q(1));
+            }
+            Swap => self.apply_swap(q(0), q(1)),
+            ISwap => {
+                // iSWAP = S₀·S₁·H₀·CX(0,1)·CX(1,0)·H₁ (circuit order).
+                self.apply_s(q(0));
+                self.apply_s(q(1));
+                self.apply_h(q(0));
+                self.apply_cx(q(0), q(1));
+                self.apply_cx(q(1), q(0));
+                self.apply_h(q(1));
+            }
+            Ecr => {
+                // ECR(p,q) circuit order: √X_p, CX(q,p), S_q, X_q.
+                self.apply_h(q(0));
+                self.apply_s(q(0));
+                self.apply_h(q(0));
+                self.apply_cx(q(1), q(0));
+                self.apply_s(q(1));
+                self.apply_x(q(1));
+            }
+            Rx(t) | Ry(t) | Rz(t) | P(t) => {
+                let k = quarter_turns(t)?;
+                match op.gate {
+                    Rz(_) | P(_) => self.apply_rz_quarters(q(0), k),
+                    Rx(_) => {
+                        // Rx(kπ/2) = H·Rz(kπ/2)·H.
+                        self.apply_h(q(0));
+                        self.apply_rz_quarters(q(0), k);
+                        self.apply_h(q(0));
+                    }
+                    _ => {
+                        // Ry(π/2) ≅ X·H as conjugation (circuit: H then X);
+                        // apply k quarter turns.
+                        for _ in 0..k.rem_euclid(4) {
+                            self.apply_h(q(0));
+                            self.apply_x(q(0));
+                        }
+                    }
+                }
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    fn apply_rz_quarters(&mut self, q: usize, k: i64) {
+        match k.rem_euclid(4) {
+            0 => {}
+            1 => self.apply_s(q),
+            2 => self.apply_z(q),
+            _ => {
+                self.apply_z(q);
+                self.apply_s(q);
+            }
+        }
+    }
+
+    // --- primitive conjugation updates (applied to every row) ---
+
+    fn apply_h(&mut self, q: usize) {
+        for r in &mut self.rows {
+            // H: X→Z, Z→X, Y→−Y (sign flips when both bits set).
+            if r.x[q] && r.z[q] {
+                r.sign = !r.sign;
+            }
+            r.x.swap(q, q); // no-op, clarity
+            let t = r.x[q];
+            r.x[q] = r.z[q];
+            r.z[q] = t;
+        }
+    }
+
+    fn apply_s(&mut self, q: usize) {
+        for r in &mut self.rows {
+            // S: X→Y, Y→−X, Z→Z.
+            if r.x[q] && r.z[q] {
+                r.sign = !r.sign;
+            }
+            r.z[q] ^= r.x[q];
+        }
+    }
+
+    fn apply_x(&mut self, q: usize) {
+        for r in &mut self.rows {
+            // X: Z→−Z, Y→−Y.
+            if r.z[q] {
+                r.sign = !r.sign;
+            }
+        }
+    }
+
+    fn apply_z(&mut self, q: usize) {
+        for r in &mut self.rows {
+            // Z: X→−X, Y→−Y.
+            if r.x[q] {
+                r.sign = !r.sign;
+            }
+        }
+    }
+
+    fn apply_cx(&mut self, c: usize, t: usize) {
+        for r in &mut self.rows {
+            // CX: X_c→X_cX_t, Z_t→Z_cZ_t; sign flips when
+            // x_c ∧ z_t ∧ (x_t == z_c) — the Aaronson–Gottesman rule
+            // r ^= x_c·z_t·(x_t ⊕ z_c ⊕ 1).
+            if r.x[c] && r.z[t] && (r.x[t] == r.z[c]) {
+                r.sign = !r.sign;
+            }
+            r.x[t] ^= r.x[c];
+            r.z[c] ^= r.z[t];
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        // CZ = H_b · CX(a,b) · H_b.
+        self.apply_h(b);
+        self.apply_cx(a, b);
+        self.apply_h(b);
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        for r in &mut self.rows {
+            r.x.swap(a, b);
+            r.z.swap(a, b);
+        }
+    }
+
+    /// Synthesizes a circuit implementing this Clifford (up to global
+    /// phase) over `{H, S, Sdg, CX, CZ, SWAP, X, Z}` via symplectic
+    /// Gaussian elimination.
+    pub fn synthesize(&self) -> QuantumCircuit {
+        let n = self.n;
+        let mut work = self.clone();
+        // Gates that reduce `work` to the identity, in application order.
+        let mut reductions: Vec<Operation> = Vec::new();
+        let mut emit = |work: &mut CliffordTableau, gate: Gate, qs: &[usize]| {
+            let qubits: Vec<Qubit> = qs.iter().map(|&q| Qubit(q as u32)).collect();
+            let op = Operation::new(gate, &qubits);
+            work.apply_operation(&op).expect("reduction gate is clifford");
+            reductions.push(op);
+        };
+
+        for i in 0..n {
+            // --- reduce destabilizer row i to ±X_i ---
+            // Ensure an X bit at or after column i.
+            if !(i..n).any(|k| work.rows[i].x[k]) {
+                let k = (i..n)
+                    .find(|&k| work.rows[i].z[k])
+                    .expect("nonzero pauli row");
+                emit(&mut work, Gate::H, &[k]);
+            }
+            if !work.rows[i].x[i] {
+                let k = (i + 1..n).find(|&k| work.rows[i].x[k]).expect("x bit");
+                emit(&mut work, Gate::Swap, &[i, k]);
+            }
+            for k in (i + 1)..n {
+                if work.rows[i].x[k] {
+                    emit(&mut work, Gate::Cx, &[i, k]);
+                }
+            }
+            if work.rows[i].z[i] {
+                emit(&mut work, Gate::S, &[i]);
+            }
+            for k in (i + 1)..n {
+                if work.rows[i].z[k] {
+                    emit(&mut work, Gate::Cz, &[i, k]);
+                }
+            }
+            // --- reduce stabilizer row n+i to ±Z_i ---
+            // It anticommutes with X_i, so it has a Z bit at column i;
+            // conjugate by H to treat it as an X-row.
+            emit(&mut work, Gate::H, &[i]);
+            for k in (i + 1)..n {
+                if work.rows[n + i].x[k] {
+                    emit(&mut work, Gate::Cx, &[i, k]);
+                }
+            }
+            if work.rows[n + i].z[i] {
+                emit(&mut work, Gate::S, &[i]);
+            }
+            for k in (i + 1)..n {
+                if work.rows[n + i].z[k] {
+                    emit(&mut work, Gate::Cz, &[i, k]);
+                }
+            }
+            emit(&mut work, Gate::H, &[i]);
+            // --- fix signs ---
+            if work.rows[i].sign {
+                emit(&mut work, Gate::Z, &[i]);
+            }
+            if work.rows[n + i].sign {
+                emit(&mut work, Gate::X, &[i]);
+            }
+        }
+        debug_assert!(work.is_identity(), "reduction must reach identity");
+
+        // reductions · C = I  ⟹  C = reductions⁻¹ (reversed inverses).
+        let mut out = QuantumCircuit::new(n as u32);
+        for op in reductions.iter().rev() {
+            let inv = op.gate.inverse().expect("clifford gates invert");
+            out.push(Operation::new(inv, op.qubits.as_slice()))
+                .expect("in range");
+        }
+        out
+    }
+}
+
+/// Returns `k` if `theta ≈ k·π/2`, else `None`.
+fn quarter_turns(theta: f64) -> Option<i64> {
+    let k = (theta / std::f64::consts::FRAC_PI_2).round();
+    if (theta - k * std::f64::consts::FRAC_PI_2).abs() < qrc_circuit::ANGLE_TOL {
+        Some(k as i64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_sim::equiv::circuits_equivalent;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_clifford_circuit(n: u32, len: usize, rng: &mut StdRng) -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(n);
+        for _ in 0..len {
+            match rng.gen_range(0..9) {
+                0 => qc.h(rng.gen_range(0..n)),
+                1 => qc.s(rng.gen_range(0..n)),
+                2 => qc.sdg(rng.gen_range(0..n)),
+                3 => qc.x(rng.gen_range(0..n)),
+                4 => qc.z(rng.gen_range(0..n)),
+                5 => qc.sx(rng.gen_range(0..n)),
+                6 => qc.y(rng.gen_range(0..n)),
+                _ => {
+                    if n >= 2 {
+                        let a = rng.gen_range(0..n);
+                        let mut b = rng.gen_range(0..n);
+                        while b == a {
+                            b = rng.gen_range(0..n);
+                        }
+                        if rng.gen_bool(0.5) {
+                            qc.cx(a, b)
+                        } else {
+                            qc.cz(a, b)
+                        }
+                    } else {
+                        qc.h(0)
+                    }
+                }
+            };
+        }
+        qc
+    }
+
+    #[test]
+    fn identity_tableau_synthesizes_empty() {
+        let tab = CliffordTableau::identity(3);
+        assert!(tab.is_identity());
+        let qc = tab.synthesize();
+        // All reduction steps may add H·H pairs; equivalence is what
+        // counts, but for the exact identity we expect no 2q gates.
+        assert_eq!(qc.num_two_qubit_gates(), 0);
+        let id = QuantumCircuit::new(3);
+        assert!(circuits_equivalent(&qc, &id, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn non_clifford_rejected() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.t(0);
+        assert!(CliffordTableau::from_circuit(&qc).is_none());
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0.3, 0);
+        assert!(CliffordTableau::from_circuit(&qc).is_none());
+        // Clifford-angle rotations accepted.
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(std::f64::consts::FRAC_PI_2, 0);
+        assert!(CliffordTableau::from_circuit(&qc).is_some());
+    }
+
+    #[test]
+    fn tableau_matches_unitary_conjugation_for_basic_gates() {
+        // For each gate, tableau-of-circuit == tableau built through the
+        // synthesized circuit, and unitary equivalence holds.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let qc = random_clifford_circuit(3, 15, &mut rng);
+            let tab = CliffordTableau::from_circuit(&qc).unwrap();
+            let synth = tab.synthesize();
+            let tab2 = CliffordTableau::from_circuit(&synth).unwrap();
+            assert_eq!(tab, tab2, "tableau mismatch for {qc}");
+            assert!(
+                circuits_equivalent(&qc, &synth, 1e-8).unwrap(),
+                "unitary mismatch for {qc}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_of_larger_cliffords() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let qc = random_clifford_circuit(6, 80, &mut rng);
+            let tab = CliffordTableau::from_circuit(&qc).unwrap();
+            let synth = tab.synthesize();
+            assert_eq!(tab, CliffordTableau::from_circuit(&synth).unwrap());
+            assert!(circuits_equivalent(&qc, &synth, 1e-7).unwrap());
+        }
+    }
+
+    #[test]
+    fn synthesis_compresses_redundant_circuits() {
+        // A long circuit that is actually the identity.
+        let mut qc = QuantumCircuit::new(3);
+        for _ in 0..10 {
+            qc.h(0).h(0).cx(0, 1).cx(0, 1).s(2).sdg(2);
+        }
+        let tab = CliffordTableau::from_circuit(&qc).unwrap();
+        assert!(tab.is_identity());
+        let synth = tab.synthesize();
+        assert_eq!(synth.num_two_qubit_gates(), 0);
+    }
+
+    #[test]
+    fn ecr_and_iswap_tableaus_are_correct() {
+        for gate in [Gate::Ecr, Gate::ISwap, Gate::Cy, Gate::Sxdg] {
+            let mut qc = QuantumCircuit::new(2);
+            qc.append(gate, &(0..gate.num_qubits() as u32).collect::<Vec<_>>());
+            let tab = CliffordTableau::from_circuit(&qc).unwrap();
+            let synth = tab.synthesize();
+            assert!(
+                circuits_equivalent(&qc, &synth, 1e-8).unwrap(),
+                "{gate:?} tableau wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn quarter_turn_detection() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        assert_eq!(quarter_turns(0.0), Some(0));
+        assert_eq!(quarter_turns(FRAC_PI_2), Some(1));
+        assert_eq!(quarter_turns(PI), Some(2));
+        assert_eq!(quarter_turns(-FRAC_PI_2), Some(-1));
+        assert_eq!(quarter_turns(0.3), None);
+    }
+
+    #[test]
+    fn rotation_gates_match_their_clifford_equivalents() {
+        use std::f64::consts::FRAC_PI_2;
+        let cases: Vec<(Gate, Vec<Gate>)> = vec![
+            (Gate::Rz(FRAC_PI_2), vec![Gate::S]),
+            (Gate::Rz(-FRAC_PI_2), vec![Gate::Sdg]),
+            (Gate::Rx(FRAC_PI_2), vec![Gate::Sx]),
+            (Gate::Ry(FRAC_PI_2), vec![Gate::H, Gate::X]),
+            (Gate::Ry(-FRAC_PI_2), vec![Gate::X, Gate::H]),
+        ];
+        for (rot, equiv) in cases {
+            let mut a = QuantumCircuit::new(1);
+            a.append(rot, &[0]);
+            let mut b = QuantumCircuit::new(1);
+            for g in &equiv {
+                b.append(*g, &[0]);
+            }
+            let ta = CliffordTableau::from_circuit(&a).unwrap();
+            let tb = CliffordTableau::from_circuit(&b).unwrap();
+            assert_eq!(ta, tb, "{rot:?} vs {equiv:?}");
+            assert!(circuits_equivalent(&a, &b, 1e-9).unwrap(), "{rot:?}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # qrc-passes
+//!
+//! Compilation passes for the `mqt-predictor` workspace — Rust
+//! re-implementations of every Qiskit and TKET pass the paper (Sec. IV-A)
+//! exposes as an action of its reinforcement-learning agent, all behind
+//! the unified circuit-in/circuit-out [`Pass`] interface:
+//!
+//! | Kind | Passes |
+//! |------|--------|
+//! | Synthesis | [`synthesis::BasisTranslator`] |
+//! | Layout | [`layout::TrivialLayout`], [`layout::DenseLayout`], [`layout::SabreLayout`] |
+//! | Routing | [`routing::BasicSwap`], [`routing::StochasticSwap`], [`routing::SabreSwap`], [`routing::TketRouting`] |
+//! | Optimization (Qiskit) | [`opt1q::Optimize1qGates`], [`opt1q::CxCancellation`], [`opt1q::CommutativeCancellation`], [`opt1q::CommutativeInverseCancellation`], [`opt1q::RemoveDiagonalGatesBeforeMeasure`], [`opt1q::InverseCancellation`], [`opt2q::OptimizeCliffords`], [`opt2q::ConsolidateBlocks`] |
+//! | Optimization (TKET) | [`opt2q::PeepholeOptimise2Q`], [`opt2q::CliffordSimp`], [`opt2q::FullPeepholeOptimise`], [`opt1q::RemoveRedundancies`] |
+//!
+//! Supporting machinery that a production compiler needs is implemented
+//! from scratch and reusable on its own: ZYZ Euler synthesis
+//! ([`euler`]), the two-qubit KAK/Cartan decomposition ([`kak`]), and
+//! Clifford stabilizer tableaux with Aaronson–Gottesman resynthesis
+//! ([`clifford`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use qrc_circuit::QuantumCircuit;
+//! use qrc_passes::{Pass, PassContext};
+//! use qrc_passes::opt1q::CxCancellation;
+//!
+//! let mut qc = QuantumCircuit::new(2);
+//! qc.cx(0, 1).cx(0, 1);
+//! let out = CxCancellation.apply(&qc, &PassContext::device_free())?;
+//! assert!(out.circuit.is_empty());
+//! # Ok::<(), qrc_passes::PassError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clifford;
+pub mod euler;
+pub mod kak;
+pub mod layout;
+pub mod opt1q;
+pub mod opt2q;
+mod pass;
+pub mod routing;
+pub mod synthesis;
+
+pub use pass::{Pass, PassContext, PassError, PassOutcome, WireEffect};
+
+/// The twelve optimization actions of the paper, in its listing order.
+pub fn optimization_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(opt1q::Optimize1qGates),
+        Box::new(opt1q::CxCancellation),
+        Box::new(opt1q::CommutativeCancellation),
+        Box::new(opt1q::CommutativeInverseCancellation),
+        Box::new(opt1q::RemoveDiagonalGatesBeforeMeasure),
+        Box::new(opt1q::InverseCancellation),
+        Box::new(opt2q::OptimizeCliffords),
+        Box::new(opt2q::ConsolidateBlocks),
+        Box::new(opt2q::PeepholeOptimise2Q),
+        Box::new(opt2q::CliffordSimp),
+        Box::new(opt2q::FullPeepholeOptimise),
+        Box::new(opt1q::RemoveRedundancies),
+    ]
+}
+
+/// The three layout actions of the paper.
+pub fn layout_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(layout::TrivialLayout),
+        Box::new(layout::DenseLayout),
+        Box::new(layout::SabreLayout::default()),
+    ]
+}
+
+/// The four routing actions of the paper.
+pub fn routing_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(routing::BasicSwap),
+        Box::new(routing::StochasticSwap::default()),
+        Box::new(routing::SabreSwap::default()),
+        Box::new(routing::TketRouting::default()),
+    ]
+}

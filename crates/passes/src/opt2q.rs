@@ -1,0 +1,571 @@
+//! Block-level optimization passes.
+//!
+//! * [`ConsolidateBlocks`] — Qiskit's `Collect2qBlocks` +
+//!   `ConsolidateBlocks`: gather maximal two-qubit runs, compute their 4×4
+//!   unitary, and resynthesize via the KAK decomposition when that lowers
+//!   the entangling-gate count,
+//! * [`OptimizeCliffords`] — Qiskit: resynthesize maximal Clifford
+//!   segments from their stabilizer tableau,
+//! * [`PeepholeOptimise2Q`] / [`CliffordSimp`] / [`FullPeepholeOptimise`] —
+//!   the TKET counterparts with their respective acceptance policies.
+
+use crate::clifford::CliffordTableau;
+use crate::kak::{ops_unitary, synthesize_2q};
+use crate::opt1q::{Optimize1qGates, RemoveRedundancies};
+use crate::pass::{Pass, PassContext, PassError, PassOutcome};
+use qrc_circuit::{Operation, QuantumCircuit, Qubit};
+
+// ---------------------------------------------------------------------
+// 2-qubit block collection
+// ---------------------------------------------------------------------
+
+/// A collected run of operations confined to one qubit pair.
+#[derive(Debug, Clone)]
+struct TwoQubitBlock {
+    /// Sorted qubit pair.
+    pair: (u32, u32),
+    /// Op indices in circuit order.
+    members: Vec<usize>,
+}
+
+/// Collects maximal blocks of consecutive operations acting within a
+/// single qubit pair (Qiskit's `Collect2qBlocks`).
+fn collect_2q_blocks(circuit: &QuantumCircuit) -> Vec<TwoQubitBlock> {
+    let n = circuit.num_qubits() as usize;
+    let mut blocks: Vec<TwoQubitBlock> = Vec::new();
+    // Open block id per wire, plus unattached leading 1q ops per wire.
+    let mut wire_block: Vec<Option<usize>> = vec![None; n];
+    let mut loose_1q: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for (i, op) in circuit.iter().enumerate() {
+        let is_1q_unitary = op.gate.is_unitary() && op.gate.num_qubits() == 1;
+        let is_2q_unitary = op.is_two_qubit();
+        if is_1q_unitary {
+            let w = op.qubits[0].index();
+            match wire_block[w] {
+                Some(b) => blocks[b].members.push(i),
+                None => loose_1q[w].push(i),
+            }
+            continue;
+        }
+        if is_2q_unitary {
+            let (a, b) = (op.qubits[0].0, op.qubits[1].0);
+            let pair = (a.min(b), a.max(b));
+            let (wa, wb) = (a as usize, b as usize);
+            if let (Some(x), Some(y)) = (wire_block[wa], wire_block[wb]) {
+                if x == y && blocks[x].pair == pair {
+                    blocks[x].members.push(i);
+                    continue;
+                }
+            }
+            // Close any conflicting open blocks on these wires.
+            for w in [wa, wb] {
+                wire_block[w] = None;
+            }
+            // Open a new block, absorbing loose leading 1q ops.
+            let mut members = Vec::new();
+            for w in [wa.min(wb), wa.max(wb)] {
+                members.append(&mut loose_1q[w]);
+            }
+            members.sort_unstable();
+            members.push(i);
+            let id = blocks.len();
+            blocks.push(TwoQubitBlock { pair, members });
+            wire_block[wa] = Some(id);
+            wire_block[wb] = Some(id);
+            continue;
+        }
+        // Anything else (measure, barrier, ≥3q gate) closes blocks and
+        // flushes loose ops on its wires.
+        for q in op.qubits.iter() {
+            wire_block[q.index()] = None;
+            loose_1q[q.index()].clear();
+        }
+    }
+    blocks
+}
+
+/// Resynthesizes each collected block when `accept` approves the
+/// replacement; returns the rewritten circuit.
+fn consolidate(
+    circuit: &QuantumCircuit,
+    min_2q_gates: usize,
+    accept: impl Fn(&BlockStats, &BlockStats) -> bool,
+) -> Result<QuantumCircuit, PassError> {
+    let blocks = collect_2q_blocks(circuit);
+    let ops = circuit.ops();
+    // op index -> (block id, is_first_member)
+    let mut role: Vec<Option<(usize, bool)>> = vec![None; ops.len()];
+    let mut replacements: Vec<Option<Vec<Operation>>> = vec![None; blocks.len()];
+
+    for (bid, block) in blocks.iter().enumerate() {
+        let two_q = block
+            .members
+            .iter()
+            .filter(|&&i| ops[i].is_two_qubit())
+            .count();
+        if two_q < min_2q_gates {
+            continue;
+        }
+        let (a, b) = block.pair;
+        let member_ops: Vec<Operation> = block.members.iter().map(|&i| ops[i]).collect();
+        let u = ops_unitary(&member_ops, Qubit(a), Qubit(b));
+        let Some(synth) = synthesize_2q(&u, Qubit(a), Qubit(b)) else {
+            continue; // verification failed — keep the original block
+        };
+        let old = BlockStats::of(&member_ops);
+        let new = BlockStats::of(&synth);
+        if accept(&old, &new) {
+            for (k, &i) in block.members.iter().enumerate() {
+                role[i] = Some((bid, k == 0));
+            }
+            replacements[bid] = Some(synth);
+        }
+    }
+
+    let mut out = QuantumCircuit::with_name(circuit.num_qubits(), circuit.name());
+    for (i, op) in ops.iter().enumerate() {
+        match role[i] {
+            None => out.push(*op)?,
+            Some((bid, true)) => {
+                for new_op in replacements[bid].as_ref().expect("accepted block") {
+                    out.push(*new_op)?;
+                }
+            }
+            Some((_, false)) => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Gate statistics used by block acceptance policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Number of two-qubit gates.
+    pub two_qubit: usize,
+    /// Total number of gates.
+    pub total: usize,
+}
+
+impl BlockStats {
+    fn of(ops: &[Operation]) -> Self {
+        BlockStats {
+            two_qubit: ops.iter().filter(|o| o.is_two_qubit()).count(),
+            total: ops.len(),
+        }
+    }
+}
+
+/// Qiskit's `Collect2qBlocks` + `ConsolidateBlocks`: KAK-resynthesize
+/// two-qubit blocks when it strictly improves
+/// `(two-qubit count, total count)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsolidateBlocks;
+
+impl Pass for ConsolidateBlocks {
+    fn name(&self) -> &'static str {
+        "Collect2qBlocks+ConsolidateBlocks"
+    }
+
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        _ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        let out = consolidate(circuit, 2, |old, new| {
+            new.two_qubit < old.two_qubit
+                || (new.two_qubit == old.two_qubit && new.total < old.total)
+        })?;
+        Ok(PassOutcome::rewrite(out))
+    }
+}
+
+/// TKET's `PeepholeOptimise2Q`: block consolidation (accepting equal-CX
+/// rewrites that shrink total gate count) followed by a single-qubit
+/// cleanup sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeepholeOptimise2Q;
+
+impl Pass for PeepholeOptimise2Q {
+    fn name(&self) -> &'static str {
+        "PeepholeOptimise2Q"
+    }
+
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        let consolidated = consolidate(circuit, 1, |old, new| {
+            new.two_qubit < old.two_qubit
+                || (new.two_qubit == old.two_qubit && new.total < old.total)
+        })?;
+        let cleaned = Optimize1qGates.apply(&consolidated, ctx)?.circuit;
+        let out = RemoveRedundancies.apply(&cleaned, ctx)?.circuit;
+        Ok(PassOutcome::rewrite(out))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clifford segment resynthesis
+// ---------------------------------------------------------------------
+
+/// A maximal contiguous run of Clifford operations.
+#[derive(Debug)]
+struct CliffordSegment {
+    /// Op indices (contiguous range in circuit order).
+    range: std::ops::Range<usize>,
+    /// Qubits touched, sorted.
+    qubits: Vec<u32>,
+}
+
+fn collect_clifford_segments(circuit: &QuantumCircuit) -> Vec<CliffordSegment> {
+    let mut segments = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut qubits: std::collections::BTreeSet<u32> = Default::default();
+    let is_clifford_op =
+        |op: &Operation| op.gate.is_unitary() && op.gate.is_clifford() && op.gate.num_qubits() <= 2;
+    for (i, op) in circuit.iter().enumerate() {
+        if is_clifford_op(op) {
+            if start.is_none() {
+                start = Some(i);
+                qubits.clear();
+            }
+            qubits.extend(op.qubits.iter().map(|q| q.0));
+        } else if let Some(s) = start.take() {
+            segments.push(CliffordSegment {
+                range: s..i,
+                qubits: qubits.iter().copied().collect(),
+            });
+        }
+    }
+    if let Some(s) = start {
+        segments.push(CliffordSegment {
+            range: s..circuit.len(),
+            qubits: qubits.iter().copied().collect(),
+        });
+    }
+    segments
+}
+
+/// Resynthesizes Clifford segments via tableau Gaussian elimination when
+/// `accept` approves.
+fn simplify_cliffords(
+    circuit: &QuantumCircuit,
+    min_ops: usize,
+    accept: impl Fn(&BlockStats, &BlockStats) -> bool,
+) -> Result<QuantumCircuit, PassError> {
+    let segments = collect_clifford_segments(circuit);
+    let ops = circuit.ops();
+    let mut out = QuantumCircuit::with_name(circuit.num_qubits(), circuit.name());
+    let mut cursor = 0usize;
+    for seg in segments {
+        // Copy everything before the segment.
+        for op in &ops[cursor..seg.range.start] {
+            out.push(*op)?;
+        }
+        cursor = seg.range.end;
+        let seg_ops: Vec<Operation> = ops[seg.range.clone()].to_vec();
+        if seg_ops.len() < min_ops || seg.qubits.is_empty() {
+            for op in &seg_ops {
+                out.push(*op)?;
+            }
+            continue;
+        }
+        // Relabel onto a compact register for the tableau.
+        let index_of = |q: u32| seg.qubits.iter().position(|&x| x == q).expect("in segment");
+        let mut local = QuantumCircuit::new(seg.qubits.len() as u32);
+        for op in &seg_ops {
+            let qs: Vec<Qubit> = op
+                .qubits
+                .iter()
+                .map(|q| Qubit(index_of(q.0) as u32))
+                .collect();
+            local.push(Operation::new(op.gate, &qs))?;
+        }
+        let Some(tableau) = CliffordTableau::from_circuit(&local) else {
+            for op in &seg_ops {
+                out.push(*op)?;
+            }
+            continue;
+        };
+        let synth = tableau.synthesize();
+        let old = BlockStats::of(&seg_ops);
+        let new = BlockStats {
+            two_qubit: synth.num_two_qubit_gates(),
+            total: synth.len(),
+        };
+        if accept(&old, &new) {
+            for op in synth.iter() {
+                let qs: Vec<Qubit> = op
+                    .qubits
+                    .iter()
+                    .map(|q| Qubit(seg.qubits[q.index()]))
+                    .collect();
+                out.push(Operation::new(op.gate, &qs))?;
+            }
+        } else {
+            for op in &seg_ops {
+                out.push(*op)?;
+            }
+        }
+    }
+    for op in &ops[cursor..] {
+        out.push(*op)?;
+    }
+    Ok(out)
+}
+
+/// Qiskit's `OptimizeCliffords`: tableau resynthesis of Clifford segments,
+/// accepted when it reduces `(two-qubit, total)` counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizeCliffords;
+
+impl Pass for OptimizeCliffords {
+    fn name(&self) -> &'static str {
+        "OptimizeCliffords"
+    }
+
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        _ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        let out = simplify_cliffords(circuit, 4, |old, new| {
+            new.two_qubit < old.two_qubit
+                || (new.two_qubit == old.two_qubit && new.total < old.total)
+        })?;
+        Ok(PassOutcome::rewrite(out))
+    }
+}
+
+/// TKET's `CliffordSimp`: tableau resynthesis focused strictly on
+/// two-qubit gate count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CliffordSimp;
+
+impl Pass for CliffordSimp {
+    fn name(&self) -> &'static str {
+        "CliffordSimp"
+    }
+
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        _ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        let out = simplify_cliffords(circuit, 2, |old, new| new.two_qubit < old.two_qubit)?;
+        Ok(PassOutcome::rewrite(out))
+    }
+}
+
+/// TKET's `FullPeepholeOptimise`: `PeepholeOptimise2Q` → `CliffordSimp` →
+/// `RemoveRedundancies` as one composite action.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullPeepholeOptimise;
+
+impl Pass for FullPeepholeOptimise {
+    fn name(&self) -> &'static str {
+        "FullPeepholeOptimise"
+    }
+
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        let a = PeepholeOptimise2Q.apply(circuit, ctx)?.circuit;
+        let b = CliffordSimp.apply(&a, ctx)?.circuit;
+        let c = RemoveRedundancies.apply(&b, ctx)?.circuit;
+        Ok(PassOutcome::rewrite(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_circuit::Gate;
+    use qrc_sim::equiv::circuits_equivalent;
+
+    fn ctx() -> PassContext<'static> {
+        PassContext::device_free()
+    }
+
+    #[test]
+    fn blocks_are_collected_per_pair() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).t(1).cx(0, 1).cx(1, 2).cx(1, 2);
+        let blocks = collect_2q_blocks(&qc);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].pair, (0, 1));
+        assert_eq!(blocks[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(blocks[1].pair, (1, 2));
+        assert_eq!(blocks[1].members, vec![4, 5]);
+    }
+
+    #[test]
+    fn measures_split_blocks() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).measure(0).cx(0, 1);
+        let blocks = collect_2q_blocks(&qc);
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn consolidate_collapses_redundant_block() {
+        // CX·Rz(0)·CX ≡ identity-ish block: 2 CX → 0.
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).cx(0, 1).h(0);
+        let out = ConsolidateBlocks.apply(&qc, &ctx()).unwrap().circuit;
+        assert_eq!(out.num_two_qubit_gates(), 0, "{out}");
+        assert!(circuits_equivalent(&qc, &out, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn consolidate_reduces_heavy_blocks() {
+        // Five CX with 1q spacers on one pair: content is CX-class or
+        // less, so ≤ 2 CX after consolidation.
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1)
+            .t(1)
+            .cx(0, 1)
+            .t(1)
+            .cx(0, 1)
+            .t(0)
+            .cx(0, 1)
+            .h(1)
+            .cx(0, 1);
+        let before = qc.num_two_qubit_gates();
+        let out = ConsolidateBlocks.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(
+            out.num_two_qubit_gates() < before,
+            "no reduction: {} -> {}",
+            before,
+            out.num_two_qubit_gates()
+        );
+        assert!(circuits_equivalent(&qc, &out, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn consolidate_keeps_minimal_blocks() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1);
+        let out = ConsolidateBlocks.apply(&qc, &ctx()).unwrap().circuit;
+        assert_eq!(out.count_ops()["cx"], 1);
+    }
+
+    #[test]
+    fn consolidate_preserves_interleaved_other_ops() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 1).h(2).cx(0, 1).cx(2, 3).t(3).measure(2);
+        let out = ConsolidateBlocks.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(circuits_equivalent(&qc, &out, 1e-7).unwrap());
+        assert_eq!(out.count_ops()["measure"], 1);
+    }
+
+    #[test]
+    fn optimize_cliffords_compresses() {
+        // Long redundant Clifford segment.
+        let mut qc = QuantumCircuit::new(3);
+        for _ in 0..4 {
+            qc.h(0).cx(0, 1).cx(0, 1).h(0).s(2).sdg(2).cx(1, 2).cx(1, 2);
+        }
+        qc.t(0); // non-clifford terminator
+        let out = OptimizeCliffords.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(out.num_two_qubit_gates() == 0, "{out}");
+        assert!(circuits_equivalent(&qc, &out, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn optimize_cliffords_leaves_nonclifford_parts() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).t(0).cx(0, 1).rz(0.3, 1);
+        let out = OptimizeCliffords.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(circuits_equivalent(&qc, &out, 1e-8).unwrap());
+        assert_eq!(out.count_ops()["t"], 1);
+        assert!(matches!(
+            out.iter().last().unwrap().gate,
+            Gate::Rz(t) if (t - 0.3).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn clifford_simp_strictly_2q_focused() {
+        // A segment that resynthesis makes longer in total but equal in
+        // 2q count must be left alone by CliffordSimp.
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).h(0);
+        let out = CliffordSimp.apply(&qc, &ctx()).unwrap().circuit;
+        assert_eq!(out.count_ops()["cx"], 1);
+        assert!(circuits_equivalent(&qc, &out, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn clifford_simp_reduces_swap_chains() {
+        // SWAP·SWAP = I: 6 CX worth of redundancy.
+        let mut qc = QuantumCircuit::new(2);
+        qc.swap(0, 1).swap(0, 1).cx(0, 1);
+        let out = CliffordSimp.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(out.num_two_qubit_gates() <= 1, "{out}");
+        assert!(circuits_equivalent(&qc, &out, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn peephole_2q_cleans_up() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).h(0).cx(0, 1).t(1).tdg(1).cx(0, 1);
+        let out = PeepholeOptimise2Q.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn full_peephole_composition() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0)
+            .cx(0, 1)
+            .cx(0, 1)
+            .h(0)
+            .swap(1, 2)
+            .swap(1, 2)
+            .t(0)
+            .tdg(0)
+            .rz(0.25, 1)
+            .rz(-0.25, 1);
+        let out = FullPeepholeOptimise.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn full_peephole_preserves_measurement_statistics() {
+        // Diagonal-before-measure removal changes the unitary but not the
+        // distribution, so compare measurement statistics.
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0)
+            .cx(0, 1)
+            .rz(0.37, 1)
+            .cx(1, 2)
+            .t(2)
+            .cx(0, 1)
+            .h(1)
+            .cp(0.9, 0, 2)
+            .measure_all();
+        let out = FullPeepholeOptimise.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(qrc_sim::equiv::measurement_equivalent(&qc, &out, 1e-9).unwrap());
+        assert_eq!(out.count_ops()["measure"], 3);
+    }
+
+    #[test]
+    fn full_peephole_preserves_unitary_without_measures() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0)
+            .cx(0, 1)
+            .rz(0.37, 1)
+            .cx(1, 2)
+            .t(2)
+            .cx(0, 1)
+            .h(1)
+            .cp(0.9, 0, 2);
+        let out = FullPeepholeOptimise.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(circuits_equivalent(&qc, &out, 1e-7).unwrap());
+    }
+}

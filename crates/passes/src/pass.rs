@@ -1,0 +1,202 @@
+//! The unified pass interface.
+//!
+//! Every compilation action of the paper's MDP — synthesis, layout,
+//! routing, optimization — implements [`Pass`]: quantum circuit in, quantum
+//! circuit out, regardless of which SDK the original algorithm came from.
+//! This is the "unified interface" property that lets the RL agent mix and
+//! match passes freely.
+
+use qrc_circuit::{CircuitError, QuantumCircuit};
+use qrc_device::Device;
+use std::error::Error;
+use std::fmt;
+
+/// Shared context handed to every pass invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PassContext<'a> {
+    /// The target device, once one has been selected in the flow.
+    /// Synthesis/layout/routing passes require it; optimizations ignore it.
+    pub device: Option<&'a Device>,
+    /// Seed for stochastic passes — the same seed always reproduces the
+    /// same output.
+    pub seed: u64,
+}
+
+impl<'a> PassContext<'a> {
+    /// Context with a device and the default seed.
+    pub fn for_device(device: &'a Device) -> Self {
+        PassContext {
+            device: Some(device),
+            seed: 0,
+        }
+    }
+
+    /// Device-less context (device-independent optimization).
+    pub fn device_free() -> Self {
+        PassContext {
+            device: None,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The device, or a [`PassError::DeviceRequired`] error.
+    pub fn require_device(&self, pass: &'static str) -> Result<&'a Device, PassError> {
+        self.device.ok_or(PassError::DeviceRequired { pass })
+    }
+}
+
+/// How a pass transformed the qubit wires, beyond rewriting gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireEffect {
+    /// Wire labels kept their meaning (pure gate rewrite).
+    Rewrite,
+    /// The circuit was placed onto a device: input wire `i` now lives on
+    /// physical qubit `layout[i]` and the circuit was widened to the device
+    /// size.
+    SetLayout(Vec<u32>),
+    /// Routing permuted wires over time: the logical content that started
+    /// on wire `w` ends on wire `permutation[w]`.
+    Permute(Vec<u32>),
+}
+
+/// The output of a pass: the new circuit plus its wire effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassOutcome {
+    /// The transformed circuit.
+    pub circuit: QuantumCircuit,
+    /// How wire labels were affected.
+    pub effect: WireEffect,
+}
+
+impl PassOutcome {
+    /// A pure-rewrite outcome.
+    pub fn rewrite(circuit: QuantumCircuit) -> Self {
+        PassOutcome {
+            circuit,
+            effect: WireEffect::Rewrite,
+        }
+    }
+}
+
+/// A compilation pass with the unified circuit-to-circuit interface.
+pub trait Pass: fmt::Debug + Send + Sync {
+    /// Stable, human-readable pass name (e.g. `"SabreSwap"`).
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassError`] if the pass cannot run — e.g. it needs a
+    /// device and none was selected, or the circuit violates a
+    /// precondition.
+    fn apply(&self, circuit: &QuantumCircuit, ctx: &PassContext<'_>)
+        -> Result<PassOutcome, PassError>;
+}
+
+/// Errors produced by compilation passes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PassError {
+    /// The pass needs a target device but none was provided.
+    DeviceRequired {
+        /// Pass that raised the error.
+        pass: &'static str,
+    },
+    /// The circuit does not fit the device (too many qubits).
+    CircuitTooWide {
+        /// Circuit width.
+        circuit: u32,
+        /// Device width.
+        device: u32,
+    },
+    /// The pass requires gates of at most the given arity.
+    UnsupportedGate {
+        /// Pass that raised the error.
+        pass: &'static str,
+        /// Mnemonic of the offending gate.
+        gate: &'static str,
+    },
+    /// A circuit manipulation failed.
+    Circuit(CircuitError),
+    /// The pass failed to produce a verified-correct result.
+    SynthesisFailed {
+        /// Pass that raised the error.
+        pass: &'static str,
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::DeviceRequired { pass } => {
+                write!(f, "pass `{pass}` requires a target device")
+            }
+            PassError::CircuitTooWide { circuit, device } => {
+                write!(f, "circuit has {circuit} qubits but device only {device}")
+            }
+            PassError::UnsupportedGate { pass, gate } => {
+                write!(f, "pass `{pass}` cannot handle gate `{gate}`")
+            }
+            PassError::Circuit(e) => write!(f, "circuit error: {e}"),
+            PassError::SynthesisFailed { pass, reason } => {
+                write!(f, "pass `{pass}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PassError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PassError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for PassError {
+    fn from(e: CircuitError) -> Self {
+        PassError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_constructors() {
+        let ctx = PassContext::device_free().with_seed(9);
+        assert!(ctx.device.is_none());
+        assert_eq!(ctx.seed, 9);
+        assert!(matches!(
+            ctx.require_device("X"),
+            Err(PassError::DeviceRequired { pass: "X" })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PassError::DeviceRequired { pass: "SabreSwap" };
+        assert_eq!(e.to_string(), "pass `SabreSwap` requires a target device");
+        let e: PassError = CircuitError::NotInvertible { gate: "measure" }.into();
+        assert!(e.to_string().contains("circuit error"));
+    }
+
+    #[test]
+    fn pass_outcome_rewrite_helper() {
+        let qc = QuantumCircuit::new(2);
+        let out = PassOutcome::rewrite(qc.clone());
+        assert_eq!(out.effect, WireEffect::Rewrite);
+        assert_eq!(out.circuit, qc);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the KAK decomposition and two-qubit
+//! resynthesis — the numerically hardest component of the pass library.
+
+use proptest::prelude::*;
+use qrc_circuit::commute::embed;
+use qrc_circuit::math::CMatrix;
+use qrc_circuit::strategies::{angle, small_gate};
+use qrc_circuit::{Gate, Operation, Qubit};
+use qrc_passes::kak::{canonical_matrix, kak_decompose, kron_factor, ops_unitary, synthesize_2q};
+use std::f64::consts::FRAC_PI_4;
+
+/// Builds a random 2-qubit unitary from a strategy-supplied gate list.
+fn unitary_from_gates(gates: &[(Gate, bool)]) -> CMatrix {
+    let joint = [Qubit(0), Qubit(1)];
+    let mut m = CMatrix::identity(4);
+    for (g, on_second) in gates {
+        let qubits: Vec<Qubit> = match g.num_qubits() {
+            1 => vec![if *on_second { Qubit(1) } else { Qubit(0) }],
+            _ => vec![Qubit(0), Qubit(1)],
+        };
+        m = embed(&g.matrix(), &qubits, &joint).matmul(&m);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kak_reconstructs_arbitrary_two_qubit_unitaries(
+        gates in proptest::collection::vec((small_gate(), any::<bool>()), 1..12)
+    ) {
+        let u = unitary_from_gates(&gates);
+        let kak = kak_decompose(&u).expect("decomposition succeeds");
+        prop_assert!(
+            kak.to_matrix().approx_eq(&u, 1e-6),
+            "reconstruction deviates"
+        );
+        let (x, y, z) = kak.coords;
+        for v in [x, y, z] {
+            prop_assert!(v > -FRAC_PI_4 - 1e-9 && v <= FRAC_PI_4 + 1e-9);
+        }
+        // Local factors must be unitary.
+        prop_assert!(kak.k1.0.is_unitary(1e-8));
+        prop_assert!(kak.k1.1.is_unitary(1e-8));
+        prop_assert!(kak.k2.0.is_unitary(1e-8));
+        prop_assert!(kak.k2.1.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn synthesis_matches_and_respects_budget(
+        gates in proptest::collection::vec((small_gate(), any::<bool>()), 1..10)
+    ) {
+        let u = unitary_from_gates(&gates);
+        let ops = synthesize_2q(&u, Qubit(0), Qubit(1)).expect("synthesis verified");
+        let rebuilt = ops_unitary(&ops, Qubit(0), Qubit(1));
+        prop_assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-6));
+        let cx = ops.iter().filter(|o| o.gate == Gate::Cx).count();
+        prop_assert!(cx <= 4, "{cx} CX emitted");
+        // Everything must be canonical {1q, CX}.
+        prop_assert!(ops.iter().all(|o| o.gate == Gate::Cx || o.gate.num_qubits() == 1));
+    }
+
+    #[test]
+    fn canonical_coordinates_are_class_invariants(
+        x in angle(), y in angle(), z in angle(),
+        pre in small_gate(), post in small_gate(),
+    ) {
+        prop_assume!(pre.num_qubits() == 1 && post.num_qubits() == 1);
+        // CAN(x,y,z) conjugated by local gates keeps its coordinates up to
+        // the canonical cell symmetries; at minimum, decomposing twice is
+        // stable.
+        let base = canonical_matrix(x, y, z);
+        let joint = [Qubit(0), Qubit(1)];
+        let dressed = embed(&pre.matrix(), &[Qubit(0)], &joint)
+            .matmul(&base)
+            .matmul(&embed(&post.matrix(), &[Qubit(1)], &joint));
+        let a = kak_decompose(&dressed).unwrap();
+        let b = kak_decompose(&dressed).unwrap();
+        prop_assert!((a.coords.0 - b.coords.0).abs() < 1e-9);
+        prop_assert!((a.coords.1 - b.coords.1).abs() < 1e-9);
+        prop_assert!((a.coords.2 - b.coords.2).abs() < 1e-9);
+        // And locals never change the CNOT cost.
+        let plain = kak_decompose(&base).unwrap();
+        prop_assert_eq!(plain.cnot_cost(), a.cnot_cost());
+    }
+
+    #[test]
+    fn kron_factor_recovers_products(g1 in small_gate(), g2 in small_gate()) {
+        prop_assume!(g1.num_qubits() == 1 && g2.num_qubits() == 1);
+        let m = g1.matrix().kron(&g2.matrix());
+        let (a, b) = kron_factor(&m).expect("tensor product factors");
+        prop_assert!(a.kron(&b).approx_eq(&m, 1e-8));
+    }
+
+    #[test]
+    fn entangling_gates_never_factor(theta in 0.05..1.5f64) {
+        // A genuinely entangling interaction has no tensor factorization.
+        let m = canonical_matrix(theta.min(FRAC_PI_4 - 0.01), 0.0, 0.0);
+        prop_assert!(kron_factor(&m).is_none());
+    }
+}
+
+/// Fixed regression cases at Weyl-chamber boundaries (the numerically
+/// degenerate points that broke early versions of the decomposition).
+#[test]
+fn boundary_cases_decompose() {
+    let cases = [
+        (FRAC_PI_4, 0.0, 0.0),
+        (-FRAC_PI_4 + 1e-13, 0.0, 0.0),
+        (FRAC_PI_4, FRAC_PI_4, 0.0),
+        (FRAC_PI_4, FRAC_PI_4, FRAC_PI_4),
+        (FRAC_PI_4, FRAC_PI_4, -FRAC_PI_4),
+        (1e-12, 0.0, 0.0),
+        (FRAC_PI_4 - 1e-12, FRAC_PI_4, 1e-12),
+    ];
+    for (x, y, z) in cases {
+        let u = canonical_matrix(x, y, z);
+        let kak = kak_decompose(&u)
+            .unwrap_or_else(|e| panic!("CAN({x},{y},{z}): {e}"));
+        assert!(
+            kak.to_matrix().approx_eq(&u, 1e-6),
+            "CAN({x},{y},{z}) reconstruction"
+        );
+        let ops = synthesize_2q(&u, Qubit(0), Qubit(1))
+            .unwrap_or_else(|| panic!("CAN({x},{y},{z}): synthesis failed"));
+        let rebuilt = ops_unitary(&ops, Qubit(0), Qubit(1));
+        assert!(rebuilt.approx_eq_up_to_phase(&u, 1e-6));
+    }
+}
+
+/// CP(π) — the exact boundary phase that regressed during development.
+#[test]
+fn cp_pi_regression() {
+    let u = Gate::Cp(std::f64::consts::PI).matrix();
+    let kak = kak_decompose(&u).unwrap();
+    assert!(kak.to_matrix().approx_eq(&u, 1e-7));
+    assert_eq!(kak.cnot_cost(), 1, "CP(π) = CZ is CNOT-class");
+    let ops = synthesize_2q(&u, Qubit(3), Qubit(1)).unwrap();
+    let _ = ops
+        .iter()
+        .map(|o| Operation::new(o.gate, o.qubits.as_slice()))
+        .count();
+}

@@ -1,0 +1,143 @@
+//! The environment interface (OpenAI-Gym-style) with action masking.
+
+use rand::rngs::StdRng;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Observation after the action.
+    pub obs: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// `true` if the episode terminated with this step.
+    pub done: bool,
+}
+
+/// A Markov decision process with a discrete, maskable action space.
+///
+/// Mirrors the OpenAI Gym interface the paper instantiates, plus the
+/// invalid-action masking of `sb3-contrib`'s `MaskablePPO` (actions that
+/// are illegal in the current state are excluded from the policy's
+/// distribution rather than punished).
+pub trait Environment {
+    /// Dimension of the observation vector.
+    fn obs_dim(&self) -> usize;
+
+    /// Size of the (fixed) discrete action space.
+    fn num_actions(&self) -> usize;
+
+    /// Starts a new episode and returns the initial observation.
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Applies `action`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action` is currently masked out;
+    /// agents must only choose unmasked actions.
+    fn step(&mut self, action: usize, rng: &mut StdRng) -> Step;
+
+    /// Which actions are currently legal. Must contain at least one
+    /// `true` whenever the episode is not done.
+    fn action_mask(&self) -> Vec<bool>;
+}
+
+#[cfg(test)]
+pub(crate) mod toy {
+    //! Toy environments with known optima, used to validate the learner.
+
+    use super::*;
+    use rand::Rng;
+
+    /// A one-step bandit: `K` arms with fixed payouts; optimum = best arm.
+    pub struct Bandit {
+        pub payouts: Vec<f64>,
+        pub mask: Vec<bool>,
+    }
+
+    impl Environment for Bandit {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            self.payouts.len()
+        }
+        fn reset(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+            vec![1.0]
+        }
+        fn step(&mut self, action: usize, _rng: &mut StdRng) -> Step {
+            assert!(self.mask[action], "masked action chosen");
+            Step {
+                obs: vec![1.0],
+                reward: self.payouts[action],
+                done: true,
+            }
+        }
+        fn action_mask(&self) -> Vec<bool> {
+            self.mask.clone()
+        }
+    }
+
+    /// A 1-D corridor: start in the middle, reach the right end within a
+    /// step budget. Reward 1 at the goal, 0 otherwise; moving off the
+    /// ends is masked out.
+    pub struct Corridor {
+        pub len: usize,
+        pub pos: usize,
+        pub steps: usize,
+        pub max_steps: usize,
+        pub noise: bool,
+    }
+
+    impl Corridor {
+        pub fn new(len: usize) -> Self {
+            Corridor {
+                len,
+                pos: len / 2,
+                steps: 0,
+                max_steps: 4 * len,
+                noise: false,
+            }
+        }
+
+        fn observe(&self) -> Vec<f64> {
+            vec![self.pos as f64 / self.len as f64]
+        }
+    }
+
+    impl Environment for Corridor {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2 // 0 = left, 1 = right
+        }
+        fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+            self.pos = if self.noise {
+                rng.gen_range(0..self.len)
+            } else {
+                self.len / 2
+            };
+            self.steps = 0;
+            self.observe()
+        }
+        fn step(&mut self, action: usize, _rng: &mut StdRng) -> Step {
+            assert!(self.action_mask()[action], "masked action chosen");
+            self.steps += 1;
+            match action {
+                0 => self.pos -= 1,
+                _ => self.pos += 1,
+            }
+            let done = self.pos == self.len - 1 || self.steps >= self.max_steps;
+            let reward = if self.pos == self.len - 1 { 1.0 } else { 0.0 };
+            Step {
+                obs: self.observe(),
+                reward,
+                done,
+            }
+        }
+        fn action_mask(&self) -> Vec<bool> {
+            vec![self.pos > 0, self.pos < self.len - 1]
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! A minimal dense neural network with manual backpropagation and Adam.
+//!
+//! Kept deliberately small: `f64` weights, tanh hidden activations, linear
+//! output. This is all PPO needs for the observation sizes in this
+//! workspace (a handful of circuit features), and it avoids any external
+//! ML dependency.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = W·x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Linear {
+    /// Row-major `out × in` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Linear {
+    fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+        // Orthogonal-ish init: scaled uniform (He-style bound).
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        let w = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            w,
+            b: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// A multi-layer perceptron with tanh hidden activations and linear
+/// output.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_rl::Mlp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = Mlp::new(3, &[16], 2, &mut rng);
+/// let y = net.forward(&[0.1, -0.2, 0.5]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Cached activations of one forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct Activations {
+    /// `pre[i]` = pre-activation output of layer `i`.
+    pre: Vec<Vec<f64>>,
+    /// `post[i]` = activated output of layer `i` (`post.last()` is linear).
+    post: Vec<Vec<f64>>,
+    input: Vec<f64>,
+}
+
+impl Activations {
+    /// The network output of this pass.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().expect("at least one layer")
+    }
+}
+
+/// Flat gradient buffer matching an [`Mlp`]'s parameter layout.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    w: Vec<Vec<f64>>,
+    b: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Zero gradients shaped like `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        Gradients {
+            w: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            b: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Global L2 norm of all gradient entries.
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for layer in self.w.iter().chain(self.b.iter()) {
+            for g in layer {
+                acc += g * g;
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Scales every gradient in place.
+    pub fn scale(&mut self, factor: f64) {
+        for layer in self.w.iter_mut().chain(self.b.iter_mut()) {
+            for g in layer {
+                *g *= factor;
+            }
+        }
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given hidden layer widths.
+    pub fn new(inputs: usize, hidden: &[usize], outputs: usize, rng: &mut impl Rng) -> Self {
+        let mut dims = vec![inputs];
+        dims.extend_from_slice(hidden);
+        dims.push(outputs);
+        let layers = dims
+            .windows(2)
+            .map(|d| Linear::new(d[0], d[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_cached(x).post.pop().expect("layers")
+    }
+
+    /// Forward pass retaining intermediate activations for backprop.
+    pub fn forward_cached(&self, x: &[f64]) -> Activations {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(&cur, &mut out);
+            pre.push(out.clone());
+            if i + 1 < self.layers.len() {
+                for v in &mut out {
+                    *v = v.tanh();
+                }
+            }
+            post.push(out.clone());
+            cur = out;
+        }
+        Activations {
+            pre,
+            post,
+            input: x.to_vec(),
+        }
+    }
+
+    /// Accumulates gradients for one sample given `dL/d(output)`.
+    pub fn backward(&self, acts: &Activations, dout: &[f64], grads: &mut Gradients) {
+        let n_layers = self.layers.len();
+        let mut delta = dout.to_vec();
+        for li in (0..n_layers).rev() {
+            let layer = &self.layers[li];
+            // Hidden layers have tanh: δ ← δ ⊙ (1 − tanh²(pre)).
+            if li + 1 < n_layers {
+                for (d, &p) in delta.iter_mut().zip(acts.pre[li].iter()) {
+                    let t = p.tanh();
+                    *d *= 1.0 - t * t;
+                }
+            }
+            let input: &[f64] = if li == 0 {
+                &acts.input
+            } else {
+                &acts.post[li - 1]
+            };
+            for o in 0..layer.outputs {
+                grads.b[li][o] += delta[o];
+                let row = &mut grads.w[li][o * layer.inputs..(o + 1) * layer.inputs];
+                for (gi, &xi) in row.iter_mut().zip(input.iter()) {
+                    *gi += delta[o] * xi;
+                }
+            }
+            if li > 0 {
+                let mut next = vec![0.0; layer.inputs];
+                for o in 0..layer.outputs {
+                    let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (ni, &wi) in next.iter_mut().zip(row.iter()) {
+                        *ni += delta[o] * wi;
+                    }
+                }
+                delta = next;
+            }
+        }
+    }
+}
+
+/// Adam optimizer state for one [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    m_w: Vec<Vec<f64>>,
+    v_w: Vec<Vec<f64>>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+    t: u64,
+    /// Learning rate.
+    pub lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl Adam {
+    /// Creates Adam state for `net` with the standard β parameters.
+    pub fn new(net: &Mlp, lr: f64) -> Self {
+        Adam {
+            m_w: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            v_w: net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect(),
+            m_b: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            v_b: net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update of `grads` to `net`.
+    pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for li in 0..net.layers.len() {
+            update_slice(
+                &mut net.layers[li].w,
+                &grads.w[li],
+                &mut self.m_w[li],
+                &mut self.v_w[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+            update_slice(
+                &mut net.layers[li].b,
+                &grads.b[li],
+                &mut self.m_b[li],
+                &mut self.v_b[li],
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                bc1,
+                bc2,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_slice(
+    params: &mut [f64],
+    grads: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    for i in 0..params.len() {
+        m[i] = beta1 * m[i] + (1.0 - beta1) * grads[i];
+        v[i] = beta2 * v[i] + (1.0 - beta2) * grads[i] * grads[i];
+        let m_hat = m[i] / bc1;
+        let v_hat = v[i] / bc2;
+        params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(4, &[8, 8], 3, &mut rng);
+        let y = net.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(y.len(), 3);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(3, &[5], 2, &mut rng);
+        let x = [0.3, -0.7, 0.9];
+        // Loss = sum of outputs squared; dL/dy = 2y.
+        let loss = |net: &Mlp| -> f64 { net.forward(&x).iter().map(|v| v * v).sum() };
+        let acts = net.forward_cached(&x);
+        let dout: Vec<f64> = acts.output().iter().map(|v| 2.0 * v).collect();
+        let mut grads = Gradients::zeros_like(&net);
+        net.backward(&acts, &dout, &mut grads);
+
+        let eps = 1e-6;
+        // Check a sample of weight gradients in every layer.
+        for li in 0..net.layers.len() {
+            for wi in (0..net.layers[li].w.len()).step_by(3) {
+                let orig = net.layers[li].w[wi];
+                net.layers[li].w[wi] = orig + eps;
+                let up = loss(&net);
+                net.layers[li].w[wi] = orig - eps;
+                let down = loss(&net);
+                net.layers[li].w[wi] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grads.w[li][wi];
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "layer {li} w{wi}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+            for bi in 0..net.layers[li].b.len() {
+                let orig = net.layers[li].b[bi];
+                net.layers[li].b[bi] = orig + eps;
+                let up = loss(&net);
+                net.layers[li].b[bi] = orig - eps;
+                let down = loss(&net);
+                net.layers[li].b[bi] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!((numeric - grads.b[li][bi]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn adam_reduces_simple_regression_loss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Mlp::new(1, &[16], 1, &mut rng);
+        let mut adam = Adam::new(&net, 3e-3);
+        // Fit y = 2x − 1 on a few points.
+        let data: Vec<(f64, f64)> = (-5..=5).map(|i| (i as f64 / 5.0, 2.0 * i as f64 / 5.0 - 1.0)).collect();
+        let loss_of = |net: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, y)| {
+                    let p = net.forward(&[*x])[0];
+                    (p - y) * (p - y)
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let initial = loss_of(&net);
+        for _ in 0..400 {
+            let mut grads = Gradients::zeros_like(&net);
+            for (x, y) in &data {
+                let acts = net.forward_cached(&[*x]);
+                let p = acts.output()[0];
+                net.backward(&acts, &[2.0 * (p - y) / data.len() as f64], &mut grads);
+            }
+            adam.step(&mut net, &grads);
+        }
+        let fin = loss_of(&net);
+        assert!(fin < initial * 0.01, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn gradient_norm_and_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Mlp::new(2, &[4], 2, &mut rng);
+        let mut grads = Gradients::zeros_like(&net);
+        let acts = net.forward_cached(&[1.0, -1.0]);
+        net.backward(&acts, &[1.0, 1.0], &mut grads);
+        let norm = grads.norm();
+        assert!(norm > 0.0);
+        grads.scale(0.5);
+        assert!((grads.norm() - 0.5 * norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_preserves_behavior() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = Mlp::new(3, &[4], 2, &mut rng);
+        let copy = net.clone();
+        let x = [0.4, -0.1, 0.8];
+        assert_eq!(net.forward(&x), copy.forward(&x));
+    }
+}

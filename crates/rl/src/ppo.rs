@@ -1,0 +1,514 @@
+//! Proximal Policy Optimization (Schulman et al., 2017) with invalid-
+//! action masking, generalized advantage estimation, and clipped
+//! surrogate + value losses — the learner the paper drives through
+//! Stable-Baselines3.
+
+use crate::env::{Environment, Step};
+use crate::nn::{Adam, Gradients, Mlp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// PPO hyperparameters (defaults follow Stable-Baselines3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Environment steps collected per update.
+    pub steps_per_update: usize,
+    /// Minibatch size within each epoch.
+    pub minibatch_size: usize,
+    /// Optimization epochs per update.
+    pub epochs: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE smoothing λ.
+    pub gae_lambda: f64,
+    /// Surrogate clip range ε.
+    pub clip: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f64,
+    /// Value loss coefficient.
+    pub value_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+    /// Hidden layer widths for both policy and value networks.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            steps_per_update: 256,
+            minibatch_size: 64,
+            epochs: 8,
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip: 0.2,
+            learning_rate: 3e-4,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            max_grad_norm: 0.5,
+            hidden: vec![64, 64],
+        }
+    }
+}
+
+/// Progress statistics reported after every PPO update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Total environment steps so far.
+    pub timesteps: usize,
+    /// Mean reward of episodes finished during the last rollout.
+    pub mean_episode_reward: f64,
+    /// Episodes finished during the last rollout.
+    pub episodes: usize,
+}
+
+/// A PPO agent: masked categorical policy network + value network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoAgent {
+    policy: Mlp,
+    value: Mlp,
+    config: PpoConfig,
+    obs_dim: usize,
+    num_actions: usize,
+}
+
+struct Rollout {
+    obs: Vec<Vec<f64>>,
+    masks: Vec<Vec<bool>>,
+    actions: Vec<usize>,
+    log_probs: Vec<f64>,
+    rewards: Vec<f64>,
+    dones: Vec<bool>,
+    values: Vec<f64>,
+    /// Value of the state following the last stored transition
+    /// (0 if that state was terminal).
+    bootstrap: f64,
+}
+
+impl PpoAgent {
+    /// Creates an agent for the given observation/action space sizes.
+    pub fn new(obs_dim: usize, num_actions: usize, config: PpoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = Mlp::new(obs_dim, &config.hidden, num_actions, &mut rng);
+        let value = Mlp::new(obs_dim, &config.hidden, 1, &mut rng);
+        PpoAgent {
+            policy,
+            value,
+            config,
+            obs_dim,
+            num_actions,
+        }
+    }
+
+    /// Observation dimension the agent was built for.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Action-space size the agent was built for.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// The configured hyperparameters.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// Masked action probabilities for an observation.
+    pub fn action_probs(&self, obs: &[f64], mask: &[bool]) -> Vec<f64> {
+        let logits = self.policy.forward(obs);
+        masked_softmax(&logits, mask)
+    }
+
+    /// Samples an action from the masked policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act_sample(&self, obs: &[f64], mask: &[bool], rng: &mut StdRng) -> usize {
+        let probs = self.action_probs(obs, mask);
+        sample_categorical(&probs, rng)
+    }
+
+    /// The highest-probability legal action (deterministic policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every action is masked.
+    pub fn act_greedy(&self, obs: &[f64], mask: &[bool]) -> usize {
+        let probs = self.action_probs(obs, mask);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty action space")
+    }
+
+    /// The value estimate for an observation.
+    pub fn value_of(&self, obs: &[f64]) -> f64 {
+        self.value.forward(obs)[0]
+    }
+
+    /// Trains for `total_timesteps` environment steps, invoking
+    /// `progress` after every update.
+    pub fn train<E: Environment>(
+        &mut self,
+        env: &mut E,
+        total_timesteps: usize,
+        seed: u64,
+        mut progress: impl FnMut(&TrainStats),
+    ) {
+        assert_eq!(env.obs_dim(), self.obs_dim, "observation size mismatch");
+        assert_eq!(env.num_actions(), self.num_actions, "action size mismatch");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let mut adam_policy = Adam::new(&self.policy, self.config.learning_rate);
+        let mut adam_value = Adam::new(&self.value, self.config.learning_rate);
+
+        let mut timesteps = 0usize;
+        let mut obs = env.reset(&mut rng);
+        let mut mask = env.action_mask();
+        while timesteps < total_timesteps {
+            let (rollout, stats, next_obs, next_mask) =
+                self.collect_rollout(env, obs, mask, &mut rng, timesteps);
+            obs = next_obs;
+            mask = next_mask;
+            timesteps += rollout.obs.len();
+            self.update(&rollout, &mut adam_policy, &mut adam_value, &mut rng);
+            progress(&TrainStats {
+                timesteps,
+                ..stats
+            });
+        }
+    }
+
+    fn collect_rollout<E: Environment>(
+        &self,
+        env: &mut E,
+        mut obs: Vec<f64>,
+        mut mask: Vec<bool>,
+        rng: &mut StdRng,
+        _timesteps_so_far: usize,
+    ) -> (Rollout, TrainStats, Vec<f64>, Vec<bool>) {
+        let n = self.config.steps_per_update;
+        let mut r = Rollout {
+            obs: Vec::with_capacity(n),
+            masks: Vec::with_capacity(n),
+            actions: Vec::with_capacity(n),
+            log_probs: Vec::with_capacity(n),
+            rewards: Vec::with_capacity(n),
+            dones: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+            bootstrap: 0.0,
+        };
+        let mut episode_reward = 0.0;
+        let mut finished_rewards: Vec<f64> = Vec::new();
+        for _ in 0..n {
+            let probs = self.action_probs(&obs, &mask);
+            let action = sample_categorical(&probs, rng);
+            let log_prob = probs[action].max(1e-12).ln();
+            let value = self.value_of(&obs);
+            let Step {
+                obs: next_obs,
+                reward,
+                done,
+            } = env.step(action, rng);
+            episode_reward += reward;
+            r.obs.push(obs);
+            r.masks.push(mask);
+            r.actions.push(action);
+            r.log_probs.push(log_prob);
+            r.rewards.push(reward);
+            r.dones.push(done);
+            r.values.push(value);
+            if done {
+                finished_rewards.push(episode_reward);
+                episode_reward = 0.0;
+                obs = env.reset(rng);
+            } else {
+                obs = next_obs;
+            }
+            mask = env.action_mask();
+        }
+        r.bootstrap = if *r.dones.last().expect("non-empty rollout") {
+            0.0
+        } else {
+            self.value_of(&obs)
+        };
+        let stats = TrainStats {
+            timesteps: 0,
+            mean_episode_reward: if finished_rewards.is_empty() {
+                f64::NAN
+            } else {
+                finished_rewards.iter().sum::<f64>() / finished_rewards.len() as f64
+            },
+            episodes: finished_rewards.len(),
+        };
+        (r, stats, obs, mask)
+    }
+
+    fn update(
+        &mut self,
+        rollout: &Rollout,
+        adam_policy: &mut Adam,
+        adam_value: &mut Adam,
+        rng: &mut StdRng,
+    ) {
+        let n = rollout.obs.len();
+        // GAE advantages and returns.
+        let mut advantages = vec![0.0; n];
+        let mut gae = 0.0;
+        for t in (0..n).rev() {
+            let next_value = if rollout.dones[t] {
+                0.0
+            } else if t + 1 < n {
+                rollout.values[t + 1]
+            } else {
+                rollout.bootstrap
+            };
+            let not_done = if rollout.dones[t] { 0.0 } else { 1.0 };
+            let delta =
+                rollout.rewards[t] + self.config.gamma * next_value - rollout.values[t];
+            gae = delta + self.config.gamma * self.config.gae_lambda * not_done * gae;
+            advantages[t] = gae;
+        }
+        let returns: Vec<f64> = advantages
+            .iter()
+            .zip(rollout.values.iter())
+            .map(|(a, v)| a + v)
+            .collect();
+        // Normalize advantages.
+        let mean = advantages.iter().sum::<f64>() / n as f64;
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt().max(1e-8);
+        for a in &mut advantages {
+            *a = (*a - mean) / std;
+        }
+
+        let mut indices: Vec<usize> = (0..n).collect();
+        for _ in 0..self.config.epochs {
+            indices.shuffle(rng);
+            for batch in indices.chunks(self.config.minibatch_size.max(1)) {
+                let mut pol_grads = Gradients::zeros_like(&self.policy);
+                let mut val_grads = Gradients::zeros_like(&self.value);
+                let scale = 1.0 / batch.len() as f64;
+                for &i in batch {
+                    // ---- policy ----
+                    let acts = self.policy.forward_cached(&rollout.obs[i]);
+                    let probs = masked_softmax(acts.output(), &rollout.masks[i]);
+                    let a = rollout.actions[i];
+                    let logp = probs[a].max(1e-12).ln();
+                    let ratio = (logp - rollout.log_probs[i]).exp();
+                    let adv = advantages[i];
+                    // Clipped surrogate: gradient flows only when the
+                    // unclipped term is active.
+                    let unclipped_active = if adv >= 0.0 {
+                        ratio < 1.0 + self.config.clip
+                    } else {
+                        ratio > 1.0 - self.config.clip
+                    };
+                    let dl_dlogp = if unclipped_active { -adv * ratio } else { 0.0 };
+                    // Entropy of the masked distribution.
+                    let entropy: f64 = probs
+                        .iter()
+                        .filter(|p| **p > 1e-12)
+                        .map(|p| -p * p.ln())
+                        .sum();
+                    // dL/dlogit_k = dl_dlogp·(δ_ak − π_k)
+                    //             + c_ent·π_k·(ln π_k + H)   (masked: π=0)
+                    let mut dlogits = vec![0.0; self.num_actions];
+                    for k in 0..self.num_actions {
+                        let pk = probs[k];
+                        let indicator = if k == a { 1.0 } else { 0.0 };
+                        let mut g = dl_dlogp * (indicator - pk);
+                        if pk > 1e-12 {
+                            g += self.config.entropy_coef * pk * (pk.ln() + entropy);
+                        }
+                        dlogits[k] = g * scale;
+                    }
+                    self.policy.backward(&acts, &dlogits, &mut pol_grads);
+                    // ---- value ----
+                    let vacts = self.value.forward_cached(&rollout.obs[i]);
+                    let v = vacts.output()[0];
+                    let dv = 2.0 * (v - returns[i]) * self.config.value_coef * scale;
+                    self.value.backward(&vacts, &[dv], &mut val_grads);
+                }
+                clip_grad_norm(&mut pol_grads, self.config.max_grad_norm);
+                clip_grad_norm(&mut val_grads, self.config.max_grad_norm);
+                adam_policy.step(&mut self.policy, &pol_grads);
+                adam_value.step(&mut self.value, &val_grads);
+            }
+        }
+    }
+}
+
+fn clip_grad_norm(grads: &mut Gradients, max_norm: f64) {
+    let norm = grads.norm();
+    if norm > max_norm {
+        grads.scale(max_norm / norm);
+    }
+}
+
+/// Softmax over `logits` restricted to unmasked entries.
+///
+/// # Panics
+///
+/// Panics if every entry is masked.
+pub fn masked_softmax(logits: &[f64], mask: &[bool]) -> Vec<f64> {
+    assert_eq!(logits.len(), mask.len(), "mask length mismatch");
+    assert!(mask.iter().any(|&m| m), "all actions masked");
+    let max = logits
+        .iter()
+        .zip(mask.iter())
+        .filter(|(_, &m)| m)
+        .map(|(l, _)| *l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut probs: Vec<f64> = logits
+        .iter()
+        .zip(mask.iter())
+        .map(|(l, &m)| if m { (l - max).exp() } else { 0.0 })
+        .collect();
+    let total: f64 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= total;
+    }
+    probs
+}
+
+/// Samples an index from a probability vector.
+pub fn sample_categorical(probs: &[f64], rng: &mut StdRng) -> usize {
+    let mut r: f64 = rng.gen();
+    let mut last_valid = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > 0.0 {
+            last_valid = i;
+            if r < p {
+                return i;
+            }
+            r -= p;
+        }
+    }
+    last_valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::toy::{Bandit, Corridor};
+
+    fn quick_config() -> PpoConfig {
+        PpoConfig {
+            steps_per_update: 128,
+            minibatch_size: 32,
+            epochs: 6,
+            hidden: vec![32],
+            learning_rate: 3e-3,
+            ..PpoConfig::default()
+        }
+    }
+
+    #[test]
+    fn masked_softmax_properties() {
+        let probs = masked_softmax(&[1.0, 2.0, 3.0], &[true, false, true]);
+        assert_eq!(probs[1], 0.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[2] > probs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all actions masked")]
+    fn masked_softmax_rejects_empty_mask() {
+        masked_softmax(&[1.0, 2.0], &[false, false]);
+    }
+
+    #[test]
+    fn sample_categorical_respects_zeros() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let i = sample_categorical(&[0.0, 0.7, 0.3, 0.0], &mut rng);
+            assert!(i == 1 || i == 2);
+        }
+    }
+
+    #[test]
+    fn ppo_learns_bandit() {
+        let mut env = Bandit {
+            payouts: vec![0.1, 0.9, 0.3],
+            mask: vec![true, true, true],
+        };
+        let mut agent = PpoAgent::new(1, 3, quick_config(), 7);
+        agent.train(&mut env, 4000, 1, |_| {});
+        assert_eq!(agent.act_greedy(&[1.0], &[true, true, true]), 1);
+        // Sampled policy should also strongly favor arm 1.
+        let probs = agent.action_probs(&[1.0], &[true, true, true]);
+        assert!(probs[1] > 0.6, "probs: {probs:?}");
+    }
+
+    #[test]
+    fn ppo_respects_action_masks() {
+        // The best arm is masked: the agent must pick the best legal one.
+        let mut env = Bandit {
+            payouts: vec![0.2, 0.9, 0.5],
+            mask: vec![true, false, true],
+        };
+        let mut agent = PpoAgent::new(1, 3, quick_config(), 3);
+        agent.train(&mut env, 3000, 2, |_| {});
+        let mask = vec![true, false, true];
+        assert_eq!(agent.act_greedy(&[1.0], &mask), 2);
+        let probs = agent.action_probs(&[1.0], &mask);
+        assert_eq!(probs[1], 0.0);
+    }
+
+    #[test]
+    fn ppo_learns_corridor() {
+        let mut env = Corridor::new(7);
+        let mut agent = PpoAgent::new(1, 2, quick_config(), 11);
+        let mut last_mean = f64::NAN;
+        agent.train(&mut env, 6000, 5, |s| {
+            if !s.mean_episode_reward.is_nan() {
+                last_mean = s.mean_episode_reward;
+            }
+        });
+        // After training, episodes should almost always reach the goal.
+        assert!(last_mean > 0.9, "mean episode reward {last_mean}");
+        // Greedy policy walks right from the middle.
+        let obs = vec![0.5];
+        assert_eq!(agent.act_greedy(&obs, &[true, true]), 1);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let make = || {
+            let mut env = Bandit {
+                payouts: vec![0.4, 0.6],
+                mask: vec![true, true],
+            };
+            let mut agent = PpoAgent::new(1, 2, quick_config(), 42);
+            agent.train(&mut env, 1000, 9, |_| {});
+            agent.action_probs(&[1.0], &[true, true])
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn value_estimate_tracks_returns() {
+        let mut env = Bandit {
+            payouts: vec![0.5, 0.5],
+            mask: vec![true, true],
+        };
+        let mut agent = PpoAgent::new(1, 2, quick_config(), 1);
+        agent.train(&mut env, 3000, 4, |_| {});
+        // Every episode pays exactly 0.5; the value head should know it.
+        let v = agent.value_of(&[1.0]);
+        assert!((v - 0.5).abs() < 0.15, "value {v}");
+    }
+}

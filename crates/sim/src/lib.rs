@@ -1,0 +1,68 @@
+//! # qrc-sim
+//!
+//! Statevector simulation and equivalence checking for the `mqt-predictor`
+//! workspace.
+//!
+//! The paper relies on Qiskit/TKET being correct; this reproduction instead
+//! *proves* every compilation pass is semantics-preserving by checking
+//! compiled circuits against their sources:
+//!
+//! * [`Statevector`] — dense simulation for up to [`MAX_QUBITS`] qubits,
+//! * [`circuit_unitary`] — exact unitary of a small circuit,
+//! * [`equiv`] — exact, randomized, and layout-aware equivalence checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use qrc_circuit::QuantumCircuit;
+//! use qrc_sim::equiv::circuits_equivalent;
+//!
+//! let mut a = QuantumCircuit::new(1);
+//! a.h(0).z(0).h(0); // HZH = X
+//! let mut b = QuantumCircuit::new(1);
+//! b.x(0);
+//! assert!(circuits_equivalent(&a, &b, 1e-10).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod equiv;
+mod state;
+mod unitary;
+
+pub use state::{gate_is_numeric_identity, sample_counts, Statevector, MAX_QUBITS};
+pub use unitary::{circuit_unitary, MAX_UNITARY_QUBITS};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The requested register exceeds the simulator's width limit.
+    TooManyQubits {
+        /// Requested width.
+        requested: u32,
+        /// Supported maximum.
+        max: u32,
+    },
+    /// Raw amplitudes did not form a valid state.
+    InvalidState {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, max } => {
+                write!(f, "{requested} qubits exceed the simulator limit of {max}")
+            }
+            SimError::InvalidState { reason } => write!(f, "invalid state: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}

@@ -1,0 +1,418 @@
+//! Statevector simulation.
+//!
+//! [`Statevector`] holds the full `2^n` complex amplitude vector and applies
+//! gates by direct matrix action on the targeted qubit subspace. Intended
+//! for correctness checking and small examples (`n ≲ 20`), not performance
+//! simulation.
+//!
+//! Index convention: amplitude index bit `i` (little-endian) is the state of
+//! qubit `i`, i.e. `|q_{n-1} … q_1 q_0⟩`. Gate matrices use the convention
+//! of [`qrc_circuit::Gate::matrix`]: gate argument 0 is the most significant
+//! bit of the matrix index.
+
+use crate::SimError;
+use qrc_circuit::math::Complex;
+use qrc_circuit::{Gate, Operation, QuantumCircuit};
+
+/// Maximum number of qubits the simulator will allocate (2^24 amplitudes,
+/// 256 MiB — beyond this a request is almost certainly a mistake).
+pub const MAX_QUBITS: u32 = 24;
+
+/// A full statevector over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::QuantumCircuit;
+/// use qrc_sim::Statevector;
+///
+/// let mut bell = QuantumCircuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let state = Statevector::from_circuit(&bell).unwrap();
+/// let p = state.probabilities();
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl Statevector {
+    /// Creates the all-zeros state `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    pub fn zero(num_qubits: u32) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[0] = Complex::ONE;
+        Ok(Statevector { num_qubits, amps })
+    }
+
+    /// Creates a state from raw amplitudes (must have power-of-two length
+    /// and unit norm within `1e-6`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidState`] when the length or norm is wrong.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Result<Self, SimError> {
+        let n = amps.len();
+        if n == 0 || n & (n - 1) != 0 {
+            return Err(SimError::InvalidState {
+                reason: format!("length {n} is not a power of two"),
+            });
+        }
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if (norm - 1.0).abs() > 1e-6 {
+            return Err(SimError::InvalidState {
+                reason: format!("norm² = {norm}, expected 1"),
+            });
+        }
+        Ok(Statevector {
+            num_qubits: n.trailing_zeros(),
+            amps,
+        })
+    }
+
+    /// Runs `circuit` from `|0…0⟩` and returns the final state.
+    ///
+    /// Measurements are ignored (they would collapse the state); use
+    /// [`Statevector::probabilities`] or [`crate::sample_counts`] to get
+    /// outcome statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit is too wide.
+    pub fn from_circuit(circuit: &QuantumCircuit) -> Result<Self, SimError> {
+        let mut sv = Statevector::zero(circuit.num_qubits())?;
+        sv.apply_circuit(circuit);
+        Ok(sv)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Borrow the amplitudes (length `2^n`, little-endian qubit order).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Applies every unitary operation of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &QuantumCircuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than state"
+        );
+        for op in circuit.iter() {
+            self.apply_operation(op);
+        }
+    }
+
+    /// Applies a single operation (no-op for measure/barrier).
+    pub fn apply_operation(&mut self, op: &Operation) {
+        if !op.gate.is_unitary() {
+            return;
+        }
+        let qubits: Vec<u32> = op.qubits.iter().map(|q| q.0).collect();
+        self.apply_matrix(&op.gate.matrix(), &qubits);
+    }
+
+    /// Applies a `2^k × 2^k` matrix to qubits `targets`
+    /// (`targets[0]` = most significant bit of the matrix index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension and target count disagree or targets
+    /// repeat / exceed the state width.
+    pub fn apply_matrix(&mut self, matrix: &qrc_circuit::math::CMatrix, targets: &[u32]) {
+        let k = targets.len();
+        assert_eq!(matrix.dim(), 1 << k, "matrix dim != 2^targets");
+        for (i, t) in targets.iter().enumerate() {
+            assert!(*t < self.num_qubits, "target out of range");
+            assert!(!targets[i + 1..].contains(t), "duplicate target");
+        }
+        let dim = self.amps.len();
+        let sub = 1usize << k;
+        // Masks of the target bits in amplitude-index space.
+        let masks: Vec<usize> = targets.iter().map(|&t| 1usize << t).collect();
+        let all_mask: usize = masks.iter().sum();
+
+        let mut gathered = vec![Complex::ZERO; sub];
+        let mut base = 0usize;
+        while base < dim {
+            if base & all_mask != 0 {
+                base += 1;
+                continue;
+            }
+            // `base` has zeros in every target bit: the anchor of one block.
+            for s in 0..sub {
+                let mut idx = base;
+                for (bit_pos, mask) in masks.iter().enumerate() {
+                    // Matrix index bit 0 (of `s`) = gate qubit 0 = MSB.
+                    if (s >> (k - 1 - bit_pos)) & 1 == 1 {
+                        idx |= mask;
+                    }
+                }
+                gathered[s] = self.amps[idx];
+            }
+            for (r, out_slot) in (0..sub).map(|r| {
+                let mut idx = base;
+                for (bit_pos, mask) in masks.iter().enumerate() {
+                    if (r >> (k - 1 - bit_pos)) & 1 == 1 {
+                        idx |= mask;
+                    }
+                }
+                (r, idx)
+            }) {
+                let mut acc = Complex::ZERO;
+                for (c, &g) in gathered.iter().enumerate() {
+                    acc += matrix[(r, c)] * g;
+                }
+                self.amps[out_slot] = acc;
+            }
+            base += 1;
+        }
+    }
+
+    /// Measurement probabilities for every computational basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` reads `1`.
+    pub fn prob_one(&self, q: u32) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn inner(&self, other: &Statevector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// L2 norm of the state (should always be ≈ 1).
+    pub fn norm(&self) -> f64 {
+        self.amps
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Samples measurement outcomes for all qubits of `circuit`, returning a
+/// map from bitstring (as `usize`, little-endian qubit order) to counts.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is too wide to simulate.
+pub fn sample_counts(
+    circuit: &QuantumCircuit,
+    shots: usize,
+    rng: &mut impl rand::Rng,
+) -> Result<std::collections::BTreeMap<usize, usize>, SimError> {
+    let sv = Statevector::from_circuit(circuit)?;
+    let probs = sv.probabilities();
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..shots {
+        let mut r: f64 = rng.gen();
+        let mut outcome = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if r < p {
+                outcome = i;
+                break;
+            }
+            r -= p;
+        }
+        *counts.entry(outcome).or_insert(0) += 1;
+    }
+    Ok(counts)
+}
+
+/// Convenience: does `gate` act as the identity on every basis state?
+/// (Used by tests to confirm `is_identity` predicates.)
+pub fn gate_is_numeric_identity(gate: Gate) -> bool {
+    if !gate.is_unitary() {
+        return false;
+    }
+    let m = gate.matrix();
+    m.approx_eq_up_to_phase(&qrc_circuit::math::CMatrix::identity(m.dim()), 1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_deterministic() {
+        let sv = Statevector::zero(3).unwrap();
+        assert_eq!(sv.amplitudes()[0], Complex::ONE);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(sv.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        assert!(matches!(
+            Statevector::zero(60),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(1);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        // Qubit 1 set → index 0b10.
+        assert!((sv.probabilities()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_control_order_matters() {
+        // X on qubit 1, then CX(control=1, target=0) should set qubit 0.
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(1).cx(1, 0);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities()[0b11] - 1.0).abs() < 1e-12);
+        // Whereas CX(control=0, target=1) on |10> does nothing.
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(1).cx(0, 1);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let n = 5;
+        let mut qc = QuantumCircuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let p = sv.probabilities();
+        let all_ones = (1usize << n) - 1;
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[all_ones] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.x(0).swap(0, 1);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccx_only_fires_with_both_controls() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.x(0).ccx(0, 1, 2);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities()[0b001] - 1.0).abs() < 1e-12);
+
+        let mut qc = QuantumCircuit::new(3);
+        qc.x(0).x(1).ccx(0, 1, 2);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.probabilities()[0b111] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_is_preserved_by_random_circuit() {
+        let mut qc = QuantumCircuit::new(4);
+        qc.h(0).cx(0, 1).rz(0.3, 1).rxx(1.1, 1, 2).cp(0.9, 2, 3).t(3);
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).t(1).cx(1, 2);
+        let a = Statevector::from_circuit(&qc).unwrap();
+        let b = Statevector::from_circuit(&qc).unwrap();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let mut q0 = QuantumCircuit::new(1);
+        q0.x(0);
+        let a = Statevector::zero(1).unwrap();
+        let b = Statevector::from_circuit(&q0).unwrap();
+        assert!(a.fidelity(&b) < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = sample_counts(&qc, 10_000, &mut rng).unwrap();
+        let zeros = *counts.get(&0).unwrap_or(&0) as f64;
+        assert!((zeros / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn from_amplitudes_validates() {
+        assert!(Statevector::from_amplitudes(vec![]).is_err());
+        assert!(Statevector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
+        assert!(Statevector::from_amplitudes(vec![Complex::ONE, Complex::ONE]).is_err());
+        let ok = Statevector::from_amplitudes(vec![Complex::ZERO, Complex::ONE]).unwrap();
+        assert_eq!(ok.num_qubits(), 1);
+    }
+
+    #[test]
+    fn measure_and_barrier_are_noops_on_state() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).barrier().measure_all();
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        assert!((sv.prob_one(0) - 0.5).abs() < 1e-12);
+    }
+}

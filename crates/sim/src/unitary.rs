@@ -1,0 +1,118 @@
+//! Full-circuit unitary construction.
+//!
+//! Builds the `2^n × 2^n` matrix of a circuit by simulating each
+//! computational basis state through the statevector engine (column by
+//! column). Practical for `n ≤ 10`; equivalence checking of wider circuits
+//! should use the randomized probe in [`crate::equiv`].
+
+use crate::state::Statevector;
+use crate::SimError;
+use qrc_circuit::math::{CMatrix, Complex};
+use qrc_circuit::QuantumCircuit;
+
+/// Maximum width for exact unitary construction (2^10 × 2^10 ≈ 16 MiB).
+pub const MAX_UNITARY_QUBITS: u32 = 10;
+
+/// Computes the full unitary matrix of `circuit`.
+///
+/// The matrix is indexed with the same little-endian convention as
+/// [`Statevector`]: row/column bit `i` is qubit `i`.
+///
+/// Measurements and barriers are skipped (treated as identity), so the
+/// result is the unitary part of the circuit.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] beyond [`MAX_UNITARY_QUBITS`].
+///
+/// # Examples
+///
+/// ```
+/// use qrc_circuit::QuantumCircuit;
+/// use qrc_sim::circuit_unitary;
+///
+/// let mut qc = QuantumCircuit::new(1);
+/// qc.h(0).h(0);
+/// let u = circuit_unitary(&qc).unwrap();
+/// assert!(u.approx_eq(&qrc_circuit::math::CMatrix::identity(2), 1e-10));
+/// ```
+pub fn circuit_unitary(circuit: &QuantumCircuit) -> Result<CMatrix, SimError> {
+    let n = circuit.num_qubits();
+    if n > MAX_UNITARY_QUBITS {
+        return Err(SimError::TooManyQubits {
+            requested: n,
+            max: MAX_UNITARY_QUBITS,
+        });
+    }
+    let dim = 1usize << n;
+    let mut u = CMatrix::zeros(dim);
+    for col in 0..dim {
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[col] = Complex::ONE;
+        let mut sv = Statevector::from_amplitudes(amps).expect("valid basis state");
+        sv.apply_circuit(circuit);
+        for (row, &a) in sv.amplitudes().iter().enumerate() {
+            u[(row, col)] = a;
+        }
+    }
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_circuit::Gate;
+
+    #[test]
+    fn single_gate_unitary_matches_gate_matrix_on_qubit0() {
+        // With a 1-qubit circuit the conventions coincide.
+        for g in [Gate::H, Gate::T, Gate::Sx, Gate::Rz(0.37)] {
+            let mut qc = QuantumCircuit::new(1);
+            qc.append(g, &[0]);
+            let u = circuit_unitary(&qc).unwrap();
+            assert!(u.approx_eq(&g.matrix(), 1e-12), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn two_qubit_convention_is_little_endian() {
+        // CX with control=qubit0, target=qubit1, little-endian indices:
+        // |q1 q0⟩: |01⟩ → |11⟩ (index 1 → 3).
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1);
+        let u = circuit_unitary(&qc).unwrap();
+        assert_eq!(u[(3, 1)], Complex::ONE);
+        assert_eq!(u[(1, 3)], Complex::ONE);
+        assert_eq!(u[(0, 0)], Complex::ONE);
+        assert_eq!(u[(2, 2)], Complex::ONE);
+    }
+
+    #[test]
+    fn composition_matches_matrix_product() {
+        let mut a = QuantumCircuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = QuantumCircuit::new(2);
+        b.rz(0.5, 1).cx(1, 0);
+        let mut ab = a.clone();
+        ab.extend_from(&b).unwrap();
+        let ua = circuit_unitary(&a).unwrap();
+        let ub = circuit_unitary(&b).unwrap();
+        let uab = circuit_unitary(&ab).unwrap();
+        // Circuit order a-then-b is matrix product U_b · U_a.
+        assert!(uab.approx_eq(&ub.matmul(&ua), 1e-10));
+    }
+
+    #[test]
+    fn unitary_is_unitary() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).t(1).rxx(0.7, 1, 2).cp(1.1, 0, 2);
+        let u = circuit_unitary(&qc).unwrap();
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn width_limit_enforced() {
+        let qc = QuantumCircuit::new(MAX_UNITARY_QUBITS + 1);
+        assert!(circuit_unitary(&qc).is_err());
+    }
+}

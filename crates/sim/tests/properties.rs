@@ -1,0 +1,74 @@
+//! Property-based tests for the simulator.
+
+use proptest::prelude::*;
+use qrc_circuit::strategies::circuit;
+use qrc_circuit::QuantumCircuit;
+use qrc_sim::equiv::{circuits_equivalent, circuits_equivalent_probe};
+use qrc_sim::{circuit_unitary, Statevector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simulation_preserves_norm(qc in circuit(1..=6, 40)) {
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary(qc in circuit(1..=4, 20)) {
+        let u = circuit_unitary(&qc).unwrap();
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn circuit_composed_with_inverse_is_identity(qc in circuit(1..=4, 12)) {
+        prop_assume!(qc.iter().all(|op| op.gate.is_unitary() && op.gate != qrc_circuit::Gate::ISwap));
+        let inv = qc.inverse().unwrap();
+        let mut composed = qc.clone();
+        composed.extend_from(&inv).unwrap();
+        let id = QuantumCircuit::new(qc.num_qubits());
+        prop_assert!(circuits_equivalent(&composed, &id, 1e-7).unwrap());
+    }
+
+    #[test]
+    fn exact_and_probe_equivalence_agree(
+        a in circuit(2..=4, 10),
+        b in circuit(2..=4, 10),
+    ) {
+        prop_assume!(a.num_qubits() == b.num_qubits());
+        let mut rng = StdRng::seed_from_u64(11);
+        let exact = circuits_equivalent(&a, &b, 1e-8).unwrap();
+        let probe = circuits_equivalent_probe(&a, &b, 8, 1e-6, &mut rng).unwrap();
+        // Probe may only err by declaring equivalent when exact says no
+        // (vanishingly unlikely); it must never reject equivalent pairs.
+        if exact {
+            prop_assert!(probe, "probe rejected an equivalent pair");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(qc in circuit(1..=6, 30)) {
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let total: f64 = sv.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn prob_one_matches_probability_table(qc in circuit(1..=5, 25)) {
+        let sv = Statevector::from_circuit(&qc).unwrap();
+        let table = sv.probabilities();
+        for q in 0..qc.num_qubits() {
+            let direct = sv.prob_one(q);
+            let summed: f64 = table
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & (1 << q) != 0)
+                .map(|(_, p)| p)
+                .sum();
+            prop_assert!((direct - summed).abs() < 1e-10);
+        }
+    }
+}

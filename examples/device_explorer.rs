@@ -1,0 +1,67 @@
+//! Device explorer: inspect the five target devices — topology, synthetic
+//! calibration, and how the *same* algorithm fares on each of them.
+//!
+//! This mirrors the motivation of the paper's Sec. I: the best device for
+//! a circuit is not obvious, which is exactly why device selection is part
+//! of the learned compilation flow.
+//!
+//! Run with: `cargo run --release --example device_explorer`
+
+use mqt_predictor::prelude::*;
+
+fn main() {
+    println!("=== Device inventory ===");
+    for device in Device::all() {
+        let cal = device.calibration();
+        println!(
+            "{:<18} {:>3} qubits, {:>3} edges | mean 1q err {:.1e}, 2q err {:.1e}, readout {:.1e}",
+            device.name(),
+            device.num_qubits(),
+            device.coupling().num_edges(),
+            mean(&cal.single_qubit_error),
+            mean(&cal.two_qubit_error.values().copied().collect::<Vec<_>>()),
+            cal.mean_readout_error(),
+        );
+    }
+
+    // Degree profile shows the topology families.
+    println!("\n=== Topology degree profiles ===");
+    for device in Device::all() {
+        let mut histogram = std::collections::BTreeMap::new();
+        for q in 0..device.num_qubits() {
+            *histogram.entry(device.coupling().degree(q)).or_insert(0u32) += 1;
+        }
+        println!("{:<18} {:?}", device.name(), histogram);
+    }
+
+    // Compile one workload everywhere and compare.
+    println!("\n=== QAOA-6 compiled on every device (qiskit_o3 baseline) ===");
+    let qc = BenchmarkFamily::Qaoa.generate(6);
+    for device in Device::all() {
+        match Baseline::QiskitO3.compile(&qc, device.id(), 1) {
+            Ok(compiled) => {
+                let fid = expected_fidelity(&compiled, &device);
+                let cd = 1.0
+                    - mqt_predictor::circuit::metrics::critical_depth(&compiled);
+                println!(
+                    "{:<18} fidelity {:.4} | 1-critical-depth {:.4} | {:>4} gates ({} 2q)",
+                    device.name(),
+                    fid,
+                    cd,
+                    compiled.num_gates(),
+                    compiled.num_two_qubit_gates(),
+                );
+            }
+            Err(e) => println!("{:<18} failed: {e}", device.name()),
+        }
+    }
+    println!("\nNote how the ranking is not the same for both metrics — the");
+    println!("reason the paper trains one model per optimization objective.");
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}

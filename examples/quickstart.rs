@@ -1,0 +1,63 @@
+//! Quickstart: build a circuit, compile it three ways (two baselines and
+//! a freshly trained RL model), and compare the expected fidelity.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mqt_predictor::prelude::*;
+
+fn main() {
+    // 1. A circuit to compile: 5-qubit GHZ preparation with measurement.
+    let mut circuit = QuantumCircuit::with_name(5, "my_ghz");
+    circuit.h(0);
+    for q in 0..4 {
+        circuit.cx(q, q + 1);
+    }
+    circuit.measure_all();
+    println!("Input circuit: {} ops on {} qubits", circuit.len(), circuit.num_qubits());
+
+    // 2. Compile with the two baseline flows for ibmq_montreal.
+    let device = Device::get(DeviceId::IbmqMontreal);
+    for baseline in [Baseline::QiskitO3, Baseline::TketO2] {
+        let compiled = baseline
+            .compile(&circuit, DeviceId::IbmqMontreal, 0)
+            .expect("baseline compilation");
+        println!(
+            "{:<10} -> {:>3} gates ({} two-qubit), fidelity {:.4}",
+            baseline.name(),
+            compiled.num_gates(),
+            compiled.num_two_qubit_gates(),
+            expected_fidelity(&compiled, &device),
+        );
+    }
+
+    // 3. Train a small RL model on a few benchmarks and compile with it.
+    //    (Tiny budget for demo purposes — see EXPERIMENTS.md for paper
+    //    scale.)
+    let training_set = vec![
+        BenchmarkFamily::Ghz.generate(4),
+        BenchmarkFamily::Ghz.generate(5),
+        BenchmarkFamily::WState.generate(4),
+        BenchmarkFamily::Dj.generate(5),
+    ];
+    let config = PredictorConfig::new(RewardKind::ExpectedFidelity, 4000);
+    println!("\nTraining RL compiler for {} steps…", config.total_timesteps);
+    let model = train(training_set, &config);
+
+    let outcome = model.compile(&circuit);
+    match outcome.device {
+        Some(dev_id) if outcome.reward > 0.0 => {
+            println!(
+                "RL model   -> {:>3} gates ({} two-qubit), fidelity {:.4} on {}",
+                outcome.circuit.num_gates(),
+                outcome.circuit.num_two_qubit_gates(),
+                outcome.reward,
+                dev_id,
+            );
+            println!("Action sequence:");
+            for action in &outcome.actions {
+                println!("  - {action}");
+            }
+        }
+        _ => println!("RL model did not reach an executable circuit (tiny training budget)"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Train-and-evaluate: a scaled-down version of the paper's experiment.
+//!
+//! Trains one model per reward function on a small benchmark suite, then
+//! evaluates each against the Qiskit-O3-like baseline on
+//! `ibmq_washington` — the comparison behind the paper's Fig. 3.
+//!
+//! Run with: `cargo run --release --example train_and_evaluate`
+//! (Takes a couple of minutes; tune `TIMESTEPS` to trade time for
+//! quality.)
+
+use mqt_predictor::prelude::*;
+
+const TIMESTEPS: usize = 6000;
+const MAX_QUBITS: u32 = 6;
+
+fn main() {
+    let suite = paper_suite(2, MAX_QUBITS);
+    println!(
+        "Benchmark suite: {} circuits (2–{MAX_QUBITS} qubits, 22 families)",
+        suite.len()
+    );
+
+    for reward in [RewardKind::ExpectedFidelity, RewardKind::CriticalDepth] {
+        println!("\n=== objective: {reward} ===");
+        let mut config = PredictorConfig::new(reward, TIMESTEPS);
+        config.seed = 17;
+        let model = train(suite.clone(), &config);
+
+        let mut rl_wins = 0usize;
+        let mut ties = 0usize;
+        let mut evaluated = 0usize;
+        let mut rl_total = 0.0;
+        let mut baseline_total = 0.0;
+        for qc in suite.iter().take(40) {
+            let rl = model.compile(qc);
+            let Ok(base) = Baseline::QiskitO3.compile(qc, DeviceId::IbmqWashington, 7) else {
+                continue;
+            };
+            let dev = Device::get(DeviceId::IbmqWashington);
+            let base_score = reward.evaluate(&base, &dev);
+            evaluated += 1;
+            rl_total += rl.reward;
+            baseline_total += base_score;
+            if rl.reward > base_score + 1e-9 {
+                rl_wins += 1;
+            } else if (rl.reward - base_score).abs() <= 1e-9 {
+                ties += 1;
+            }
+        }
+        println!(
+            "RL ≥ baseline on {}/{} circuits ({} strict wins, {} ties)",
+            rl_wins + ties,
+            evaluated,
+            rl_wins,
+            ties
+        );
+        println!(
+            "mean reward: RL {:.4} vs baseline {:.4}",
+            rl_total / evaluated as f64,
+            baseline_total / evaluated as f64
+        );
+    }
+    println!("\nFor the full paper-scale reproduction, use:");
+    println!("  cargo run --release -p qrc-bench --bin evaluate -- all");
+}

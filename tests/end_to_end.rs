@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the full compilation stack from
+//! benchmark generation through RL training to verified executable
+//! circuits.
+
+use mqt_predictor::prelude::*;
+use mqt_predictor::predictor::{CompilationFlow, OptPass};
+use mqt_predictor::sim::equiv::mapped_circuit_equivalent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every baseline on every device on a spread of benchmarks: always
+/// executable, deterministic, and with sane metric values.
+#[test]
+fn baselines_cover_all_devices_and_families() {
+    let families = [
+        BenchmarkFamily::Ghz,
+        BenchmarkFamily::Qft,
+        BenchmarkFamily::Vqe,
+        BenchmarkFamily::Qaoa,
+        BenchmarkFamily::WState,
+        BenchmarkFamily::QpeExact,
+    ];
+    for family in families {
+        let qc = family.generate(5);
+        for device in Device::all() {
+            for baseline in [Baseline::QiskitO3, Baseline::TketO2] {
+                let compiled = baseline
+                    .compile(&qc, device.id(), 11)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", baseline.name(), device.name()));
+                assert!(
+                    device.check_executable(&compiled),
+                    "{} on {} not executable",
+                    baseline.name(),
+                    device.name()
+                );
+                let fid = expected_fidelity(&compiled, &device);
+                assert!(fid > 0.0 && fid <= 1.0, "fidelity {fid}");
+            }
+        }
+    }
+}
+
+/// A manually driven flow is semantically faithful: verify the compiled
+/// circuit against the original through the tracked layouts.
+#[test]
+fn manual_flow_is_semantically_verified() {
+    use mqt_predictor::predictor::{Action, LayoutMethod, RoutingMethod};
+    use mqt_predictor::device::Platform;
+
+    // A 4-qubit circuit with a star interaction (needs routing on a ring).
+    let mut qc = QuantumCircuit::new(4);
+    qc.h(0).cx(0, 1).cx(0, 2).cx(0, 3).rz(0.7, 2).cx(1, 3);
+
+    let mut flow = CompilationFlow::new(qc.clone(), 23);
+    flow.apply(Action::SelectPlatform(Platform::Oqc)).unwrap();
+    flow.apply(Action::SelectDevice(DeviceId::OqcLucy)).unwrap();
+    flow.apply(Action::Synthesize).unwrap();
+    flow.apply(Action::Layout(LayoutMethod::Sabre)).unwrap();
+    flow.apply(Action::Route(RoutingMethod::Sabre)).unwrap();
+    if !flow.is_done() {
+        flow.apply(Action::Synthesize).unwrap();
+    }
+    assert!(flow.is_done());
+
+    let (initial, final_) = flow.layouts();
+    let initial: Vec<Qubit> = initial.into_iter().map(Qubit).collect();
+    let final_: Vec<Qubit> = final_.into_iter().map(Qubit).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    assert!(
+        mapped_circuit_equivalent(&qc, flow.circuit(), &initial, &final_, 4, 1e-6, &mut rng)
+            .unwrap(),
+        "compiled circuit diverges from source"
+    );
+}
+
+/// Optimization-only flows (no device) preserve measurement statistics on
+/// real benchmarks.
+#[test]
+fn device_free_optimization_preserves_benchmarks() {
+    use mqt_predictor::predictor::Action;
+    for family in [BenchmarkFamily::Qft, BenchmarkFamily::GraphState] {
+        let qc = family.generate(5);
+        let mut flow = CompilationFlow::new(qc.clone(), 3);
+        for opt in [
+            OptPass::FullPeepholeOptimise,
+            OptPass::CommutativeCancellation,
+            OptPass::RemoveRedundancies,
+        ] {
+            flow.apply(Action::Optimize(opt)).unwrap();
+        }
+        assert!(
+            mqt_predictor::sim::equiv::measurement_equivalent(&qc, flow.circuit(), 1e-6)
+                .unwrap(),
+            "{family} semantics broken"
+        );
+    }
+}
+
+/// Training improves over an untrained policy on a fixed small workload.
+#[test]
+fn training_beats_untrained_policy() {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Ghz.generate(4),
+        BenchmarkFamily::WState.generate(3),
+        BenchmarkFamily::Dj.generate(4),
+    ];
+    let untrained = {
+        let config = PredictorConfig::new(RewardKind::ExpectedFidelity, 1);
+        mqt_predictor::predictor::train(suite.clone(), &config)
+    };
+    let trained = {
+        let mut config = PredictorConfig::new(RewardKind::ExpectedFidelity, 6000);
+        config.seed = 2;
+        mqt_predictor::predictor::train(suite.clone(), &config)
+    };
+    let score = |model: &TrainedPredictor| -> f64 {
+        suite.iter().map(|qc| model.compile(qc).reward).sum::<f64>()
+    };
+    let (u, t) = (score(&untrained), score(&trained));
+    assert!(
+        t >= u - 1e-9,
+        "training regressed: untrained {u:.4} vs trained {t:.4}"
+    );
+    assert!(t > 0.5, "trained model never succeeds (total reward {t:.4})");
+}
+
+/// The QASM layer interoperates with compilation: export, re-import,
+/// recompile.
+#[test]
+fn qasm_round_trip_through_compilation() {
+    let qc = BenchmarkFamily::QftEntangled.generate(4);
+    let compiled = Baseline::QiskitO3
+        .compile(&qc, DeviceId::IbmqMontreal, 5)
+        .unwrap();
+    let text = mqt_predictor::circuit::qasm::to_qasm(&compiled);
+    let back = mqt_predictor::circuit::qasm::from_qasm(&text).unwrap();
+    assert_eq!(back.len(), compiled.len());
+    let dev = Device::get(DeviceId::IbmqMontreal);
+    assert!(dev.check_executable(&back));
+}
+
+/// Feature extraction stays sane across every family and width used in
+/// evaluation.
+#[test]
+fn features_normalized_across_the_paper_suite() {
+    for qc in paper_suite(2, 10) {
+        let f = FeatureVector::of(&qc);
+        assert!(f.is_normalized(), "{}: {f:?}", qc.name());
+    }
+}
+
+/// The simulator agrees with gate-count reasoning: compiled GHZ still
+/// produces a GHZ distribution.
+#[test]
+fn compiled_ghz_still_prepares_ghz() {
+    let qc = BenchmarkFamily::Ghz.generate(4);
+    let compiled = Baseline::TketO2.compile(&qc, DeviceId::OqcLucy, 13).unwrap();
+    // Simulate the unitary part of the compiled circuit and check the
+    // distribution through the layout: outcome must be two-peaked.
+    let mut unitary = compiled.clone();
+    unitary.retain(|op| op.gate.is_unitary());
+    let sv = Statevector::from_circuit(&unitary).unwrap();
+    let probs = sv.probabilities();
+    let mut peaks: Vec<f64> = probs.iter().copied().filter(|p| *p > 1e-6).collect();
+    peaks.sort_by(|a, b| b.total_cmp(a));
+    assert_eq!(peaks.len(), 2, "GHZ must have exactly two outcomes");
+    assert!((peaks[0] - 0.5).abs() < 1e-6);
+    assert!((peaks[1] - 0.5).abs() < 1e-6);
+}
