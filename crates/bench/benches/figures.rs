@@ -4,11 +4,11 @@
 //! `evaluate` binary's job and is reported in EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use qrc_benchgen::BenchmarkFamily;
 use qrc_device::DeviceId;
 use qrc_predictor::{train, Baseline, PredictorConfig, RewardKind, TrainedPredictor};
 use qrc_rl::PpoConfig;
+use std::time::Duration;
 
 fn tiny_model(reward: RewardKind) -> TrainedPredictor {
     let suite = vec![

@@ -4,13 +4,13 @@
 //! per-action cost determines RL training throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use qrc_benchgen::BenchmarkFamily;
 use qrc_circuit::QuantumCircuit;
+use qrc_circuit::Qubit;
 use qrc_device::{Device, DeviceId};
 use qrc_passes::kak::{kak_decompose, synthesize_2q};
 use qrc_passes::{layout_passes, optimization_passes, routing_passes, Pass, PassContext};
-use qrc_circuit::Qubit;
+use std::time::Duration;
 
 fn routing_benchmarks(c: &mut Criterion) {
     let dev = Device::get(DeviceId::IbmqMontreal);
@@ -70,7 +70,11 @@ fn synthesis_benchmarks(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     let qc = BenchmarkFamily::Qft.generate(10);
-    for dev_id in [DeviceId::IbmqMontreal, DeviceId::RigettiAspenM2, DeviceId::IonqHarmony] {
+    for dev_id in [
+        DeviceId::IbmqMontreal,
+        DeviceId::RigettiAspenM2,
+        DeviceId::IonqHarmony,
+    ] {
         let dev = Device::get(dev_id);
         group.bench_function(format!("basis_translation/{}", dev.name()), |b| {
             let ctx = PassContext::for_device(&dev);

@@ -18,6 +18,7 @@ use qrc_predictor::{
 use qrc_rl::{Environment, PpoAgent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// One ablation arm: a label plus the mean achieved reward on the suite.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +42,10 @@ pub struct AblationSettings {
     pub reward: RewardKind,
     /// Master seed.
     pub seed: u64,
+    /// Run the six arms rayon-parallel (identical results to serial:
+    /// every arm and circuit derives its own seed via
+    /// [`crate::task_seed`]).
+    pub parallel: bool,
 }
 
 impl Default for AblationSettings {
@@ -50,13 +55,15 @@ impl Default for AblationSettings {
             timesteps: 6_000,
             reward: RewardKind::ExpectedFidelity,
             seed: 11,
+            parallel: true,
         }
     }
 }
 
-/// Trains one agent with environment modifiers and scores it on the suite.
+/// Trains one agent with environment modifiers and scores it on the
+/// suite. The label is stamped on by [`run_ablations`], which owns the
+/// single source of arm names.
 fn run_arm(
-    label: &str,
     settings: &AblationSettings,
     step_penalty: f64,
     obs_mode: ObservationMode,
@@ -71,10 +78,13 @@ fn run_arm(
     let mut agent = PpoAgent::new(OBS_DIM, Action::COUNT, config.ppo.clone(), settings.seed);
     agent.train(&mut env, settings.timesteps, settings.seed, |_| {});
     // Greedy evaluation through a fresh env pinned to each circuit.
-    let mut rng = StdRng::seed_from_u64(settings.seed);
+    // Each circuit gets its own derived seed (rather than one RNG
+    // threaded through the loop) so the evaluation order never affects
+    // results — the precondition for running arms in parallel.
     let mut total = 0.0;
     let mut successes = 0usize;
     for (i, _) in suite.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(crate::task_seed(settings.seed, i as u64));
         let mut eval_env = CompilationEnv::new(suite.clone(), settings.reward)
             .with_observation_mode(obs_mode)
             .with_invalid_action_mode(invalid_mode);
@@ -95,7 +105,7 @@ fn run_arm(
         }
     }
     AblationResult {
-        label: label.to_string(),
+        label: String::new(),
         mean_reward: total / suite.len() as f64,
         success_rate: successes as f64 / suite.len() as f64,
     }
@@ -104,10 +114,10 @@ fn run_arm(
 /// Scores a random-legal-action policy (no learning).
 fn random_policy_arm(settings: &AblationSettings) -> AblationResult {
     let suite = paper_suite(2, settings.max_qubits);
-    let mut rng = StdRng::seed_from_u64(settings.seed ^ 0xabc);
     let mut total = 0.0;
     let mut successes = 0usize;
-    for qc in &suite {
+    for (i, qc) in suite.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(crate::task_seed(settings.seed ^ 0xabc, i as u64));
         let mut flow = CompilationFlow::new(qc.clone(), settings.seed);
         for _ in 0..MAX_EPISODE_STEPS {
             if flow.is_done() {
@@ -138,7 +148,7 @@ fn random_policy_arm(settings: &AblationSettings) -> AblationResult {
         }
     }
     AblationResult {
-        label: "random legal policy".into(),
+        label: String::new(),
         mean_reward: total / suite.len() as f64,
         success_rate: successes as f64 / suite.len() as f64,
     }
@@ -188,7 +198,7 @@ fn greedy_policy_arm(settings: &AblationSettings) -> AblationResult {
         }
     }
     AblationResult {
-        label: "greedy one-step heuristic".into(),
+        label: String::new(),
         mean_reward: total / suite.len() as f64,
         success_rate: successes as f64 / suite.len() as f64,
     }
@@ -218,45 +228,56 @@ fn probe_score(flow: &CompilationFlow, reward: RewardKind) -> f64 {
 }
 
 /// Runs all ablation arms and the policy baselines.
+///
+/// With `settings.parallel`, the six independent arms run
+/// rayon-parallel; every arm derives its own seeds, so results are
+/// identical to a serial run.
 pub fn run_ablations(settings: &AblationSettings) -> Vec<AblationResult> {
-    let mut out = Vec::new();
-    eprintln!("arm 1/6: sparse reward (paper)…");
-    out.push(run_arm(
-        "sparse reward (paper)",
-        settings,
-        0.0,
-        ObservationMode::Full,
-        InvalidActionMode::Mask,
-    ));
-    eprintln!("arm 2/6: shaped reward (step penalty 0.005)…");
-    out.push(run_arm(
-        "shaped reward (penalty 0.005)",
-        settings,
-        0.005,
-        ObservationMode::Full,
-        InvalidActionMode::Mask,
-    ));
-    eprintln!("arm 3/6: penalty-based invalid actions…");
-    out.push(run_arm(
-        "invalid actions penalized (no mask)",
-        settings,
-        0.005,
-        ObservationMode::Full,
-        InvalidActionMode::Penalize,
-    ));
-    eprintln!("arm 4/6: basic features only…");
-    out.push(run_arm(
-        "basic features only (no SupermarQ)",
-        settings,
-        0.005,
-        ObservationMode::BasicOnly,
-        InvalidActionMode::Mask,
-    ));
-    eprintln!("arm 5/6: random policy…");
-    out.push(random_policy_arm(settings));
-    eprintln!("arm 6/6: greedy heuristic…");
-    out.push(greedy_policy_arm(settings));
-    out
+    type Arm = Box<dyn Fn(&AblationSettings) -> AblationResult + Sync>;
+    let trained_arm =
+        |step_penalty: f64, obs_mode: ObservationMode, invalid_mode: InvalidActionMode| {
+            Box::new(move |s: &AblationSettings| run_arm(s, step_penalty, obs_mode, invalid_mode))
+                as Arm
+        };
+    // The single source of arm names: each result's label is stamped
+    // from this list after the arm runs.
+    let arms: Vec<(&str, Arm)> = vec![
+        (
+            "sparse reward (paper)",
+            trained_arm(0.0, ObservationMode::Full, InvalidActionMode::Mask),
+        ),
+        (
+            "shaped reward (penalty 0.005)",
+            trained_arm(0.005, ObservationMode::Full, InvalidActionMode::Mask),
+        ),
+        (
+            "invalid actions penalized (no mask)",
+            trained_arm(0.005, ObservationMode::Full, InvalidActionMode::Penalize),
+        ),
+        (
+            "basic features only (no SupermarQ)",
+            trained_arm(0.005, ObservationMode::BasicOnly, InvalidActionMode::Mask),
+        ),
+        ("random legal policy", Box::new(random_policy_arm) as Arm),
+        (
+            "greedy one-step heuristic",
+            Box::new(greedy_policy_arm) as Arm,
+        ),
+    ];
+    // Under parallel dispatch the start order is scheduler-dependent,
+    // so progress lines report start/finish by name, not a counter.
+    let run_one = |(label, arm): &(&str, Arm)| {
+        eprintln!("arm `{label}` started\u{2026}");
+        let mut result = arm(settings);
+        result.label = label.to_string();
+        eprintln!("arm `{label}` finished");
+        result
+    };
+    if settings.parallel {
+        arms.par_iter().map(run_one).collect()
+    } else {
+        arms.iter().map(run_one).collect()
+    }
 }
 
 /// Verifies a compiled flow is executable — shared sanity helper.
@@ -325,13 +346,7 @@ mod tests {
             timesteps: 300,
             ..AblationSettings::default()
         };
-        let arm = run_arm(
-            "smoke",
-            &s,
-            0.005,
-            ObservationMode::Full,
-            InvalidActionMode::Mask,
-        );
+        let arm = run_arm(&s, 0.005, ObservationMode::Full, InvalidActionMode::Mask);
         assert!((0.0..=1.0).contains(&arm.success_rate));
     }
 

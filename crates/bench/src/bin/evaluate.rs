@@ -12,6 +12,8 @@
 //!   summary                 the §IV-B headline percentages
 //!   ablation                design-choice ablations (shaping, masking,
 //!                           features, policy baselines)
+//!   perf                    serial-vs-parallel scoring throughput only
+//!                           (writes BENCH_eval.json)
 //!   all                     everything above from one evaluation run
 //!
 //! flags:
@@ -22,6 +24,10 @@
 //!   --sparse         disable reward shaping (paper's pure sparse reward)
 //!   --penalty X      set the shaping step penalty (default 0.005)
 //!   --quiet          suppress training progress
+//!   --serial         disable rayon-parallel scoring/ablations
+//!                    (skips the BENCH_eval.json report for `all`;
+//!                    conflicts with `perf`)
+//!   --bench-out P    where `all`/`perf` write BENCH_eval.json
 //! ```
 
 use qrc_bench::{
@@ -37,7 +43,18 @@ fn main() {
         return;
     }
     let target = args[0].clone();
+    // Reject unknown targets before spending minutes on training.
+    const TARGETS: [&str; 11] = [
+        "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "table1", "summary", "ablation",
+        "perf", "all",
+    ];
+    if !TARGETS.contains(&target.as_str()) {
+        eprintln!("unknown target `{target}`");
+        print_usage();
+        std::process::exit(2);
+    }
     let mut settings = EvalSettings::default();
+    let mut bench_out = std::path::PathBuf::from("BENCH_eval.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +73,17 @@ fn main() {
                 settings.step_penalty = parse_next(&args, &mut i, "penalty");
             }
             "--quiet" => settings.verbose = false,
+            "--serial" => settings.parallel = false,
+            "--bench-out" => {
+                i += 1;
+                bench_out = args
+                    .get(i)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| {
+                        eprintln!("--bench-out needs a path argument");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 print_usage();
@@ -71,13 +99,31 @@ fn main() {
             timesteps: settings.timesteps,
             reward: qrc_predictor::RewardKind::ExpectedFidelity,
             seed: settings.seed,
+            parallel: settings.parallel,
         };
         println!("\n=== Ablations (objective: fidelity) ===");
         let results = qrc_bench::ablation::run_ablations(&ab);
         print!("{}", qrc_bench::ablation::render_ablations(&results));
         return;
     }
-    let eval = run_evaluation(&settings);
+    // `all` and `perf` train once, then score the suite twice (serial
+    // and rayon-parallel) to measure the parallel speedup and persist
+    // it as BENCH_eval.json. `--serial` disables that comparison: it
+    // contradicts `perf` (whose whole point is serial-vs-parallel) and
+    // downgrades `all` to a plain serial evaluation with no report.
+    if target == "perf" && !settings.parallel {
+        eprintln!("--serial conflicts with `perf`: it measures serial vs parallel scoring");
+        std::process::exit(2);
+    }
+    let eval = if (target == "all" || target == "perf") && settings.parallel {
+        let eval = run_instrumented(&settings, &bench_out);
+        if target == "perf" {
+            return;
+        }
+        eval
+    } else {
+        run_evaluation(&settings)
+    };
     match target.as_str() {
         "fig3a" => print_fig3_histogram(&eval, RewardKind::ExpectedFidelity, "Fig. 3a"),
         "fig3b" => print_fig3_histogram(&eval, RewardKind::CriticalDepth, "Fig. 3b"),
@@ -98,12 +144,49 @@ fn main() {
             print_table1(&eval);
             print_summary(&eval);
         }
-        other => {
-            eprintln!("unknown target `{other}`");
-            print_usage();
-            std::process::exit(2);
-        }
+        other => unreachable!("target `{other}` was validated before evaluation"),
     }
+}
+
+/// Trains the models, scores the suite serially and in parallel,
+/// verifies the results agree, writes `BENCH_eval.json`, and returns
+/// the (parallel-scored) evaluation.
+fn run_instrumented(settings: &EvalSettings, bench_out: &std::path::Path) -> Evaluation {
+    let suite = qrc_benchgen::paper_suite(2, settings.max_qubits);
+    let train_start = std::time::Instant::now();
+    let models = qrc_bench::train_models(&suite, settings);
+    let train_secs = train_start.elapsed().as_secs_f64();
+    let device = qrc_device::Device::get(settings.device);
+    let (throughput, circuits) =
+        qrc_bench::report::measure_throughput(&suite, &models, &device, settings.seed);
+    assert!(
+        throughput.results_identical,
+        "parallel evaluation diverged from the serial path"
+    );
+    let eval = Evaluation {
+        circuits,
+        settings: settings.clone(),
+        timing: qrc_bench::EvalTiming {
+            train_secs,
+            score_secs: throughput.parallel_secs,
+        },
+    };
+    println!("\n=== Evaluation throughput ===");
+    println!(
+        "{} circuits | {} threads | serial {:.3}s | parallel {:.3}s | \
+         {:.1} circuits/s | speedup {:.2}x",
+        throughput.circuits,
+        throughput.threads,
+        throughput.serial_secs,
+        throughput.parallel_secs,
+        throughput.circuits_per_sec(),
+        throughput.speedup()
+    );
+    match qrc_bench::report::write_bench_eval_json(bench_out, &eval, &throughput) {
+        Ok(()) => println!("wrote {}", bench_out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_out.display()),
+    }
+    eval
 }
 
 fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> T {
@@ -118,8 +201,9 @@ fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) 
 
 fn print_usage() {
     println!(
-        "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|all> \
-         [--timesteps N] [--max-qubits N] [--seed N] [--full] [--sparse] [--penalty X] [--quiet]"
+        "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|perf|all> \
+         [--timesteps N] [--max-qubits N] [--seed N] [--full] [--sparse] [--penalty X] [--quiet] \
+         [--serial] [--bench-out PATH]"
     );
 }
 

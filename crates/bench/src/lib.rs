@@ -18,13 +18,29 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod report;
 
 use qrc_benchgen::{paper_suite, BenchmarkFamily};
 use qrc_circuit::QuantumCircuit;
 use qrc_device::{Device, DeviceId};
-use qrc_predictor::{
-    train_with_progress, Baseline, PredictorConfig, RewardKind, TrainedPredictor,
-};
+use qrc_predictor::{train_with_progress, Baseline, PredictorConfig, RewardKind, TrainedPredictor};
+use rayon::prelude::*;
+
+/// Derives a deterministic per-task seed from a master seed and a task
+/// index (SplitMix64-style mixing).
+///
+/// Giving every parallel work item its own derived seed — instead of
+/// threading one RNG through a serial loop — is what makes the
+/// rayon-parallel evaluation paths produce results byte-identical to
+/// the serial ones, regardless of scheduling order.
+pub fn task_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Scale/configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -41,6 +57,9 @@ pub struct EvalSettings {
     pub step_penalty: f64,
     /// Print training progress.
     pub verbose: bool,
+    /// Score circuits with rayon-parallel rollouts (results are
+    /// byte-identical to the serial path; see [`score_suite`]).
+    pub parallel: bool,
 }
 
 impl Default for EvalSettings {
@@ -52,6 +71,7 @@ impl Default for EvalSettings {
             seed: 3,
             step_penalty: 0.005,
             verbose: true,
+            parallel: true,
         }
     }
 }
@@ -79,7 +99,7 @@ fn metric_index(kind: RewardKind) -> usize {
 }
 
 /// Evaluation results for one benchmark circuit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CircuitEval {
     /// Circuit name (`family_width`).
     pub name: String,
@@ -95,6 +115,15 @@ pub struct CircuitEval {
     pub tket: MetricTriple,
 }
 
+/// Wall-clock timings of one evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalTiming {
+    /// Seconds spent training the three models.
+    pub train_secs: f64,
+    /// Seconds spent scoring the suite (RL rollouts + baselines).
+    pub score_secs: f64,
+}
+
 /// The full evaluation: one entry per benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -102,6 +131,58 @@ pub struct Evaluation {
     pub circuits: Vec<CircuitEval>,
     /// The settings that produced this evaluation.
     pub settings: EvalSettings,
+    /// Wall-clock timings of this run.
+    pub timing: EvalTiming,
+}
+
+/// Trains the three models used by [`run_evaluation`] — one per reward
+/// function — on the given suite.
+pub fn train_models(suite: &[QuantumCircuit], settings: &EvalSettings) -> Vec<TrainedPredictor> {
+    RewardKind::ALL
+        .iter()
+        .map(|&reward| {
+            let mut config = PredictorConfig::new(reward, settings.timesteps);
+            config.seed = settings.seed;
+            config.step_penalty = settings.step_penalty;
+            if settings.verbose {
+                eprintln!("training model for objective `{reward}`…");
+            }
+            let mut last_report = 0usize;
+            train_with_progress(suite.to_vec(), &config, |stats| {
+                if settings.verbose && stats.timesteps >= last_report + 2000 {
+                    last_report = stats.timesteps;
+                    eprintln!(
+                        "  {} steps, mean episode reward {:.3}",
+                        stats.timesteps, stats.mean_episode_reward
+                    );
+                }
+            })
+        })
+        .collect()
+}
+
+/// Scores every circuit of the suite under the three RL models and both
+/// baselines.
+///
+/// Each circuit is an independent task with a [`task_seed`]-derived
+/// seed, so the `parallel` (rayon) and serial paths produce identical
+/// results — the parallel path only changes wall-clock time.
+pub fn score_suite(
+    suite: &[QuantumCircuit],
+    models: &[TrainedPredictor],
+    device: &Device,
+    master_seed: u64,
+    parallel: bool,
+) -> Vec<CircuitEval> {
+    let score = |(i, qc): (usize, &QuantumCircuit)| {
+        evaluate_circuit(qc, models, device, task_seed(master_seed, i as u64))
+    };
+    if parallel {
+        let indexed: Vec<(usize, &QuantumCircuit)> = suite.iter().enumerate().collect();
+        indexed.par_iter().map(|&item| score(item)).collect()
+    } else {
+        suite.iter().enumerate().map(score).collect()
+    }
 }
 
 /// Trains the three models (one per reward function) and evaluates them
@@ -116,36 +197,21 @@ pub fn run_evaluation(settings: &EvalSettings) -> Evaluation {
             settings.timesteps
         );
     }
-    let models: Vec<TrainedPredictor> = RewardKind::ALL
-        .iter()
-        .map(|&reward| {
-            let mut config = PredictorConfig::new(reward, settings.timesteps);
-            config.seed = settings.seed;
-            config.step_penalty = settings.step_penalty;
-            if settings.verbose {
-                eprintln!("training model for objective `{reward}`…");
-            }
-            let mut last_report = 0usize;
-            train_with_progress(suite.clone(), &config, |stats| {
-                if settings.verbose && stats.timesteps >= last_report + 2000 {
-                    last_report = stats.timesteps;
-                    eprintln!(
-                        "  {} steps, mean episode reward {:.3}",
-                        stats.timesteps, stats.mean_episode_reward
-                    );
-                }
-            })
-        })
-        .collect();
+    let train_start = std::time::Instant::now();
+    let models = train_models(&suite, settings);
+    let train_secs = train_start.elapsed().as_secs_f64();
 
     let device = Device::get(settings.device);
-    let mut circuits = Vec::with_capacity(suite.len());
-    for qc in &suite {
-        circuits.push(evaluate_circuit(qc, &models, &device, settings.seed));
-    }
+    let score_start = std::time::Instant::now();
+    let circuits = score_suite(&suite, &models, &device, settings.seed, settings.parallel);
+    let score_secs = score_start.elapsed().as_secs_f64();
     Evaluation {
         circuits,
         settings: settings.clone(),
+        timing: EvalTiming {
+            train_secs,
+            score_secs,
+        },
     }
 }
 
@@ -280,6 +346,7 @@ pub fn per_family_means(eval: &Evaluation, metric: RewardKind) -> Vec<(Benchmark
 
 /// Table I: `table[i][j]` = average score under metric `j` of the model
 /// trained for metric `i`.
+#[allow(clippy::needless_range_loop)] // 3x3 fixed-index accumulation.
 pub fn table1(eval: &Evaluation) -> [[f64; 3]; 3] {
     let mut out = [[0.0; 3]; 3];
     let n = eval.circuits.len().max(1) as f64;
@@ -321,7 +388,11 @@ pub fn summary(eval: &Evaluation, metric: RewardKind, against: Compare) -> Summa
 
 /// Renders a histogram as an ASCII bar chart (one row per bin).
 pub fn render_histogram(bins: &[HistogramBin]) -> String {
-    let max = bins.iter().map(|b| b.frequency).fold(0.0, f64::max).max(1e-9);
+    let max = bins
+        .iter()
+        .map(|b| b.frequency)
+        .fold(0.0, f64::max)
+        .max(1e-9);
     let mut out = String::new();
     for b in bins {
         let width = (b.frequency / max * 48.0).round() as usize;
@@ -358,16 +429,15 @@ mod tests {
 
     fn synthetic_eval() -> Evaluation {
         // Hand-built evaluation with known numbers.
-        let mk = |family: BenchmarkFamily, qubits: u32, rl: f64, qiskit: f64, tket: f64| {
-            CircuitEval {
+        let mk =
+            |family: BenchmarkFamily, qubits: u32, rl: f64, qiskit: f64, tket: f64| CircuitEval {
                 name: format!("{}_{qubits}", family.name()),
                 family,
                 qubits,
                 rl: [[rl; 3]; 3],
                 qiskit: [qiskit; 3],
                 tket: [tket; 3],
-            }
-        };
+            };
         Evaluation {
             circuits: vec![
                 mk(BenchmarkFamily::Ghz, 3, 0.9, 0.8, 0.7),
@@ -378,6 +448,7 @@ mod tests {
                 verbose: false,
                 ..EvalSettings::default()
             },
+            timing: EvalTiming::default(),
         }
     }
 

@@ -1,0 +1,173 @@
+//! Machine-readable performance reporting for the evaluation harness.
+//!
+//! [`measure_throughput`] times the scoring phase twice — serial, then
+//! rayon-parallel — over the same trained models, verifies the two
+//! result sets are identical (the parallel path must only change
+//! wall-clock, never output), and [`write_bench_eval_json`] persists
+//! the numbers as `BENCH_eval.json` so every future PR can compare its
+//! perf trajectory against a measured baseline.
+
+use std::time::Instant;
+
+use qrc_circuit::QuantumCircuit;
+use qrc_device::Device;
+use qrc_predictor::TrainedPredictor;
+use serde_json::Value;
+
+use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
+
+/// Wall-clock comparison of the serial vs parallel scoring paths.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Number of circuits scored per pass.
+    pub circuits: usize,
+    /// Worker threads used by the parallel pass.
+    pub threads: usize,
+    /// Serial scoring wall-clock (seconds).
+    pub serial_secs: f64,
+    /// Parallel scoring wall-clock (seconds).
+    pub parallel_secs: f64,
+    /// `true` iff both passes produced identical results.
+    pub results_identical: bool,
+}
+
+impl ThroughputReport {
+    /// Circuits per second of the parallel pass.
+    pub fn circuits_per_sec(&self) -> f64 {
+        self.circuits as f64 / self.parallel_secs.max(1e-12)
+    }
+
+    /// Serial wall-clock divided by parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+}
+
+/// Scores the suite serially and in parallel with identical per-task
+/// seeds, timing both passes and comparing their outputs.
+pub fn measure_throughput(
+    suite: &[QuantumCircuit],
+    models: &[TrainedPredictor],
+    device: &Device,
+    master_seed: u64,
+) -> (ThroughputReport, Vec<CircuitEval>) {
+    let serial_start = Instant::now();
+    let serial = score_suite(suite, models, device, master_seed, false);
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+
+    let parallel_start = Instant::now();
+    let parallel = score_suite(suite, models, device, master_seed, true);
+    let parallel_secs = parallel_start.elapsed().as_secs_f64();
+
+    let report = ThroughputReport {
+        circuits: suite.len(),
+        threads: rayon::current_num_threads(),
+        serial_secs,
+        parallel_secs,
+        results_identical: serial == parallel,
+    };
+    (report, parallel)
+}
+
+/// Builds the `BENCH_eval.json` payload.
+pub fn bench_eval_value(eval: &Evaluation, throughput: &ThroughputReport) -> Value {
+    let settings = settings_value(&eval.settings);
+    Value::object(vec![
+        ("benchmark", Value::from("qrc-bench evaluation harness")),
+        ("circuits", Value::from(throughput.circuits)),
+        ("threads", Value::from(throughput.threads)),
+        (
+            "timings",
+            Value::object(vec![
+                ("train_secs", Value::from(eval.timing.train_secs)),
+                ("score_serial_secs", Value::from(throughput.serial_secs)),
+                ("score_parallel_secs", Value::from(throughput.parallel_secs)),
+                (
+                    "total_secs",
+                    Value::from(eval.timing.train_secs + throughput.parallel_secs),
+                ),
+            ]),
+        ),
+        (
+            "throughput",
+            Value::object(vec![
+                (
+                    "circuits_per_sec_serial",
+                    Value::from(throughput.circuits as f64 / throughput.serial_secs.max(1e-12)),
+                ),
+                (
+                    "circuits_per_sec_parallel",
+                    Value::from(throughput.circuits_per_sec()),
+                ),
+                ("speedup_vs_serial", Value::from(throughput.speedup())),
+            ]),
+        ),
+        (
+            "parallel_equals_serial",
+            Value::from(throughput.results_identical),
+        ),
+        ("settings", settings),
+    ])
+}
+
+fn settings_value(settings: &EvalSettings) -> Value {
+    Value::object(vec![
+        ("max_qubits", Value::from(settings.max_qubits)),
+        ("timesteps", Value::from(settings.timesteps)),
+        ("device", Value::from(format!("{:?}", settings.device))),
+        ("seed", Value::from(settings.seed)),
+        ("step_penalty", Value::from(settings.step_penalty)),
+    ])
+}
+
+/// Writes the `BENCH_eval.json` payload to `path`.
+pub fn write_bench_eval_json(
+    path: &std::path::Path,
+    eval: &Evaluation,
+    throughput: &ThroughputReport,
+) -> std::io::Result<()> {
+    let payload = bench_eval_value(eval, throughput);
+    std::fs::write(path, serde_json::to_string_pretty(&payload) + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalTiming;
+
+    #[test]
+    fn payload_has_required_keys() {
+        let eval = Evaluation {
+            circuits: vec![],
+            settings: EvalSettings {
+                verbose: false,
+                ..EvalSettings::default()
+            },
+            timing: EvalTiming {
+                train_secs: 1.5,
+                score_secs: 0.5,
+            },
+        };
+        let throughput = ThroughputReport {
+            circuits: 10,
+            threads: 4,
+            serial_secs: 1.0,
+            parallel_secs: 0.25,
+            results_identical: true,
+        };
+        let text = serde_json::to_string_pretty(&bench_eval_value(&eval, &throughput));
+        for key in [
+            "circuits_per_sec_parallel",
+            "speedup_vs_serial",
+            "score_serial_secs",
+            "score_parallel_secs",
+            "train_secs",
+            "parallel_equals_serial",
+            "threads",
+        ] {
+            assert!(text.contains(key), "missing `{key}` in:\n{text}");
+        }
+        assert!((throughput.speedup() - 4.0).abs() < 1e-9);
+        assert!((throughput.circuits_per_sec() - 40.0).abs() < 1e-9);
+    }
+}

@@ -400,7 +400,11 @@ fn pricing(n: u32, put: bool) -> QuantumCircuit {
     }
     // Payoff rotations controlled by the comparator result.
     for q in 0..state_qubits {
-        qc.cry(rng.gen_range(0.1..0.6) * (q + 1) as f64 / state_qubits as f64, objective, q);
+        qc.cry(
+            rng.gen_range(0.1..0.6) * (q + 1) as f64 / state_qubits as f64,
+            objective,
+            q,
+        );
     }
     // Uncompute the comparator.
     if state_qubits >= 2 {

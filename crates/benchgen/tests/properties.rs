@@ -19,7 +19,12 @@ fn every_family_round_trips_through_qasm() {
         assert_eq!(back.num_qubits(), qc.num_qubits(), "{family}");
         assert_eq!(back.len(), qc.len(), "{family}");
         for (a, b) in qc.iter().zip(back.iter()) {
-            assert!(a.gate.approx_eq(b.gate), "{family}: {:?} vs {:?}", a.gate, b.gate);
+            assert!(
+                a.gate.approx_eq(b.gate),
+                "{family}: {:?} vs {:?}",
+                a.gate,
+                b.gate
+            );
             assert_eq!(a.qubits, b.qubits, "{family}");
         }
     }

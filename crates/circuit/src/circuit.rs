@@ -529,7 +529,9 @@ impl fmt::Display for QuantumCircuit {
         writeln!(
             f,
             "QuantumCircuit '{}' ({} qubits, {} ops)",
-            self.name, self.num_qubits, self.ops.len()
+            self.name,
+            self.num_qubits,
+            self.ops.len()
         )?;
         for op in self.iter() {
             writeln!(f, "  {op}")?;

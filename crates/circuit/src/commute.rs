@@ -178,8 +178,14 @@ mod tests {
     #[test]
     fn diagonal_gates_commute() {
         assert!(ops_commute(&op(Gate::Rz(0.3), &[0]), &op(Gate::T, &[0])));
-        assert!(ops_commute(&op(Gate::Cz, &[0, 1]), &op(Gate::Rz(0.5), &[1])));
-        assert!(ops_commute(&op(Gate::Cp(0.2), &[0, 1]), &op(Gate::Cz, &[1, 0])));
+        assert!(ops_commute(
+            &op(Gate::Cz, &[0, 1]),
+            &op(Gate::Rz(0.5), &[1])
+        ));
+        assert!(ops_commute(
+            &op(Gate::Cp(0.2), &[0, 1]),
+            &op(Gate::Cz, &[1, 0])
+        ));
     }
 
     #[test]
@@ -209,8 +215,14 @@ mod tests {
         assert!(ops_commute(&op(Gate::H, &[0]), &op(Gate::H, &[0])));
         // Rxx commutes with X⊗I? e^{-iθXX/2} commutes with X on either
         // qubit (X⊗I commutes with X⊗X).
-        assert!(ops_commute(&op(Gate::Rxx(0.4), &[0, 1]), &op(Gate::X, &[0])));
-        assert!(!ops_commute(&op(Gate::Rxx(0.4), &[0, 1]), &op(Gate::Z, &[0])));
+        assert!(ops_commute(
+            &op(Gate::Rxx(0.4), &[0, 1]),
+            &op(Gate::X, &[0])
+        ));
+        assert!(!ops_commute(
+            &op(Gate::Rxx(0.4), &[0, 1]),
+            &op(Gate::Z, &[0])
+        ));
     }
 
     #[test]

@@ -131,9 +131,9 @@ impl CircuitDag {
         // sink; ties resolve to the earliest op for determinism.
         let mut start = usize::MAX;
         let mut best = 0;
-        for i in 0..n {
-            if self.level[i] == 0 && (start == usize::MAX || to_sink[i] > best) {
-                best = to_sink[i];
+        for (i, &sink_dist) in to_sink.iter().enumerate() {
+            if self.level[i] == 0 && (start == usize::MAX || sink_dist > best) {
+                best = sink_dist;
                 start = i;
             }
         }

@@ -317,10 +317,7 @@ impl Gate {
     /// (the matrix is symmetric under qubit exchange).
     pub const fn is_symmetric(self) -> bool {
         use Gate::*;
-        matches!(
-            self,
-            Cz | Swap | ISwap | Cp(_) | Rxx(_) | Ryy(_) | Rzz(_)
-        )
+        matches!(self, Cz | Swap | ISwap | Cp(_) | Rxx(_) | Ryy(_) | Rzz(_))
     }
 
     /// The unitary matrix of the gate (dimension `2^k` for a `k`-qubit
@@ -372,10 +369,7 @@ impl Gate {
                     [Complex::real(s), Complex::real(c)],
                 ])
             }
-            Rz(t) => CMatrix::from_rows(&[
-                [Complex::cis(-t / 2.0), z],
-                [z, Complex::cis(t / 2.0)],
-            ]),
+            Rz(t) => CMatrix::from_rows(&[[Complex::cis(-t / 2.0), z], [z, Complex::cis(t / 2.0)]]),
             P(t) => CMatrix::from_rows(&[[o, z], [z, Complex::cis(t)]]),
             U(t, p, l) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
@@ -388,18 +382,8 @@ impl Gate {
             Cy => controlled(Y.matrix()),
             Cz => controlled(Z.matrix()),
             Ch => controlled(H.matrix()),
-            Swap => CMatrix::from_rows(&[
-                [o, z, z, z],
-                [z, z, o, z],
-                [z, o, z, z],
-                [z, z, z, o],
-            ]),
-            ISwap => CMatrix::from_rows(&[
-                [o, z, z, z],
-                [z, z, i, z],
-                [z, i, z, z],
-                [z, z, z, o],
-            ]),
+            Swap => CMatrix::from_rows(&[[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]]),
+            ISwap => CMatrix::from_rows(&[[o, z, z, z], [z, z, i, z], [z, i, z, z], [z, z, z, o]]),
             Ecr => {
                 // ECR = (IX − XY)/√2 with qubit 0 the control-like qubit.
                 let ix = I.matrix().kron(&X.matrix());
@@ -422,12 +406,7 @@ impl Gate {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
                 let em = Complex::new(c, -s);
                 let ep = Complex::new(c, s);
-                CMatrix::from_rows(&[
-                    [em, z, z, z],
-                    [z, ep, z, z],
-                    [z, z, ep, z],
-                    [z, z, z, em],
-                ])
+                CMatrix::from_rows(&[[em, z, z, z], [z, ep, z, z], [z, z, ep, z], [z, z, z, em]])
             }
             Ccx => {
                 let mut m = CMatrix::identity(8);
@@ -598,9 +577,7 @@ mod tests {
     #[test]
     fn sx_squared_is_x() {
         let sx = Gate::Sx.matrix();
-        assert!(sx
-            .matmul(&sx)
-            .approx_eq_up_to_phase(&Gate::X.matrix(), TOL));
+        assert!(sx.matmul(&sx).approx_eq_up_to_phase(&Gate::X.matrix(), TOL));
     }
 
     #[test]

@@ -181,6 +181,8 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by reciprocal is the standard complex-division identity.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
@@ -528,10 +530,7 @@ mod tests {
 
     #[test]
     fn matrix_identity_is_multiplicative_unit() {
-        let x = CMatrix::from_rows(&[
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]);
+        let x = CMatrix::from_rows(&[[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
         let id = CMatrix::identity(2);
         assert!(x.matmul(&id).approx_eq(&x, TOL));
         assert!(id.matmul(&x).approx_eq(&x, TOL));
@@ -551,10 +550,7 @@ mod tests {
     #[test]
     fn kron_dimensions_and_values() {
         let id = CMatrix::identity(2);
-        let x = CMatrix::from_rows(&[
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]);
+        let x = CMatrix::from_rows(&[[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
         let ix = id.kron(&x);
         assert_eq!(ix.dim(), 4);
         // I ⊗ X swaps within the lower qubit (column index parity).
@@ -571,24 +567,21 @@ mod tests {
         m[(1, 1)] = Complex::new(0.0, 1.0);
         m[(2, 2)] = Complex::new(1.0, 1.0);
         let d = m.det();
-        assert!(d.approx_eq(Complex::new(2.0, 0.0) * Complex::I * Complex::new(1.0, 1.0), 1e-10));
+        assert!(d.approx_eq(
+            Complex::new(2.0, 0.0) * Complex::I * Complex::new(1.0, 1.0),
+            1e-10
+        ));
     }
 
     #[test]
     fn det_of_singular_is_zero() {
-        let m = CMatrix::from_rows(&[
-            [Complex::ONE, Complex::ONE],
-            [Complex::ONE, Complex::ONE],
-        ]);
+        let m = CMatrix::from_rows(&[[Complex::ONE, Complex::ONE], [Complex::ONE, Complex::ONE]]);
         assert!(m.det().approx_eq(Complex::ZERO, TOL));
     }
 
     #[test]
     fn equality_up_to_phase() {
-        let x = CMatrix::from_rows(&[
-            [Complex::ZERO, Complex::ONE],
-            [Complex::ONE, Complex::ZERO],
-        ]);
+        let x = CMatrix::from_rows(&[[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
         let phased = x.scale(Complex::cis(0.7));
         assert!(x.approx_eq_up_to_phase(&phased, 1e-10));
         assert!(!x.approx_eq(&phased, 1e-10));

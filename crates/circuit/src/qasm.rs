@@ -167,7 +167,7 @@ fn parse_statement(
     }
 
     // Generic gate: name[(p1,p2,...)] q[a],q[b],...
-    let (head, args) = match stmt.find(|c: char| c == ' ' || c == '\t') {
+    let (head, args) = match stmt.find([' ', '\t']) {
         Some(pos) => (&stmt[..pos], stmt[pos..].trim()),
         None => {
             return Err(CircuitError::Parse {

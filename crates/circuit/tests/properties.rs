@@ -63,7 +63,7 @@ proptest! {
             prop_assert!(d >= 1);
             // Depth at least ceil(ops / qubits): pigeonhole on layers.
             let per_layer_cap = qc.num_qubits() as usize;
-            prop_assert!(d * per_layer_cap >= qc.len() / 3 * 1, "sanity");
+            prop_assert!(d * per_layer_cap >= (qc.len() / 3), "sanity");
         }
     }
 

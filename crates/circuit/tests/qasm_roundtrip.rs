@@ -1,0 +1,142 @@
+//! OpenQASM 2 round-trip property tests over the benchmark generator
+//! families, plus feature-vector bounds across all 22 families.
+//!
+//! Angle caveat: [`qasm::to_qasm`] snaps angles within 1e-12 of a π
+//! fraction to exact `k*pi/d` text, so a single round trip may move an
+//! angle by up to 1e-12. The properties below assert (a) structural
+//! equality with that tight angle tolerance and (b) that emission is a
+//! *fixed point* after one round trip — `emit(parse(emit(qc)))` is
+//! byte-identical to `emit(qc)`.
+
+use proptest::prelude::*;
+use qrc_benchgen::BenchmarkFamily;
+use qrc_circuit::{qasm, FeatureVector, Gate, QuantumCircuit};
+
+/// Structural equality with a tolerance on rotation angles.
+fn structurally_equal(
+    a: &QuantumCircuit,
+    b: &QuantumCircuit,
+    angle_tol: f64,
+) -> Result<(), String> {
+    if a.num_qubits() != b.num_qubits() {
+        return Err(format!(
+            "qubit count {} != {}",
+            a.num_qubits(),
+            b.num_qubits()
+        ));
+    }
+    if a.len() != b.len() {
+        return Err(format!("op count {} != {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x.qubits != y.qubits {
+            return Err(format!("op {i}: qubits {:?} != {:?}", x.qubits, y.qubits));
+        }
+        if x.gate.name() != y.gate.name() {
+            return Err(format!(
+                "op {i}: gate {} != {}",
+                x.gate.name(),
+                y.gate.name()
+            ));
+        }
+        let (px, py) = (x.gate.params(), y.gate.params());
+        if px.len() != py.len() {
+            return Err(format!("op {i}: param arity differs"));
+        }
+        for (u, v) in px.iter().zip(py.iter()) {
+            if (u - v).abs() > angle_tol {
+                return Err(format!("op {i}: angle {u} != {v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn family_strategy() -> impl Strategy<Value = (BenchmarkFamily, u32)> {
+    (
+        (0..BenchmarkFamily::ALL.len()).prop_map(|i| BenchmarkFamily::ALL[i]),
+        2..=6u32,
+    )
+        .prop_map(|(family, width)| (family, width.max(family.min_qubits())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `parse(emit(qc))` reproduces every benchgen circuit structurally.
+    #[test]
+    fn benchgen_families_round_trip((family, width) in family_strategy()) {
+        let qc = family.generate(width);
+        let text = qasm::to_qasm(&qc);
+        let back = qasm::from_qasm(&text)
+            .unwrap_or_else(|e| panic!("{}_{} failed to parse: {e}", family.name(), width));
+        if let Err(why) = structurally_equal(&qc, &back, 1e-12) {
+            return Err(TestCaseError::fail(format!(
+                "{}_{}: {why}", family.name(), width
+            )));
+        }
+    }
+
+    /// One round trip is a fixed point of emission: re-emitting the
+    /// parsed circuit reproduces the text byte-for-byte.
+    #[test]
+    fn emission_is_a_fixed_point((family, width) in family_strategy()) {
+        let qc = family.generate(width);
+        let text = qasm::to_qasm(&qc);
+        let back = qasm::from_qasm(&text).expect("emitted text parses");
+        prop_assert_eq!(qasm::to_qasm(&back), text);
+    }
+
+    /// Round trip over arbitrary strategy-generated circuits (broader
+    /// gate coverage than the benchgen families).
+    #[test]
+    fn arbitrary_circuits_round_trip(qc in qrc_circuit::strategies::circuit(1..=5, 24)) {
+        let text = qasm::to_qasm(&qc);
+        let back = qasm::from_qasm(&text).expect("emitted text parses");
+        if let Err(why) = structurally_equal(&qc, &back, 1e-12) {
+            return Err(TestCaseError::fail(why));
+        }
+    }
+}
+
+/// Every feature of every family lies in `[0, 1]` at every width the
+/// paper suite uses — the contract the RL observation space relies on.
+#[test]
+fn feature_vectors_are_normalized_across_all_families() {
+    assert_eq!(BenchmarkFamily::ALL.len(), 22, "paper family count");
+    for family in BenchmarkFamily::ALL {
+        for width in family.min_qubits().max(2)..=8u32 {
+            let qc = family.generate(width);
+            let f = FeatureVector::of(&qc);
+            let arr = f.to_array();
+            for (k, v) in arr.iter().enumerate() {
+                assert!(
+                    (0.0..=1.0).contains(v) && v.is_finite(),
+                    "{}_{width}: feature {k} = {v} out of [0,1]",
+                    family.name()
+                );
+            }
+            assert!(f.is_normalized(), "{}_{width}", family.name());
+        }
+    }
+}
+
+/// The emitter names every unitary gate in the vocabulary; spot-check
+/// that parse inverts emit for a circuit using a parameterized gate of
+/// each arity.
+#[test]
+fn parameterized_gates_round_trip_exactly() {
+    let mut qc = QuantumCircuit::new(3);
+    qc.push(qrc_circuit::Operation::new(
+        Gate::U(0.1234567890123456, -2.5, 3.0),
+        &[qrc_circuit::Qubit(0)],
+    ))
+    .unwrap();
+    qc.push(qrc_circuit::Operation::new(
+        Gate::Cp(std::f64::consts::FRAC_PI_4),
+        &[qrc_circuit::Qubit(1), qrc_circuit::Qubit(2)],
+    ))
+    .unwrap();
+    let back = qasm::from_qasm(&qasm::to_qasm(&qc)).unwrap();
+    structurally_equal(&qc, &back, 1e-12).unwrap();
+}

@@ -130,7 +130,11 @@ impl Action {
             v.push(Action::SelectDevice(d));
         }
         v.push(Action::Synthesize);
-        for l in [LayoutMethod::Trivial, LayoutMethod::Dense, LayoutMethod::Sabre] {
+        for l in [
+            LayoutMethod::Trivial,
+            LayoutMethod::Dense,
+            LayoutMethod::Sabre,
+        ] {
             v.push(Action::Layout(l));
         }
         for r in [
@@ -226,8 +230,7 @@ mod tests {
     #[test]
     fn action_names_are_unique() {
         let all = Action::all();
-        let names: std::collections::BTreeSet<String> =
-            all.iter().map(|a| a.name()).collect();
+        let names: std::collections::BTreeSet<String> = all.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), all.len());
     }
 

@@ -194,11 +194,7 @@ impl Environment for CompilationEnv {
     fn step(&mut self, action: usize, _rng: &mut StdRng) -> Step {
         let actions = Action::all();
         let act = actions[action];
-        let legal = self
-            .flow
-            .as_ref()
-            .expect("reset before step")
-            .is_legal(act);
+        let legal = self.flow.as_ref().expect("reset before step").is_legal(act);
         if !legal {
             // Reachable only in `Penalize` mode (masking filters these).
             let truncated = {
@@ -359,8 +355,7 @@ mod tests {
         assert!(step.done);
         assert!(step.reward > 0.5, "reward {}", step.reward);
         let flow = e.flow().unwrap();
-        let expect = RewardKind::ExpectedFidelity
-            .evaluate(flow.circuit(), flow.device().unwrap());
+        let expect = RewardKind::ExpectedFidelity.evaluate(flow.circuit(), flow.device().unwrap());
         assert!((step.reward - expect).abs() < 1e-12);
     }
 }

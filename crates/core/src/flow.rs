@@ -199,9 +199,7 @@ impl CompilationFlow {
                 self.run_pass(Action::layout_pass(m).as_ref(), step_seed)?;
                 self.layout_applied = true;
             }
-            Action::Route(m) => {
-                self.run_pass(Action::routing_pass(m).as_ref(), step_seed)?
-            }
+            Action::Route(m) => self.run_pass(Action::routing_pass(m).as_ref(), step_seed)?,
             Action::Optimize(o) => self.run_pass(o.to_pass().as_ref(), step_seed)?,
         }
         self.steps += 1;
@@ -352,7 +350,8 @@ mod tests {
         let mut flow = CompilationFlow::new(star(5), 7);
         flow.apply(Action::SelectPlatform(Platform::Ibm)).unwrap();
         assert_eq!(flow.state(), FlowState::PlatformChosen);
-        flow.apply(Action::SelectDevice(DeviceId::IbmqMontreal)).unwrap();
+        flow.apply(Action::SelectDevice(DeviceId::IbmqMontreal))
+            .unwrap();
         assert_ne!(flow.state(), FlowState::Start);
         flow.apply(Action::Synthesize).unwrap();
         assert_ne!(
@@ -366,7 +365,12 @@ mod tests {
         if flow.state() != FlowState::Done {
             flow.apply(Action::Synthesize).unwrap();
         }
-        assert_eq!(flow.state(), FlowState::Done, "history: {:?}", flow.history());
+        assert_eq!(
+            flow.state(),
+            FlowState::Done,
+            "history: {:?}",
+            flow.history()
+        );
         let dev = flow.device().unwrap();
         assert!(dev.check_executable(flow.circuit()));
     }
@@ -375,7 +379,8 @@ mod tests {
     fn done_state_masks_everything() {
         let mut flow = CompilationFlow::new(ghz(2), 0);
         flow.apply(Action::SelectPlatform(Platform::Ibm)).unwrap();
-        flow.apply(Action::SelectDevice(DeviceId::IbmqMontreal)).unwrap();
+        flow.apply(Action::SelectDevice(DeviceId::IbmqMontreal))
+            .unwrap();
         flow.apply(Action::Synthesize).unwrap();
         // ghz(2) on montreal: qubits 0,1 are coupled — already Done.
         assert_eq!(flow.state(), FlowState::Done);
@@ -393,7 +398,8 @@ mod tests {
     #[test]
     fn device_only_from_matching_platform() {
         let mut flow = CompilationFlow::new(ghz(3), 0);
-        flow.apply(Action::SelectPlatform(Platform::Rigetti)).unwrap();
+        flow.apply(Action::SelectPlatform(Platform::Rigetti))
+            .unwrap();
         assert!(!flow.is_legal(Action::SelectDevice(DeviceId::IbmqMontreal)));
         assert!(flow.is_legal(Action::SelectDevice(DeviceId::RigettiAspenM2)));
     }
@@ -426,7 +432,8 @@ mod tests {
         // All-to-all device: synthesis alone suffices (the `*` in Fig. 2).
         let mut flow = CompilationFlow::new(ghz(5), 0);
         flow.apply(Action::SelectPlatform(Platform::Ionq)).unwrap();
-        flow.apply(Action::SelectDevice(DeviceId::IonqHarmony)).unwrap();
+        flow.apply(Action::SelectDevice(DeviceId::IonqHarmony))
+            .unwrap();
         flow.apply(Action::Synthesize).unwrap();
         assert_eq!(flow.state(), FlowState::Done);
     }

@@ -43,8 +43,7 @@ mod reward;
 pub use action::{Action, LayoutMethod, OptPass, RoutingMethod};
 pub use baseline::Baseline;
 pub use env::{
-    observation_of, CompilationEnv, InvalidActionMode, ObservationMode, MAX_EPISODE_STEPS,
-    OBS_DIM,
+    observation_of, CompilationEnv, InvalidActionMode, ObservationMode, MAX_EPISODE_STEPS, OBS_DIM,
 };
 pub use flow::{CompilationFlow, FlowError, FlowState};
 pub use predictor::{

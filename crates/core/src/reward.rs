@@ -42,8 +42,7 @@ impl RewardKind {
             RewardKind::ExpectedFidelity => expected_fidelity(circuit, device),
             RewardKind::CriticalDepth => 1.0 - metrics::critical_depth(circuit),
             RewardKind::Combination => {
-                (expected_fidelity(circuit, device)
-                    + (1.0 - metrics::critical_depth(circuit)))
+                (expected_fidelity(circuit, device) + (1.0 - metrics::critical_depth(circuit)))
                     / 2.0
             }
         }

@@ -109,7 +109,9 @@ impl Calibration {
         let readout_error = (0..n)
             .map(|_| spread(&mut rng, profile.mean_readout))
             .collect();
-        let t1_us: Vec<f64> = (0..n).map(|_| spread(&mut rng, profile.mean_t1_us)).collect();
+        let t1_us: Vec<f64> = (0..n)
+            .map(|_| spread(&mut rng, profile.mean_t1_us))
+            .collect();
         let t2_us = t1_us
             .iter()
             .map(|&t1| t1 * (0.5 + rng.next_f64()))
@@ -137,10 +139,7 @@ impl Calibration {
 
     /// The worst (largest) two-qubit error on the device.
     pub fn worst_two_qubit_error(&self) -> f64 {
-        self.two_qubit_error
-            .values()
-            .copied()
-            .fold(0.0, f64::max)
+        self.two_qubit_error.values().copied().fold(0.0, f64::max)
     }
 
     /// The best (smallest) two-qubit error on the device.

@@ -169,9 +169,7 @@ impl Device {
             }
             match op.qubits.len() {
                 1 => true,
-                2 => self
-                    .coupling
-                    .are_connected(op.qubits[0].0, op.qubits[1].0),
+                2 => self.coupling.are_connected(op.qubits[0].0, op.qubits[1].0),
                 _ => false,
             }
         })
@@ -232,7 +230,10 @@ mod tests {
             DeviceId::of_platform(Platform::Ibm),
             vec![DeviceId::IbmqMontreal, DeviceId::IbmqWashington]
         );
-        assert_eq!(DeviceId::of_platform(Platform::Ionq), vec![DeviceId::IonqHarmony]);
+        assert_eq!(
+            DeviceId::of_platform(Platform::Ionq),
+            vec![DeviceId::IonqHarmony]
+        );
     }
 
     #[test]

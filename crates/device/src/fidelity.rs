@@ -56,7 +56,11 @@ pub fn optimistic_fidelity(circuit: &QuantumCircuit, device: &Device) -> f64 {
     for op in circuit.iter() {
         let err = device
             .operation_error(op)
-            .unwrap_or(if op.gate.num_qubits() >= 2 { worst_2q } else { 0.0 });
+            .unwrap_or(if op.gate.num_qubits() >= 2 {
+                worst_2q
+            } else {
+                0.0
+            });
         fidelity *= 1.0 - err;
     }
     fidelity

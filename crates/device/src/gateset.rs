@@ -86,10 +86,9 @@ impl NativeGateSet {
         match self.platform {
             Platform::Ibm => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Cx),
             Platform::Rigetti => matches!(gate, Gate::Rx(_) | Gate::Rz(_) | Gate::Cz),
-            Platform::Ionq => matches!(
-                gate,
-                Gate::Rx(_) | Gate::Ry(_) | Gate::Rz(_) | Gate::Rxx(_)
-            ),
+            Platform::Ionq => {
+                matches!(gate, Gate::Rx(_) | Gate::Ry(_) | Gate::Rz(_) | Gate::Rxx(_))
+            }
             Platform::Oqc => matches!(gate, Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Ecr),
         }
     }

@@ -103,10 +103,7 @@ impl CouplingMap {
 
     /// Returns `true` if every qubit can reach every other.
     pub fn is_connected(&self) -> bool {
-        self.num_qubits <= 1
-            || self.distances[0]
-                .iter()
-                .all(|&d| d != u32::MAX)
+        self.num_qubits <= 1 || self.distances[0].iter().all(|&d| d != u32::MAX)
     }
 
     /// One shortest path from `a` to `b` (inclusive), or `None` if
@@ -267,7 +264,7 @@ impl CouplingMap {
                 // North-south bridges to the next octagon in the column.
                 if r + 1 < rows {
                     let s = base(r + 1, c);
-                    edges.push((b + 3, s + 0));
+                    edges.push((b + 3, s));
                     edges.push((b + 4, s + 7));
                 }
             }
@@ -402,7 +399,11 @@ mod tests {
         assert_eq!(m.num_qubits(), 127, "should match IBM Eagle");
         assert!(m.is_connected());
         for q in 0..127 {
-            assert!((1..=3).contains(&m.degree(q)), "degree of {q} is {}", m.degree(q));
+            assert!(
+                (1..=3).contains(&m.degree(q)),
+                "degree of {q} is {}",
+                m.degree(q)
+            );
         }
     }
 

@@ -193,9 +193,7 @@ impl CliffordTableau {
                 r.sign = !r.sign;
             }
             r.x.swap(q, q); // no-op, clarity
-            let t = r.x[q];
-            r.x[q] = r.z[q];
-            r.z[q] = t;
+            std::mem::swap(&mut r.x[q], &mut r.z[q]);
         }
     }
 
@@ -265,7 +263,8 @@ impl CliffordTableau {
         let mut emit = |work: &mut CliffordTableau, gate: Gate, qs: &[usize]| {
             let qubits: Vec<Qubit> = qs.iter().map(|&q| Qubit(q as u32)).collect();
             let op = Operation::new(gate, &qubits);
-            work.apply_operation(&op).expect("reduction gate is clifford");
+            work.apply_operation(&op)
+                .expect("reduction gate is clifford");
             reductions.push(op);
         };
 

@@ -107,10 +107,7 @@ pub fn synthesize_1q(u: &CMatrix, basis: OneQubitBasis) -> Vec<Gate> {
 /// Like [`synthesize_1q`] but from precomputed angles.
 pub fn synthesize_1q_from_angles(angles: ZyzAngles, basis: OneQubitBasis) -> Vec<Gate> {
     let ZyzAngles {
-        theta,
-        phi,
-        lambda,
-        ..
+        theta, phi, lambda, ..
     } = angles;
     let near = |x: f64, y: f64| normalize_angle(x - y).abs() < ANGLE_TOL;
     let mut out = Vec::new();

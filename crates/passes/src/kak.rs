@@ -58,10 +58,7 @@ impl KakDecomposition {
     pub fn cnot_cost(&self) -> usize {
         let (x, y, z) = self.coords;
         let all = [x, y, z];
-        let nz: Vec<f64> = all
-            .into_iter()
-            .filter(|v| v.abs() > COORD_TOL)
-            .collect();
+        let nz: Vec<f64> = all.into_iter().filter(|v| v.abs() > COORD_TOL).collect();
         match nz.len() {
             0 => 0,
             1 if (nz[0].abs() - FRAC_PI_4).abs() < COORD_TOL => 1,
@@ -105,12 +102,7 @@ fn magic_basis() -> CMatrix {
     let z = Complex::ZERO;
     let o = Complex::real(s);
     let i = Complex::new(0.0, s);
-    CMatrix::from_rows(&[
-        [o, z, z, i],
-        [z, i, o, z],
-        [z, i, -o, z],
-        [o, z, z, -i],
-    ])
+    CMatrix::from_rows(&[[o, z, z, i], [z, i, o, z], [z, i, -o, z], [o, z, z, -i]])
 }
 
 /// `CAN(x,y,z) = exp(i(x·XX + y·YY + z·ZZ))` as an exact matrix product of
@@ -128,6 +120,9 @@ pub fn canonical_matrix(x: f64, y: f64, z: f64) -> CMatrix {
 
 /// Diagonalizes a real symmetric `n×n` matrix: `a = V · diag(vals) · Vᵀ`.
 /// Returns `(vals, V)` with `V` orthogonal (columns are eigenvectors).
+// Jacobi rotations address rows and columns by index; iterator form
+// would obscure the symmetric p/q updates.
+#[allow(clippy::needless_range_loop)]
 fn jacobi_eigen(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     let mut m: Vec<Vec<f64>> = a.to_vec();
@@ -265,10 +260,9 @@ pub fn kron_factor(m: &CMatrix) -> Option<(CMatrix, CMatrix)> {
         }
     }
     // Rescale to unitaries (a is unitary up to a positive scale).
-    let scale = (a[(0, 0)].norm_sqr()
-        + a[(0, 1)].norm_sqr())
-    .sqrt()
-    .max(1e-300);
+    let scale = (a[(0, 0)].norm_sqr() + a[(0, 1)].norm_sqr())
+        .sqrt()
+        .max(1e-300);
     let a = a.scale(Complex::real(1.0 / scale));
     let b = b.scale(Complex::real(scale));
     // Verify the factorization.
@@ -401,6 +395,7 @@ fn max_dev(a: &CMatrix, b: &CMatrix) -> f64 {
 
 /// Solves `θ_j = x·dXX_j + y·dYY_j + z·dZZ_j + g` exactly (the 4×4 system
 /// is invertible since the four diagonal vectors are independent).
+#[allow(clippy::needless_range_loop)] // Gaussian elimination indexes rows and columns.
 fn solve_coords(thetas: &[f64; 4], e: &CMatrix, edag: &CMatrix) -> (f64, f64, f64, f64) {
     let diag_of = |g: Gate| -> [f64; 4] {
         let p = g.matrix();
@@ -564,11 +559,7 @@ fn emit_canonical(x: f64, y: f64, z: f64, q0: Qubit, q1: Qubit, ops: &mut Vec<Op
             push(ops, Gate::Sdg, &[q1]);
         }
         (true, false, true) => emit_xz_template(x, z, q0, q1, ops),
-        (true, true, true)
-            if [x, y, z]
-                .iter()
-                .all(|v| (v - FRAC_PI_4).abs() < COORD_TOL) =>
-        {
+        (true, true, true) if [x, y, z].iter().all(|v| (v - FRAC_PI_4).abs() < COORD_TOL) => {
             // SWAP class: CAN(π/4,π/4,π/4) = e^{iπ/4}·SWAP.
             push(ops, Gate::Cx, &[q0, q1]);
             push(ops, Gate::Cx, &[q1, q0]);
@@ -770,8 +761,11 @@ mod tests {
     #[test]
     fn kak_of_local_gates_costs_zero() {
         let joint = [Qubit(0), Qubit(1)];
-        let u = embed(&Gate::H.matrix(), &[Qubit(0)], &joint)
-            .matmul(&embed(&Gate::T.matrix(), &[Qubit(1)], &joint));
+        let u = embed(&Gate::H.matrix(), &[Qubit(0)], &joint).matmul(&embed(
+            &Gate::T.matrix(),
+            &[Qubit(1)],
+            &joint,
+        ));
         let kak = kak_decompose(&u).unwrap();
         assert_eq!(kak.cnot_cost(), 0);
         assert!(kak.to_matrix().approx_eq(&u, 1e-8));

@@ -144,7 +144,7 @@ impl Pass for DenseLayout {
             )
         });
         let mut layout = vec![0u32; n];
-        for (l, p) in logical.into_iter().zip(physical.into_iter()) {
+        for (l, p) in logical.into_iter().zip(physical) {
             layout[l as usize] = p;
         }
         apply_layout(circuit, &layout, device)
@@ -268,7 +268,9 @@ mod tests {
     fn trivial_layout_is_identity() {
         let dev = Device::get(DeviceId::OqcLucy);
         let qc = sample_circuit();
-        let out = TrivialLayout.apply(&qc, &PassContext::for_device(&dev)).unwrap();
+        let out = TrivialLayout
+            .apply(&qc, &PassContext::for_device(&dev))
+            .unwrap();
         assert_eq!(out.effect, WireEffect::SetLayout(vec![0, 1, 2, 3, 4]));
     }
 
@@ -276,7 +278,9 @@ mod tests {
     fn dense_layout_picks_connected_region() {
         let dev = Device::get(DeviceId::IbmqMontreal);
         let qc = sample_circuit();
-        let out = DenseLayout.apply(&qc, &PassContext::for_device(&dev)).unwrap();
+        let out = DenseLayout
+            .apply(&qc, &PassContext::for_device(&dev))
+            .unwrap();
         let WireEffect::SetLayout(layout) = &out.effect else {
             panic!()
         };

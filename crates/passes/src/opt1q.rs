@@ -36,10 +36,7 @@ fn cancel_adjacent_pairs(
                 || (op.gate.is_symmetric()
                     && ops[i].gate.is_symmetric()
                     && sorted_qubits(&ops[i]) == sorted_qubits(op));
-            if same_qubits
-                && ops[i].qubits.len() == op.qubits.len()
-                && cancels(&ops[i], op)
-            {
+            if same_qubits && ops[i].qubits.len() == op.qubits.len() && cancels(&ops[i], op) {
                 alive[i] = false;
                 alive[j] = false;
                 removed += 1;
@@ -174,10 +171,8 @@ impl Pass for CxCancellation {
         let mut out = circuit.clone();
         // Iterate to a fixed point: chains like CX·CX·CX·CX drop in one
         // pass, but removal can expose new adjacencies across wires.
-        while cancel_adjacent_pairs(&mut out, |a, b| {
-            a.gate == Gate::Cx && b.gate == Gate::Cx
-        }) > 0
-        {}
+        while cancel_adjacent_pairs(&mut out, |a, b| a.gate == Gate::Cx && b.gate == Gate::Cx) > 0 {
+        }
         Ok(PassOutcome::rewrite(out))
     }
 }
@@ -232,10 +227,7 @@ fn commutative_cancel(circuit: &mut QuantumCircuit, merge_rotations_too: bool) -
             if !alive[i] {
                 continue;
             }
-            let shares = ops[i]
-                .qubits
-                .iter()
-                .any(|q| ops[j].qubits.contains(*q));
+            let shares = ops[i].qubits.iter().any(|q| ops[j].qubits.contains(*q));
             if !shares {
                 continue;
             }

@@ -116,8 +116,20 @@ fn consolidate(
         let old = BlockStats::of(&member_ops);
         let new = BlockStats::of(&synth);
         if accept(&old, &new) {
+            // Emit the replacement at the block's first *two-qubit*
+            // member, not its first member: absorbed loose 1q ops can
+            // predate another block's gates on a shared wire, and
+            // emitting there would hoist this block's entanglers past
+            // them. The first 2q gate is ordered after every earlier
+            // block's ops on both wires, so per-wire op order (and
+            // hence the circuit unitary) is preserved.
+            let first_2q = block
+                .members
+                .iter()
+                .position(|&i| ops[i].is_two_qubit())
+                .expect("every block contains a two-qubit gate");
             for (k, &i) in block.members.iter().enumerate() {
-                role[i] = Some((bid, k == 0));
+                role[i] = Some((bid, k == first_2q));
             }
             replacements[bid] = Some(synth);
         }
@@ -552,6 +564,29 @@ mod tests {
         let out = FullPeepholeOptimise.apply(&qc, &ctx()).unwrap().circuit;
         assert!(qrc_sim::equiv::measurement_equivalent(&qc, &out, 1e-9).unwrap());
         assert_eq!(out.count_ops()["measure"], 3);
+    }
+
+    #[test]
+    fn consolidate_does_not_hoist_entanglers_past_shared_wire_ops() {
+        // Regression: the (0,2) block absorbs the loose leading ry on
+        // q2 (circuit index 0). Emitting the replacement at that index
+        // used to hoist its crx(q2,q0) before the (0,1) block's x(q0),
+        // which does not commute with it. Minimized from a failing
+        // property-test case.
+        let mut qc = QuantumCircuit::new(3);
+        qc.ry(-2.0857259051232284, 2)
+            .x(0)
+            .cry(0.0, 0, 1)
+            .crx(3.0 * std::f64::consts::FRAC_PI_2, 2, 0)
+            .rz(3.0 * std::f64::consts::FRAC_PI_2, 2)
+            .rx(-0.6705263988392087, 1)
+            .cz(0, 2)
+            .crx(-7.0 * std::f64::consts::FRAC_PI_4, 1, 2);
+        let out = PeepholeOptimise2Q.apply(&qc, &ctx()).unwrap().circuit;
+        assert!(
+            qrc_sim::equiv::measurement_equivalent(&qc, &out, 1e-6).unwrap(),
+            "peephole changed the distribution:\n{out}"
+        );
     }
 
     #[test]

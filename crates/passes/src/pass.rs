@@ -96,8 +96,11 @@ pub trait Pass: fmt::Debug + Send + Sync {
     /// Returns [`PassError`] if the pass cannot run — e.g. it needs a
     /// device and none was selected, or the circuit violates a
     /// precondition.
-    fn apply(&self, circuit: &QuantumCircuit, ctx: &PassContext<'_>)
-        -> Result<PassOutcome, PassError>;
+    fn apply(
+        &self,
+        circuit: &QuantumCircuit,
+        ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError>;
 }
 
 /// Errors produced by compilation passes.

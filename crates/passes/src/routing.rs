@@ -126,7 +126,8 @@ impl<'c> OpScheduler<'c> {
             .filter(|&i| {
                 let op = &self.circuit.ops()[i];
                 op.is_two_qubit()
-                    && !coupling.are_connected(tracker.pos(op.qubits[0].0), tracker.pos(op.qubits[1].0))
+                    && !coupling
+                        .are_connected(tracker.pos(op.qubits[0].0), tracker.pos(op.qubits[1].0))
             })
             .collect()
     }
@@ -274,12 +275,13 @@ impl Pass for BasicSwap {
             })?;
             let op = &sched.circuit.ops()[first];
             let (pa, pb) = (tracker.pos(op.qubits[0].0), tracker.pos(op.qubits[1].0));
-            let path = coupling.shortest_path(pa, pb).ok_or_else(|| {
-                PassError::SynthesisFailed {
-                    pass: "BasicSwap",
-                    reason: format!("no path between {pa} and {pb}"),
-                }
-            })?;
+            let path =
+                coupling
+                    .shortest_path(pa, pb)
+                    .ok_or_else(|| PassError::SynthesisFailed {
+                        pass: "BasicSwap",
+                        reason: format!("no path between {pa} and {pb}"),
+                    })?;
             // Swap along the path until the pair is adjacent.
             for w in path.windows(2).take(path.len().saturating_sub(2)) {
                 emit_swap(w[0], w[1], tracker, out);
@@ -488,8 +490,7 @@ pub(crate) fn sabre_route(
                     .sum::<f64>()
                     / extended.len() as f64
             };
-            decay[p1 as usize].max(decay[p2 as usize])
-                * (front + params.extended_set_weight * look)
+            decay[p1 as usize].max(decay[p2 as usize]) * (front + params.extended_set_weight * look)
         };
         let mut best: Option<((u32, u32), f64)> = None;
         for &(p1, p2) in &candidates {
@@ -531,9 +532,7 @@ fn lookahead_2q(sched: &OpScheduler<'_>, front: &[usize], limit: usize) -> Vec<u
                 }
                 continue;
             }
-            if sched.circuit.ops()[i].is_two_qubit()
-                && !front_set.contains(&i)
-                && !out.contains(&i)
+            if sched.circuit.ops()[i].is_two_qubit() && !front_set.contains(&i) && !out.contains(&i)
             {
                 out.push(i);
                 if out.len() >= limit {
@@ -618,9 +617,8 @@ impl Pass for TketRouting {
                 for (rank, &i) in extended.iter().enumerate() {
                     let o = &sched.circuit.ops()[i];
                     let w = 0.5 / (1.0 + rank as f64);
-                    s += w
-                        * coupling.distance(probe.pos(o.qubits[0].0), probe.pos(o.qubits[1].0))
-                            as f64;
+                    s += w * coupling.distance(probe.pos(o.qubits[0].0), probe.pos(o.qubits[1].0))
+                        as f64;
                 }
                 match best {
                     Some((_, bs)) if bs <= s => {}
@@ -707,16 +705,8 @@ mod tests {
                 .collect();
             let mut rng = StdRng::seed_from_u64(3);
             assert!(
-                mapped_circuit_equivalent(
-                    &qc,
-                    &out.circuit,
-                    &initial,
-                    &final_,
-                    4,
-                    1e-7,
-                    &mut rng
-                )
-                .unwrap(),
+                mapped_circuit_equivalent(&qc, &out.circuit, &initial, &final_, 4, 1e-7, &mut rng)
+                    .unwrap(),
                 "{} broke the circuit",
                 router.name()
             );
@@ -774,7 +764,9 @@ mod tests {
         let dev = Device::get(DeviceId::OqcLucy);
         let mut qc = QuantumCircuit::new(8);
         qc.cx(0, 4).measure(0).measure(4);
-        let out = BasicSwap.apply(&qc, &PassContext::for_device(&dev)).unwrap();
+        let out = BasicSwap
+            .apply(&qc, &PassContext::for_device(&dev))
+            .unwrap();
         let WireEffect::Permute(perm) = out.effect else {
             panic!()
         };
@@ -840,7 +832,9 @@ mod tests {
     fn sabre_beats_basic_on_swap_count_for_structured_circuit() {
         let dev = Device::get(DeviceId::IbmqMontreal);
         let qc = hard_circuit(12);
-        let basic = BasicSwap.apply(&qc, &PassContext::for_device(&dev)).unwrap();
+        let basic = BasicSwap
+            .apply(&qc, &PassContext::for_device(&dev))
+            .unwrap();
         let sabre = SabreSwap::default()
             .apply(&qc, &PassContext::for_device(&dev))
             .unwrap();

@@ -8,7 +8,7 @@ use qrc_circuit::QuantumCircuit;
 use qrc_device::{Device, DeviceId};
 use qrc_passes::synthesis::BasisTranslator;
 use qrc_passes::{optimization_passes, Pass, PassContext, WireEffect};
-use qrc_sim::equiv::{measurement_equivalent, mapped_circuit_equivalent};
+use qrc_sim::equiv::{mapped_circuit_equivalent, measurement_equivalent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -167,6 +167,7 @@ impl Mlp {
     }
 
     /// Accumulates gradients for one sample given `dL/d(output)`.
+    #[allow(clippy::needless_range_loop)] // Backprop indexes weight/delta pairs.
     pub fn backward(&self, acts: &Activations, dout: &[f64], grads: &mut Gradients) {
         let n_layers = self.layers.len();
         let mut delta = dout.to_vec();
@@ -355,7 +356,9 @@ mod tests {
         let mut net = Mlp::new(1, &[16], 1, &mut rng);
         let mut adam = Adam::new(&net, 3e-3);
         // Fit y = 2x − 1 on a few points.
-        let data: Vec<(f64, f64)> = (-5..=5).map(|i| (i as f64 / 5.0, 2.0 * i as f64 / 5.0 - 1.0)).collect();
+        let data: Vec<(f64, f64)> = (-5..=5)
+            .map(|i| (i as f64 / 5.0, 2.0 * i as f64 / 5.0 - 1.0))
+            .collect();
         let loss_of = |net: &Mlp| -> f64 {
             data.iter()
                 .map(|(x, y)| {

@@ -180,10 +180,7 @@ impl PpoAgent {
             mask = next_mask;
             timesteps += rollout.obs.len();
             self.update(&rollout, &mut adam_policy, &mut adam_value, &mut rng);
-            progress(&TrainStats {
-                timesteps,
-                ..stats
-            });
+            progress(&TrainStats { timesteps, ..stats });
         }
     }
 
@@ -272,8 +269,7 @@ impl PpoAgent {
                 rollout.bootstrap
             };
             let not_done = if rollout.dones[t] { 0.0 } else { 1.0 };
-            let delta =
-                rollout.rewards[t] + self.config.gamma * next_value - rollout.values[t];
+            let delta = rollout.rewards[t] + self.config.gamma * next_value - rollout.values[t];
             gae = delta + self.config.gamma * self.config.gae_lambda * not_done * gae;
             advantages[t] = gae;
         }

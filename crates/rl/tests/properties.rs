@@ -72,7 +72,7 @@ proptest! {
         x1 in -1.0..1.0f64,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut net = Mlp::new(2, &[6], 2, &mut rng);
+        let net = Mlp::new(2, &[6], 2, &mut rng);
         let x = [x0, x1];
         let loss = |net: &Mlp| -> f64 {
             let y = net.forward(&x);

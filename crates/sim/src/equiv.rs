@@ -106,7 +106,10 @@ pub fn mapped_circuit_equivalent(
 ) -> Result<bool, SimError> {
     let n = original.num_qubits();
     let m = mapped.num_qubits();
-    assert!(initial_layout.len() >= n as usize, "initial layout too short");
+    assert!(
+        initial_layout.len() >= n as usize,
+        "initial layout too short"
+    );
     assert!(final_layout.len() >= n as usize, "final layout too short");
     let original = unitary_part(original);
     let mapped = unitary_part(mapped);
@@ -184,10 +187,7 @@ pub fn measurement_equivalent(
     }
     let pa = Statevector::from_circuit(&unitary_part(a))?.probabilities();
     let pb = Statevector::from_circuit(&unitary_part(b))?.probabilities();
-    Ok(pa
-        .iter()
-        .zip(pb.iter())
-        .all(|(x, y)| (x - y).abs() <= tol))
+    Ok(pa.iter().zip(pb.iter()).all(|(x, y)| (x - y).abs() <= tol))
 }
 
 /// Builds a circuit preparing a random product state: one `U(θ, φ, λ)` per
@@ -300,10 +300,10 @@ mod tests {
         orig.h(0).cx(0, 1);
         let mapped = orig.remapped(4, &[Qubit(0), Qubit(1)]).unwrap();
         let layout = [Qubit(0), Qubit(1)];
-        assert!(mapped_circuit_equivalent(
-            &orig, &mapped, &layout, &layout, 4, 1e-8, &mut rng()
-        )
-        .unwrap());
+        assert!(
+            mapped_circuit_equivalent(&orig, &mapped, &layout, &layout, 4, 1e-8, &mut rng())
+                .unwrap()
+        );
     }
 
     #[test]
@@ -316,13 +316,19 @@ mod tests {
         mapped.cx(0, 1).swap(1, 2);
         let initial = [Qubit(0), Qubit(1)];
         let final_ = [Qubit(0), Qubit(2)];
-        assert!(mapped_circuit_equivalent(
-            &orig, &mapped, &initial, &final_, 4, 1e-8, &mut rng()
-        )
-        .unwrap());
+        assert!(
+            mapped_circuit_equivalent(&orig, &mapped, &initial, &final_, 4, 1e-8, &mut rng())
+                .unwrap()
+        );
         // Wrong final layout must fail.
         assert!(!mapped_circuit_equivalent(
-            &orig, &mapped, &initial, &initial, 4, 1e-8, &mut rng()
+            &orig,
+            &mapped,
+            &initial,
+            &initial,
+            4,
+            1e-8,
+            &mut rng()
         )
         .unwrap());
     }

@@ -138,6 +138,7 @@ impl Statevector {
     ///
     /// Panics if the matrix dimension and target count disagree or targets
     /// repeat / exceed the state width.
+    #[allow(clippy::needless_range_loop)] // Amplitude gather/scatter is index math.
     pub fn apply_matrix(&mut self, matrix: &qrc_circuit::math::CMatrix, targets: &[u32]) {
         let k = targets.len();
         assert_eq!(matrix.dim(), 1 << k, "matrix dim != 2^targets");
@@ -224,11 +225,7 @@ impl Statevector {
 
     /// L2 norm of the state (should always be ≈ 1).
     pub fn norm(&self) -> f64 {
-        self.amps
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
     }
 }
 
@@ -366,7 +363,12 @@ mod tests {
     #[test]
     fn norm_is_preserved_by_random_circuit() {
         let mut qc = QuantumCircuit::new(4);
-        qc.h(0).cx(0, 1).rz(0.3, 1).rxx(1.1, 1, 2).cp(0.9, 2, 3).t(3);
+        qc.h(0)
+            .cx(0, 1)
+            .rz(0.3, 1)
+            .rxx(1.1, 1, 2)
+            .cp(0.9, 2, 3)
+            .t(3);
         let sv = Statevector::from_circuit(&qc).unwrap();
         assert!((sv.norm() - 1.0).abs() < 1e-10);
     }

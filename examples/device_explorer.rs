@@ -41,8 +41,7 @@ fn main() {
         match Baseline::QiskitO3.compile(&qc, device.id(), 1) {
             Ok(compiled) => {
                 let fid = expected_fidelity(&compiled, &device);
-                let cd = 1.0
-                    - mqt_predictor::circuit::metrics::critical_depth(&compiled);
+                let cd = 1.0 - mqt_predictor::circuit::metrics::critical_depth(&compiled);
                 println!(
                     "{:<18} fidelity {:.4} | 1-critical-depth {:.4} | {:>4} gates ({} 2q)",
                     device.name(),

@@ -13,7 +13,11 @@ fn main() {
         circuit.cx(q, q + 1);
     }
     circuit.measure_all();
-    println!("Input circuit: {} ops on {} qubits", circuit.len(), circuit.num_qubits());
+    println!(
+        "Input circuit: {} ops on {} qubits",
+        circuit.len(),
+        circuit.num_qubits()
+    );
 
     // 2. Compile with the two baseline flows for ibmq_montreal.
     let device = Device::get(DeviceId::IbmqMontreal);
@@ -40,7 +44,10 @@ fn main() {
         BenchmarkFamily::Dj.generate(5),
     ];
     let config = PredictorConfig::new(RewardKind::ExpectedFidelity, 4000);
-    println!("\nTraining RL compiler for {} steps…", config.total_timesteps);
+    println!(
+        "\nTraining RL compiler for {} steps…",
+        config.total_timesteps
+    );
     let model = train(training_set, &config);
 
     let outcome = model.compile(&circuit);

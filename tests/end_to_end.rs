@@ -2,8 +2,8 @@
 //! benchmark generation through RL training to verified executable
 //! circuits.
 
-use mqt_predictor::prelude::*;
 use mqt_predictor::predictor::{CompilationFlow, OptPass};
+use mqt_predictor::prelude::*;
 use mqt_predictor::sim::equiv::mapped_circuit_equivalent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,8 +44,8 @@ fn baselines_cover_all_devices_and_families() {
 /// circuit against the original through the tracked layouts.
 #[test]
 fn manual_flow_is_semantically_verified() {
-    use mqt_predictor::predictor::{Action, LayoutMethod, RoutingMethod};
     use mqt_predictor::device::Platform;
+    use mqt_predictor::predictor::{Action, LayoutMethod, RoutingMethod};
 
     // A 4-qubit circuit with a star interaction (needs routing on a ring).
     let mut qc = QuantumCircuit::new(4);
@@ -89,8 +89,7 @@ fn device_free_optimization_preserves_benchmarks() {
             flow.apply(Action::Optimize(opt)).unwrap();
         }
         assert!(
-            mqt_predictor::sim::equiv::measurement_equivalent(&qc, flow.circuit(), 1e-6)
-                .unwrap(),
+            mqt_predictor::sim::equiv::measurement_equivalent(&qc, flow.circuit(), 1e-6).unwrap(),
             "{family} semantics broken"
         );
     }
@@ -122,7 +121,10 @@ fn training_beats_untrained_policy() {
         t >= u - 1e-9,
         "training regressed: untrained {u:.4} vs trained {t:.4}"
     );
-    assert!(t > 0.5, "trained model never succeeds (total reward {t:.4})");
+    assert!(
+        t > 0.5,
+        "trained model never succeeds (total reward {t:.4})"
+    );
 }
 
 /// The QASM layer interoperates with compilation: export, re-import,
@@ -155,7 +157,9 @@ fn features_normalized_across_the_paper_suite() {
 #[test]
 fn compiled_ghz_still_prepares_ghz() {
     let qc = BenchmarkFamily::Ghz.generate(4);
-    let compiled = Baseline::TketO2.compile(&qc, DeviceId::OqcLucy, 13).unwrap();
+    let compiled = Baseline::TketO2
+        .compile(&qc, DeviceId::OqcLucy, 13)
+        .unwrap();
     // Simulate the unitary part of the compiled circuit and check the
     // distribution through the layout: outcome must be two-peaked.
     let mut unitary = compiled.clone();

@@ -1,0 +1,213 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Supports the harness shape the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `black_box`, benchmark
+//! groups with `sample_size` / `warm_up_time` / `measurement_time`, and
+//! `Bencher::iter`. Measurement is a straightforward
+//! calibrate-then-sample loop reporting min/mean/max per-iteration
+//! time — no statistical outlier analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (one per bench binary).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) if !self.criterion.test_mode => {
+                println!(
+                    "{full_name:<40} time: [{} {} {}]  ({} samples)",
+                    format_ns(report.min_ns),
+                    format_ns(report.mean_ns),
+                    format_ns(report.max_ns),
+                    report.samples,
+                );
+            }
+            _ => {
+                if self.criterion.test_mode {
+                    println!("{full_name:<40} ok (test mode)");
+                }
+            }
+        }
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Report {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, which doubles as calibration of per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Aim each sample at measurement_time / sample_size.
+        let target_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (target_sample_ns / per_iter_ns).ceil().max(1.0) as u64;
+
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_means.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            // Never exceed twice the requested measurement budget.
+            if budget.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        let n = sample_means.len().max(1) as f64;
+        self.report = Some(Report {
+            min_ns: sample_means.iter().copied().fold(f64::INFINITY, f64::min),
+            mean_ns: sample_means.iter().sum::<f64>() / n,
+            max_ns: sample_means.iter().copied().fold(0.0, f64::max),
+            samples: sample_means.len(),
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function invoking each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,44 @@
+//! The [`Arbitrary`] trait and [`any`].
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over the full domain of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen())
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);

@@ -1,0 +1,76 @@
+//! Strategies for collections.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Sizes accepted by [`vec`]: an exact count or a (half-open or
+/// inclusive) range of counts.
+pub trait IntoSizeRange {
+    /// Returns the inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(!self.is_empty(), "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(!self.is_empty(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Generates a `Vec` whose length lies in `size`, with elements drawn
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Retry rejected elements locally before giving up on the
+            // whole vector.
+            let mut attempts = 0;
+            let value = loop {
+                match self.element.gen_value(rng) {
+                    Some(v) => break v,
+                    None => {
+                        attempts += 1;
+                        if attempts >= 100 {
+                            return None;
+                        }
+                    }
+                }
+            };
+            out.push(value);
+        }
+        Some(out)
+    }
+}

@@ -1,0 +1,146 @@
+//! Test execution: configuration, case errors, and the runner loop.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Total rejected samples tolerated before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The inputs were unsuitable (`prop_assume!`); resample.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `test` against `config.cases` generated inputs.
+///
+/// Generation is seeded from a hash of `test_name`, so every run of a
+/// given test replays the identical input sequence — failures are
+/// reproducible by re-running the test, with no persistence files.
+pub fn run<S: Strategy>(
+    config: ProptestConfig,
+    test_name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::seed_from_u64(fnv1a(test_name.as_bytes()));
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    while passed < config.cases {
+        let value = match strategy.gen_value(&mut rng) {
+            Some(v) => v,
+            None => {
+                bump_rejects(&mut rejects, &config, test_name);
+                continue;
+            }
+        };
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => bump_rejects(&mut rejects, &config, test_name),
+            Err(TestCaseError::Fail(message)) => panic!(
+                "proptest `{test_name}` failed at case {passed}: {message}\n\
+                 (deterministic: re-running the test replays the same inputs)"
+            ),
+        }
+    }
+}
+
+fn bump_rejects(rejects: &mut u32, config: &ProptestConfig, test_name: &str) {
+    *rejects += 1;
+    assert!(
+        *rejects <= config.max_global_rejects,
+        "proptest `{test_name}`: too many rejected samples ({}); \
+         loosen filters or assumptions",
+        config.max_global_rejects
+    );
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10u32, y in -1.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(x in 0..100u32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn config_is_honored(v in crate::collection::vec(0..5u8, 1..=4)) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_combinators(
+            g in prop_oneof![2 => Just(1u32), 1 => (10..20u32).prop_map(|x| x * 2)],
+            b in any::<bool>(),
+        ) {
+            prop_assert!(g == 1 || (20..40).contains(&g));
+            prop_assert_ne!(b as u32, 2);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Sequence helpers: shuffling and random element selection.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: Rng + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            let j = uniform_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: Rng + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_index(rng, self.len())])
+        }
+    }
+}
+
+fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    (rng.next_u64() % bound as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! Implements the slice of rayon the workspace uses —
+//! `items.par_iter().map(f).collect()` — with real data parallelism on
+//! `std::thread::scope`. Work is distributed via an atomic index
+//! counter (dynamic load balancing, which matters because per-circuit
+//! compile cost varies by orders of magnitude across benchmark
+//! families), and results are re-assembled in input order so parallel
+//! and serial runs produce identical output sequences.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Returns the number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Types that offer a parallel iterator over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The referenced item type.
+    type Item: 'data;
+
+    /// Returns a parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> Iter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct Iter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> Iter<'data, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> Map<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> Map<'data, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Applies `f` to every item on a pool of scoped threads, returning
+/// results in input order.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_slices() {
+        let input = [1u32, 2, 3];
+        let out: Vec<u32> = input[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

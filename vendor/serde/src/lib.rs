@@ -1,0 +1,19 @@
+//! Offline vendored facade for `serde`.
+//!
+//! The workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! markers today — nothing serializes through the serde data model yet
+//! (machine-readable output such as `BENCH_eval.json` is written via the
+//! vendored `serde_json::Value`). The build environment has no crates.io
+//! access, so this facade provides the two marker traits and no-op
+//! derive macros; swapping in real serde later is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Upstream serde's data-model methods are intentionally absent; the
+/// derive expands to an empty impl of this marker.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
