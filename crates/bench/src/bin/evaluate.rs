@@ -14,7 +14,11 @@
 //!                           features, policy baselines)
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
-//!   all                     everything above from one evaluation run
+//!   serve                   replay a synthetic traffic mix through the
+//!                           qrc-serve compilation service, serial vs
+//!                           batched (writes BENCH_serve.json)
+//!   all                     everything above except `serve` from one
+//!                           evaluation run
 //!
 //! flags:
 //!   --timesteps N    PPO budget per model        (default 8000)
@@ -26,8 +30,11 @@
 //!   --quiet          suppress training progress
 //!   --serial         disable rayon-parallel scoring/ablations
 //!                    (skips the BENCH_eval.json report for `all`;
-//!                    conflicts with `perf`)
-//!   --bench-out P    where `all`/`perf` write BENCH_eval.json
+//!                    conflicts with `perf` and `serve`)
+//!   --bench-out P    where `all`/`perf` write BENCH_eval.json and
+//!                    `serve` writes BENCH_serve.json
+//!   --requests N     (`serve`) synthetic traffic size  (default 400)
+//!   --batch N        (`serve`) requests per batch      (default 32)
 //! ```
 
 use qrc_bench::{
@@ -44,9 +51,9 @@ fn main() {
     }
     let target = args[0].clone();
     // Reject unknown targets before spending minutes on training.
-    const TARGETS: [&str; 11] = [
+    const TARGETS: [&str; 12] = [
         "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "table1", "summary", "ablation",
-        "perf", "all",
+        "perf", "serve", "all",
     ];
     if !TARGETS.contains(&target.as_str()) {
         eprintln!("unknown target `{target}`");
@@ -54,7 +61,12 @@ fn main() {
         std::process::exit(2);
     }
     let mut settings = EvalSettings::default();
-    let mut bench_out = std::path::PathBuf::from("BENCH_eval.json");
+    let mut serve_settings = qrc_bench::serve_bench::ServeBenchSettings::default();
+    let mut bench_out = std::path::PathBuf::from(if target == "serve" {
+        "BENCH_serve.json"
+    } else {
+        "BENCH_eval.json"
+    });
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -74,15 +86,14 @@ fn main() {
             }
             "--quiet" => settings.verbose = false,
             "--serial" => settings.parallel = false,
+            "--requests" => {
+                serve_settings.requests = parse_next(&args, &mut i, "requests");
+            }
+            "--batch" => {
+                serve_settings.batch_size = parse_next(&args, &mut i, "batch");
+            }
             "--bench-out" => {
-                i += 1;
-                bench_out = args
-                    .get(i)
-                    .map(std::path::PathBuf::from)
-                    .unwrap_or_else(|| {
-                        eprintln!("--bench-out needs a path argument");
-                        std::process::exit(2);
-                    });
+                bench_out = parse_next::<String>(&args, &mut i, "bench-out").into();
             }
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -104,6 +115,14 @@ fn main() {
         println!("\n=== Ablations (objective: fidelity) ===");
         let results = qrc_bench::ablation::run_ablations(&ab);
         print!("{}", qrc_bench::ablation::render_ablations(&results));
+        return;
+    }
+    if target == "serve" {
+        if !settings.parallel {
+            eprintln!("--serial conflicts with `serve`: it measures serial vs batched serving");
+            std::process::exit(2);
+        }
+        run_serve(&settings, &serve_settings, &bench_out);
         return;
     }
     // `all` and `perf` train once, then score the suite twice (serial
@@ -189,21 +208,74 @@ fn run_instrumented(settings: &EvalSettings, bench_out: &std::path::Path) -> Eva
     eval
 }
 
+/// Replays the synthetic traffic mix through the compilation service
+/// (serial, then batched), prints the comparison, and persists
+/// `BENCH_serve.json`. Exits nonzero if the batched responses diverge
+/// from serial or the cache never hit — both are hard guarantees of
+/// the serving layer.
+fn run_serve(
+    settings: &EvalSettings,
+    serve_settings: &qrc_bench::serve_bench::ServeBenchSettings,
+    bench_out: &std::path::Path,
+) {
+    let report = qrc_bench::serve_bench::run_serve_bench(settings, serve_settings);
+    println!("\n=== Serve throughput (synthetic traffic replay) ===");
+    println!(
+        "{} requests | batch {} | {} threads | serial {:.3}s ({:.1} req/s) | \
+         batched {:.3}s ({:.1} req/s) | speedup {:.2}x",
+        report.requests,
+        report.batch_size,
+        report.threads,
+        report.serial_secs,
+        report.requests_per_sec_serial(),
+        report.batched_secs,
+        report.requests_per_sec(),
+        report.speedup()
+    );
+    println!(
+        "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
+         {} errors | batched == serial: {}",
+        report.hits,
+        report.misses,
+        report.hit_rate * 100.0,
+        report.p50_us,
+        report.p99_us,
+        report.errors,
+        report.identical
+    );
+    match qrc_bench::report::write_bench_serve_json(bench_out, &report, settings) {
+        Ok(()) => println!("wrote {}", bench_out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_out.display()),
+    }
+    if !report.identical {
+        eprintln!("FAIL: batched serving diverged from serial execution");
+        std::process::exit(1);
+    }
+    if report.hit_rate <= 0.0 {
+        eprintln!("FAIL: traffic replay produced no cache hits");
+        std::process::exit(1);
+    }
+}
+
+/// Parses the value following flag `--name`, printing the shared
+/// helper's message and exiting with a usage error on missing or
+/// malformed input.
 fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize, name: &str) -> T {
-    *i += 1;
-    args.get(*i)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("--{name} needs a numeric argument");
+    match qrc_serve::cliargs::flag_value(args, i, name) {
+        Ok(v) => v,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
             std::process::exit(2);
-        })
+        }
+    }
 }
 
 fn print_usage() {
     println!(
-        "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|perf|all> \
+        "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|perf|serve|all> \
          [--timesteps N] [--max-qubits N] [--seed N] [--full] [--sparse] [--penalty X] [--quiet] \
-         [--serial] [--bench-out PATH]"
+         [--serial] [--bench-out PATH] [--requests N] [--batch N]"
     );
 }
 

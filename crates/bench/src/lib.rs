@@ -19,6 +19,7 @@
 
 pub mod ablation;
 pub mod report;
+pub mod serve_bench;
 
 use qrc_benchgen::{paper_suite, BenchmarkFamily};
 use qrc_circuit::QuantumCircuit;
@@ -26,21 +27,9 @@ use qrc_device::{Device, DeviceId};
 use qrc_predictor::{train_with_progress, Baseline, PredictorConfig, RewardKind, TrainedPredictor};
 use rayon::prelude::*;
 
-/// Derives a deterministic per-task seed from a master seed and a task
-/// index (SplitMix64-style mixing).
-///
-/// Giving every parallel work item its own derived seed — instead of
-/// threading one RNG through a serial loop — is what makes the
-/// rayon-parallel evaluation paths produce results byte-identical to
-/// the serial ones, regardless of scheduling order.
-pub fn task_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// `task_seed` moved to `qrc-predictor` so the serving layer can share
+// it; re-exported here for existing callers.
+pub use qrc_predictor::task_seed;
 
 /// Scale/configuration of one evaluation run.
 #[derive(Debug, Clone)]

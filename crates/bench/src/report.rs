@@ -14,7 +14,14 @@ use qrc_device::Device;
 use qrc_predictor::TrainedPredictor;
 use serde_json::Value;
 
+use crate::serve_bench::ServeBenchReport;
 use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
+
+/// Schema version shared by every `BENCH_*.json` artifact this harness
+/// writes (`BENCH_eval.json`, `BENCH_serve.json`). Bump when any field
+/// is renamed, removed, or changes meaning, so downstream perf
+/// trajectories can detect incompatible reports.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -74,6 +81,7 @@ pub fn bench_eval_value(eval: &Evaluation, throughput: &ThroughputReport) -> Val
     let settings = settings_value(&eval.settings);
     Value::object(vec![
         ("benchmark", Value::from("qrc-bench evaluation harness")),
+        ("schema_version", Value::from(BENCH_SCHEMA_VERSION)),
         ("circuits", Value::from(throughput.circuits)),
         ("threads", Value::from(throughput.threads)),
         (
@@ -130,6 +138,68 @@ pub fn write_bench_eval_json(
     std::fs::write(path, serde_json::to_string_pretty(&payload) + "\n")
 }
 
+/// Builds the `BENCH_serve.json` payload (same schema version as
+/// `BENCH_eval.json`).
+pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> Value {
+    Value::object(vec![
+        ("benchmark", Value::from("qrc-serve traffic replay")),
+        ("schema_version", Value::from(BENCH_SCHEMA_VERSION)),
+        ("requests", Value::from(report.requests)),
+        ("batch_size", Value::from(report.batch_size)),
+        ("threads", Value::from(report.threads)),
+        (
+            "timings",
+            Value::object(vec![
+                ("train_secs", Value::from(report.train_secs)),
+                ("replay_serial_secs", Value::from(report.serial_secs)),
+                ("replay_batched_secs", Value::from(report.batched_secs)),
+            ]),
+        ),
+        (
+            "throughput",
+            Value::object(vec![
+                (
+                    "requests_per_sec_serial",
+                    Value::from(report.requests_per_sec_serial()),
+                ),
+                (
+                    "requests_per_sec_batched",
+                    Value::from(report.requests_per_sec()),
+                ),
+                ("speedup_vs_serial", Value::from(report.speedup())),
+            ]),
+        ),
+        (
+            "cache",
+            Value::object(vec![
+                ("hits", Value::from(report.hits)),
+                ("misses", Value::from(report.misses)),
+                ("hit_rate", Value::from(report.hit_rate)),
+            ]),
+        ),
+        (
+            "latency_us",
+            Value::object(vec![
+                ("p50", Value::from(report.p50_us)),
+                ("p99", Value::from(report.p99_us)),
+            ]),
+        ),
+        ("errors", Value::from(report.errors)),
+        ("batched_equals_serial", Value::from(report.identical)),
+        ("settings", settings_value(settings)),
+    ])
+}
+
+/// Writes the `BENCH_serve.json` payload to `path`.
+pub fn write_bench_serve_json(
+    path: &std::path::Path,
+    report: &ServeBenchReport,
+    settings: &EvalSettings,
+) -> std::io::Result<()> {
+    let payload = bench_serve_value(report, settings);
+    std::fs::write(path, serde_json::to_string_pretty(&payload) + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +227,7 @@ mod tests {
         };
         let text = serde_json::to_string_pretty(&bench_eval_value(&eval, &throughput));
         for key in [
+            "schema_version",
             "circuits_per_sec_parallel",
             "speedup_vs_serial",
             "score_serial_secs",
@@ -169,5 +240,67 @@ mod tests {
         }
         assert!((throughput.speedup() - 4.0).abs() < 1e-9);
         assert!((throughput.circuits_per_sec() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_payload_shares_schema_version() {
+        let report = ServeBenchReport {
+            requests: 400,
+            batch_size: 32,
+            threads: 4,
+            train_secs: 10.0,
+            serial_secs: 2.0,
+            batched_secs: 0.5,
+            identical: true,
+            hits: 120,
+            misses: 280,
+            hit_rate: 0.3,
+            errors: 0,
+            p50_us: 900,
+            p99_us: 4200,
+        };
+        let settings = EvalSettings {
+            verbose: false,
+            ..EvalSettings::default()
+        };
+        let serve_text = serde_json::to_string_pretty(&bench_serve_value(&report, &settings));
+        for key in [
+            "schema_version",
+            "requests_per_sec_batched",
+            "requests_per_sec_serial",
+            "speedup_vs_serial",
+            "hit_rate",
+            "batched_equals_serial",
+            "p99",
+        ] {
+            assert!(
+                serve_text.contains(key),
+                "missing `{key}` in:\n{serve_text}"
+            );
+        }
+        let marker = format!("\"schema_version\": {BENCH_SCHEMA_VERSION}");
+        assert!(serve_text.contains(&marker));
+        let eval = Evaluation {
+            circuits: vec![],
+            settings,
+            timing: EvalTiming {
+                train_secs: 1.0,
+                score_secs: 0.5,
+            },
+        };
+        let throughput = ThroughputReport {
+            circuits: 10,
+            threads: 4,
+            serial_secs: 1.0,
+            parallel_secs: 0.25,
+            results_identical: true,
+        };
+        let eval_text = serde_json::to_string_pretty(&bench_eval_value(&eval, &throughput));
+        assert!(
+            eval_text.contains(&marker),
+            "BENCH_eval and BENCH_serve must share one schema version"
+        );
+        assert!((report.speedup() - 4.0).abs() < 1e-9);
+        assert!((report.requests_per_sec() - 800.0).abs() < 1e-9);
     }
 }

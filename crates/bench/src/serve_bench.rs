@@ -1,0 +1,140 @@
+//! The `serve` throughput target: replay a synthetic traffic mix
+//! through the compilation service twice — scheduler in serial mode,
+//! then batched across the rayon pool — verify the responses are
+//! byte-identical, and measure throughput, cache behavior, and
+//! latency percentiles for `BENCH_serve.json`.
+
+use std::time::Instant;
+
+use qrc_serve::{
+    synthetic_mix, CompilationService, ModelRegistry, ServeResponse, ServiceConfig, TrafficConfig,
+};
+
+use crate::{train_models, EvalSettings};
+
+/// Shape of one serve benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchSettings {
+    /// Number of requests in the synthetic mix.
+    pub requests: usize,
+    /// Requests per scheduled batch.
+    pub batch_size: usize,
+}
+
+impl Default for ServeBenchSettings {
+    fn default() -> Self {
+        ServeBenchSettings {
+            requests: 400,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Measured results of one serve benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Requests replayed per pass.
+    pub requests: usize,
+    /// Requests per scheduled batch.
+    pub batch_size: usize,
+    /// Worker threads available to the batched pass.
+    pub threads: usize,
+    /// Seconds to train the three models (once, shared by both passes).
+    pub train_secs: f64,
+    /// Wall-clock of the serial replay (seconds).
+    pub serial_secs: f64,
+    /// Wall-clock of the batched/parallel replay (seconds).
+    pub batched_secs: f64,
+    /// `true` iff both replays produced byte-identical response bodies.
+    pub identical: bool,
+    /// Cache hits during the batched replay.
+    pub hits: u64,
+    /// Cache misses during the batched replay.
+    pub misses: u64,
+    /// Cache hit rate of the batched replay.
+    pub hit_rate: f64,
+    /// Error responses during the batched replay.
+    pub errors: u64,
+    /// Median per-request latency of the batched replay (µs).
+    pub p50_us: u64,
+    /// 99th-percentile per-request latency of the batched replay (µs).
+    pub p99_us: u64,
+}
+
+impl ServeBenchReport {
+    /// Requests per second of the batched pass.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.batched_secs.max(1e-12)
+    }
+
+    /// Requests per second of the serial pass.
+    pub fn requests_per_sec_serial(&self) -> f64 {
+        self.requests as f64 / self.serial_secs.max(1e-12)
+    }
+
+    /// Serial wall-clock divided by batched wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.batched_secs.max(1e-12)
+    }
+}
+
+/// Trains the models, replays the mix serially and batched, and
+/// compares the two response streams.
+pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> ServeBenchReport {
+    let suite = qrc_benchgen::paper_suite(2, settings.max_qubits);
+    let train_start = Instant::now();
+    let models = train_models(&suite, settings);
+    let train_secs = train_start.elapsed().as_secs_f64();
+
+    let traffic = synthetic_mix(&TrafficConfig {
+        requests: serve.requests,
+        min_qubits: 2,
+        max_qubits: settings.max_qubits,
+        seed: settings.seed,
+        ..TrafficConfig::default()
+    });
+    let service_config = |parallel: bool| ServiceConfig {
+        parallel,
+        seed: settings.seed,
+        verbose: false,
+        ..ServiceConfig::default()
+    };
+    let replay = |parallel: bool| -> (Vec<ServeResponse>, f64, CompilationService) {
+        let service = CompilationService::with_registry(
+            ModelRegistry::from_models(models.clone()),
+            &service_config(parallel),
+        );
+        let start = Instant::now();
+        let mut responses = Vec::with_capacity(traffic.len());
+        for chunk in traffic.chunks(serve.batch_size.max(1)) {
+            responses.extend(service.handle_batch(chunk));
+        }
+        (responses, start.elapsed().as_secs_f64(), service)
+    };
+
+    let (serial_responses, serial_secs, _) = replay(false);
+    let (batched_responses, batched_secs, batched_service) = replay(true);
+
+    let identical = serial_responses.len() == batched_responses.len()
+        && serial_responses
+            .iter()
+            .zip(batched_responses.iter())
+            .all(|(a, b)| a.body_value() == b.body_value());
+
+    let metrics = batched_service.metrics();
+    ServeBenchReport {
+        requests: traffic.len(),
+        batch_size: serve.batch_size,
+        threads: rayon::current_num_threads(),
+        train_secs,
+        serial_secs,
+        batched_secs,
+        identical,
+        hits: metrics.cache.hits,
+        misses: metrics.cache.misses,
+        hit_rate: metrics.cache.hit_rate(),
+        errors: metrics.errors,
+        p50_us: metrics.p50_us,
+        p99_us: metrics.p99_us,
+    }
+}

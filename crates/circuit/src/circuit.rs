@@ -394,6 +394,53 @@ impl QuantumCircuit {
         self.ops.retain(pred);
     }
 
+    /// A deterministic 64-bit content hash of the circuit's structure:
+    /// width, operation order, gate kinds, qubit arguments, and
+    /// parameters.
+    ///
+    /// The hash is **stable across processes and platforms** (FNV-1a
+    /// over a fixed byte encoding — no `std::hash` randomization), and
+    /// it is **invariant under a QASM round trip**: parameters are
+    /// folded through [`crate::qasm::canonical_angle`] first, so
+    /// `from_qasm(&to_qasm(qc))` hashes identically to `qc`. The
+    /// circuit *name* is deliberately excluded (QASM does not carry
+    /// it, and a served circuit's identity is its content).
+    ///
+    /// Two circuits that differ in any gate, qubit argument, parameter
+    /// (beyond canonicalization), or operation order hash differently
+    /// except for 2⁻⁶⁴-scale collisions, which makes the hash usable
+    /// as a content-address for result caching.
+    pub fn structural_hash(&self) -> u64 {
+        // FNV-1a, 64-bit.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&self.num_qubits.to_le_bytes());
+        for op in &self.ops {
+            // Gate mnemonics are unique and stable; a length prefix
+            // keeps (name, params) encodings prefix-free.
+            let name = op.gate.name();
+            eat(&[name.len() as u8]);
+            eat(name.as_bytes());
+            let params = op.gate.params();
+            eat(&[params.len() as u8]);
+            for p in params {
+                eat(&crate::qasm::canonical_angle(p).to_bits().to_le_bytes());
+            }
+            eat(&[op.qubits.len() as u8]);
+            for q in op.qubits.iter() {
+                eat(&q.0.to_le_bytes());
+            }
+        }
+        h
+    }
+
     // ----- builder-style helpers -----
 
     /// Appends a Hadamard.
@@ -639,6 +686,36 @@ mod tests {
         b.cx(0, 1);
         a.extend_from(&b).unwrap();
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn structural_hash_ignores_name_but_not_structure() {
+        let mut a = QuantumCircuit::with_name(2, "alpha");
+        a.h(0).cx(0, 1).rz(0.25, 1);
+        let mut b = QuantumCircuit::with_name(2, "beta");
+        b.h(0).cx(0, 1).rz(0.25, 1);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        let mut gate_diff = QuantumCircuit::new(2);
+        gate_diff.h(0).cx(0, 1).rz(0.26, 1);
+        let mut qubit_diff = QuantumCircuit::new(2);
+        qubit_diff.h(1).cx(0, 1).rz(0.25, 1);
+        let mut order_diff = QuantumCircuit::new(2);
+        order_diff.cx(0, 1).h(0).rz(0.25, 1);
+        let mut width_diff = QuantumCircuit::new(3);
+        width_diff.h(0).cx(0, 1).rz(0.25, 1);
+        for other in [&gate_diff, &qubit_diff, &order_diff, &width_diff] {
+            assert_ne!(a.structural_hash(), other.structural_hash());
+        }
+    }
+
+    #[test]
+    fn structural_hash_is_a_fixed_constant() {
+        // Pin the encoding: any accidental change to the hash layout
+        // would silently invalidate persisted cache keys.
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).measure_all();
+        assert_eq!(qc.structural_hash(), 0x5f64_5329_2f58_a03c);
     }
 
     #[test]

@@ -66,26 +66,51 @@ fn format_op(op: &Operation) -> String {
     }
 }
 
-/// Formats an angle, preferring exact `pi` fractions when they apply.
-fn format_angle(theta: f64) -> String {
+/// Finds the `k*pi/denom` fraction [`to_qasm`] would emit for `theta`,
+/// if any (first matching denominator, mirroring the emission order).
+fn pi_fraction(theta: f64) -> Option<(f64, f64)> {
     const TOL: f64 = 1e-12;
     for denom in [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0] {
         let unit = PI / denom;
         let k = (theta / unit).round();
         if k != 0.0 && (theta - k * unit).abs() < TOL {
-            let num = if k == 1.0 {
-                "pi".to_string()
-            } else if k == -1.0 {
-                "-pi".to_string()
-            } else {
-                format!("{k}*pi")
-            };
-            return if denom == 1.0 {
-                num
-            } else {
-                format!("{num}/{denom}")
-            };
+            return Some((k, denom));
         }
+    }
+    None
+}
+
+/// The exact `f64` an angle becomes after one QASM round trip.
+///
+/// [`to_qasm`] snaps angles within 1e-12 of a π fraction to exact
+/// `k*pi/d` text, and emits every other angle with 17 fractional
+/// digits; parsing that text can therefore move the value once (π
+/// snapping, or decimal truncation for small magnitudes), after which
+/// the emitted text — and hence the value — is a fixed point. This
+/// function applies exactly one emit→parse cycle, so it is idempotent
+/// and is the normal form used by `QuantumCircuit::structural_hash`
+/// for content addressing: a circuit and its QASM round trip hash
+/// identically. Non-finite angles are returned unchanged (they do not
+/// survive QASM serialization at all).
+pub fn canonical_angle(theta: f64) -> f64 {
+    parse_angle(&format_angle(theta), 0).unwrap_or(theta)
+}
+
+/// Formats an angle, preferring exact `pi` fractions when they apply.
+fn format_angle(theta: f64) -> String {
+    if let Some((k, denom)) = pi_fraction(theta) {
+        let num = if k == 1.0 {
+            "pi".to_string()
+        } else if k == -1.0 {
+            "-pi".to_string()
+        } else {
+            format!("{k}*pi")
+        };
+        return if denom == 1.0 {
+            num
+        } else {
+            format!("{num}/{denom}")
+        };
     }
     format!("{theta:.17}")
 }

@@ -1,0 +1,108 @@
+//! Property tests for `QuantumCircuit::structural_hash`, the
+//! content-address used by the serving cache:
+//!
+//! * invariance — a circuit and its QASM round trip hash identically
+//!   (angles are canonicalized exactly the way QASM emission moves
+//!   them),
+//! * sensitivity — changing any gate, qubit argument, or parameter
+//!   produces a different hash,
+//! * determinism — the hash depends only on content, never on the
+//!   circuit name or process state.
+
+use proptest::prelude::*;
+use qrc_circuit::strategies::{angle, circuit};
+use qrc_circuit::{qasm, Gate, Operation, QuantumCircuit, Qubit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `hash(from_qasm(to_qasm(qc))) == hash(qc)` for arbitrary circuits.
+    #[test]
+    fn hash_invariant_under_qasm_round_trip(qc in circuit(1..=5u32, 24)) {
+        let back = qasm::from_qasm(&qasm::to_qasm(&qc)).unwrap();
+        prop_assert_eq!(back.structural_hash(), qc.structural_hash());
+    }
+
+    /// Canonicalization is idempotent: a second round trip never moves
+    /// the hash again.
+    #[test]
+    fn hash_stable_after_second_round_trip(qc in circuit(1..=5u32, 24)) {
+        let once = qasm::from_qasm(&qasm::to_qasm(&qc)).unwrap();
+        let twice = qasm::from_qasm(&qasm::to_qasm(&once)).unwrap();
+        prop_assert_eq!(once.structural_hash(), twice.structural_hash());
+    }
+
+    /// The name contributes nothing; content addressing sees through it.
+    #[test]
+    fn hash_ignores_name(qc in circuit(1..=5u32, 24), letter in 0u8..26, len in 1usize..12) {
+        let name: String = (0..len).map(|_| (b'a' + letter) as char).collect();
+        let mut renamed = qc.clone();
+        renamed.set_name(name);
+        prop_assert_eq!(renamed.structural_hash(), qc.structural_hash());
+    }
+
+    /// Swapping one gate for a different mnemonic changes the hash.
+    #[test]
+    fn hash_distinguishes_gate_change(
+        qc in circuit(2..=5u32, 24),
+        pick in 0usize..1024,
+    ) {
+        prop_assume!(!qc.is_empty());
+        let idx = pick % qc.len();
+        let mut ops = qc.ops().to_vec();
+        let old = ops[idx];
+        // Replace with a structurally different same-arity gate.
+        let new_gate = match old.gate.num_qubits() {
+            1 => if old.gate.name() == "h" { Gate::X } else { Gate::H },
+            2 => if old.gate.name() == "cz" { Gate::Cx } else { Gate::Cz },
+            _ => if old.gate.name() == "ccx" { Gate::Cswap } else { Gate::Ccx },
+        };
+        ops[idx] = Operation::new(new_gate, old.qubits.as_slice());
+        let mut changed = QuantumCircuit::new(qc.num_qubits());
+        changed.set_ops(ops).unwrap();
+        prop_assert_ne!(changed.structural_hash(), qc.structural_hash());
+    }
+
+    /// Rewiring one operation onto different qubits changes the hash.
+    #[test]
+    fn hash_distinguishes_qubit_change(
+        qc in circuit(2..=5u32, 24),
+        pick in 0usize..1024,
+    ) {
+        prop_assume!(!qc.is_empty());
+        let idx = pick % qc.len();
+        let mut ops = qc.ops().to_vec();
+        let old = ops[idx];
+        let n = qc.num_qubits();
+        // Cyclic-shift every qubit argument of the chosen op.
+        let shifted: Vec<Qubit> = old
+            .qubits
+            .iter()
+            .map(|q| Qubit((q.0 + 1) % n))
+            .collect();
+        prop_assume!(shifted != old.qubits.as_slice());
+        ops[idx] = Operation::new(old.gate, &shifted);
+        let mut changed = QuantumCircuit::new(n);
+        changed.set_ops(ops).unwrap();
+        prop_assert_ne!(changed.structural_hash(), qc.structural_hash());
+    }
+
+    /// Perturbing a rotation parameter beyond canonicalization changes
+    /// the hash (π-snapping only moves angles by ≤ 1e-12).
+    #[test]
+    fn hash_distinguishes_parameter_change(theta in angle(), delta in 1e-6..1.0f64) {
+        let mut a = QuantumCircuit::new(1);
+        a.rz(theta, 0);
+        let mut b = QuantumCircuit::new(1);
+        b.rz(theta + delta, 0);
+        prop_assert_ne!(a.structural_hash(), b.structural_hash());
+    }
+
+    /// Appending any operation changes the hash.
+    #[test]
+    fn hash_distinguishes_appended_op(qc in circuit(1..=5u32, 24)) {
+        let mut longer = qc.clone();
+        longer.x(0);
+        prop_assert_ne!(longer.structural_hash(), qc.structural_hash());
+    }
+}

@@ -47,6 +47,24 @@ pub use env::{
 };
 pub use flow::{CompilationFlow, FlowError, FlowState};
 pub use predictor::{
-    train, train_with_progress, CompilationOutcome, PredictorConfig, TrainedPredictor,
+    train, train_with_progress, CompilationOutcome, PersistError, PredictorConfig, TrainedPredictor,
 };
 pub use reward::RewardKind;
+
+/// Derives a deterministic per-task seed from a master seed and a task
+/// index (SplitMix64-style mixing).
+///
+/// Giving every parallel work item its own derived seed — instead of
+/// threading one RNG through a serial loop — is what makes the
+/// rayon-parallel evaluation and serving paths produce results
+/// byte-identical to the serial ones, regardless of scheduling order.
+/// The serving scheduler additionally passes a *content hash* as the
+/// index, making results independent of request arrival order too.
+pub fn task_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

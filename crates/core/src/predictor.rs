@@ -82,10 +82,140 @@ pub fn train_with_progress(
     }
 }
 
+/// Why loading a persisted model failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The payload is not the expected checkpoint format.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            PersistError::Format(msg) => write!(f, "checkpoint format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Checkpoint format marker written by [`TrainedPredictor::to_json`].
+const CHECKPOINT_FORMAT: &str = "qrc-trained-predictor";
+/// Checkpoint format version; bump on any layout change.
+const CHECKPOINT_VERSION: u64 = 1;
+
 impl TrainedPredictor {
     /// The objective this model was trained for.
     pub fn reward(&self) -> RewardKind {
         self.reward
+    }
+
+    /// The seed the model was trained with (also drives its
+    /// deterministic compilation rollouts).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serializes the model (policy + value networks, hyperparameters,
+    /// objective, seed) as a JSON checkpoint string.
+    ///
+    /// Weights survive a write→parse cycle bit-exactly, so a reloaded
+    /// model reproduces the original's action traces step for step —
+    /// the property the serving model registry depends on.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        serde_json::to_string(&Value::object(vec![
+            ("format", Value::from(CHECKPOINT_FORMAT)),
+            ("version", Value::from(CHECKPOINT_VERSION)),
+            ("reward", Value::from(self.reward.name())),
+            ("seed", Value::from(self.seed)),
+            ("agent", self.agent.to_value()),
+        ]))
+    }
+
+    /// Reconstructs a model from [`TrainedPredictor::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Format`] on malformed JSON, a missing or
+    /// future format/version marker, an unknown reward name, or agent
+    /// networks whose shapes are inconsistent.
+    pub fn from_json(text: &str) -> Result<TrainedPredictor, PersistError> {
+        let value = serde_json::from_str(text).map_err(|e| PersistError::Format(e.to_string()))?;
+        let format = value.get("format").and_then(|v| v.as_str()).unwrap_or("");
+        if format != CHECKPOINT_FORMAT {
+            return Err(PersistError::Format(format!(
+                "not a {CHECKPOINT_FORMAT} checkpoint (format marker `{format}`)"
+            )));
+        }
+        let version = value.get("version").and_then(|v| v.as_u64()).unwrap_or(0);
+        if version != CHECKPOINT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let reward_name = value
+            .get("reward")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| PersistError::Format("missing `reward`".into()))?;
+        let reward = RewardKind::from_name(reward_name)
+            .ok_or_else(|| PersistError::Format(format!("unknown reward kind `{reward_name}`")))?;
+        let seed = value
+            .get("seed")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| PersistError::Format("missing `seed`".into()))?;
+        let agent = PpoAgent::from_value(
+            value
+                .get("agent")
+                .ok_or_else(|| PersistError::Format("missing `agent`".into()))?,
+        )
+        .map_err(PersistError::Format)?;
+        if agent.obs_dim() != OBS_DIM || agent.num_actions() != Action::COUNT {
+            return Err(PersistError::Format(format!(
+                "agent spaces {}×{} do not match this build ({OBS_DIM}×{})",
+                agent.obs_dim(),
+                agent.num_actions(),
+                Action::COUNT
+            )));
+        }
+        Ok(TrainedPredictor {
+            agent,
+            reward,
+            seed,
+        })
+    }
+
+    /// Writes the checkpoint to `path` (atomically: temp file + rename,
+    /// so a crashed writer never leaves a truncated model behind).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json() + "\n")?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`TrainedPredictor::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the file cannot be read and
+    /// [`PersistError::Format`] if its payload is not a valid
+    /// checkpoint.
+    pub fn load(path: &std::path::Path) -> Result<TrainedPredictor, PersistError> {
+        TrainedPredictor::from_json(&std::fs::read_to_string(path)?)
     }
 
     /// Compiles a circuit by greedy rollout of the learned policy.
@@ -94,7 +224,15 @@ impl TrainedPredictor {
     /// *Done* state within the step budget, the outcome carries reward 0
     /// and the partially compiled circuit.
     pub fn compile(&self, circuit: &QuantumCircuit) -> CompilationOutcome {
-        self.compile_scored(circuit, self.reward)
+        self.compile_with_seed(circuit, self.seed)
+    }
+
+    /// Like [`TrainedPredictor::compile`] but with an explicit seed for
+    /// the stochastic passes. Serving derives the seed from the request
+    /// *content*, which makes results independent of arrival order and
+    /// thread scheduling.
+    pub fn compile_with_seed(&self, circuit: &QuantumCircuit, seed: u64) -> CompilationOutcome {
+        self.rollout(circuit, self.reward, seed)
     }
 
     /// Compiles with this model but scores the result under `metric`
@@ -104,8 +242,45 @@ impl TrainedPredictor {
         circuit: &QuantumCircuit,
         metric: RewardKind,
     ) -> CompilationOutcome {
+        let flow = CompilationFlow::new(circuit.clone(), self.seed);
+        self.finish_rollout(flow, metric)
+    }
+
+    /// Compiles for a *pinned* target device: the platform and device
+    /// selection steps are forced, then the learned policy takes over
+    /// for synthesis, layout, routing, and optimization. Used by the
+    /// serving layer when a request pins its hardware target.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flow's rejection if the pin is infeasible (e.g. the
+    /// circuit is wider than the device).
+    pub fn compile_pinned(
+        &self,
+        circuit: &QuantumCircuit,
+        pin: DeviceId,
+        seed: u64,
+    ) -> Result<CompilationOutcome, crate::flow::FlowError> {
+        let mut flow = CompilationFlow::new(circuit.clone(), seed);
+        flow.apply(Action::SelectPlatform(pin.platform()))?;
+        flow.apply(Action::SelectDevice(pin))?;
+        Ok(self.finish_rollout(flow, self.reward))
+    }
+
+    fn rollout(
+        &self,
+        circuit: &QuantumCircuit,
+        metric: RewardKind,
+        seed: u64,
+    ) -> CompilationOutcome {
+        let flow = CompilationFlow::new(circuit.clone(), seed);
+        self.finish_rollout(flow, metric)
+    }
+
+    /// Greedy policy rollout from an arbitrary flow state to *Done* (or
+    /// the step budget), scoring the result under `metric`.
+    fn finish_rollout(&self, mut flow: CompilationFlow, metric: RewardKind) -> CompilationOutcome {
         let all = Action::all();
-        let mut flow = CompilationFlow::new(circuit.clone(), self.seed);
         for _ in 0..MAX_EPISODE_STEPS {
             if flow.is_done() {
                 break;

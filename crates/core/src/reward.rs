@@ -32,6 +32,12 @@ impl RewardKind {
         }
     }
 
+    /// The inverse of [`RewardKind::name`], used by model checkpoints
+    /// and the serving protocol.
+    pub fn from_name(name: &str) -> Option<RewardKind> {
+        RewardKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Evaluates the metric for an *executable* circuit on `device`.
     /// Returns a value in `[0, 1]`; non-executable circuits score 0.
     pub fn evaluate(self, circuit: &QuantumCircuit, device: &Device) -> f64 {

@@ -42,6 +42,12 @@ impl DeviceId {
         }
     }
 
+    /// The inverse of [`DeviceId::name`], used by the serving protocol
+    /// to resolve device pins from requests.
+    pub fn from_name(name: &str) -> Option<DeviceId> {
+        DeviceId::ALL.into_iter().find(|d| d.name() == name)
+    }
+
     /// The platform the device belongs to.
     pub const fn platform(self) -> Platform {
         match self {

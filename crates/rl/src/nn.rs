@@ -137,6 +137,16 @@ impl Mlp {
         self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
     }
 
+    /// Input dimension of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output dimension of the last layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
     /// Plain forward pass.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         self.forward_cached(x).post.pop().expect("layers")
@@ -164,6 +174,87 @@ impl Mlp {
             post,
             input: x.to_vec(),
         }
+    }
+
+    /// Serializes the network as an explicit JSON value (see
+    /// [`Mlp::from_value`]). Weights survive a write→parse cycle
+    /// bit-exactly.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Array(
+            self.layers
+                .iter()
+                .map(|l| {
+                    Value::object(vec![
+                        ("inputs", Value::from(l.inputs)),
+                        ("outputs", Value::from(l.outputs)),
+                        ("w", float_array(&l.w)),
+                        ("b", float_array(&l.b)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Reconstructs a network from [`Mlp::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch
+    /// (missing key, wrong type, or weight count inconsistent with the
+    /// declared layer shape).
+    pub fn from_value(value: &serde_json::Value) -> Result<Mlp, String> {
+        let layers = value
+            .as_array()
+            .ok_or("mlp: expected array of layers")?
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let field = |key: &str| {
+                    layer
+                        .get(key)
+                        .ok_or_else(|| format!("mlp layer {i}: missing `{key}`"))
+                };
+                let inputs = field("inputs")?
+                    .as_u64()
+                    .ok_or_else(|| format!("mlp layer {i}: `inputs` not an integer"))?
+                    as usize;
+                let outputs = field("outputs")?
+                    .as_u64()
+                    .ok_or_else(|| format!("mlp layer {i}: `outputs` not an integer"))?
+                    as usize;
+                let w = float_vec(field("w")?)
+                    .ok_or_else(|| format!("mlp layer {i}: `w` not a float array"))?;
+                let b = float_vec(field("b")?)
+                    .ok_or_else(|| format!("mlp layer {i}: `b` not a float array"))?;
+                if w.len() != inputs * outputs || b.len() != outputs {
+                    return Err(format!(
+                        "mlp layer {i}: shape {inputs}×{outputs} inconsistent with \
+                         {} weights / {} biases",
+                        w.len(),
+                        b.len()
+                    ));
+                }
+                Ok(Linear {
+                    w,
+                    b,
+                    inputs,
+                    outputs,
+                })
+            })
+            .collect::<Result<Vec<Linear>, String>>()?;
+        if layers.is_empty() {
+            return Err("mlp: no layers".into());
+        }
+        for (a, b) in layers.iter().zip(layers.iter().skip(1)) {
+            if a.outputs != b.inputs {
+                return Err(format!(
+                    "mlp: layer boundary mismatch ({} outputs feeding {} inputs)",
+                    a.outputs, b.inputs
+                ));
+            }
+        }
+        Ok(Mlp { layers })
     }
 
     /// Accumulates gradients for one sample given `dL/d(output)`.
@@ -269,6 +360,16 @@ impl Adam {
             );
         }
     }
+}
+
+/// Encodes a float slice as a JSON array.
+pub(crate) fn float_array(values: &[f64]) -> serde_json::Value {
+    serde_json::Value::Array(values.iter().map(|&v| serde_json::Value::from(v)).collect())
+}
+
+/// Decodes a JSON array of numbers (`None` on any non-number element).
+pub(crate) fn float_vec(value: &serde_json::Value) -> Option<Vec<f64>> {
+    value.as_array()?.iter().map(|v| v.as_f64()).collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -402,5 +503,45 @@ mod tests {
         let copy = net.clone();
         let x = [0.4, -0.1, 0.8];
         assert_eq!(net.forward(&x), copy.forward(&x));
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Mlp::new(3, &[8, 4], 2, &mut rng);
+        let text = serde_json::to_string(&net.to_value());
+        let back = Mlp::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        for (a, b) in net.layers.iter().zip(back.layers.iter()) {
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.outputs, b.outputs);
+            for (x, y) in a.w.iter().zip(b.w.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.b.iter().zip(b.b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = Mlp::new(2, &[3], 1, &mut rng);
+        // Not an array at all.
+        assert!(Mlp::from_value(&serde_json::Value::Null).is_err());
+        // Empty layer list.
+        assert!(Mlp::from_value(&serde_json::Value::Array(vec![])).is_err());
+        // Corrupt a weight count.
+        if let serde_json::Value::Array(mut layers) = net.to_value() {
+            if let serde_json::Value::Object(pairs) = &mut layers[0] {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "w" {
+                        *v = serde_json::Value::Array(vec![serde_json::Value::from(1.0)]);
+                    }
+                }
+            }
+            let err = Mlp::from_value(&serde_json::Value::Array(layers)).unwrap_err();
+            assert!(err.contains("inconsistent"), "{err}");
+        }
     }
 }

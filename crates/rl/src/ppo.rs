@@ -37,6 +37,71 @@ pub struct PpoConfig {
     pub hidden: Vec<usize>,
 }
 
+impl PpoConfig {
+    /// Serializes the hyperparameters as an explicit JSON value.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::object(vec![
+            ("steps_per_update", Value::from(self.steps_per_update)),
+            ("minibatch_size", Value::from(self.minibatch_size)),
+            ("epochs", Value::from(self.epochs)),
+            ("gamma", Value::from(self.gamma)),
+            ("gae_lambda", Value::from(self.gae_lambda)),
+            ("clip", Value::from(self.clip)),
+            ("learning_rate", Value::from(self.learning_rate)),
+            ("entropy_coef", Value::from(self.entropy_coef)),
+            ("value_coef", Value::from(self.value_coef)),
+            ("max_grad_norm", Value::from(self.max_grad_norm)),
+            (
+                "hidden",
+                Value::Array(self.hidden.iter().map(|&h| Value::from(h)).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs hyperparameters from [`PpoConfig::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(value: &serde_json::Value) -> Result<PpoConfig, String> {
+        let int = |key: &str| {
+            value
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("ppo config: missing integer `{key}`"))
+        };
+        let float = |key: &str| {
+            value
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("ppo config: missing number `{key}`"))
+        };
+        let hidden = value
+            .get("hidden")
+            .and_then(|v| v.as_array())
+            .ok_or("ppo config: missing array `hidden`")?
+            .iter()
+            .map(|v| v.as_u64().map(|h| h as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or("ppo config: non-integer entry in `hidden`")?;
+        Ok(PpoConfig {
+            steps_per_update: int("steps_per_update")?,
+            minibatch_size: int("minibatch_size")?,
+            epochs: int("epochs")?,
+            gamma: float("gamma")?,
+            gae_lambda: float("gae_lambda")?,
+            clip: float("clip")?,
+            learning_rate: float("learning_rate")?,
+            entropy_coef: float("entropy_coef")?,
+            value_coef: float("value_coef")?,
+            max_grad_norm: float("max_grad_norm")?,
+            hidden,
+        })
+    }
+}
+
 impl Default for PpoConfig {
     fn default() -> Self {
         PpoConfig {
@@ -117,6 +182,66 @@ impl PpoAgent {
     /// The configured hyperparameters.
     pub fn config(&self) -> &PpoConfig {
         &self.config
+    }
+
+    /// Serializes the full agent (both networks + hyperparameters) as
+    /// an explicit JSON value. Weights survive a write→parse cycle
+    /// bit-exactly, so a reloaded agent reproduces the original's
+    /// actions step for step.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::object(vec![
+            ("obs_dim", Value::from(self.obs_dim)),
+            ("num_actions", Value::from(self.num_actions)),
+            ("config", self.config.to_value()),
+            ("policy", self.policy.to_value()),
+            ("value", self.value.to_value()),
+        ])
+    }
+
+    /// Reconstructs an agent from [`PpoAgent::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch,
+    /// including network shapes inconsistent with the declared
+    /// observation/action dimensions.
+    pub fn from_value(value: &serde_json::Value) -> Result<PpoAgent, String> {
+        let int = |key: &str| {
+            value
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("ppo agent: missing integer `{key}`"))
+        };
+        let net = |key: &str| {
+            Mlp::from_value(
+                value
+                    .get(key)
+                    .ok_or_else(|| format!("ppo agent: missing `{key}` network"))?,
+            )
+            .map_err(|e| format!("ppo agent `{key}`: {e}"))
+        };
+        let agent = PpoAgent {
+            obs_dim: int("obs_dim")?,
+            num_actions: int("num_actions")?,
+            config: PpoConfig::from_value(
+                value.get("config").ok_or("ppo agent: missing `config`")?,
+            )?,
+            policy: net("policy")?,
+            value: net("value")?,
+        };
+        // Network shapes must match the declared spaces; a trimmed or
+        // transplanted checkpoint would otherwise fail only at inference.
+        if agent.policy.input_dim() != agent.obs_dim
+            || agent.policy.output_dim() != agent.num_actions
+        {
+            return Err("ppo agent: policy shape != (obs_dim → num_actions)".into());
+        }
+        if agent.value.input_dim() != agent.obs_dim || agent.value.output_dim() != 1 {
+            return Err("ppo agent: value shape != (obs_dim → 1)".into());
+        }
+        Ok(agent)
     }
 
     /// Masked action probabilities for an observation.
@@ -410,6 +535,48 @@ mod tests {
             learning_rate: 3e-3,
             ..PpoConfig::default()
         }
+    }
+
+    #[test]
+    fn agent_json_round_trip_reproduces_actions() {
+        let mut env = Bandit {
+            payouts: vec![0.1, 0.9, 0.4, 0.2],
+            mask: vec![true; 4],
+        };
+        let mut agent = PpoAgent::new(env.obs_dim(), env.num_actions(), quick_config(), 7);
+        agent.train(&mut env, 256, 7, |_| {});
+        let text = serde_json::to_string(&agent.to_value());
+        let back = PpoAgent::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.obs_dim(), agent.obs_dim());
+        assert_eq!(back.num_actions(), agent.num_actions());
+        assert_eq!(back.config().hidden, agent.config().hidden);
+        let mask = vec![true; agent.num_actions()];
+        for step in 0..16 {
+            let obs = vec![step as f64 * 0.1; agent.obs_dim()];
+            assert_eq!(back.act_greedy(&obs, &mask), agent.act_greedy(&obs, &mask));
+            let (p, q) = (
+                back.action_probs(&obs, &mask),
+                agent.action_probs(&obs, &mask),
+            );
+            for (a, b) in p.iter().zip(q.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "probabilities must be bit-equal");
+            }
+        }
+    }
+
+    #[test]
+    fn agent_from_value_rejects_shape_mismatch() {
+        let agent = PpoAgent::new(3, 2, quick_config(), 0);
+        let mut v = agent.to_value();
+        if let serde_json::Value::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "num_actions" {
+                    *val = serde_json::Value::from(5usize);
+                }
+            }
+        }
+        let err = PpoAgent::from_value(&v).unwrap_err();
+        assert!(err.contains("policy shape"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The `qrc-serve` binary: a newline-delimited JSON compilation
+//! service on stdin/stdout.
+//!
+//! ```text
+//! cargo run --release -p qrc-serve --bin qrc-serve -- [flags]
+//!
+//! flags:
+//!   --models DIR        checkpoint directory            (default models/)
+//!   --timesteps N       training budget per missing model (default 8000)
+//!   --seed N            master seed                     (default 3)
+//!   --train-max-qubits N  training-suite width for missing models (default 6)
+//!   --cache-capacity N  result cache entries            (default 4096)
+//!   --cache-shards N    cache shards                    (default 16)
+//!   --batch N           group up to N stdin lines per scheduled batch
+//!                       (default 1 = one batch per line)
+//!   --serial            compute cache misses serially (results identical)
+//!   --stats             print aggregate metrics JSON to stderr at EOF
+//!   --quiet             suppress startup/training progress
+//! ```
+//!
+//! Protocol: one request object per line in, one response per line
+//! out, in order. See the crate docs for the field reference.
+
+use std::io::{BufRead, Write};
+
+use qrc_serve::cliargs::{flag_value, usage_error};
+use qrc_serve::{CompilationService, ServiceConfig};
+
+const USAGE: &str = "usage: qrc-serve [--models DIR] [--timesteps N] [--seed N] \
+                     [--train-max-qubits N] [--cache-capacity N] [--cache-shards N] \
+                     [--batch N] [--serial] [--stats] [--quiet]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServiceConfig::default();
+    let mut batch_size = 1usize;
+    let mut print_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--models" => match flag_value::<String>(&args, &mut i, "models") {
+                Ok(dir) => config.models_dir = dir.into(),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--timesteps" => parse_into(&args, &mut i, "timesteps", &mut config.timesteps),
+            "--seed" => parse_into(&args, &mut i, "seed", &mut config.seed),
+            "--train-max-qubits" => parse_into(
+                &args,
+                &mut i,
+                "train-max-qubits",
+                &mut config.train_max_qubits,
+            ),
+            "--cache-capacity" => {
+                parse_into(&args, &mut i, "cache-capacity", &mut config.cache_capacity)
+            }
+            "--cache-shards" => parse_into(&args, &mut i, "cache-shards", &mut config.cache_shards),
+            "--batch" => parse_into(&args, &mut i, "batch", &mut batch_size),
+            "--serial" => config.parallel = false,
+            "--stats" => print_stats = true,
+            "--quiet" => config.verbose = false,
+            other => usage_error(&format!("unknown flag `{other}`"), USAGE),
+        }
+        i += 1;
+    }
+    if batch_size == 0 {
+        usage_error("--batch must be at least 1", USAGE);
+    }
+
+    let start = std::time::Instant::now();
+    let service = match CompilationService::start(&config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("error: could not start service: {e}");
+            std::process::exit(1);
+        }
+    };
+    if config.verbose {
+        eprintln!(
+            "qrc-serve ready: {} models from {} in {:.2}s (cache {} entries × {} shards, {})",
+            service.registry().len(),
+            config.models_dir.display(),
+            start.elapsed().as_secs_f64(),
+            config.cache_capacity,
+            config.cache_shards,
+            if config.parallel {
+                "parallel"
+            } else {
+                "serial"
+            },
+        );
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut pending: Vec<String> = Vec::with_capacity(batch_size);
+    let flush = |pending: &mut Vec<String>, out: &mut dyn Write| {
+        if pending.is_empty() {
+            return;
+        }
+        for line in service.handle_lines(pending) {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = out.flush();
+        pending.clear();
+    };
+    let mut read_error: Option<std::io::Error> = None;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // A broken input stream (e.g. invalid UTF-8) kills the
+                // session: answer what we have, say why, exit nonzero
+                // so the caller knows responses are missing.
+                read_error = Some(e);
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push(line);
+        if pending.len() >= batch_size {
+            flush(&mut pending, &mut out);
+        }
+    }
+    flush(&mut pending, &mut out);
+
+    if print_stats {
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&service.metrics().to_value())
+        );
+    }
+    if let Some(e) = read_error {
+        eprintln!("error: stdin read failed, remaining requests dropped: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Parses the flag's value into `slot`, exiting with a usage error on
+/// missing or malformed input.
+fn parse_into<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, slot: &mut T) {
+    match flag_value(args, i, flag) {
+        Ok(v) => *slot = v,
+        Err(e) => usage_error(&e, USAGE),
+    }
+}

@@ -1,0 +1,306 @@
+//! The content-addressed result cache: a sharded LRU keyed by
+//! (structural circuit hash, objective, device pin).
+//!
+//! Sharding bounds lock contention: each key maps to one of N
+//! independently locked shards, so concurrent lookups from the rayon
+//! pool only contend when they collide on a shard. Eviction is LRU per
+//! shard via monotone access stamps; the evicting scan is O(shard
+//! size), which stays cheap because capacity is split across shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use qrc_device::DeviceId;
+use qrc_predictor::RewardKind;
+
+use crate::protocol::CompiledResult;
+
+/// The content address of one compilation job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `QuantumCircuit::structural_hash` of the parsed request circuit.
+    pub circuit_hash: u64,
+    /// The requested objective.
+    pub reward: RewardKind,
+    /// The requested device pin, if any.
+    pub device_pin: Option<DeviceId>,
+}
+
+impl CacheKey {
+    /// A stable 64-bit mix of all key components, used both for shard
+    /// selection and as the per-job seed index (results are therefore a
+    /// function of request *content*, never of arrival order).
+    pub fn mix(&self) -> u64 {
+        let reward_tag = match self.reward {
+            RewardKind::ExpectedFidelity => 1u64,
+            RewardKind::CriticalDepth => 2,
+            RewardKind::Combination => 3,
+        };
+        let device_tag = match self.device_pin {
+            None => 0u64,
+            Some(d) => 1 + DeviceId::ALL.iter().position(|&x| x == d).unwrap_or(0) as u64,
+        };
+        // SplitMix64 finalizer over the packed components.
+        let mut z = self
+            .circuit_hash
+            .wrapping_add(reward_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(device_tag.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// Monotone access counter; the entry with the smallest stamp is
+    /// the least recently used.
+    tick: u64,
+}
+
+struct Entry {
+    stamp: u64,
+    value: Arc<CompiledResult>,
+}
+
+/// Aggregate cache counters (monotone since service start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU cache of compilation results.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most ~`capacity` entries across
+    /// `shards` shards (both clamped to at least 1; per-shard capacity
+    /// rounds up so the nominal total is never undershot).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.mix() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledResult>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let stamp = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let value = Arc::clone(&entry.value);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least
+    /// recently used entry when over capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<CompiledResult>) {
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            shard.tick += 1;
+            let stamp = shard.tick;
+            shard.map.insert(key, Entry { stamp, value });
+            while shard.map.len() > self.per_shard_capacity {
+                if let Some(oldest) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| *k)
+                {
+                    shard.map.remove(&oldest);
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Returns `true` if no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64) -> CacheKey {
+        CacheKey {
+            circuit_hash: h,
+            reward: RewardKind::ExpectedFidelity,
+            device_pin: None,
+        }
+    }
+
+    fn payload(tag: &str) -> Arc<CompiledResult> {
+        Arc::new(CompiledResult {
+            qasm: tag.into(),
+            device: None,
+            actions: vec![],
+            reward: 0.5,
+        })
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ResultCache::new(8, 2);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), payload("a"));
+        assert_eq!(cache.get(&key(1)).unwrap().qasm, "a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_components_all_partition_the_space() {
+        let base = key(7);
+        let other_reward = CacheKey {
+            reward: RewardKind::CriticalDepth,
+            ..base
+        };
+        let other_device = CacheKey {
+            device_pin: Some(DeviceId::OqcLucy),
+            ..base
+        };
+        let cache = ResultCache::new(16, 4);
+        cache.insert(base, payload("base"));
+        assert!(cache.get(&other_reward).is_none());
+        assert!(cache.get(&other_device).is_none());
+        assert!(cache.get(&key(8)).is_none());
+        assert_eq!(cache.get(&base).unwrap().qasm, "base");
+        // The mixes differ too (shard + seed separation).
+        assert_ne!(base.mix(), other_reward.mix());
+        assert_ne!(base.mix(), other_device.mix());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single shard, capacity 2.
+        let cache = ResultCache::new(2, 1);
+        cache.insert(key(1), payload("1"));
+        cache.insert(key(2), payload("2"));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), payload("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some(), "recently used survives");
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let cache = ResultCache::new(64, 8);
+        for h in 0..200 {
+            cache.insert(key(h), payload("x"));
+        }
+        // Each shard holds at most ceil(64/8) = 8 entries.
+        assert!(cache.len() <= 64, "len {} exceeds capacity", cache.len());
+        assert!(!cache.is_empty());
+        assert!(cache.stats().evictions >= 200 - 64);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(ResultCache::new(128, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        let k = key(t * 1000 + i);
+                        cache.insert(k, payload("t"));
+                        assert!(cache.get(&k).is_some() || cache.stats().evictions > 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().insertions, 256);
+    }
+}

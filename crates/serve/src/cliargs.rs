@@ -1,0 +1,59 @@
+//! Minimal shared argument parsing for the workspace binaries
+//! (`qrc-serve` and `evaluate`): flag values are parsed to `Result`s
+//! with actionable messages instead of panicking on user input.
+
+use std::str::FromStr;
+
+/// Reads the value following flag `args[*i]`, advancing `*i` past it.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the value is missing or fails to
+/// parse as `T`.
+pub fn flag_value<T: FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String> {
+    *i += 1;
+    let raw = args
+        .get(*i)
+        .ok_or_else(|| format!("--{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value `{raw}` for --{flag}"))
+}
+
+/// Prints `message` to stderr and exits with status 2 (usage error).
+pub fn usage_error(message: &str, usage: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{usage}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_and_advances() {
+        let a = args(&["--timesteps", "5000", "--seed", "9"]);
+        let mut i = 0;
+        assert_eq!(flag_value::<usize>(&a, &mut i, "timesteps"), Ok(5000));
+        assert_eq!(i, 1);
+        i += 1;
+        assert_eq!(flag_value::<u64>(&a, &mut i, "seed"), Ok(9));
+    }
+
+    #[test]
+    fn missing_and_invalid_values_are_messages_not_panics() {
+        let a = args(&["--timesteps"]);
+        let mut i = 0;
+        let err = flag_value::<usize>(&a, &mut i, "timesteps").unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+
+        let a = args(&["--seed", "many"]);
+        let mut i = 0;
+        let err = flag_value::<u64>(&a, &mut i, "seed").unwrap_err();
+        assert!(err.contains("invalid value `many`"), "{err}");
+    }
+}

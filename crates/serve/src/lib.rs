@@ -1,0 +1,65 @@
+//! # qrc-serve
+//!
+//! A long-lived compilation service on top of the trained RL policies:
+//! the paper's deliverable as infrastructure rather than a one-shot
+//! script. Load models once, answer many compilation requests fast.
+//!
+//! Four layers, composed by [`CompilationService`]:
+//!
+//! * [`ModelRegistry`] — persists [`TrainedPredictor`] checkpoints to
+//!   disk and loads one policy per [`RewardKind`] at startup,
+//! * [`ResultCache`] — a sharded LRU keyed by (structural circuit
+//!   hash, objective, device pin); repeated traffic never re-runs the
+//!   policy,
+//! * [`scheduler`] — batches requests, deduplicates in-flight
+//!   identical jobs, and fans misses across a rayon pool with
+//!   content-derived seeds so concurrent results are byte-identical to
+//!   serial execution,
+//! * [`protocol`] — the newline-delimited JSON front end spoken by the
+//!   `qrc-serve` binary.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out:
+//!
+//! ```text
+//! → {"id":"r1","qasm":"OPENQASM 2.0;...","objective":"fidelity","device":"ionq_harmony"}
+//! ← {"id":"r1","ok":true,"qasm":"...","device":"ionq_harmony","actions":[...],
+//!    "reward":0.93,"cache":"miss","micros":1412}
+//! ```
+//!
+//! `objective` is one of `fidelity` / `critical_depth` / `combination`
+//! (default `fidelity`); `device` optionally pins the hardware target
+//! (the policy still chooses synthesis/layout/routing/optimization).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use qrc_serve::{CompilationService, ServiceConfig};
+//!
+//! let service = CompilationService::start(&ServiceConfig {
+//!     models_dir: "models".into(),
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//! let reply = service.handle_line(r#"{"qasm":"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];"}"#);
+//! assert!(reply.contains("\"ok\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cliargs;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod service;
+pub mod traffic;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use metrics::{percentile_us, MetricsSnapshot, ServeMetrics};
+pub use protocol::{CacheStatus, CompiledResult, ServeRequest, ServeResponse};
+pub use registry::ModelRegistry;
+pub use service::{CompilationService, ServiceConfig};
+pub use traffic::{synthetic_mix, TrafficConfig};

@@ -1,0 +1,245 @@
+//! Per-request and aggregate service metrics: request/error counters,
+//! request-level cache outcomes, and latency percentiles.
+//!
+//! Latency percentiles are computed over a bounded ring of the most
+//! recent [`LATENCY_WINDOW`] samples so a long-lived service holds
+//! constant memory; counts and the mean cover the full lifetime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+use crate::cache::CacheStats;
+use crate::protocol::CacheStatus;
+
+/// Number of recent latency samples retained for percentile estimates.
+pub const LATENCY_WINDOW: usize = 65_536;
+
+/// Latency percentile over unsorted microsecond samples (nearest-rank;
+/// 0 on empty input). `q` is in `[0, 1]`.
+pub fn percentile_us(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// A bounded ring of the most recent latency samples.
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Live metric accumulators, shared across worker threads.
+#[derive(Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    hit_responses: AtomicU64,
+    miss_responses: AtomicU64,
+    coalesced_responses: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl ServeMetrics {
+    /// A fresh, zeroed accumulator.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records one finished request: its wall-clock and how it was
+    /// served (`None` = error response).
+    pub fn record(&self, micros: u64, status: Option<CacheStatus>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            None => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(CacheStatus::Hit) => {
+                self.hit_responses.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(CacheStatus::Miss) => {
+                self.miss_responses.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(CacheStatus::Coalesced) => {
+                self.coalesced_responses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(micros);
+    }
+
+    /// A consistent snapshot combined with the cache's counters.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let window = self
+            .latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .samples
+            .clone();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let mean = if requests == 0 {
+            0.0
+        } else {
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
+        };
+        MetricsSnapshot {
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            hit_responses: self.hit_responses.load(Ordering::Relaxed),
+            miss_responses: self.miss_responses.load(Ordering::Relaxed),
+            coalesced_responses: self.coalesced_responses.load(Ordering::Relaxed),
+            cache,
+            p50_us: percentile_us(&window, 0.50),
+            p99_us: percentile_us(&window, 0.99),
+            mean_us: mean,
+        }
+    }
+}
+
+/// A point-in-time view of the service's aggregate behavior.
+///
+/// Two layers of cache accounting coexist deliberately: `cache.*`
+/// counts *unique lookups* against the store (duplicates coalesced
+/// within a batch never reach it), while `*_responses` count how each
+/// *request* was answered — the same split a client sees in the
+/// per-response `cache` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests answered since start.
+    pub requests: u64,
+    /// Requests answered with `ok: false`.
+    pub errors: u64,
+    /// Requests answered `"cache":"hit"`.
+    pub hit_responses: u64,
+    /// Requests answered `"cache":"miss"`.
+    pub miss_responses: u64,
+    /// Requests answered `"cache":"coalesced"`.
+    pub coalesced_responses: u64,
+    /// Store-level counters (unique lookups, insertions, evictions).
+    pub cache: CacheStats,
+    /// Median latency over the recent window (microseconds).
+    pub p50_us: u64,
+    /// 99th-percentile latency over the recent window (microseconds).
+    pub p99_us: u64,
+    /// Mean per-request latency over the full lifetime (microseconds).
+    pub mean_us: f64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object (the `--stats` output of
+    /// the `qrc-serve` binary).
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("requests", Value::from(self.requests)),
+            ("errors", Value::from(self.errors)),
+            (
+                "responses",
+                Value::object(vec![
+                    ("hit", Value::from(self.hit_responses)),
+                    ("miss", Value::from(self.miss_responses)),
+                    ("coalesced", Value::from(self.coalesced_responses)),
+                ]),
+            ),
+            (
+                "cache",
+                Value::object(vec![
+                    ("hits", Value::from(self.cache.hits)),
+                    ("misses", Value::from(self.cache.misses)),
+                    ("insertions", Value::from(self.cache.insertions)),
+                    ("evictions", Value::from(self.cache.evictions)),
+                    ("hit_rate", Value::from(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "latency_us",
+                Value::object(vec![
+                    ("p50", Value::from(self.p50_us)),
+                    ("p99", Value::from(self.p99_us)),
+                    ("mean", Value::from(self.mean_us)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&xs, 0.50), 50);
+        assert_eq!(percentile_us(&xs, 0.99), 99);
+        assert_eq!(percentile_us(&xs, 1.0), 100);
+        assert_eq!(percentile_us(&xs, 0.0), 1);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[7], 0.99), 7);
+        // Unsorted input is handled.
+        assert_eq!(percentile_us(&[30, 10, 20], 0.5), 20);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let m = ServeMetrics::new();
+        m.record(100, Some(CacheStatus::Miss));
+        m.record(200, Some(CacheStatus::Hit));
+        m.record(300, None);
+        let snap = m.snapshot(CacheStats {
+            hits: 1,
+            misses: 2,
+            insertions: 2,
+            evictions: 0,
+        });
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.hit_responses, 1);
+        assert_eq!(snap.miss_responses, 1);
+        assert_eq!(snap.coalesced_responses, 0);
+        assert_eq!(snap.p50_us, 200);
+        assert!((snap.mean_us - 200.0).abs() < 1e-9);
+        let text = serde_json::to_string(&snap.to_value());
+        assert!(text.contains("\"hit_rate\""), "{text}");
+        assert!(text.contains("\"responses\""), "{text}");
+        assert!(text.contains("\"p99\""), "{text}");
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = ServeMetrics::new();
+        // Overfill the ring: memory stays bounded, recent samples win,
+        // lifetime mean still covers everything.
+        let total = LATENCY_WINDOW + 500;
+        for i in 0..total {
+            m.record(i as u64, Some(CacheStatus::Miss));
+        }
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.requests, total as u64);
+        // The window dropped the 500 oldest (smallest) samples, so the
+        // windowed median sits above the naive all-time median.
+        assert!(snap.p50_us > (total / 2) as u64);
+        let ring_len = m.latencies.lock().unwrap().samples.len();
+        assert_eq!(ring_len, LATENCY_WINDOW);
+    }
+}

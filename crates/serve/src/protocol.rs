@@ -1,0 +1,273 @@
+//! The newline-delimited JSON wire protocol: request parsing and
+//! response rendering.
+//!
+//! Every request and response is one JSON object on one line. The
+//! protocol is deliberately explicit-value based (no serde data model)
+//! so it works against the offline vendored `serde_json`.
+
+use std::sync::Arc;
+
+use qrc_device::DeviceId;
+use qrc_predictor::RewardKind;
+use serde_json::Value;
+
+/// One compilation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Caller-chosen correlation id, echoed back verbatim.
+    pub id: Option<String>,
+    /// The circuit, as an OpenQASM 2 program.
+    pub qasm: String,
+    /// The optimization objective (default: expected fidelity).
+    pub objective: RewardKind,
+    /// Optional hardware pin: force this target device and let the
+    /// policy handle the rest of the flow.
+    pub device_pin: Option<DeviceId>,
+}
+
+impl ServeRequest {
+    /// A request with defaults (fidelity objective, no pin, no id).
+    pub fn new(qasm: impl Into<String>) -> Self {
+        ServeRequest {
+            id: None,
+            qasm: qasm.into(),
+            objective: RewardKind::ExpectedFidelity,
+            device_pin: None,
+        }
+    }
+
+    /// Parses one NDJSON request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing
+    /// `qasm` field, or unknown `objective`/`device` names.
+    pub fn parse(line: &str) -> Result<ServeRequest, String> {
+        let value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        if value.as_object().is_none() {
+            return Err("request must be a JSON object".into());
+        }
+        let qasm = value
+            .get("qasm")
+            .and_then(|v| v.as_str())
+            .ok_or("missing required string field `qasm`")?
+            .to_string();
+        let id = match value.get("id") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("field `id` must be a string")?.to_string()),
+        };
+        let objective = match value.get("objective") {
+            None => RewardKind::ExpectedFidelity,
+            Some(v) => {
+                let name = v.as_str().ok_or("field `objective` must be a string")?;
+                RewardKind::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown objective `{name}` (expected one of: {})",
+                        RewardKind::ALL.map(|k| k.name()).join(", ")
+                    )
+                })?
+            }
+        };
+        let device_pin = match value.get("device") {
+            None => None,
+            Some(v) => {
+                let name = v.as_str().ok_or("field `device` must be a string")?;
+                Some(DeviceId::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown device `{name}` (expected one of: {})",
+                        DeviceId::ALL.map(|d| d.name()).join(", ")
+                    )
+                })?)
+            }
+        };
+        Ok(ServeRequest {
+            id,
+            qasm,
+            objective,
+            device_pin,
+        })
+    }
+}
+
+/// The cacheable payload of one successful compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledResult {
+    /// The compiled circuit as OpenQASM 2.
+    pub qasm: String,
+    /// The target device the flow ended on (None if never selected).
+    pub device: Option<DeviceId>,
+    /// The action trace the policy took, as stable action names.
+    pub actions: Vec<String>,
+    /// The achieved reward under the requested objective.
+    pub reward: f64,
+}
+
+/// How a response was produced relative to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the result cache.
+    Hit,
+    /// Computed fresh by a policy rollout.
+    Miss,
+    /// Deduplicated against an identical job in the same batch.
+    Coalesced,
+}
+
+impl CacheStatus {
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One response, pairing the request id with either a result or an
+/// error message, plus cache/latency metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// The compilation result, or a request-level error.
+    pub result: Result<(Arc<CompiledResult>, CacheStatus), String>,
+    /// Wall-clock the service spent on this request, in microseconds.
+    /// Excluded from [`ServeResponse::body_value`] so deterministic
+    /// comparisons ignore timing.
+    pub micros: u64,
+}
+
+impl ServeResponse {
+    /// The deterministic part of the response (everything except
+    /// latency). Byte-identical between serial and batched execution.
+    pub fn body_value(&self) -> Value {
+        let mut pairs: Vec<(&str, Value)> = Vec::new();
+        match &self.id {
+            Some(id) => pairs.push(("id", Value::from(id.clone()))),
+            None => pairs.push(("id", Value::Null)),
+        }
+        match &self.result {
+            Ok((result, status)) => {
+                pairs.push(("ok", Value::from(true)));
+                pairs.push(("qasm", Value::from(result.qasm.clone())));
+                pairs.push((
+                    "device",
+                    match result.device {
+                        Some(d) => Value::from(d.name()),
+                        None => Value::Null,
+                    },
+                ));
+                pairs.push((
+                    "actions",
+                    Value::Array(
+                        result
+                            .actions
+                            .iter()
+                            .map(|a| Value::from(a.clone()))
+                            .collect(),
+                    ),
+                ));
+                pairs.push(("reward", Value::from(result.reward)));
+                pairs.push(("cache", Value::from(status.name())));
+            }
+            Err(message) => {
+                pairs.push(("ok", Value::from(false)));
+                pairs.push(("error", Value::from(message.clone())));
+            }
+        }
+        Value::object(pairs)
+    }
+
+    /// Renders the full NDJSON response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut value = self.body_value();
+        if let Value::Object(pairs) = &mut value {
+            pairs.push(("micros".into(), Value::from(self.micros)));
+        }
+        serde_json::to_string(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_requests() {
+        let r = ServeRequest::parse(r#"{"qasm":"OPENQASM 2.0;"}"#).unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.objective, RewardKind::ExpectedFidelity);
+        assert_eq!(r.device_pin, None);
+
+        let r = ServeRequest::parse(
+            r#"{"id":"a1","qasm":"qreg q[1];","objective":"critical_depth","device":"oqc_lucy"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id.as_deref(), Some("a1"));
+        assert_eq!(r.objective, RewardKind::CriticalDepth);
+        assert_eq!(r.device_pin, Some(DeviceId::OqcLucy));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "parse error"),
+            ("[1,2]", "JSON object"),
+            ("{}", "qasm"),
+            (r#"{"qasm": 7}"#, "qasm"),
+            (r#"{"qasm":"x","objective":"speed"}"#, "unknown objective"),
+            (r#"{"qasm":"x","device":"ibm_q_unknown"}"#, "unknown device"),
+            (r#"{"qasm":"x","id":5}"#, "`id`"),
+        ] {
+            let err = ServeRequest::parse(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` → {err}");
+        }
+    }
+
+    #[test]
+    fn response_lines_round_trip_as_json() {
+        let ok = ServeResponse {
+            id: Some("r9".into()),
+            result: Ok((
+                Arc::new(CompiledResult {
+                    qasm: "OPENQASM 2.0;\n".into(),
+                    device: Some(DeviceId::IonqHarmony),
+                    actions: vec!["platform:ionq".into(), "synthesize".into()],
+                    reward: 0.875,
+                }),
+                CacheStatus::Miss,
+            )),
+            micros: 1500,
+        };
+        let parsed = serde_json::from_str(&ok.to_line()).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(parsed.get("micros").unwrap().as_u64(), Some(1500));
+        assert_eq!(parsed.get("reward").unwrap().as_f64(), Some(0.875));
+
+        let err = ServeResponse {
+            id: None,
+            result: Err("missing required string field `qasm`".into()),
+            micros: 3,
+        };
+        let parsed = serde_json::from_str(&err.to_line()).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert!(parsed
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("qasm"));
+    }
+
+    #[test]
+    fn body_value_excludes_latency() {
+        let resp = ServeResponse {
+            id: None,
+            result: Err("x".into()),
+            micros: 999,
+        };
+        assert!(resp.body_value().get("micros").is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! The model registry: persisted [`TrainedPredictor`] checkpoints, one
+//! per [`RewardKind`], loaded once at service startup.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use qrc_circuit::QuantumCircuit;
+use qrc_predictor::{train, PersistError, PredictorConfig, RewardKind, TrainedPredictor};
+
+/// An in-memory registry of trained policies keyed by objective.
+///
+/// Checkpoints live as `predictor_<objective>.json` files inside one
+/// models directory; [`ModelRegistry::ensure`] trains and persists any
+/// that are missing, so a cold start is self-healing and a warm start
+/// loads in milliseconds.
+pub struct ModelRegistry {
+    models: HashMap<RewardKind, Arc<TrainedPredictor>>,
+}
+
+impl ModelRegistry {
+    /// The checkpoint path for one objective inside `dir`.
+    pub fn model_path(dir: &Path, kind: RewardKind) -> PathBuf {
+        dir.join(format!("predictor_{}.json", kind.name()))
+    }
+
+    /// Builds a registry from already-trained models (used by the
+    /// benchmark harness, which trains in-process).
+    pub fn from_models(models: Vec<TrainedPredictor>) -> Self {
+        ModelRegistry {
+            models: models
+                .into_iter()
+                .map(|m| (m.reward(), Arc::new(m)))
+                .collect(),
+        }
+    }
+
+    /// Loads every checkpoint present in `dir` (missing objectives are
+    /// simply absent from the registry; corrupt files are errors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if a present checkpoint fails to load.
+    pub fn load(dir: &Path) -> Result<Self, PersistError> {
+        let mut models = HashMap::new();
+        for kind in RewardKind::ALL {
+            let path = Self::model_path(dir, kind);
+            if path.exists() {
+                let model = TrainedPredictor::load(&path)?;
+                if model.reward() != kind {
+                    return Err(PersistError::Format(format!(
+                        "{} holds a model for objective `{}`",
+                        path.display(),
+                        model.reward()
+                    )));
+                }
+                models.insert(kind, Arc::new(model));
+            }
+        }
+        Ok(ModelRegistry { models })
+    }
+
+    /// Loads checkpoints from `dir`, training and persisting any
+    /// missing objective on `suite` with the given budget first.
+    ///
+    /// `progress` is invoked with the objective name before each
+    /// (potentially slow) training run; pass a no-op when silent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on unreadable/corrupt checkpoints or
+    /// unwritable model files.
+    pub fn ensure(
+        dir: &Path,
+        suite: &[QuantumCircuit],
+        timesteps: usize,
+        seed: u64,
+        step_penalty: f64,
+        mut progress: impl FnMut(&str),
+    ) -> Result<Self, PersistError> {
+        std::fs::create_dir_all(dir)?;
+        let mut registry = Self::load(dir)?;
+        for kind in RewardKind::ALL {
+            if registry.models.contains_key(&kind) {
+                continue;
+            }
+            progress(kind.name());
+            let mut config = PredictorConfig::new(kind, timesteps);
+            config.seed = seed;
+            config.step_penalty = step_penalty;
+            let model = train(suite.to_vec(), &config);
+            model.save(&Self::model_path(dir, kind))?;
+            registry.models.insert(kind, Arc::new(model));
+        }
+        Ok(registry)
+    }
+
+    /// The policy trained for `kind`, if registered.
+    pub fn get(&self, kind: RewardKind) -> Option<Arc<TrainedPredictor>> {
+        self.models.get(&kind).map(Arc::clone)
+    }
+
+    /// Number of registered policies.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Returns `true` if no policy is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The objectives with a registered policy, in canonical order.
+    pub fn kinds(&self) -> Vec<RewardKind> {
+        RewardKind::ALL
+            .into_iter()
+            .filter(|k| self.models.contains_key(k))
+            .collect()
+    }
+}

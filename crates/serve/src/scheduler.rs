@@ -1,0 +1,223 @@
+//! The batch scheduler: request stream → deduplicated jobs → rayon
+//! worker pool → responses, with results byte-identical to serial
+//! execution.
+//!
+//! Determinism comes from two choices:
+//!
+//! 1. every job's seed derives from its *content address*
+//!    (`task_seed(master, key.mix())`), never from arrival order or a
+//!    shared RNG, and
+//! 2. deduplication and response assembly follow request order, so the
+//!    first occurrence of a key is the "miss" and later duplicates are
+//!    "coalesced" regardless of which worker finished first.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qrc_circuit::qasm;
+use qrc_predictor::{task_seed, TrainedPredictor};
+use rayon::prelude::*;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{CacheStatus, CompiledResult, ServeRequest, ServeResponse};
+use crate::registry::ModelRegistry;
+
+/// How one request slot resolved during admission.
+enum Slot {
+    /// Rejected before reaching the scheduler (parse error, unknown
+    /// model, …).
+    Failed(String),
+    /// Admitted under a content address.
+    Keyed(CacheKey),
+}
+
+/// One unique compilation job within a batch.
+struct Job {
+    key: CacheKey,
+    circuit: qrc_circuit::QuantumCircuit,
+    model: Arc<TrainedPredictor>,
+}
+
+/// The resolution of one unique key within a batch.
+enum Resolution {
+    /// Found in the result cache before computing.
+    CachedHit(Arc<CompiledResult>),
+    /// Computed by this batch (latency in microseconds).
+    Computed(Result<Arc<CompiledResult>, String>, u64),
+}
+
+/// Runs one batch of requests to completion.
+///
+/// Identical jobs (same circuit content, objective, and device pin)
+/// are computed once; cache misses fan out across the rayon pool when
+/// `parallel` is set. The returned responses are byte-identical (save
+/// the latency field) between `parallel = true` and `false`.
+pub fn run_batch(
+    registry: &ModelRegistry,
+    cache: &ResultCache,
+    master_seed: u64,
+    parallel: bool,
+    requests: &[ServeRequest],
+) -> Vec<ServeResponse> {
+    // Admission: resolve content addresses, deduplicate in request
+    // order, and consult the cache once per unique key.
+    let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
+    let mut order: HashMap<CacheKey, usize> = HashMap::new();
+    let mut resolutions: Vec<Option<Resolution>> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut job_targets: Vec<usize> = Vec::new();
+
+    for request in requests {
+        let admitted = admit(registry, request);
+        match admitted {
+            Err(message) => slots.push(Slot::Failed(message)),
+            Ok((key, circuit, model)) => {
+                if let std::collections::hash_map::Entry::Vacant(slot) = order.entry(key) {
+                    let index = resolutions.len();
+                    slot.insert(index);
+                    match cache.get(&key) {
+                        Some(found) => resolutions.push(Some(Resolution::CachedHit(found))),
+                        None => {
+                            resolutions.push(None);
+                            job_targets.push(index);
+                            jobs.push(Job {
+                                key,
+                                circuit,
+                                model,
+                            });
+                        }
+                    }
+                }
+                slots.push(Slot::Keyed(key));
+            }
+        }
+    }
+
+    // Execution: fan unique misses across the pool (or run serially).
+    let compute = |job: &Job| -> (Result<Arc<CompiledResult>, String>, u64) {
+        let start = Instant::now();
+        let result = execute(job, master_seed);
+        (result.map(Arc::new), start.elapsed().as_micros() as u64)
+    };
+    let outcomes: Vec<(Result<Arc<CompiledResult>, String>, u64)> = if parallel {
+        jobs.par_iter().map(compute).collect()
+    } else {
+        jobs.iter().map(compute).collect()
+    };
+
+    // Publication: successful results enter the cache for future
+    // batches.
+    for (i, (job, (outcome, micros))) in jobs.iter().zip(outcomes).enumerate() {
+        if let Ok(result) = &outcome {
+            cache.insert(job.key, Arc::clone(result));
+        }
+        resolutions[job_targets[i]] = Some(Resolution::Computed(outcome, micros));
+    }
+
+    // Assembly, in request order: the first slot carrying a computed
+    // key is the miss; later duplicates coalesce.
+    let mut miss_claimed: std::collections::HashSet<CacheKey> = std::collections::HashSet::new();
+    requests
+        .iter()
+        .zip(slots)
+        .map(|(request, slot)| match slot {
+            Slot::Failed(message) => ServeResponse {
+                id: request.id.clone(),
+                result: Err(message),
+                micros: 0,
+            },
+            Slot::Keyed(key) => {
+                let resolution = resolutions[order[&key]]
+                    .as_ref()
+                    .expect("every admitted key resolves");
+                let (result, status, micros) = match resolution {
+                    Resolution::CachedHit(found) => (Ok(Arc::clone(found)), CacheStatus::Hit, 0),
+                    Resolution::Computed(outcome, micros) => {
+                        let first = miss_claimed.insert(key);
+                        let status = if first {
+                            CacheStatus::Miss
+                        } else {
+                            CacheStatus::Coalesced
+                        };
+                        match outcome {
+                            Ok(found) => (Ok(Arc::clone(found)), status, *micros),
+                            Err(e) => (Err(e.clone()), status, *micros),
+                        }
+                    }
+                };
+                ServeResponse {
+                    id: request.id.clone(),
+                    result: result.map(|r| (r, status)),
+                    micros,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Validates one request far enough to give it a content address.
+fn admit(
+    registry: &ModelRegistry,
+    request: &ServeRequest,
+) -> Result<(CacheKey, qrc_circuit::QuantumCircuit, Arc<TrainedPredictor>), String> {
+    let circuit = qasm::from_qasm(&request.qasm).map_err(|e| format!("invalid qasm: {e}"))?;
+    let model = registry.get(request.objective).ok_or_else(|| {
+        format!(
+            "no model registered for objective `{}` (available: {})",
+            request.objective.name(),
+            registry
+                .kinds()
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let key = CacheKey {
+        circuit_hash: circuit.structural_hash(),
+        reward: request.objective,
+        device_pin: request.device_pin,
+    };
+    Ok((key, circuit, model))
+}
+
+/// Runs one unique job: content-seeded policy rollout, rendered back to
+/// QASM.
+fn execute(job: &Job, master_seed: u64) -> Result<CompiledResult, String> {
+    let seed = task_seed(master_seed, job.key.mix());
+    let outcome = match job.key.device_pin {
+        Some(pin) => job
+            .model
+            .compile_pinned(&job.circuit, pin, seed)
+            .map_err(|e| format!("pinned device `{pin}` rejected: {e}", pin = pin.name()))?,
+        None => job.model.compile_with_seed(&job.circuit, seed),
+    };
+    Ok(CompiledResult {
+        qasm: qasm::to_qasm(&outcome.circuit),
+        device: outcome.device,
+        actions: outcome.actions.iter().map(|a| a.name()).collect(),
+        reward: outcome.reward,
+    })
+}
+
+/// Convenience wrapper used by tests and the bench harness: admission
+/// errors aside, returns only whether every response body matches
+/// between a parallel and a serial execution of `requests`.
+pub fn parallel_matches_serial(
+    registry: &ModelRegistry,
+    master_seed: u64,
+    requests: &[ServeRequest],
+    capacity: usize,
+    shards: usize,
+) -> bool {
+    let serial_cache = ResultCache::new(capacity, shards);
+    let parallel_cache = ResultCache::new(capacity, shards);
+    let serial = run_batch(registry, &serial_cache, master_seed, false, requests);
+    let parallel = run_batch(registry, &parallel_cache, master_seed, true, requests);
+    serial.len() == parallel.len()
+        && serial
+            .iter()
+            .zip(parallel.iter())
+            .all(|(a, b)| a.body_value() == b.body_value())
+}

@@ -1,0 +1,213 @@
+//! [`CompilationService`]: the composition of registry, cache,
+//! scheduler, and metrics behind one `handle_*` API.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use qrc_benchgen::paper_suite;
+use qrc_predictor::PersistError;
+
+use crate::cache::ResultCache;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::protocol::{ServeRequest, ServeResponse};
+use crate::registry::ModelRegistry;
+use crate::scheduler;
+
+/// Startup configuration of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory holding (or receiving) model checkpoints.
+    pub models_dir: PathBuf,
+    /// Training budget per objective when a checkpoint is missing.
+    pub timesteps: usize,
+    /// Master seed: drives missing-model training and, mixed with each
+    /// job's content hash, the per-job rollout seeds.
+    pub seed: u64,
+    /// Reward-shaping penalty for missing-model training.
+    pub step_penalty: f64,
+    /// Largest width of the training suite for missing models.
+    pub train_max_qubits: u32,
+    /// Total result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Number of cache shards.
+    pub cache_shards: usize,
+    /// Fan cache misses across the rayon pool.
+    pub parallel: bool,
+    /// Print training progress to stderr during a cold start.
+    pub verbose: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            models_dir: PathBuf::from("models"),
+            timesteps: 8_000,
+            seed: 3,
+            step_penalty: 0.005,
+            train_max_qubits: 6,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            parallel: true,
+            verbose: true,
+        }
+    }
+}
+
+/// A running compilation service: models loaded, cache warm-able,
+/// ready to answer batches.
+pub struct CompilationService {
+    registry: ModelRegistry,
+    cache: ResultCache,
+    metrics: ServeMetrics,
+    seed: u64,
+    parallel: bool,
+}
+
+impl CompilationService {
+    /// Starts a service from `config`: loads every checkpoint in
+    /// `models_dir`, training and persisting missing objectives first
+    /// (a warm start with all three checkpoints present trains
+    /// nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when checkpoints are corrupt or the
+    /// models directory is unwritable.
+    pub fn start(config: &ServiceConfig) -> Result<CompilationService, PersistError> {
+        let suite = paper_suite(2, config.train_max_qubits);
+        let verbose = config.verbose;
+        let registry = ModelRegistry::ensure(
+            &config.models_dir,
+            &suite,
+            config.timesteps,
+            config.seed,
+            config.step_penalty,
+            |name| {
+                if verbose {
+                    eprintln!("training missing model for objective `{name}`…");
+                }
+            },
+        )?;
+        Ok(Self::with_registry(registry, config))
+    }
+
+    /// Builds a service around an existing registry (no disk access;
+    /// used by the bench harness and tests).
+    pub fn with_registry(registry: ModelRegistry, config: &ServiceConfig) -> CompilationService {
+        CompilationService {
+            registry,
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            metrics: ServeMetrics::new(),
+            seed: config.seed,
+            parallel: config.parallel,
+        }
+    }
+
+    /// Processes one batch of already-parsed requests, recording each
+    /// response in the service metrics.
+    pub fn handle_batch(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
+        let responses = self.run_batch(requests);
+        for response in &responses {
+            self.record(response);
+        }
+        responses
+    }
+
+    /// Scheduler entry without metrics recording (callers that adjust
+    /// the reported latency first record themselves).
+    fn run_batch(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
+        scheduler::run_batch(
+            &self.registry,
+            &self.cache,
+            self.seed,
+            self.parallel,
+            requests,
+        )
+    }
+
+    fn record(&self, response: &ServeResponse) {
+        self.metrics.record(
+            response.micros,
+            response.result.as_ref().ok().map(|(_, status)| *status),
+        );
+    }
+
+    /// Processes one NDJSON request line into one NDJSON response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        let start = Instant::now();
+        match ServeRequest::parse(line) {
+            Ok(request) => {
+                let mut responses = self.run_batch(std::slice::from_ref(&request));
+                let mut response = responses.remove(0);
+                // For the single-request path, the full wall-clock is
+                // the honest latency (parse + schedule + compile) —
+                // recorded *and* reported, so `--stats` percentiles
+                // agree with what the client saw on the wire.
+                response.micros = start.elapsed().as_micros() as u64;
+                self.record(&response);
+                response.to_line()
+            }
+            Err(message) => {
+                let response = ServeResponse {
+                    id: None,
+                    result: Err(message),
+                    micros: start.elapsed().as_micros() as u64,
+                };
+                self.record(&response);
+                response.to_line()
+            }
+        }
+    }
+
+    /// Processes many NDJSON lines as one scheduled batch, preserving
+    /// order. Unparseable lines yield error responses in place.
+    pub fn handle_lines(&self, lines: &[String]) -> Vec<String> {
+        // Parse what we can; remember where each admitted request goes.
+        let mut slots: Vec<Result<usize, String>> = Vec::with_capacity(lines.len());
+        let mut requests: Vec<ServeRequest> = Vec::new();
+        for line in lines {
+            match ServeRequest::parse(line) {
+                Ok(request) => {
+                    slots.push(Ok(requests.len()));
+                    requests.push(request);
+                }
+                Err(message) => slots.push(Err(message)),
+            }
+        }
+        let mut responses = self.handle_batch(&requests).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(_) => responses
+                    .next()
+                    .expect("one response per request")
+                    .to_line(),
+                Err(message) => {
+                    let response = ServeResponse {
+                        id: None,
+                        result: Err(message),
+                        micros: 0,
+                    };
+                    self.record(&response);
+                    response.to_line()
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate metrics (requests, errors, cache counters, latency
+    /// percentiles).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+
+    /// The registry backing this service.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Entries currently resident in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}

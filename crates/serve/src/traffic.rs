@@ -1,0 +1,135 @@
+//! Synthetic traffic generation for load tests and the `serve`
+//! benchmark target: a deterministic request mix over the paper's
+//! benchmark suite with realistic skew (a few hot circuits dominate,
+//! so a result cache has something to do).
+
+use qrc_benchgen::paper_suite;
+use qrc_circuit::qasm;
+use qrc_device::{Device, DeviceId};
+use qrc_predictor::RewardKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::ServeRequest;
+
+/// Shape of one synthetic traffic mix.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Smallest benchmark width drawn from.
+    pub min_qubits: u32,
+    /// Largest benchmark width drawn from.
+    pub max_qubits: u32,
+    /// RNG seed; equal configs generate byte-identical mixes.
+    pub seed: u64,
+    /// Popularity skew exponent ≥ 1: request probability concentrates
+    /// on a prefix of the suite as this grows (1 = uniform). The
+    /// default of 3 makes roughly half of all traffic target ~20% of
+    /// the circuits — enough repetition for caches to matter.
+    pub skew: f64,
+    /// Fraction of requests that pin a target device.
+    pub pin_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            requests: 400,
+            min_qubits: 2,
+            max_qubits: 6,
+            seed: 3,
+            skew: 3.0,
+            pin_fraction: 0.15,
+        }
+    }
+}
+
+/// Generates the deterministic request mix described by `config`.
+pub fn synthetic_mix(config: &TrafficConfig) -> Vec<ServeRequest> {
+    let suite = paper_suite(config.min_qubits, config.max_qubits);
+    assert!(!suite.is_empty(), "traffic mix needs a non-empty suite");
+    let texts: Vec<String> = suite.iter().map(qasm::to_qasm).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7261_6666_6963_0001);
+    (0..config.requests)
+        .map(|i| {
+            // Power-law popularity: u^skew concentrates mass near 0.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let index =
+                ((u.powf(config.skew.max(1.0)) * suite.len() as f64) as usize).min(suite.len() - 1);
+            let objective = RewardKind::ALL[rng.gen_range(0..RewardKind::ALL.len())];
+            let device_pin = if rng.gen_range(0.0..1.0) < config.pin_fraction {
+                pick_pin(&mut rng, suite[index].num_qubits())
+            } else {
+                None
+            };
+            ServeRequest {
+                id: Some(format!("req-{i}")),
+                qasm: texts[index].clone(),
+                objective,
+                device_pin,
+            }
+        })
+        .collect()
+}
+
+/// Picks a pin among devices wide enough for the circuit.
+fn pick_pin(rng: &mut StdRng, circuit_width: u32) -> Option<DeviceId> {
+    let fitting: Vec<DeviceId> = DeviceId::ALL
+        .into_iter()
+        .filter(|&d| Device::get(d).num_qubits() >= circuit_width)
+        .collect();
+    if fitting.is_empty() {
+        None
+    } else {
+        Some(fitting[rng.gen_range(0..fitting.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_is_deterministic_and_skewed() {
+        let config = TrafficConfig {
+            requests: 200,
+            ..TrafficConfig::default()
+        };
+        let a = synthetic_mix(&config);
+        let b = synthetic_mix(&config);
+        assert_eq!(a, b, "same config must generate the same mix");
+        assert_eq!(a.len(), 200);
+
+        // Skew produces repeats: far fewer unique circuits than requests.
+        let unique: HashSet<&str> = a.iter().map(|r| r.qasm.as_str()).collect();
+        assert!(
+            unique.len() < a.len() / 2,
+            "expected repetition, got {} unique of {}",
+            unique.len(),
+            a.len()
+        );
+
+        // Pins only land on devices that fit the circuit.
+        for request in &a {
+            if let Some(pin) = request.device_pin {
+                let circuit = qasm::from_qasm(&request.qasm).unwrap();
+                assert!(Device::get(pin).num_qubits() >= circuit.num_qubits());
+            }
+        }
+        // All three objectives appear.
+        let objectives: HashSet<&str> = a.iter().map(|r| r.objective.name()).collect();
+        assert_eq!(objectives.len(), 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_mix(&TrafficConfig::default());
+        let b = synthetic_mix(&TrafficConfig {
+            seed: 99,
+            ..TrafficConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+}

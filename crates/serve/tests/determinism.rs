@@ -1,0 +1,131 @@
+//! The serving determinism contract: batched/parallel execution must
+//! produce responses byte-identical to serial execution (latency
+//! metadata aside), and identical traffic must produce identical
+//! responses regardless of batch boundaries.
+
+use qrc_benchgen::BenchmarkFamily;
+use qrc_predictor::{train, PredictorConfig, RewardKind};
+use qrc_rl::PpoConfig;
+use qrc_serve::scheduler::parallel_matches_serial;
+use qrc_serve::{synthetic_mix, CompilationService, ModelRegistry, ServiceConfig, TrafficConfig};
+
+/// A registry with one quickly-trained model per objective.
+fn tiny_registry() -> ModelRegistry {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Dj.generate(3),
+        BenchmarkFamily::WState.generate(3),
+    ];
+    let models = RewardKind::ALL
+        .into_iter()
+        .map(|reward| {
+            let config = PredictorConfig {
+                reward,
+                total_timesteps: 1200,
+                ppo: PpoConfig {
+                    steps_per_update: 128,
+                    minibatch_size: 32,
+                    epochs: 4,
+                    hidden: vec![24],
+                    learning_rate: 1e-3,
+                    ..PpoConfig::default()
+                },
+                seed: 5,
+                step_penalty: 0.005,
+            };
+            train(suite.clone(), &config)
+        })
+        .collect();
+    ModelRegistry::from_models(models)
+}
+
+fn service_config(parallel: bool) -> ServiceConfig {
+    ServiceConfig {
+        parallel,
+        verbose: false,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn batched_execution_is_byte_identical_to_serial() {
+    let registry = tiny_registry();
+    let traffic = synthetic_mix(&TrafficConfig {
+        requests: 48,
+        max_qubits: 4,
+        ..TrafficConfig::default()
+    });
+    assert!(
+        parallel_matches_serial(&registry, 3, &traffic, 1024, 8),
+        "parallel batch diverged from serial execution"
+    );
+}
+
+#[test]
+fn batch_boundaries_do_not_change_results() {
+    let traffic = synthetic_mix(&TrafficConfig {
+        requests: 30,
+        max_qubits: 4,
+        ..TrafficConfig::default()
+    });
+
+    // One service swallows the whole stream in a single batch; the
+    // other sees it in batches of 7. The cache state differs along the
+    // way, so `cache` statuses may differ — but the *payloads* must
+    // not.
+    let whole = CompilationService::with_registry(tiny_registry(), &service_config(true));
+    let chunked = CompilationService::with_registry(tiny_registry(), &service_config(false));
+
+    let whole_responses = whole.handle_batch(&traffic);
+    let mut chunked_responses = Vec::new();
+    for chunk in traffic.chunks(7) {
+        chunked_responses.extend(chunked.handle_batch(chunk));
+    }
+    assert_eq!(whole_responses.len(), chunked_responses.len());
+    for (a, b) in whole_responses.iter().zip(chunked_responses.iter()) {
+        match (&a.result, &b.result) {
+            (Ok((ra, _)), Ok((rb, _))) => {
+                assert_eq!(ra.qasm, rb.qasm);
+                assert_eq!(ra.actions, rb.actions);
+                assert_eq!(ra.device, rb.device);
+                assert_eq!(ra.reward.to_bits(), rb.reward.to_bits());
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            other => panic!("ok/err divergence: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_requests_in_one_batch_coalesce() {
+    let service = CompilationService::with_registry(tiny_registry(), &service_config(true));
+    let mut qc = qrc_circuit::QuantumCircuit::new(3);
+    qc.h(0).cx(0, 1).cx(1, 2).measure_all();
+    let text = qrc_circuit::qasm::to_qasm(&qc);
+    let requests: Vec<_> = (0..6)
+        .map(|i| {
+            let mut r = qrc_serve::ServeRequest::new(text.clone());
+            r.id = Some(format!("dup-{i}"));
+            r
+        })
+        .collect();
+    let responses = service.handle_batch(&requests);
+    let statuses: Vec<&str> = responses
+        .iter()
+        .map(|r| r.result.as_ref().unwrap().1.name())
+        .collect();
+    assert_eq!(statuses[0], "miss");
+    assert!(
+        statuses[1..].iter().all(|s| *s == "coalesced"),
+        "{statuses:?}"
+    );
+    // All six carry the same payload pointer-equal result.
+    let first = &responses[0].result.as_ref().unwrap().0;
+    for r in &responses[1..] {
+        assert!(std::sync::Arc::ptr_eq(first, &r.result.as_ref().unwrap().0));
+    }
+
+    // A second batch with the same content is served from cache.
+    let again = service.handle_batch(&requests[..1]);
+    assert_eq!(again[0].result.as_ref().unwrap().1.name(), "hit");
+}

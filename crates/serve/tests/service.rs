@@ -1,0 +1,219 @@
+//! End-to-end service tests: registry persistence round trip, the
+//! NDJSON protocol surface, cache/metrics accounting, and device pins.
+
+use qrc_benchgen::BenchmarkFamily;
+use qrc_predictor::{train, PredictorConfig, RewardKind};
+use qrc_rl::PpoConfig;
+use qrc_serve::{CompilationService, ModelRegistry, ServeRequest, ServiceConfig};
+
+fn tiny_models() -> Vec<qrc_predictor::TrainedPredictor> {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Dj.generate(3),
+    ];
+    RewardKind::ALL
+        .into_iter()
+        .map(|reward| {
+            let config = PredictorConfig {
+                reward,
+                total_timesteps: 1200,
+                ppo: PpoConfig {
+                    steps_per_update: 128,
+                    minibatch_size: 32,
+                    epochs: 4,
+                    hidden: vec![24],
+                    learning_rate: 1e-3,
+                    ..PpoConfig::default()
+                },
+                seed: 5,
+                step_penalty: 0.005,
+            };
+            train(suite.clone(), &config)
+        })
+        .collect()
+}
+
+fn quiet_config() -> ServiceConfig {
+    ServiceConfig {
+        verbose: false,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A scratch directory under the system temp dir, unique per test.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qrc_serve_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bell_qasm() -> String {
+    let mut qc = qrc_circuit::QuantumCircuit::new(2);
+    qc.h(0).cx(0, 1).measure_all();
+    qrc_circuit::qasm::to_qasm(&qc)
+}
+
+#[test]
+fn registry_round_trips_through_disk() {
+    let dir = scratch_dir("registry");
+    let models = tiny_models();
+    for model in &models {
+        model
+            .save(&ModelRegistry::model_path(&dir, model.reward()))
+            .unwrap();
+    }
+    let loaded = ModelRegistry::load(&dir).unwrap();
+    assert_eq!(loaded.len(), 3);
+    assert_eq!(loaded.kinds(), RewardKind::ALL.to_vec());
+
+    // Loaded policies answer identically to the originals.
+    let qc = BenchmarkFamily::Ghz.generate(3);
+    for model in &models {
+        let reloaded = loaded.get(model.reward()).unwrap();
+        let a = model.compile(&qc);
+        let b = reloaded.compile(&qc);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.circuit, b.circuit);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registry_ensure_trains_once_then_loads() {
+    let dir = scratch_dir("ensure");
+    let suite = vec![BenchmarkFamily::Ghz.generate(3)];
+    let mut trained = Vec::new();
+    let registry = ModelRegistry::ensure(&dir, &suite, 600, 7, 0.005, |name| {
+        trained.push(name.to_string())
+    })
+    .unwrap();
+    assert_eq!(registry.len(), 3);
+    assert_eq!(trained.len(), 3, "cold start trains every objective");
+
+    let mut retrained = Vec::new();
+    let warm = ModelRegistry::ensure(&dir, &suite, 600, 7, 0.005, |name| {
+        retrained.push(name.to_string())
+    })
+    .unwrap();
+    assert_eq!(warm.len(), 3);
+    assert!(retrained.is_empty(), "warm start must train nothing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ndjson_protocol_end_to_end() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &quiet_config(),
+    );
+    let line = format!(
+        r#"{{"id":"bell-1","qasm":{},"objective":"fidelity"}}"#,
+        serde_json::to_string(&serde_json::Value::from(bell_qasm()))
+    );
+    let reply = service.handle_line(&line);
+    let parsed = serde_json::from_str(&reply).unwrap();
+    assert_eq!(parsed.get("id").unwrap().as_str(), Some("bell-1"));
+    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
+    assert!(parsed.get("micros").unwrap().as_u64().is_some());
+    let reward = parsed.get("reward").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&reward));
+    // The compiled program must itself parse as QASM.
+    let compiled = parsed.get("qasm").unwrap().as_str().unwrap();
+    assert!(qrc_circuit::qasm::from_qasm(compiled).is_ok());
+
+    // Same request again: served from cache.
+    let reply = service.handle_line(&line);
+    let parsed = serde_json::from_str(&reply).unwrap();
+    assert_eq!(parsed.get("cache").unwrap().as_str(), Some("hit"));
+
+    // Errors are NDJSON too, never panics.
+    let reply = service.handle_line("{broken json");
+    let parsed = serde_json::from_str(&reply).unwrap();
+    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    let reply = service.handle_line(r#"{"qasm":"not qasm at all"}"#);
+    let parsed = serde_json::from_str(&reply).unwrap();
+    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    assert!(parsed
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("invalid qasm"));
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.requests, 4);
+    assert_eq!(metrics.errors, 2);
+    assert_eq!(metrics.cache.hits, 1);
+    assert!(metrics.cache.hit_rate() > 0.0);
+}
+
+#[test]
+fn handle_lines_preserves_order_with_mixed_validity() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &quiet_config(),
+    );
+    let good = format!(
+        r#"{{"id":"ok-1","qasm":{}}}"#,
+        serde_json::to_string(&serde_json::Value::from(bell_qasm()))
+    );
+    let lines = vec!["nonsense".to_string(), good.clone(), "{}".to_string(), good];
+    let replies = service.handle_lines(&lines);
+    assert_eq!(replies.len(), 4);
+    let oks: Vec<bool> = replies
+        .iter()
+        .map(|r| {
+            serde_json::from_str(r)
+                .unwrap()
+                .get("ok")
+                .unwrap()
+                .as_bool()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(oks, vec![false, true, false, true]);
+    // The two good requests are identical: one miss, one coalesced.
+    let statuses: Vec<String> = [1usize, 3]
+        .iter()
+        .map(|&i| {
+            serde_json::from_str(&replies[i])
+                .unwrap()
+                .get("cache")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(statuses, vec!["miss".to_string(), "coalesced".to_string()]);
+}
+
+#[test]
+fn device_pin_forces_the_target() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &quiet_config(),
+    );
+    let mut request = ServeRequest::new(bell_qasm());
+    request.device_pin = Some(qrc_device::DeviceId::IonqHarmony);
+    let responses = service.handle_batch(std::slice::from_ref(&request));
+    let (result, _) = responses[0].result.as_ref().unwrap();
+    assert_eq!(result.device, Some(qrc_device::DeviceId::IonqHarmony));
+    // The action trace starts with the forced selections.
+    assert_eq!(result.actions[0], "platform:ionq");
+    assert_eq!(result.actions[1], "device:ionq_harmony");
+
+    // An infeasible pin (circuit wider than the device) is an error
+    // response, not a panic.
+    let wide = BenchmarkFamily::Ghz.generate(12);
+    let mut request = ServeRequest::new(qrc_circuit::qasm::to_qasm(&wide));
+    request.device_pin = Some(qrc_device::DeviceId::OqcLucy); // 8 qubits
+    let responses = service.handle_batch(std::slice::from_ref(&request));
+    let err = responses[0].result.as_ref().unwrap_err();
+    assert!(err.contains("oqc_lucy"), "{err}");
+
+    // Pinned and unpinned results for the same circuit are cached
+    // under different keys.
+    assert!(service.cache_len() >= 1);
+}

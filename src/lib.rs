@@ -15,7 +15,10 @@
 //! * [`rl`] — MLP + PPO with invalid-action masking,
 //! * [`benchgen`] — the 22 MQT-Bench benchmark families,
 //! * [`predictor`] — the compilation MDP, rewards, baselines, and
-//!   train/compile API.
+//!   train/compile API,
+//! * [`serve`] — the long-lived compilation service (model registry,
+//!   content-addressed result cache, batch scheduler, NDJSON front
+//!   end).
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub use qrc_device as device;
 pub use qrc_passes as passes;
 pub use qrc_predictor as predictor;
 pub use qrc_rl as rl;
+pub use qrc_serve as serve;
 pub use qrc_sim as sim;
 
 /// The most commonly used items in one import.

@@ -1,11 +1,17 @@
 //! Offline vendored subset of `serde_json`: an explicit [`Value`] tree
-//! plus compact and pretty writers.
+//! plus compact and pretty writers and a [`from_str`] parser.
 //!
 //! The offline serde facade has no data model, so values are built
 //! explicitly (via `From` impls and [`Value::object`]) rather than
-//! through `Serialize`. Output is valid JSON with full string escaping;
-//! object key order is insertion order, which keeps emitted reports
-//! stable across runs for byte-level diffing.
+//! through `Serialize`, and read back through [`Value`] accessors
+//! ([`Value::get`], [`Value::as_f64`], …) rather than `Deserialize`.
+//! Output is valid JSON with full string escaping; object key order is
+//! insertion order, which keeps emitted reports stable across runs for
+//! byte-level diffing.
+//!
+//! Floats are written with Rust's shortest-round-trip formatting and
+//! parsed with `str::parse::<f64>`, so `f64` values survive a
+//! write→parse cycle bit-exactly — model checkpoints depend on this.
 
 use std::fmt::{self, Write as _};
 
@@ -41,6 +47,365 @@ impl Value {
     /// Builds an object from `(key, value)` pairs, preserving order.
     pub fn object<K: Into<String>>(pairs: Vec<(K, Value)>) -> Value {
         Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up `key` in an object (first match; `None` otherwise).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Any number as an `f64` (integers convert losslessly up to 2⁵³).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F(v)) => Some(*v),
+            Value::Number(Number::U(v)) => Some(*v as f64),
+            Value::Number(Number::I(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer payload.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v),
+            Value::Number(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// A signed integer payload.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v),
+            Value::Number(Number::U(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// A parse failure: byte offset into the input plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Supports the full JSON grammar (objects, arrays, strings with escape
+/// sequences including `\uXXXX`, numbers, booleans, `null`). Trailing
+/// whitespace is allowed; trailing garbage is an error.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum nesting depth accepted by [`from_str`] (guards the stack
+/// against adversarial `[[[[…` inputs on the service front end).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a trailing \uDC00–\uDFFF.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ if c < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let number = if is_float {
+            Number::F(text.parse().map_err(|_| self.err("invalid number"))?)
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Number::I(v),
+                Err(_) => Number::F(text.parse().map_err(|_| self.err("invalid number"))?),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::U(v),
+                Err(_) => Number::F(text.parse().map_err(|_| self.err("invalid number"))?),
+            }
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first` (0 if invalid lead).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
     }
 }
 
@@ -244,5 +609,79 @@ mod tests {
     fn floats_always_float_shaped() {
         assert_eq!(to_string(&Value::from(2.0f64)), "2.0");
         assert_eq!(to_string(&Value::from(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn parses_documents() {
+        let v = from_str(
+            r#" {"a": [1, -2, 3.5e2], "b": {"nested": true}, "s": "x\n\"y\"", "n": null} "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_i64(),
+            Some(-2)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(350.0)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("nested").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\""));
+        assert!(v.get("n").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[] x",
+            "{1: 2}",
+        ] {
+            assert!(from_str(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = from_str(r#""é 😀 ü""#).unwrap();
+        assert_eq!(v.as_str(), Some("é 😀 ü"));
+        assert!(from_str(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn float_write_parse_is_bit_exact() {
+        for &x in &[
+            0.1,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+            std::f64::consts::PI,
+        ] {
+            let text = to_string(&Value::from(x));
+            let back = from_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {text} → {back}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_guards_stack() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(from_str(&ok).is_ok());
     }
 }
