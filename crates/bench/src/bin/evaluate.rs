@@ -15,8 +15,9 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service, serial vs
-//!                           batched (writes BENCH_serve.json)
+//!                           qrc-serve compilation service three ways:
+//!                           serial, blocking batched, and the pipelined
+//!                           socket front end (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
 //!
@@ -233,6 +234,14 @@ fn run_serve(
         report.speedup()
     );
     println!(
+        "pipelined socket: {:.3}s ({:.1} req/s) | vs blocking batched {:.2}x | \
+         payloads == serial: {}",
+        report.pipelined_secs,
+        report.requests_per_sec_pipelined(),
+        report.pipelined_speedup(),
+        report.pipelined_identical
+    );
+    println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
          {} errors | batched == serial: {}",
         report.hits,
@@ -249,6 +258,10 @@ fn run_serve(
     }
     if !report.identical {
         eprintln!("FAIL: batched serving diverged from serial execution");
+        std::process::exit(1);
+    }
+    if !report.pipelined_identical {
+        eprintln!("FAIL: pipelined socket serving diverged from serial execution");
         std::process::exit(1);
     }
     if report.hit_rate <= 0.0 {

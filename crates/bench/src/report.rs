@@ -21,7 +21,13 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// writes (`BENCH_eval.json`, `BENCH_serve.json`). Bump when any field
 /// is renamed, removed, or changes meaning, so downstream perf
 /// trajectories can detect incompatible reports.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: serve latency percentiles switched to honest per-request
+/// accounting (coalesced duplicates and cache hits no longer re-report
+/// compute time), and the serve report grew a pipelined socket replay
+/// arm (`replay_pipelined_secs`, `requests_per_sec_pipelined`,
+/// `pipelined_vs_batched`, `pipelined_equals_serial`).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -153,6 +159,7 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
                 ("train_secs", Value::from(report.train_secs)),
                 ("replay_serial_secs", Value::from(report.serial_secs)),
                 ("replay_batched_secs", Value::from(report.batched_secs)),
+                ("replay_pipelined_secs", Value::from(report.pipelined_secs)),
             ]),
         ),
         (
@@ -166,7 +173,15 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
                     "requests_per_sec_batched",
                     Value::from(report.requests_per_sec()),
                 ),
+                (
+                    "requests_per_sec_pipelined",
+                    Value::from(report.requests_per_sec_pipelined()),
+                ),
                 ("speedup_vs_serial", Value::from(report.speedup())),
+                (
+                    "pipelined_vs_batched",
+                    Value::from(report.pipelined_speedup()),
+                ),
             ]),
         ),
         (
@@ -186,6 +201,10 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ),
         ("errors", Value::from(report.errors)),
         ("batched_equals_serial", Value::from(report.identical)),
+        (
+            "pipelined_equals_serial",
+            Value::from(report.pipelined_identical),
+        ),
         ("settings", settings_value(settings)),
     ])
 }
@@ -251,7 +270,9 @@ mod tests {
             train_secs: 10.0,
             serial_secs: 2.0,
             batched_secs: 0.5,
+            pipelined_secs: 0.25,
             identical: true,
+            pipelined_identical: true,
             hits: 120,
             misses: 280,
             hit_rate: 0.3,
@@ -268,9 +289,13 @@ mod tests {
             "schema_version",
             "requests_per_sec_batched",
             "requests_per_sec_serial",
+            "requests_per_sec_pipelined",
+            "replay_pipelined_secs",
             "speedup_vs_serial",
+            "pipelined_vs_batched",
             "hit_rate",
             "batched_equals_serial",
+            "pipelined_equals_serial",
             "p99",
         ] {
             assert!(
@@ -302,5 +327,7 @@ mod tests {
         );
         assert!((report.speedup() - 4.0).abs() < 1e-9);
         assert!((report.requests_per_sec() - 800.0).abs() < 1e-9);
+        assert!((report.requests_per_sec_pipelined() - 1600.0).abs() < 1e-9);
+        assert!((report.pipelined_speedup() - 2.0).abs() < 1e-9);
     }
 }

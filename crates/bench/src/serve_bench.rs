@@ -1,14 +1,21 @@
 //! The `serve` throughput target: replay a synthetic traffic mix
-//! through the compilation service twice — scheduler in serial mode,
-//! then batched across the rayon pool — verify the responses are
-//! byte-identical, and measure throughput, cache behavior, and
+//! through the compilation service three ways — scheduler in serial
+//! mode, blocking batches on the rayon pool, and the pipelined socket
+//! front end (real TCP on a loopback ephemeral port, reader thread
+//! overlapping I/O with compute) — verify all replays produce the same
+//! compilation payloads, and measure throughput, cache behavior, and
 //! latency percentiles for `BENCH_serve.json`.
 
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qrc_serve::{
-    synthetic_mix, CompilationService, ModelRegistry, ServeResponse, ServiceConfig, TrafficConfig,
+    serve_socket, synthetic_mix, CompilationService, FrontendConfig, ModelRegistry, ServeRequest,
+    ServeResponse, ServiceConfig, ShutdownFlag, TrafficConfig,
 };
+use serde_json::Value;
 
 use crate::{train_models, EvalSettings};
 
@@ -39,14 +46,26 @@ pub struct ServeBenchReport {
     pub batch_size: usize,
     /// Worker threads available to the batched pass.
     pub threads: usize,
-    /// Seconds to train the three models (once, shared by both passes).
+    /// Seconds to train the three models (once, shared by all passes).
     pub train_secs: f64,
     /// Wall-clock of the serial replay (seconds).
     pub serial_secs: f64,
-    /// Wall-clock of the batched/parallel replay (seconds).
+    /// Wall-clock of the blocking batched replay (seconds): batches are
+    /// handed to the scheduler synchronously, so I/O (here: request
+    /// assembly) and compute never overlap.
     pub batched_secs: f64,
-    /// `true` iff both replays produced byte-identical response bodies.
+    /// Wall-clock of the pipelined socket replay (seconds): NDJSON over
+    /// loopback TCP, a reader thread filling the bounded queue while
+    /// the scheduler drains it.
+    pub pipelined_secs: f64,
+    /// `true` iff serial and blocking-batched replays produced
+    /// byte-identical response bodies.
     pub identical: bool,
+    /// `true` iff the pipelined socket replay produced the same
+    /// compilation payloads as the serial replay (cache statuses are
+    /// excluded: they legitimately depend on batch boundaries, which
+    /// timing decides on the pipelined path).
+    pub pipelined_identical: bool,
     /// Cache hits during the batched replay.
     pub hits: u64,
     /// Cache misses during the batched replay.
@@ -72,14 +91,25 @@ impl ServeBenchReport {
         self.requests as f64 / self.serial_secs.max(1e-12)
     }
 
+    /// Requests per second of the pipelined socket pass.
+    pub fn requests_per_sec_pipelined(&self) -> f64 {
+        self.requests as f64 / self.pipelined_secs.max(1e-12)
+    }
+
     /// Serial wall-clock divided by batched wall-clock.
     pub fn speedup(&self) -> f64 {
         self.serial_secs / self.batched_secs.max(1e-12)
     }
+
+    /// Blocking-batched wall-clock divided by pipelined wall-clock:
+    /// the I/O/compute overlap win of the socket front end.
+    pub fn pipelined_speedup(&self) -> f64 {
+        self.batched_secs / self.pipelined_secs.max(1e-12)
+    }
 }
 
-/// Trains the models, replays the mix serially and batched, and
-/// compares the two response streams.
+/// Trains the models, replays the mix serially, batched, and through
+/// the pipelined socket, and compares the response streams.
 pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> ServeBenchReport {
     let suite = qrc_benchgen::paper_suite(2, settings.max_qubits);
     let train_start = Instant::now();
@@ -114,12 +144,26 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
 
     let (serial_responses, serial_secs, _) = replay(false);
     let (batched_responses, batched_secs, batched_service) = replay(true);
+    let service = Arc::new(CompilationService::with_registry(
+        ModelRegistry::from_models(models.clone()),
+        &service_config(true),
+    ));
+    let (pipelined_payloads, pipelined_secs) =
+        replay_pipelined(&service, &traffic, serve.batch_size);
 
     let identical = serial_responses.len() == batched_responses.len()
         && serial_responses
             .iter()
             .zip(batched_responses.iter())
             .all(|(a, b)| a.body_value() == b.body_value());
+    // The pipelined path cuts the stream into batches by arrival
+    // timing, so cache statuses differ run to run; the compilation
+    // payloads must not.
+    let pipelined_identical = serial_responses.len() == pipelined_payloads.len()
+        && serial_responses
+            .iter()
+            .zip(pipelined_payloads.iter())
+            .all(|(a, b)| a.payload_value() == *b);
 
     let metrics = batched_service.metrics();
     ServeBenchReport {
@@ -129,7 +173,9 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         train_secs,
         serial_secs,
         batched_secs,
+        pipelined_secs,
         identical,
+        pipelined_identical,
         hits: metrics.cache.hits,
         misses: metrics.cache.misses,
         hit_rate: metrics.cache.hit_rate(),
@@ -137,4 +183,75 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         p50_us: metrics.p50_us,
         p99_us: metrics.p99_us,
     }
+}
+
+/// Replays the traffic through a real loopback TCP connection against
+/// the pipelined socket front end: a writer thread streams every
+/// request while this thread collects responses, then the server is
+/// shut down gracefully. Returns each response as a payload value
+/// (cache status and latency stripped) plus the replay wall-clock.
+fn replay_pipelined(
+    service: &Arc<CompilationService>,
+    traffic: &[ServeRequest],
+    batch_size: usize,
+) -> (Vec<Value>, f64) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port");
+    let port = listener.local_addr().expect("local addr").port();
+    let frontend = FrontendConfig {
+        batch_size: batch_size.max(1),
+        batch_wait: Duration::from_micros(500),
+        // The benchmark measures pipelining, not overload: size the
+        // queue so no request is rejected.
+        queue_capacity: traffic.len().max(16),
+        ..FrontendConfig::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let server = {
+        let service = Arc::clone(service);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || serve_socket(&service, listener, &frontend, &shutdown))
+    };
+
+    let start = Instant::now();
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to replay server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("set read timeout");
+    let writer = {
+        let mut write_half = stream.try_clone().expect("clone stream for writing");
+        let lines: Vec<String> = traffic.iter().map(ServeRequest::to_line).collect();
+        std::thread::spawn(move || {
+            for line in lines {
+                if writeln!(write_half, "{line}").is_err() {
+                    return;
+                }
+            }
+            let _ = write_half.flush();
+        })
+    };
+    let mut payloads = Vec::with_capacity(traffic.len());
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream for reading"));
+    let mut line = String::new();
+    while payloads.len() < traffic.len() {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let mut value = serde_json::from_str(line.trim_end()).expect("response line is JSON");
+        if let Value::Object(pairs) = &mut value {
+            pairs.retain(|(key, _)| key != "cache" && key != "micros");
+        }
+        payloads.push(value);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    writer.join().expect("request writer panicked");
+
+    let mut control = stream;
+    let _ = control.write_all(b"{\"cmd\":\"shutdown\"}\n");
+    let _ = control.flush();
+    server
+        .join()
+        .expect("serve thread panicked")
+        .expect("socket front end failed");
+    (payloads, elapsed)
 }

@@ -194,16 +194,33 @@ impl TrainedPredictor {
         })
     }
 
-    /// Writes the checkpoint to `path` (atomically: temp file + rename,
-    /// so a crashed writer never leaves a truncated model behind).
+    /// Writes the checkpoint to `path` atomically and durably: the
+    /// payload goes to a temp file, is fsynced to disk, and is renamed
+    /// into place — a crash at any point leaves either the old
+    /// checkpoint or the new one, never a truncated or torn file.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Io`] on filesystem failures.
     pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
+        use std::io::Write;
         let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, self.to_json() + "\n")?;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all((self.to_json() + "\n").as_bytes())?;
+        // Flush to stable storage *before* the rename: otherwise a
+        // power loss could promote a name pointing at unwritten data.
+        file.sync_all()?;
+        drop(file);
         std::fs::rename(&tmp, path)?;
+        // The rename itself lives in the directory entry; sync it too
+        // (best-effort — directories cannot be opened everywhere) so
+        // "saved" survives power loss, not just process crash.
+        #[cfg(unix)]
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                dir.sync_all().ok();
+            }
+        }
         Ok(())
     }
 

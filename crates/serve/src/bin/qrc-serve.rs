@@ -1,39 +1,65 @@
 //! The `qrc-serve` binary: a newline-delimited JSON compilation
-//! service on stdin/stdout.
+//! service over a TCP socket (`--listen`) or stdin/stdout (default).
 //!
 //! ```text
 //! cargo run --release -p qrc-serve --bin qrc-serve -- [flags]
 //!
 //! flags:
+//!   --listen ADDR       serve NDJSON over TCP (e.g. 127.0.0.1:7777;
+//!                       port 0 picks an ephemeral port, printed to
+//!                       stderr); omitted = stdin/stdout mode
 //!   --models DIR        checkpoint directory            (default models/)
 //!   --timesteps N       training budget per missing model (default 8000)
 //!   --seed N            master seed                     (default 3)
 //!   --train-max-qubits N  training-suite width for missing models (default 6)
 //!   --cache-capacity N  result cache entries            (default 4096)
 //!   --cache-shards N    cache shards                    (default 16)
-//!   --batch N           group up to N stdin lines per scheduled batch
-//!                       (default 1 = one batch per line)
+//!   --batch N           most requests per scheduled batch
+//!                       (default 16 pipelined, 1 with --blocking)
+//!   --batch-wait-us N   batch-collection timeout in µs  (default 2000)
+//!   --queue N           bounded request-queue capacity  (default 1024)
+//!   --max-line-bytes N  reject request lines longer than N bytes
+//!                       (default 1048576)
+//!   --max-width N       reject circuits wider than N qubits (default 128)
+//!   --blocking          legacy stdin loop: read a batch, compute it,
+//!                       repeat (no I/O/compute overlap; stdin only)
 //!   --serial            compute cache misses serially (results identical)
-//!   --stats             print aggregate metrics JSON to stderr at EOF
+//!   --log-requests      one structured JSON log line per request (stderr)
+//!   --stats             print aggregate metrics JSON to stderr at exit
+//!                       (live snapshots: send {"cmd":"stats"})
 //!   --quiet             suppress startup/training progress
 //! ```
 //!
 //! Protocol: one request object per line in, one response per line
-//! out, in order. See the crate docs for the field reference.
+//! out. `{"cmd":"stats"}` answers with live metrics, `{"cmd":"shutdown"}`
+//! (or SIGTERM in socket mode, or EOF on stdin) drains in-flight
+//! batches and exits cleanly. See the crate docs for the field
+//! reference.
 
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use qrc_serve::cliargs::{flag_value, usage_error};
-use qrc_serve::{CompilationService, ServiceConfig};
+use qrc_serve::{
+    CompilationService, ControlRequest, FrontendConfig, InboundLine, ServeRequest, ServeResponse,
+    ServiceConfig, ShutdownFlag,
+};
 
-const USAGE: &str = "usage: qrc-serve [--models DIR] [--timesteps N] [--seed N] \
+const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--timesteps N] [--seed N] \
                      [--train-max-qubits N] [--cache-capacity N] [--cache-shards N] \
-                     [--batch N] [--serial] [--stats] [--quiet]";
+                     [--batch N] [--batch-wait-us N] [--queue N] [--max-line-bytes N] \
+                     [--max-width N] [--blocking] [--serial] [--log-requests] [--stats] [--quiet]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServiceConfig::default();
-    let mut batch_size = 1usize;
+    let mut frontend = FrontendConfig::default();
+    let mut listen: Option<String> = None;
+    let mut batch: Option<usize> = None;
+    let mut batch_wait_us: u64 = 2_000;
+    let mut blocking = false;
     let mut print_stats = false;
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +68,10 @@ fn main() {
                 println!("{USAGE}");
                 return;
             }
+            "--listen" => match flag_value::<String>(&args, &mut i, "listen") {
+                Ok(addr) => listen = Some(addr),
+                Err(e) => usage_error(&e, USAGE),
+            },
             "--models" => match flag_value::<String>(&args, &mut i, "models") {
                 Ok(dir) => config.models_dir = dir.into(),
                 Err(e) => usage_error(&e, USAGE),
@@ -58,21 +88,50 @@ fn main() {
                 parse_into(&args, &mut i, "cache-capacity", &mut config.cache_capacity)
             }
             "--cache-shards" => parse_into(&args, &mut i, "cache-shards", &mut config.cache_shards),
-            "--batch" => parse_into(&args, &mut i, "batch", &mut batch_size),
+            "--batch" => {
+                let mut value = 0usize;
+                parse_into(&args, &mut i, "batch", &mut value);
+                batch = Some(value);
+            }
+            "--batch-wait-us" => parse_into(&args, &mut i, "batch-wait-us", &mut batch_wait_us),
+            "--queue" => parse_into(&args, &mut i, "queue", &mut frontend.queue_capacity),
+            "--max-line-bytes" => parse_into(
+                &args,
+                &mut i,
+                "max-line-bytes",
+                &mut config.max_request_bytes,
+            ),
+            "--max-width" => parse_into(&args, &mut i, "max-width", &mut config.max_circuit_qubits),
+            "--blocking" => blocking = true,
             "--serial" => config.parallel = false,
+            "--log-requests" => frontend.log_requests = true,
             "--stats" => print_stats = true,
             "--quiet" => config.verbose = false,
             other => usage_error(&format!("unknown flag `{other}`"), USAGE),
         }
         i += 1;
     }
-    if batch_size == 0 {
+    if batch == Some(0) {
         usage_error("--batch must be at least 1", USAGE);
     }
+    if frontend.queue_capacity == 0 {
+        usage_error("--queue must be at least 1", USAGE);
+    }
+    if blocking && listen.is_some() {
+        usage_error("--blocking applies to stdin mode only", USAGE);
+    }
+    // The pipelined front end can collect a fuller batch without
+    // stalling anyone (its batch-wait timeout bounds the delay), so it
+    // defaults higher; the blocking loop answers nothing until a batch
+    // fills, so it keeps the pre-pipeline default of one per line.
+    frontend.batch_size = batch.unwrap_or(frontend.batch_size);
+    let blocking_batch = batch.unwrap_or(1);
+    frontend.batch_wait = Duration::from_micros(batch_wait_us);
+    frontend.max_line_bytes = config.max_request_bytes;
 
     let start = std::time::Instant::now();
     let service = match CompilationService::start(&config) {
-        Ok(service) => service,
+        Ok(service) => Arc::new(service),
         Err(e) => {
             eprintln!("error: could not start service: {e}");
             std::process::exit(1);
@@ -94,6 +153,60 @@ fn main() {
         );
     }
 
+    let shutdown = ShutdownFlag::new();
+
+    let served = match listen {
+        Some(addr) => {
+            // Socket mode polls the flag everywhere (nonblocking
+            // accept, read timeouts), so SIGTERM can drain gracefully.
+            // Stdin mode keeps the default disposition: its reader
+            // blocks in an uninterruptible stdin read, where a
+            // trapped-but-unobserved SIGTERM would hang the process
+            // instead of terminating it.
+            install_sigterm_bridge(&shutdown);
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("error: could not bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            // Always printed: with port 0 this is the only way to learn
+            // the actual port.
+            match listener.local_addr() {
+                Ok(local) => eprintln!("qrc-serve listening on {local}"),
+                Err(_) => eprintln!("qrc-serve listening on {addr}"),
+            }
+            qrc_serve::serve_socket(&service, listener, &frontend, &shutdown)
+        }
+        None if blocking => serve_stdin_blocking(&service, blocking_batch),
+        None => qrc_serve::serve_stdin(&service, &frontend, &shutdown),
+    };
+
+    // Stats go out even when the session ended on a broken stream:
+    // what *was* served is exactly what the operator needs then.
+    if print_stats {
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&service.metrics().to_value())
+        );
+    }
+    if let Err(e) = served {
+        eprintln!("error: serving ended early, remaining requests dropped: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// The pre-pipeline stdin loop, kept for comparison and for callers
+/// that want strictly serialized read-then-compute behavior: reads up
+/// to `batch_size` lines, schedules them as one batch, repeats. No
+/// reader thread, so I/O and compute never overlap.
+///
+/// Lines are read whole before the service's size limit can reject
+/// them (plain `BufRead::lines`), so unlike the pipelined front ends
+/// this path buffers an oversized line in memory first — acceptable
+/// for its trusted-operator-pipe use, not for network input.
+fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -114,8 +227,9 @@ fn main() {
             Ok(line) => line,
             Err(e) => {
                 // A broken input stream (e.g. invalid UTF-8) kills the
-                // session: answer what we have, say why, exit nonzero
-                // so the caller knows responses are missing.
+                // session: answer what we have, report the error so
+                // main exits nonzero — the caller must learn that
+                // responses are missing.
                 read_error = Some(e);
                 break;
             }
@@ -123,22 +237,53 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
+        // Control lines work in blocking mode too. They are answered
+        // in stream order: everything read before them is flushed
+        // first, so stats reflect prior lines and shutdown drains.
+        if line.contains("\"cmd\"") {
+            match InboundLine::parse(&line) {
+                Ok(InboundLine::Control(ControlRequest::Stats)) => {
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        serde_json::to_string(&service.metrics().to_value())
+                    );
+                    let _ = out.flush();
+                    continue;
+                }
+                Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(out, r#"{{"ok":true,"shutting_down":true}}"#);
+                    let _ = out.flush();
+                    break;
+                }
+                // `"cmd"` inside an ordinary request's payload: let
+                // the scheduler answer it.
+                Ok(InboundLine::Request(_)) => {}
+                Err(message) => {
+                    flush(&mut pending, &mut out);
+                    let response = ServeResponse {
+                        id: ServeRequest::recover_id(&line),
+                        result: Err(message),
+                        micros: 1,
+                    };
+                    service.record(&response);
+                    let _ = writeln!(out, "{}", response.to_line());
+                    let _ = out.flush();
+                    continue;
+                }
+            }
+        }
         pending.push(line);
         if pending.len() >= batch_size {
             flush(&mut pending, &mut out);
         }
     }
     flush(&mut pending, &mut out);
-
-    if print_stats {
-        eprintln!(
-            "{}",
-            serde_json::to_string_pretty(&service.metrics().to_value())
-        );
-    }
-    if let Some(e) = read_error {
-        eprintln!("error: stdin read failed, remaining requests dropped: {e}");
-        std::process::exit(1);
+    match read_error {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -150,3 +295,34 @@ fn parse_into<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, 
         Err(e) => usage_error(&e, USAGE),
     }
 }
+
+/// SIGTERM → graceful drain. Signal handlers may only touch atomics,
+/// so the handler sets a process-global flag and a watcher thread
+/// forwards it to the front end's [`ShutdownFlag`].
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_bridge(shutdown: &ShutdownFlag) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    let shutdown = shutdown.clone();
+    std::thread::spawn(move || loop {
+        if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+            shutdown.request();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_bridge(_shutdown: &ShutdownFlag) {}

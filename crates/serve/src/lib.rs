@@ -15,8 +15,13 @@
 //!   identical jobs, and fans misses across a rayon pool with
 //!   content-derived seeds so concurrent results are byte-identical to
 //!   serial execution,
-//! * [`protocol`] — the newline-delimited JSON front end spoken by the
-//!   `qrc-serve` binary.
+//! * [`protocol`] — the newline-delimited JSON wire format,
+//! * [`queue`] + [`listener`] — the pipelined front end: a bounded
+//!   request queue filled by reader threads (TCP socket or stdin)
+//!   while the scheduler drains batches, so I/O overlaps compute;
+//!   with request size/width limits, batch-collection timeouts,
+//!   back-pressure rejections, live `{"cmd":"stats"}`, and graceful
+//!   `{"cmd":"shutdown"}`/SIGTERM/EOF draining.
 //!
 //! # Protocol
 //!
@@ -31,6 +36,12 @@
 //! `objective` is one of `fidelity` / `critical_depth` / `combination`
 //! (default `fidelity`); `device` optionally pins the hardware target
 //! (the policy still chooses synthesis/layout/routing/optimization).
+//!
+//! Control lines carry `cmd` instead of `qasm`: `{"cmd":"stats"}`
+//! answers with a live metrics snapshot, `{"cmd":"shutdown"}` drains
+//! and stops the server. When the request queue is full the socket
+//! front end answers `{"ok":false,"error":"overloaded: …"}` instead of
+//! queueing unboundedly.
 //!
 //! # Example
 //!
@@ -50,16 +61,23 @@
 
 pub mod cache;
 pub mod cliargs;
+pub mod listener;
 pub mod metrics;
 pub mod protocol;
+pub mod queue;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod traffic;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use listener::{serve_socket, serve_stdin, FrontendConfig, ShutdownFlag};
 pub use metrics::{percentile_us, MetricsSnapshot, ServeMetrics};
-pub use protocol::{CacheStatus, CompiledResult, ServeRequest, ServeResponse};
+pub use protocol::{
+    CacheStatus, CompiledResult, ControlRequest, InboundLine, ServeRequest, ServeResponse,
+    OVERLOADED_ERROR,
+};
+pub use queue::{BoundedQueue, PushError};
 pub use registry::ModelRegistry;
-pub use service::{CompilationService, ServiceConfig};
+pub use service::{CompilationService, QueuedLine, ServiceConfig};
 pub use traffic::{synthetic_mix, TrafficConfig};

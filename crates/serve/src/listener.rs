@@ -1,0 +1,672 @@
+//! The pipelined front end: reader threads fill a bounded request
+//! queue while the batch scheduler drains it, so I/O and compute
+//! overlap (a double-buffered pipeline).
+//!
+//! Two transports share the pipeline:
+//!
+//! * [`serve_socket`] — a TCP listener speaking NDJSON, one reader and
+//!   one writer thread per connection, back-pressure rejections when
+//!   the queue is full;
+//! * [`serve_stdin`] — the classic stdin/stdout mode, re-plumbed
+//!   through the same queue so reading the next lines overlaps with
+//!   compiling the previous batch (the reader blocks instead of
+//!   rejecting when the queue is full: stdin traffic is lossless).
+//!
+//! In-band control lines are answered by the front end directly:
+//! `{"cmd":"stats"}` returns a live metrics snapshot and
+//! `{"cmd":"shutdown"}` begins a graceful drain — no new requests are
+//! admitted, in-flight batches complete, every accepted request is
+//! answered, then the serve call returns. Control replies and
+//! back-pressure rejections are written as soon as they are produced,
+//! so they may overtake compile responses that are still queued;
+//! clients correlate by `id`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use crate::protocol::{ControlRequest, InboundLine, ServeRequest, ServeResponse};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::{CompilationService, QueuedLine};
+
+/// A cooperative shutdown signal shared by readers, the accept loop,
+/// and the scheduler. Set by SIGTERM, `{"cmd":"shutdown"}`, or the
+/// embedding application; once requested it never resets.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Requests shutdown (idempotent).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` once shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Tuning of the pipelined front end.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Most requests per scheduled batch.
+    pub batch_size: usize,
+    /// How long the scheduler lingers collecting a fuller batch after
+    /// the first request arrives (the batch-collection timeout).
+    pub batch_wait: Duration,
+    /// Bounded request-queue capacity; beyond it the socket front end
+    /// rejects with a structured `overloaded` error.
+    pub queue_capacity: usize,
+    /// Reject request lines longer than this many bytes without
+    /// buffering them.
+    pub max_line_bytes: usize,
+    /// Emit one structured JSON log line per request to stderr.
+    pub log_requests: bool,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            batch_size: 16,
+            batch_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            max_line_bytes: 1 << 20,
+            log_requests: false,
+        }
+    }
+}
+
+/// Decrements the active-reader count on drop — including on panic —
+/// so the accept loop's drain wait can always reach zero.
+struct ReaderGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ReaderGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Routes response lines back to one client through a *bounded*
+/// channel, so a client that stops reading cannot grow server memory
+/// without limit.
+#[derive(Clone)]
+enum ReplySink {
+    /// stdin/stdout: block until the writer catches up — lossless, and
+    /// the operator's pipe provides end-to-end back-pressure.
+    Blocking(mpsc::SyncSender<String>),
+    /// Socket: if the client's reply window fills (it streams requests
+    /// but never reads responses), sever the connection instead of
+    /// buffering unboundedly; the reader then sees EOF and the writer
+    /// drains what it already holds.
+    Disconnecting(mpsc::SyncSender<String>, Arc<TcpStream>),
+}
+
+impl ReplySink {
+    fn send(&self, line: String) {
+        match self {
+            ReplySink::Blocking(tx) => {
+                let _ = tx.send(line);
+            }
+            ReplySink::Disconnecting(tx, stream) => {
+                if tx.try_send(line).is_err() {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+/// One queued request: the raw line plus everything needed to answer
+/// it later (arrival instant for queue-wait accounting, the owning
+/// connection's writer).
+struct Envelope {
+    line: String,
+    arrival: Instant,
+    reply: ReplySink,
+    conn: u64,
+}
+
+/// Serves NDJSON over TCP until shutdown is requested, then drains and
+/// returns. The caller binds the listener (so tests and benchmarks can
+/// pick an ephemeral port) and decides what requests shutdown: SIGTERM
+/// plumbed into `shutdown`, or a client's `{"cmd":"shutdown"}`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the listener cannot be
+/// configured. Per-connection errors end that connection only.
+pub fn serve_socket(
+    service: &Arc<CompilationService>,
+    listener: TcpListener,
+    config: &FrontendConfig,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+    let active_readers = Arc::new(AtomicUsize::new(0));
+
+    let accept_loop = {
+        let service = Arc::clone(service);
+        let queue = Arc::clone(&queue);
+        let active_readers = Arc::clone(&active_readers);
+        let config = config.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            let mut next_conn: u64 = 0;
+            while !shutdown.is_requested() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // On BSD-likes an accepted socket inherits the
+                        // listener's O_NONBLOCK; force blocking so the
+                        // per-connection read timeout governs polling
+                        // instead of a busy-spin.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        next_conn += 1;
+                        let conn = next_conn;
+                        active_readers.fetch_add(1, Ordering::SeqCst);
+                        let service = Arc::clone(&service);
+                        let queue = Arc::clone(&queue);
+                        let active_readers = Arc::clone(&active_readers);
+                        let config = config.clone();
+                        let shutdown = shutdown.clone();
+                        std::thread::spawn(move || {
+                            // Drop guard: the count must fall even if
+                            // the connection handler panics, or the
+                            // shutdown wait below spins forever.
+                            let _guard = ReaderGuard(&active_readers);
+                            handle_connection(&service, stream, conn, &queue, &config, &shutdown);
+                        });
+                    }
+                    // Nonblocking accept: poll so the shutdown flag is
+                    // observed even while no clients connect.
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+            // Drain: no new connections; readers finish answering or
+            // rejecting what they already read, then the queue closes
+            // and the scheduler loop below runs dry.
+            while active_readers.load(Ordering::SeqCst) > 0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            queue.close();
+        })
+    };
+
+    drain_queue(service, &queue, config);
+    accept_loop.join().expect("accept loop panicked");
+    Ok(())
+}
+
+/// Serves NDJSON on stdin/stdout through the same pipelined queue: a
+/// reader thread pulls lines (blocking on back-pressure rather than
+/// rejecting) while the scheduler compiles the previous batch. Returns
+/// after EOF or `{"cmd":"shutdown"}`, once every read request is
+/// answered.
+///
+/// # Errors
+///
+/// Returns the stdin read error if the input stream broke mid-session
+/// — requests after the break were dropped, and callers should exit
+/// nonzero so the client knows responses are missing.
+pub fn serve_stdin(
+    service: &Arc<CompilationService>,
+    config: &FrontendConfig,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(1));
+    let reply = ReplySink::Blocking(reply_tx);
+
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::stdout().lock();
+        write_loop(&mut out, &reply_rx);
+    });
+
+    let reader = {
+        let service = Arc::clone(service);
+        let queue = Arc::clone(&queue);
+        let config = config.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || -> std::io::Result<()> {
+            let mut read_error = None;
+            let mut input = std::io::stdin().lock();
+            loop {
+                if shutdown.is_requested() {
+                    break;
+                }
+                match read_bounded_line(&mut input, config.max_line_bytes, &shutdown) {
+                    Err(e) => {
+                        read_error = Some(e);
+                        break;
+                    }
+                    Ok(ReadLine::Eof) => break,
+                    Ok(ReadLine::TooLong(bytes)) => {
+                        let response = oversized_response(bytes, config.max_line_bytes);
+                        service.record(&response);
+                        reply.send(log_reply(&config, 0, &response));
+                    }
+                    Ok(ReadLine::Line(line)) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match triage(&service, &line, &shutdown, 0, &config) {
+                            Triage::Handled(answer) => {
+                                reply.send(answer);
+                                if shutdown.is_requested() {
+                                    break;
+                                }
+                            }
+                            Triage::Schedule => {
+                                let envelope = Envelope {
+                                    line,
+                                    arrival: Instant::now(),
+                                    reply: reply.clone(),
+                                    conn: 0,
+                                };
+                                // Lossless: stdin lines block on a full
+                                // queue instead of being rejected.
+                                if queue.push_wait(envelope).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            queue.close();
+            drop(reply);
+            match read_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })
+    };
+
+    drain_queue(service, &queue, config);
+    let read_result = reader.join().expect("stdin reader panicked");
+    writer.join().expect("stdout writer panicked");
+    read_result
+}
+
+/// The scheduler half of the pipeline: pops batches off the queue
+/// (waiting up to the batch-collection timeout for a fuller one),
+/// schedules them, and routes each response line back to its
+/// connection. Returns once the queue is closed and drained.
+fn drain_queue(
+    service: &Arc<CompilationService>,
+    queue: &BoundedQueue<Envelope>,
+    config: &FrontendConfig,
+) {
+    while let Some(batch) = queue.pop_batch(config.batch_size, config.batch_wait) {
+        let mut items = Vec::with_capacity(batch.len());
+        let mut routes = Vec::with_capacity(batch.len());
+        for envelope in batch {
+            items.push(QueuedLine {
+                line: envelope.line,
+                queue_us: envelope.arrival.elapsed().as_micros() as u64,
+            });
+            routes.push((envelope.reply, envelope.conn));
+        }
+        let responses = service.handle_queued(&items);
+        for (response, (reply, conn)) in responses.iter().zip(&routes) {
+            if config.log_requests {
+                eprintln!("{}", request_log_line(*conn, response));
+            }
+            reply.send(response.to_line());
+        }
+    }
+}
+
+/// How the front end disposed of one inbound line before scheduling.
+enum Triage {
+    /// Answered directly (control command or front-end error); the
+    /// reply line is ready to send.
+    Handled(String),
+    /// A compilation request: enqueue it for the scheduler.
+    Schedule,
+}
+
+/// Answers control lines and malformed control-looking lines inline;
+/// everything else is scheduled. The substring probe keeps the common
+/// path single-parse: compilation requests are only decoded once, by
+/// the scheduler.
+fn triage(
+    service: &CompilationService,
+    line: &str,
+    shutdown: &ShutdownFlag,
+    conn: u64,
+    config: &FrontendConfig,
+) -> Triage {
+    if !line.contains("\"cmd\"") {
+        return Triage::Schedule;
+    }
+    match InboundLine::parse(line) {
+        Ok(InboundLine::Control(ControlRequest::Stats)) => {
+            Triage::Handled(serde_json::to_string(&service.metrics().to_value()))
+        }
+        Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
+            shutdown.request();
+            Triage::Handled(serde_json::to_string(&Value::object(vec![
+                ("ok", Value::from(true)),
+                ("shutting_down", Value::from(true)),
+            ])))
+        }
+        // `"cmd"` appeared inside an ordinary request's payload.
+        Ok(InboundLine::Request(_)) => Triage::Schedule,
+        Err(message) => {
+            let response = ServeResponse {
+                // Front-end replies can overtake queued responses, so
+                // clients correlate by id — echo it when present.
+                id: ServeRequest::recover_id(line),
+                result: Err(message),
+                // Same clock-resolution floor as the service's line
+                // paths: never push 0 into the latency window.
+                micros: 1,
+            };
+            service.record(&response);
+            Triage::Handled(log_reply(config, conn, &response))
+        }
+    }
+}
+
+/// Emits the structured log line for a reader-produced response
+/// (front-end error, oversized line, overload rejection) when logging
+/// is enabled — the same visibility scheduled responses get in
+/// [`drain_queue`] — and renders it for the wire. Metric recording
+/// stays at the call site: rejections count under `rejected`, errors
+/// under `errors`.
+fn log_reply(config: &FrontendConfig, conn: u64, response: &ServeResponse) -> String {
+    if config.log_requests {
+        eprintln!("{}", request_log_line(conn, response));
+    }
+    response.to_line()
+}
+
+/// One connection's reader: pulls bounded lines, answers control and
+/// overload inline, enqueues the rest, and stops on EOF, error, or
+/// shutdown. Owns the connection's writer thread.
+fn handle_connection(
+    service: &Arc<CompilationService>,
+    stream: TcpStream,
+    conn: u64,
+    queue: &BoundedQueue<Envelope>,
+    config: &FrontendConfig,
+    shutdown: &ShutdownFlag,
+) {
+    let write_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    // A third handle lets the reply sink sever a connection whose
+    // client stopped reading (the slow-consumer disconnect).
+    let disconnect_handle = match stream.try_clone() {
+        Ok(clone) => Arc::new(clone),
+        Err(_) => return,
+    };
+    // The reply window bounds unread responses per connection. It sits
+    // above the kernel's own socket buffering, so only a client that
+    // has genuinely stopped reading can fill it.
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(256));
+    let reply = ReplySink::Disconnecting(reply_tx, disconnect_handle);
+    let writer = std::thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        write_loop(&mut out, &reply_rx);
+    });
+
+    // Poll reads so a quiet connection still observes shutdown.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.is_requested() {
+            break;
+        }
+        match read_bounded_line(&mut reader, config.max_line_bytes, shutdown) {
+            Err(_) | Ok(ReadLine::Eof) => break,
+            Ok(ReadLine::TooLong(bytes)) => {
+                let response = oversized_response(bytes, config.max_line_bytes);
+                service.record(&response);
+                reply.send(log_reply(config, conn, &response));
+            }
+            Ok(ReadLine::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match triage(service, &line, shutdown, conn, config) {
+                    Triage::Handled(answer) => {
+                        reply.send(answer);
+                        if shutdown.is_requested() {
+                            break;
+                        }
+                    }
+                    Triage::Schedule => {
+                        let envelope = Envelope {
+                            line,
+                            arrival: Instant::now(),
+                            reply: reply.clone(),
+                            conn,
+                        };
+                        match queue.try_push(envelope) {
+                            Ok(()) => {}
+                            Err(PushError::Full(envelope)) => {
+                                service.record_rejected();
+                                let response = ServeResponse::overloaded(ServeRequest::recover_id(
+                                    &envelope.line,
+                                ));
+                                reply.send(log_reply(config, conn, &response));
+                            }
+                            Err(PushError::Closed(_)) => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    drop(reply);
+    writer.join().expect("connection writer panicked");
+}
+
+/// Writes reply lines as they arrive, coalescing bursts into one
+/// flush. Exits when every sender is gone or the sink breaks.
+fn write_loop<W: Write>(out: &mut W, replies: &mpsc::Receiver<String>) {
+    while let Ok(line) = replies.recv() {
+        if writeln!(out, "{line}").is_err() {
+            return;
+        }
+        while let Ok(more) = replies.try_recv() {
+            if writeln!(out, "{more}").is_err() {
+                return;
+            }
+        }
+        if out.flush().is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+/// One bounded line read.
+enum ReadLine {
+    /// The stream ended.
+    Eof,
+    /// A line exceeded the byte limit (its length so far; the rest of
+    /// the line was discarded without buffering).
+    TooLong(usize),
+    /// A complete line (without the trailing newline).
+    Line(String),
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes, never
+/// buffering more than the limit. Read timeouts poll the shutdown
+/// flag (a requested shutdown reads as EOF), so blocked socket reads
+/// wake up to drain.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<ReadLine> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut total: usize = 0;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.is_requested() {
+                    return Ok(ReadLine::Eof);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts.
+            return Ok(match (total, total > max) {
+                (0, _) => ReadLine::Eof,
+                (_, true) => ReadLine::TooLong(total),
+                (_, false) => ReadLine::Line(String::from_utf8_lossy(&line).into_owned()),
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(chunk.len());
+        total += upto;
+        if total <= max {
+            line.extend_from_slice(&chunk[..upto]);
+        } else {
+            // Keep memory bounded: stop copying once over the limit.
+            let room = max.saturating_sub(line.len());
+            line.extend_from_slice(&chunk[..upto.min(room)]);
+        }
+        let consumed = upto + usize::from(newline.is_some());
+        reader.consume(consumed);
+        if newline.is_some() {
+            return Ok(if total > max {
+                ReadLine::TooLong(total)
+            } else {
+                ReadLine::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+    }
+}
+
+/// The structured error answering an over-limit request line (same
+/// message as the service's own size check).
+fn oversized_response(bytes: usize, limit: usize) -> ServeResponse {
+    ServeResponse {
+        id: None,
+        result: Err(crate::service::oversized_error(bytes, limit)),
+        // Same clock-resolution floor as the service's line paths.
+        micros: 1,
+    }
+}
+
+/// One structured per-request log line (stderr), emitted when
+/// [`FrontendConfig::log_requests`] is set.
+fn request_log_line(conn: u64, response: &ServeResponse) -> String {
+    let (ok, cache) = match &response.result {
+        Ok((_, status)) => (true, Value::from(status.name())),
+        Err(_) => (false, Value::Null),
+    };
+    serde_json::to_string(&Value::object(vec![
+        ("evt", Value::from("request")),
+        ("conn", Value::from(conn)),
+        (
+            "id",
+            match &response.id {
+                Some(id) => Value::from(id.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("ok", Value::from(ok)),
+        ("cache", cache),
+        ("micros", Value::from(response.micros)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flag() -> ShutdownFlag {
+        ShutdownFlag::new()
+    }
+
+    #[test]
+    fn bounded_line_reader_splits_and_limits() {
+        let data = b"short\nexactly10\nway too long for the limit\nlast";
+        let mut reader = BufReader::new(&data[..]);
+        let max = 10;
+        let s = flag();
+        assert!(matches!(
+            read_bounded_line(&mut reader, max, &s).unwrap(),
+            ReadLine::Line(l) if l == "short"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut reader, max, &s).unwrap(),
+            ReadLine::Line(l) if l == "exactly10"
+        ));
+        match read_bounded_line(&mut reader, max, &s).unwrap() {
+            ReadLine::TooLong(bytes) => assert_eq!(bytes, "way too long for the limit".len()),
+            other => panic!("expected TooLong, got {:?}", discriminant_name(&other)),
+        }
+        // The oversized line was fully discarded; the stream resumes
+        // cleanly at the next line (unterminated final line included).
+        assert!(matches!(
+            read_bounded_line(&mut reader, max, &s).unwrap(),
+            ReadLine::Line(l) if l == "last"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut reader, max, &s).unwrap(),
+            ReadLine::Eof
+        ));
+    }
+
+    fn discriminant_name(r: &ReadLine) -> &'static str {
+        match r {
+            ReadLine::Eof => "Eof",
+            ReadLine::TooLong(_) => "TooLong",
+            ReadLine::Line(_) => "Line",
+        }
+    }
+
+    #[test]
+    fn shutdown_flag_is_sticky_and_shared() {
+        let a = flag();
+        let b = a.clone();
+        assert!(!b.is_requested());
+        a.request();
+        assert!(b.is_requested());
+    }
+
+    #[test]
+    fn recover_id_is_best_effort() {
+        assert_eq!(
+            ServeRequest::recover_id(r#"{"id":"r7","qasm":"x"}"#),
+            Some("r7".to_string())
+        );
+        assert_eq!(ServeRequest::recover_id(r#"{"qasm":"x"}"#), None);
+        assert_eq!(ServeRequest::recover_id("not json"), None);
+    }
+}

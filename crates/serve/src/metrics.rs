@@ -51,6 +51,7 @@ impl LatencyRing {
 pub struct ServeMetrics {
     requests: AtomicU64,
     errors: AtomicU64,
+    rejected: AtomicU64,
     hit_responses: AtomicU64,
     miss_responses: AtomicU64,
     coalesced_responses: AtomicU64,
@@ -89,6 +90,14 @@ impl ServeMetrics {
             .push(micros);
     }
 
+    /// Records one back-pressure rejection (queue full). Rejections
+    /// never reach the scheduler, so they are counted apart from
+    /// `requests`/`errors` and excluded from the latency window — a
+    /// flood of instant rejections must not drag p50 toward zero.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot combined with the cache's counters.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         let window = self
@@ -106,6 +115,7 @@ impl ServeMetrics {
         MetricsSnapshot {
             requests,
             errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             hit_responses: self.hit_responses.load(Ordering::Relaxed),
             miss_responses: self.miss_responses.load(Ordering::Relaxed),
             coalesced_responses: self.coalesced_responses.load(Ordering::Relaxed),
@@ -130,6 +140,9 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Requests answered with `ok: false`.
     pub errors: u64,
+    /// Requests rejected by queue back-pressure before scheduling
+    /// (not included in `requests`).
+    pub rejected: u64,
     /// Requests answered `"cache":"hit"`.
     pub hit_responses: u64,
     /// Requests answered `"cache":"miss"`.
@@ -153,6 +166,7 @@ impl MetricsSnapshot {
         Value::object(vec![
             ("requests", Value::from(self.requests)),
             ("errors", Value::from(self.errors)),
+            ("rejected", Value::from(self.rejected)),
             (
                 "responses",
                 Value::object(vec![
@@ -223,6 +237,25 @@ mod tests {
         assert!(text.contains("\"hit_rate\""), "{text}");
         assert!(text.contains("\"responses\""), "{text}");
         assert!(text.contains("\"p99\""), "{text}");
+    }
+
+    #[test]
+    fn rejections_are_counted_apart_from_requests_and_errors() {
+        let m = ServeMetrics::new();
+        m.record(50, Some(CacheStatus::Miss));
+        m.record(10, None);
+        m.record_rejected();
+        m.record_rejected();
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.rejected, 2);
+        assert_eq!(snap.requests, 2, "rejections are not requests");
+        assert_eq!(snap.errors, 1, "rejections are not parse errors");
+        // Rejections stay out of the latency window: the median sits
+        // on the two recorded samples (10, 50), not dragged to 0.
+        assert_eq!(snap.p50_us, 10);
+        assert_eq!(snap.p99_us, 50);
+        let text = serde_json::to_string(&snap.to_value());
+        assert!(text.contains("\"rejected\""), "{text}");
     }
 
     #[test]

@@ -44,6 +44,17 @@ impl ServeRequest {
     /// `qasm` field, or unknown `objective`/`device` names.
     pub fn parse(line: &str) -> Result<ServeRequest, String> {
         let value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        Self::from_value(&value)
+    }
+
+    /// Parses an already-decoded JSON value as a request (shared by
+    /// [`ServeRequest::parse`] and [`InboundLine::parse`], which must
+    /// not decode the line twice).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeRequest::parse`], minus JSON syntax errors.
+    pub fn from_value(value: &Value) -> Result<ServeRequest, String> {
         if value.as_object().is_none() {
             return Err("request must be a JSON object".into());
         }
@@ -87,6 +98,79 @@ impl ServeRequest {
             device_pin,
         })
     }
+
+    /// Best-effort `id` recovery from a request line that will not be
+    /// (or could not be) scheduled — overload rejections, parse
+    /// errors, malformed control commands. Front-end replies can
+    /// overtake scheduled responses, so echoing the id whenever the
+    /// JSON yields one is what lets clients correlate.
+    pub fn recover_id(line: &str) -> Option<String> {
+        serde_json::from_str(line)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+    }
+
+    /// Renders this request as one NDJSON line — the inverse of
+    /// [`ServeRequest::parse`], used by clients (and the socket replay
+    /// benchmark) to put already-built requests on the wire.
+    pub fn to_line(&self) -> String {
+        let mut pairs: Vec<(&str, Value)> = Vec::new();
+        if let Some(id) = &self.id {
+            pairs.push(("id", Value::from(id.clone())));
+        }
+        pairs.push(("qasm", Value::from(self.qasm.clone())));
+        pairs.push(("objective", Value::from(self.objective.name())));
+        if let Some(pin) = self.device_pin {
+            pairs.push(("device", Value::from(pin.name())));
+        }
+        serde_json::to_string(&Value::object(pairs))
+    }
+}
+
+/// An in-band control request: a line carrying `cmd` instead of `qasm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// `{"cmd":"stats"}` — answer with a live metrics snapshot.
+    Stats,
+    /// `{"cmd":"shutdown"}` — acknowledge, stop admitting requests,
+    /// drain in-flight batches, and exit.
+    Shutdown,
+}
+
+/// One decoded inbound NDJSON line: a compilation request or a control
+/// command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InboundLine {
+    /// A compilation request to schedule.
+    Request(ServeRequest),
+    /// A control command answered by the front end directly.
+    Control(ControlRequest),
+}
+
+impl InboundLine {
+    /// Parses one NDJSON line, routing on the presence of a `cmd`
+    /// field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, an unknown
+    /// `cmd`, or an invalid compilation request.
+    pub fn parse(line: &str) -> Result<InboundLine, String> {
+        let value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        match value.get("cmd") {
+            Some(cmd) => {
+                let name = cmd.as_str().ok_or("field `cmd` must be a string")?;
+                match name {
+                    "stats" => Ok(InboundLine::Control(ControlRequest::Stats)),
+                    "shutdown" => Ok(InboundLine::Control(ControlRequest::Shutdown)),
+                    other => Err(format!(
+                        "unknown cmd `{other}` (expected one of: stats, shutdown)"
+                    )),
+                }
+            }
+            None => ServeRequest::from_value(&value).map(InboundLine::Request),
+        }
+    }
 }
 
 /// The cacheable payload of one successful compilation.
@@ -123,6 +207,10 @@ impl CacheStatus {
         }
     }
 }
+
+/// The error message of a back-pressure rejection (stable: clients and
+/// tests match on it).
+pub const OVERLOADED_ERROR: &str = "overloaded: request queue is full, retry later";
 
 /// One response, pairing the request id with either a result or an
 /// error message, plus cache/latency metadata.
@@ -177,6 +265,33 @@ impl ServeResponse {
             }
         }
         Value::object(pairs)
+    }
+
+    /// The batching-independent part of the response: everything
+    /// except latency *and* the `cache` status. Cache statuses depend
+    /// on how the stream was cut into batches (a duplicate is `miss`,
+    /// `coalesced`, or `hit` depending on what shared its batch), so
+    /// replays through differently-batched front ends are compared on
+    /// this value.
+    pub fn payload_value(&self) -> Value {
+        let mut value = self.body_value();
+        if let Value::Object(pairs) = &mut value {
+            pairs.retain(|(key, _)| key != "cache");
+        }
+        value
+    }
+
+    /// The back-pressure rejection response: sent without scheduling
+    /// when the request queue is full, so overload degrades into fast
+    /// structured errors instead of unbounded memory growth.
+    pub fn overloaded(id: Option<String>) -> ServeResponse {
+        ServeResponse {
+            id,
+            result: Err(OVERLOADED_ERROR.into()),
+            // The same ≥1µs clock-resolution floor every other path
+            // reports: a rejection is fast, not free.
+            micros: 1,
+        }
     }
 
     /// Renders the full NDJSON response line (no trailing newline).
@@ -259,6 +374,69 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("qasm"));
+    }
+
+    #[test]
+    fn request_lines_round_trip() {
+        for line in [
+            r#"{"qasm":"OPENQASM 2.0;"}"#,
+            r#"{"id":"a1","qasm":"qreg q[1];","objective":"critical_depth","device":"oqc_lucy"}"#,
+        ] {
+            let request = ServeRequest::parse(line).unwrap();
+            let rendered = request.to_line();
+            assert_eq!(ServeRequest::parse(&rendered).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn inbound_lines_route_on_cmd() {
+        assert_eq!(
+            InboundLine::parse(r#"{"cmd":"stats"}"#).unwrap(),
+            InboundLine::Control(ControlRequest::Stats)
+        );
+        assert_eq!(
+            InboundLine::parse(r#"{"cmd":"shutdown"}"#).unwrap(),
+            InboundLine::Control(ControlRequest::Shutdown)
+        );
+        let err = InboundLine::parse(r#"{"cmd":"reboot"}"#).unwrap_err();
+        assert!(err.contains("unknown cmd"), "{err}");
+        assert!(matches!(
+            InboundLine::parse(r#"{"qasm":"OPENQASM 2.0;"}"#).unwrap(),
+            InboundLine::Request(_)
+        ));
+    }
+
+    #[test]
+    fn payload_value_excludes_cache_status() {
+        let resp = ServeResponse {
+            id: Some("p".into()),
+            result: Ok((
+                Arc::new(CompiledResult {
+                    qasm: "OPENQASM 2.0;\n".into(),
+                    device: None,
+                    actions: vec![],
+                    reward: 0.5,
+                }),
+                CacheStatus::Coalesced,
+            )),
+            micros: 10,
+        };
+        let payload = resp.payload_value();
+        assert!(payload.get("cache").is_none());
+        assert!(payload.get("qasm").is_some());
+        assert!(resp.body_value().get("cache").is_some());
+    }
+
+    #[test]
+    fn overloaded_response_is_a_structured_error() {
+        let resp = ServeResponse::overloaded(Some("r1".into()));
+        let parsed = serde_json::from_str(&resp.to_line()).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(
+            parsed.get("error").unwrap().as_str(),
+            Some(OVERLOADED_ERROR)
+        );
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! A bounded MPMC request queue: the hand-off point between I/O reader
+//! threads and the batch scheduler.
+//!
+//! The queue is the double-buffer of the serving pipeline: readers fill
+//! it while the scheduler drains batches from it, so network/stdin I/O
+//! overlaps compute. Capacity is bounded — producers choose between
+//! [`BoundedQueue::try_push`] (back-pressure: the caller rejects the
+//! request with a structured error) and [`BoundedQueue::push_wait`]
+//! (lossless: the producer blocks, used by the stdin front end where
+//! dropping lines would corrupt the response stream).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push did not enqueue its item. The item is handed back so the
+/// caller can answer the client instead of dropping the request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity (back-pressure; retry or reject).
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue with blocking batch pops and close-to-drain
+/// shutdown semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().expect("queue lock poisoned")
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] (returning the item) if the queue closed
+    /// before space appeared.
+    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable (drain), new
+    /// pushes fail, and blocked consumers wake.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently enqueued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Returns `true` when no items are enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops a batch of up to `max` items.
+    ///
+    /// Blocks until at least one item is available, then keeps
+    /// collecting until the batch is full or `collect_window` elapses —
+    /// the window lets a burst coalesce into one scheduled batch
+    /// without stalling a lone request for long.
+    ///
+    /// Returns `None` once the queue is closed *and* drained: the
+    /// consumer's signal to finish.
+    pub fn pop_batch(&self, max: usize, collect_window: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut state = self.lock();
+        // Phase 1: block for the first item (or closure).
+        while state.items.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+        let mut batch = Vec::with_capacity(max.min(state.items.len()));
+        let deadline = Instant::now() + collect_window;
+        // Phase 2: drain toward a full batch within the window.
+        loop {
+            while batch.len() < max {
+                match state.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock poisoned");
+            state = next;
+            if timeout.timed_out() && state.items.is_empty() {
+                break;
+            }
+        }
+        drop(state);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const NO_WAIT: Duration = Duration::ZERO;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop_batch(8, NO_WAIT), Some(vec![1, 2]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed("b")));
+        assert_eq!(q.pop_batch(4, NO_WAIT), Some(vec!["a"]));
+        assert_eq!(q.pop_batch(4, NO_WAIT), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_producer_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                q.try_push(7u32).unwrap();
+            })
+        };
+        // Blocks across the producer's sleep, then yields the item.
+        assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![7]));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn collect_window_coalesces_a_burst() {
+        let q = Arc::new(BoundedQueue::new(16));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 1..4u32 {
+                    std::thread::sleep(Duration::from_millis(5));
+                    q.try_push(i).unwrap();
+                }
+            })
+        };
+        let batch = q.pop_batch(4, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_wait_unblocks_when_space_appears() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(2u32))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![1]));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![2]));
+    }
+
+    #[test]
+    fn push_wait_fails_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_wait(2u32))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed(2)));
+    }
+}

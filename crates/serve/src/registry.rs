@@ -63,13 +63,20 @@ impl ModelRegistry {
     /// Loads checkpoints from `dir`, training and persisting any
     /// missing objective on `suite` with the given budget first.
     ///
+    /// Unlike [`ModelRegistry::load`], `ensure` is self-healing: a
+    /// checkpoint that fails to parse (torn by a crash, corrupted on
+    /// disk, or holding the wrong objective) is quarantined to
+    /// `<name>.corrupt` and retrained instead of bricking every
+    /// subsequent warm start. Stale `.json.tmp` files from an
+    /// interrupted [`TrainedPredictor::save`] are swept first.
+    ///
     /// `progress` is invoked with the objective name before each
     /// (potentially slow) training run; pass a no-op when silent.
     ///
     /// # Errors
     ///
-    /// Returns [`PersistError`] on unreadable/corrupt checkpoints or
-    /// unwritable model files.
+    /// Returns [`PersistError`] on real I/O failures (unreadable
+    /// directory, unwritable model files).
     pub fn ensure(
         dir: &Path,
         suite: &[QuantumCircuit],
@@ -79,7 +86,27 @@ impl ModelRegistry {
         mut progress: impl FnMut(&str),
     ) -> Result<Self, PersistError> {
         std::fs::create_dir_all(dir)?;
-        let mut registry = Self::load(dir)?;
+        let mut models = HashMap::new();
+        for kind in RewardKind::ALL {
+            let path = Self::model_path(dir, kind);
+            // An interrupted save can leave a temp file; it was never
+            // renamed into place, so it holds nothing durable.
+            std::fs::remove_file(path.with_extension("json.tmp")).ok();
+            if !path.exists() {
+                continue;
+            }
+            match TrainedPredictor::load(&path) {
+                Ok(model) if model.reward() == kind => {
+                    models.insert(kind, Arc::new(model));
+                }
+                // Wrong objective inside the file: treat like
+                // corruption — quarantine and retrain below.
+                Ok(_) => quarantine(&path)?,
+                Err(PersistError::Format(_)) => quarantine(&path)?,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut registry = ModelRegistry { models };
         for kind in RewardKind::ALL {
             if registry.models.contains_key(&kind) {
                 continue;
@@ -93,6 +120,17 @@ impl ModelRegistry {
             registry.models.insert(kind, Arc::new(model));
         }
         Ok(registry)
+    }
+
+    /// The quarantine path a corrupt checkpoint is moved to by
+    /// [`ModelRegistry::ensure`] (the original bytes are preserved for
+    /// post-mortems; the registry retrains a replacement).
+    pub fn quarantine_path(path: &Path) -> PathBuf {
+        let mut name = path
+            .file_name()
+            .map_or_else(Default::default, |n| n.to_os_string());
+        name.push(".corrupt");
+        path.with_file_name(name)
     }
 
     /// The policy trained for `kind`, if registered.
@@ -117,4 +155,16 @@ impl ModelRegistry {
             .filter(|k| self.models.contains_key(k))
             .collect()
     }
+}
+
+/// Moves a checkpoint that failed to parse out of the registry's way,
+/// keeping its bytes for inspection.
+fn quarantine(path: &Path) -> Result<(), PersistError> {
+    let dest = ModelRegistry::quarantine_path(path);
+    // A second corruption of the same objective must still heal:
+    // clear any stale quarantine first (rename-over-existing is an
+    // error on some platforms).
+    std::fs::remove_file(&dest).ok();
+    std::fs::rename(path, dest)?;
+    Ok(())
 }

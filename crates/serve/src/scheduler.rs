@@ -47,12 +47,27 @@ enum Resolution {
     Computed(Result<Arc<CompiledResult>, String>, u64),
 }
 
-/// Runs one batch of requests to completion.
-///
-/// Identical jobs (same circuit content, objective, and device pin)
-/// are computed once; cache misses fan out across the rayon pool when
-/// `parallel` is set. The returned responses are byte-identical (save
-/// the latency field) between `parallel = true` and `false`.
+/// Admission-time limits and execution mode of one scheduled batch.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Fan cache misses across the rayon pool.
+    pub parallel: bool,
+    /// Reject circuits wider than this many qubits at admission
+    /// (`u32::MAX` disables the limit).
+    pub max_qubits: u32,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            parallel: true,
+            max_qubits: u32::MAX,
+        }
+    }
+}
+
+/// Runs one batch of requests to completion (no per-request queue
+/// delays, no admission limits). See [`run_batch_with`].
 pub fn run_batch(
     registry: &ModelRegistry,
     cache: &ResultCache,
@@ -60,16 +75,57 @@ pub fn run_batch(
     parallel: bool,
     requests: &[ServeRequest],
 ) -> Vec<ServeResponse> {
+    let options = BatchOptions {
+        parallel,
+        ..BatchOptions::default()
+    };
+    run_batch_with(registry, cache, master_seed, &options, requests, None)
+}
+
+/// Runs one batch of requests to completion.
+///
+/// Identical jobs (same circuit content, objective, and device pin)
+/// are computed once; cache misses fan out across the rayon pool when
+/// `options.parallel` is set. The returned responses are byte-identical
+/// (save the latency field) between `parallel = true` and `false`.
+///
+/// `queue_waits_us`, when present, carries each request's time spent in
+/// the front-end queue before this batch was scheduled; it is folded
+/// into the reported latency.
+///
+/// # Latency accounting
+///
+/// Each response's `micros` is that request's *own* cost: queue wait +
+/// its admission work (QASM parse, content hashing, cache lookup) +,
+/// only for the one request that owns the compute (the `miss`), the
+/// policy rollout. Coalesced duplicates and cache hits do **not**
+/// re-report the miss's compute time — a batch of N duplicates adds the
+/// rollout to the latency ledger once, not N times.
+pub fn run_batch_with(
+    registry: &ModelRegistry,
+    cache: &ResultCache,
+    master_seed: u64,
+    options: &BatchOptions,
+    requests: &[ServeRequest],
+    queue_waits_us: Option<&[u64]>,
+) -> Vec<ServeResponse> {
+    if let Some(waits) = queue_waits_us {
+        assert_eq!(waits.len(), requests.len(), "one queue wait per request");
+    }
     // Admission: resolve content addresses, deduplicate in request
-    // order, and consult the cache once per unique key.
+    // order, and consult the cache once per unique key. Each request's
+    // admission work is timed individually — it is real per-request
+    // cost (parse + hash + lookup) and the only cost a duplicate pays.
     let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
+    let mut admission_us: Vec<u64> = Vec::with_capacity(requests.len());
     let mut order: HashMap<CacheKey, usize> = HashMap::new();
     let mut resolutions: Vec<Option<Resolution>> = Vec::new();
     let mut jobs: Vec<Job> = Vec::new();
     let mut job_targets: Vec<usize> = Vec::new();
 
     for request in requests {
-        let admitted = admit(registry, request);
+        let admission_start = Instant::now();
+        let admitted = admit(registry, request, options.max_qubits);
         match admitted {
             Err(message) => slots.push(Slot::Failed(message)),
             Ok((key, circuit, model)) => {
@@ -92,6 +148,7 @@ pub fn run_batch(
                 slots.push(Slot::Keyed(key));
             }
         }
+        admission_us.push(admission_start.elapsed().as_micros() as u64);
     }
 
     // Execution: fan unique misses across the pool (or run serially).
@@ -100,7 +157,7 @@ pub fn run_batch(
         let result = execute(job, master_seed);
         (result.map(Arc::new), start.elapsed().as_micros() as u64)
     };
-    let outcomes: Vec<(Result<Arc<CompiledResult>, String>, u64)> = if parallel {
+    let outcomes: Vec<(Result<Arc<CompiledResult>, String>, u64)> = if options.parallel {
         jobs.par_iter().map(compute).collect()
     } else {
         jobs.iter().map(compute).collect()
@@ -121,35 +178,47 @@ pub fn run_batch(
     requests
         .iter()
         .zip(slots)
-        .map(|(request, slot)| match slot {
-            Slot::Failed(message) => ServeResponse {
-                id: request.id.clone(),
-                result: Err(message),
-                micros: 0,
-            },
-            Slot::Keyed(key) => {
-                let resolution = resolutions[order[&key]]
-                    .as_ref()
-                    .expect("every admitted key resolves");
-                let (result, status, micros) = match resolution {
-                    Resolution::CachedHit(found) => (Ok(Arc::clone(found)), CacheStatus::Hit, 0),
-                    Resolution::Computed(outcome, micros) => {
-                        let first = miss_claimed.insert(key);
-                        let status = if first {
-                            CacheStatus::Miss
-                        } else {
-                            CacheStatus::Coalesced
-                        };
-                        match outcome {
-                            Ok(found) => (Ok(Arc::clone(found)), status, *micros),
-                            Err(e) => (Err(e.clone()), status, *micros),
-                        }
-                    }
-                };
-                ServeResponse {
+        .enumerate()
+        .map(|(i, (request, slot))| {
+            // Clock-resolution floor: even a sub-microsecond admission
+            // (tiny cached hit, instant rejection) reports 1µs — never
+            // the `micros: 0` that dragged p50 toward zero.
+            let own_us = (queue_waits_us.map_or(0, |w| w[i]) + admission_us[i]).max(1);
+            match slot {
+                Slot::Failed(message) => ServeResponse {
                     id: request.id.clone(),
-                    result: result.map(|r| (r, status)),
-                    micros,
+                    result: Err(message),
+                    micros: own_us,
+                },
+                Slot::Keyed(key) => {
+                    let resolution = resolutions[order[&key]]
+                        .as_ref()
+                        .expect("every admitted key resolves");
+                    let (result, status, micros) = match resolution {
+                        Resolution::CachedHit(found) => {
+                            (Ok(Arc::clone(found)), CacheStatus::Hit, own_us)
+                        }
+                        Resolution::Computed(outcome, compute_us) => {
+                            let first = miss_claimed.insert(key);
+                            // Only the miss carries the rollout's cost;
+                            // duplicates coalescing onto it report just
+                            // their own admission + queue time.
+                            let (status, micros) = if first {
+                                (CacheStatus::Miss, own_us + *compute_us)
+                            } else {
+                                (CacheStatus::Coalesced, own_us)
+                            };
+                            match outcome {
+                                Ok(found) => (Ok(Arc::clone(found)), status, micros),
+                                Err(e) => (Err(e.clone()), status, micros),
+                            }
+                        }
+                    };
+                    ServeResponse {
+                        id: request.id.clone(),
+                        result: result.map(|r| (r, status)),
+                        micros,
+                    }
                 }
             }
         })
@@ -160,8 +229,15 @@ pub fn run_batch(
 fn admit(
     registry: &ModelRegistry,
     request: &ServeRequest,
+    max_qubits: u32,
 ) -> Result<(CacheKey, qrc_circuit::QuantumCircuit, Arc<TrainedPredictor>), String> {
     let circuit = qasm::from_qasm(&request.qasm).map_err(|e| format!("invalid qasm: {e}"))?;
+    if circuit.num_qubits() > max_qubits {
+        return Err(format!(
+            "circuit is {} qubits wide, exceeding the service limit of {max_qubits}",
+            circuit.num_qubits()
+        ));
+    }
     let model = registry.get(request.objective).ok_or_else(|| {
         format!(
             "no model registered for objective `{}` (available: {})",

@@ -35,6 +35,12 @@ pub struct ServiceConfig {
     pub parallel: bool,
     /// Print training progress to stderr during a cold start.
     pub verbose: bool,
+    /// Reject request lines longer than this many bytes before
+    /// parsing them (a size limit, so one oversized payload cannot
+    /// balloon memory).
+    pub max_request_bytes: usize,
+    /// Reject circuits wider than this many qubits at admission.
+    pub max_circuit_qubits: u32,
 }
 
 impl Default for ServiceConfig {
@@ -49,8 +55,21 @@ impl Default for ServiceConfig {
             cache_shards: 16,
             parallel: true,
             verbose: true,
+            max_request_bytes: 1 << 20,
+            max_circuit_qubits: 128,
         }
     }
+}
+
+/// One NDJSON line annotated with the time it spent queued in the
+/// front end before being scheduled — the pipelined reader records the
+/// arrival instant, and the wait is folded into the reported latency.
+#[derive(Debug, Clone)]
+pub struct QueuedLine {
+    /// The raw request line.
+    pub line: String,
+    /// Microseconds between arrival and batch scheduling.
+    pub queue_us: u64,
 }
 
 /// A running compilation service: models loaded, cache warm-able,
@@ -60,7 +79,8 @@ pub struct CompilationService {
     cache: ResultCache,
     metrics: ServeMetrics,
     seed: u64,
-    parallel: bool,
+    batch_options: scheduler::BatchOptions,
+    max_request_bytes: usize,
 }
 
 impl CompilationService {
@@ -99,7 +119,11 @@ impl CompilationService {
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             metrics: ServeMetrics::new(),
             seed: config.seed,
-            parallel: config.parallel,
+            batch_options: scheduler::BatchOptions {
+                parallel: config.parallel,
+                max_qubits: config.max_circuit_qubits,
+            },
+            max_request_bytes: config.max_request_bytes,
         }
     }
 
@@ -116,16 +140,31 @@ impl CompilationService {
     /// Scheduler entry without metrics recording (callers that adjust
     /// the reported latency first record themselves).
     fn run_batch(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
-        scheduler::run_batch(
+        self.run_batch_queued(requests, None)
+    }
+
+    /// Scheduler entry with per-request queue waits folded into the
+    /// reported latency.
+    fn run_batch_queued(
+        &self,
+        requests: &[ServeRequest],
+        queue_waits_us: Option<&[u64]>,
+    ) -> Vec<ServeResponse> {
+        scheduler::run_batch_with(
             &self.registry,
             &self.cache,
             self.seed,
-            self.parallel,
+            &self.batch_options,
             requests,
+            queue_waits_us,
         )
     }
 
-    fn record(&self, response: &ServeResponse) {
+    /// Records an already-built response into the service metrics.
+    /// Front ends use this for replies they produce without
+    /// scheduling (oversized lines, malformed control commands), so
+    /// those still count as requests.
+    pub fn record(&self, response: &ServeResponse) {
         self.metrics.record(
             response.micros,
             response.result.as_ref().ok().map(|(_, status)| *status),
@@ -143,7 +182,7 @@ impl CompilationService {
                 // the honest latency (parse + schedule + compile) —
                 // recorded *and* reported, so `--stats` percentiles
                 // agree with what the client saw on the wire.
-                response.micros = start.elapsed().as_micros() as u64;
+                response.micros = (start.elapsed().as_micros() as u64).max(1);
                 self.record(&response);
                 response.to_line()
             }
@@ -151,7 +190,7 @@ impl CompilationService {
                 let response = ServeResponse {
                     id: None,
                     result: Err(message),
-                    micros: start.elapsed().as_micros() as u64,
+                    micros: (start.elapsed().as_micros() as u64).max(1),
                 };
                 self.record(&response);
                 response.to_line()
@@ -162,37 +201,91 @@ impl CompilationService {
     /// Processes many NDJSON lines as one scheduled batch, preserving
     /// order. Unparseable lines yield error responses in place.
     pub fn handle_lines(&self, lines: &[String]) -> Vec<String> {
-        // Parse what we can; remember where each admitted request goes.
-        let mut slots: Vec<Result<usize, String>> = Vec::with_capacity(lines.len());
-        let mut requests: Vec<ServeRequest> = Vec::new();
-        for line in lines {
-            match ServeRequest::parse(line) {
-                Ok(request) => {
-                    slots.push(Ok(requests.len()));
-                    requests.push(request);
-                }
-                Err(message) => slots.push(Err(message)),
-            }
-        }
-        let mut responses = self.handle_batch(&requests).into_iter();
-        slots
-            .into_iter()
-            .map(|slot| match slot {
-                Ok(_) => responses
-                    .next()
-                    .expect("one response per request")
-                    .to_line(),
-                Err(message) => {
-                    let response = ServeResponse {
-                        id: None,
-                        result: Err(message),
-                        micros: 0,
-                    };
-                    self.record(&response);
-                    response.to_line()
-                }
-            })
+        let items: Vec<(&str, u64)> = lines.iter().map(|line| (line.as_str(), 0)).collect();
+        self.handle_queued_inner(&items)
+            .iter()
+            .map(ServeResponse::to_line)
             .collect()
+    }
+
+    /// Processes one batch of queued NDJSON lines, preserving order,
+    /// with each line's queue wait folded into its reported latency.
+    /// Unparseable and oversized lines yield error responses in place.
+    /// Every response is recorded in the service metrics, with honest
+    /// per-request wall-clock for hits, errors, and coalesced
+    /// duplicates alike (never the `micros: 0` shortcut, and never a
+    /// re-report of compute done for another request).
+    pub fn handle_queued(&self, items: &[QueuedLine]) -> Vec<ServeResponse> {
+        let refs: Vec<(&str, u64)> = items
+            .iter()
+            .map(|item| (item.line.as_str(), item.queue_us))
+            .collect();
+        self.handle_queued_inner(&refs)
+    }
+
+    /// The borrow-based core of the line paths: `(line, queue_us)`
+    /// pairs in, recorded responses out, no line copies.
+    fn handle_queued_inner(&self, items: &[(&str, u64)]) -> Vec<ServeResponse> {
+        // Parse what we can, timing each line's parse: for hits and
+        // errors, parsing *is* most of their real cost.
+        let mut slots: Vec<Result<usize, String>> = Vec::with_capacity(items.len());
+        let mut parse_us: Vec<u64> = Vec::with_capacity(items.len());
+        let mut requests: Vec<ServeRequest> = Vec::new();
+        let mut queue_waits: Vec<u64> = Vec::new();
+        for (line, queue_us) in items {
+            let parse_start = Instant::now();
+            if line.len() > self.max_request_bytes {
+                slots.push(Err(oversized_error(line.len(), self.max_request_bytes)));
+            } else {
+                match ServeRequest::parse(line) {
+                    Ok(request) => {
+                        slots.push(Ok(requests.len()));
+                        requests.push(request);
+                        queue_waits.push(*queue_us);
+                    }
+                    Err(message) => slots.push(Err(message)),
+                }
+            }
+            parse_us.push(parse_start.elapsed().as_micros() as u64);
+        }
+        let mut scheduled = self
+            .run_batch_queued(&requests, Some(&queue_waits))
+            .into_iter();
+        let responses: Vec<ServeResponse> = slots
+            .into_iter()
+            .zip(items)
+            .zip(parse_us)
+            .map(|((slot, (line, queue_us)), parse_us)| {
+                let mut response = match slot {
+                    Ok(_) => {
+                        let mut response = scheduled.next().expect("one response per request");
+                        response.micros += parse_us;
+                        response
+                    }
+                    Err(message) => ServeResponse {
+                        id: ServeRequest::recover_id(line),
+                        result: Err(message),
+                        micros: queue_us + parse_us,
+                    },
+                };
+                // Clock-resolution floor: sub-microsecond work (a
+                // rejected parse, a tiny cached hit) reports 1µs, not
+                // the old `micros: 0` shortcut that dragged p50 to
+                // zero at high hit rates.
+                response.micros = response.micros.max(1);
+                response
+            })
+            .collect();
+        for response in &responses {
+            self.record(response);
+        }
+        responses
+    }
+
+    /// Counts one back-pressure rejection (the front end answers the
+    /// client directly; the request never reaches the scheduler).
+    pub fn record_rejected(&self) {
+        self.metrics.record_rejected();
     }
 
     /// Aggregate metrics (requests, errors, cache counters, latency
@@ -210,4 +303,11 @@ impl CompilationService {
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// The one wire message for an over-limit request line, shared by the
+/// blocking batch path and the front-end readers so both transports
+/// speak identical errors.
+pub(crate) fn oversized_error(bytes: usize, limit: usize) -> String {
+    format!("request line is {bytes} bytes, exceeding the service limit of {limit}")
 }

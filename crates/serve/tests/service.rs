@@ -101,6 +101,127 @@ fn registry_ensure_trains_once_then_loads() {
 }
 
 #[test]
+fn registry_ensure_recovers_from_torn_checkpoints() {
+    let dir = scratch_dir("torn");
+    let suite = vec![BenchmarkFamily::Ghz.generate(3)];
+    // Cold start: all three objectives trained and persisted.
+    let cold = ModelRegistry::ensure(&dir, &suite, 600, 7, 0.005, |_| {}).unwrap();
+    assert_eq!(cold.len(), 3);
+
+    // Simulate a crash mid-write: one checkpoint torn (truncated JSON),
+    // plus a stale temp file from an interrupted atomic save.
+    let victim = ModelRegistry::model_path(&dir, RewardKind::ExpectedFidelity);
+    let full = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
+    std::fs::write(victim.with_extension("json.tmp"), "partial").unwrap();
+
+    // A plain load refuses the torn file (strict by design) …
+    assert!(matches!(
+        ModelRegistry::load(&dir),
+        Err(qrc_predictor::PersistError::Format(_))
+    ));
+
+    // … but ensure quarantines it and retrains exactly that objective.
+    let mut retrained = Vec::new();
+    let healed = ModelRegistry::ensure(&dir, &suite, 600, 7, 0.005, |name| {
+        retrained.push(name.to_string())
+    })
+    .unwrap();
+    assert_eq!(healed.len(), 3);
+    assert_eq!(retrained, vec!["fidelity".to_string()]);
+    let quarantined = ModelRegistry::quarantine_path(&victim);
+    assert!(quarantined.exists(), "torn bytes kept for post-mortems");
+    assert!(
+        !victim.with_extension("json.tmp").exists(),
+        "stale tmp swept"
+    );
+
+    // The healed checkpoint is a valid warm start again.
+    let warm = ModelRegistry::load(&dir).unwrap();
+    assert_eq!(warm.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_counters_partition_requests() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &quiet_config(),
+    );
+    let good = format!(
+        r#"{{"id":"inv","qasm":{}}}"#,
+        serde_json::to_string(&serde_json::Value::from(bell_qasm()))
+    );
+    // Mixed traffic: parse errors, invalid qasm, a miss, duplicates
+    // (coalesced), and — on a second pass — cache hits.
+    let lines: Vec<String> = vec![
+        "garbage".into(),
+        good.clone(),
+        good.clone(),
+        r#"{"qasm":"not qasm"}"#.into(),
+        good.clone(),
+    ];
+    service.handle_lines(&lines);
+    service.handle_lines(&lines);
+    // Plus two back-pressure rejections from the front end.
+    service.record_rejected();
+    service.record_rejected();
+
+    let snap = service.metrics();
+    assert_eq!(snap.requests, 10);
+    assert_eq!(
+        snap.requests,
+        snap.errors + snap.hit_responses + snap.miss_responses + snap.coalesced_responses,
+        "every request is exactly one of error/hit/miss/coalesced: {snap:?}"
+    );
+    assert_eq!(snap.errors, 4);
+    assert_eq!(snap.miss_responses, 1);
+    assert_eq!(snap.coalesced_responses, 2);
+    assert_eq!(snap.hit_responses, 3);
+    assert_eq!(snap.rejected, 2, "rejections counted apart from errors");
+}
+
+#[test]
+fn width_limit_rejects_at_admission() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &ServiceConfig {
+            max_circuit_qubits: 4,
+            ..quiet_config()
+        },
+    );
+    let wide = qrc_circuit::qasm::to_qasm(&BenchmarkFamily::Ghz.generate(6));
+    let responses = service.handle_batch(&[ServeRequest::new(wide)]);
+    let err = responses[0].result.as_ref().unwrap_err();
+    assert!(err.contains("exceeding the service limit of 4"), "{err}");
+
+    let narrow = qrc_circuit::qasm::to_qasm(&BenchmarkFamily::Ghz.generate(3));
+    let responses = service.handle_batch(&[ServeRequest::new(narrow)]);
+    assert!(responses[0].result.is_ok());
+}
+
+#[test]
+fn oversized_lines_rejected_before_parsing() {
+    let service = CompilationService::with_registry(
+        ModelRegistry::from_models(tiny_models()),
+        &ServiceConfig {
+            max_request_bytes: 64,
+            ..quiet_config()
+        },
+    );
+    let long = format!(r#"{{"qasm":"{}"}}"#, "x".repeat(200));
+    let replies = service.handle_lines(&[long]);
+    let parsed = serde_json::from_str(&replies[0]).unwrap();
+    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    assert!(parsed
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("exceeding the service limit"));
+}
+
+#[test]
 fn ndjson_protocol_end_to_end() {
     let service = CompilationService::with_registry(
         ModelRegistry::from_models(tiny_models()),

@@ -1,0 +1,208 @@
+//! End-to-end socket front-end tests: an in-process TCP listener on an
+//! ephemeral port, a real client connection, control commands, and
+//! graceful shutdown with a full drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrc_benchgen::BenchmarkFamily;
+use qrc_predictor::{train, PredictorConfig, RewardKind};
+use qrc_rl::PpoConfig;
+use qrc_serve::{
+    serve_socket, CompilationService, FrontendConfig, ModelRegistry, ServiceConfig, ShutdownFlag,
+    OVERLOADED_ERROR,
+};
+
+fn tiny_service() -> Arc<CompilationService> {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Dj.generate(3),
+    ];
+    let models = RewardKind::ALL
+        .into_iter()
+        .map(|reward| {
+            let config = PredictorConfig {
+                reward,
+                total_timesteps: 1200,
+                ppo: PpoConfig {
+                    steps_per_update: 128,
+                    minibatch_size: 32,
+                    epochs: 4,
+                    hidden: vec![24],
+                    learning_rate: 1e-3,
+                    ..PpoConfig::default()
+                },
+                seed: 5,
+                step_penalty: 0.005,
+            };
+            train(suite.clone(), &config)
+        })
+        .collect();
+    Arc::new(CompilationService::with_registry(
+        ModelRegistry::from_models(models),
+        &ServiceConfig {
+            verbose: false,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+/// Starts a server on an ephemeral port; returns the port and the
+/// serve thread (joined to assert a clean drain).
+fn start_server(
+    service: &Arc<CompilationService>,
+    config: FrontendConfig,
+) -> (u16, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let port = listener.local_addr().unwrap().port();
+    let service = Arc::clone(service);
+    let shutdown = ShutdownFlag::new();
+    let handle = std::thread::spawn(move || serve_socket(&service, listener, &config, &shutdown));
+    (port, handle)
+}
+
+fn connect(port: u16) -> TcpStream {
+    let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+}
+
+fn bell_line(id: &str) -> String {
+    let mut qc = qrc_circuit::QuantumCircuit::new(2);
+    qc.h(0).cx(0, 1).measure_all();
+    format!(
+        r#"{{"id":"{id}","qasm":{}}}"#,
+        serde_json::to_string(&serde_json::Value::from(qrc_circuit::qasm::to_qasm(&qc)))
+    )
+}
+
+#[test]
+fn socket_mode_serves_stats_and_drains_on_shutdown() {
+    let service = tiny_service();
+    let (port, server) = start_server(&service, FrontendConfig::default());
+
+    let mut stream = connect(port);
+    let mut lines = Vec::new();
+    // A small mix: two real requests (second is a duplicate), one
+    // malformed line, a live stats probe, then shutdown.
+    let payload = [
+        bell_line("s1"),
+        bell_line("s2"),
+        "{broken".to_string(),
+        r#"{"cmd":"stats"}"#.to_string(),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ]
+    .map(|l| l + "\n")
+    .concat();
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    for line in reader.lines() {
+        match line {
+            Ok(line) => lines.push(serde_json::from_str(&line).unwrap()),
+            Err(_) => break,
+        }
+        if lines.len() == 5 {
+            break;
+        }
+    }
+    assert_eq!(lines.len(), 5, "every line is answered before the drain");
+
+    // Control replies may overtake queued compile responses; match by
+    // content, not position.
+    let by_id = |id: &str| {
+        lines
+            .iter()
+            .find(|v| v.get("id").and_then(|i| i.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("no response for id `{id}`"))
+    };
+    let s1 = by_id("s1");
+    assert_eq!(s1.get("ok").unwrap().as_bool(), Some(true));
+    let s2 = by_id("s2");
+    assert_eq!(s2.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        s1.get("qasm").unwrap().as_str(),
+        s2.get("qasm").unwrap().as_str()
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|v| v.get("ok").and_then(|o| o.as_bool()) == Some(false)
+                && v.get("error").is_some()),
+        "the malformed line got a structured error"
+    );
+    let stats = lines
+        .iter()
+        .find(|v| v.get("requests").is_some())
+        .expect("live stats snapshot");
+    assert!(stats.get("latency_us").is_some());
+    assert!(
+        lines
+            .iter()
+            .any(|v| v.get("shutting_down").and_then(|s| s.as_bool()) == Some(true)),
+        "shutdown acknowledged"
+    );
+
+    // Graceful drain: the server thread returns cleanly.
+    server.join().unwrap().unwrap();
+    // And the service saw exactly the three scheduled lines (stats /
+    // shutdown are front-end control, not requests).
+    let snap = service.metrics();
+    assert_eq!(snap.requests, 3);
+    assert_eq!(snap.errors, 1);
+}
+
+#[test]
+fn full_queue_rejects_with_structured_overload_errors() {
+    let service = tiny_service();
+    // A tiny queue and single-request batches: while the first rollout
+    // runs (milliseconds), the client's burst (microseconds apart)
+    // overflows the queue and must be rejected, not buffered.
+    let (port, server) = start_server(
+        &service,
+        FrontendConfig {
+            batch_size: 1,
+            batch_wait: Duration::ZERO,
+            queue_capacity: 2,
+            ..FrontendConfig::default()
+        },
+    );
+
+    let mut stream = connect(port);
+    let total = 50;
+    let mut payload = String::new();
+    for i in 0..total {
+        payload.push_str(&bell_line(&format!("b{i}")));
+        payload.push('\n');
+    }
+    stream.write_all(payload.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut answered = 0;
+    let mut rejected = 0;
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    for line in reader.lines().take(total) {
+        let value = serde_json::from_str(&line.unwrap()).unwrap();
+        match value.get("error").and_then(|e| e.as_str()) {
+            Some(e) if e == OVERLOADED_ERROR => rejected += 1,
+            Some(other) => panic!("unexpected error: {other}"),
+            None => {
+                assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+                answered += 1;
+            }
+        }
+    }
+    assert_eq!(answered + rejected, total, "every line is answered");
+    assert!(rejected > 0, "a 50-deep burst into a 2-deep queue rejects");
+    let snap = service.metrics();
+    assert_eq!(snap.rejected, rejected as u64);
+    assert_eq!(snap.requests, answered as u64);
+
+    stream.write_all(b"{\"cmd\":\"shutdown\"}\n").unwrap();
+    server.join().unwrap().unwrap();
+}

@@ -1,14 +1,23 @@
 //! NDJSON protocol walkthrough: drive the compilation service exactly
 //! the way a network client drives the `qrc-serve` binary — one JSON
-//! request per line in, one JSON response per line out.
+//! request per line in, one JSON response per line out — first
+//! in-process, then over a real TCP socket against the pipelined
+//! front end (`qrc-serve --listen`), including live stats and a
+//! graceful shutdown.
 //!
 //! Run with: `cargo run --release --example serve_client`
 //!
 //! (The first run trains three small models into `target/serve-demo/`;
 //! later runs load them from disk in milliseconds.)
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
 use mqt_predictor::prelude::*;
-use mqt_predictor::serve::{CompilationService, ServiceConfig};
+use mqt_predictor::serve::{
+    serve_socket, CompilationService, FrontendConfig, ServiceConfig, ShutdownFlag,
+};
 
 fn main() {
     // 1. Start the service: loads (or trains + persists) one policy
@@ -84,6 +93,42 @@ fn main() {
         metrics.p50_us,
         metrics.p99_us
     );
+
+    // 5. The same protocol over TCP: start the pipelined socket front
+    //    end on an ephemeral loopback port (what
+    //    `qrc-serve --listen 127.0.0.1:0` does) and talk to it like
+    //    any network client would.
+    println!("\n--- socket mode ---");
+    let service = Arc::new(service);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    println!("listening on {addr}");
+    let server = {
+        let service = Arc::clone(&service);
+        let shutdown = ShutdownFlag::new();
+        std::thread::spawn(move || {
+            serve_socket(&service, listener, &FrontendConfig::default(), &shutdown)
+        })
+    };
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A compile request, a live stats probe, and a graceful shutdown.
+    let ghz4 = qasm_line(&BenchmarkFamily::Ghz.generate(4));
+    writeln!(stream, r#"{{"id":"tcp-1","qasm":{ghz4}}}"#).expect("send request");
+    writeln!(stream, r#"{{"cmd":"stats"}}"#).expect("send stats cmd");
+    writeln!(stream, r#"{{"cmd":"shutdown"}}"#).expect("send shutdown cmd");
+    stream.flush().expect("flush");
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        println!("← {}", truncate(&line, 100));
+    }
+
+    // The server drained in-flight work and exited cleanly.
+    server
+        .join()
+        .expect("server thread panicked")
+        .expect("socket front end failed");
+    println!("server drained and shut down cleanly");
 }
 
 /// A circuit as a JSON-quoted QASM string literal.

@@ -17,8 +17,9 @@
 //! * [`predictor`] — the compilation MDP, rewards, baselines, and
 //!   train/compile API,
 //! * [`serve`] — the long-lived compilation service (model registry,
-//!   content-addressed result cache, batch scheduler, NDJSON front
-//!   end).
+//!   content-addressed result cache, batch scheduler, and a pipelined
+//!   NDJSON front end over TCP or stdin with back-pressure, limits,
+//!   live stats, and graceful shutdown).
 //!
 //! # Examples
 //!
