@@ -15,9 +15,12 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service three ways:
-//!                           serial, blocking batched, and the pipelined
-//!                           socket front end (writes BENCH_serve.json)
+//!                           qrc-serve compilation service four ways:
+//!                           serial, blocking batched, the pipelined
+//!                           socket front end, and a sharded registry
+//!                           vs the monolithic baseline over a
+//!                           multi-device width-skewed mix
+//!                           (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
 //!
@@ -36,6 +39,10 @@
 //!                    `serve` writes BENCH_serve.json
 //!   --requests N     (`serve`) synthetic traffic size  (default 400)
 //!   --batch N        (`serve`) requests per batch      (default 32)
+//!   --listen ADDR    (`serve`) preferred address for the pipelined
+//!                    socket arm; a busy port retries on an ephemeral
+//!                    one and the bound port lands in the report
+//!                    (default: ephemeral loopback)
 //! ```
 
 use qrc_bench::{
@@ -92,6 +99,9 @@ fn main() {
             }
             "--batch" => {
                 serve_settings.batch_size = parse_next(&args, &mut i, "batch");
+            }
+            "--listen" => {
+                serve_settings.listen = Some(parse_next::<String>(&args, &mut i, "listen"));
             }
             "--bench-out" => {
                 bench_out = parse_next::<String>(&args, &mut i, "bench-out").into();
@@ -234,12 +244,43 @@ fn run_serve(
         report.speedup()
     );
     println!(
-        "pipelined socket: {:.3}s ({:.1} req/s) | vs blocking batched {:.2}x | \
+        "pipelined socket (port {}): {:.3}s ({:.1} req/s) | vs blocking batched {:.2}x | \
          payloads == serial: {}",
+        report.pipelined_port,
         report.pipelined_secs,
         report.requests_per_sec_pipelined(),
         report.pipelined_speedup(),
         report.pipelined_identical
+    );
+    println!(
+        "sharded registry ({} shards routed, extras trained in {:.1}s): {} requests | \
+         batched {:.3}s ({:.1} req/s) | monolithic {:.3}s | vs monolithic {:.2}x | \
+         payloads == per-request serial: {}",
+        report.shard_stats.len(),
+        report.shard_train_secs,
+        report.sharded_requests,
+        report.sharded_secs,
+        report.requests_per_sec_sharded(),
+        report.monolithic_secs,
+        report.sharded_vs_monolithic(),
+        report.sharded_identical
+    );
+    for stat in &report.shard_stats {
+        println!(
+            "  shard {:<28} routed {:>5} | hit {:>5} | miss {:>5} | coalesced {:>5}",
+            stat.shard,
+            stat.counters.routed,
+            stat.counters.hits,
+            stat.counters.misses,
+            stat.counters.coalesced
+        );
+    }
+    println!(
+        "  routes: exact {} | band_wildcard {} | device_wildcard {} | objective_only {}",
+        report.route_counts.exact,
+        report.route_counts.band_wildcard,
+        report.route_counts.device_wildcard,
+        report.route_counts.objective_only
     );
     println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
@@ -262,6 +303,10 @@ fn run_serve(
     }
     if !report.pipelined_identical {
         eprintln!("FAIL: pipelined socket serving diverged from serial execution");
+        std::process::exit(1);
+    }
+    if !report.sharded_identical {
+        eprintln!("FAIL: sharded serving diverged from per-request serial compilation");
         std::process::exit(1);
     }
     if report.hit_rate <= 0.0 {
@@ -288,7 +333,7 @@ fn print_usage() {
     println!(
         "usage: evaluate <fig3a|fig3b|fig3c|fig3d|fig3e|fig3f|table1|summary|ablation|perf|serve|all> \
          [--timesteps N] [--max-qubits N] [--seed N] [--full] [--sparse] [--penalty X] [--quiet] \
-         [--serial] [--bench-out PATH] [--requests N] [--batch N]"
+         [--serial] [--bench-out PATH] [--requests N] [--batch N] [--listen ADDR]"
     );
 }
 

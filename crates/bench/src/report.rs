@@ -27,7 +27,13 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// compute time), and the serve report grew a pipelined socket replay
 /// arm (`replay_pipelined_secs`, `requests_per_sec_pipelined`,
 /// `pipelined_vs_batched`, `pipelined_equals_serial`).
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the serve report grew the sharded-vs-monolithic arm (`sharded`
+/// block: per-shard route/hit/miss counters, fallback-level counts,
+/// `sharded_equals_serial`, `vs_monolithic`) and `pipelined_port` (the
+/// loopback port the socket arm actually bound — busy requested ports
+/// retry on an ephemeral port instead of silently skipping the arm).
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -205,7 +211,62 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
             "pipelined_equals_serial",
             Value::from(report.pipelined_identical),
         ),
+        (
+            "pipelined_port",
+            Value::from(u64::from(report.pipelined_port)),
+        ),
+        ("sharded", sharded_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The sharded-vs-monolithic block of `BENCH_serve.json`: timings and
+/// identity over the multi-device width-skewed mix, plus per-shard
+/// route/hit/miss counters and fallback-level counts.
+fn sharded_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.sharded_requests)),
+        ("train_extra_secs", Value::from(report.shard_train_secs)),
+        (
+            "replay_serial_secs",
+            Value::from(report.sharded_serial_secs),
+        ),
+        ("replay_batched_secs", Value::from(report.sharded_secs)),
+        (
+            "monolithic_batched_secs",
+            Value::from(report.monolithic_secs),
+        ),
+        (
+            "requests_per_sec",
+            Value::from(report.requests_per_sec_sharded()),
+        ),
+        ("vs_monolithic", Value::from(report.sharded_vs_monolithic())),
+        (
+            "sharded_equals_serial",
+            Value::from(report.sharded_identical),
+        ),
+        ("routes", report.route_counts.to_value()),
+        (
+            "shards",
+            Value::Array(
+                report
+                    .shard_stats
+                    .iter()
+                    .map(|s| {
+                        // Same key names as the `{"cmd":"stats"}`
+                        // per-shard block, so one parser covers both.
+                        Value::object(vec![
+                            ("shard", Value::from(s.shard.clone())),
+                            ("routed", Value::from(s.counters.routed)),
+                            ("hit", Value::from(s.counters.hits)),
+                            ("miss", Value::from(s.counters.misses)),
+                            ("coalesced", Value::from(s.counters.coalesced)),
+                            ("errors", Value::from(s.counters.errors)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -271,6 +332,7 @@ mod tests {
             serial_secs: 2.0,
             batched_secs: 0.5,
             pipelined_secs: 0.25,
+            pipelined_port: 17643,
             identical: true,
             pipelined_identical: true,
             hits: 120,
@@ -279,6 +341,28 @@ mod tests {
             errors: 0,
             p50_us: 900,
             p99_us: 4200,
+            shard_train_secs: 5.0,
+            sharded_requests: 400,
+            sharded_serial_secs: 2.5,
+            sharded_secs: 0.4,
+            monolithic_secs: 0.5,
+            sharded_identical: true,
+            shard_stats: vec![crate::serve_bench::ShardStat {
+                shard: "fidelity/any/narrow".into(),
+                counters: qrc_serve::ShardCounters {
+                    routed: 180,
+                    hits: 70,
+                    misses: 60,
+                    coalesced: 50,
+                    errors: 0,
+                },
+            }],
+            route_counts: qrc_serve::RouteCounts {
+                exact: 180,
+                band_wildcard: 20,
+                device_wildcard: 0,
+                objective_only: 200,
+            },
         };
         let settings = EvalSettings {
             verbose: false,
@@ -296,6 +380,13 @@ mod tests {
             "hit_rate",
             "batched_equals_serial",
             "pipelined_equals_serial",
+            "pipelined_port",
+            "sharded",
+            "sharded_equals_serial",
+            "vs_monolithic",
+            "fidelity/any/narrow",
+            "band_wildcard",
+            "objective_only",
             "p99",
         ] {
             assert!(
@@ -329,5 +420,7 @@ mod tests {
         assert!((report.requests_per_sec() - 800.0).abs() < 1e-9);
         assert!((report.requests_per_sec_pipelined() - 1600.0).abs() < 1e-9);
         assert!((report.pipelined_speedup() - 2.0).abs() < 1e-9);
+        assert!((report.requests_per_sec_sharded() - 1000.0).abs() < 1e-9);
+        assert!((report.sharded_vs_monolithic() - 1.25).abs() < 1e-9);
     }
 }

@@ -1,19 +1,24 @@
 //! The `serve` throughput target: replay a synthetic traffic mix
-//! through the compilation service three ways — scheduler in serial
-//! mode, blocking batches on the rayon pool, and the pipelined socket
-//! front end (real TCP on a loopback ephemeral port, reader thread
-//! overlapping I/O with compute) — verify all replays produce the same
-//! compilation payloads, and measure throughput, cache behavior, and
-//! latency percentiles for `BENCH_serve.json`.
+//! through the compilation service four ways — scheduler in serial
+//! mode, blocking batches on the rayon pool, the pipelined socket
+//! front end (real TCP on a loopback port, reader thread overlapping
+//! I/O with compute), and a *sharded* registry (policies keyed by
+//! `objective × device-class × width band`) against the monolithic
+//! baseline over a multi-device, width-skewed mix — verify every
+//! replay produces the same compilation payloads as its serial
+//! counterpart, and measure throughput, cache behavior, per-shard
+//! routing, and latency percentiles for `BENCH_serve.json`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use qrc_predictor::task_seed;
 use qrc_serve::{
-    serve_socket, synthetic_mix, CompilationService, FrontendConfig, ModelRegistry, ServeRequest,
-    ServeResponse, ServiceConfig, ShutdownFlag, TrafficConfig,
+    serve_socket, synthetic_mix, CompilationService, DeviceClass, FrontendConfig, ModelRegistry,
+    RouteCounts, ServeRequest, ServeResponse, ServiceConfig, ShardCounters, ShardKey, ShutdownFlag,
+    TrafficConfig, WidthBand,
 };
 use serde_json::Value;
 
@@ -26,6 +31,11 @@ pub struct ServeBenchSettings {
     pub requests: usize,
     /// Requests per scheduled batch.
     pub batch_size: usize,
+    /// Preferred listen address for the pipelined socket arm. When the
+    /// port is busy the bench retries on an ephemeral port instead of
+    /// failing (or silently measuring nothing); the actually bound
+    /// port lands in the report.
+    pub listen: Option<String>,
 }
 
 impl Default for ServeBenchSettings {
@@ -33,8 +43,18 @@ impl Default for ServeBenchSettings {
         ServeBenchSettings {
             requests: 400,
             batch_size: 32,
+            listen: None,
         }
     }
+}
+
+/// Per-shard routing outcome of the sharded replay arm.
+#[derive(Debug, Clone)]
+pub struct ShardStat {
+    /// Canonical shard name.
+    pub shard: String,
+    /// The routing/cache counters the shard accumulated.
+    pub counters: ShardCounters,
 }
 
 /// Measured results of one serve benchmark run.
@@ -46,7 +66,7 @@ pub struct ServeBenchReport {
     pub batch_size: usize,
     /// Worker threads available to the batched pass.
     pub threads: usize,
-    /// Seconds to train the three models (once, shared by all passes).
+    /// Seconds to train the three monolithic models (once, shared).
     pub train_secs: f64,
     /// Wall-clock of the serial replay (seconds).
     pub serial_secs: f64,
@@ -58,6 +78,9 @@ pub struct ServeBenchReport {
     /// loopback TCP, a reader thread filling the bounded queue while
     /// the scheduler drains it.
     pub pipelined_secs: f64,
+    /// The loopback port the pipelined arm actually bound (the
+    /// requested one, or the ephemeral fallback when it was busy).
+    pub pipelined_port: u16,
     /// `true` iff serial and blocking-batched replays produced
     /// byte-identical response bodies.
     pub identical: bool,
@@ -78,6 +101,26 @@ pub struct ServeBenchReport {
     pub p50_us: u64,
     /// 99th-percentile per-request latency of the batched replay (µs).
     pub p99_us: u64,
+    /// Seconds to train the extra (non-wildcard) shards on their
+    /// scoped benchmark slices.
+    pub shard_train_secs: f64,
+    /// Requests in the sharded arm's multi-device, width-skewed mix.
+    pub sharded_requests: usize,
+    /// Wall-clock of the sharded registry's per-request serial replay.
+    pub sharded_serial_secs: f64,
+    /// Wall-clock of the sharded registry's batched replay.
+    pub sharded_secs: f64,
+    /// Wall-clock of the monolithic registry's batched replay over the
+    /// *same* sharded-arm mix (the apples-to-apples baseline).
+    pub monolithic_secs: f64,
+    /// `true` iff the sharded batched replay produced the same
+    /// compilation payloads as per-request serial compilation on the
+    /// same sharded registry.
+    pub sharded_identical: bool,
+    /// Per-shard routing stats of the sharded batched replay.
+    pub shard_stats: Vec<ShardStat>,
+    /// Requests per routing fallback level in the sharded replay.
+    pub route_counts: RouteCounts,
 }
 
 impl ServeBenchReport {
@@ -106,10 +149,43 @@ impl ServeBenchReport {
     pub fn pipelined_speedup(&self) -> f64 {
         self.batched_secs / self.pipelined_secs.max(1e-12)
     }
+
+    /// Requests per second of the sharded batched pass.
+    pub fn requests_per_sec_sharded(&self) -> f64 {
+        self.sharded_requests as f64 / self.sharded_secs.max(1e-12)
+    }
+
+    /// Monolithic wall-clock divided by sharded wall-clock over the
+    /// same mix: > 1 means the sharded fleet answered faster.
+    pub fn sharded_vs_monolithic(&self) -> f64 {
+        self.monolithic_secs / self.sharded_secs.max(1e-12)
+    }
+}
+
+/// The extra shards the sharded arm trains on scoped suite slices: a
+/// narrow-band specialist per objective, plus one device-class
+/// specialist to exercise device routing.
+pub fn bench_shard_keys() -> Vec<ShardKey> {
+    let mut keys: Vec<ShardKey> = qrc_predictor::RewardKind::ALL
+        .into_iter()
+        .map(|objective| ShardKey {
+            objective,
+            device_class: DeviceClass::Any,
+            width_band: WidthBand::Narrow,
+        })
+        .collect();
+    keys.push(ShardKey {
+        objective: qrc_predictor::RewardKind::ExpectedFidelity,
+        device_class: DeviceClass::Class(qrc_device::Platform::Ionq),
+        width_band: WidthBand::Any,
+    });
+    keys
 }
 
 /// Trains the models, replays the mix serially, batched, and through
-/// the pipelined socket, and compares the response streams.
+/// the pipelined socket, then runs the sharded-vs-monolithic arm over
+/// a multi-device, width-skewed mix, and compares the response
+/// streams.
 pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> ServeBenchReport {
     let suite = qrc_benchgen::paper_suite(2, settings.max_qubits);
     let train_start = Instant::now();
@@ -129,27 +205,42 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         verbose: false,
         ..ServiceConfig::default()
     };
-    let replay = |parallel: bool| -> (Vec<ServeResponse>, f64, CompilationService) {
-        let service = CompilationService::with_registry(
-            ModelRegistry::from_models(models.clone()),
-            &service_config(parallel),
-        );
+    let replay = |registry: ModelRegistry,
+                  parallel: bool,
+                  traffic: &[ServeRequest],
+                  chunk: usize|
+     -> (Vec<ServeResponse>, f64, CompilationService) {
+        let service = CompilationService::with_registry(registry, &service_config(parallel));
         let start = Instant::now();
         let mut responses = Vec::with_capacity(traffic.len());
-        for chunk in traffic.chunks(serve.batch_size.max(1)) {
+        for chunk in traffic.chunks(chunk.max(1)) {
             responses.extend(service.handle_batch(chunk));
         }
         (responses, start.elapsed().as_secs_f64(), service)
     };
 
-    let (serial_responses, serial_secs, _) = replay(false);
-    let (batched_responses, batched_secs, batched_service) = replay(true);
+    let (serial_responses, serial_secs, _) = replay(
+        ModelRegistry::from_models(models.clone()),
+        false,
+        &traffic,
+        serve.batch_size,
+    );
+    let (batched_responses, batched_secs, batched_service) = replay(
+        ModelRegistry::from_models(models.clone()),
+        true,
+        &traffic,
+        serve.batch_size,
+    );
     let service = Arc::new(CompilationService::with_registry(
         ModelRegistry::from_models(models.clone()),
         &service_config(true),
     ));
-    let (pipelined_payloads, pipelined_secs) =
-        replay_pipelined(&service, &traffic, serve.batch_size);
+    let (pipelined_payloads, pipelined_secs, pipelined_port) = replay_pipelined(
+        &service,
+        &traffic,
+        serve.batch_size,
+        serve.listen.as_deref(),
+    );
 
     let identical = serial_responses.len() == batched_responses.len()
         && serial_responses
@@ -165,6 +256,62 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
             .zip(pipelined_payloads.iter())
             .all(|(a, b)| a.payload_value() == *b);
 
+    // --- The sharded arm -------------------------------------------------
+    // A multi-device, width-skewed mix: device pins are common and
+    // narrow circuits dominate, so the specialized shards see the
+    // slice they were trained for.
+    let sharded_traffic = synthetic_mix(&TrafficConfig {
+        requests: serve.requests,
+        min_qubits: 2,
+        max_qubits: settings.max_qubits,
+        seed: settings.seed,
+        pin_fraction: 0.4,
+        narrow_fraction: 0.5,
+        ..TrafficConfig::default()
+    });
+    let shard_train_start = Instant::now();
+    let extra_shards = train_bench_shards(&suite, settings);
+    let shard_train_secs = shard_train_start.elapsed().as_secs_f64();
+    let sharded_registry = || {
+        let mut shards: Vec<(ShardKey, qrc_predictor::TrainedPredictor)> = models
+            .iter()
+            .map(|m| (ShardKey::wildcard(m.reward()), m.clone()))
+            .collect();
+        shards.extend(extra_shards.clone());
+        ModelRegistry::from_shards(shards)
+    };
+    // Per-request serial compilation on the sharded registry is the
+    // routing-correctness baseline: chunk size 1, serial scheduler.
+    let (sharded_serial, sharded_serial_secs, _) =
+        replay(sharded_registry(), false, &sharded_traffic, 1);
+    let (sharded_batched, sharded_secs, sharded_service) =
+        replay(sharded_registry(), true, &sharded_traffic, serve.batch_size);
+    // The monolithic baseline answers the same mix with wildcard-only
+    // routing.
+    let (_, monolithic_secs, _) = replay(
+        ModelRegistry::from_models(models.clone()),
+        true,
+        &sharded_traffic,
+        serve.batch_size,
+    );
+    // Chunk sizes differ between the two sharded replays, so cache
+    // statuses legitimately differ (dup-in-batch coalesces vs hits);
+    // the compilation payloads — including the shard echo — must not.
+    let sharded_identical = sharded_serial.len() == sharded_batched.len()
+        && sharded_serial
+            .iter()
+            .zip(sharded_batched.iter())
+            .all(|(a, b)| a.payload_value() == b.payload_value());
+    let sharded_metrics = sharded_service.metrics();
+    let shard_stats = sharded_metrics
+        .shards
+        .iter()
+        .map(|s| ShardStat {
+            shard: s.shard.clone(),
+            counters: s.counters,
+        })
+        .collect();
+
     let metrics = batched_service.metrics();
     ServeBenchReport {
         requests: traffic.len(),
@@ -174,6 +321,7 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         serial_secs,
         batched_secs,
         pipelined_secs,
+        pipelined_port,
         identical,
         pipelined_identical,
         hits: metrics.cache.hits,
@@ -182,21 +330,65 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         errors: metrics.errors,
         p50_us: metrics.p50_us,
         p99_us: metrics.p99_us,
+        shard_train_secs,
+        sharded_requests: sharded_traffic.len(),
+        sharded_serial_secs,
+        sharded_secs,
+        monolithic_secs,
+        sharded_identical,
+        shard_stats,
+        route_counts: sharded_metrics.routes,
     }
+}
+
+/// Trains the extra bench shards on their scoped suite slices, each
+/// with a shard-tag-mixed seed (the same derivation
+/// [`ModelRegistry::ensure_with_shards`] uses for checkpoints).
+fn train_bench_shards(
+    suite: &[qrc_circuit::QuantumCircuit],
+    settings: &EvalSettings,
+) -> Vec<(ShardKey, qrc_predictor::TrainedPredictor)> {
+    bench_shard_keys()
+        .into_iter()
+        .map(|key| {
+            if settings.verbose {
+                eprintln!("training shard `{key}` on its scoped slice…");
+            }
+            let mut config = qrc_predictor::PredictorConfig::new(key.objective, settings.timesteps);
+            config.seed = task_seed(settings.seed, key.tag());
+            config.step_penalty = settings.step_penalty;
+            let model = qrc_predictor::train(key.suite_slice(suite), &config);
+            (key, model)
+        })
+        .collect()
 }
 
 /// Replays the traffic through a real loopback TCP connection against
 /// the pipelined socket front end: a writer thread streams every
 /// request while this thread collects responses, then the server is
-/// shut down gracefully. Returns each response as a payload value
-/// (cache status and latency stripped) plus the replay wall-clock.
+/// shut down gracefully. Binds `listen` when given, retrying on an
+/// ephemeral loopback port if that address is busy (never silently
+/// skipping the arm). Returns each response as a payload value (cache
+/// status and latency stripped), the replay wall-clock, and the port
+/// actually bound.
 fn replay_pipelined(
     service: &Arc<CompilationService>,
     traffic: &[ServeRequest],
     batch_size: usize,
-) -> (Vec<Value>, f64) {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port");
-    let port = listener.local_addr().expect("local addr").port();
+    listen: Option<&str>,
+) -> (Vec<Value>, f64, u16) {
+    let listener = match listen {
+        Some(addr) => TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!(
+                "warning: could not bind {addr} ({e}); \
+                 retrying on an ephemeral loopback port"
+            );
+            TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port")
+        }),
+        None => TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port"),
+    };
+    let local = listener.local_addr().expect("local addr");
+    let port = local.port();
     let frontend = FrontendConfig {
         batch_size: batch_size.max(1),
         batch_wait: Duration::from_micros(500),
@@ -213,7 +405,9 @@ fn replay_pipelined(
     };
 
     let start = Instant::now();
-    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to replay server");
+    // Connect to the address actually bound — `--listen` may name a
+    // non-loopback interface.
+    let stream = TcpStream::connect(local).expect("connect to replay server");
     stream
         .set_read_timeout(Some(Duration::from_secs(600)))
         .expect("set read timeout");
@@ -253,5 +447,5 @@ fn replay_pipelined(
         .join()
         .expect("serve thread panicked")
         .expect("socket front end failed");
-    (payloads, elapsed)
+    (payloads, elapsed, port)
 }

@@ -66,11 +66,22 @@ pub fn train(circuits: Vec<QuantumCircuit>, config: &PredictorConfig) -> Trained
 }
 
 /// Like [`train`], reporting statistics after every PPO update.
+///
+/// # Panics
+///
+/// Panics on an empty training suite: the serving registry trains
+/// shard-scoped benchmark slices, and a slice that filtered down to
+/// nothing is a caller bug worth failing loudly on, not a policy worth
+/// persisting.
 pub fn train_with_progress(
     circuits: Vec<QuantumCircuit>,
     config: &PredictorConfig,
     progress: impl FnMut(&TrainStats),
 ) -> TrainedPredictor {
+    assert!(
+        !circuits.is_empty(),
+        "cannot train a predictor on an empty circuit suite"
+    );
     let mut env =
         CompilationEnv::new(circuits, config.reward).with_step_penalty(config.step_penalty);
     let mut agent = PpoAgent::new(OBS_DIM, Action::COUNT, config.ppo.clone(), config.seed);
@@ -282,6 +293,25 @@ impl TrainedPredictor {
         flow.apply(Action::SelectPlatform(pin.platform()))?;
         flow.apply(Action::SelectDevice(pin))?;
         Ok(self.finish_rollout(flow, self.reward))
+    }
+
+    /// The serving layer's one compile entry point: pinned when the
+    /// request named a device, free policy rollout otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flow's rejection if a pin is infeasible; unpinned
+    /// compilation never fails (a stuck rollout reports reward 0).
+    pub fn compile_request(
+        &self,
+        circuit: &QuantumCircuit,
+        pin: Option<DeviceId>,
+        seed: u64,
+    ) -> Result<CompilationOutcome, crate::flow::FlowError> {
+        match pin {
+            Some(pin) => self.compile_pinned(circuit, pin, seed),
+            None => Ok(self.compile_with_seed(circuit, seed)),
+        }
     }
 
     fn rollout(

@@ -5,7 +5,7 @@ use qrc_device::{expected_fidelity, Device};
 use serde::{Deserialize, Serialize};
 
 /// Which quality metric the sparse final reward pays out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum RewardKind {
     /// Estimated success probability from calibration data (1 = perfect).
     ExpectedFidelity,

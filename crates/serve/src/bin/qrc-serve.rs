@@ -9,6 +9,12 @@
 //!                       port 0 picks an ephemeral port, printed to
 //!                       stderr); omitted = stdin/stdout mode
 //!   --models DIR        checkpoint directory            (default models/)
+//!   --shard SPEC        ensure a policy shard exists (repeatable):
+//!                       objective/device-class/width-band, e.g.
+//!                       fidelity/ibm/narrow — trained on its scoped
+//!                       benchmark slice when the checkpoint is missing;
+//!                       the three objective-only wildcard shards are
+//!                       always ensured
 //!   --timesteps N       training budget per missing model (default 8000)
 //!   --seed N            master seed                     (default 3)
 //!   --train-max-qubits N  training-suite width for missing models (default 6)
@@ -31,10 +37,12 @@
 //! ```
 //!
 //! Protocol: one request object per line in, one response per line
-//! out. `{"cmd":"stats"}` answers with live metrics, `{"cmd":"shutdown"}`
-//! (or SIGTERM in socket mode, or EOF on stdin) drains in-flight
-//! batches and exits cleanly. See the crate docs for the field
-//! reference.
+//! out. `{"cmd":"stats"}` answers with live metrics (including loaded
+//! shard keys and checkpoint mtimes), `{"cmd":"reload"}` hot-swaps the
+//! shard map from the models directory without dropping traffic, and
+//! `{"cmd":"shutdown"}` (or SIGTERM in socket mode, or EOF on stdin)
+//! drains in-flight batches and exits cleanly. See the crate docs for
+//! the field reference.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,10 +52,11 @@ use std::time::Duration;
 use qrc_serve::cliargs::{flag_value, usage_error};
 use qrc_serve::{
     CompilationService, ControlRequest, FrontendConfig, InboundLine, ServeRequest, ServeResponse,
-    ServiceConfig, ShutdownFlag,
+    ServiceConfig, ShardKey, ShutdownFlag,
 };
 
-const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--timesteps N] [--seed N] \
+const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--shard SPEC]... \
+                     [--timesteps N] [--seed N] \
                      [--train-max-qubits N] [--cache-capacity N] [--cache-shards N] \
                      [--batch N] [--batch-wait-us N] [--queue N] [--max-line-bytes N] \
                      [--max-width N] [--blocking] [--serial] [--log-requests] [--stats] [--quiet]";
@@ -74,6 +83,13 @@ fn main() {
             },
             "--models" => match flag_value::<String>(&args, &mut i, "models") {
                 Ok(dir) => config.models_dir = dir.into(),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--shard" => match flag_value::<String>(&args, &mut i, "shard") {
+                Ok(spec) => match ShardKey::parse(&spec) {
+                    Ok(key) => config.shards.push(key),
+                    Err(e) => usage_error(&e, USAGE),
+                },
                 Err(e) => usage_error(&e, USAGE),
             },
             "--timesteps" => parse_into(&args, &mut i, "timesteps", &mut config.timesteps),
@@ -139,7 +155,7 @@ fn main() {
     };
     if config.verbose {
         eprintln!(
-            "qrc-serve ready: {} models from {} in {:.2}s (cache {} entries × {} shards, {})",
+            "qrc-serve ready: {} policy shards from {} in {:.2}s (cache {} entries × {} shards, {})",
             service.registry().len(),
             config.models_dir.display(),
             start.elapsed().as_secs_f64(),
@@ -186,10 +202,7 @@ fn main() {
     // Stats go out even when the session ended on a broken stream:
     // what *was* served is exactly what the operator needs then.
     if print_stats {
-        eprintln!(
-            "{}",
-            serde_json::to_string_pretty(&service.metrics().to_value())
-        );
+        eprintln!("{}", serde_json::to_string_pretty(&service.stats_value()));
     }
     if let Err(e) = served {
         eprintln!("error: serving ended early, remaining requests dropped: {e}");
@@ -244,11 +257,16 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
             match InboundLine::parse(&line) {
                 Ok(InboundLine::Control(ControlRequest::Stats)) => {
                     flush(&mut pending, &mut out);
-                    let _ = writeln!(
-                        out,
-                        "{}",
-                        serde_json::to_string(&service.metrics().to_value())
-                    );
+                    let _ = writeln!(out, "{}", serde_json::to_string(&service.stats_value()));
+                    let _ = out.flush();
+                    continue;
+                }
+                Ok(InboundLine::Control(ControlRequest::Reload)) => {
+                    // Stream order matters here too: answer everything
+                    // read before the reload with the shard map it was
+                    // read under, then swap.
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(out, "{}", serde_json::to_string(&service.reload_value()));
                     let _ = out.flush();
                     continue;
                 }
@@ -267,6 +285,7 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
                         id: ServeRequest::recover_id(&line),
                         result: Err(message),
                         micros: 1,
+                        route: None,
                     };
                     service.record(&response);
                     let _ = writeln!(out, "{}", response.to_line());

@@ -1,5 +1,5 @@
 //! The content-addressed result cache: a sharded LRU keyed by
-//! (structural circuit hash, objective, device pin).
+//! (structural circuit hash, device pin, serving model shard).
 //!
 //! Sharding bounds lock contention: each key maps to one of N
 //! independently locked shards, so concurrent lookups from the rayon
@@ -12,31 +12,39 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use qrc_device::DeviceId;
-use qrc_predictor::RewardKind;
 
 use crate::protocol::CompiledResult;
+use crate::shard::ShardKey;
 
 /// The content address of one compilation job.
+///
+/// The *serving shard* is part of the address: two registries that
+/// route the same circuit to different policies must never share a
+/// cached result, and after a hot-reload changes routing, the new
+/// shard recomputes instead of inheriting the old shard's answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// `QuantumCircuit::structural_hash` of the parsed request circuit.
     pub circuit_hash: u64,
-    /// The requested objective.
-    pub reward: RewardKind,
     /// The requested device pin, if any.
     pub device_pin: Option<DeviceId>,
+    /// The shard the request routed to (carries the objective).
+    pub shard: ShardKey,
+    /// The serving policy's generation stamp: a hot-reload that swaps
+    /// a shard's checkpoint bumps it, so the new policy never hits —
+    /// and in-flight old-snapshot batches never pollute — the other
+    /// generation's entries.
+    pub generation: u64,
 }
 
 impl CacheKey {
-    /// A stable 64-bit mix of all key components, used both for shard
-    /// selection and as the per-job seed index (results are therefore a
-    /// function of request *content*, never of arrival order).
+    /// A stable 64-bit mix of the *content and routing* components,
+    /// used both for shard selection and as the per-job seed index.
+    /// The policy generation is deliberately excluded: rollout seeds
+    /// must be a function of request content and shard identity only,
+    /// so identical checkpoints answer identically across restarts and
+    /// reloads.
     pub fn mix(&self) -> u64 {
-        let reward_tag = match self.reward {
-            RewardKind::ExpectedFidelity => 1u64,
-            RewardKind::CriticalDepth => 2,
-            RewardKind::Combination => 3,
-        };
         let device_tag = match self.device_pin {
             None => 0u64,
             Some(d) => 1 + DeviceId::ALL.iter().position(|&x| x == d).unwrap_or(0) as u64,
@@ -44,7 +52,7 @@ impl CacheKey {
         // SplitMix64 finalizer over the packed components.
         let mut z = self
             .circuit_hash
-            .wrapping_add(reward_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(self.shard.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .wrapping_add(device_tag.wrapping_mul(0xD1B5_4A32_D192_ED03));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -177,6 +185,22 @@ impl ResultCache {
         }
     }
 
+    /// Drops every entry whose key fails `keep`, returning how many
+    /// were removed. Used by hot-reload to invalidate results computed
+    /// by policy shards whose checkpoint changed — without a purge, a
+    /// swapped-in model would keep answering popular circuits with the
+    /// old policy's cached output forever.
+    pub fn retain(&self, keep: impl Fn(&CacheKey) -> bool) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let before = shard.map.len();
+            shard.map.retain(|key, _| keep(key));
+            removed += (before - shard.map.len()) as u64;
+        }
+        removed
+    }
+
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -204,12 +228,14 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrc_predictor::RewardKind;
 
     fn key(h: u64) -> CacheKey {
         CacheKey {
             circuit_hash: h,
-            reward: RewardKind::ExpectedFidelity,
             device_pin: None,
+            shard: ShardKey::wildcard(RewardKind::ExpectedFidelity),
+            generation: 0,
         }
     }
 
@@ -237,22 +263,42 @@ mod tests {
     fn key_components_all_partition_the_space() {
         let base = key(7);
         let other_reward = CacheKey {
-            reward: RewardKind::CriticalDepth,
+            shard: ShardKey::wildcard(RewardKind::CriticalDepth),
             ..base
         };
         let other_device = CacheKey {
             device_pin: Some(DeviceId::OqcLucy),
             ..base
         };
+        let other_shard = CacheKey {
+            shard: ShardKey {
+                width_band: crate::shard::WidthBand::Narrow,
+                ..base.shard
+            },
+            ..base
+        };
+        let other_generation = CacheKey {
+            generation: 7,
+            ..base
+        };
         let cache = ResultCache::new(16, 4);
         cache.insert(base, payload("base"));
         assert!(cache.get(&other_reward).is_none());
         assert!(cache.get(&other_device).is_none());
+        assert!(cache.get(&other_shard).is_none());
+        assert!(
+            cache.get(&other_generation).is_none(),
+            "a reloaded policy generation never sees the old one's entries"
+        );
+        // …but the generation does NOT perturb the seed mix: identical
+        // checkpoints must answer identically across reloads/restarts.
+        assert_eq!(base.mix(), other_generation.mix());
         assert!(cache.get(&key(8)).is_none());
         assert_eq!(cache.get(&base).unwrap().qasm, "base");
         // The mixes differ too (shard + seed separation).
         assert_ne!(base.mix(), other_reward.mix());
         assert_ne!(base.mix(), other_device.mix());
+        assert_ne!(base.mix(), other_shard.mix());
     }
 
     #[test]

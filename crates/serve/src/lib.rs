@@ -7,10 +7,14 @@
 //! Four layers, composed by [`CompilationService`]:
 //!
 //! * [`ModelRegistry`] — persists [`TrainedPredictor`] checkpoints to
-//!   disk and loads one policy per [`RewardKind`] at startup,
+//!   disk, keyed by [`ShardKey`] (`objective × device-class × width
+//!   band`); the scheduler routes each request to the most specific
+//!   matching shard through a deterministic fallback chain, and the
+//!   registry hot-reloads by copy-on-swap (`{"cmd":"reload"}`) without
+//!   dropping traffic,
 //! * [`ResultCache`] — a sharded LRU keyed by (structural circuit
-//!   hash, objective, device pin); repeated traffic never re-runs the
-//!   policy,
+//!   hash, device pin, serving shard); repeated traffic never re-runs
+//!   the policy,
 //! * [`scheduler`] — batches requests, deduplicates in-flight
 //!   identical jobs, and fans misses across a rayon pool with
 //!   content-derived seeds so concurrent results are byte-identical to
@@ -38,10 +42,13 @@
 //! (the policy still chooses synthesis/layout/routing/optimization).
 //!
 //! Control lines carry `cmd` instead of `qasm`: `{"cmd":"stats"}`
-//! answers with a live metrics snapshot, `{"cmd":"shutdown"}` drains
-//! and stops the server. When the request queue is full the socket
-//! front end answers `{"ok":false,"error":"overloaded: …"}` instead of
-//! queueing unboundedly.
+//! answers with a live metrics snapshot (per-shard routing counters
+//! plus the registry's shard keys and checkpoint mtimes),
+//! `{"cmd":"reload"}` hot-swaps the shard map from disk, and
+//! `{"cmd":"shutdown"}` drains and stops the server. When the request
+//! queue is full the socket front end answers
+//! `{"ok":false,"error":"overloaded: …"}` instead of queueing
+//! unboundedly.
 //!
 //! # Example
 //!
@@ -68,16 +75,20 @@ pub mod queue;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod shard;
 pub mod traffic;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use listener::{serve_socket, serve_stdin, FrontendConfig, ShutdownFlag};
-pub use metrics::{percentile_us, MetricsSnapshot, ServeMetrics};
+pub use metrics::{
+    percentile_us, MetricsSnapshot, RouteCounts, ServeMetrics, ShardCounterSnapshot, ShardCounters,
+};
 pub use protocol::{
     CacheStatus, CompiledResult, ControlRequest, InboundLine, ServeRequest, ServeResponse,
     OVERLOADED_ERROR,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, ReloadReport, RoutedShard};
 pub use service::{CompilationService, QueuedLine, ServiceConfig};
+pub use shard::{DeviceClass, RouteLevel, ShardKey, ShardRoute, WidthBand};
 pub use traffic::{synthetic_mix, TrafficConfig};

@@ -13,7 +13,10 @@
 //!   rejecting when the queue is full: stdin traffic is lossless).
 //!
 //! In-band control lines are answered by the front end directly:
-//! `{"cmd":"stats"}` returns a live metrics snapshot and
+//! `{"cmd":"stats"}` returns a live metrics snapshot (including the
+//! registry's loaded shard keys and checkpoint mtimes),
+//! `{"cmd":"reload"}` rescans the models directory and atomically
+//! swaps the shard map (in-flight batches finish on the old one), and
 //! `{"cmd":"shutdown"}` begins a graceful drain — no new requests are
 //! admitted, in-flight batches complete, every accepted request is
 //! answered, then the serve call returns. Control replies and
@@ -360,7 +363,10 @@ fn triage(
     }
     match InboundLine::parse(line) {
         Ok(InboundLine::Control(ControlRequest::Stats)) => {
-            Triage::Handled(serde_json::to_string(&service.metrics().to_value()))
+            Triage::Handled(serde_json::to_string(&service.stats_value()))
+        }
+        Ok(InboundLine::Control(ControlRequest::Reload)) => {
+            Triage::Handled(serde_json::to_string(&service.reload_value()))
         }
         Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
             shutdown.request();
@@ -380,6 +386,7 @@ fn triage(
                 // Same clock-resolution floor as the service's line
                 // paths: never push 0 into the latency window.
                 micros: 1,
+                route: None,
             };
             service.record(&response);
             Triage::Handled(log_reply(config, conn, &response))
@@ -579,6 +586,7 @@ fn oversized_response(bytes: usize, limit: usize) -> ServeResponse {
         result: Err(crate::service::oversized_error(bytes, limit)),
         // Same clock-resolution floor as the service's line paths.
         micros: 1,
+        route: None,
     }
 }
 
@@ -601,6 +609,13 @@ fn request_log_line(conn: u64, response: &ServeResponse) -> String {
         ),
         ("ok", Value::from(ok)),
         ("cache", cache),
+        (
+            "shard",
+            match &response.route {
+                Some(route) => Value::from(route.shard.name()),
+                None => Value::Null,
+            },
+        ),
         ("micros", Value::from(response.micros)),
     ]))
 }

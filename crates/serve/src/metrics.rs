@@ -1,10 +1,12 @@
 //! Per-request and aggregate service metrics: request/error counters,
-//! request-level cache outcomes, and latency percentiles.
+//! request-level cache outcomes, per-shard routing counters, and
+//! latency percentiles.
 //!
 //! Latency percentiles are computed over a bounded ring of the most
 //! recent [`LATENCY_WINDOW`] samples so a long-lived service holds
 //! constant memory; counts and the mean cover the full lifetime.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -12,6 +14,7 @@ use serde_json::Value;
 
 use crate::cache::CacheStats;
 use crate::protocol::CacheStatus;
+use crate::shard::{RouteLevel, ShardKey, ShardRoute};
 
 /// Number of recent latency samples retained for percentile estimates.
 pub const LATENCY_WINDOW: usize = 65_536;
@@ -46,6 +49,77 @@ impl LatencyRing {
     }
 }
 
+/// Per-shard routing counters: how many requests a shard answered and
+/// how each was served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Requests routed to this shard.
+    pub routed: u64,
+    /// Of those, answered from the result cache.
+    pub hits: u64,
+    /// Of those, computed by a fresh policy rollout.
+    pub misses: u64,
+    /// Of those, coalesced onto an identical in-batch job.
+    pub coalesced: u64,
+    /// Of those, answered with an error after routing (e.g. an
+    /// infeasible device pin).
+    pub errors: u64,
+}
+
+/// One shard's counters paired with its name, for snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCounterSnapshot {
+    /// Canonical shard name (`objective/device-class/width-band`).
+    pub shard: String,
+    /// The counters.
+    pub counters: ShardCounters,
+}
+
+/// How many requests resolved at each step of the routing fallback
+/// chain (exact → band-wildcard → device-wildcard → objective-only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCounts {
+    /// Matched the exact `(objective, device class, width band)` shard.
+    pub exact: u64,
+    /// Fell back to the shard with the wildcard width band.
+    pub band_wildcard: u64,
+    /// Fell back to the shard with the wildcard device class.
+    pub device_wildcard: u64,
+    /// Fell back to the objective-only wildcard shard.
+    pub objective_only: u64,
+}
+
+impl RouteCounts {
+    /// The count for one fallback level.
+    pub fn of(&self, level: RouteLevel) -> u64 {
+        match level {
+            RouteLevel::Exact => self.exact,
+            RouteLevel::BandWildcard => self.band_wildcard,
+            RouteLevel::DeviceWildcard => self.device_wildcard,
+            RouteLevel::ObjectiveOnly => self.objective_only,
+        }
+    }
+
+    fn slot(&mut self, level: RouteLevel) -> &mut u64 {
+        match level {
+            RouteLevel::Exact => &mut self.exact,
+            RouteLevel::BandWildcard => &mut self.band_wildcard,
+            RouteLevel::DeviceWildcard => &mut self.device_wildcard,
+            RouteLevel::ObjectiveOnly => &mut self.objective_only,
+        }
+    }
+
+    /// Renders the counts as a JSON object keyed by level name.
+    pub fn to_value(&self) -> Value {
+        Value::object(
+            RouteLevel::ALL
+                .into_iter()
+                .map(|level| (level.name(), Value::from(self.of(level))))
+                .collect(),
+        )
+    }
+}
+
 /// Live metric accumulators, shared across worker threads.
 #[derive(Default)]
 pub struct ServeMetrics {
@@ -57,6 +131,15 @@ pub struct ServeMetrics {
     coalesced_responses: AtomicU64,
     latency_sum_us: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    routing: Mutex<Routing>,
+}
+
+/// Routing accumulators (one lock: routed requests update one shard's
+/// counters plus one level counter together).
+#[derive(Default)]
+struct Routing {
+    per_shard: HashMap<ShardKey, ShardCounters>,
+    levels: RouteCounts,
 }
 
 impl ServeMetrics {
@@ -65,9 +148,10 @@ impl ServeMetrics {
         ServeMetrics::default()
     }
 
-    /// Records one finished request: its wall-clock and how it was
-    /// served (`None` = error response).
-    pub fn record(&self, micros: u64, status: Option<CacheStatus>) {
+    /// Records one finished request: its wall-clock, how it was served
+    /// (`None` = error response), and — when it got far enough to be
+    /// routed — which shard answered it and at which fallback level.
+    pub fn record(&self, micros: u64, status: Option<CacheStatus>, route: Option<&ShardRoute>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match status {
             None => {
@@ -82,6 +166,18 @@ impl ServeMetrics {
             Some(CacheStatus::Coalesced) => {
                 self.coalesced_responses.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(route) = route {
+            let mut routing = self.routing.lock().expect("metrics lock poisoned");
+            let counters = routing.per_shard.entry(route.shard).or_default();
+            counters.routed += 1;
+            match status {
+                None => counters.errors += 1,
+                Some(CacheStatus::Hit) => counters.hits += 1,
+                Some(CacheStatus::Miss) => counters.misses += 1,
+                Some(CacheStatus::Coalesced) => counters.coalesced += 1,
+            }
+            *routing.levels.slot(route.level) += 1;
         }
         self.latency_sum_us.fetch_add(micros, Ordering::Relaxed);
         self.latencies
@@ -112,6 +208,19 @@ impl ServeMetrics {
         } else {
             self.latency_sum_us.load(Ordering::Relaxed) as f64 / requests as f64
         };
+        let (shards, routes) = {
+            let routing = self.routing.lock().expect("metrics lock poisoned");
+            let mut shards: Vec<ShardCounterSnapshot> = routing
+                .per_shard
+                .iter()
+                .map(|(key, counters)| ShardCounterSnapshot {
+                    shard: key.name(),
+                    counters: *counters,
+                })
+                .collect();
+            shards.sort_by(|a, b| a.shard.cmp(&b.shard));
+            (shards, routing.levels)
+        };
         MetricsSnapshot {
             requests,
             errors: self.errors.load(Ordering::Relaxed),
@@ -120,6 +229,8 @@ impl ServeMetrics {
             miss_responses: self.miss_responses.load(Ordering::Relaxed),
             coalesced_responses: self.coalesced_responses.load(Ordering::Relaxed),
             cache,
+            shards,
+            routes,
             p50_us: percentile_us(&window, 0.50),
             p99_us: percentile_us(&window, 0.99),
             mean_us: mean,
@@ -151,6 +262,10 @@ pub struct MetricsSnapshot {
     pub coalesced_responses: u64,
     /// Store-level counters (unique lookups, insertions, evictions).
     pub cache: CacheStats,
+    /// Per-shard routing counters, sorted by shard name.
+    pub shards: Vec<ShardCounterSnapshot>,
+    /// Requests per routing fallback level.
+    pub routes: RouteCounts,
     /// Median latency over the recent window (microseconds).
     pub p50_us: u64,
     /// 99th-percentile latency over the recent window (microseconds).
@@ -186,6 +301,27 @@ impl MetricsSnapshot {
                 ]),
             ),
             (
+                "shards",
+                Value::object(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.shard.clone(),
+                                Value::object(vec![
+                                    ("routed", Value::from(s.counters.routed)),
+                                    ("hit", Value::from(s.counters.hits)),
+                                    ("miss", Value::from(s.counters.misses)),
+                                    ("coalesced", Value::from(s.counters.coalesced)),
+                                    ("errors", Value::from(s.counters.errors)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("routes", self.routes.to_value()),
+            (
                 "latency_us",
                 Value::object(vec![
                     ("p50", Value::from(self.p50_us)),
@@ -217,9 +353,9 @@ mod tests {
     #[test]
     fn snapshot_aggregates() {
         let m = ServeMetrics::new();
-        m.record(100, Some(CacheStatus::Miss));
-        m.record(200, Some(CacheStatus::Hit));
-        m.record(300, None);
+        m.record(100, Some(CacheStatus::Miss), None);
+        m.record(200, Some(CacheStatus::Hit), None);
+        m.record(300, None, None);
         let snap = m.snapshot(CacheStats {
             hits: 1,
             misses: 2,
@@ -240,10 +376,67 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_and_route_counters_accumulate() {
+        use qrc_predictor::RewardKind;
+
+        let m = ServeMetrics::new();
+        let wildcard = ShardKey::wildcard(RewardKind::ExpectedFidelity);
+        let narrow = ShardKey {
+            width_band: crate::shard::WidthBand::Narrow,
+            ..wildcard
+        };
+        let exact = ShardRoute {
+            shard: narrow,
+            level: RouteLevel::Exact,
+        };
+        let fallback = ShardRoute {
+            shard: wildcard,
+            level: RouteLevel::ObjectiveOnly,
+        };
+        m.record(10, Some(CacheStatus::Miss), Some(&exact));
+        m.record(5, Some(CacheStatus::Hit), Some(&exact));
+        m.record(7, Some(CacheStatus::Coalesced), Some(&exact));
+        m.record(9, None, Some(&fallback));
+        m.record(3, None, None); // parse error: never routed
+
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.shards.len(), 2);
+        let by_name = |name: &str| {
+            snap.shards
+                .iter()
+                .find(|s| s.shard == name)
+                .unwrap_or_else(|| panic!("no counters for {name}"))
+                .counters
+        };
+        let narrow_counters = by_name("fidelity/any/narrow");
+        assert_eq!(narrow_counters.routed, 3);
+        assert_eq!(narrow_counters.misses, 1);
+        assert_eq!(narrow_counters.hits, 1);
+        assert_eq!(narrow_counters.coalesced, 1);
+        assert_eq!(narrow_counters.errors, 0);
+        let wildcard_counters = by_name("fidelity/any/any");
+        assert_eq!(wildcard_counters.routed, 1);
+        assert_eq!(wildcard_counters.errors, 1);
+        assert_eq!(snap.routes.exact, 3);
+        assert_eq!(snap.routes.objective_only, 1);
+        assert_eq!(snap.routes.band_wildcard + snap.routes.device_wildcard, 0);
+        // Routed totals never exceed requests (the parse error is
+        // counted in requests but routed nowhere).
+        let routed: u64 = snap.shards.iter().map(|s| s.counters.routed).sum();
+        assert_eq!(routed, 4);
+        assert_eq!(snap.requests, 5);
+
+        let text = serde_json::to_string(&snap.to_value());
+        assert!(text.contains("\"fidelity/any/narrow\""), "{text}");
+        assert!(text.contains("\"routes\""), "{text}");
+        assert!(text.contains("\"objective_only\""), "{text}");
+    }
+
+    #[test]
     fn rejections_are_counted_apart_from_requests_and_errors() {
         let m = ServeMetrics::new();
-        m.record(50, Some(CacheStatus::Miss));
-        m.record(10, None);
+        m.record(50, Some(CacheStatus::Miss), None);
+        m.record(10, None, None);
         m.record_rejected();
         m.record_rejected();
         let snap = m.snapshot(CacheStats::default());
@@ -265,7 +458,7 @@ mod tests {
         // lifetime mean still covers everything.
         let total = LATENCY_WINDOW + 500;
         for i in 0..total {
-            m.record(i as u64, Some(CacheStatus::Miss));
+            m.record(i as u64, Some(CacheStatus::Miss), None);
         }
         let snap = m.snapshot(CacheStats::default());
         assert_eq!(snap.requests, total as u64);

@@ -11,6 +11,8 @@ use qrc_device::DeviceId;
 use qrc_predictor::RewardKind;
 use serde_json::Value;
 
+use crate::shard::ShardRoute;
+
 /// One compilation request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeRequest {
@@ -132,6 +134,9 @@ impl ServeRequest {
 pub enum ControlRequest {
     /// `{"cmd":"stats"}` — answer with a live metrics snapshot.
     Stats,
+    /// `{"cmd":"reload"}` — rescan the models directory and atomically
+    /// swap the shard map (in-flight batches finish on the old one).
+    Reload,
     /// `{"cmd":"shutdown"}` — acknowledge, stop admitting requests,
     /// drain in-flight batches, and exit.
     Shutdown,
@@ -162,9 +167,10 @@ impl InboundLine {
                 let name = cmd.as_str().ok_or("field `cmd` must be a string")?;
                 match name {
                     "stats" => Ok(InboundLine::Control(ControlRequest::Stats)),
+                    "reload" => Ok(InboundLine::Control(ControlRequest::Reload)),
                     "shutdown" => Ok(InboundLine::Control(ControlRequest::Shutdown)),
                     other => Err(format!(
-                        "unknown cmd `{other}` (expected one of: stats, shutdown)"
+                        "unknown cmd `{other}` (expected one of: stats, reload, shutdown)"
                     )),
                 }
             }
@@ -224,6 +230,11 @@ pub struct ServeResponse {
     /// Excluded from [`ServeResponse::body_value`] so deterministic
     /// comparisons ignore timing.
     pub micros: u64,
+    /// The shard the request routed to (absent for requests rejected
+    /// before routing: parse errors, oversized lines, overload).
+    /// Rendered as the `shard` echo field; routing is deterministic
+    /// per registry snapshot, so it is part of the comparable body.
+    pub route: Option<ShardRoute>,
 }
 
 impl ServeResponse {
@@ -234,6 +245,9 @@ impl ServeResponse {
         match &self.id {
             Some(id) => pairs.push(("id", Value::from(id.clone()))),
             None => pairs.push(("id", Value::Null)),
+        }
+        if let Some(route) = &self.route {
+            pairs.push(("shard", Value::from(route.shard.name())));
         }
         match &self.result {
             Ok((result, status)) => {
@@ -291,6 +305,7 @@ impl ServeResponse {
             // The same ≥1µs clock-resolution floor every other path
             // reports: a rejection is fast, not free.
             micros: 1,
+            route: None,
         }
     }
 
@@ -354,6 +369,7 @@ mod tests {
                 CacheStatus::Miss,
             )),
             micros: 1500,
+            route: None,
         };
         let parsed = serde_json::from_str(&ok.to_line()).unwrap();
         assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
@@ -365,6 +381,7 @@ mod tests {
             id: None,
             result: Err("missing required string field `qasm`".into()),
             micros: 3,
+            route: None,
         };
         let parsed = serde_json::from_str(&err.to_line()).unwrap();
         assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
@@ -420,6 +437,7 @@ mod tests {
                 CacheStatus::Coalesced,
             )),
             micros: 10,
+            route: None,
         };
         let payload = resp.payload_value();
         assert!(payload.get("cache").is_none());
@@ -445,6 +463,7 @@ mod tests {
             id: None,
             result: Err("x".into()),
             micros: 999,
+            route: None,
         };
         assert!(resp.body_value().get("micros").is_none());
     }

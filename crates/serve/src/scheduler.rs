@@ -22,14 +22,15 @@ use rayon::prelude::*;
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{CacheStatus, CompiledResult, ServeRequest, ServeResponse};
 use crate::registry::ModelRegistry;
+use crate::shard::{ShardKey, ShardRoute};
 
 /// How one request slot resolved during admission.
 enum Slot {
-    /// Rejected before reaching the scheduler (parse error, unknown
-    /// model, …).
+    /// Rejected before reaching the scheduler (parse error, no shard
+    /// for the objective, …).
     Failed(String),
-    /// Admitted under a content address.
-    Keyed(CacheKey),
+    /// Admitted under a content address, routed to a shard.
+    Keyed(CacheKey, ShardRoute),
 }
 
 /// One unique compilation job within a batch.
@@ -128,7 +129,7 @@ pub fn run_batch_with(
         let admitted = admit(registry, request, options.max_qubits);
         match admitted {
             Err(message) => slots.push(Slot::Failed(message)),
-            Ok((key, circuit, model)) => {
+            Ok((key, route, circuit, model)) => {
                 if let std::collections::hash_map::Entry::Vacant(slot) = order.entry(key) {
                     let index = resolutions.len();
                     slot.insert(index);
@@ -145,7 +146,7 @@ pub fn run_batch_with(
                         }
                     }
                 }
-                slots.push(Slot::Keyed(key));
+                slots.push(Slot::Keyed(key, route));
             }
         }
         admission_us.push(admission_start.elapsed().as_micros() as u64);
@@ -189,8 +190,9 @@ pub fn run_batch_with(
                     id: request.id.clone(),
                     result: Err(message),
                     micros: own_us,
+                    route: None,
                 },
-                Slot::Keyed(key) => {
+                Slot::Keyed(key, route) => {
                     let resolution = resolutions[order[&key]]
                         .as_ref()
                         .expect("every admitted key resolves");
@@ -218,6 +220,7 @@ pub fn run_batch_with(
                         id: request.id.clone(),
                         result: result.map(|r| (r, status)),
                         micros,
+                        route: Some(route),
                     }
                 }
             }
@@ -225,12 +228,24 @@ pub fn run_batch_with(
         .collect()
 }
 
-/// Validates one request far enough to give it a content address.
+/// Validates one request far enough to give it a content address and a
+/// route: the requested `(objective, device class, width band)` slice
+/// resolves to the most specific registered shard via the fallback
+/// chain. Routing is deterministic — a given request against a given
+/// registry snapshot always lands on the same shard.
 fn admit(
     registry: &ModelRegistry,
     request: &ServeRequest,
     max_qubits: u32,
-) -> Result<(CacheKey, qrc_circuit::QuantumCircuit, Arc<TrainedPredictor>), String> {
+) -> Result<
+    (
+        CacheKey,
+        ShardRoute,
+        qrc_circuit::QuantumCircuit,
+        Arc<TrainedPredictor>,
+    ),
+    String,
+> {
     let circuit = qasm::from_qasm(&request.qasm).map_err(|e| format!("invalid qasm: {e}"))?;
     if circuit.num_qubits() > max_qubits {
         return Err(format!(
@@ -238,37 +253,48 @@ fn admit(
             circuit.num_qubits()
         ));
     }
-    let model = registry.get(request.objective).ok_or_else(|| {
+    let requested =
+        ShardKey::for_request(request.objective, request.device_pin, circuit.num_qubits());
+    let routed = registry.route(requested).ok_or_else(|| {
         format!(
-            "no model registered for objective `{}` (available: {})",
-            request.objective.name(),
+            "no shard registered for `{}` (available: {})",
+            requested.name(),
             registry
-                .kinds()
+                .keys()
                 .iter()
-                .map(|k| k.name())
+                .map(ShardKey::name)
                 .collect::<Vec<_>>()
                 .join(", ")
         )
     })?;
     let key = CacheKey {
         circuit_hash: circuit.structural_hash(),
-        reward: request.objective,
         device_pin: request.device_pin,
+        shard: routed.key,
+        generation: routed.generation,
     };
-    Ok((key, circuit, model))
+    Ok((
+        key,
+        ShardRoute {
+            shard: routed.key,
+            level: routed.level,
+        },
+        circuit,
+        routed.model,
+    ))
 }
 
 /// Runs one unique job: content-seeded policy rollout, rendered back to
 /// QASM.
 fn execute(job: &Job, master_seed: u64) -> Result<CompiledResult, String> {
     let seed = task_seed(master_seed, job.key.mix());
-    let outcome = match job.key.device_pin {
-        Some(pin) => job
-            .model
-            .compile_pinned(&job.circuit, pin, seed)
-            .map_err(|e| format!("pinned device `{pin}` rejected: {e}", pin = pin.name()))?,
-        None => job.model.compile_with_seed(&job.circuit, seed),
-    };
+    let outcome = job
+        .model
+        .compile_request(&job.circuit, job.key.device_pin, seed)
+        .map_err(|e| {
+            let pin = job.key.device_pin.map_or("?", |p| p.name());
+            format!("pinned device `{pin}` rejected: {e}")
+        })?;
     Ok(CompiledResult {
         qasm: qasm::to_qasm(&outcome.circuit),
         device: outcome.device,

@@ -1,23 +1,32 @@
 //! [`CompilationService`]: the composition of registry, cache,
-//! scheduler, and metrics behind one `handle_*` API.
+//! scheduler, and metrics behind one `handle_*` API, with copy-on-swap
+//! registry hot-reload.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use qrc_benchgen::paper_suite;
 use qrc_predictor::PersistError;
+use serde_json::Value;
 
 use crate::cache::ResultCache;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::protocol::{ServeRequest, ServeResponse};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, ReloadReport};
 use crate::scheduler;
+use crate::shard::ShardKey;
 
 /// Startup configuration of one service instance.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Directory holding (or receiving) model checkpoints.
     pub models_dir: PathBuf,
+    /// Extra shards to ensure at startup (trained on their scoped
+    /// benchmark slice when the checkpoint is missing), on top of the
+    /// three objective-only wildcard shards that are always ensured.
+    pub shards: Vec<ShardKey>,
     /// Training budget per objective when a checkpoint is missing.
     pub timesteps: usize,
     /// Master seed: drives missing-model training and, mixed with each
@@ -47,6 +56,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             models_dir: PathBuf::from("models"),
+            shards: Vec::new(),
             timesteps: 8_000,
             seed: 3,
             step_penalty: 0.005,
@@ -74,8 +84,23 @@ pub struct QueuedLine {
 
 /// A running compilation service: models loaded, cache warm-able,
 /// ready to answer batches.
+///
+/// The registry is held behind a copy-on-swap snapshot: every batch
+/// routes against one [`Arc<ModelRegistry>`] clone taken at batch
+/// start, and a hot-reload atomically replaces the shared snapshot —
+/// in-flight batches finish on the shard map they started with while
+/// new batches route against fresh checkpoints. No request is ever
+/// dropped by a reload.
 pub struct CompilationService {
-    registry: ModelRegistry,
+    registry: RwLock<Arc<ModelRegistry>>,
+    /// Serializes reloads end to end (rescan → swap → cache purge):
+    /// two concurrent rescans interleaving with a quarantine could
+    /// otherwise swap in a map that silently drops a healthy shard.
+    reload_lock: Mutex<()>,
+    /// Where hot-reloads rescan checkpoints from (`None` for purely
+    /// in-memory registries built by tests and the bench harness).
+    models_dir: Option<PathBuf>,
+    reloads: AtomicU64,
     cache: ResultCache,
     metrics: ServeMetrics,
     seed: u64,
@@ -85,8 +110,8 @@ pub struct CompilationService {
 
 impl CompilationService {
     /// Starts a service from `config`: loads every checkpoint in
-    /// `models_dir`, training and persisting missing objectives first
-    /// (a warm start with all three checkpoints present trains
+    /// `models_dir`, training and persisting missing shards first (a
+    /// warm start with every required checkpoint present trains
     /// nothing).
     ///
     /// # Errors
@@ -96,26 +121,33 @@ impl CompilationService {
     pub fn start(config: &ServiceConfig) -> Result<CompilationService, PersistError> {
         let suite = paper_suite(2, config.train_max_qubits);
         let verbose = config.verbose;
-        let registry = ModelRegistry::ensure(
+        let registry = ModelRegistry::ensure_with_shards(
             &config.models_dir,
             &suite,
+            &config.shards,
             config.timesteps,
             config.seed,
             config.step_penalty,
             |name| {
                 if verbose {
-                    eprintln!("training missing model for objective `{name}`…");
+                    eprintln!("training missing model for shard `{name}`…");
                 }
             },
         )?;
-        Ok(Self::with_registry(registry, config))
+        let mut service = Self::with_registry(registry, config);
+        service.models_dir = Some(config.models_dir.clone());
+        Ok(service)
     }
 
     /// Builds a service around an existing registry (no disk access;
-    /// used by the bench harness and tests).
+    /// used by the bench harness and tests). Hot-reload is unavailable
+    /// — there is no models directory to rescan.
     pub fn with_registry(registry: ModelRegistry, config: &ServiceConfig) -> CompilationService {
         CompilationService {
-            registry,
+            registry: RwLock::new(Arc::new(registry)),
+            reload_lock: Mutex::new(()),
+            models_dir: None,
+            reloads: AtomicU64::new(0),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             metrics: ServeMetrics::new(),
             seed: config.seed,
@@ -125,6 +157,95 @@ impl CompilationService {
             },
             max_request_bytes: config.max_request_bytes,
         }
+    }
+
+    /// The current registry snapshot. Batches hold the snapshot they
+    /// started with; a concurrent reload only affects later batches.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry.read().expect("registry lock poisoned"))
+    }
+
+    /// Rescans the models directory and atomically swaps in the fresh
+    /// shard map. Corrupt checkpoints are quarantined to `.corrupt`
+    /// with the previously loaded shard kept serving; in-flight batches
+    /// finish on the old snapshot; nothing is trained. Cached results
+    /// whose serving shard's policy changed are invalidated, so
+    /// re-routed traffic recomputes under the new checkpoint instead
+    /// of replaying the old policy's answers.
+    ///
+    /// Concurrent reloads are serialized end to end: a second
+    /// `{"cmd":"reload"}` waits for the first to finish rather than
+    /// rescanning a directory mid-quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when the service has no models
+    /// directory (in-memory registry) or on real I/O failures — the
+    /// old registry keeps serving in both cases.
+    pub fn reload(&self) -> Result<ReloadReport, PersistError> {
+        let dir = self.models_dir.as_ref().ok_or_else(|| {
+            PersistError::Format(
+                "this service was started from an in-memory registry; there is no \
+                 models directory to reload from"
+                    .into(),
+            )
+        })?;
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let previous = self.registry();
+        let (fresh, mut report) = ModelRegistry::rescan(dir, &previous)?;
+        let changed: std::collections::HashSet<_> =
+            ModelRegistry::changed_shards(&previous, &fresh)
+                .into_iter()
+                .collect();
+        *self.registry.write().expect("registry lock poisoned") = Arc::new(fresh);
+        // Purge changed shards' entries. This is memory hygiene, not a
+        // correctness gate: cache keys carry the policy generation, so
+        // even a batch still running on the old snapshot can only
+        // read/write its own generation's entries — the purge just
+        // frees what the new routing can no longer reach. Unchanged
+        // shards keep their warm entries (their generation survives
+        // the rescan).
+        report.invalidated = self.cache.retain(|key| !changed.contains(&key.shard));
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Performs a hot-reload and renders the `{"cmd":"reload"}` reply:
+    /// `{"ok":true,"reloaded":true,…}` with the reload report and the
+    /// resulting shard set, or `{"ok":false,"error":…}` (the old
+    /// registry keeps serving on failure).
+    pub fn reload_value(&self) -> Value {
+        match self.reload() {
+            Ok(report) => {
+                let mut pairs: Vec<(String, Value)> = vec![
+                    ("ok".into(), Value::from(true)),
+                    ("reloaded".into(), Value::from(true)),
+                    (
+                        "shards".into(),
+                        Value::Array(
+                            self.registry()
+                                .keys()
+                                .into_iter()
+                                .map(|k| Value::from(k.name()))
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Value::Object(report_pairs) = report.to_value() {
+                    pairs.extend(report_pairs);
+                }
+                Value::object(pairs)
+            }
+            Err(e) => Value::object(vec![
+                ("ok", Value::from(false)),
+                ("error", Value::from(format!("reload failed: {e}"))),
+            ]),
+        }
+    }
+
+    /// Number of hot-reloads performed since start.
+    pub fn reload_count(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
     }
 
     /// Processes one batch of already-parsed requests, recording each
@@ -144,14 +265,16 @@ impl CompilationService {
     }
 
     /// Scheduler entry with per-request queue waits folded into the
-    /// reported latency.
+    /// reported latency. The whole batch routes against one registry
+    /// snapshot.
     fn run_batch_queued(
         &self,
         requests: &[ServeRequest],
         queue_waits_us: Option<&[u64]>,
     ) -> Vec<ServeResponse> {
+        let registry = self.registry();
         scheduler::run_batch_with(
-            &self.registry,
+            &registry,
             &self.cache,
             self.seed,
             &self.batch_options,
@@ -168,6 +291,7 @@ impl CompilationService {
         self.metrics.record(
             response.micros,
             response.result.as_ref().ok().map(|(_, status)| *status),
+            response.route.as_ref(),
         );
     }
 
@@ -191,6 +315,7 @@ impl CompilationService {
                     id: None,
                     result: Err(message),
                     micros: (start.elapsed().as_micros() as u64).max(1),
+                    route: None,
                 };
                 self.record(&response);
                 response.to_line()
@@ -266,6 +391,7 @@ impl CompilationService {
                         id: ServeRequest::recover_id(line),
                         result: Err(message),
                         micros: queue_us + parse_us,
+                        route: None,
                     },
                 };
                 // Clock-resolution floor: sub-microsecond work (a
@@ -288,15 +414,28 @@ impl CompilationService {
         self.metrics.record_rejected();
     }
 
-    /// Aggregate metrics (requests, errors, cache counters, latency
-    /// percentiles).
+    /// Aggregate metrics (requests, errors, cache counters, per-shard
+    /// routing counters, latency percentiles).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot(self.cache.stats())
     }
 
-    /// The registry backing this service.
-    pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+    /// The full `{"cmd":"stats"}` reply: the metrics snapshot plus the
+    /// registry block (loaded shard keys, checkpoint paths and mtimes,
+    /// reload count), so operators can confirm a hot-reload took
+    /// effect.
+    pub fn stats_value(&self) -> Value {
+        let mut value = self.metrics().to_value();
+        if let Value::Object(pairs) = &mut value {
+            pairs.push((
+                "registry".into(),
+                Value::object(vec![
+                    ("shards", self.registry().to_value()),
+                    ("reloads", Value::from(self.reload_count())),
+                ]),
+            ));
+        }
+        value
     }
 
     /// Entries currently resident in the result cache.

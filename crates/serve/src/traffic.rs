@@ -30,6 +30,11 @@ pub struct TrafficConfig {
     pub skew: f64,
     /// Fraction of requests that pin a target device.
     pub pin_fraction: f64,
+    /// Width skew: fraction of requests forced into the narrowest
+    /// width band the suite contains (real fleets see small hot
+    /// circuits dominate). 0 disables the skew — and preserves the
+    /// exact RNG stream of pre-skew mixes.
+    pub narrow_fraction: f64,
 }
 
 impl Default for TrafficConfig {
@@ -41,6 +46,7 @@ impl Default for TrafficConfig {
             seed: 3,
             skew: 3.0,
             pin_fraction: 0.15,
+            narrow_fraction: 0.0,
         }
     }
 }
@@ -50,13 +56,33 @@ pub fn synthetic_mix(config: &TrafficConfig) -> Vec<ServeRequest> {
     let suite = paper_suite(config.min_qubits, config.max_qubits);
     assert!(!suite.is_empty(), "traffic mix needs a non-empty suite");
     let texts: Vec<String> = suite.iter().map(qasm::to_qasm).collect();
+    // The indices of the narrowest width band present, for the
+    // `narrow_fraction` skew.
+    let narrowest = suite
+        .iter()
+        .map(|qc| crate::shard::WidthBand::of_width(qc.num_qubits()))
+        .min()
+        .expect("non-empty suite");
+    let narrow_indices: Vec<usize> = suite
+        .iter()
+        .enumerate()
+        .filter(|(_, qc)| crate::shard::WidthBand::of_width(qc.num_qubits()) == narrowest)
+        .map(|(i, _)| i)
+        .collect();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7261_6666_6963_0001);
     (0..config.requests)
         .map(|i| {
             // Power-law popularity: u^skew concentrates mass near 0.
             let u: f64 = rng.gen_range(0.0..1.0);
-            let index =
+            let mut index =
                 ((u.powf(config.skew.max(1.0)) * suite.len() as f64) as usize).min(suite.len() - 1);
+            if config.narrow_fraction > 0.0 && rng.gen_range(0.0..1.0) < config.narrow_fraction {
+                // Redirect into the narrow band, keeping the power-law
+                // popularity within it.
+                let slot = ((u.powf(config.skew.max(1.0)) * narrow_indices.len() as f64) as usize)
+                    .min(narrow_indices.len() - 1);
+                index = narrow_indices[slot];
+            }
             let objective = RewardKind::ALL[rng.gen_range(0..RewardKind::ALL.len())];
             let device_pin = if rng.gen_range(0.0..1.0) < config.pin_fraction {
                 pick_pin(&mut rng, suite[index].num_qubits())
@@ -121,6 +147,45 @@ mod tests {
         // All three objectives appear.
         let objectives: HashSet<&str> = a.iter().map(|r| r.objective.name()).collect();
         assert_eq!(objectives.len(), 3);
+    }
+
+    #[test]
+    fn narrow_fraction_skews_widths() {
+        let base = TrafficConfig {
+            requests: 300,
+            min_qubits: 2,
+            max_qubits: 8,
+            ..TrafficConfig::default()
+        };
+        let width_of = |r: &ServeRequest| qasm::from_qasm(&r.qasm).unwrap().num_qubits();
+        let narrow_share = |mix: &[ServeRequest]| {
+            mix.iter().filter(|r| width_of(r) <= 4).count() as f64 / mix.len() as f64
+        };
+        let unskewed = narrow_share(&synthetic_mix(&base));
+        let skewed = narrow_share(&synthetic_mix(&TrafficConfig {
+            narrow_fraction: 0.9,
+            ..base.clone()
+        }));
+        assert!(
+            skewed > unskewed && skewed > 0.8,
+            "narrow_fraction must concentrate traffic on narrow widths \
+             (unskewed {unskewed:.2}, skewed {skewed:.2})"
+        );
+        // Skewed mixes are deterministic too.
+        let again = synthetic_mix(&TrafficConfig {
+            narrow_fraction: 0.9,
+            ..base
+        });
+        assert_eq!(
+            again,
+            synthetic_mix(&TrafficConfig {
+                narrow_fraction: 0.9,
+                requests: 300,
+                min_qubits: 2,
+                max_qubits: 8,
+                ..TrafficConfig::default()
+            })
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use qrc_benchgen::BenchmarkFamily;
 use qrc_predictor::{train, PredictorConfig, RewardKind};
 use qrc_rl::PpoConfig;
-use qrc_serve::{CompilationService, ModelRegistry, ServeRequest, ServiceConfig};
+use qrc_serve::{CompilationService, ModelRegistry, ServeRequest, ServiceConfig, ShardKey};
 
 fn tiny_models() -> Vec<qrc_predictor::TrainedPredictor> {
     let suite = vec![
@@ -59,12 +59,19 @@ fn registry_round_trips_through_disk() {
     let models = tiny_models();
     for model in &models {
         model
-            .save(&ModelRegistry::model_path(&dir, model.reward()))
+            .save(&ModelRegistry::model_path(
+                &dir,
+                ShardKey::wildcard(model.reward()),
+            ))
             .unwrap();
     }
     let loaded = ModelRegistry::load(&dir).unwrap();
     assert_eq!(loaded.len(), 3);
     assert_eq!(loaded.kinds(), RewardKind::ALL.to_vec());
+    assert_eq!(
+        loaded.keys(),
+        RewardKind::ALL.map(ShardKey::wildcard).to_vec()
+    );
 
     // Loaded policies answer identically to the originals.
     let qc = BenchmarkFamily::Ghz.generate(3);
@@ -110,7 +117,7 @@ fn registry_ensure_recovers_from_torn_checkpoints() {
 
     // Simulate a crash mid-write: one checkpoint torn (truncated JSON),
     // plus a stale temp file from an interrupted atomic save.
-    let victim = ModelRegistry::model_path(&dir, RewardKind::ExpectedFidelity);
+    let victim = ModelRegistry::model_path(&dir, ShardKey::wildcard(RewardKind::ExpectedFidelity));
     let full = std::fs::read_to_string(&victim).unwrap();
     std::fs::write(&victim, &full[..full.len() / 2]).unwrap();
     std::fs::write(victim.with_extension("json.tmp"), "partial").unwrap();
@@ -128,7 +135,7 @@ fn registry_ensure_recovers_from_torn_checkpoints() {
     })
     .unwrap();
     assert_eq!(healed.len(), 3);
-    assert_eq!(retrained, vec!["fidelity".to_string()]);
+    assert_eq!(retrained, vec!["fidelity/any/any".to_string()]);
     let quarantined = ModelRegistry::quarantine_path(&victim);
     assert!(quarantined.exists(), "torn bytes kept for post-mortems");
     assert!(
@@ -140,6 +147,129 @@ fn registry_ensure_recovers_from_torn_checkpoints() {
     let warm = ModelRegistry::load(&dir).unwrap();
     assert_eq!(warm.len(), 3);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_checkpoint_names_migrate_to_wildcard_shards() {
+    let dir = scratch_dir("legacy");
+    let models = tiny_models();
+    // Persist under the pre-sharding names: predictor_<objective>.json.
+    for model in &models {
+        model
+            .save(&dir.join(format!("predictor_{}.json", model.reward().name())))
+            .unwrap();
+    }
+    let loaded = ModelRegistry::load(&dir).unwrap();
+    assert_eq!(loaded.len(), 3);
+    assert_eq!(
+        loaded.keys(),
+        RewardKind::ALL.map(ShardKey::wildcard).to_vec(),
+        "legacy names migrate to objective-only wildcard shards"
+    );
+
+    // An ensure over the same directory is a warm start: nothing
+    // retrains, the legacy files keep serving.
+    let mut retrained = Vec::new();
+    let warm = ModelRegistry::ensure(
+        &dir,
+        &[BenchmarkFamily::Ghz.generate(3)],
+        600,
+        7,
+        0.005,
+        |name| retrained.push(name.to_string()),
+    )
+    .unwrap();
+    assert_eq!(warm.len(), 3);
+    assert!(retrained.is_empty(), "legacy checkpoints are a warm start");
+
+    // When both spellings exist for one shard, the explicit one wins.
+    let explicit =
+        ModelRegistry::model_path(&dir, ShardKey::wildcard(RewardKind::ExpectedFidelity));
+    models[0].save(&explicit).unwrap();
+    std::fs::write(
+        dir.join("predictor_fidelity.json"),
+        "{definitely not a checkpoint",
+    )
+    .unwrap();
+    let shadowed = ModelRegistry::load(&dir).unwrap();
+    assert_eq!(
+        shadowed.len(),
+        3,
+        "the corrupt legacy file is shadowed by the explicit checkpoint"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn routing_falls_back_most_specific_first() {
+    use qrc_serve::{DeviceClass, RouteLevel, WidthBand};
+
+    let models = tiny_models();
+    let fidelity = models
+        .iter()
+        .find(|m| m.reward() == RewardKind::ExpectedFidelity)
+        .unwrap()
+        .clone();
+    let narrow_key = ShardKey {
+        objective: RewardKind::ExpectedFidelity,
+        device_class: DeviceClass::Any,
+        width_band: WidthBand::Narrow,
+    };
+    let ionq_key = ShardKey {
+        objective: RewardKind::ExpectedFidelity,
+        device_class: DeviceClass::Class(qrc_device::Platform::Ionq),
+        width_band: WidthBand::Any,
+    };
+    let registry = ModelRegistry::from_shards(vec![
+        (
+            ShardKey::wildcard(RewardKind::ExpectedFidelity),
+            fidelity.clone(),
+        ),
+        (narrow_key, fidelity.clone()),
+        (ionq_key, fidelity),
+    ]);
+
+    // Unpinned narrow request: the narrow specialist, exactly.
+    let requested = ShardKey::for_request(RewardKind::ExpectedFidelity, None, 3);
+    let routed = registry.route(requested).unwrap();
+    let (shard, level) = (routed.key, routed.level);
+    assert_eq!(shard, narrow_key);
+    assert_eq!(level, RouteLevel::Exact);
+
+    // IonQ-pinned narrow request: no (ionq, narrow) shard, so the
+    // band-wildcard ionq specialist answers.
+    let requested = ShardKey::for_request(
+        RewardKind::ExpectedFidelity,
+        Some(qrc_device::DeviceId::IonqHarmony),
+        3,
+    );
+    let routed = registry.route(requested).unwrap();
+    let (shard, level) = (routed.key, routed.level);
+    assert_eq!(shard, ionq_key);
+    assert_eq!(level, RouteLevel::BandWildcard);
+
+    // IBM-pinned narrow request: no ibm shard at all → the
+    // device-wildcard narrow specialist.
+    let requested = ShardKey::for_request(
+        RewardKind::ExpectedFidelity,
+        Some(qrc_device::DeviceId::IbmqMontreal),
+        3,
+    );
+    let routed = registry.route(requested).unwrap();
+    let (shard, level) = (routed.key, routed.level);
+    assert_eq!(shard, narrow_key);
+    assert_eq!(level, RouteLevel::DeviceWildcard);
+
+    // Medium width, unpinned: only the objective-only wildcard covers.
+    let requested = ShardKey::for_request(RewardKind::ExpectedFidelity, None, 6);
+    let routed = registry.route(requested).unwrap();
+    let (shard, level) = (routed.key, routed.level);
+    assert_eq!(shard, ShardKey::wildcard(RewardKind::ExpectedFidelity));
+    assert_eq!(level, RouteLevel::ObjectiveOnly);
+
+    // An objective with no shard resolves nowhere.
+    let requested = ShardKey::for_request(RewardKind::CriticalDepth, None, 3);
+    assert!(registry.route(requested).is_none());
 }
 
 #[test]
