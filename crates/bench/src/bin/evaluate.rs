@@ -15,11 +15,13 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service four ways:
+//!                           qrc-serve compilation service five ways:
 //!                           serial, blocking batched, the pipelined
-//!                           socket front end, and a sharded registry
+//!                           socket front end, a sharded registry
 //!                           vs the monolithic baseline over a
-//!                           multi-device width-skewed mix
+//!                           multi-device width-skewed mix, and a
+//!                           restart-warmup arm (cold restart vs
+//!                           snapshot-warmed restart)
 //!                           (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
@@ -283,6 +285,20 @@ fn run_serve(
         report.route_counts.objective_only
     );
     println!(
+        "restart warmup ({} requests, snapshot {} entries): cold {:.3}s (hit rate {:.1}%) | \
+         warmed {:.3}s (hit rate {:.1}%, {} warm hits) | warmed vs cold {:.2}x | \
+         payloads identical across never/cold/warmed: {}",
+        report.restart_requests,
+        report.snapshot_entries,
+        report.cold_restart_secs,
+        report.cold_hit_rate * 100.0,
+        report.warmed_restart_secs,
+        report.warmed_hit_rate * 100.0,
+        report.warm_hits,
+        report.warmed_vs_cold(),
+        report.restart_identical
+    );
+    println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
          {} errors | batched == serial: {}",
         report.hits,
@@ -311,6 +327,21 @@ fn run_serve(
     }
     if report.hit_rate <= 0.0 {
         eprintln!("FAIL: traffic replay produced no cache hits");
+        std::process::exit(1);
+    }
+    if !report.restart_identical {
+        eprintln!("FAIL: restarted serving diverged from the never-restarted reference");
+        std::process::exit(1);
+    }
+    if report.warmed_hit_rate <= report.cold_hit_rate {
+        eprintln!(
+            "FAIL: warmed restart hit rate ({:.3}) must beat cold restart ({:.3})",
+            report.warmed_hit_rate, report.cold_hit_rate
+        );
+        std::process::exit(1);
+    }
+    if report.warm_hits == 0 {
+        eprintln!("FAIL: warmed restart never hit a pre-warmed entry");
         std::process::exit(1);
     }
 }

@@ -33,7 +33,13 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// `sharded_equals_serial`, `vs_monolithic`) and `pipelined_port` (the
 /// loopback port the socket arm actually bound — busy requested ports
 /// retry on an ephemeral port instead of silently skipping the arm).
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+///
+/// v5: the serve report grew the restart-warmup arm (`restart` block:
+/// cold-restart vs snapshot-warmed-restart hit rates and timings over
+/// the same skewed mix, `warm_hits` on pre-warmed entries,
+/// `snapshot_entries`, and `payloads_identical` across the
+/// never-restarted/cold/warmed replays).
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -216,7 +222,38 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
             Value::from(u64::from(report.pipelined_port)),
         ),
         ("sharded", sharded_value(report)),
+        ("restart", restart_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The restart-warmup block of `BENCH_serve.json`: cold restart vs
+/// snapshot-warmed restart over the same skewed mix.
+fn restart_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.restart_requests)),
+        ("snapshot_entries", Value::from(report.snapshot_entries)),
+        (
+            "cold",
+            Value::object(vec![
+                ("replay_secs", Value::from(report.cold_restart_secs)),
+                ("hits", Value::from(report.cold_hits)),
+                ("misses", Value::from(report.cold_misses)),
+                ("hit_rate", Value::from(report.cold_hit_rate)),
+            ]),
+        ),
+        (
+            "warmed",
+            Value::object(vec![
+                ("replay_secs", Value::from(report.warmed_restart_secs)),
+                ("hits", Value::from(report.warmed_hits)),
+                ("misses", Value::from(report.warmed_misses)),
+                ("hit_rate", Value::from(report.warmed_hit_rate)),
+                ("warm_hits", Value::from(report.warm_hits)),
+            ]),
+        ),
+        ("warmed_vs_cold", Value::from(report.warmed_vs_cold())),
+        ("payloads_identical", Value::from(report.restart_identical)),
     ])
 }
 
@@ -363,6 +400,18 @@ mod tests {
                 device_wildcard: 0,
                 objective_only: 200,
             },
+            restart_requests: 400,
+            snapshot_entries: 130,
+            cold_restart_secs: 0.5,
+            warmed_restart_secs: 0.1,
+            cold_hit_rate: 0.3,
+            cold_hits: 120,
+            cold_misses: 280,
+            warmed_hit_rate: 1.0,
+            warmed_hits: 400,
+            warmed_misses: 0,
+            warm_hits: 390,
+            restart_identical: true,
         };
         let settings = EvalSettings {
             verbose: false,
@@ -387,6 +436,11 @@ mod tests {
             "fidelity/any/narrow",
             "band_wildcard",
             "objective_only",
+            "restart",
+            "snapshot_entries",
+            "warm_hits",
+            "warmed_vs_cold",
+            "payloads_identical",
             "p99",
         ] {
             assert!(
@@ -422,5 +476,6 @@ mod tests {
         assert!((report.pipelined_speedup() - 2.0).abs() < 1e-9);
         assert!((report.requests_per_sec_sharded() - 1000.0).abs() < 1e-9);
         assert!((report.sharded_vs_monolithic() - 1.25).abs() < 1e-9);
+        assert!((report.warmed_vs_cold() - 5.0).abs() < 1e-9);
     }
 }

@@ -8,6 +8,12 @@
 //! replay produces the same compilation payloads as its serial
 //! counterpart, and measure throughput, cache behavior, per-shard
 //! routing, and latency percentiles for `BENCH_serve.json`.
+//!
+//! A fifth arm measures restart warmup: a never-restarted reference
+//! service persists its cache at drain, then a cold restart and a
+//! snapshot-warmed restart replay the same skewed mix — payloads must
+//! be byte-identical across all three, and the warmed restart's hit
+//! rate must beat the cold one's.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -121,6 +127,34 @@ pub struct ServeBenchReport {
     pub shard_stats: Vec<ShardStat>,
     /// Requests per routing fallback level in the sharded replay.
     pub route_counts: RouteCounts,
+    /// Requests replayed per restart-warmup pass (the skewed mix).
+    pub restart_requests: usize,
+    /// Entries the never-restarted service persisted at drain.
+    pub snapshot_entries: u64,
+    /// Wall-clock of the cold-restart replay (fresh cache, seconds).
+    pub cold_restart_secs: f64,
+    /// Wall-clock of the warmed-restart replay (snapshot imported
+    /// before the first request, seconds).
+    pub warmed_restart_secs: f64,
+    /// Cache hit rate of the cold restart (in-mix repeats only).
+    pub cold_hit_rate: f64,
+    /// Cache hits/misses of the cold restart.
+    pub cold_hits: u64,
+    /// Cache misses of the cold restart.
+    pub cold_misses: u64,
+    /// Cache hit rate of the warmed restart.
+    pub warmed_hit_rate: f64,
+    /// Cache hits/misses of the warmed restart.
+    pub warmed_hits: u64,
+    /// Cache misses of the warmed restart.
+    pub warmed_misses: u64,
+    /// Of the warmed restart's hits, those served from pre-warmed
+    /// (snapshot-imported) entries.
+    pub warm_hits: u64,
+    /// `true` iff the never-restarted, cold-restarted, and
+    /// warmed-restarted replays produced byte-identical compilation
+    /// payloads for every request.
+    pub restart_identical: bool,
 }
 
 impl ServeBenchReport {
@@ -159,6 +193,12 @@ impl ServeBenchReport {
     /// same mix: > 1 means the sharded fleet answered faster.
     pub fn sharded_vs_monolithic(&self) -> f64 {
         self.monolithic_secs / self.sharded_secs.max(1e-12)
+    }
+
+    /// Cold-restart wall-clock divided by warmed-restart wall-clock:
+    /// what pre-warming the cache from a snapshot bought.
+    pub fn warmed_vs_cold(&self) -> f64 {
+        self.cold_restart_secs / self.warmed_restart_secs.max(1e-12)
     }
 }
 
@@ -312,6 +352,68 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         })
         .collect();
 
+    // --- The restart-warmup arm ------------------------------------------
+    // Three disk-backed services over the same skewed mix: a
+    // never-restarted reference (whose drain persists the cache), a
+    // cold restart (same checkpoints, empty cache), and a warmed
+    // restart (snapshot imported before the first request). The warmed
+    // server must answer byte-identically at a strictly higher hit
+    // rate — the whole point of cache persistence.
+    let restart_dir =
+        std::env::temp_dir().join(format!("qrc_serve_bench_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&restart_dir).ok();
+    std::fs::create_dir_all(&restart_dir).expect("create restart-arm models dir");
+    for model in &models {
+        model
+            .save(&ModelRegistry::model_path(
+                &restart_dir,
+                ShardKey::wildcard(model.reward()),
+            ))
+            .expect("save restart-arm checkpoint");
+    }
+    let disk_config = ServiceConfig {
+        models_dir: restart_dir.clone(),
+        seed: settings.seed,
+        verbose: false,
+        ..ServiceConfig::default()
+    };
+    let replay_disk = |service: &CompilationService| -> (Vec<Value>, f64) {
+        let start = Instant::now();
+        let mut payloads = Vec::with_capacity(traffic.len());
+        for chunk in traffic.chunks(serve.batch_size.max(1)) {
+            payloads.extend(
+                service
+                    .handle_batch(chunk)
+                    .iter()
+                    .map(ServeResponse::payload_value),
+            );
+        }
+        (payloads, start.elapsed().as_secs_f64())
+    };
+
+    let never_restarted =
+        CompilationService::start(&disk_config).expect("start never-restarted service");
+    let (reference_payloads, _) = replay_disk(&never_restarted);
+    let snapshot = never_restarted
+        .write_snapshot()
+        .expect("snapshot the primed cache");
+    drop(never_restarted);
+
+    let cold = CompilationService::start(&disk_config).expect("start cold-restart service");
+    let (cold_payloads, cold_restart_secs) = replay_disk(&cold);
+    let cold_cache = cold.metrics().cache;
+
+    let warmed = CompilationService::start(&disk_config).expect("start warmed-restart service");
+    warmed.load_snapshot().expect("import the cache snapshot");
+    warmed.finish_warmup();
+    let (warmed_payloads, warmed_restart_secs) = replay_disk(&warmed);
+    let warmed_cache = warmed.metrics().cache;
+    std::fs::remove_dir_all(&restart_dir).ok();
+
+    let restart_identical = reference_payloads == cold_payloads
+        && reference_payloads == warmed_payloads
+        && reference_payloads.len() == traffic.len();
+
     let metrics = batched_service.metrics();
     ServeBenchReport {
         requests: traffic.len(),
@@ -338,6 +440,18 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         sharded_identical,
         shard_stats,
         route_counts: sharded_metrics.routes,
+        restart_requests: traffic.len(),
+        snapshot_entries: snapshot.entries,
+        cold_restart_secs,
+        warmed_restart_secs,
+        cold_hit_rate: cold_cache.hit_rate(),
+        cold_hits: cold_cache.hits,
+        cold_misses: cold_cache.misses,
+        warmed_hit_rate: warmed_cache.hit_rate(),
+        warmed_hits: warmed_cache.hits,
+        warmed_misses: warmed_cache.misses,
+        warm_hits: warmed_cache.warm_hits,
+        restart_identical,
     }
 }
 

@@ -47,7 +47,8 @@ pub use env::{
 };
 pub use flow::{CompilationFlow, FlowError, FlowState};
 pub use predictor::{
-    train, train_with_progress, CompilationOutcome, PersistError, PredictorConfig, TrainedPredictor,
+    atomic_write, train, train_with_progress, CompilationOutcome, PersistError, PredictorConfig,
+    TrainedPredictor,
 };
 pub use reward::RewardKind;
 

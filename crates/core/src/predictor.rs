@@ -119,6 +119,41 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// Writes `bytes` to `path` atomically and durably — the one
+/// crash-safety ritual every persisted artifact (model checkpoints,
+/// cache snapshots) shares: the payload goes to a sibling `<name>.tmp`
+/// file, is fsynced to stable storage *before* the rename (otherwise a
+/// power loss could promote a name pointing at unwritten data), is
+/// renamed into place, and the parent directory is synced best-effort
+/// (the rename lives in the directory entry; directories cannot be
+/// opened everywhere). A crash at any point leaves either the old
+/// file or the new one, never a truncated or torn hybrid.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; a leftover `.tmp` is harmless
+/// (loaders ignore it and the registry's startup sweep removes it).
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(Default::default, |n| n.to_os_string());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
 /// Checkpoint format marker written by [`TrainedPredictor::to_json`].
 const CHECKPOINT_FORMAT: &str = "qrc-trained-predictor";
 /// Checkpoint format version; bump on any layout change.
@@ -214,24 +249,7 @@ impl TrainedPredictor {
     ///
     /// Returns [`PersistError::Io`] on filesystem failures.
     pub fn save(&self, path: &std::path::Path) -> Result<(), PersistError> {
-        use std::io::Write;
-        let tmp = path.with_extension("json.tmp");
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all((self.to_json() + "\n").as_bytes())?;
-        // Flush to stable storage *before* the rename: otherwise a
-        // power loss could promote a name pointing at unwritten data.
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
-        // The rename itself lives in the directory entry; sync it too
-        // (best-effort — directories cannot be opened everywhere) so
-        // "saved" survives power loss, not just process crash.
-        #[cfg(unix)]
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            if let Ok(dir) = std::fs::File::open(parent) {
-                dir.sync_all().ok();
-            }
-        }
+        atomic_write(path, (self.to_json() + "\n").as_bytes())?;
         Ok(())
     }
 

@@ -30,6 +30,16 @@
 //!   --blocking          legacy stdin loop: read a batch, compute it,
 //!                       repeat (no I/O/compute overlap; stdin only)
 //!   --serial            compute cache misses serially (results identical)
+//!   --warm-cache        persist & pre-warm the result cache: import
+//!                       cache_snapshot.ndjson from the models dir
+//!                       before taking traffic (stale entries dropped,
+//!                       torn snapshots quarantined) and snapshot again
+//!                       on graceful drain; live snapshots via
+//!                       {"cmd":"snapshot"}
+//!   --replay-log PATH   pre-compile the head of a traffic log's
+//!                       request distribution before taking traffic
+//!   --log-traffic PATH  append every served compilation request to
+//!                       PATH (one request line each; replayable)
 //!   --log-requests      one structured JSON log line per request (stderr)
 //!   --stats             print aggregate metrics JSON to stderr at exit
 //!                       (live snapshots: send {"cmd":"stats"})
@@ -59,7 +69,9 @@ const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--shard SP
                      [--timesteps N] [--seed N] \
                      [--train-max-qubits N] [--cache-capacity N] [--cache-shards N] \
                      [--batch N] [--batch-wait-us N] [--queue N] [--max-line-bytes N] \
-                     [--max-width N] [--blocking] [--serial] [--log-requests] [--stats] [--quiet]";
+                     [--max-width N] [--blocking] [--serial] [--warm-cache] \
+                     [--replay-log PATH] [--log-traffic PATH] \
+                     [--log-requests] [--stats] [--quiet]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +82,9 @@ fn main() {
     let mut batch_wait_us: u64 = 2_000;
     let mut blocking = false;
     let mut print_stats = false;
+    let mut warm_cache = false;
+    let mut replay_log: Option<std::path::PathBuf> = None;
+    let mut log_traffic: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -120,6 +135,15 @@ fn main() {
             "--max-width" => parse_into(&args, &mut i, "max-width", &mut config.max_circuit_qubits),
             "--blocking" => blocking = true,
             "--serial" => config.parallel = false,
+            "--warm-cache" => warm_cache = true,
+            "--replay-log" => match flag_value::<String>(&args, &mut i, "replay-log") {
+                Ok(path) => replay_log = Some(path.into()),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--log-traffic" => match flag_value::<String>(&args, &mut i, "log-traffic") {
+                Ok(path) => log_traffic = Some(path.into()),
+                Err(e) => usage_error(&e, USAGE),
+            },
             "--log-requests" => frontend.log_requests = true,
             "--stats" => print_stats = true,
             "--quiet" => config.verbose = false,
@@ -169,6 +193,75 @@ fn main() {
         );
     }
 
+    // Warmup happens strictly before the front end opens: snapshot
+    // import first (cheap, validated against checkpoint identity),
+    // then the traffic-log head (pre-compiles whatever the snapshot
+    // did not cover), then the warmup is sealed so hits on pre-warmed
+    // entries count as warm hits and serving stats start clean.
+    if warm_cache {
+        match service.load_snapshot() {
+            Ok(report) => {
+                if config.verbose {
+                    eprintln!(
+                        "cache snapshot: {} entries imported, {} stale dropped{}{}",
+                        report.loaded,
+                        report.stale_dropped,
+                        if report.quarantined {
+                            " (torn snapshot quarantined to .corrupt)"
+                        } else {
+                            ""
+                        },
+                        if report.missing {
+                            " (no snapshot yet)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not load cache snapshot: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &replay_log {
+        match service.replay_log(path) {
+            Ok(report) => {
+                if config.verbose {
+                    eprintln!(
+                        "traffic-log warmup: {} logged requests, {} unique jobs, \
+                         {} compiled, {} failed{}",
+                        report.log_requests,
+                        report.unique_jobs,
+                        report.compiled,
+                        report.failed,
+                        if report.missing { " (no log yet)" } else { "" },
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: could not replay traffic log {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if warm_cache || replay_log.is_some() {
+        let warm = service.finish_warmup();
+        if config.verbose {
+            eprintln!("cache warm: {warm} entries resident before first request");
+        }
+    }
+    if let Some(path) = &log_traffic {
+        if let Err(e) = service.set_traffic_log(path) {
+            eprintln!("error: could not open traffic log {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
     let shutdown = ShutdownFlag::new();
 
     let served = match listen {
@@ -199,6 +292,25 @@ fn main() {
         None => qrc_serve::serve_stdin(&service, &frontend, &shutdown),
     };
 
+    // Snapshot-on-drain: persist the hot cache as the last act of a
+    // drain (even after a broken stream — what *was* computed is still
+    // valid), so the next `--warm-cache` start answers this process's
+    // head-of-distribution traffic at hit-rate speed immediately.
+    if warm_cache {
+        match service.write_snapshot() {
+            Ok(written) => {
+                if config.verbose {
+                    eprintln!(
+                        "cache snapshot: {} entries written to {} ({} skipped)",
+                        written.entries,
+                        written.path.display(),
+                        written.skipped
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not write cache snapshot: {e}"),
+        }
+    }
     // Stats go out even when the session ended on a broken stream:
     // what *was* served is exactly what the operator needs then.
     if print_stats {
@@ -267,6 +379,14 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
                     // read under, then swap.
                     flush(&mut pending, &mut out);
                     let _ = writeln!(out, "{}", serde_json::to_string(&service.reload_value()));
+                    let _ = out.flush();
+                    continue;
+                }
+                Ok(InboundLine::Control(ControlRequest::Snapshot)) => {
+                    // Stream order again: snapshot what was answered
+                    // before this line, not what is still pending.
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(out, "{}", serde_json::to_string(&service.snapshot_value()));
                     let _ = out.flush();
                     continue;
                 }

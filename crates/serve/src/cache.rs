@@ -37,6 +37,26 @@ pub struct CacheKey {
     pub generation: u64,
 }
 
+/// Total, collision-free seed tag of a device pin: `0` is reserved for
+/// "no pin" and every pin maps to its own nonzero value. This is an
+/// exhaustive match rather than a positional scan of [`DeviceId::ALL`]
+/// on purpose — the old `position(…).unwrap_or(0)` silently aliased
+/// any pin missing from `ALL` with `ALL[0]`, sharing that device's
+/// seed index; a new enum variant is now a compile error here instead.
+/// The values keep the historical `1 + position-in-ALL` numbering so
+/// existing seeds (and therefore cached/persisted answers) are
+/// unchanged.
+pub const fn device_seed_tag(pin: Option<DeviceId>) -> u64 {
+    match pin {
+        None => 0,
+        Some(DeviceId::IbmqMontreal) => 1,
+        Some(DeviceId::IbmqWashington) => 2,
+        Some(DeviceId::RigettiAspenM2) => 3,
+        Some(DeviceId::IonqHarmony) => 4,
+        Some(DeviceId::OqcLucy) => 5,
+    }
+}
+
 impl CacheKey {
     /// A stable 64-bit mix of the *content and routing* components,
     /// used both for shard selection and as the per-job seed index.
@@ -45,10 +65,7 @@ impl CacheKey {
     /// so identical checkpoints answer identically across restarts and
     /// reloads.
     pub fn mix(&self) -> u64 {
-        let device_tag = match self.device_pin {
-            None => 0u64,
-            Some(d) => 1 + DeviceId::ALL.iter().position(|&x| x == d).unwrap_or(0) as u64,
-        };
+        let device_tag = device_seed_tag(self.device_pin);
         // SplitMix64 finalizer over the packed components.
         let mut z = self
             .circuit_hash
@@ -69,6 +86,10 @@ struct Shard {
 
 struct Entry {
     stamp: u64,
+    /// `true` for entries resident since before the service started
+    /// taking traffic (imported from a snapshot or pre-compiled by a
+    /// traffic-log replay); hits on them count as *warm* hits.
+    warm: bool,
     value: Arc<CompiledResult>,
 }
 
@@ -77,6 +98,10 @@ struct Entry {
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
+    /// Of those, served from a pre-warmed entry (snapshot import or
+    /// warmup replay) — the restart-warmup payoff, counted apart so
+    /// operators can see what the snapshot actually bought.
+    pub warm_hits: u64,
     /// Lookups that missed.
     pub misses: u64,
     /// Entries written.
@@ -95,6 +120,12 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Hits served from entries computed after startup (the complement
+    /// of [`CacheStats::warm_hits`]).
+    pub fn cold_hits(&self) -> u64 {
+        self.hits.saturating_sub(self.warm_hits)
+    }
 }
 
 /// A sharded LRU cache of compilation results.
@@ -102,6 +133,7 @@ pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
@@ -125,6 +157,7 @@ impl ResultCache {
                 .collect(),
             per_shard_capacity,
             hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -143,9 +176,13 @@ impl ResultCache {
         match shard.map.get_mut(key) {
             Some(entry) => {
                 entry.stamp = stamp;
+                let warm = entry.warm;
                 let value = Arc::clone(&entry.value);
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if warm {
+                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 Some(value)
             }
             None => {
@@ -164,7 +201,14 @@ impl ResultCache {
             let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
             shard.tick += 1;
             let stamp = shard.tick;
-            shard.map.insert(key, Entry { stamp, value });
+            shard.map.insert(
+                key,
+                Entry {
+                    stamp,
+                    warm: false,
+                    value,
+                },
+            );
             while shard.map.len() > self.per_shard_capacity {
                 if let Some(oldest) = shard
                     .map
@@ -201,6 +245,68 @@ impl ResultCache {
         removed
     }
 
+    /// Every resident entry in *eviction order*: shards in index
+    /// order, each shard's entries least-recently-used first.
+    ///
+    /// Re-inserting the returned sequence in order into a cache with
+    /// the same shard count reproduces each shard's LRU order exactly
+    /// (recency stamps are per shard, and shard assignment is a pure
+    /// function of the key), so a warmed-from-snapshot cache evicts in
+    /// the same order a never-restarted one would.
+    pub fn export(&self) -> Vec<(CacheKey, Arc<CompiledResult>)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut entries: Vec<(&CacheKey, &Entry)> = shard.map.iter().collect();
+            entries.sort_by_key(|(_, e)| e.stamp);
+            out.extend(entries.into_iter().map(|(k, e)| (*k, Arc::clone(&e.value))));
+        }
+        out
+    }
+
+    /// Inserts `entries` in order (first = least recently used), as if
+    /// each had just been [`ResultCache::insert`]ed. Returns how many
+    /// were inserted. The counterpart of [`ResultCache::export`].
+    pub fn import(
+        &self,
+        entries: impl IntoIterator<Item = (CacheKey, Arc<CompiledResult>)>,
+    ) -> u64 {
+        let mut imported = 0u64;
+        for (key, value) in entries {
+            self.insert(key, value);
+            imported += 1;
+        }
+        imported
+    }
+
+    /// Flags every resident entry as *warm* (pre-loaded before the
+    /// service started taking traffic); subsequent hits on them count
+    /// under [`CacheStats::warm_hits`]. Returns how many were flagged.
+    /// Entries inserted afterwards stay cold, and re-inserting over a
+    /// warm entry (a recompute) resets it to cold.
+    pub fn mark_warm(&self) -> u64 {
+        let mut flagged = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            for entry in shard.map.values_mut() {
+                entry.warm = true;
+                flagged += 1;
+            }
+        }
+        flagged
+    }
+
+    /// Zeroes the lookup counters (entries stay resident). Called at
+    /// the end of a warmup so the serving-phase stats are not polluted
+    /// by the warmup's own misses and insertions.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.warm_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -218,6 +324,7 @@ impl ResultCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -327,6 +434,86 @@ mod tests {
         assert!(cache.len() <= 64, "len {} exceeds capacity", cache.len());
         assert!(!cache.is_empty());
         assert!(cache.stats().evictions >= 200 - 64);
+    }
+
+    #[test]
+    fn device_seed_tags_are_total_and_collision_free() {
+        // Regression for the old `position(…).unwrap_or(0)` alias: no
+        // pin and every pin must map to pairwise-distinct tags, and
+        // the numbering must stay the historical 1 + position-in-ALL
+        // (seed compatibility with existing checkpoints).
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(device_seed_tag(None)));
+        assert_eq!(device_seed_tag(None), 0);
+        for (i, d) in DeviceId::ALL.into_iter().enumerate() {
+            let tag = device_seed_tag(Some(d));
+            assert!(seen.insert(tag), "pin {} shares a seed tag", d.name());
+            assert_eq!(tag, 1 + i as u64, "tag of {} drifted", d.name());
+        }
+        // And the full mix never collides across pins of one circuit:
+        // distinct pins must never share a rollout seed index.
+        let mut mixes = std::collections::HashSet::new();
+        let pins = std::iter::once(None).chain(DeviceId::ALL.into_iter().map(Some));
+        for pin in pins {
+            let k = CacheKey {
+                device_pin: pin,
+                ..key(42)
+            };
+            assert!(mixes.insert(k.mix()), "pin {pin:?} shares a seed mix");
+        }
+    }
+
+    #[test]
+    fn warm_hits_are_counted_apart_from_cold_hits() {
+        let cache = ResultCache::new(8, 2);
+        cache.insert(key(1), payload("pre"));
+        assert_eq!(cache.mark_warm(), 1);
+        cache.insert(key(2), payload("post"));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.warm_hits, stats.cold_hits()), (2, 1, 1));
+        // A recompute over a warm entry resets it to cold.
+        cache.insert(key(1), payload("recomputed"));
+        assert!(cache.get(&key(1)).is_some());
+        assert_eq!(cache.stats().warm_hits, 1, "recomputed entry hits cold");
+        // Counter reset keeps entries resident but zeroes the ledger.
+        cache.reset_counters();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trips_entries_and_eviction_order() {
+        let cache = ResultCache::new(4, 1);
+        cache.insert(key(1), payload("1"));
+        cache.insert(key(2), payload("2"));
+        cache.insert(key(3), payload("3"));
+        // Touch 1 so the LRU order becomes 2, 3, 1.
+        assert!(cache.get(&key(1)).is_some());
+        let exported = cache.export();
+        assert_eq!(
+            exported
+                .iter()
+                .map(|(k, _)| k.circuit_hash)
+                .collect::<Vec<_>>(),
+            vec![2, 3, 1],
+            "export is least-recently-used first"
+        );
+
+        let restored = ResultCache::new(4, 1);
+        assert_eq!(restored.import(exported.clone()), 3);
+        assert_eq!(restored.export().len(), exported.len());
+        for ((ka, va), (kb, vb)) in exported.iter().zip(restored.export()) {
+            assert_eq!(*ka, kb);
+            assert_eq!(va.qasm, vb.qasm);
+        }
+        // The restored cache evicts in the same order the original
+        // would: one over-capacity insert displaces key 2 first.
+        restored.insert(key(4), payload("4"));
+        restored.insert(key(5), payload("5"));
+        assert!(restored.get(&key(2)).is_none(), "LRU entry evicted first");
+        assert!(restored.get(&key(1)).is_some(), "most recent survives");
     }
 
     #[test]

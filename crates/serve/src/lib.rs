@@ -19,6 +19,12 @@
 //!   identical jobs, and fans misses across a rayon pool with
 //!   content-derived seeds so concurrent results are byte-identical to
 //!   serial execution,
+//! * [`persist`] — cache persistence & warmup: crash-safe NDJSON
+//!   snapshots of the hot cache next to the checkpoints (validated
+//!   against checkpoint identity on restore, so a swapped model never
+//!   serves a stale persisted answer), a traffic log of served
+//!   requests, and warmup that pre-loads/pre-compiles the head of the
+//!   distribution before the listener accepts traffic,
 //! * [`protocol`] — the newline-delimited JSON wire format,
 //! * [`queue`] + [`listener`] — the pipelined front end: a bounded
 //!   request queue filled by reader threads (TCP socket or stdin)
@@ -44,8 +50,10 @@
 //! Control lines carry `cmd` instead of `qasm`: `{"cmd":"stats"}`
 //! answers with a live metrics snapshot (per-shard routing counters
 //! plus the registry's shard keys and checkpoint mtimes),
-//! `{"cmd":"reload"}` hot-swaps the shard map from disk, and
-//! `{"cmd":"shutdown"}` drains and stops the server. When the request
+//! `{"cmd":"reload"}` hot-swaps the shard map from disk,
+//! `{"cmd":"snapshot"}` persists the result cache for the next
+//! restart's warmup, and `{"cmd":"shutdown"}` drains and stops the
+//! server. When the request
 //! queue is full the socket front end answers
 //! `{"ok":false,"error":"overloaded: …"}` instead of queueing
 //! unboundedly.
@@ -70,6 +78,7 @@ pub mod cache;
 pub mod cliargs;
 pub mod listener;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -78,17 +87,23 @@ pub mod service;
 pub mod shard;
 pub mod traffic;
 
-pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use cache::{device_seed_tag, CacheKey, CacheStats, ResultCache};
 pub use listener::{serve_socket, serve_stdin, FrontendConfig, ShutdownFlag};
 pub use metrics::{
     percentile_us, MetricsSnapshot, RouteCounts, ServeMetrics, ShardCounterSnapshot, ShardCounters,
+};
+pub use persist::{
+    head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,
+    SnapshotLoad, SnapshotShardStamp, TrafficLog, SNAPSHOT_FILE, SNAPSHOT_VERSION,
 };
 pub use protocol::{
     CacheStatus, CompiledResult, ControlRequest, InboundLine, ServeRequest, ServeResponse,
     OVERLOADED_ERROR,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use registry::{ModelRegistry, ReloadReport, RoutedShard};
-pub use service::{CompilationService, QueuedLine, ServiceConfig};
+pub use registry::{CheckpointIdentity, ModelRegistry, ReloadReport, RoutedShard};
+pub use service::{
+    CompilationService, QueuedLine, ReplayWarmup, ServiceConfig, SnapshotWarmup, SnapshotWritten,
+};
 pub use shard::{DeviceClass, RouteLevel, ShardKey, ShardRoute, WidthBand};
 pub use traffic::{synthetic_mix, TrafficConfig};

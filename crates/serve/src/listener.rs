@@ -368,6 +368,9 @@ fn triage(
         Ok(InboundLine::Control(ControlRequest::Reload)) => {
             Triage::Handled(serde_json::to_string(&service.reload_value()))
         }
+        Ok(InboundLine::Control(ControlRequest::Snapshot)) => {
+            Triage::Handled(serde_json::to_string(&service.snapshot_value()))
+        }
         Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
             shutdown.request();
             Triage::Handled(serde_json::to_string(&Value::object(vec![

@@ -294,6 +294,8 @@ impl MetricsSnapshot {
                 "cache",
                 Value::object(vec![
                     ("hits", Value::from(self.cache.hits)),
+                    ("warm_hits", Value::from(self.cache.warm_hits)),
+                    ("cold_hits", Value::from(self.cache.cold_hits())),
                     ("misses", Value::from(self.cache.misses)),
                     ("insertions", Value::from(self.cache.insertions)),
                     ("evictions", Value::from(self.cache.evictions)),
@@ -358,6 +360,7 @@ mod tests {
         m.record(300, None, None);
         let snap = m.snapshot(CacheStats {
             hits: 1,
+            warm_hits: 1,
             misses: 2,
             insertions: 2,
             evictions: 0,
@@ -371,6 +374,8 @@ mod tests {
         assert!((snap.mean_us - 200.0).abs() < 1e-9);
         let text = serde_json::to_string(&snap.to_value());
         assert!(text.contains("\"hit_rate\""), "{text}");
+        assert!(text.contains("\"warm_hits\":1"), "{text}");
+        assert!(text.contains("\"cold_hits\":0"), "{text}");
         assert!(text.contains("\"responses\""), "{text}");
         assert!(text.contains("\"p99\""), "{text}");
     }

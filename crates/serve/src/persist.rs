@@ -1,0 +1,596 @@
+//! Cache persistence and warmup: snapshotting the result cache to a
+//! versioned NDJSON file next to the model checkpoints, a traffic log
+//! of served compilation requests, and the loaders that pre-warm a
+//! restarted service before it accepts traffic.
+//!
+//! # Snapshot file format
+//!
+//! One header line followed by one line per persisted entry, in cache
+//! eviction order (least recently used first):
+//!
+//! ```text
+//! {"format":"qrc-cache-snapshot","version":1,"entries":2,"shards":[
+//!   {"shard":"fidelity/any/any","checkpoint":"predictor_fidelity.json",
+//!    "mtime_unix_nanos":1753776000000000000,"len":83211}]}
+//! {"shard":"fidelity/any/any","circuit_hash":123…,"pin":null,
+//!  "qasm":"OPENQASM 2.0;…","device":"ionq_harmony","actions":[…],"reward":0.93}
+//! …
+//! ```
+//!
+//! The header pins each persisted shard to the *checkpoint identity*
+//! (file name, full-precision mtime, length) its entries were computed
+//! under. A loader drops every entry whose shard's checkpoint no
+//! longer matches — a swapped model must never serve a stale persisted
+//! answer — and rebases the survivors onto the live registry's policy
+//! generations. Keys are persisted *without* the generation stamp,
+//! which is process-local and meaningless across restarts.
+//!
+//! Writes are crash-safe (`.tmp` + fsync before rename, the same
+//! discipline as checkpoint saves); a torn or truncated snapshot is
+//! quarantined to `<name>.corrupt` and the service cold-starts,
+//! mirroring the registry's torn-checkpoint handling.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use qrc_device::DeviceId;
+use qrc_predictor::{atomic_write, PersistError};
+use serde_json::Value;
+
+use crate::protocol::{CompiledResult, ServeRequest};
+use crate::registry::CheckpointIdentity;
+use crate::shard::ShardKey;
+
+/// The snapshot's file name inside the models directory (it lives
+/// alongside the checkpoints it is validated against).
+pub const SNAPSHOT_FILE: &str = "cache_snapshot.ndjson";
+
+/// Snapshot format marker (first line's `format` field).
+pub const SNAPSHOT_FORMAT: &str = "qrc-cache-snapshot";
+
+/// Current snapshot schema version. Bump when the line layout changes;
+/// loaders reject other versions (cold start, never a misparse).
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Where the snapshot of a service rooted at `models_dir` lives.
+pub fn snapshot_path(models_dir: &Path) -> PathBuf {
+    models_dir.join(SNAPSHOT_FILE)
+}
+
+/// One persisted shard's provenance: which checkpoint file its entries
+/// were computed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotShardStamp {
+    /// The shard key.
+    pub shard: ShardKey,
+    /// The checkpoint identity at snapshot time.
+    pub identity: CheckpointIdentity,
+}
+
+/// One persisted cache entry: the content address (minus the
+/// process-local generation) and the compiled result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedEntry {
+    /// `QuantumCircuit::structural_hash` of the request circuit.
+    pub circuit_hash: u64,
+    /// The requested device pin, if any.
+    pub device_pin: Option<DeviceId>,
+    /// The shard that served the entry.
+    pub shard: ShardKey,
+    /// The compiled answer.
+    pub result: CompiledResult,
+}
+
+/// A decoded cache snapshot: per-shard checkpoint stamps plus the
+/// persisted entries in eviction order (least recently used first).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// Checkpoint identities of every persisted shard.
+    pub shards: Vec<SnapshotShardStamp>,
+    /// The entries, least recently used first.
+    pub entries: Vec<PersistedEntry>,
+}
+
+impl CacheSnapshot {
+    /// Renders the snapshot as NDJSON (header line + one line per
+    /// entry, each newline-terminated).
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        let header = Value::object(vec![
+            ("format", Value::from(SNAPSHOT_FORMAT)),
+            ("version", Value::from(SNAPSHOT_VERSION)),
+            ("entries", Value::from(self.entries.len())),
+            (
+                "shards",
+                Value::Array(
+                    self.shards
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("shard", Value::from(s.shard.name())),
+                                ("checkpoint", Value::from(s.identity.file_name.clone())),
+                                (
+                                    "mtime_unix_nanos",
+                                    s.identity.mtime_unix_nanos.map_or(Value::Null, Value::from),
+                                ),
+                                ("len", Value::from(s.identity.len)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        out.push_str(&serde_json::to_string(&header));
+        out.push('\n');
+        for entry in &self.entries {
+            out.push_str(&serde_json::to_string(&entry_value(entry)));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The inverse of [`CacheSnapshot::to_ndjson`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem: a
+    /// wrong format/version marker, a malformed line, or fewer entry
+    /// lines than the header promised (a truncated file).
+    pub fn from_ndjson(text: &str) -> Result<CacheSnapshot, String> {
+        let mut lines = text.lines();
+        let header_line = lines.next().ok_or("empty snapshot file")?;
+        let header: Value =
+            serde_json::from_str(header_line).map_err(|e| format!("bad header: {e}"))?;
+        if header.get("format").and_then(Value::as_str) != Some(SNAPSHOT_FORMAT) {
+            return Err("missing qrc-cache-snapshot format marker".into());
+        }
+        let version = header
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("missing snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            ));
+        }
+        let promised = header
+            .get("entries")
+            .and_then(Value::as_u64)
+            .ok_or("missing entry count")? as usize;
+        let mut shards = Vec::new();
+        for stamp in header
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or("missing shard stamps")?
+        {
+            shards.push(parse_shard_stamp(stamp)?);
+        }
+        let mut entries = Vec::with_capacity(promised);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(parse_entry(line)?);
+        }
+        if entries.len() != promised {
+            return Err(format!(
+                "truncated snapshot: header promised {promised} entries, found {}",
+                entries.len()
+            ));
+        }
+        Ok(CacheSnapshot { shards, entries })
+    }
+
+    /// Writes the snapshot atomically via the same `.tmp` + fsync +
+    /// rename discipline as checkpoint saves ([`atomic_write`]), so a
+    /// crash mid-write can never leave a half-snapshot under the real
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; any `.ndjson.tmp` leftovers
+    /// are harmless (the loader ignores them and the registry's
+    /// startup sweep removes them).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        atomic_write(path, self.to_ndjson().as_bytes())
+    }
+
+    /// The checkpoint identity this snapshot recorded for `shard`.
+    pub fn stamp_of(&self, shard: ShardKey) -> Option<&CheckpointIdentity> {
+        self.shards
+            .iter()
+            .find(|s| s.shard == shard)
+            .map(|s| &s.identity)
+    }
+}
+
+/// How loading a snapshot file resolved.
+#[derive(Debug)]
+pub enum SnapshotLoad {
+    /// No snapshot file exists (a genuinely cold start).
+    Missing,
+    /// The file was torn/truncated/unreadable as a snapshot: it was
+    /// quarantined to the returned `.corrupt` path and the service
+    /// cold-starts (the bytes are preserved for post-mortems).
+    Quarantined(PathBuf),
+    /// A structurally valid snapshot (per-shard staleness is the
+    /// importer's job — structure and staleness are separate checks).
+    Loaded(CacheSnapshot),
+}
+
+/// Reads and decodes the snapshot at `path`, quarantining torn files.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] only for real I/O failures (an
+/// unreadable directory, a failed quarantine rename); corruption is
+/// not an error — it resolves to [`SnapshotLoad::Quarantined`].
+pub fn load_snapshot_file(path: &Path) -> Result<SnapshotLoad, PersistError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(SnapshotLoad::Missing),
+        Err(e) => return Err(e.into()),
+    };
+    match CacheSnapshot::from_ndjson(&text) {
+        Ok(snapshot) => Ok(SnapshotLoad::Loaded(snapshot)),
+        Err(_) => {
+            crate::registry::quarantine(path)?;
+            Ok(SnapshotLoad::Quarantined(
+                crate::registry::ModelRegistry::quarantine_path(path),
+            ))
+        }
+    }
+}
+
+fn parse_shard_stamp(value: &Value) -> Result<SnapshotShardStamp, String> {
+    let shard = value
+        .get("shard")
+        .and_then(Value::as_str)
+        .ok_or("shard stamp missing `shard`")?;
+    Ok(SnapshotShardStamp {
+        shard: ShardKey::parse(shard)?,
+        identity: CheckpointIdentity {
+            file_name: value
+                .get("checkpoint")
+                .and_then(Value::as_str)
+                .ok_or("shard stamp missing `checkpoint`")?
+                .to_string(),
+            mtime_unix_nanos: value.get("mtime_unix_nanos").and_then(Value::as_u64),
+            len: value
+                .get("len")
+                .and_then(Value::as_u64)
+                .ok_or("shard stamp missing `len`")?,
+        },
+    })
+}
+
+fn entry_value(entry: &PersistedEntry) -> Value {
+    Value::object(vec![
+        ("shard", Value::from(entry.shard.name())),
+        ("circuit_hash", Value::from(entry.circuit_hash)),
+        (
+            "pin",
+            entry
+                .device_pin
+                .map_or(Value::Null, |d| Value::from(d.name())),
+        ),
+        ("qasm", Value::from(entry.result.qasm.clone())),
+        (
+            "device",
+            entry
+                .result
+                .device
+                .map_or(Value::Null, |d| Value::from(d.name())),
+        ),
+        (
+            "actions",
+            Value::Array(
+                entry
+                    .result
+                    .actions
+                    .iter()
+                    .map(|a| Value::from(a.clone()))
+                    .collect(),
+            ),
+        ),
+        ("reward", Value::from(entry.result.reward)),
+    ])
+}
+
+fn parse_entry(line: &str) -> Result<PersistedEntry, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad entry line: {e}"))?;
+    let device_name = |field: &str| -> Result<Option<DeviceId>, String> {
+        match value.get(field) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or(format!("entry `{field}` must be a string"))?;
+                DeviceId::from_name(name)
+                    .map(Some)
+                    .ok_or(format!("unknown device `{name}`"))
+            }
+        }
+    };
+    Ok(PersistedEntry {
+        circuit_hash: value
+            .get("circuit_hash")
+            .and_then(Value::as_u64)
+            .ok_or("entry missing `circuit_hash`")?,
+        device_pin: device_name("pin")?,
+        shard: ShardKey::parse(
+            value
+                .get("shard")
+                .and_then(Value::as_str)
+                .ok_or("entry missing `shard`")?,
+        )?,
+        result: CompiledResult {
+            qasm: value
+                .get("qasm")
+                .and_then(Value::as_str)
+                .ok_or("entry missing `qasm`")?
+                .to_string(),
+            device: device_name("device")?,
+            actions: value
+                .get("actions")
+                .and_then(Value::as_array)
+                .ok_or("entry missing `actions`")?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "entry actions must be strings".to_string())
+                })
+                .collect::<Result<Vec<String>, String>>()?,
+            reward: value
+                .get("reward")
+                .and_then(Value::as_f64)
+                .ok_or("entry missing `reward`")?,
+        },
+    })
+}
+
+/// An append-only log of served compilation requests, one canonical
+/// request line ([`ServeRequest::to_line`]) per request. Replaying the
+/// head of this log pre-compiles a restarted server's hottest circuits
+/// before the listener opens.
+pub struct TrafficLog {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl TrafficLog {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened.
+    pub fn append(path: &Path) -> std::io::Result<TrafficLog> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(TrafficLog {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one batch of requests and flushes, so the log trails
+    /// live traffic by at most one batch even across a hard kill.
+    /// Write failures are swallowed after the first flush error —
+    /// traffic logging is an observability aid, never a reason to fail
+    /// a compilation.
+    pub fn log_batch(&self, requests: &[ServeRequest]) {
+        let mut writer = self.writer.lock().expect("traffic log poisoned");
+        for request in requests {
+            let _ = writeln!(writer, "{}", request.to_line());
+        }
+        let _ = writer.flush();
+    }
+
+    /// Reads every parseable request line from a traffic log.
+    /// Unparseable lines (a torn tail from a crash mid-append, stray
+    /// garbage) are skipped, not fatal: warmup is best-effort.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened
+    /// or read.
+    pub fn read_requests(path: &Path) -> std::io::Result<Vec<ServeRequest>> {
+        let mut requests = Vec::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(request) = ServeRequest::parse(&line) {
+                requests.push(request);
+            }
+        }
+        Ok(requests)
+    }
+}
+
+/// The head of a traffic distribution: unique requests ordered by
+/// descending frequency (ties broken by first appearance, so the
+/// result is deterministic), truncated to `cap`. Replaying these
+/// pre-compiles the circuits most likely to be asked again first.
+pub fn head_of_distribution(requests: &[ServeRequest], cap: usize) -> Vec<ServeRequest> {
+    let mut counts: HashMap<String, (usize, usize)> = HashMap::new();
+    for (i, request) in requests.iter().enumerate() {
+        // The id is caller correlation, not content: two requests that
+        // differ only by id are the same compilation job.
+        let mut keyed = request.clone();
+        keyed.id = None;
+        let entry = counts.entry(keyed.to_line()).or_insert((0, i));
+        entry.0 += 1;
+    }
+    let mut ranked: Vec<(String, usize, usize)> = counts
+        .into_iter()
+        .map(|(line, (count, first))| (line, count, first))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+    ranked
+        .into_iter()
+        .take(cap)
+        .filter_map(|(line, _, _)| ServeRequest::parse(&line).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrc_predictor::RewardKind;
+
+    fn sample_snapshot() -> CacheSnapshot {
+        CacheSnapshot {
+            shards: vec![SnapshotShardStamp {
+                shard: ShardKey::wildcard(RewardKind::ExpectedFidelity),
+                identity: CheckpointIdentity {
+                    file_name: "predictor_fidelity.json".into(),
+                    mtime_unix_nanos: Some(1_753_776_000_123_456_789),
+                    len: 4321,
+                },
+            }],
+            entries: vec![
+                PersistedEntry {
+                    circuit_hash: u64::MAX - 7,
+                    device_pin: Some(DeviceId::IonqHarmony),
+                    shard: ShardKey::wildcard(RewardKind::ExpectedFidelity),
+                    result: CompiledResult {
+                        qasm: "OPENQASM 2.0;\nqreg q[2];\n".into(),
+                        device: Some(DeviceId::IonqHarmony),
+                        actions: vec!["platform:ionq".into(), "synthesize".into()],
+                        reward: 0.875_312_9,
+                    },
+                },
+                PersistedEntry {
+                    circuit_hash: 42,
+                    device_pin: None,
+                    shard: ShardKey::wildcard(RewardKind::ExpectedFidelity),
+                    result: CompiledResult {
+                        qasm: "OPENQASM 2.0;\n".into(),
+                        device: None,
+                        actions: vec![],
+                        reward: 0.5,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_ndjson() {
+        let snapshot = sample_snapshot();
+        let decoded = CacheSnapshot::from_ndjson(&snapshot.to_ndjson()).unwrap();
+        assert_eq!(decoded, snapshot, "order, hashes, and rewards survive");
+        // u64 hashes near the top of the range survive exactly (the
+        // vendored JSON keeps integers out of f64).
+        assert_eq!(decoded.entries[0].circuit_hash, u64::MAX - 7);
+    }
+
+    #[test]
+    fn truncated_and_malformed_snapshots_are_rejected() {
+        let text = sample_snapshot().to_ndjson();
+        // Drop the last line: the header's entry count no longer holds.
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let err = CacheSnapshot::from_ndjson(&truncated).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // A half-written entry line is malformed, not silently skipped.
+        let torn = format!("{}{}", text, "{\"shard\":\"fidelity/any/any\",\"circ");
+        assert!(CacheSnapshot::from_ndjson(&torn).is_err());
+        assert!(CacheSnapshot::from_ndjson("").is_err());
+        assert!(CacheSnapshot::from_ndjson("{\"format\":\"other\"}\n").is_err());
+        let wrong_version = text.replacen("\"version\":1", "\"version\":999", 1);
+        let err = CacheSnapshot::from_ndjson(&wrong_version).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn torn_snapshot_files_quarantine_and_missing_is_clean() {
+        let dir = std::env::temp_dir().join(format!("qrc_persist_unit_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = snapshot_path(&dir);
+        assert!(matches!(
+            load_snapshot_file(&path).unwrap(),
+            SnapshotLoad::Missing
+        ));
+        std::fs::write(&path, "{\"format\":\"qrc-cache-snapshot\",\"ver").unwrap();
+        match load_snapshot_file(&path).unwrap() {
+            SnapshotLoad::Quarantined(corrupt) => {
+                assert!(corrupt.exists(), "torn bytes preserved");
+                assert!(!path.exists(), "torn file moved out of the way");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // Write-then-load round trip through the real file path.
+        let snapshot = sample_snapshot();
+        snapshot.write(&path).unwrap();
+        match load_snapshot_file(&path).unwrap() {
+            SnapshotLoad::Loaded(loaded) => assert_eq!(loaded, snapshot),
+            other => panic!("expected a loaded snapshot, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traffic_log_appends_and_replays() {
+        let dir = std::env::temp_dir().join(format!("qrc_traffic_unit_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traffic.ndjson");
+        let a = ServeRequest::new("OPENQASM 2.0;\nqreg q[1];\nh q[0];\n");
+        let mut b = ServeRequest::new("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n");
+        b.objective = RewardKind::CriticalDepth;
+        {
+            let log = TrafficLog::append(&path).unwrap();
+            log.log_batch(&[a.clone(), b.clone()]);
+        }
+        {
+            // Re-opening appends instead of truncating.
+            let log = TrafficLog::append(&path).unwrap();
+            log.log_batch(std::slice::from_ref(&a));
+        }
+        // A torn tail (crash mid-append) is skipped, not fatal.
+        {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(file, "{{\"qasm\":\"OPENQ").unwrap();
+        }
+        let replayed = TrafficLog::read_requests(&path).unwrap();
+        assert_eq!(replayed, vec![a.clone(), b.clone(), a.clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn head_of_distribution_ranks_by_frequency() {
+        let hot = ServeRequest::new("OPENQASM 2.0;\nqreg q[1];\nh q[0];\n");
+        let mut warm = ServeRequest::new("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n");
+        warm.objective = RewardKind::CriticalDepth;
+        let cool = ServeRequest::new("OPENQASM 2.0;\nqreg q[1];\nx q[0];\n");
+        let mut stream = Vec::new();
+        for i in 0..5 {
+            let mut r = hot.clone();
+            // Distinct ids must still coalesce: id is not content.
+            r.id = Some(format!("h{i}"));
+            stream.push(r);
+        }
+        stream.push(cool.clone());
+        stream.push(warm.clone());
+        stream.push(warm.clone());
+        let head = head_of_distribution(&stream, 2);
+        assert_eq!(head.len(), 2);
+        assert_eq!(head[0].qasm, hot.qasm);
+        assert_eq!(head[1].qasm, warm.qasm);
+        assert_eq!(head[1].objective, RewardKind::CriticalDepth);
+        let all = head_of_distribution(&stream, 10);
+        assert_eq!(all.len(), 3, "three unique jobs");
+        assert_eq!(all[2].qasm, cool.qasm, "ties/uniques keep arrival order");
+    }
+}

@@ -137,6 +137,10 @@ pub enum ControlRequest {
     /// `{"cmd":"reload"}` — rescan the models directory and atomically
     /// swap the shard map (in-flight batches finish on the old one).
     Reload,
+    /// `{"cmd":"snapshot"}` — persist the result cache to
+    /// `cache_snapshot.ndjson` next to the checkpoints (serving is
+    /// unaffected; a restarted server warms from it).
+    Snapshot,
     /// `{"cmd":"shutdown"}` — acknowledge, stop admitting requests,
     /// drain in-flight batches, and exit.
     Shutdown,
@@ -168,9 +172,10 @@ impl InboundLine {
                 match name {
                     "stats" => Ok(InboundLine::Control(ControlRequest::Stats)),
                     "reload" => Ok(InboundLine::Control(ControlRequest::Reload)),
+                    "snapshot" => Ok(InboundLine::Control(ControlRequest::Snapshot)),
                     "shutdown" => Ok(InboundLine::Control(ControlRequest::Shutdown)),
                     other => Err(format!(
-                        "unknown cmd `{other}` (expected one of: stats, reload, shutdown)"
+                        "unknown cmd `{other}` (expected one of: stats, reload, snapshot, shutdown)"
                     )),
                 }
             }
@@ -410,6 +415,10 @@ mod tests {
         assert_eq!(
             InboundLine::parse(r#"{"cmd":"stats"}"#).unwrap(),
             InboundLine::Control(ControlRequest::Stats)
+        );
+        assert_eq!(
+            InboundLine::parse(r#"{"cmd":"snapshot"}"#).unwrap(),
+            InboundLine::Control(ControlRequest::Snapshot)
         );
         assert_eq!(
             InboundLine::parse(r#"{"cmd":"shutdown"}"#).unwrap(),

@@ -56,6 +56,37 @@ impl CheckpointStamp {
     }
 }
 
+/// Externally comparable identity of one shard's checkpoint file: its
+/// file name, full-precision mtime (nanoseconds since the epoch), and
+/// byte length. Persisted into cache snapshots so a restored snapshot
+/// can prove each shard's policy is *the same file* the entries were
+/// computed under — a swapped checkpoint must never serve a stale
+/// persisted answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointIdentity {
+    /// The checkpoint's file name (not the full path: snapshots must
+    /// survive a models directory that moved).
+    pub file_name: String,
+    /// Modification time in nanoseconds since the Unix epoch (`None`
+    /// when the filesystem reports none — which never matches, so
+    /// such checkpoints are conservatively treated as changed).
+    pub mtime_unix_nanos: Option<u64>,
+    /// File length in bytes.
+    pub len: u64,
+}
+
+impl CheckpointIdentity {
+    /// Two identities prove "same checkpoint" only when file name,
+    /// mtime (present on both sides), and length all agree — the same
+    /// test a hot-reload rescan uses for its unchanged fast path.
+    pub fn matches(&self, other: &CheckpointIdentity) -> bool {
+        self.file_name == other.file_name
+            && self.len == other.len
+            && self.mtime_unix_nanos.is_some()
+            && self.mtime_unix_nanos == other.mtime_unix_nanos
+    }
+}
+
 /// One registered shard: its policy plus checkpoint provenance (absent
 /// for in-memory registries built by tests and the bench harness).
 #[derive(Clone)]
@@ -459,6 +490,32 @@ impl ModelRegistry {
         None
     }
 
+    /// The serving policy generation of one shard, if registered.
+    /// Snapshot import rebases persisted cache keys onto this stamp so
+    /// restored entries land in the *current* policy's cache partition.
+    pub fn generation_of(&self, key: ShardKey) -> Option<u64> {
+        self.shards.get(&key).map(|e| e.generation)
+    }
+
+    /// The checkpoint identity of one shard, if it is disk-backed
+    /// (in-memory shards built by tests and the bench harness have no
+    /// checkpoint and therefore cannot be persisted or validated).
+    pub fn checkpoint_identity(&self, key: ShardKey) -> Option<CheckpointIdentity> {
+        let stamp = self.shards.get(&key)?.stamp.as_ref()?;
+        Some(CheckpointIdentity {
+            file_name: stamp
+                .path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            mtime_unix_nanos: stamp
+                .mtime
+                .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                .and_then(|d| u64::try_from(d.as_nanos()).ok()),
+            len: stamp.len,
+        })
+    }
+
     /// The objective-only wildcard policy for `kind`, if registered
     /// (what every request for `kind` falls back to last).
     pub fn get(&self, kind: RewardKind) -> Option<Arc<TrainedPredictor>> {
@@ -567,12 +624,15 @@ fn discover_checkpoints(dir: &Path) -> Result<Vec<(ShardKey, PathBuf)>, PersistE
     Ok(checkpoints)
 }
 
-/// Removes leftover `.json.tmp` files from interrupted atomic saves
-/// (they were never renamed into place, so they hold nothing durable).
+/// Removes leftover `.json.tmp` (checkpoint save) and `.ndjson.tmp`
+/// (cache snapshot) files from interrupted atomic writes — they were
+/// never renamed into place, so they hold nothing durable.
 fn sweep_stale_tmp_files(dir: &Path) -> Result<(), PersistError> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
-        if entry.file_name().to_string_lossy().ends_with(".json.tmp") {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".json.tmp") || name.ends_with(".ndjson.tmp") {
             std::fs::remove_file(entry.path()).ok();
         }
     }
@@ -580,8 +640,9 @@ fn sweep_stale_tmp_files(dir: &Path) -> Result<(), PersistError> {
 }
 
 /// Moves a checkpoint that failed to parse out of the registry's way,
-/// keeping its bytes for inspection.
-fn quarantine(path: &Path) -> Result<(), PersistError> {
+/// keeping its bytes for inspection. Shared with the cache snapshot
+/// loader, which quarantines torn snapshots the same way.
+pub(crate) fn quarantine(path: &Path) -> Result<(), PersistError> {
     let dest = ModelRegistry::quarantine_path(path);
     // A second corruption of the same shard must still heal: clear any
     // stale quarantine first (rename-over-existing is an error on some

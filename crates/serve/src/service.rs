@@ -2,7 +2,7 @@
 //! scheduler, and metrics behind one `handle_*` API, with copy-on-swap
 //! registry hot-reload.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -11,8 +11,12 @@ use qrc_benchgen::paper_suite;
 use qrc_predictor::PersistError;
 use serde_json::Value;
 
-use crate::cache::ResultCache;
+use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::persist::{
+    head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,
+    SnapshotLoad, SnapshotShardStamp, TrafficLog,
+};
 use crate::protocol::{ServeRequest, ServeResponse};
 use crate::registry::{ModelRegistry, ReloadReport};
 use crate::scheduler;
@@ -96,16 +100,74 @@ pub struct CompilationService {
     /// Serializes reloads end to end (rescan → swap → cache purge):
     /// two concurrent rescans interleaving with a quarantine could
     /// otherwise swap in a map that silently drops a healthy shard.
+    /// Snapshot writes take the same lock, so a snapshot and a reload
+    /// are safe in either order but never interleaved.
     reload_lock: Mutex<()>,
     /// Where hot-reloads rescan checkpoints from (`None` for purely
     /// in-memory registries built by tests and the bench harness).
     models_dir: Option<PathBuf>,
     reloads: AtomicU64,
     cache: ResultCache,
+    /// Total cache capacity — caps how many unique jobs a traffic-log
+    /// warmup pre-compiles (warming beyond capacity just evicts).
+    cache_capacity: usize,
     metrics: ServeMetrics,
+    /// Optional append-only log of served compilation requests.
+    traffic_log: Mutex<Option<TrafficLog>>,
+    /// Entries resident when warmup finished (0 = cold start).
+    warm_entries: AtomicU64,
+    /// When the last snapshot was written and how many entries it held.
+    last_snapshot: Mutex<Option<(Instant, u64)>>,
     seed: u64,
     batch_options: scheduler::BatchOptions,
     max_request_bytes: usize,
+}
+
+/// What loading a persisted cache snapshot did at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotWarmup {
+    /// Entries imported into the cache.
+    pub loaded: u64,
+    /// Entries dropped because their shard's checkpoint changed since
+    /// the snapshot (or the shard is gone): a swapped model must never
+    /// serve a stale persisted answer.
+    pub stale_dropped: u64,
+    /// `true` when a torn/truncated snapshot was quarantined to
+    /// `.corrupt` (the service cold-starts cleanly).
+    pub quarantined: bool,
+    /// `true` when no snapshot file existed.
+    pub missing: bool,
+}
+
+/// What replaying a traffic log did at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayWarmup {
+    /// `true` when the log file did not exist yet — an empty warmup,
+    /// not an error, so one fixed restart command that both writes and
+    /// replays the same log path self-bootstraps on first boot.
+    pub missing: bool,
+    /// Request lines read from the log.
+    pub log_requests: usize,
+    /// Unique jobs in the replayed head of the distribution.
+    pub unique_jobs: usize,
+    /// Jobs that compiled (or were already cached) successfully.
+    pub compiled: u64,
+    /// Jobs that failed admission or compilation (left cold).
+    pub failed: u64,
+}
+
+/// The outcome of one snapshot write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotWritten {
+    /// Entries persisted.
+    pub entries: u64,
+    /// Resident entries skipped: their serving shard has no checkpoint
+    /// on disk to validate against (in-memory models), or their policy
+    /// generation is no longer current (a reload raced the batch that
+    /// produced them).
+    pub skipped: u64,
+    /// Where the snapshot landed.
+    pub path: PathBuf,
 }
 
 impl CompilationService {
@@ -149,7 +211,11 @@ impl CompilationService {
             models_dir: None,
             reloads: AtomicU64::new(0),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            cache_capacity: config.cache_capacity,
             metrics: ServeMetrics::new(),
+            traffic_log: Mutex::new(None),
+            warm_entries: AtomicU64::new(0),
+            last_snapshot: Mutex::new(None),
             seed: config.seed,
             batch_options: scheduler::BatchOptions {
                 parallel: config.parallel,
@@ -248,6 +314,248 @@ impl CompilationService {
         self.reloads.load(Ordering::Relaxed)
     }
 
+    /// Starts appending every scheduled compilation request to the
+    /// traffic log at `path` (one canonical request line per request;
+    /// control commands and unparseable lines are never logged).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the log cannot be opened.
+    pub fn set_traffic_log(&self, path: &Path) -> std::io::Result<()> {
+        let log = TrafficLog::append(path)?;
+        *self.traffic_log.lock().expect("traffic log poisoned") = Some(log);
+        Ok(())
+    }
+
+    /// Appends one scheduled batch to the traffic log, if enabled.
+    fn log_traffic(&self, requests: &[ServeRequest]) {
+        if requests.is_empty() {
+            return;
+        }
+        if let Some(log) = &*self.traffic_log.lock().expect("traffic log poisoned") {
+            log.log_batch(requests);
+        }
+    }
+
+    /// Imports the persisted cache snapshot next to the model
+    /// checkpoints, if one exists. Entries whose shard's checkpoint
+    /// identity changed since the snapshot are dropped (never served
+    /// stale); survivors are rebased onto the live registry's policy
+    /// generations and inserted in their original eviction order. A
+    /// torn snapshot is quarantined to `.corrupt` and the service
+    /// cold-starts — mirroring the registry's torn-checkpoint handling.
+    ///
+    /// Call before taking traffic, then [`Self::finish_warmup`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when the service has no models
+    /// directory (in-memory registry) or on real I/O failures.
+    pub fn load_snapshot(&self) -> Result<SnapshotWarmup, PersistError> {
+        let dir = self.persistence_dir()?;
+        let mut snapshot = match load_snapshot_file(&snapshot_path(dir))? {
+            SnapshotLoad::Missing => {
+                return Ok(SnapshotWarmup {
+                    missing: true,
+                    ..SnapshotWarmup::default()
+                })
+            }
+            SnapshotLoad::Quarantined(_) => {
+                return Ok(SnapshotWarmup {
+                    quarantined: true,
+                    ..SnapshotWarmup::default()
+                })
+            }
+            SnapshotLoad::Loaded(snapshot) => snapshot,
+        };
+        // Move the entries out so `stamp_of` can keep borrowing the
+        // header while they are consumed.
+        let entries = std::mem::take(&mut snapshot.entries);
+        let registry = self.registry();
+        let mut report = SnapshotWarmup::default();
+        let mut imports: Vec<(CacheKey, Arc<crate::protocol::CompiledResult>)> = Vec::new();
+        for entry in entries {
+            let unchanged = snapshot
+                .stamp_of(entry.shard)
+                .zip(registry.checkpoint_identity(entry.shard))
+                .is_some_and(|(persisted, live)| persisted.matches(&live));
+            match (unchanged, registry.generation_of(entry.shard)) {
+                (true, Some(generation)) => {
+                    imports.push((
+                        CacheKey {
+                            circuit_hash: entry.circuit_hash,
+                            device_pin: entry.device_pin,
+                            shard: entry.shard,
+                            generation,
+                        },
+                        Arc::new(entry.result),
+                    ));
+                }
+                _ => report.stale_dropped += 1,
+            }
+        }
+        report.loaded = self.cache.import(imports);
+        Ok(report)
+    }
+
+    /// Pre-compiles the head of a traffic log's request distribution
+    /// (unique jobs ranked by frequency, capped at the cache capacity)
+    /// so a restarted server answers its hottest circuits at hit-rate
+    /// speed from the first request. Jobs already resident (e.g. just
+    /// imported from a snapshot) cost one cache lookup, not a rollout.
+    ///
+    /// Warmup traffic is invisible to serving metrics and is never
+    /// re-appended to the traffic log. Call before taking traffic,
+    /// then [`Self::finish_warmup`].
+    ///
+    /// A log that does not exist yet is an empty warmup, not an error
+    /// (the same command that writes the log can replay it from the
+    /// first boot on).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the log exists but cannot
+    /// be read.
+    pub fn replay_log(&self, path: &Path) -> std::io::Result<ReplayWarmup> {
+        let requests = match TrafficLog::read_requests(path) {
+            Ok(requests) => requests,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ReplayWarmup {
+                    missing: true,
+                    ..ReplayWarmup::default()
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let head = head_of_distribution(&requests, self.cache_capacity);
+        let registry = self.registry();
+        let responses = scheduler::run_batch_with(
+            &registry,
+            &self.cache,
+            self.seed,
+            &self.batch_options,
+            &head,
+            None,
+        );
+        let failed = responses.iter().filter(|r| r.result.is_err()).count() as u64;
+        Ok(ReplayWarmup {
+            missing: false,
+            log_requests: requests.len(),
+            unique_jobs: head.len(),
+            compiled: head.len() as u64 - failed,
+            failed,
+        })
+    }
+
+    /// Seals the warmup phase: flags every resident entry as *warm*
+    /// (their hits count under `warm_hits`) and zeroes the cache's
+    /// lookup counters so serving-phase stats start clean. Returns the
+    /// number of warm entries. Idempotent; a no-warmup start may skip
+    /// it.
+    pub fn finish_warmup(&self) -> u64 {
+        let warm = self.cache.mark_warm();
+        self.cache.reset_counters();
+        self.warm_entries.store(warm, Ordering::Relaxed);
+        warm
+    }
+
+    /// Entries that were resident when warmup finished.
+    pub fn warm_entries(&self) -> u64 {
+        self.warm_entries.load(Ordering::Relaxed)
+    }
+
+    /// Persists the result cache to `cache_snapshot.ndjson` next to
+    /// the checkpoints: every resident entry whose serving shard has a
+    /// checkpoint on disk *and* whose policy generation is current,
+    /// written atomically (fsync before rename) in eviction order.
+    /// Serialized against hot-reloads via the reload lock, so a
+    /// snapshot taken mid-reload observes either the old registry or
+    /// the new one — never a half-swapped hybrid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] when the service has no models
+    /// directory (in-memory registry) or the write fails.
+    pub fn write_snapshot(&self) -> Result<SnapshotWritten, PersistError> {
+        let dir = self.persistence_dir()?.to_path_buf();
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let registry = self.registry();
+        let mut stamps: Vec<SnapshotShardStamp> = Vec::new();
+        let mut entries: Vec<PersistedEntry> = Vec::new();
+        let mut skipped = 0u64;
+        for (key, value) in self.cache.export() {
+            let identity = registry.checkpoint_identity(key.shard);
+            match (identity, registry.generation_of(key.shard)) {
+                (Some(identity), Some(generation)) if generation == key.generation => {
+                    if !stamps.iter().any(|s| s.shard == key.shard) {
+                        stamps.push(SnapshotShardStamp {
+                            shard: key.shard,
+                            identity,
+                        });
+                    }
+                    entries.push(PersistedEntry {
+                        circuit_hash: key.circuit_hash,
+                        device_pin: key.device_pin,
+                        shard: key.shard,
+                        result: (*value).clone(),
+                    });
+                }
+                // Unprovable provenance (in-memory shard) or an entry
+                // from a superseded policy generation: skipping is the
+                // safe choice — restoring it could resurrect an answer
+                // its checkpoint no longer stands behind.
+                _ => skipped += 1,
+            }
+        }
+        stamps.sort_by_key(|s| s.shard);
+        let written = entries.len() as u64;
+        let path = snapshot_path(&dir);
+        CacheSnapshot {
+            shards: stamps,
+            entries,
+        }
+        .write(&path)?;
+        *self.last_snapshot.lock().expect("snapshot stamp poisoned") =
+            Some((Instant::now(), written));
+        Ok(SnapshotWritten {
+            entries: written,
+            skipped,
+            path,
+        })
+    }
+
+    /// Performs a snapshot and renders the `{"cmd":"snapshot"}` reply:
+    /// `{"ok":true,"snapshot":true,…}` with entry counts and the file
+    /// path, or `{"ok":false,"error":…}` (serving is unaffected either
+    /// way).
+    pub fn snapshot_value(&self) -> Value {
+        match self.write_snapshot() {
+            Ok(written) => Value::object(vec![
+                ("ok", Value::from(true)),
+                ("snapshot", Value::from(true)),
+                ("entries", Value::from(written.entries)),
+                ("skipped", Value::from(written.skipped)),
+                ("path", Value::from(written.path.display().to_string())),
+            ]),
+            Err(e) => Value::object(vec![
+                ("ok", Value::from(false)),
+                ("error", Value::from(format!("snapshot failed: {e}"))),
+            ]),
+        }
+    }
+
+    /// The models directory, or the error every persistence entry
+    /// point reports for in-memory registries.
+    fn persistence_dir(&self) -> Result<&Path, PersistError> {
+        self.models_dir.as_deref().ok_or_else(|| {
+            PersistError::Format(
+                "this service was started from an in-memory registry; there is no \
+                 models directory to persist the cache in"
+                    .into(),
+            )
+        })
+    }
+
     /// Processes one batch of already-parsed requests, recording each
     /// response in the service metrics.
     pub fn handle_batch(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
@@ -272,6 +580,10 @@ impl CompilationService {
         requests: &[ServeRequest],
         queue_waits_us: Option<&[u64]>,
     ) -> Vec<ServeResponse> {
+        // Every served compilation request lands in the traffic log
+        // (warmup replays call the scheduler directly and stay out, so
+        // a restart never re-amplifies its own warmup).
+        self.log_traffic(requests);
         let registry = self.registry();
         scheduler::run_batch_with(
             &registry,
@@ -432,6 +744,19 @@ impl CompilationService {
                 Value::object(vec![
                     ("shards", self.registry().to_value()),
                     ("reloads", Value::from(self.reload_count())),
+                ]),
+            ));
+            let (age, entries) = match *self.last_snapshot.lock().expect("snapshot stamp poisoned")
+            {
+                Some((at, entries)) => (Value::from(at.elapsed().as_secs()), Value::from(entries)),
+                None => (Value::Null, Value::Null),
+            };
+            pairs.push((
+                "persistence".into(),
+                Value::object(vec![
+                    ("warm_entries", Value::from(self.warm_entries())),
+                    ("snapshot_age_secs", age),
+                    ("snapshot_entries", entries),
                 ]),
             ));
         }
