@@ -19,9 +19,11 @@
 //!                           serial, blocking batched, the pipelined
 //!                           socket front end, a sharded registry
 //!                           vs the monolithic baseline over a
-//!                           multi-device width-skewed mix, and a
+//!                           multi-device width-skewed mix, a
 //!                           restart-warmup arm (cold restart vs
-//!                           snapshot-warmed restart)
+//!                           snapshot-warmed restart), and a cold-cache
+//!                           miss-path arm (single-row f64 vs batched
+//!                           f64 vs gate-checked int8 inference)
 //!                           (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
@@ -299,6 +301,20 @@ fn run_serve(
         report.restart_identical
     );
     println!(
+        "miss path ({} all-miss requests, best of 3 cold rounds): f64 serial {:.3}s | \
+         f64 batched {:.3}s ({:.2}x) | int8 batched {:.3}s ({:.2}x) | \
+         f64 payloads identical: {} | gate passed: {} ({} int8 misses)",
+        report.miss_requests,
+        report.miss_serial_secs,
+        report.miss_batched_secs,
+        report.miss_batched_multiple(),
+        report.miss_quantized_secs,
+        report.miss_quantized_multiple(),
+        report.miss_batched_identical,
+        report.quantized_gate_passed,
+        report.quantized_misses
+    );
+    println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
          {} errors | batched == serial: {}",
         report.hits,
@@ -344,6 +360,31 @@ fn run_serve(
         eprintln!("FAIL: warmed restart never hit a pre-warmed entry");
         std::process::exit(1);
     }
+    if !report.miss_batched_identical {
+        eprintln!("FAIL: batched f64 inference diverged from single-row f64 inference");
+        std::process::exit(1);
+    }
+    if report.miss_batched_multiple() < 1.0 {
+        eprintln!(
+            "FAIL: batched f64 inference ({:.3}s) must not lose to single-row ({:.3}s)",
+            report.miss_batched_secs, report.miss_serial_secs
+        );
+        std::process::exit(1);
+    }
+    if !report.quantized_gate_passed {
+        eprintln!(
+            "FAIL: the int8 equivalence gate rejected a model ({} of {} misses went int8)",
+            report.quantized_misses, report.miss_requests
+        );
+        std::process::exit(1);
+    }
+    if report.miss_quantized_multiple() <= report.miss_batched_multiple() {
+        eprintln!(
+            "FAIL: int8 batched inference ({:.3}s) must beat f64 batched ({:.3}s)",
+            report.miss_quantized_secs, report.miss_batched_secs
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Parses the value following flag `--name`, printing the shared
@@ -376,7 +417,10 @@ fn print_fig3_histogram(eval: &Evaluation, metric: RewardKind, label: &str) {
             .map(|(_, d)| d)
             .collect();
         let bins = histogram(&diffs, 0.05, -1.0, 1.0);
-        // Trim empty margins for readability.
+        // Trim empty margins for readability. Unlike the serve shard
+        // tags, a missing position here is purely display-shaping: an
+        // all-empty histogram falls back to printing bin 0, and no
+        // identifier or cache key is derived from the index.
         let first = bins.iter().position(|b| b.frequency > 0.0).unwrap_or(0);
         let last = bins.iter().rposition(|b| b.frequency > 0.0).unwrap_or(0);
         println!("--- compared to {name} (x > 0 ⇒ RL better) ---");

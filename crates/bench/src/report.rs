@@ -39,7 +39,13 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// the same skewed mix, `warm_hits` on pre-warmed entries,
 /// `snapshot_entries`, and `payloads_identical` across the
 /// never-restarted/cold/warmed replays).
-pub const BENCH_SCHEMA_VERSION: u64 = 5;
+///
+/// v6: the serve report grew the cold-cache miss-path arm (`miss_path`
+/// block: an all-distinct, all-miss mix replayed with single-row f64,
+/// batched matrix-matrix f64, and gate-checked int8 batched inference;
+/// `batched_multiple`/`quantized_multiple` vs the serial baseline,
+/// `f64_payloads_identical`, `quantized_gate_passed`, `int8_misses`).
+pub const BENCH_SCHEMA_VERSION: u64 = 6;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -223,7 +229,37 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ),
         ("sharded", sharded_value(report)),
         ("restart", restart_value(report)),
+        ("miss_path", miss_path_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The miss-path block of `BENCH_serve.json`: cold-cache all-miss
+/// replays across the three inference modes, best-of-three rounds
+/// each.
+fn miss_path_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.miss_requests)),
+        ("f64_serial_secs", Value::from(report.miss_serial_secs)),
+        ("f64_batched_secs", Value::from(report.miss_batched_secs)),
+        ("int8_batched_secs", Value::from(report.miss_quantized_secs)),
+        (
+            "batched_multiple",
+            Value::from(report.miss_batched_multiple()),
+        ),
+        (
+            "quantized_multiple",
+            Value::from(report.miss_quantized_multiple()),
+        ),
+        (
+            "f64_payloads_identical",
+            Value::from(report.miss_batched_identical),
+        ),
+        (
+            "quantized_gate_passed",
+            Value::from(report.quantized_gate_passed),
+        ),
+        ("int8_misses", Value::from(report.quantized_misses)),
     ])
 }
 
@@ -412,6 +448,13 @@ mod tests {
             warmed_misses: 0,
             warm_hits: 390,
             restart_identical: true,
+            miss_requests: 36,
+            miss_serial_secs: 0.4,
+            miss_batched_secs: 0.2,
+            miss_quantized_secs: 0.1,
+            miss_batched_identical: true,
+            quantized_gate_passed: true,
+            quantized_misses: 36,
         };
         let settings = EvalSettings {
             verbose: false,
@@ -441,6 +484,12 @@ mod tests {
             "warm_hits",
             "warmed_vs_cold",
             "payloads_identical",
+            "miss_path",
+            "batched_multiple",
+            "quantized_multiple",
+            "f64_payloads_identical",
+            "quantized_gate_passed",
+            "int8_misses",
             "p99",
         ] {
             assert!(
@@ -477,5 +526,7 @@ mod tests {
         assert!((report.requests_per_sec_sharded() - 1000.0).abs() < 1e-9);
         assert!((report.sharded_vs_monolithic() - 1.25).abs() < 1e-9);
         assert!((report.warmed_vs_cold() - 5.0).abs() < 1e-9);
+        assert!((report.miss_batched_multiple() - 2.0).abs() < 1e-9);
+        assert!((report.miss_quantized_multiple() - 4.0).abs() < 1e-9);
     }
 }

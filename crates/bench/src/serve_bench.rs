@@ -14,6 +14,14 @@
 //! snapshot-warmed restart replay the same skewed mix — payloads must
 //! be byte-identical across all three, and the warmed restart's hit
 //! rate must beat the cold one's.
+//!
+//! A sixth arm isolates the miss path: an all-distinct, unpinned,
+//! cold-cache mix (every request is a policy-inference miss) replayed
+//! three ways — single-row f64 inference, batched matrix-matrix f64
+//! inference, and gate-checked int8 batched inference — best-of-three
+//! cold rounds each. The two f64 arms must produce byte-identical
+//! payloads, and the quantized arm's metrics expose whether the
+//! predictor's equivalence gate actually admitted the int8 path.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -155,6 +163,28 @@ pub struct ServeBenchReport {
     /// warmed-restarted replays produced byte-identical compilation
     /// payloads for every request.
     pub restart_identical: bool,
+    /// Distinct, unpinned requests in the cold-cache miss-path arm
+    /// (every one is a policy-inference miss).
+    pub miss_requests: usize,
+    /// Best-of-three cold wall-clock of the single-row f64 miss replay
+    /// (seconds).
+    pub miss_serial_secs: f64,
+    /// Best-of-three cold wall-clock of the batched matrix-matrix f64
+    /// miss replay (seconds).
+    pub miss_batched_secs: f64,
+    /// Best-of-three cold wall-clock of the gate-checked int8 batched
+    /// miss replay (seconds).
+    pub miss_quantized_secs: f64,
+    /// `true` iff the f64 serial and f64 batched miss replays produced
+    /// byte-identical compilation payloads.
+    pub miss_batched_identical: bool,
+    /// `true` iff every quantized-arm miss was actually computed by the
+    /// int8 path — the predictor's equivalence gate passed for every
+    /// routed model (a failed gate falls back to f64 and shows up
+    /// here).
+    pub quantized_gate_passed: bool,
+    /// Misses the quantized arm's metrics attributed to int8 inference.
+    pub quantized_misses: u64,
 }
 
 impl ServeBenchReport {
@@ -199,6 +229,20 @@ impl ServeBenchReport {
     /// what pre-warming the cache from a snapshot bought.
     pub fn warmed_vs_cold(&self) -> f64 {
         self.cold_restart_secs / self.warmed_restart_secs.max(1e-12)
+    }
+
+    /// Single-row f64 miss wall-clock divided by batched f64 miss
+    /// wall-clock: what matrix-matrix inference bought on an all-miss
+    /// mix, with bit-identical outputs.
+    pub fn miss_batched_multiple(&self) -> f64 {
+        self.miss_serial_secs / self.miss_batched_secs.max(1e-12)
+    }
+
+    /// Single-row f64 miss wall-clock divided by int8 batched miss
+    /// wall-clock: the quantized path's total win over the serial
+    /// baseline.
+    pub fn miss_quantized_multiple(&self) -> f64 {
+        self.miss_serial_secs / self.miss_quantized_secs.max(1e-12)
     }
 }
 
@@ -414,6 +458,70 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         && reference_payloads == warmed_payloads
         && reference_payloads.len() == traffic.len();
 
+    // --- The miss-path arm -----------------------------------------------
+    // Every request distinct and unpinned, replayed against a cold
+    // cache: no hits, no coalescing — the arm times policy inference
+    // itself. Three modes share the mix: single-row f64, batched
+    // matrix-matrix f64 (must be byte-identical), and gate-checked int8
+    // (falls back to f64 when the gate fails, which the mode counters
+    // expose). Best-of-three cold rounds each, so a stray scheduler
+    // hiccup cannot decide the comparison.
+    let miss_suite = qrc_benchgen::paper_suite(2, settings.max_qubits.min(3));
+    let miss_traffic: Vec<ServeRequest> = miss_suite
+        .iter()
+        .enumerate()
+        .flat_map(|(index, qc)| {
+            let text = qrc_circuit::qasm::to_qasm(qc);
+            qrc_predictor::RewardKind::ALL
+                .into_iter()
+                .map(move |objective| ServeRequest {
+                    id: Some(format!("miss-{index}-{}", objective.name())),
+                    qasm: text.clone(),
+                    objective,
+                    device_pin: None,
+                })
+        })
+        .collect();
+    // Gate calibration is a once-per-process startup cost: run it on
+    // the shared models before the timed rounds, so the initialized
+    // quantized policy rides along with every per-round clone instead
+    // of being re-derived inside the measurement.
+    for model in &models {
+        let _ = model.quantized_policy();
+    }
+    let miss_replay = |quantized: bool, batch_inference: bool| -> (Vec<Value>, f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut payloads = Vec::new();
+        let mut int8_misses = 0;
+        for _ in 0..3 {
+            let service = CompilationService::with_registry(
+                ModelRegistry::from_models(models.clone()),
+                &ServiceConfig {
+                    // Serial scheduling isolates the inference mode:
+                    // rayon fan-out would blur the three arms together.
+                    parallel: false,
+                    seed: settings.seed,
+                    verbose: false,
+                    quantized,
+                    batch_inference,
+                    ..ServiceConfig::default()
+                },
+            );
+            let start = Instant::now();
+            let responses = service.handle_batch(&miss_traffic);
+            best = best.min(start.elapsed().as_secs_f64());
+            payloads = responses.iter().map(ServeResponse::payload_value).collect();
+            int8_misses = service.metrics().misses_int8_batched;
+        }
+        (payloads, best, int8_misses)
+    };
+    let (miss_serial_payloads, miss_serial_secs, _) = miss_replay(false, false);
+    let (miss_batched_payloads, miss_batched_secs, _) = miss_replay(false, true);
+    let (_, miss_quantized_secs, quantized_misses) = miss_replay(true, true);
+    let miss_batched_identical = miss_serial_payloads == miss_batched_payloads
+        && miss_serial_payloads.len() == miss_traffic.len();
+    let quantized_gate_passed = quantized_misses == miss_traffic.len() as u64;
+
     let metrics = batched_service.metrics();
     ServeBenchReport {
         requests: traffic.len(),
@@ -452,6 +560,13 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         warmed_misses: warmed_cache.misses,
         warm_hits: warmed_cache.warm_hits,
         restart_identical,
+        miss_requests: miss_traffic.len(),
+        miss_serial_secs,
+        miss_batched_secs,
+        miss_quantized_secs,
+        miss_batched_identical,
+        quantized_gate_passed,
+        quantized_misses,
     }
 }
 

@@ -40,6 +40,25 @@ impl FlowState {
     }
 }
 
+/// Everything [`CompilationFlow::action_mask`] depends on, as a
+/// hashable key. Two flows with equal signatures have equal masks, so
+/// batched rollout engines memoize the mask per signature instead of
+/// recomputing it per flow per step. See
+/// [`CompilationFlow::mask_signature`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MaskSignature {
+    /// [`FlowState::index`] of the current state.
+    pub state: usize,
+    /// Canonical name of the chosen platform, if any.
+    pub platform: Option<&'static str>,
+    /// Canonical name of the chosen device, if any.
+    pub device: Option<&'static str>,
+    /// Whether a layout pass has been applied.
+    pub layout_applied: bool,
+    /// Width of the original (uncompiled) circuit.
+    pub width: u32,
+}
+
 /// The live state of one compilation episode.
 #[derive(Debug, Clone)]
 pub struct CompilationFlow {
@@ -136,6 +155,26 @@ impl CompilationFlow {
     /// The legality mask over [`Action::all`], in the same order.
     pub fn action_mask(&self) -> Vec<bool> {
         Action::all().iter().map(|a| self.is_legal(*a)).collect()
+    }
+
+    /// A compact hashable key over every input [`action_mask`] reads:
+    /// the Fig. 2 state, the chosen platform/device (if any), whether a
+    /// layout has been applied, and the original circuit width. The
+    /// mask is a *pure function* of this signature, so rollout engines
+    /// that hold many concurrent flows (the batched serving scheduler)
+    /// compute each distinct mask once per `(device, width, phase)`
+    /// combination and share it, instead of re-deriving it per flow per
+    /// step.
+    ///
+    /// [`action_mask`]: CompilationFlow::action_mask
+    pub fn mask_signature(&self) -> MaskSignature {
+        MaskSignature {
+            state: self.state.index(),
+            platform: self.platform.map(|p| p.name()),
+            device: self.device.as_ref().map(|d| d.id().name()),
+            layout_applied: self.layout_applied,
+            width: self.original_width,
+        }
     }
 
     /// Whether `action` may be applied in the current state.

@@ -45,10 +45,10 @@ pub use baseline::Baseline;
 pub use env::{
     observation_of, CompilationEnv, InvalidActionMode, ObservationMode, MAX_EPISODE_STEPS, OBS_DIM,
 };
-pub use flow::{CompilationFlow, FlowError, FlowState};
+pub use flow::{CompilationFlow, FlowError, FlowState, MaskSignature};
 pub use predictor::{
-    atomic_write, train, train_with_progress, CompilationOutcome, PersistError, PredictorConfig,
-    TrainedPredictor,
+    atomic_write, train, train_with_progress, BatchCompileRequest, CompilationOutcome,
+    PersistError, PredictorConfig, TrainedPredictor, QUANT_GATE_TOLERANCE,
 };
 pub use reward::RewardKind;
 

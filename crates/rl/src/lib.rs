@@ -28,7 +28,11 @@
 mod env;
 mod nn;
 mod ppo;
+mod quant;
 
 pub use env::{Environment, Step};
 pub use nn::{Adam, Gradients, Mlp};
-pub use ppo::{masked_softmax, sample_categorical, PpoAgent, PpoConfig, TrainStats};
+pub use ppo::{
+    greedy_from_logits, masked_softmax, sample_categorical, PpoAgent, PpoConfig, TrainStats,
+};
+pub use quant::{fast_tanh, QuantizedMlp};

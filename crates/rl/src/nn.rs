@@ -10,12 +10,12 @@ use serde::{Deserialize, Serialize};
 
 /// One dense layer: `y = W·x + b`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Linear {
+pub(crate) struct Linear {
     /// Row-major `out × in` weights.
-    w: Vec<f64>,
-    b: Vec<f64>,
-    inputs: usize,
-    outputs: usize,
+    pub(crate) w: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) inputs: usize,
+    pub(crate) outputs: usize,
 }
 
 impl Linear {
@@ -42,6 +42,34 @@ impl Linear {
                 acc += wi * xi;
             }
             out.push(acc);
+        }
+    }
+
+    /// Batched forward: `xs` holds `batch` row-major input rows of
+    /// `self.inputs` each; `out` is overwritten with `batch` row-major
+    /// output rows of `self.outputs` each — one matrix-matrix product.
+    ///
+    /// Row `r` of the output is **bit-identical** to [`Linear::forward`]
+    /// on row `r` of `xs`: each output element is the same dot product
+    /// accumulated in the same order (`acc = b[o]; acc += w·x` over the
+    /// inputs in order). Only the *outer* loop order changes — each
+    /// weight row is streamed once across the whole batch instead of
+    /// once per input vector, which is where the batched speedup
+    /// comes from.
+    fn forward_batch(&self, xs: &[f64], batch: usize, out: &mut Vec<f64>) {
+        debug_assert_eq!(xs.len(), batch * self.inputs);
+        out.clear();
+        out.resize(batch * self.outputs, 0.0);
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            for r in 0..batch {
+                let x = &xs[r * self.inputs..(r + 1) * self.inputs];
+                let mut acc = self.b[o];
+                for (wi, xi) in row.iter().zip(x.iter()) {
+                    acc += wi * xi;
+                }
+                out[r * self.outputs + o] = acc;
+            }
         }
     }
 }
@@ -150,6 +178,53 @@ impl Mlp {
     /// Plain forward pass.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         self.forward_cached(x).post.pop().expect("layers")
+    }
+
+    /// Batched forward pass: stacks the input vectors into one matrix
+    /// and computes each layer as a single matrix-matrix product.
+    ///
+    /// Output row `i` is **bit-identical** to [`Mlp::forward`] on
+    /// `xs[i]`: every output element is the same dot product
+    /// accumulated in the same order, and the hidden `tanh` is applied
+    /// to each element exactly as in the per-vector path. The batched
+    /// layout only changes memory traffic (each weight row streams
+    /// once per batch, and the per-layer scratch buffers are reused
+    /// instead of reallocated per vector), which is where the miss-path
+    /// speedup in serving comes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input row's length differs from the input
+    /// dimension.
+    pub fn forward_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let batch = xs.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        let inputs = self.input_dim();
+        let mut cur: Vec<f64> = Vec::with_capacity(batch * inputs);
+        for x in xs {
+            assert_eq!(x.len(), inputs, "input row length != input_dim");
+            cur.extend_from_slice(x);
+        }
+        let mut next: Vec<f64> = Vec::new();
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward_batch(&cur, batch, &mut next);
+            if i + 1 < n_layers {
+                for v in &mut next {
+                    *v = v.tanh();
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let outputs = self.output_dim();
+        cur.chunks(outputs).map(<[f64]>::to_vec).collect()
+    }
+
+    /// The dense layers, for crate-internal consumers (quantization).
+    pub(crate) fn layers(&self) -> &[Linear] {
+        &self.layers
     }
 
     /// Forward pass retaining intermediate activations for backprop.
@@ -521,6 +596,39 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn forward_batch_rows_are_bit_identical_to_forward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (inputs, hidden, outputs) in [(3usize, vec![], 2usize), (18, vec![64, 64], 29)] {
+            let net = Mlp::new(inputs, &hidden, outputs, &mut rng);
+            for batch in [1usize, 2, 7, 33] {
+                let xs: Vec<Vec<f64>> = (0..batch)
+                    .map(|_| (0..inputs).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                    .collect();
+                let batched = net.forward_batch(&xs);
+                assert_eq!(batched.len(), batch);
+                for (x, row) in xs.iter().zip(batched.iter()) {
+                    let single = net.forward(x);
+                    assert_eq!(single.len(), row.len());
+                    for (a, b) in single.iter().zip(row.iter()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "batched row diverged from per-vector forward"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_handles_empty_batch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Mlp::new(3, &[4], 2, &mut rng);
+        assert!(net.forward_batch(&[]).is_empty());
     }
 
     #[test]

@@ -266,13 +266,15 @@ impl PpoAgent {
     ///
     /// Panics if every action is masked.
     pub fn act_greedy(&self, obs: &[f64], mask: &[bool]) -> usize {
-        let probs = self.action_probs(obs, mask);
-        probs
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| a.total_cmp(b))
-            .map(|(i, _)| i)
-            .expect("non-empty action space")
+        greedy_from_logits(&self.policy.forward(obs), mask)
+    }
+
+    /// The policy network, read-only — external inference engines
+    /// (batched serving rollouts, int8 quantization) evaluate it
+    /// directly and pick actions with [`greedy_from_logits`], which is
+    /// guaranteed to agree with [`PpoAgent::act_greedy`].
+    pub fn policy(&self) -> &Mlp {
+        &self.policy
     }
 
     /// The value estimate for an observation.
@@ -477,6 +479,25 @@ fn clip_grad_norm(grads: &mut Gradients, max_norm: f64) {
     if norm > max_norm {
         grads.scale(max_norm / norm);
     }
+}
+
+/// The greedy action for one row of policy logits under a legality
+/// mask — the exact selection rule [`PpoAgent::act_greedy`] uses
+/// (masked softmax, then argmax by `total_cmp`), factored out so
+/// batched and quantized inference engines break ties identically to
+/// the per-vector path.
+///
+/// # Panics
+///
+/// Panics if every entry is masked.
+pub fn greedy_from_logits(logits: &[f64], mask: &[bool]) -> usize {
+    let probs = masked_softmax(logits, mask);
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .expect("non-empty action space")
 }
 
 /// Softmax over `logits` restricted to unmasked entries.

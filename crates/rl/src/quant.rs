@@ -1,0 +1,297 @@
+//! Int8 quantized inference for an [`Mlp`]: symmetric per-row weight
+//! quantization with dynamic per-vector activation quantization and
+//! exact `i32` accumulation.
+//!
+//! The quantized net is an *inference accelerator*, not a training
+//! artifact: it is built on the fly from full-precision weights
+//! ([`QuantizedMlp::quantize`]) and is expected to be gated by an
+//! equivalence check against the `f64` network before it is allowed to
+//! serve (the predictor layer runs an argmax-agreement gate over a
+//! calibration suite and falls back to the bit-exact `f64` path when
+//! the gate fails).
+//!
+//! Scheme, per dense layer `y = W·x + b`:
+//!
+//! - weights: each row `o` of `W` is scaled symmetrically into `i8` by
+//!   `s_o = max|W[o,·]| / 127`, so `W[o,i] ≈ w_q[o,i]·s_o`;
+//! - activations: each input vector is scaled symmetrically into `i8`
+//!   by `s_x = max|x| / 127` (recomputed per vector — "dynamic"
+//!   quantization, no calibration data needed for ranges);
+//! - accumulation: `Σ w_q·x_q` in `i32`, which is **exact** (the sum of
+//!   `inputs` products bounded by `127²` cannot overflow for any
+//!   realistic layer width), then dequantized as
+//!   `acc·s_o·s_x + b[o]` with the bias kept in `f64`;
+//! - hidden activations: [`fast_tanh`], a branch-free rational
+//!   approximation of `tanh` (absolute error under `1e-7`, orders of
+//!   magnitude inside the predictor's gate tolerance). The libm `tanh`
+//!   the float net uses is an opaque call the optimizer can neither
+//!   inline nor vectorize, and at serving-size layers it costs as much
+//!   as the matrix products themselves — a quantized path that kept it
+//!   would be no faster than the f64 path it approximates.
+//!
+//! Because the integer accumulation is exact and the activation is a
+//! fixed per-element rational function, a batched quantized forward is
+//! bit-identical per row to the single-vector quantized forward by
+//! construction — there is no floating-point reassociation anywhere in
+//! the path.
+
+use crate::nn::Mlp;
+
+/// A branch-free rational approximation of `tanh`: the classic
+/// 13/6-degree odd/even minimax quotient on `[-9, 9]` (the same shape
+/// Eigen and XLA ship for fast float `tanh`), with inputs clamped to
+/// the saturation boundary first. Absolute error stays below `1e-7`
+/// across the whole real line — noise relative to the int8 weight
+/// rounding this path already accepts, and five orders of magnitude
+/// inside the predictor's argmax gate tolerance.
+///
+/// Unlike libm's `tanh`, this is straight-line arithmetic the
+/// optimizer can inline and vectorize across a batch of hidden units.
+pub fn fast_tanh(x: f64) -> f64 {
+    // |x| ≥ 9 saturates: tanh(9) already rounds to 1.0 at ~1e-8.
+    let x = x.clamp(-9.0, 9.0);
+    let x2 = x * x;
+    let p = x
+        * (4.893_524_558_917_86e-3
+            + x2 * (6.372_619_288_754_36e-4
+                + x2 * (1.485_722_357_179_79e-5
+                    + x2 * (5.122_297_090_371_14e-8
+                        + x2 * (-8.604_671_522_137_35e-11
+                            + x2 * (2.000_187_904_824_77e-13 + x2 * -2.760_768_477_423_55e-16))))));
+    let q = 4.893_525_185_543_85e-3
+        + x2 * (2.268_434_632_439e-3
+            + x2 * (1.185_347_056_866_54e-4 + x2 * 1.198_258_394_667_02e-6));
+    p / q
+}
+
+/// One int8-quantized dense layer.
+#[derive(Debug, Clone)]
+struct QuantizedLinear {
+    /// Row-major `out × in` quantized weights.
+    w_q: Vec<i8>,
+    /// Per-output-row dequantization scale (`W[o,i] ≈ w_q[o,i]·row_scale[o]`).
+    row_scale: Vec<f64>,
+    /// Biases, kept in `f64` (they are `outputs` values — quantizing
+    /// them saves nothing and costs accuracy).
+    b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes `x` symmetrically into `buf` and returns the
+    /// dequantization scale (0 for an all-zero vector).
+    fn quantize_input(x: &[f64], buf: &mut Vec<i8>) -> f64 {
+        buf.clear();
+        let max = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if max == 0.0 {
+            buf.resize(x.len(), 0);
+            return 0.0;
+        }
+        let scale = max / 127.0;
+        buf.extend(
+            x.iter()
+                .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+        );
+        scale
+    }
+
+    /// Batched forward over row-major `xs` (`batch × inputs`), writing
+    /// row-major `batch × outputs` into `out`. Each input row is
+    /// quantized once, then every output element is one exact `i32`
+    /// dot product.
+    fn forward_batch(&self, xs: &[f64], batch: usize, out: &mut Vec<f64>, x_q: &mut Vec<i8>) {
+        debug_assert_eq!(xs.len(), batch * self.inputs);
+        out.clear();
+        out.resize(batch * self.outputs, 0.0);
+        for r in 0..batch {
+            let x = &xs[r * self.inputs..(r + 1) * self.inputs];
+            let x_scale = Self::quantize_input(x, x_q);
+            for o in 0..self.outputs {
+                let row = &self.w_q[o * self.inputs..(o + 1) * self.inputs];
+                let mut acc: i32 = 0;
+                for (wi, xi) in row.iter().zip(x_q.iter()) {
+                    acc += i32::from(*wi) * i32::from(*xi);
+                }
+                out[r * self.outputs + o] = acc as f64 * self.row_scale[o] * x_scale + self.b[o];
+            }
+        }
+    }
+}
+
+/// An int8-quantized [`Mlp`] for fast inference.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLinear>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a full-precision network (see the module docs for the
+    /// scheme). The source net is unchanged; callers are expected to
+    /// gate the result against the `f64` net before serving with it.
+    pub fn quantize(net: &Mlp) -> QuantizedMlp {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let mut w_q = Vec::with_capacity(layer.w.len());
+                let mut row_scale = Vec::with_capacity(layer.outputs);
+                for o in 0..layer.outputs {
+                    let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                    let max = row.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                    if max == 0.0 {
+                        row_scale.push(0.0);
+                        w_q.extend(std::iter::repeat_n(0i8, layer.inputs));
+                    } else {
+                        let scale = max / 127.0;
+                        row_scale.push(scale);
+                        w_q.extend(
+                            row.iter()
+                                .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+                        );
+                    }
+                }
+                QuantizedLinear {
+                    w_q,
+                    row_scale,
+                    b: layer.b.clone(),
+                    inputs: layer.inputs,
+                    outputs: layer.outputs,
+                }
+            })
+            .collect();
+        QuantizedMlp { layers }
+    }
+
+    /// Input dimension of the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output dimension of the last layer.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Quantized forward pass for one input vector.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_batch(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one row in, one row out")
+    }
+
+    /// Batched quantized forward pass. Row `i` of the output is
+    /// bit-identical to [`QuantizedMlp::forward`] on `xs[i]`: the
+    /// integer accumulation is exact, so batching cannot reassociate
+    /// anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input row's length differs from the input
+    /// dimension.
+    pub fn forward_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let batch = xs.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        let inputs = self.input_dim();
+        let mut cur: Vec<f64> = Vec::with_capacity(batch * inputs);
+        for x in xs {
+            assert_eq!(x.len(), inputs, "input row length != input_dim");
+            cur.extend_from_slice(x);
+        }
+        let mut next: Vec<f64> = Vec::new();
+        let mut x_q: Vec<i8> = Vec::new();
+        let n_layers = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward_batch(&cur, batch, &mut next, &mut x_q);
+            if i + 1 < n_layers {
+                for v in &mut next {
+                    *v = fast_tanh(*v);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let outputs = self.output_dim();
+        cur.chunks(outputs).map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quantized_forward_tracks_f64_closely() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::new(18, &[64, 64], 29, &mut rng);
+        let q = QuantizedMlp::quantize(&net);
+        assert_eq!(q.input_dim(), 18);
+        assert_eq!(q.output_dim(), 29);
+        for _ in 0..32 {
+            let x: Vec<f64> = (0..18).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let exact = net.forward(&x);
+            let quant = q.forward(&x);
+            let scale = exact.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (a, b) in exact.iter().zip(quant.iter()) {
+                assert!(
+                    (a - b).abs() <= 0.05 * scale,
+                    "quantized logit {b} drifted from {a} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batch_rows_are_bit_identical_to_single() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = Mlp::new(6, &[16], 4, &mut rng);
+        let q = QuantizedMlp::quantize(&net);
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|_| (0..6).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        let batched = q.forward_batch(&xs);
+        for (x, row) in xs.iter().zip(batched.iter()) {
+            let single = q.forward(x);
+            for (a, b) in single.iter().zip(row.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tanh_stays_within_its_error_bound() {
+        // Dense sweep across the active range plus the saturation
+        // boundary: the rational approximation must track libm tanh to
+        // < 1e-7 absolutely, everywhere.
+        let mut worst = 0.0f64;
+        for i in -120_000..=120_000 {
+            let x = i as f64 * 1e-4; // [-12, 12]
+            worst = worst.max((fast_tanh(x) - x.tanh()).abs());
+        }
+        assert!(worst < 1e-7, "fast_tanh drifted {worst:e} from tanh");
+        assert_eq!(fast_tanh(0.0), 0.0);
+        // Odd symmetry is exact: both halves run the same arithmetic.
+        assert_eq!(fast_tanh(0.73).to_bits(), (-fast_tanh(-0.73)).to_bits());
+    }
+
+    #[test]
+    fn zero_rows_and_zero_inputs_are_handled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Mlp::new(3, &[], 2, &mut rng);
+        let q = QuantizedMlp::quantize(&net);
+        // An all-zero input quantizes to scale 0 and yields the biases.
+        let y = q.forward(&[0.0, 0.0, 0.0]);
+        let exact = net.forward(&[0.0, 0.0, 0.0]);
+        for (a, b) in y.iter().zip(exact.iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "zero input must yield exact biases"
+            );
+        }
+        assert!(q.forward_batch(&[]).is_empty());
+    }
+}

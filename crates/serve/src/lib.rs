@@ -102,6 +102,7 @@ pub use protocol::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{CheckpointIdentity, ModelRegistry, ReloadReport, RoutedShard};
+pub use scheduler::{BatchOptions, BatchReport, InferenceMode, MissModeCounts};
 pub use service::{
     CompilationService, QueuedLine, ReplayWarmup, ServiceConfig, SnapshotWarmup, SnapshotWritten,
 };

@@ -14,6 +14,7 @@ use serde_json::Value;
 
 use crate::cache::CacheStats;
 use crate::protocol::CacheStatus;
+use crate::scheduler::InferenceMode;
 use crate::shard::{RouteLevel, ShardKey, ShardRoute};
 
 /// Number of recent latency samples retained for percentile estimates.
@@ -21,14 +22,20 @@ pub const LATENCY_WINDOW: usize = 65_536;
 
 /// Latency percentile over unsorted microsecond samples (nearest-rank;
 /// 0 on empty input). `q` is in `[0, 1]`.
+///
+/// Uses `select_nth_unstable` (introselect) instead of a full sort:
+/// every stats request computes percentiles over up to
+/// [`LATENCY_WINDOW`] samples while holding the latency lock's cloned
+/// window, so O(n) selection beats the old O(n log n) sort precisely
+/// when the window is full — the steady state of a busy service.
 pub fn percentile_us(samples: &[u64], q: f64) -> u64 {
     if samples.is_empty() {
         return 0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    sorted[rank - 1]
+    let mut scratch = samples.to_vec();
+    let rank = ((q.clamp(0.0, 1.0) * scratch.len() as f64).ceil() as usize).max(1);
+    let (_, nth, _) = scratch.select_nth_unstable(rank - 1);
+    *nth
 }
 
 /// A bounded ring of the most recent latency samples.
@@ -129,6 +136,9 @@ pub struct ServeMetrics {
     hit_responses: AtomicU64,
     miss_responses: AtomicU64,
     coalesced_responses: AtomicU64,
+    misses_f64_serial: AtomicU64,
+    misses_f64_batched: AtomicU64,
+    misses_int8_batched: AtomicU64,
     latency_sum_us: AtomicU64,
     latencies: Mutex<LatencyRing>,
     routing: Mutex<Routing>,
@@ -186,6 +196,24 @@ impl ServeMetrics {
             .push(micros);
     }
 
+    /// Records `count` cache misses computed under one inference mode.
+    ///
+    /// Counted per *mode actually used* — a batch that requested int8
+    /// but fell back to f64 (equivalence gate failure) reports the f64
+    /// mode, so these counters are evidence of what served traffic, not
+    /// of what was asked for.
+    pub fn record_miss_modes(&self, mode: InferenceMode, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let slot = match mode {
+            InferenceMode::F64Serial => &self.misses_f64_serial,
+            InferenceMode::F64Batched => &self.misses_f64_batched,
+            InferenceMode::Int8Batched => &self.misses_int8_batched,
+        };
+        slot.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// Records one back-pressure rejection (queue full). Rejections
     /// never reach the scheduler, so they are counted apart from
     /// `requests`/`errors` and excluded from the latency window — a
@@ -228,6 +256,9 @@ impl ServeMetrics {
             hit_responses: self.hit_responses.load(Ordering::Relaxed),
             miss_responses: self.miss_responses.load(Ordering::Relaxed),
             coalesced_responses: self.coalesced_responses.load(Ordering::Relaxed),
+            misses_f64_serial: self.misses_f64_serial.load(Ordering::Relaxed),
+            misses_f64_batched: self.misses_f64_batched.load(Ordering::Relaxed),
+            misses_int8_batched: self.misses_int8_batched.load(Ordering::Relaxed),
             cache,
             shards,
             routes,
@@ -260,6 +291,12 @@ pub struct MetricsSnapshot {
     pub miss_responses: u64,
     /// Requests answered `"cache":"coalesced"`.
     pub coalesced_responses: u64,
+    /// Misses computed one policy forward at a time in f64.
+    pub misses_f64_serial: u64,
+    /// Misses computed by batched f64 matrix-matrix inference.
+    pub misses_f64_batched: u64,
+    /// Misses computed by batched int8 (gate-checked) inference.
+    pub misses_int8_batched: u64,
     /// Store-level counters (unique lookups, insertions, evictions).
     pub cache: CacheStats,
     /// Per-shard routing counters, sorted by shard name.
@@ -288,6 +325,14 @@ impl MetricsSnapshot {
                     ("hit", Value::from(self.hit_responses)),
                     ("miss", Value::from(self.miss_responses)),
                     ("coalesced", Value::from(self.coalesced_responses)),
+                ]),
+            ),
+            (
+                "inference",
+                Value::object(vec![
+                    ("f64_serial", Value::from(self.misses_f64_serial)),
+                    ("f64_batched", Value::from(self.misses_f64_batched)),
+                    ("int8_batched", Value::from(self.misses_int8_batched)),
                 ]),
             ),
             (
@@ -350,6 +395,45 @@ mod tests {
         assert_eq!(percentile_us(&[7], 0.99), 7);
         // Unsorted input is handled.
         assert_eq!(percentile_us(&[30, 10, 20], 0.5), 20);
+    }
+
+    #[test]
+    fn percentile_selection_matches_sort_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(42);
+        for len in [1usize, 2, 3, 10, 257, 1024] {
+            let samples: Vec<u64> = (0..len).map(|_| rng.gen_range(0..10_000)).collect();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * len as f64).ceil() as usize).max(1);
+                assert_eq!(
+                    percentile_us(&samples, q),
+                    sorted[rank - 1],
+                    "len {len}, q {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inference_mode_counters_accumulate_and_render() {
+        let m = ServeMetrics::new();
+        m.record_miss_modes(InferenceMode::F64Serial, 2);
+        m.record_miss_modes(InferenceMode::F64Batched, 3);
+        m.record_miss_modes(InferenceMode::Int8Batched, 5);
+        m.record_miss_modes(InferenceMode::Int8Batched, 0); // no-op
+        let snap = m.snapshot(CacheStats::default());
+        assert_eq!(snap.misses_f64_serial, 2);
+        assert_eq!(snap.misses_f64_batched, 3);
+        assert_eq!(snap.misses_int8_batched, 5);
+        let text = serde_json::to_string(&snap.to_value());
+        assert!(text.contains("\"inference\""), "{text}");
+        assert!(text.contains("\"f64_serial\":2"), "{text}");
+        assert!(text.contains("\"f64_batched\":3"), "{text}");
+        assert!(text.contains("\"int8_batched\":5"), "{text}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use qrc_circuit::qasm;
-use qrc_predictor::{task_seed, TrainedPredictor};
+use qrc_predictor::{task_seed, BatchCompileRequest, CompilationOutcome, TrainedPredictor};
 use rayon::prelude::*;
 
 use crate::cache::{CacheKey, ResultCache};
@@ -40,12 +40,77 @@ struct Job {
     model: Arc<TrainedPredictor>,
 }
 
+/// One computed job's outcome: the rendered result (or pin-rejection
+/// error) plus the latency attributed to it in microseconds.
+type JobOutcome = (Result<Arc<CompiledResult>, String>, u64);
+
 /// The resolution of one unique key within a batch.
 enum Resolution {
     /// Found in the result cache before computing.
     CachedHit(Arc<CompiledResult>),
     /// Computed by this batch (latency in microseconds).
-    Computed(Result<Arc<CompiledResult>, String>, u64),
+    Computed(JobOutcome),
+}
+
+/// How the scheduler computes cache misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceMode {
+    /// One f64 policy forward per rollout step per job — the legacy
+    /// matrix-vector path, kept as the reference implementation.
+    F64Serial,
+    /// Concurrent misses routed to the same model are stacked and each
+    /// rollout tick runs **one** f64 matrix-matrix forward. Outcomes
+    /// are bit-identical to [`InferenceMode::F64Serial`].
+    F64Batched,
+    /// Batched int8 inference, per-model gated by the predictor's
+    /// equivalence check; a model whose gate fails serves its group on
+    /// the bit-exact [`InferenceMode::F64Batched`] path instead.
+    Int8Batched,
+}
+
+impl InferenceMode {
+    /// Stable name used in metrics and bench reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            InferenceMode::F64Serial => "f64_serial",
+            InferenceMode::F64Batched => "f64_batched",
+            InferenceMode::Int8Batched => "int8_batched",
+        }
+    }
+}
+
+/// How many unique misses each inference mode actually computed — the
+/// *effective* mode per model group, so an int8 request falling back to
+/// f64 (gate failure) is visible as f64 traffic, not mislabeled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissModeCounts {
+    /// Misses computed one forward at a time in f64.
+    pub f64_serial: u64,
+    /// Misses computed by batched f64 inference.
+    pub f64_batched: u64,
+    /// Misses computed by batched int8 inference.
+    pub int8_batched: u64,
+}
+
+impl MissModeCounts {
+    fn add(&mut self, mode: InferenceMode, count: u64) {
+        match mode {
+            InferenceMode::F64Serial => self.f64_serial += count,
+            InferenceMode::F64Batched => self.f64_batched += count,
+            InferenceMode::Int8Batched => self.int8_batched += count,
+        }
+    }
+}
+
+/// One batch's responses plus its execution accounting.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-request responses, in request order.
+    pub responses: Vec<ServeResponse>,
+    /// Unique misses computed, by effective inference mode (failed
+    /// computes — e.g. infeasible pins — are counted too: the rollout
+    /// engine still ran for them).
+    pub miss_modes: MissModeCounts,
 }
 
 /// Admission-time limits and execution mode of one scheduled batch.
@@ -56,6 +121,9 @@ pub struct BatchOptions {
     /// Reject circuits wider than this many qubits at admission
     /// (`u32::MAX` disables the limit).
     pub max_qubits: u32,
+    /// How misses run: serial reference path, batched f64, or
+    /// gate-checked batched int8.
+    pub inference: InferenceMode,
 }
 
 impl Default for BatchOptions {
@@ -63,6 +131,7 @@ impl Default for BatchOptions {
         BatchOptions {
             parallel: true,
             max_qubits: u32::MAX,
+            inference: InferenceMode::F64Batched,
         }
     }
 }
@@ -110,6 +179,28 @@ pub fn run_batch_with(
     requests: &[ServeRequest],
     queue_waits_us: Option<&[u64]>,
 ) -> Vec<ServeResponse> {
+    run_batch_reported(
+        registry,
+        cache,
+        master_seed,
+        options,
+        requests,
+        queue_waits_us,
+    )
+    .responses
+}
+
+/// Like [`run_batch_with`], additionally reporting how many unique
+/// misses each inference mode computed (for the service's per-mode
+/// counters).
+pub fn run_batch_reported(
+    registry: &ModelRegistry,
+    cache: &ResultCache,
+    master_seed: u64,
+    options: &BatchOptions,
+    requests: &[ServeRequest],
+    queue_waits_us: Option<&[u64]>,
+) -> BatchReport {
     if let Some(waits) = queue_waits_us {
         assert_eq!(waits.len(), requests.len(), "one queue wait per request");
     }
@@ -152,16 +243,26 @@ pub fn run_batch_with(
         admission_us.push(admission_start.elapsed().as_micros() as u64);
     }
 
-    // Execution: fan unique misses across the pool (or run serially).
-    let compute = |job: &Job| -> (Result<Arc<CompiledResult>, String>, u64) {
-        let start = Instant::now();
-        let result = execute(job, master_seed);
-        (result.map(Arc::new), start.elapsed().as_micros() as u64)
-    };
-    let outcomes: Vec<(Result<Arc<CompiledResult>, String>, u64)> = if options.parallel {
-        jobs.par_iter().map(compute).collect()
-    } else {
-        jobs.iter().map(compute).collect()
+    // Execution: serial reference path runs each job's own rollout;
+    // the batched modes stack each model's jobs into lockstep rollouts
+    // (one matrix-matrix policy forward per tick) and fan *model
+    // groups* across the pool.
+    let mut miss_modes = MissModeCounts::default();
+    let outcomes: Vec<JobOutcome> = match options.inference {
+        InferenceMode::F64Serial => {
+            miss_modes.add(InferenceMode::F64Serial, jobs.len() as u64);
+            let compute = |job: &Job| -> JobOutcome {
+                let start = Instant::now();
+                let result = execute(job, master_seed);
+                (result.map(Arc::new), start.elapsed().as_micros() as u64)
+            };
+            if options.parallel {
+                jobs.par_iter().map(compute).collect()
+            } else {
+                jobs.iter().map(compute).collect()
+            }
+        }
+        mode => execute_grouped(&jobs, master_seed, mode, options.parallel, &mut miss_modes),
     };
 
     // Publication: successful results enter the cache for future
@@ -170,13 +271,13 @@ pub fn run_batch_with(
         if let Ok(result) = &outcome {
             cache.insert(job.key, Arc::clone(result));
         }
-        resolutions[job_targets[i]] = Some(Resolution::Computed(outcome, micros));
+        resolutions[job_targets[i]] = Some(Resolution::Computed((outcome, micros)));
     }
 
     // Assembly, in request order: the first slot carrying a computed
     // key is the miss; later duplicates coalesce.
     let mut miss_claimed: std::collections::HashSet<CacheKey> = std::collections::HashSet::new();
-    requests
+    let responses = requests
         .iter()
         .zip(slots)
         .enumerate()
@@ -200,7 +301,7 @@ pub fn run_batch_with(
                         Resolution::CachedHit(found) => {
                             (Ok(Arc::clone(found)), CacheStatus::Hit, own_us)
                         }
-                        Resolution::Computed(outcome, compute_us) => {
+                        Resolution::Computed((outcome, compute_us)) => {
                             let first = miss_claimed.insert(key);
                             // Only the miss carries the rollout's cost;
                             // duplicates coalescing onto it report just
@@ -225,7 +326,102 @@ pub fn run_batch_with(
                 }
             }
         })
+        .collect();
+    BatchReport {
+        responses,
+        miss_modes,
+    }
+}
+
+/// Runs the batched execution stage: jobs are grouped by the model that
+/// serves them (in job order, so grouping is deterministic), each group
+/// runs one lockstep batched rollout, and groups fan across the rayon
+/// pool when `parallel` is set.
+///
+/// Latency attribution: a lockstep group's wall-clock is shared work —
+/// each of its jobs reports the group's elapsed time divided by the
+/// group size (floored at 1µs), so a batch's summed miss cost stays
+/// comparable to the serial path's per-job timings instead of
+/// N-counting the shared rollout.
+fn execute_grouped(
+    jobs: &[Job],
+    master_seed: u64,
+    mode: InferenceMode,
+    parallel: bool,
+    miss_modes: &mut MissModeCounts,
+) -> Vec<JobOutcome> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_model: HashMap<*const TrainedPredictor, usize> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let group = *by_model.entry(Arc::as_ptr(&job.model)).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[group].push(i);
+    }
+    let run_group = |indices: &Vec<usize>| -> (Vec<usize>, Vec<JobOutcome>, InferenceMode) {
+        let model = &jobs[indices[0]].model;
+        let items: Vec<BatchCompileRequest<'_>> = indices
+            .iter()
+            .map(|&i| {
+                let job = &jobs[i];
+                BatchCompileRequest {
+                    circuit: &job.circuit,
+                    pin: job.key.device_pin,
+                    seed: task_seed(master_seed, job.key.mix()),
+                }
+            })
+            .collect();
+        let start = Instant::now();
+        let (results, used_quantized) =
+            model.compile_batch(&items, mode == InferenceMode::Int8Batched);
+        let per_job_us = (start.elapsed().as_micros() as u64 / indices.len() as u64).max(1);
+        let effective = if used_quantized {
+            InferenceMode::Int8Batched
+        } else {
+            InferenceMode::F64Batched
+        };
+        let outcomes = indices
+            .iter()
+            .zip(results)
+            .map(|(&i, result)| {
+                let rendered = result
+                    .map(|outcome| Arc::new(render(&outcome)))
+                    .map_err(|e| {
+                        let pin = jobs[i].key.device_pin.map_or("?", |p| p.name());
+                        format!("pinned device `{pin}` rejected: {e}")
+                    });
+                (rendered, per_job_us)
+            })
+            .collect();
+        (indices.clone(), outcomes, effective)
+    };
+    let finished: Vec<_> = if parallel {
+        groups.par_iter().map(run_group).collect()
+    } else {
+        groups.iter().map(run_group).collect()
+    };
+    let mut out: Vec<Option<JobOutcome>> = jobs.iter().map(|_| None).collect();
+    for (indices, outcomes, effective) in finished {
+        miss_modes.add(effective, indices.len() as u64);
+        for (i, outcome) in indices.into_iter().zip(outcomes) {
+            out[i] = Some(outcome);
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every job computed"))
         .collect()
+}
+
+/// Renders a rollout outcome to the wire shape (shared by the serial
+/// and batched execution paths so their bodies are byte-identical).
+fn render(outcome: &CompilationOutcome) -> CompiledResult {
+    CompiledResult {
+        qasm: qasm::to_qasm(&outcome.circuit),
+        device: outcome.device,
+        actions: outcome.actions.iter().map(|a| a.name()).collect(),
+        reward: outcome.reward,
+    }
 }
 
 /// Validates one request far enough to give it a content address and a
@@ -295,12 +491,7 @@ fn execute(job: &Job, master_seed: u64) -> Result<CompiledResult, String> {
             let pin = job.key.device_pin.map_or("?", |p| p.name());
             format!("pinned device `{pin}` rejected: {e}")
         })?;
-    Ok(CompiledResult {
-        qasm: qasm::to_qasm(&outcome.circuit),
-        device: outcome.device,
-        actions: outcome.actions.iter().map(|a| a.name()).collect(),
-        reward: outcome.reward,
-    })
+    Ok(render(&outcome))
 }
 
 /// Convenience wrapper used by tests and the bench harness: admission

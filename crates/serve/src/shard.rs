@@ -78,12 +78,21 @@ impl DeviceClass {
     }
 
     /// Stable small integer for seed/shard mixing (0 = wildcard).
-    fn tag(self) -> u64 {
+    ///
+    /// Exhaustive by construction: the previous
+    /// `Platform::ALL.position(..).unwrap_or(0)` spelling silently
+    /// aliased any platform missing from `ALL` onto the wildcard's
+    /// tag 0 — which would merge that class's cache partition and
+    /// training seed with the wildcard shard's. A match cannot drift:
+    /// adding a platform without extending this table is a compile
+    /// error, not a seed collision.
+    const fn tag(self) -> u64 {
         match self {
             DeviceClass::Any => 0,
-            DeviceClass::Class(p) => {
-                1 + Platform::ALL.iter().position(|&x| x == p).unwrap_or(0) as u64
-            }
+            DeviceClass::Class(Platform::Ibm) => 1,
+            DeviceClass::Class(Platform::Rigetti) => 2,
+            DeviceClass::Class(Platform::Ionq) => 3,
+            DeviceClass::Class(Platform::Oqc) => 4,
         }
     }
 }
@@ -341,10 +350,15 @@ impl ShardKey {
     /// into per-shard training seeds (so sibling shards explore
     /// independently).
     pub fn tag(&self) -> u64 {
-        let objective = 1 + RewardKind::ALL
-            .iter()
-            .position(|&k| k == self.objective)
-            .unwrap_or(0) as u64;
+        // Exhaustive for the same reason as [`DeviceClass::tag`]: an
+        // objective absent from a scan of `RewardKind::ALL` would have
+        // aliased onto fidelity's tag, merging two shards' cache
+        // partitions and training seeds.
+        let objective: u64 = match self.objective {
+            RewardKind::ExpectedFidelity => 1,
+            RewardKind::CriticalDepth => 2,
+            RewardKind::Combination => 3,
+        };
         // Distinct multipliers keep the packed tag collision-free over
         // the small component spaces.
         objective * 64 + self.device_class.tag() * 8 + self.width_band.tag()
@@ -582,6 +596,36 @@ mod tests {
                     };
                     assert!(seen.insert(key.tag()), "duplicate tag for {key}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn tags_pin_the_historical_numbering() {
+        // Cache partitions and per-shard training seeds are derived
+        // from these integers; the exhaustive-match rewrite must keep
+        // the numbering the `ALL`-scan produced, or every persisted
+        // cache entry and trained shard would silently re-key.
+        assert_eq!(DeviceClass::Any.tag(), 0);
+        assert_eq!(DeviceClass::Class(Platform::Ibm).tag(), 1);
+        assert_eq!(DeviceClass::Class(Platform::Rigetti).tag(), 2);
+        assert_eq!(DeviceClass::Class(Platform::Ionq).tag(), 3);
+        assert_eq!(DeviceClass::Class(Platform::Oqc).tag(), 4);
+        for (objective, tag) in [
+            (RewardKind::ExpectedFidelity, 1),
+            (RewardKind::CriticalDepth, 2),
+            (RewardKind::Combination, 3),
+        ] {
+            assert_eq!(
+                ShardKey::wildcard(objective).tag(),
+                tag * 64,
+                "{objective:?}"
+            );
+        }
+        // And no class may alias the wildcard's partition.
+        for device_class in DeviceClass::all() {
+            if device_class != DeviceClass::Any {
+                assert_ne!(device_class.tag(), DeviceClass::Any.tag(), "{device_class}");
             }
         }
     }

@@ -52,7 +52,21 @@ impl Default for TrafficConfig {
 }
 
 /// Generates the deterministic request mix described by `config`.
+///
+/// # Panics
+///
+/// Panics when `config.skew < 1.0` (or is NaN). The exponent used to
+/// be clamped silently with `skew.max(1.0)`, which made a sub-uniform
+/// request (`skew 0.5` spreads traffic *flatter* than uniform) produce
+/// the default-looking skew-1 mix instead — a load test that quietly
+/// measures the wrong workload. An invalid shape is a caller bug worth
+/// failing loudly on.
 pub fn synthetic_mix(config: &TrafficConfig) -> Vec<ServeRequest> {
+    assert!(
+        config.skew >= 1.0,
+        "traffic skew must be >= 1.0 (1 = uniform), got {}",
+        config.skew
+    );
     let suite = paper_suite(config.min_qubits, config.max_qubits);
     assert!(!suite.is_empty(), "traffic mix needs a non-empty suite");
     let texts: Vec<String> = suite.iter().map(qasm::to_qasm).collect();
@@ -75,11 +89,11 @@ pub fn synthetic_mix(config: &TrafficConfig) -> Vec<ServeRequest> {
             // Power-law popularity: u^skew concentrates mass near 0.
             let u: f64 = rng.gen_range(0.0..1.0);
             let mut index =
-                ((u.powf(config.skew.max(1.0)) * suite.len() as f64) as usize).min(suite.len() - 1);
+                ((u.powf(config.skew) * suite.len() as f64) as usize).min(suite.len() - 1);
             if config.narrow_fraction > 0.0 && rng.gen_range(0.0..1.0) < config.narrow_fraction {
                 // Redirect into the narrow band, keeping the power-law
                 // popularity within it.
-                let slot = ((u.powf(config.skew.max(1.0)) * narrow_indices.len() as f64) as usize)
+                let slot = ((u.powf(config.skew) * narrow_indices.len() as f64) as usize)
                     .min(narrow_indices.len() - 1);
                 index = narrow_indices[slot];
             }
@@ -186,6 +200,39 @@ mod tests {
                 ..TrafficConfig::default()
             })
         );
+    }
+
+    #[test]
+    fn skew_boundary_of_one_is_accepted_and_uniform_ish() {
+        // skew == 1.0 is the documented uniform boundary: it must be
+        // accepted and spread traffic across far more of the suite than
+        // the default skew of 3 does.
+        let uniform = synthetic_mix(&TrafficConfig {
+            skew: 1.0,
+            ..TrafficConfig::default()
+        });
+        let skewed = synthetic_mix(&TrafficConfig::default());
+        let unique = |mix: &[ServeRequest]| {
+            mix.iter()
+                .map(|r| r.qasm.as_str())
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        assert!(
+            unique(&uniform) > unique(&skewed),
+            "skew 1 must spread wider than skew 3 ({} vs {})",
+            unique(&uniform),
+            unique(&skewed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "traffic skew must be >= 1.0")]
+    fn sub_uniform_skew_is_rejected_not_clamped() {
+        synthetic_mix(&TrafficConfig {
+            skew: 0.99,
+            ..TrafficConfig::default()
+        });
     }
 
     #[test]

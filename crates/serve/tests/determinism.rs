@@ -97,6 +97,46 @@ fn batch_boundaries_do_not_change_results() {
 }
 
 #[test]
+fn batched_inference_is_byte_identical_to_serial_inference() {
+    let traffic = synthetic_mix(&TrafficConfig {
+        requests: 30,
+        max_qubits: 4,
+        ..TrafficConfig::default()
+    });
+
+    // Cold caches on both sides, so every unique job runs the policy:
+    // this compares the single-row forward path against the batched
+    // matrix-matrix path, not the cache.
+    let serial = CompilationService::with_registry(
+        tiny_registry(),
+        &ServiceConfig {
+            batch_inference: false,
+            ..service_config(false)
+        },
+    );
+    let batched = CompilationService::with_registry(tiny_registry(), &service_config(false));
+
+    let a = serial.handle_batch(&traffic);
+    let b = batched.handle_batch(&traffic);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            x.body_value(),
+            y.body_value(),
+            "batched inference diverged from serial inference"
+        );
+    }
+
+    // Each side attributes every miss to its own inference mode.
+    let sm = serial.metrics();
+    let bm = batched.metrics();
+    assert!(sm.misses_f64_serial > 0);
+    assert_eq!(sm.misses_f64_batched + sm.misses_int8_batched, 0);
+    assert!(bm.misses_f64_batched > 0);
+    assert_eq!(bm.misses_f64_serial + bm.misses_int8_batched, 0);
+}
+
+#[test]
 fn duplicate_requests_in_one_batch_coalesce() {
     let service = CompilationService::with_registry(tiny_registry(), &service_config(true));
     let mut qc = qrc_circuit::QuantumCircuit::new(3);
