@@ -21,9 +21,12 @@
 //!                           vs the monolithic baseline over a
 //!                           multi-device width-skewed mix, a
 //!                           restart-warmup arm (cold restart vs
-//!                           snapshot-warmed restart), and a cold-cache
+//!                           snapshot-warmed restart), a cold-cache
 //!                           miss-path arm (single-row f64 vs batched
-//!                           f64 vs gate-checked int8 inference)
+//!                           f64 vs gate-checked int8 inference), and
+//!                           an observability arm (full profiler +
+//!                           span sampling on vs off, with a per-stage
+//!                           latency breakdown)
 //!                           (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
@@ -315,6 +318,31 @@ fn run_serve(
         report.quantized_misses
     );
     println!(
+        "observability ({} requests, 1-in-{} spans, best of 5 cold rounds): \
+         off {:.3}s | on {:.3}s | overhead {:+.2}% | payloads identical: {} | \
+         {} spans over {} sampled requests (trace valid: {})",
+        report.obs_requests,
+        report.obs_trace_sample,
+        report.obs_disabled_secs,
+        report.obs_enabled_secs,
+        report.obs_overhead_frac() * 100.0,
+        report.obs_identical,
+        report.obs_trace_events,
+        report.obs_sampled_requests,
+        report.obs_trace_valid
+    );
+    println!(
+        "  stage breakdown: parse {:.0}µs + admission {:.0}µs + compute {:.0}µs \
+         accounts for {:.1}% of the {:.0}µs mean miss latency \
+         (profiler drill-down: {:.0}µs/miss)",
+        report.obs_parse_mean_us,
+        report.obs_admission_mean_us,
+        report.obs_compute_mean_us,
+        report.obs_breakdown_frac() * 100.0,
+        report.obs_mean_miss_us,
+        report.obs_profile_mean_us
+    );
+    println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
          {} errors | batched == serial: {}",
         report.hits,
@@ -382,6 +410,36 @@ fn run_serve(
         eprintln!(
             "FAIL: int8 batched inference ({:.3}s) must beat f64 batched ({:.3}s)",
             report.miss_quantized_secs, report.miss_batched_secs
+        );
+        std::process::exit(1);
+    }
+    if !report.obs_identical {
+        eprintln!("FAIL: the observability surface changed compilation payloads");
+        std::process::exit(1);
+    }
+    if report.obs_overhead_frac() > 0.05 {
+        eprintln!(
+            "FAIL: observability overhead {:.2}% exceeds the 5% budget \
+             (on {:.3}s vs off {:.3}s)",
+            report.obs_overhead_frac() * 100.0,
+            report.obs_enabled_secs,
+            report.obs_disabled_secs
+        );
+        std::process::exit(1);
+    }
+    if report.obs_breakdown_frac() < 0.9 {
+        eprintln!(
+            "FAIL: stage breakdown accounts for only {:.1}% of the mean miss latency \
+             (must be ≥ 90%)",
+            report.obs_breakdown_frac() * 100.0
+        );
+        std::process::exit(1);
+    }
+    if !report.obs_trace_valid || report.obs_sampled_requests == 0 {
+        eprintln!(
+            "FAIL: the instrumented replay produced no valid trace \
+             ({} spans over {} sampled requests)",
+            report.obs_trace_events, report.obs_sampled_requests
         );
         std::process::exit(1);
     }

@@ -45,7 +45,15 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// batched matrix-matrix f64, and gate-checked int8 batched inference;
 /// `batched_multiple`/`quantized_multiple` vs the serial baseline,
 /// `f64_payloads_identical`, `quantized_gate_passed`, `int8_misses`).
-pub const BENCH_SCHEMA_VERSION: u64 = 6;
+///
+/// v7: the serve report grew the observability arm (`observability`
+/// block: the all-miss mix replayed through the queued front-end path
+/// with the full observability surface — global profiler + 1-in-N span
+/// sampling — on vs off; `overhead_frac`, `payloads_identical`, trace
+/// sink stats, and a per-stage latency breakdown reconciled against
+/// the mean reported miss latency), and `latency_us` gained
+/// `p999`/`min`/`max` from the log-bucketed histogram.
+pub const BENCH_SCHEMA_VERSION: u64 = 7;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -215,6 +223,9 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
             Value::object(vec![
                 ("p50", Value::from(report.p50_us)),
                 ("p99", Value::from(report.p99_us)),
+                ("p999", Value::from(report.p999_us)),
+                ("min", Value::from(report.min_us)),
+                ("max", Value::from(report.max_us)),
             ]),
         ),
         ("errors", Value::from(report.errors)),
@@ -230,7 +241,45 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ("sharded", sharded_value(report)),
         ("restart", restart_value(report)),
         ("miss_path", miss_path_value(report)),
+        ("observability", observability_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The observability block of `BENCH_serve.json`: the cost of the full
+/// observability surface (profiler + span sampling) over the all-miss
+/// mix, plus the per-stage latency breakdown reconciled against the
+/// mean reported miss latency.
+fn observability_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.obs_requests)),
+        ("trace_sample", Value::from(report.obs_trace_sample)),
+        ("disabled_secs", Value::from(report.obs_disabled_secs)),
+        ("enabled_secs", Value::from(report.obs_enabled_secs)),
+        ("overhead_frac", Value::from(report.obs_overhead_frac())),
+        ("payloads_identical", Value::from(report.obs_identical)),
+        (
+            "trace",
+            Value::object(vec![
+                ("sampled_requests", Value::from(report.obs_sampled_requests)),
+                ("events", Value::from(report.obs_trace_events)),
+                ("valid", Value::from(report.obs_trace_valid)),
+            ]),
+        ),
+        ("mean_miss_us", Value::from(report.obs_mean_miss_us)),
+        (
+            "stage_means_us",
+            Value::object(vec![
+                ("parse", Value::from(report.obs_parse_mean_us)),
+                ("admission", Value::from(report.obs_admission_mean_us)),
+                ("compute", Value::from(report.obs_compute_mean_us)),
+                ("profile_drilldown", Value::from(report.obs_profile_mean_us)),
+            ]),
+        ),
+        (
+            "stage_breakdown_frac",
+            Value::from(report.obs_breakdown_frac()),
+        ),
     ])
 }
 
@@ -414,6 +463,9 @@ mod tests {
             errors: 0,
             p50_us: 900,
             p99_us: 4200,
+            p999_us: 5100,
+            min_us: 12,
+            max_us: 5200,
             shard_train_secs: 5.0,
             sharded_requests: 400,
             sharded_serial_secs: 2.5,
@@ -455,6 +507,19 @@ mod tests {
             miss_batched_identical: true,
             quantized_gate_passed: true,
             quantized_misses: 36,
+            obs_requests: 36,
+            obs_trace_sample: 4,
+            obs_disabled_secs: 0.4,
+            obs_enabled_secs: 0.41,
+            obs_identical: true,
+            obs_sampled_requests: 9,
+            obs_trace_events: 36,
+            obs_trace_valid: true,
+            obs_mean_miss_us: 10_000.0,
+            obs_parse_mean_us: 40.0,
+            obs_admission_mean_us: 60.0,
+            obs_compute_mean_us: 9_700.0,
+            obs_profile_mean_us: 9_000.0,
         };
         let settings = EvalSettings {
             verbose: false,
@@ -491,6 +556,15 @@ mod tests {
             "quantized_gate_passed",
             "int8_misses",
             "p99",
+            "p999",
+            "observability",
+            "overhead_frac",
+            "trace_sample",
+            "sampled_requests",
+            "mean_miss_us",
+            "stage_means_us",
+            "profile_drilldown",
+            "stage_breakdown_frac",
         ] {
             assert!(
                 serve_text.contains(key),
@@ -528,5 +602,7 @@ mod tests {
         assert!((report.warmed_vs_cold() - 5.0).abs() < 1e-9);
         assert!((report.miss_batched_multiple() - 2.0).abs() < 1e-9);
         assert!((report.miss_quantized_multiple() - 4.0).abs() < 1e-9);
+        assert!((report.obs_overhead_frac() - 0.025).abs() < 1e-9);
+        assert!((report.obs_breakdown_frac() - 0.98).abs() < 1e-9);
     }
 }

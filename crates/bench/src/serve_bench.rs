@@ -22,6 +22,15 @@
 //! cold rounds each. The two f64 arms must produce byte-identical
 //! payloads, and the quantized arm's metrics expose whether the
 //! predictor's equivalence gate actually admitted the int8 path.
+//!
+//! A seventh arm prices the observability surface: the same all-miss
+//! mix replayed through the queued front-end path (stage histograms,
+//! request ids, span sampling all live) with the global profiler and
+//! 1-in-N trace sampling on vs fully off, best-of-five cold rounds
+//! each. Payloads must be byte-identical — instrumentation must never
+//! leak into results — and the instrumented round's per-stage
+//! histograms must account for (nearly all of) the mean miss latency
+//! the responses themselves reported.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -30,9 +39,9 @@ use std::time::{Duration, Instant};
 
 use qrc_predictor::task_seed;
 use qrc_serve::{
-    serve_socket, synthetic_mix, CompilationService, DeviceClass, FrontendConfig, ModelRegistry,
-    RouteCounts, ServeRequest, ServeResponse, ServiceConfig, ShardCounters, ShardKey, ShutdownFlag,
-    TrafficConfig, WidthBand,
+    serve_socket, synthetic_mix, CacheStatus, CompilationService, DeviceClass, FrontendConfig,
+    ModelRegistry, QueuedLine, RouteCounts, ServeRequest, ServeResponse, ServiceConfig,
+    ShardCounters, ShardKey, ShutdownFlag, Stage, TrafficConfig, WidthBand,
 };
 use serde_json::Value;
 
@@ -115,6 +124,12 @@ pub struct ServeBenchReport {
     pub p50_us: u64,
     /// 99th-percentile per-request latency of the batched replay (µs).
     pub p99_us: u64,
+    /// 99.9th-percentile per-request latency of the batched replay (µs).
+    pub p999_us: u64,
+    /// Fastest per-request latency of the batched replay (µs).
+    pub min_us: u64,
+    /// Slowest per-request latency of the batched replay (µs).
+    pub max_us: u64,
     /// Seconds to train the extra (non-wildcard) shards on their
     /// scoped benchmark slices.
     pub shard_train_secs: f64,
@@ -185,6 +200,40 @@ pub struct ServeBenchReport {
     pub quantized_gate_passed: bool,
     /// Misses the quantized arm's metrics attributed to int8 inference.
     pub quantized_misses: u64,
+    /// Requests in the observability arm (the all-miss mix replayed
+    /// through the queued front-end path, so stage histograms, request
+    /// ids, and span sampling are all exercised).
+    pub obs_requests: usize,
+    /// Trace sampling rate of the instrumented replay (1-in-N).
+    pub obs_trace_sample: u64,
+    /// Best-of-five cold wall-clock with the observability surface off
+    /// (profiler and tracing disabled; seconds).
+    pub obs_disabled_secs: f64,
+    /// Best-of-five cold wall-clock with the full observability
+    /// surface on (global profiler + 1-in-N span sampling; seconds).
+    pub obs_enabled_secs: f64,
+    /// `true` iff the instrumented and uninstrumented replays produced
+    /// byte-identical compilation payloads.
+    pub obs_identical: bool,
+    /// Requests the instrumented replay's trace sink sampled.
+    pub obs_sampled_requests: u64,
+    /// Spans those sampled requests produced.
+    pub obs_trace_events: u64,
+    /// `true` iff the sink rendered a well-formed Chrome trace: a
+    /// non-empty `traceEvents` array of complete (`"ph":"X"`) events.
+    pub obs_trace_valid: bool,
+    /// Mean reported latency of the instrumented replay's cache misses
+    /// (µs) — what the per-stage breakdown must reconstruct.
+    pub obs_mean_miss_us: f64,
+    /// Mean per-request parse time from the stage histograms (µs).
+    pub obs_parse_mean_us: f64,
+    /// Mean per-request admission time from the stage histograms (µs).
+    pub obs_admission_mean_us: f64,
+    /// Mean per-miss compute time from the stage histograms (µs).
+    pub obs_compute_mean_us: f64,
+    /// Profiler-attributed time (rollout ticks + named compute
+    /// sections) per miss (µs) — the drill-down under `compute`.
+    pub obs_profile_mean_us: f64,
 }
 
 impl ServeBenchReport {
@@ -243,6 +292,22 @@ impl ServeBenchReport {
     /// baseline.
     pub fn miss_quantized_multiple(&self) -> f64 {
         self.miss_serial_secs / self.miss_quantized_secs.max(1e-12)
+    }
+
+    /// Instrumented wall-clock over uninstrumented, minus one: the
+    /// throughput cost of leaving the full observability surface on.
+    /// Negative values are measurement noise (the surface is cheaper
+    /// than run-to-run variance).
+    pub fn obs_overhead_frac(&self) -> f64 {
+        self.obs_enabled_secs / self.obs_disabled_secs.max(1e-12) - 1.0
+    }
+
+    /// Fraction of the mean reported miss latency the per-stage
+    /// histograms account for (parse + admission + compute; queue wait
+    /// is zero on this path).
+    pub fn obs_breakdown_frac(&self) -> f64 {
+        (self.obs_parse_mean_us + self.obs_admission_mean_us + self.obs_compute_mean_us)
+            / self.obs_mean_miss_us.max(1e-12)
     }
 }
 
@@ -522,6 +587,123 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         && miss_serial_payloads.len() == miss_traffic.len();
     let quantized_gate_passed = quantized_misses == miss_traffic.len() as u64;
 
+    // --- The observability arm -------------------------------------------
+    // The same all-miss mix once more, this time through the queued
+    // front-end path (`handle_queued`) so every surface the serving
+    // stack instruments is live: stage histograms, request ids, span
+    // synthesis. The full observability surface on (global profiler +
+    // 1-in-N trace sampling) vs off, best-of-five cold rounds each —
+    // must produce byte-identical payloads, and the instrumented
+    // rounds' stage histograms must reconstruct the miss latency the
+    // responses themselves reported.
+    const OBS_TRACE_SAMPLE: u64 = 4;
+    let obs_lines: Vec<String> = miss_traffic.iter().map(ServeRequest::to_line).collect();
+    let obs_round =
+        |instrumented: bool| -> (Vec<Value>, f64, Vec<ServeResponse>, CompilationService) {
+            qrc_obs::profile::reset();
+            qrc_obs::profile::set_enabled(instrumented);
+            let service = CompilationService::with_registry(
+                ModelRegistry::from_models(models.clone()),
+                &ServiceConfig {
+                    // Serial scheduling, like the miss arm: the two
+                    // rounds must differ only in instrumentation.
+                    parallel: false,
+                    seed: settings.seed,
+                    verbose: false,
+                    ..ServiceConfig::default()
+                },
+            );
+            if instrumented {
+                service.enable_tracing(OBS_TRACE_SAMPLE);
+            }
+            let queued: Vec<QueuedLine> = obs_lines
+                .iter()
+                .map(|line| QueuedLine {
+                    line: line.clone(),
+                    queue_us: 0,
+                })
+                .collect();
+            let start = Instant::now();
+            let mut responses = Vec::with_capacity(queued.len());
+            for chunk in queued.chunks(serve.batch_size.max(1)) {
+                responses.extend(service.handle_queued(chunk));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let payloads = responses.iter().map(ServeResponse::payload_value).collect();
+            (payloads, secs, responses, service)
+        };
+    // Five off/on round *pairs*, not the miss arm's sequential
+    // best-of-three per config: the overhead gate compares two
+    // near-identical wall-clocks, so the arms are interleaved (any
+    // ambient load drift hits both equally) and the minimum gets
+    // enough draws to shake scheduler noise out.
+    let mut obs_disabled_secs = f64::INFINITY;
+    let mut obs_enabled_secs = f64::INFINITY;
+    let mut obs_off_payloads = Vec::new();
+    let mut obs_kept = None;
+    for _ in 0..5 {
+        let (payloads, secs, _, _) = obs_round(false);
+        obs_disabled_secs = obs_disabled_secs.min(secs);
+        obs_off_payloads = payloads;
+        let (payloads, secs, responses, service) = obs_round(true);
+        obs_enabled_secs = obs_enabled_secs.min(secs);
+        obs_kept = Some((payloads, responses, service));
+    }
+    let (obs_on_payloads, obs_responses, obs_service) =
+        obs_kept.expect("at least one observability round pair");
+    // Snapshot the global profiler before anything else perturbs it; it
+    // reflects the instrumented arm's final round, as do the service's
+    // stage histograms and responses below (each round resets it).
+    let obs_profile = qrc_obs::profile::snapshot();
+    qrc_obs::profile::set_enabled(false);
+    qrc_obs::profile::reset();
+
+    let obs_identical =
+        obs_off_payloads == obs_on_payloads && obs_on_payloads.len() == miss_traffic.len();
+    let obs_miss_micros: Vec<u64> = obs_responses
+        .iter()
+        .filter(|r| matches!(r.result, Ok((_, CacheStatus::Miss))))
+        .map(|r| r.micros)
+        .collect();
+    let obs_mean_miss_us = if obs_miss_micros.is_empty() {
+        0.0
+    } else {
+        obs_miss_micros.iter().sum::<u64>() as f64 / obs_miss_micros.len() as f64
+    };
+    let stage_mean = |stage: Stage| -> f64 {
+        let h = obs_service.stage_histogram(stage);
+        if h.count() == 0 {
+            0.0
+        } else {
+            h.sum() as f64 / h.count() as f64
+        }
+    };
+    let obs_profile_mean_us = if obs_miss_micros.is_empty() {
+        0.0
+    } else {
+        obs_profile.total_us() as f64 / obs_miss_micros.len() as f64
+    };
+    let obs_sink = obs_service.trace_sink();
+    let obs_trace = obs_sink.to_chrome_value();
+    let obs_trace_events = match &obs_trace {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(key, _)| key == "traceEvents")
+            .map(|(_, events)| events),
+        _ => None,
+    };
+    let (obs_trace_events, obs_trace_valid) = match obs_trace_events {
+        Some(Value::Array(events)) => (
+            events.len() as u64,
+            !events.is_empty()
+                && events.iter().all(|event| {
+                    matches!(event, Value::Object(pairs)
+                        if pairs.iter().any(|(key, value)| key == "ph" && value == &Value::from("X")))
+                }),
+        ),
+        _ => (0, false),
+    };
+
     let metrics = batched_service.metrics();
     ServeBenchReport {
         requests: traffic.len(),
@@ -540,6 +722,9 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         errors: metrics.errors,
         p50_us: metrics.p50_us,
         p99_us: metrics.p99_us,
+        p999_us: metrics.p999_us,
+        min_us: metrics.min_us,
+        max_us: metrics.max_us,
         shard_train_secs,
         sharded_requests: sharded_traffic.len(),
         sharded_serial_secs,
@@ -567,6 +752,19 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         miss_batched_identical,
         quantized_gate_passed,
         quantized_misses,
+        obs_requests: miss_traffic.len(),
+        obs_trace_sample: OBS_TRACE_SAMPLE,
+        obs_disabled_secs,
+        obs_enabled_secs,
+        obs_identical,
+        obs_sampled_requests: obs_sink.sampled_requests(),
+        obs_trace_events,
+        obs_trace_valid,
+        obs_mean_miss_us,
+        obs_parse_mean_us: stage_mean(Stage::Parse),
+        obs_admission_mean_us: stage_mean(Stage::Admission),
+        obs_compute_mean_us: stage_mean(Stage::Compute),
+        obs_profile_mean_us,
     }
 }
 
@@ -598,8 +796,9 @@ fn train_bench_shards(
 /// shut down gracefully. Binds `listen` when given, retrying on an
 /// ephemeral loopback port if that address is busy (never silently
 /// skipping the arm). Returns each response as a payload value (cache
-/// status and latency stripped), the replay wall-clock, and the port
-/// actually bound.
+/// status, latency, and service-assigned `rid` stripped — all three
+/// depend on timing or arrival order, not content), the replay
+/// wall-clock, and the port actually bound.
 fn replay_pipelined(
     service: &Arc<CompilationService>,
     traffic: &[ServeRequest],
@@ -662,7 +861,7 @@ fn replay_pipelined(
         }
         let mut value = serde_json::from_str(line.trim_end()).expect("response line is JSON");
         if let Value::Object(pairs) = &mut value {
-            pairs.retain(|(key, _)| key != "cache" && key != "micros");
+            pairs.retain(|(key, _)| key != "cache" && key != "micros" && key != "rid");
         }
         payloads.push(value);
     }

@@ -251,7 +251,11 @@ impl CompilationFlow {
             Some(dev) => PassContext::for_device(dev).with_seed(seed),
             None => PassContext::device_free().with_seed(seed),
         };
-        let outcome = pass.apply(&self.circuit, &ctx).map_err(FlowError::Pass)?;
+        // `apply_timed` feeds the per-pass histograms of the global
+        // profiler when it is enabled (qrc-serve does at startup).
+        let outcome = pass
+            .apply_timed(&self.circuit, &ctx)
+            .map_err(FlowError::Pass)?;
         self.circuit = outcome.circuit;
         match outcome.effect {
             WireEffect::Rewrite => {}

@@ -408,13 +408,21 @@ impl TrainedPredictor {
             if flow.is_done() {
                 break;
             }
-            let mask = flow.action_mask();
+            let mask = qrc_obs::profile::section_timed("mask", || flow.action_mask());
             if !mask.iter().any(|&m| m) {
                 break;
             }
-            let obs = observation_of(&flow);
-            let choice = self.agent.act_greedy(&obs, &mask);
-            if flow.apply(all[choice]).is_err() {
+            let obs = qrc_obs::profile::section_timed("observation", || observation_of(&flow));
+            // One policy forward per tick; timed when profiling is on.
+            let choice = if qrc_obs::profile::enabled() {
+                let start = std::time::Instant::now();
+                let choice = self.agent.act_greedy(&obs, &mask);
+                qrc_obs::profile::record_tick(start.elapsed().as_micros() as u64);
+                choice
+            } else {
+                self.agent.act_greedy(&obs, &mask)
+            };
+            if qrc_obs::profile::section_timed("apply", || flow.apply(all[choice])).is_err() {
                 break;
             }
         }
@@ -425,7 +433,9 @@ impl TrainedPredictor {
     /// outcome — the shared tail of the serial and batched rollouts.
     fn outcome_of(&self, flow: CompilationFlow, metric: RewardKind) -> CompilationOutcome {
         let reward = match (flow.is_done(), flow.device()) {
-            (true, Some(dev)) => metric.evaluate(flow.circuit(), dev),
+            (true, Some(dev)) => {
+                qrc_obs::profile::section_timed("reward", || metric.evaluate(flow.circuit(), dev))
+            }
             _ => 0.0,
         };
         CompilationOutcome {
@@ -544,29 +554,40 @@ impl TrainedPredictor {
                     results[lane.item] = Some(Ok(self.outcome_of(lane.flow, self.reward)));
                     continue;
                 }
-                let mask = mask_memo
-                    .entry(lane.flow.mask_signature())
-                    .or_insert_with(|| lane.flow.action_mask())
-                    .clone();
+                let mask = qrc_obs::profile::section_timed("mask", || {
+                    mask_memo
+                        .entry(lane.flow.mask_signature())
+                        .or_insert_with(|| lane.flow.action_mask())
+                        .clone()
+                });
                 if !mask.iter().any(|&m| m) {
                     results[lane.item] = Some(Ok(self.outcome_of(lane.flow, self.reward)));
                     continue;
                 }
-                obs_rows.push(observation_of(&lane.flow));
+                obs_rows.push(qrc_obs::profile::section_timed("observation", || {
+                    observation_of(&lane.flow)
+                }));
                 mask_rows.push(mask);
                 stepping.push(lane);
             }
             if stepping.is_empty() {
                 break;
             }
-            // One matrix-matrix policy forward for the whole tick.
+            // One matrix-matrix policy forward for the whole tick;
+            // timed as a single tick when profiling is on.
+            let tick_start = qrc_obs::profile::enabled().then(std::time::Instant::now);
             let logits = match quant {
                 Some(q) => q.forward_batch(&obs_rows),
                 None => self.agent.policy().forward_batch(&obs_rows),
             };
+            if let Some(start) = tick_start {
+                qrc_obs::profile::record_tick(start.elapsed().as_micros() as u64);
+            }
             for ((mut lane, row), mask) in stepping.into_iter().zip(logits).zip(mask_rows) {
                 let choice = greedy_from_logits(&row, &mask);
-                if lane.flow.apply(all[choice]).is_err() {
+                if qrc_obs::profile::section_timed("apply", || lane.flow.apply(all[choice]))
+                    .is_err()
+                {
                     results[lane.item] = Some(Ok(self.outcome_of(lane.flow, self.reward)));
                     continue;
                 }

@@ -1,0 +1,430 @@
+//! Log-bucketed histograms with bounded relative error.
+//!
+//! The layout is HdrHistogram-lite: values below [`SUBBUCKETS`] get one
+//! exact slot each; every power-of-two octave above that is split into
+//! [`SUBBUCKETS`] equal sub-buckets, so a bucket spanning `[lo, hi]`
+//! always satisfies `hi - lo < lo / SUBBUCKETS`. Quantiles report a
+//! bucket's upper bound (clamped to the observed maximum), which makes
+//! the reported value an overestimate by at most a factor of
+//! `1 + 1/SUBBUCKETS` — the bound [`HISTOGRAM_RELATIVE_ERROR`]
+//! property-tested against an exact sort oracle.
+//!
+//! Two flavors share the layout:
+//!
+//! * [`Histogram`] — a plain, mergeable value type for snapshots and
+//!   reports,
+//! * [`AtomicHistogram`] — a fixed-size array of relaxed atomics for
+//!   concurrent recording without locks (recording is wait-free; a
+//!   [`AtomicHistogram::snapshot`] taken while writers are active may
+//!   be skewed by in-flight increments, which is fine for metrics).
+//!
+//! The full `u64` range is representable: 32 exact slots + 59 octaves
+//! × 32 sub-buckets = 1920 slots ≈ 15 KiB per histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (and the size of the exact low range).
+pub const SUBBUCKETS: u64 = 32;
+const SUB_BITS: u64 = 5; // log2(SUBBUCKETS)
+const OCTAVES: usize = 59; // exponents SUB_BITS..=63
+/// Total number of slots in every histogram.
+pub const NUM_SLOTS: usize = SUBBUCKETS as usize * (OCTAVES + 1);
+
+/// Worst-case relative error of a reported quantile: a bucket's width
+/// never exceeds `1/SUBBUCKETS` of its lower bound.
+pub const HISTOGRAM_RELATIVE_ERROR: f64 = 1.0 / SUBBUCKETS as f64;
+
+/// The slot index a value is recorded into (monotone in `value`).
+#[inline]
+fn slot_of(value: u64) -> usize {
+    if value < SUBBUCKETS {
+        value as usize
+    } else {
+        let exp = 63 - u64::from(value.leading_zeros()); // >= SUB_BITS
+        let sub = (value >> (exp - SUB_BITS)) - SUBBUCKETS;
+        (SUBBUCKETS + (exp - SUB_BITS) * SUBBUCKETS + sub) as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range a slot covers.
+fn slot_bounds(slot: usize) -> (u64, u64) {
+    if slot < SUBBUCKETS as usize {
+        (slot as u64, slot as u64)
+    } else {
+        let octave = (slot - SUBBUCKETS as usize) / SUBBUCKETS as usize;
+        let sub = ((slot - SUBBUCKETS as usize) % SUBBUCKETS as usize) as u64;
+        let shift = octave as u64; // exp - SUB_BITS
+        let lo = (SUBBUCKETS + sub) << shift;
+        let width = 1u64 << shift;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A plain log-bucketed histogram: mergeable, with exact count/sum/
+/// min/max and quantiles bounded by [`HISTOGRAM_RELATIVE_ERROR`].
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_SLOTS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[slot_of(value)] += n;
+        self.count += n;
+        // Wrapping, matching `AtomicHistogram`'s fetch_add: a sum of
+        // microsecond durations cannot realistically overflow u64.
+        self.sum = self.sum.wrapping_add(value.wrapping_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Merging is associative
+    /// and commutative (bucket-wise addition), property-tested.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (wraps on u64 overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`.
+    ///
+    /// Walks the buckets once (O(`NUM_SLOTS`)) and reports the upper
+    /// bound of the bucket holding the rank-th smallest observation,
+    /// clamped to the observed maximum — so the result is `>=` the
+    /// exact order statistic and `<=` it times
+    /// `1 + HISTOGRAM_RELATIVE_ERROR`. Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (slot, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return slot_bounds(slot).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Number of observations `<=` the given bound, counting whole
+    /// buckets: a bucket contributes iff its upper bound is within
+    /// `bound`, so the result is exact whenever `bound` is a bucket's
+    /// upper boundary (every `2^k - 1` is one) and otherwise
+    /// underestimates by less than one bucket's worth — within the
+    /// histogram's relative error. Used for Prometheus cumulative
+    /// `le` buckets.
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let slot = slot_of(bound);
+        let (_, hi) = slot_bounds(slot);
+        let end = if hi <= bound { slot + 1 } else { slot };
+        self.counts[..end].iter().sum()
+    }
+}
+
+/// A concurrent recorder with the same bucket layout as [`Histogram`].
+///
+/// All updates use relaxed atomics: recording never blocks, and a
+/// snapshot observes each slot independently (slightly skewed totals
+/// under concurrent writes are acceptable for metrics).
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..NUM_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (wait-free).
+    pub fn record(&self, value: u64) {
+        self.counts[slot_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears all buckets and statistics.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUBBUCKETS {
+            h.record(v);
+        }
+        for v in 0..SUBBUCKETS {
+            assert_eq!(slot_bounds(slot_of(v)), (v, v));
+        }
+        assert_eq!(h.count(), SUBBUCKETS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUBBUCKETS - 1);
+    }
+
+    #[test]
+    fn slots_are_monotone_and_self_consistent() {
+        let mut last = None;
+        for exp in 0..64u32 {
+            for v in [1u64 << exp, (1u64 << exp) + 1, (1u64 << exp) - 1] {
+                let s = slot_of(v);
+                let (lo, hi) = slot_bounds(s);
+                assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo},{hi}]");
+                // Bucket width never exceeds 1/SUBBUCKETS of its lower bound.
+                assert!(hi == lo || hi - lo < lo / SUBBUCKETS);
+            }
+            let s = slot_of(1u64 << exp);
+            if let Some(prev) = last {
+                assert!(s >= prev);
+            }
+            last = Some(s);
+        }
+        assert!(slot_of(u64::MAX) < NUM_SLOTS);
+        assert_eq!(slot_bounds(slot_of(u64::MAX)).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantile_of_uniform_range_is_close() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for &(q, exact) in &[
+            (0.5, 5_000u64),
+            (0.99, 9_900),
+            (0.999, 9_990),
+            (1.0, 10_000),
+        ] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            let bound = exact as f64 * (1.0 + HISTOGRAM_RELATIVE_ERROR);
+            assert!(
+                (got as f64) <= bound,
+                "q{q}: {got} exceeds error bound {bound}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.sum(), (1 + 10_000) * 10_000 / 2);
+    }
+
+    #[test]
+    fn count_le_is_exact_on_octave_boundaries() {
+        let mut h = Histogram::new();
+        for v in 0..=4096u64 {
+            h.record(v);
+        }
+        // 2^k - 1 always ends a bucket, so these counts are exact.
+        for exp in 1..=12u32 {
+            let bound = (1u64 << exp) - 1;
+            assert_eq!(h.count_le(bound), bound + 1, "bound {bound}");
+        }
+        // Arbitrary bounds underestimate by less than one bucket.
+        for bound in [64u64, 100, 1000, 3000] {
+            let exact = bound + 1;
+            let got = h.count_le(bound);
+            assert!(got <= exact, "bound {bound}");
+            assert!(
+                got as f64 >= exact as f64 * (1.0 - HISTOGRAM_RELATIVE_ERROR) - 1.0,
+                "bound {bound}: {got} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count_le(u64::MAX), h.count());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = Histogram::new();
+        for v in [0u64, 1, 31, 32, 33, 1000, 123_456, u64::MAX] {
+            a.record(v);
+            p.record(v);
+        }
+        let s = a.snapshot();
+        assert_eq!(s.count(), p.count());
+        assert_eq!(s.sum(), p.sum());
+        assert_eq!(s.min(), p.min());
+        assert_eq!(s.max(), p.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), p.quantile(q));
+        }
+        a.reset();
+        assert_eq!(a.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 40_000);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 39_999);
+    }
+}

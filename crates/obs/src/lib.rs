@@ -1,0 +1,36 @@
+//! # qrc-obs
+//!
+//! Hand-rolled observability primitives for the serving stack — the
+//! build environment is offline, so instead of `hdrhistogram` +
+//! `tracing` + `prometheus` this crate re-implements the minimal
+//! subset the workspace needs:
+//!
+//! * [`hist`] — log-bucketed, mergeable [`Histogram`] with bounded
+//!   relative error (≤ 1/32 ≈ 3.2%) and O(buckets) quantiles, plus a
+//!   lock-free [`AtomicHistogram`] recorder for hot paths,
+//! * [`trace`] — request-scoped spans with 1-in-N sampling, emitted as
+//!   Chrome-trace-event JSON (open `chrome://tracing` or
+//!   <https://ui.perfetto.dev> on the file),
+//! * [`prom`] — a Prometheus text-format (version 0.0.4) renderer over
+//!   counters, gauges, and histograms,
+//! * [`profile`] — a process-global, atomically gated profiler for
+//!   code that runs on worker pools (rayon) where a per-service handle
+//!   cannot be threaded through: per-pass apply timers, per-rollout-tick
+//!   inference timers, and named compute sections. Disabled cost is a
+//!   single relaxed atomic load per hook.
+//!
+//! The crate is a leaf dependency (only `serde_json`), so every layer
+//! of the stack — passes, predictor, serve, bench — can use it without
+//! cycles.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod profile;
+pub mod prom;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, Histogram, HISTOGRAM_RELATIVE_ERROR};
+pub use profile::ProfileSnapshot;
+pub use prom::{power_of_two_bounds, PromText};
+pub use trace::{TraceEvent, TraceSink};

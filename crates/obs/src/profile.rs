@@ -1,0 +1,202 @@
+//! A process-global, atomically gated profiler.
+//!
+//! Pass applies and rollout ticks run on rayon worker threads deep
+//! inside the predictor, where a per-service metrics handle cannot be
+//! threaded through without changing every signature in between. This
+//! module keeps one global registry of [`AtomicHistogram`]s instead:
+//!
+//! * per-pass apply time, keyed by pass name,
+//! * per-rollout-tick inference time (one policy forward per tick),
+//! * named compute sections (observation building, reward evaluation,
+//!   …) so a miss's compute time can be decomposed.
+//!
+//! The gate is a single relaxed [`AtomicBool`]: when disabled (the
+//! default), every hook is one atomic load and no timestamps are
+//! taken. The serving stack enables it at startup; benchmarks flip it
+//! per arm and [`reset`] between arms.
+
+use crate::hist::{AtomicHistogram, Histogram};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Registry {
+    passes: Mutex<Vec<(String, Arc<AtomicHistogram>)>>,
+    sections: Mutex<Vec<(String, Arc<AtomicHistogram>)>>,
+    ticks: AtomicHistogram,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        passes: Mutex::new(Vec::new()),
+        sections: Mutex::new(Vec::new()),
+        ticks: AtomicHistogram::new(),
+    })
+}
+
+/// Turns the profiler on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether hooks should take timestamps (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Looks up (or creates) the named histogram in a keyed table. The
+/// table stays tiny (≈ one entry per pass kind), so a linear scan
+/// under the lock beats hashing; the `Arc` is cloned out so the
+/// recording itself happens outside the lock.
+fn named(table: &Mutex<Vec<(String, Arc<AtomicHistogram>)>>, name: &str) -> Arc<AtomicHistogram> {
+    let mut entries = table.lock().unwrap();
+    if let Some((_, h)) = entries.iter().find(|(n, _)| n == name) {
+        return Arc::clone(h);
+    }
+    let h = Arc::new(AtomicHistogram::new());
+    entries.push((name.to_string(), Arc::clone(&h)));
+    h
+}
+
+/// Records one pass application, keyed by pass name. No-op while
+/// disabled.
+pub fn record_pass(name: &str, micros: u64) {
+    if enabled() {
+        named(&registry().passes, name).record(micros);
+    }
+}
+
+/// Records one rollout tick (one policy forward). No-op while
+/// disabled.
+pub fn record_tick(micros: u64) {
+    if enabled() {
+        registry().ticks.record(micros);
+    }
+}
+
+/// Records one named compute section (e.g. `"observation"`,
+/// `"reward"`). No-op while disabled.
+pub fn record_section(name: &str, micros: u64) {
+    if enabled() {
+        named(&registry().sections, name).record(micros);
+    }
+}
+
+/// Times `body` into a named section when the profiler is enabled;
+/// calls it directly otherwise.
+pub fn section_timed<R>(name: &str, body: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return body();
+    }
+    let start = std::time::Instant::now();
+    let out = body();
+    record_section(name, start.elapsed().as_micros() as u64);
+    out
+}
+
+/// Clears every histogram (between benchmark arms).
+pub fn reset() {
+    let reg = registry();
+    for (_, h) in reg.passes.lock().unwrap().iter() {
+        h.reset();
+    }
+    for (_, h) in reg.sections.lock().unwrap().iter() {
+        h.reset();
+    }
+    reg.ticks.reset();
+}
+
+/// A point-in-time copy of every profiler histogram.
+#[derive(Debug)]
+pub struct ProfileSnapshot {
+    /// Per-pass apply time, sorted by pass name.
+    pub passes: Vec<(String, Histogram)>,
+    /// Named compute sections, sorted by name.
+    pub sections: Vec<(String, Histogram)>,
+    /// Per-rollout-tick inference time.
+    pub ticks: Histogram,
+}
+
+impl ProfileSnapshot {
+    /// Sum of recorded microseconds across sections and ticks — the
+    /// instrumented (disjoint) share of compute time. Per-pass timers
+    /// are excluded: they nest *inside* the `"apply"` section and
+    /// would be double-counted.
+    pub fn total_us(&self) -> u64 {
+        let sections: u64 = self.sections.iter().map(|(_, h)| h.sum()).sum();
+        sections + self.ticks.sum()
+    }
+}
+
+/// Snapshots every profiler histogram (name-sorted for stable output).
+pub fn snapshot() -> ProfileSnapshot {
+    let reg = registry();
+    let mut passes: Vec<(String, Histogram)> = reg
+        .passes
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, h)| (n.clone(), h.snapshot()))
+        .collect();
+    passes.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut sections: Vec<(String, Histogram)> = reg
+        .sections
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, h)| (n.clone(), h.snapshot()))
+        .collect();
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    ProfileSnapshot {
+        passes,
+        sections,
+        ticks: reg.ticks.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so keep every assertion in one
+    // test: parallel test threads would otherwise race the gate.
+    #[test]
+    fn gate_reset_and_snapshot() {
+        set_enabled(false);
+        record_pass("RoutingSabre", 10);
+        record_tick(5);
+        assert_eq!(snapshot().ticks.count(), 0);
+
+        set_enabled(true);
+        record_pass("RoutingSabre", 10);
+        record_pass("RoutingSabre", 30);
+        record_pass("Opt1qMerge", 7);
+        record_section("reward", 100);
+        record_tick(5);
+        let got = section_timed("observation", || 21u64);
+        assert_eq!(got, 21);
+        let snap = snapshot();
+        assert_eq!(snap.ticks.count(), 1);
+        let names: Vec<&str> = snap.passes.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Opt1qMerge", "RoutingSabre"]);
+        assert_eq!(snap.passes[1].1.count(), 2);
+        assert_eq!(snap.passes[1].1.sum(), 40);
+        assert!(snap
+            .sections
+            .iter()
+            .any(|(n, h)| n == "observation" && h.count() == 1));
+        // reward (100) + observation (timed, >= 0) + ticks (5);
+        // pass timers are excluded from the disjoint total.
+        assert!(snap.total_us() >= 105);
+        assert!(snap.total_us() < 105 + 1_000_000);
+
+        reset();
+        set_enabled(false);
+        let cleared = snapshot();
+        assert_eq!(cleared.ticks.count(), 0);
+        assert!(cleared.passes.iter().all(|(_, h)| h.is_empty()));
+    }
+}

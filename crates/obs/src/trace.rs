@@ -1,0 +1,226 @@
+//! Request-scoped span tracing with sampled recording.
+//!
+//! Spans are complete events (`"ph": "X"` in the Chrome trace event
+//! format): a name, a start timestamp, and a duration, all in
+//! microseconds. The serving stack synthesizes a request's span tree
+//! from its measured stage durations and pushes the whole tree into a
+//! [`TraceSink`] in one call; the sink samples 1-in-N requests and
+//! caps the buffer so a long-running server cannot grow without bound.
+//!
+//! The emitted file is plain JSON (`{"traceEvents": [...]}`) viewable
+//! in `chrome://tracing` or <https://ui.perfetto.dev>. Each request
+//! uses its request ID as the `tid`, so spans of one request stack
+//! into a single nested track instead of interleaving.
+
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One complete span (`"ph": "X"`): `[ts_us, ts_us + dur_us]`.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"request"`, `"queue_wait"`, `"rollout"`).
+    pub name: String,
+    /// Start timestamp in microseconds (trace-relative).
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Track ID; the serving stack uses the request ID so each
+    /// request renders as its own nested track.
+    pub tid: u64,
+    /// Extra key/value arguments shown in the trace viewer.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// A span with no arguments.
+    pub fn new(name: impl Into<String>, ts_us: u64, dur_us: u64, tid: u64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            ts_us,
+            dur_us,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds a viewer-visible argument.
+    pub fn with_arg(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.args.push((key.into(), value));
+        self
+    }
+
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("name", Value::from(self.name.as_str())),
+            ("cat", Value::from("serve")),
+            ("ph", Value::from("X")),
+            ("ts", Value::from(self.ts_us)),
+            ("dur", Value::from(self.dur_us)),
+            ("pid", Value::from(1u64)),
+            ("tid", Value::from(self.tid)),
+        ];
+        if !self.args.is_empty() {
+            pairs.push(("args", Value::object(self.args.clone())));
+        }
+        Value::object(pairs)
+    }
+}
+
+/// Default cap on buffered spans (~a few MB of JSON at most).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// A bounded, sampling span buffer shared by every request handler.
+#[derive(Debug)]
+pub struct TraceSink {
+    sample_every: u64,
+    capacity: usize,
+    seen: AtomicU64,
+    sampled: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// A sink recording every `sample_every`-th request, buffering at
+    /// most `capacity` spans. `sample_every == 0` disables recording.
+    pub fn new(sample_every: u64, capacity: usize) -> Self {
+        TraceSink {
+            sample_every,
+            capacity,
+            seen: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A sink that records nothing (`should_sample` is one relaxed
+    /// atomic increment and always `false`).
+    pub fn disabled() -> Self {
+        TraceSink::new(0, 0)
+    }
+
+    /// Whether any sampling is configured.
+    pub fn enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+
+    /// Counts a request and decides whether its spans should be
+    /// recorded (the 1st, N+1st, 2N+1st, … requests are sampled).
+    pub fn should_sample(&self) -> bool {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        self.sample_every > 0 && n.is_multiple_of(self.sample_every)
+    }
+
+    /// Buffers one request's span tree (all events at once, so trees
+    /// are never split by the capacity cutoff).
+    pub fn push(&self, spans: Vec<TraceEvent>) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut events = self.events.lock().unwrap();
+        if events.len() + spans.len() <= self.capacity {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+            events.extend(spans);
+        } else {
+            self.dropped
+                .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// `true` when no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of requests whose span trees were recorded.
+    pub fn sampled_requests(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Number of spans discarded because the buffer was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the buffer as a Chrome trace event JSON document.
+    pub fn to_chrome_value(&self) -> Value {
+        let events = self.events.lock().unwrap();
+        Value::object(vec![
+            (
+                "traceEvents",
+                Value::Array(events.iter().map(TraceEvent::to_value).collect()),
+            ),
+            ("displayTimeUnit", Value::from("ms")),
+        ])
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(&self.to_chrome_value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_takes_every_nth() {
+        let sink = TraceSink::new(3, 100);
+        let picks: Vec<bool> = (0..9).map(|_| sink.should_sample()).collect();
+        assert_eq!(
+            picks,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+        let disabled = TraceSink::disabled();
+        assert!(!disabled.enabled());
+        assert!((0..10).all(|_| !disabled.should_sample()));
+    }
+
+    #[test]
+    fn capacity_drops_whole_trees() {
+        let sink = TraceSink::new(1, 3);
+        sink.push(vec![
+            TraceEvent::new("request", 0, 10, 1),
+            TraceEvent::new("rollout", 2, 8, 1),
+        ]);
+        assert_eq!(sink.len(), 2);
+        // A two-span tree no longer fits in the remaining slot.
+        sink.push(vec![
+            TraceEvent::new("request", 20, 10, 2),
+            TraceEvent::new("rollout", 22, 8, 2),
+        ]);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped_spans(), 2);
+        assert_eq!(sink.sampled_requests(), 1);
+    }
+
+    #[test]
+    fn chrome_value_round_trips_and_has_required_fields() {
+        let sink = TraceSink::new(1, 100);
+        sink.push(vec![TraceEvent::new("request", 5, 17, 42)
+            .with_arg("id", Value::from("r1"))
+            .with_arg("cache", Value::from("miss"))]);
+        let text = serde_json::to_string(&sink.to_chrome_value());
+        let parsed = serde_json::from_str(&text).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(ev.get("ts").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(ev.get("dur").and_then(|v| v.as_u64()), Some(17));
+        assert_eq!(ev.get("tid").and_then(|v| v.as_u64()), Some(42));
+        let args = ev.get("args").expect("args object");
+        assert_eq!(args.get("id").and_then(|v| v.as_str()), Some("r1"));
+    }
+}

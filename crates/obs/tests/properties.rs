@@ -1,0 +1,166 @@
+//! Property tests for the observability primitives:
+//!
+//! * histogram quantiles stay within the advertised relative-error
+//!   bound of an exact sort oracle,
+//! * histogram merging is associative and commutative,
+//! * an emitted trace file parses as valid Chrome-trace JSON with
+//!   properly nested spans per track.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qrc_obs::{Histogram, TraceEvent, TraceSink, HISTOGRAM_RELATIVE_ERROR};
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Nearest-rank order statistic, matching `Histogram::quantile`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantile_stays_within_relative_error_of_sort_oracle(
+        values in vec(0u64..3_000_000, 1..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let got = h.quantile(q);
+        prop_assert!(got >= exact, "reported {got} below exact {exact}");
+        let bound = exact as f64 * (1.0 + HISTOGRAM_RELATIVE_ERROR);
+        prop_assert!(
+            (got as f64) <= bound,
+            "reported {got} above bound {bound} (exact {exact}, q {q})"
+        );
+        // Extremes are tracked exactly, not bucketed.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in vec(0u64..3_000_000, 0..120),
+        b in vec(0u64..3_000_000, 0..120),
+        c in vec(0u64..3_000_000, 0..120),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+
+        // Merging a histogram equals recording the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = build(&all);
+
+        for (label, h) in [("ab", &ab), ("ba", &ba)] {
+            prop_assert_eq!(h.count(), ha.count() + hb.count(), "{} count", label);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(ab.quantile(q), ba.quantile(q));
+            prop_assert_eq!(ab_c.quantile(q), a_bc.quantile(q));
+            prop_assert_eq!(ab_c.quantile(q), direct.quantile(q));
+        }
+        prop_assert_eq!(ab_c.sum(), direct.sum());
+        prop_assert_eq!(ab_c.count(), direct.count());
+        prop_assert_eq!(ab_c.min(), direct.min());
+        prop_assert_eq!(ab_c.max(), direct.max());
+    }
+
+    #[test]
+    fn trace_files_are_valid_chrome_json_with_nested_spans(
+        requests in vec((0u64..1_000, 1u64..5_000), 1..40),
+    ) {
+        let sink = TraceSink::new(1, 100_000);
+        for (rid, &(start, total)) in requests.iter().enumerate() {
+            let rid = rid as u64 + 1;
+            // Synthesize the serve-shaped tree: a request span with
+            // sequential child stages that exactly tile it.
+            let queue = total / 4;
+            let parse = total / 8;
+            let rollout = total - queue - parse;
+            sink.push(vec![
+                TraceEvent::new("request", start, total, rid),
+                TraceEvent::new("queue_wait", start, queue, rid),
+                TraceEvent::new("parse", start + queue, parse, rid),
+                TraceEvent::new("rollout", start + queue + parse, rollout, rid),
+            ]);
+        }
+
+        let dir = std::env::temp_dir().join(format!(
+            "qrc_obs_trace_prop_{}_{}",
+            std::process::id(),
+            requests.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        sink.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let doc = serde_json::from_str(&text).expect("trace file must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        prop_assert_eq!(events.len(), requests.len() * 4);
+
+        // Decode (tid, ts, dur) and check the Chrome-trace contract.
+        let mut spans: Vec<(u64, u64, u64, String)> = Vec::new();
+        for ev in events {
+            prop_assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+            spans.push((
+                ev.get("tid").and_then(|v| v.as_u64()).expect("tid"),
+                ev.get("ts").and_then(|v| v.as_u64()).expect("ts"),
+                ev.get("dur").and_then(|v| v.as_u64()).expect("dur"),
+                ev.get("name").and_then(|v| v.as_str()).expect("name").to_string(),
+            ));
+        }
+        // Per track: every pair of spans is either disjoint or nested.
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                if a.0 != b.0 {
+                    continue;
+                }
+                let (a0, a1) = (a.1, a.1 + a.2);
+                let (b0, b1) = (b.1, b.1 + b.2);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                prop_assert!(
+                    disjoint || nested,
+                    "spans {} [{a0},{a1}] and {} [{b0},{b1}] overlap without nesting",
+                    a.3, b.3
+                );
+            }
+        }
+        // Each request span contains its stage children.
+        for (rid, &(start, total)) in requests.iter().enumerate() {
+            let rid = rid as u64 + 1;
+            let track: Vec<_> = spans.iter().filter(|s| s.0 == rid).collect();
+            let root = track.iter().find(|s| s.3 == "request").expect("root span");
+            prop_assert_eq!((root.1, root.2), (start, total));
+            for child in track.iter().filter(|s| s.3 != "request") {
+                prop_assert!(child.1 >= root.1 && child.1 + child.2 <= root.1 + root.2);
+            }
+        }
+    }
+}

@@ -101,6 +101,24 @@ pub trait Pass: fmt::Debug + Send + Sync {
         circuit: &QuantumCircuit,
         ctx: &PassContext<'_>,
     ) -> Result<PassOutcome, PassError>;
+
+    /// Applies the pass, recording its wall time under [`Pass::name`]
+    /// in the global profiler ([`qrc_obs::profile`]) when profiling is
+    /// enabled. Callers on the hot path (the RL flow) use this instead
+    /// of [`Pass::apply`]; disabled cost is one relaxed atomic load.
+    fn apply_timed(
+        &self,
+        circuit: &QuantumCircuit,
+        ctx: &PassContext<'_>,
+    ) -> Result<PassOutcome, PassError> {
+        if !qrc_obs::profile::enabled() {
+            return self.apply(circuit, ctx);
+        }
+        let start = std::time::Instant::now();
+        let outcome = self.apply(circuit, ctx);
+        qrc_obs::profile::record_pass(self.name(), start.elapsed().as_micros() as u64);
+        outcome
+    }
 }
 
 /// Errors produced by compilation passes.

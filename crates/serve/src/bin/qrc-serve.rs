@@ -47,9 +47,18 @@
 //!                       request distribution before taking traffic
 //!   --log-traffic PATH  append every served compilation request to
 //!                       PATH (one request line each; replayable)
-//!   --log-requests      one structured JSON log line per request (stderr)
+//!   --log-requests      one structured JSON log line per request (stderr),
+//!                       carrying the same `rid` the response echoes
 //!   --stats             print aggregate metrics JSON to stderr at exit
 //!                       (live snapshots: send {"cmd":"stats"})
+//!   --metrics-listen ADDR  serve the Prometheus text exposition over
+//!                       HTTP GET /metrics on ADDR (e.g. 127.0.0.1:9187;
+//!                       also available in-band as {"cmd":"metrics"})
+//!   --trace-sample N    trace one request in N with per-stage spans
+//!                       (0 = off, 1 = every request)
+//!   --trace-out PATH    write sampled spans as Chrome-trace JSON to
+//!                       PATH at drain (open in ui.perfetto.dev);
+//!                       implies --trace-sample 1 unless set
 //!   --quiet             suppress startup/training progress
 //! ```
 //!
@@ -79,7 +88,8 @@ const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--shard SP
                      [--max-width N] [--blocking] [--serial] [--quantized] \
                      [--no-batch-inference] [--warm-cache] \
                      [--replay-log PATH] [--log-traffic PATH] \
-                     [--log-requests] [--stats] [--quiet]";
+                     [--log-requests] [--stats] [--metrics-listen ADDR] \
+                     [--trace-sample N] [--trace-out PATH] [--quiet]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +103,9 @@ fn main() {
     let mut warm_cache = false;
     let mut replay_log: Option<std::path::PathBuf> = None;
     let mut log_traffic: Option<std::path::PathBuf> = None;
+    let mut metrics_listen: Option<String> = None;
+    let mut trace_sample: u64 = 0;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -156,6 +169,15 @@ fn main() {
             },
             "--log-requests" => frontend.log_requests = true,
             "--stats" => print_stats = true,
+            "--metrics-listen" => match flag_value::<String>(&args, &mut i, "metrics-listen") {
+                Ok(addr) => metrics_listen = Some(addr),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--trace-sample" => parse_into(&args, &mut i, "trace-sample", &mut trace_sample),
+            "--trace-out" => match flag_value::<String>(&args, &mut i, "trace-out") {
+                Ok(path) => trace_out = Some(path.into()),
+                Err(e) => usage_error(&e, USAGE),
+            },
             "--quiet" => config.verbose = false,
             other => usage_error(&format!("unknown flag `{other}`"), USAGE),
         }
@@ -184,6 +206,28 @@ fn main() {
     let blocking_batch = batch.unwrap_or(1);
     frontend.batch_wait = Duration::from_micros(batch_wait_us);
     frontend.max_line_bytes = config.max_request_bytes;
+    // Asking for a trace file without a sampling rate means "trace
+    // everything": an explicit --trace-sample still wins.
+    if trace_out.is_some() && trace_sample == 0 {
+        trace_sample = 1;
+    }
+
+    let shutdown = ShutdownFlag::new();
+    if listen.is_some() {
+        // Socket mode polls the flag everywhere (nonblocking accept,
+        // read timeouts), so SIGTERM can drain gracefully. Installed
+        // *before* the (possibly minutes-long) model startup: a TERM
+        // during training used to hit the default disposition and kill
+        // the process with exit 143, which orchestrators read as a
+        // failed shutdown. Now it marks the flag, startup completes,
+        // and the front end drains immediately and exits 0.
+        //
+        // Stdin mode keeps the default disposition: its reader blocks
+        // in an uninterruptible stdin read, where a trapped-but-
+        // unobserved SIGTERM would hang the process instead of
+        // terminating it.
+        install_sigterm_bridge(&shutdown);
+    }
 
     let start = std::time::Instant::now();
     let service = match CompilationService::start(&config) {
@@ -278,17 +322,39 @@ fn main() {
         }
     }
 
-    let shutdown = ShutdownFlag::new();
+    // The server enables the global compute profiler: per-pass,
+    // per-section, and per-tick histograms feed the Prometheus
+    // exposition. (Library embedders and the bench harness opt in
+    // themselves — the gated hooks cost one relaxed load when off.)
+    qrc_obs::profile::set_enabled(true);
+    if trace_sample > 0 {
+        service.enable_tracing(trace_sample);
+        if config.verbose {
+            eprintln!("tracing 1 in {trace_sample} requests");
+        }
+    }
+
+    // The scrape endpoint runs beside either transport and stops when
+    // the serve call below returns and requests shutdown.
+    let metrics_thread = metrics_listen.map(|addr| {
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("error: could not bind metrics endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match listener.local_addr() {
+            Ok(local) => eprintln!("qrc-serve metrics on http://{local}/metrics"),
+            Err(_) => eprintln!("qrc-serve metrics on http://{addr}/metrics"),
+        }
+        let service = Arc::clone(&service);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || qrc_serve::serve_metrics_http(&service, listener, &shutdown))
+    });
 
     let served = match listen {
         Some(addr) => {
-            // Socket mode polls the flag everywhere (nonblocking
-            // accept, read timeouts), so SIGTERM can drain gracefully.
-            // Stdin mode keeps the default disposition: its reader
-            // blocks in an uninterruptible stdin read, where a
-            // trapped-but-unobserved SIGTERM would hang the process
-            // instead of terminating it.
-            install_sigterm_bridge(&shutdown);
             let listener = match std::net::TcpListener::bind(&addr) {
                 Ok(listener) => listener,
                 Err(e) => {
@@ -325,6 +391,34 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("warning: could not write cache snapshot: {e}"),
+        }
+    }
+    // Stop the scrape endpoint: the serve call has drained, so the
+    // flag may not be set yet (stdin EOF ends without requesting it).
+    shutdown.request();
+    if let Some(thread) = metrics_thread {
+        let _ = thread.join();
+    }
+    // The trace file is part of the drain contract: whatever was
+    // sampled gets written, even after a broken stream.
+    if let Some(path) = &trace_out {
+        let sink = service.trace_sink();
+        match sink.write(path) {
+            Ok(()) => {
+                if config.verbose {
+                    eprintln!(
+                        "trace: {} spans from {} sampled requests written to {} ({} dropped)",
+                        sink.len(),
+                        sink.sampled_requests(),
+                        path.display(),
+                        sink.dropped_spans(),
+                    );
+                }
+            }
+            Err(e) => eprintln!(
+                "warning: could not write trace file {}: {e}",
+                path.display()
+            ),
         }
     }
     // Stats go out even when the session ended on a broken stream:
@@ -406,6 +500,14 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
                     let _ = out.flush();
                     continue;
                 }
+                Ok(InboundLine::Control(ControlRequest::Metrics)) => {
+                    // Stream order: the exposition reflects everything
+                    // answered before this line.
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(out, "{}", serde_json::to_string(&service.metrics_value()));
+                    let _ = out.flush();
+                    continue;
+                }
                 Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
                     flush(&mut pending, &mut out);
                     let _ = writeln!(out, r#"{{"ok":true,"shutting_down":true}}"#);
@@ -422,6 +524,7 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
                         result: Err(message),
                         micros: 1,
                         route: None,
+                        rid: None,
                     };
                     service.record(&response);
                     let _ = writeln!(out, "{}", response.to_line());

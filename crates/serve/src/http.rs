@@ -1,0 +1,153 @@
+//! A minimal hand-rolled HTTP/1.1 responder for Prometheus scrapes
+//! (`--metrics-listen`), so operators can point a stock Prometheus
+//! `scrape_config` at the service without speaking the NDJSON
+//! protocol.
+//!
+//! Deliberately tiny: `GET /metrics` (and `GET /` as an alias) answers
+//! with the text exposition, anything else gets `404`/`405`. One
+//! request per connection (`Connection: close`), no keep-alive, no
+//! TLS, no chunking — a scrape is one short GET every few seconds, and
+//! the NDJSON listener's thread model (nonblocking accept polled
+//! against the shutdown flag, blocking per-connection I/O under a read
+//! timeout) carries over unchanged.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::listener::ShutdownFlag;
+use crate::service::CompilationService;
+
+/// Longest request head we accept; a scrape's GET line plus headers is
+/// a few hundred bytes, so anything larger is not a scraper.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Serves Prometheus text over HTTP until shutdown is requested. The
+/// caller binds the listener (port 0 works for tests) and typically
+/// runs this on its own thread next to the NDJSON front end.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the listener cannot be switched
+/// to nonblocking polling. Per-connection errors end that connection
+/// only.
+pub fn serve_metrics_http(
+    service: &Arc<CompilationService>,
+    listener: TcpListener,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !shutdown.is_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are cheap and rare; handle inline with
+                // bounded timeouts rather than spawning per scrape.
+                if stream.set_nonblocking(false).is_ok() {
+                    handle_scrape(service, stream);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    Ok(())
+}
+
+/// Answers one scrape connection: parse the request line, render the
+/// response, close. A stalled client is cut off by the socket
+/// timeouts, so it cannot wedge the accept loop.
+fn handle_scrape(service: &Arc<CompilationService>, stream: TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+    let mut stream = stream;
+    let request_line = match read_head(&mut stream) {
+        Some(head) => head.lines().next().unwrap_or_default().to_string(),
+        None => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = match (method, path) {
+        ("GET", "/metrics") | ("GET", "/") => http_response(
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &service.metrics_text(),
+        ),
+        ("GET", _) => http_response("404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+        _ => http_response(
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        ),
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Reads until the end of the request head (blank line) or the size
+/// cap. Returns `None` on I/O errors, timeouts, or oversized heads —
+/// all treated as "not a well-behaved scraper, drop it".
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            return Some(String::from_utf8_lossy(&head).into_owned());
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+    }
+}
+
+/// Renders one full HTTP/1.1 response with the headers every scraper
+/// needs: an exact `Content-Length` and `Connection: close`.
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_carry_exact_length_and_close() {
+        let response = http_response("200 OK", "text/plain", "abc");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("Content-Length: 3\r\n"));
+        assert!(response.contains("Connection: close\r\n"));
+        assert!(response.ends_with("\r\n\r\nabc"));
+    }
+
+    #[test]
+    fn head_reader_stops_at_blank_line() {
+        use std::io::Write;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            stream
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let head = read_head(&mut server_side).unwrap();
+        assert!(head.starts_with("GET /metrics HTTP/1.1"));
+        drop(client.join().unwrap());
+    }
+}

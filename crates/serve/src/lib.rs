@@ -76,6 +76,7 @@
 
 pub mod cache;
 pub mod cliargs;
+pub mod http;
 pub mod listener;
 pub mod metrics;
 pub mod persist;
@@ -88,9 +89,11 @@ pub mod shard;
 pub mod traffic;
 
 pub use cache::{device_seed_tag, CacheKey, CacheStats, ResultCache};
+pub use http::serve_metrics_http;
 pub use listener::{serve_socket, serve_stdin, FrontendConfig, ShutdownFlag};
 pub use metrics::{
     percentile_us, MetricsSnapshot, RouteCounts, ServeMetrics, ShardCounterSnapshot, ShardCounters,
+    Stage,
 };
 pub use persist::{
     head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,

@@ -156,6 +156,7 @@ pub fn serve_socket(
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+    install_queue_probe(service, &queue);
     let active_readers = Arc::new(AtomicUsize::new(0));
 
     let accept_loop = {
@@ -235,6 +236,7 @@ pub fn serve_stdin(
     shutdown: &ShutdownFlag,
 ) -> std::io::Result<()> {
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+    install_queue_probe(service, &queue);
     let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(1));
     let reply = ReplySink::Blocking(reply_tx);
 
@@ -318,7 +320,14 @@ fn drain_queue(
     queue: &BoundedQueue<Envelope>,
     config: &FrontendConfig,
 ) {
-    while let Some(batch) = queue.pop_batch(config.batch_size, config.batch_wait) {
+    while let Some((batch, assembly)) = queue.pop_batch_timed(config.batch_size, config.batch_wait)
+    {
+        // One sample per batch: the linger the batching policy added on
+        // top of queue wait (phase-1 idle blocking is excluded).
+        service.record_stage(
+            crate::metrics::Stage::BatchAssembly,
+            assembly.as_micros() as u64,
+        );
         let mut items = Vec::with_capacity(batch.len());
         let mut routes = Vec::with_capacity(batch.len());
         for envelope in batch {
@@ -336,6 +345,14 @@ fn drain_queue(
             reply.send(response.to_line());
         }
     }
+}
+
+/// Hands the service a live view of this front end's request queue:
+/// `{"cmd":"stats"}` and the Prometheus rendering report its depth as
+/// a gauge.
+fn install_queue_probe(service: &Arc<CompilationService>, queue: &Arc<BoundedQueue<Envelope>>) {
+    let probe_queue = Arc::clone(queue);
+    service.install_queue_probe(Box::new(move || probe_queue.len() as u64));
 }
 
 /// How the front end disposed of one inbound line before scheduling.
@@ -371,6 +388,9 @@ fn triage(
         Ok(InboundLine::Control(ControlRequest::Snapshot)) => {
             Triage::Handled(serde_json::to_string(&service.snapshot_value()))
         }
+        Ok(InboundLine::Control(ControlRequest::Metrics)) => {
+            Triage::Handled(serde_json::to_string(&service.metrics_value()))
+        }
         Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
             shutdown.request();
             Triage::Handled(serde_json::to_string(&Value::object(vec![
@@ -390,6 +410,7 @@ fn triage(
                 // paths: never push 0 into the latency window.
                 micros: 1,
                 route: None,
+                rid: None,
             };
             service.record(&response);
             Triage::Handled(log_reply(config, conn, &response))
@@ -590,6 +611,7 @@ fn oversized_response(bytes: usize, limit: usize) -> ServeResponse {
         // Same clock-resolution floor as the service's line paths.
         micros: 1,
         route: None,
+        rid: None,
     }
 }
 
@@ -620,6 +642,16 @@ fn request_log_line(conn: u64, response: &ServeResponse) -> String {
             },
         ),
         ("micros", Value::from(response.micros)),
+        (
+            // The service-assigned request ID, matching the `rid` echo
+            // on the response line and the trace span's track — absent
+            // for replies the front end produced without scheduling.
+            "rid",
+            match response.rid {
+                Some(rid) => Value::from(rid),
+                None => Value::Null,
+            },
+        ),
     ]))
 }
 

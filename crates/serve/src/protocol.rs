@@ -144,6 +144,10 @@ pub enum ControlRequest {
     /// `{"cmd":"shutdown"}` — acknowledge, stop admitting requests,
     /// drain in-flight batches, and exit.
     Shutdown,
+    /// `{"cmd":"metrics"}` — answer with the Prometheus text-format
+    /// rendering of every counter and histogram (as a JSON string
+    /// field, since replies are NDJSON).
+    Metrics,
 }
 
 /// One decoded inbound NDJSON line: a compilation request or a control
@@ -174,8 +178,10 @@ impl InboundLine {
                     "reload" => Ok(InboundLine::Control(ControlRequest::Reload)),
                     "snapshot" => Ok(InboundLine::Control(ControlRequest::Snapshot)),
                     "shutdown" => Ok(InboundLine::Control(ControlRequest::Shutdown)),
+                    "metrics" => Ok(InboundLine::Control(ControlRequest::Metrics)),
                     other => Err(format!(
-                        "unknown cmd `{other}` (expected one of: stats, reload, snapshot, shutdown)"
+                        "unknown cmd `{other}` (expected one of: stats, reload, snapshot, \
+                         shutdown, metrics)"
                     )),
                 }
             }
@@ -240,6 +246,12 @@ pub struct ServeResponse {
     /// Rendered as the `shard` echo field; routing is deterministic
     /// per registry snapshot, so it is part of the comparable body.
     pub route: Option<ShardRoute>,
+    /// Service-assigned request ID, echoed as the `rid` wire field and
+    /// stamped on `--log-requests` lines and trace spans so all three
+    /// can be joined. Assigned in admission order by the service;
+    /// excluded from [`ServeResponse::body_value`] (like `micros`)
+    /// because it depends on arrival order, not content.
+    pub rid: Option<u64>,
 }
 
 impl ServeResponse {
@@ -311,6 +323,7 @@ impl ServeResponse {
             // reports: a rejection is fast, not free.
             micros: 1,
             route: None,
+            rid: None,
         }
     }
 
@@ -319,6 +332,9 @@ impl ServeResponse {
         let mut value = self.body_value();
         if let Value::Object(pairs) = &mut value {
             pairs.push(("micros".into(), Value::from(self.micros)));
+            if let Some(rid) = self.rid {
+                pairs.push(("rid".into(), Value::from(rid)));
+            }
         }
         serde_json::to_string(&value)
     }
@@ -375,11 +391,13 @@ mod tests {
             )),
             micros: 1500,
             route: None,
+            rid: Some(42),
         };
         let parsed = serde_json::from_str(&ok.to_line()).unwrap();
         assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(parsed.get("cache").unwrap().as_str(), Some("miss"));
         assert_eq!(parsed.get("micros").unwrap().as_u64(), Some(1500));
+        assert_eq!(parsed.get("rid").unwrap().as_u64(), Some(42));
         assert_eq!(parsed.get("reward").unwrap().as_f64(), Some(0.875));
 
         let err = ServeResponse {
@@ -387,6 +405,7 @@ mod tests {
             result: Err("missing required string field `qasm`".into()),
             micros: 3,
             route: None,
+            rid: None,
         };
         let parsed = serde_json::from_str(&err.to_line()).unwrap();
         assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
@@ -447,6 +466,7 @@ mod tests {
             )),
             micros: 10,
             route: None,
+            rid: None,
         };
         let payload = resp.payload_value();
         assert!(payload.get("cache").is_none());
@@ -473,7 +493,13 @@ mod tests {
             result: Err("x".into()),
             micros: 999,
             route: None,
+            rid: Some(7),
         };
+        // `micros` and `rid` are per-run artifacts (timing, arrival
+        // order): present on the wire, absent from the comparable body.
         assert!(resp.body_value().get("micros").is_none());
+        assert!(resp.body_value().get("rid").is_none());
+        let parsed = serde_json::from_str(&resp.to_line()).unwrap();
+        assert_eq!(parsed.get("rid").unwrap().as_u64(), Some(7));
     }
 }

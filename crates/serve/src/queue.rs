@@ -125,6 +125,20 @@ impl<T> BoundedQueue<T> {
     /// Returns `None` once the queue is closed *and* drained: the
     /// consumer's signal to finish.
     pub fn pop_batch(&self, max: usize, collect_window: Duration) -> Option<Vec<T>> {
+        self.pop_batch_timed(max, collect_window)
+            .map(|(batch, _)| batch)
+    }
+
+    /// [`BoundedQueue::pop_batch`] plus how long the consumer lingered
+    /// assembling the batch after the first item became available — the
+    /// batch-assembly wait, the latency the batching policy *added* on
+    /// top of queueing. Phase-1 blocking (an empty queue with no
+    /// traffic) is idle time, not assembly, and is excluded.
+    pub fn pop_batch_timed(
+        &self,
+        max: usize,
+        collect_window: Duration,
+    ) -> Option<(Vec<T>, Duration)> {
         let max = max.max(1);
         let mut state = self.lock();
         // Phase 1: block for the first item (or closure).
@@ -134,8 +148,9 @@ impl<T> BoundedQueue<T> {
             }
             state = self.not_empty.wait(state).expect("queue lock poisoned");
         }
+        let assembly_start = Instant::now();
         let mut batch = Vec::with_capacity(max.min(state.items.len()));
-        let deadline = Instant::now() + collect_window;
+        let deadline = assembly_start + collect_window;
         // Phase 2: drain toward a full batch within the window.
         loop {
             while batch.len() < max {
@@ -162,7 +177,7 @@ impl<T> BoundedQueue<T> {
         }
         drop(state);
         self.not_full.notify_all();
-        Some(batch)
+        Some((batch, assembly_start.elapsed()))
     }
 }
 
@@ -238,6 +253,23 @@ mod tests {
         assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![1]));
         producer.join().unwrap().unwrap();
         assert_eq!(q.pop_batch(1, NO_WAIT), Some(vec![2]));
+    }
+
+    #[test]
+    fn pop_batch_timed_reports_assembly_linger() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1u32).unwrap();
+        q.try_push(2u32).unwrap();
+        // A full batch is sitting in the queue: no linger to speak of.
+        let (batch, linger) = q.pop_batch_timed(2, Duration::from_millis(500)).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(linger < Duration::from_millis(400), "{linger:?}");
+        // A partial batch waits out the collect window, and that wait
+        // is what the returned duration measures.
+        q.try_push(3u32).unwrap();
+        let (batch, linger) = q.pop_batch_timed(2, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch, vec![3]);
+        assert!(linger >= Duration::from_millis(30), "{linger:?}");
     }
 
     #[test]

@@ -102,11 +102,26 @@ impl MissModeCounts {
     }
 }
 
+/// Per-response stage durations, aligned with
+/// [`BatchReport::responses`]: the slices of one request's `micros`
+/// that the observability layer attributes to pipeline stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponseStages {
+    /// Admission work this request paid itself: QASM parse, content
+    /// hash, cache lookup.
+    pub admission_us: u64,
+    /// Rollout compute, attributed to the one `miss` response that
+    /// owns it (0 for hits, coalesced duplicates, and rejections).
+    pub compute_us: u64,
+}
+
 /// One batch's responses plus its execution accounting.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-request responses, in request order.
     pub responses: Vec<ServeResponse>,
+    /// Per-response stage durations, in request order.
+    pub stages: Vec<ResponseStages>,
     /// Unique misses computed, by effective inference mode (failed
     /// computes — e.g. infeasible pins — are counted too: the rollout
     /// engine still ran for them).
@@ -277,58 +292,65 @@ pub fn run_batch_reported(
     // Assembly, in request order: the first slot carrying a computed
     // key is the miss; later duplicates coalesce.
     let mut miss_claimed: std::collections::HashSet<CacheKey> = std::collections::HashSet::new();
-    let responses = requests
-        .iter()
-        .zip(slots)
-        .enumerate()
-        .map(|(i, (request, slot))| {
-            // Clock-resolution floor: even a sub-microsecond admission
-            // (tiny cached hit, instant rejection) reports 1µs — never
-            // the `micros: 0` that dragged p50 toward zero.
-            let own_us = (queue_waits_us.map_or(0, |w| w[i]) + admission_us[i]).max(1);
-            match slot {
-                Slot::Failed(message) => ServeResponse {
-                    id: request.id.clone(),
-                    result: Err(message),
-                    micros: own_us,
-                    route: None,
-                },
-                Slot::Keyed(key, route) => {
-                    let resolution = resolutions[order[&key]]
-                        .as_ref()
-                        .expect("every admitted key resolves");
-                    let (result, status, micros) = match resolution {
-                        Resolution::CachedHit(found) => {
-                            (Ok(Arc::clone(found)), CacheStatus::Hit, own_us)
-                        }
-                        Resolution::Computed((outcome, compute_us)) => {
-                            let first = miss_claimed.insert(key);
-                            // Only the miss carries the rollout's cost;
-                            // duplicates coalescing onto it report just
-                            // their own admission + queue time.
-                            let (status, micros) = if first {
-                                (CacheStatus::Miss, own_us + *compute_us)
-                            } else {
-                                (CacheStatus::Coalesced, own_us)
-                            };
-                            match outcome {
-                                Ok(found) => (Ok(Arc::clone(found)), status, micros),
-                                Err(e) => (Err(e.clone()), status, micros),
-                            }
-                        }
-                    };
-                    ServeResponse {
-                        id: request.id.clone(),
-                        result: result.map(|r| (r, status)),
-                        micros,
-                        route: Some(route),
+    let mut responses: Vec<ServeResponse> = Vec::with_capacity(requests.len());
+    let mut stages: Vec<ResponseStages> = Vec::with_capacity(requests.len());
+    for (i, (request, slot)) in requests.iter().zip(slots).enumerate() {
+        // Clock-resolution floor: even a sub-microsecond admission
+        // (tiny cached hit, instant rejection) reports 1µs — never
+        // the `micros: 0` that dragged p50 toward zero.
+        let own_us = (queue_waits_us.map_or(0, |w| w[i]) + admission_us[i]).max(1);
+        let mut parts = ResponseStages {
+            admission_us: admission_us[i],
+            compute_us: 0,
+        };
+        let response = match slot {
+            Slot::Failed(message) => ServeResponse {
+                id: request.id.clone(),
+                result: Err(message),
+                micros: own_us,
+                route: None,
+                rid: None,
+            },
+            Slot::Keyed(key, route) => {
+                let resolution = resolutions[order[&key]]
+                    .as_ref()
+                    .expect("every admitted key resolves");
+                let (result, status, micros) = match resolution {
+                    Resolution::CachedHit(found) => {
+                        (Ok(Arc::clone(found)), CacheStatus::Hit, own_us)
                     }
+                    Resolution::Computed((outcome, compute_us)) => {
+                        let first = miss_claimed.insert(key);
+                        // Only the miss carries the rollout's cost;
+                        // duplicates coalescing onto it report just
+                        // their own admission + queue time.
+                        let (status, micros) = if first {
+                            parts.compute_us = *compute_us;
+                            (CacheStatus::Miss, own_us + *compute_us)
+                        } else {
+                            (CacheStatus::Coalesced, own_us)
+                        };
+                        match outcome {
+                            Ok(found) => (Ok(Arc::clone(found)), status, micros),
+                            Err(e) => (Err(e.clone()), status, micros),
+                        }
+                    }
+                };
+                ServeResponse {
+                    id: request.id.clone(),
+                    result: result.map(|r| (r, status)),
+                    micros,
+                    route: Some(route),
+                    rid: None,
                 }
             }
-        })
-        .collect();
+        };
+        responses.push(response);
+        stages.push(parts);
+    }
     BatchReport {
         responses,
+        stages,
         miss_modes,
     }
 }

@@ -8,11 +8,12 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use qrc_benchgen::paper_suite;
+use qrc_obs::{TraceEvent, TraceSink};
 use qrc_predictor::PersistError;
 use serde_json::Value;
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{MetricsSnapshot, ServeMetrics, Stage};
 use crate::persist::{
     head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,
     SnapshotLoad, SnapshotShardStamp, TrafficLog,
@@ -96,6 +97,10 @@ pub struct QueuedLine {
     pub queue_us: u64,
 }
 
+/// Reads the live request-queue depth of whichever front end is
+/// driving the service (the queue lives in the front end, not here).
+type QueueDepthProbe = Box<dyn Fn() -> u64 + Send + Sync>;
+
 /// A running compilation service: models loaded, cache warm-able,
 /// ready to answer batches.
 ///
@@ -131,6 +136,14 @@ pub struct CompilationService {
     seed: u64,
     batch_options: scheduler::BatchOptions,
     max_request_bytes: usize,
+    /// Monotone request-ID source: every line the service answers gets
+    /// the next `rid`, in admission order, echoed on the wire and
+    /// stamped on log lines and trace spans.
+    rids: AtomicU64,
+    /// The active span sink (disabled unless tracing was enabled).
+    trace: RwLock<Arc<TraceSink>>,
+    /// Live queue-depth gauge, installed by the pipelined front ends.
+    queue_probe: RwLock<Option<QueueDepthProbe>>,
 }
 
 /// What loading a persisted cache snapshot did at startup.
@@ -237,7 +250,45 @@ impl CompilationService {
                 },
             },
             max_request_bytes: config.max_request_bytes,
+            rids: AtomicU64::new(0),
+            trace: RwLock::new(Arc::new(TraceSink::disabled())),
+            queue_probe: RwLock::new(None),
         }
+    }
+
+    /// Enables request tracing: one request in `sample_every` gets a
+    /// span tree in the returned sink (0 disables). The sink is also
+    /// retrievable later via [`Self::trace_sink`], e.g. to write the
+    /// Chrome-trace file at drain.
+    pub fn enable_tracing(&self, sample_every: u64) -> Arc<TraceSink> {
+        let sink = Arc::new(TraceSink::new(
+            sample_every,
+            qrc_obs::trace::DEFAULT_TRACE_CAPACITY,
+        ));
+        *self.trace.write().expect("trace sink poisoned") = Arc::clone(&sink);
+        sink
+    }
+
+    /// The active trace sink (a disabled sink when tracing is off).
+    pub fn trace_sink(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.trace.read().expect("trace sink poisoned"))
+    }
+
+    /// Installs the live queue-depth gauge. The bounded request queue
+    /// belongs to the front end, so [`serve_socket`](crate::listener)
+    /// and [`serve_stdin`](crate::listener) hand the service a probe at
+    /// startup; `{"cmd":"stats"}` and the Prometheus rendering read it.
+    pub fn install_queue_probe(&self, probe: QueueDepthProbe) {
+        *self.queue_probe.write().expect("queue probe poisoned") = Some(probe);
+    }
+
+    /// The front-end queue's current depth, when a probe is installed.
+    pub fn queue_depth(&self) -> Option<u64> {
+        self.queue_probe
+            .read()
+            .expect("queue probe poisoned")
+            .as_ref()
+            .map(|probe| probe())
     }
 
     /// The current registry snapshot. Batches hold the snapshot they
@@ -584,7 +635,7 @@ impl CompilationService {
     /// Scheduler entry without metrics recording (callers that adjust
     /// the reported latency first record themselves).
     fn run_batch(&self, requests: &[ServeRequest]) -> Vec<ServeResponse> {
-        self.run_batch_queued(requests, None)
+        self.run_batch_queued(requests, None).responses
     }
 
     /// Scheduler entry with per-request queue waits folded into the
@@ -594,7 +645,7 @@ impl CompilationService {
         &self,
         requests: &[ServeRequest],
         queue_waits_us: Option<&[u64]>,
-    ) -> Vec<ServeResponse> {
+    ) -> scheduler::BatchReport {
         // Every served compilation request lands in the traffic log
         // (warmup replays call the scheduler directly and stay out, so
         // a restart never re-amplifies its own warmup).
@@ -626,7 +677,19 @@ impl CompilationService {
         ] {
             self.metrics.record_miss_modes(mode, count);
         }
-        report.responses
+        // Stage histograms: every scheduled request contributes its own
+        // admission time; only the request that claimed a miss
+        // contributes compute (hits and coalesced duplicates did no
+        // policy work — recording zeros for them would bury the real
+        // compute distribution).
+        for parts in &report.stages {
+            self.metrics
+                .record_stage(Stage::Admission, parts.admission_us);
+            if parts.compute_us > 0 {
+                self.metrics.record_stage(Stage::Compute, parts.compute_us);
+            }
+        }
+        report
     }
 
     /// Records an already-built response into the service metrics.
@@ -653,6 +716,7 @@ impl CompilationService {
                 // recorded *and* reported, so `--stats` percentiles
                 // agree with what the client saw on the wire.
                 response.micros = (start.elapsed().as_micros() as u64).max(1);
+                response.rid = Some(self.next_rid());
                 self.record(&response);
                 response.to_line()
             }
@@ -662,6 +726,7 @@ impl CompilationService {
                     result: Err(message),
                     micros: (start.elapsed().as_micros() as u64).max(1),
                     route: None,
+                    rid: Some(self.next_rid()),
                 };
                 self.record(&response);
                 response.to_line()
@@ -719,32 +784,48 @@ impl CompilationService {
             }
             parse_us.push(parse_start.elapsed().as_micros() as u64);
         }
-        let mut scheduled = self
-            .run_batch_queued(&requests, Some(&queue_waits))
-            .into_iter();
+        let report = self.run_batch_queued(&requests, Some(&queue_waits));
+        let mut scheduled = report.responses.into_iter().zip(report.stages);
+        // Request IDs are handed out in admission order; each batch
+        // reserves a contiguous block, so ids within a batch are
+        // ordered even when batches race.
+        let first_rid = self.rids.fetch_add(items.len() as u64, Ordering::Relaxed) + 1;
+        let sink = self.trace_sink();
         let responses: Vec<ServeResponse> = slots
             .into_iter()
             .zip(items)
             .zip(parse_us)
-            .map(|((slot, (line, queue_us)), parse_us)| {
-                let mut response = match slot {
+            .enumerate()
+            .map(|(index, ((slot, (line, queue_us)), parse_us))| {
+                let (mut response, stage_parts) = match slot {
                     Ok(_) => {
-                        let mut response = scheduled.next().expect("one response per request");
+                        let (mut response, parts) =
+                            scheduled.next().expect("one response per request");
                         response.micros += parse_us;
-                        response
+                        (response, Some(parts))
                     }
-                    Err(message) => ServeResponse {
-                        id: ServeRequest::recover_id(line),
-                        result: Err(message),
-                        micros: queue_us + parse_us,
-                        route: None,
-                    },
+                    Err(message) => (
+                        ServeResponse {
+                            id: ServeRequest::recover_id(line),
+                            result: Err(message),
+                            micros: queue_us + parse_us,
+                            route: None,
+                            rid: None,
+                        },
+                        None,
+                    ),
                 };
                 // Clock-resolution floor: sub-microsecond work (a
                 // rejected parse, a tiny cached hit) reports 1µs, not
                 // the old `micros: 0` shortcut that dragged p50 to
                 // zero at high hit rates.
                 response.micros = response.micros.max(1);
+                response.rid = Some(first_rid + index as u64);
+                self.metrics.record_stage(Stage::QueueWait, *queue_us);
+                self.metrics.record_stage(Stage::Parse, parse_us);
+                if sink.enabled() && sink.should_sample() {
+                    self.push_request_trace(&sink, &response, *queue_us, parse_us, stage_parts);
+                }
                 response
             })
             .collect();
@@ -752,6 +833,69 @@ impl CompilationService {
             self.record(response);
         }
         responses
+    }
+
+    /// The next request ID (1-based, admission order).
+    fn next_rid(&self) -> u64 {
+        self.rids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Synthesizes the sampled span tree for one answered request from
+    /// its measured stage durations: a `request` root plus one child
+    /// per nonzero stage, laid end to end on the service's monotonic
+    /// timeline, with the request's `rid` as the track id — so each
+    /// sampled request renders as its own lane in Perfetto.
+    fn push_request_trace(
+        &self,
+        sink: &TraceSink,
+        response: &ServeResponse,
+        queue_us: u64,
+        parse_us: u64,
+        parts: Option<scheduler::ResponseStages>,
+    ) {
+        let rid = response.rid.unwrap_or(0);
+        let end_us = self.metrics.uptime_us();
+        let start_us = end_us.saturating_sub(response.micros);
+        let mut root = TraceEvent::new("request", start_us, response.micros, rid);
+        root = match &response.result {
+            Ok((_, status)) => root.with_arg("cache", Value::from(status.name())),
+            Err(message) => root.with_arg("error", Value::from(message.clone())),
+        };
+        if let Some(id) = &response.id {
+            root = root.with_arg("id", Value::from(id.clone()));
+        }
+        let mut spans = vec![root];
+        let (admission_us, compute_us) = match parts {
+            Some(parts) => (parts.admission_us, parts.compute_us),
+            None => (0, 0),
+        };
+        // The measured stages tile the request's wall-clock in the
+        // order they actually ran; zero-length stages are elided.
+        let mut cursor = start_us;
+        for (name, dur_us) in [
+            ("queue_wait", queue_us),
+            ("parse", parse_us),
+            ("admission", admission_us),
+            ("compute", compute_us),
+        ] {
+            if dur_us > 0 {
+                spans.push(TraceEvent::new(name, cursor, dur_us, rid));
+                cursor += dur_us;
+            }
+        }
+        sink.push(spans);
+    }
+
+    /// Records one observation of a front-end pipeline stage (the
+    /// listener reports batch-assembly waits through this).
+    pub fn record_stage(&self, stage: Stage, micros: u64) {
+        self.metrics.record_stage(stage, micros);
+    }
+
+    /// A point-in-time copy of one pipeline stage's histogram (the
+    /// bench harness reconciles these against reported latencies).
+    pub fn stage_histogram(&self, stage: Stage) -> qrc_obs::Histogram {
+        self.metrics.stage_histogram(stage)
     }
 
     /// Counts one back-pressure rejection (the front end answers the
@@ -793,8 +937,35 @@ impl CompilationService {
                     ("snapshot_entries", entries),
                 ]),
             ));
+            // Live gauge, not a counter: only meaningful while a
+            // pipelined front end is driving the service.
+            if let Some(depth) = self.queue_depth() {
+                pairs.push(("queue_depth".into(), Value::from(depth)));
+            }
         }
         value
+    }
+
+    /// The full Prometheus text exposition: service counters, latency
+    /// and stage histograms, cache and routing counters, the live
+    /// queue-depth gauge (when a front end installed its probe), and —
+    /// when the global profiler is on — per-pass, per-section, and
+    /// per-tick compute histograms.
+    pub fn metrics_text(&self) -> String {
+        self.metrics
+            .render_prometheus(&self.cache.stats(), self.queue_depth())
+    }
+
+    /// The `{"cmd":"metrics"}` reply: the Prometheus text embedded in
+    /// one NDJSON object, so the line protocol stays line-oriented
+    /// (scrape the `metrics` field, or hit `--metrics-listen` for the
+    /// raw text over HTTP).
+    pub fn metrics_value(&self) -> Value {
+        Value::object(vec![
+            ("ok", Value::from(true)),
+            ("format", Value::from("prometheus_text_0_0_4")),
+            ("metrics", Value::from(self.metrics_text())),
+        ])
     }
 
     /// Entries currently resident in the result cache.
