@@ -15,7 +15,7 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service five ways:
+//!                           qrc-serve compilation service eight ways:
 //!                           serial, blocking batched, the pipelined
 //!                           socket front end, a sharded registry
 //!                           vs the monolithic baseline over a
@@ -23,10 +23,12 @@
 //!                           restart-warmup arm (cold restart vs
 //!                           snapshot-warmed restart), a cold-cache
 //!                           miss-path arm (single-row f64 vs batched
-//!                           f64 vs gate-checked int8 inference), and
-//!                           an observability arm (full profiler +
+//!                           f64 vs gate-checked int8 inference), an
+//!                           observability arm (full profiler +
 //!                           span sampling on vs off, with a per-stage
-//!                           latency breakdown)
+//!                           latency breakdown), and a dynamic-device
+//!                           arm (runtime-registered device with a
+//!                           live mid-run calibration swap)
 //!                           (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
@@ -343,6 +345,24 @@ fn run_serve(
         report.obs_profile_mean_us
     );
     println!(
+        "dynamic devices ({} requests incl. `{}` pins, seed tag {}): \
+         before {:.3}s | after calibrate {:.3}s | built-in parity: {} | \
+         generation {} invalidated {} | {}/{} calibration-keyed payloads changed | \
+         others identical: {} | {} errors",
+        report.dyn_requests,
+        report.dyn_device,
+        report.dyn_seed_tag,
+        report.dyn_before_secs,
+        report.dyn_after_secs,
+        report.dyn_builtin_parity,
+        report.dyn_calibration_generation,
+        report.dyn_invalidated,
+        report.dyn_changed,
+        report.dyn_expected_changed,
+        report.dyn_others_identical,
+        report.dyn_errors
+    );
+    println!(
         "cache: {} hits / {} misses (hit rate {:.1}%) | latency p50 {}µs p99 {}µs | \
          {} errors | batched == serial: {}",
         report.hits,
@@ -440,6 +460,33 @@ fn run_serve(
             "FAIL: the instrumented replay produced no valid trace \
              ({} spans over {} sampled requests)",
             report.obs_trace_events, report.obs_sampled_requests
+        );
+        std::process::exit(1);
+    }
+    if !report.dyn_builtin_parity {
+        eprintln!("FAIL: registering a dynamic device perturbed built-in payloads");
+        std::process::exit(1);
+    }
+    if !report.dyn_recalibration_ok() {
+        eprintln!(
+            "FAIL: live calibration changed {}/{} calibration-keyed dynamic payloads \
+             (all must change, and the set must be non-empty)",
+            report.dyn_changed, report.dyn_expected_changed
+        );
+        std::process::exit(1);
+    }
+    if !report.dyn_others_identical {
+        eprintln!("FAIL: a live calibration swap changed a payload it must not touch");
+        std::process::exit(1);
+    }
+    if report.dyn_invalidated == 0 {
+        eprintln!("FAIL: the live calibration swap invalidated no cached entries");
+        std::process::exit(1);
+    }
+    if report.dyn_errors > 0 {
+        eprintln!(
+            "FAIL: {} requests failed across the calibration swap (must be 0)",
+            report.dyn_errors
         );
         std::process::exit(1);
     }

@@ -53,7 +53,15 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// sink stats, and a per-stage latency breakdown reconciled against
 /// the mean reported miss latency), and `latency_us` gained
 /// `p999`/`min`/`max` from the log-bucketed histogram.
-pub const BENCH_SCHEMA_VERSION: u64 = 7;
+///
+/// v8: the serve report grew the dynamic-device arm (`dynamic_devices`
+/// block: a runtime-registered device joins the built-ins, the arm-1
+/// mix extended with requests pinned to it replays before and after a
+/// live calibration swap; `builtin_parity` against the arm-1 serial
+/// payloads, `calibration` generation/invalidation counters,
+/// `changed`/`expected_changed` over the calibration-keyed payloads,
+/// `others_identical`, and `errors`).
+pub const BENCH_SCHEMA_VERSION: u64 = 8;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -242,7 +250,33 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ("restart", restart_value(report)),
         ("miss_path", miss_path_value(report)),
         ("observability", observability_value(report)),
+        ("dynamic_devices", dynamic_devices_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The dynamic-device block of `BENCH_serve.json`: a runtime-registered
+/// device replayed before and after a live calibration swap, with the
+/// built-in-parity gate and the selective-invalidation counters.
+fn dynamic_devices_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.dyn_requests)),
+        ("device", Value::from(report.dyn_device.clone())),
+        ("seed_tag", Value::from(report.dyn_seed_tag)),
+        ("before_secs", Value::from(report.dyn_before_secs)),
+        ("after_secs", Value::from(report.dyn_after_secs)),
+        ("builtin_parity", Value::from(report.dyn_builtin_parity)),
+        (
+            "calibration",
+            Value::object(vec![
+                ("generation", Value::from(report.dyn_calibration_generation)),
+                ("invalidated", Value::from(report.dyn_invalidated)),
+            ]),
+        ),
+        ("changed", Value::from(report.dyn_changed)),
+        ("expected_changed", Value::from(report.dyn_expected_changed)),
+        ("others_identical", Value::from(report.dyn_others_identical)),
+        ("errors", Value::from(report.dyn_errors)),
     ])
 }
 
@@ -520,6 +554,18 @@ mod tests {
             obs_admission_mean_us: 60.0,
             obs_compute_mean_us: 9_700.0,
             obs_profile_mean_us: 9_000.0,
+            dyn_requests: 436,
+            dyn_device: "bench_dyn_ring_12".into(),
+            dyn_seed_tag: 6,
+            dyn_before_secs: 0.5,
+            dyn_after_secs: 0.2,
+            dyn_builtin_parity: true,
+            dyn_calibration_generation: 1,
+            dyn_invalidated: 24,
+            dyn_changed: 24,
+            dyn_expected_changed: 24,
+            dyn_others_identical: true,
+            dyn_errors: 0,
         };
         let settings = EvalSettings {
             verbose: false,
@@ -565,6 +611,13 @@ mod tests {
             "stage_means_us",
             "profile_drilldown",
             "stage_breakdown_frac",
+            "dynamic_devices",
+            "bench_dyn_ring_12",
+            "seed_tag",
+            "builtin_parity",
+            "expected_changed",
+            "others_identical",
+            "invalidated",
         ] {
             assert!(
                 serve_text.contains(key),
@@ -604,5 +657,6 @@ mod tests {
         assert!((report.miss_quantized_multiple() - 4.0).abs() < 1e-9);
         assert!((report.obs_overhead_frac() - 0.025).abs() < 1e-9);
         assert!((report.obs_breakdown_frac() - 0.98).abs() < 1e-9);
+        assert!(report.dyn_recalibration_ok());
     }
 }

@@ -31,6 +31,15 @@
 //! leak into results — and the instrumented round's per-stage
 //! histograms must account for (nearly all of) the mean miss latency
 //! the responses themselves reported.
+//!
+//! An eighth arm exercises the dynamic device registry: a runtime
+//! device spec is registered alongside the built-ins and the arm-1 mix
+//! is extended with requests pinned to it. The built-in prefix must be
+//! byte-identical to the arm-1 serial payloads (registering extra
+//! devices must not perturb anything), and a live calibration swap on
+//! the dynamic device mid-run must change exactly the
+//! calibration-keyed payloads pinned to it — every other payload stays
+//! byte-identical, with zero failed requests.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -234,6 +243,42 @@ pub struct ServeBenchReport {
     /// Profiler-attributed time (rollout ticks + named compute
     /// sections) per miss (µs) — the drill-down under `compute`.
     pub obs_profile_mean_us: f64,
+    /// Requests in the dynamic-device arm's mix (the arm-1 mix plus
+    /// requests pinned to the runtime-registered device).
+    pub dyn_requests: usize,
+    /// Name of the runtime-registered device the arm pins.
+    pub dyn_device: String,
+    /// Structural seed tag of the dynamic device (built-ins own 1–5;
+    /// dynamic devices must land strictly above).
+    pub dyn_seed_tag: u64,
+    /// Wall-clock of the pre-calibration replay (seconds).
+    pub dyn_before_secs: f64,
+    /// Wall-clock of the post-calibration replay (seconds).
+    pub dyn_after_secs: f64,
+    /// `true` iff the built-in prefix of the mix produced payloads
+    /// byte-identical to the arm-1 serial replay — registering dynamic
+    /// devices must not perturb built-in answers.
+    pub dyn_builtin_parity: bool,
+    /// Calibration generation the live swap produced (0 means
+    /// never-swapped, so this is ≥ 1).
+    pub dyn_calibration_generation: u64,
+    /// Cached entries the live swap invalidated (the dynamic device's
+    /// calibration-keyed results, and nothing else).
+    pub dyn_invalidated: u64,
+    /// Dynamic-pinned, calibration-dependent payloads (calibration-
+    /// keyed objective AND a nonzero-reward compile) whose bytes
+    /// changed after the swap.
+    pub dyn_changed: usize,
+    /// Dynamic-pinned, calibration-dependent payloads in the mix —
+    /// every one of them must change. (Zero-reward rollouts render the
+    /// same body under any calibration and are excluded.)
+    pub dyn_expected_changed: usize,
+    /// `true` iff every payload outside that set was byte-identical
+    /// across the swap.
+    pub dyn_others_identical: bool,
+    /// Error responses across both dynamic-arm replays (must be 0: a
+    /// calibration swap never fails a request).
+    pub dyn_errors: u64,
 }
 
 impl ServeBenchReport {
@@ -308,6 +353,13 @@ impl ServeBenchReport {
     pub fn obs_breakdown_frac(&self) -> f64 {
         (self.obs_parse_mean_us + self.obs_admission_mean_us + self.obs_compute_mean_us)
             / self.obs_mean_miss_us.max(1e-12)
+    }
+
+    /// `true` iff the live calibration swap changed every
+    /// calibration-dependent payload pinned to the dynamic device (and
+    /// the set was non-empty to begin with).
+    pub fn dyn_recalibration_ok(&self) -> bool {
+        self.dyn_expected_changed > 0 && self.dyn_changed == self.dyn_expected_changed
     }
 }
 
@@ -704,6 +756,102 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         _ => (0, false),
     };
 
+    // --- The dynamic-device / live-calibration arm ------------------------
+    // A runtime spec joins the built-ins in the process-wide registry,
+    // and the arm-1 mix is extended with requests pinned to it. One
+    // service answers the whole mix, the dynamic device is
+    // live-calibrated, and the mix replays on the same (warm) service:
+    // exactly the calibration-keyed payloads pinned to the dynamic
+    // device may change. This arm runs last — the calibration swap
+    // mutates the process-wide registry, and nothing after it may
+    // depend on the original synthetic calibration.
+    const DYN_DEVICE: &str = "bench_dyn_ring_12";
+    let dynamic_id = qrc_device::DeviceRegistry::register(
+        qrc_device::DeviceSpec::synthetic(
+            DYN_DEVICE,
+            qrc_device::Platform::Oqc,
+            qrc_device::TopologySpec::Ring { qubits: 12 },
+        ),
+        qrc_device::DeviceSource::Runtime,
+    )
+    .expect("register the bench's dynamic device");
+    let dyn_seed_tag = qrc_device::DeviceRegistry::seed_tag(dynamic_id);
+    let mut dynamic_traffic = traffic.clone();
+    let dyn_suite = qrc_benchgen::paper_suite(2, settings.max_qubits.min(4));
+    dynamic_traffic.extend(dyn_suite.iter().enumerate().flat_map(|(index, qc)| {
+        let text = qrc_circuit::qasm::to_qasm(qc);
+        qrc_predictor::RewardKind::ALL
+            .into_iter()
+            .map(move |objective| ServeRequest {
+                id: Some(format!("dyn-{index}-{}", objective.name())),
+                qasm: text.clone(),
+                objective,
+                device_pin: Some(dynamic_id),
+            })
+    }));
+    let dynamic_service = CompilationService::with_registry(
+        ModelRegistry::from_models(models.clone()),
+        &service_config(true),
+    );
+    let replay_dynamic = |service: &CompilationService| -> (Vec<Value>, f64) {
+        let start = Instant::now();
+        let mut payloads = Vec::with_capacity(dynamic_traffic.len());
+        for chunk in dynamic_traffic.chunks(serve.batch_size.max(1)) {
+            payloads.extend(
+                service
+                    .handle_batch(chunk)
+                    .iter()
+                    .map(ServeResponse::payload_value),
+            );
+        }
+        (payloads, start.elapsed().as_secs_f64())
+    };
+    let (dyn_before, dyn_before_secs) = replay_dynamic(&dynamic_service);
+    // The mix's prefix IS the arm-1 mix: with dynamic devices
+    // registered, the built-in answers must not move a byte.
+    let dyn_builtin_parity = dyn_before.len() == dynamic_traffic.len()
+        && dyn_before[..traffic.len()]
+            .iter()
+            .zip(serial_responses.iter())
+            .all(|(a, b)| *a == b.payload_value());
+    let recalibration = qrc_device::CalibrationSpec::Synthetic {
+        profile: qrc_device::ProfileSpec::Named("superconducting_oqc".into()),
+        seed: Some(format!("{DYN_DEVICE}_recal")),
+    }
+    .to_value();
+    let (dyn_calibration_generation, dyn_invalidated) = dynamic_service
+        .calibrate(DYN_DEVICE, &recalibration)
+        .expect("live-calibrate the dynamic device");
+    let (dyn_after, dyn_after_secs) = replay_dynamic(&dynamic_service);
+    // A payload embeds the calibration only when the rollout actually
+    // compiled onto the device (nonzero reward); a failed rollout
+    // renders the same zero-reward body under any calibration, so only
+    // calibration-dependent payloads are *required* to change.
+    let reward_of = |payload: &Value| -> f64 {
+        payload
+            .get("reward")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    let mut dyn_changed = 0usize;
+    let mut dyn_expected_changed = 0usize;
+    let mut dyn_others_identical = dyn_after.len() == dyn_before.len();
+    for (index, (before, after)) in dyn_before.iter().zip(dyn_after.iter()).enumerate() {
+        let calibration_keyed =
+            index >= traffic.len() && dynamic_traffic[index].objective.uses_calibration();
+        if calibration_keyed {
+            if reward_of(before) != 0.0 || reward_of(after) != 0.0 {
+                dyn_expected_changed += 1;
+                if before != after {
+                    dyn_changed += 1;
+                }
+            }
+        } else if before != after {
+            dyn_others_identical = false;
+        }
+    }
+    let dyn_errors = dynamic_service.metrics().errors;
+
     let metrics = batched_service.metrics();
     ServeBenchReport {
         requests: traffic.len(),
@@ -765,6 +913,18 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         obs_admission_mean_us: stage_mean(Stage::Admission),
         obs_compute_mean_us: stage_mean(Stage::Compute),
         obs_profile_mean_us,
+        dyn_requests: dynamic_traffic.len(),
+        dyn_device: DYN_DEVICE.to_string(),
+        dyn_seed_tag,
+        dyn_before_secs,
+        dyn_after_secs,
+        dyn_builtin_parity,
+        dyn_calibration_generation,
+        dyn_invalidated,
+        dyn_changed,
+        dyn_expected_changed,
+        dyn_others_identical,
+        dyn_errors,
     }
 }
 

@@ -156,11 +156,13 @@ pub fn observation_of(flow: &CompilationFlow) -> Vec<f64> {
     let mut device_onehot = [0.0; 6];
     match flow.device() {
         Some(dev) => {
-            let idx = DeviceId::ALL
-                .iter()
-                .position(|d| *d == dev.id())
-                .expect("known device");
-            device_onehot[idx] = 1.0;
+            // Dynamic (registry-loaded) devices have no slot in the
+            // fixed checkpoint one-hot; they encode as all-zeros,
+            // which stays distinct from both the built-ins and the
+            // explicit "no device yet" slot.
+            if let Some(idx) = DeviceId::ALL.iter().position(|d| *d == dev.id()) {
+                device_onehot[idx] = 1.0;
+            }
         }
         None => device_onehot[5] = 1.0,
     }

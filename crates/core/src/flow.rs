@@ -246,6 +246,41 @@ impl CompilationFlow {
         Ok(())
     }
 
+    /// Pins `device` directly, as served requests with an explicit
+    /// device pin do: equivalent to applying `SelectPlatform` +
+    /// `SelectDevice` (same two history entries, same step count, no
+    /// RNG consumed) but resolved against the *given* device model
+    /// rather than the built-in action set. This is what makes dynamic
+    /// registry devices reachable — `SelectPlatform` legality only
+    /// considers the five built-ins, so a pin to, say, a 16-qubit ring
+    /// on the OQC platform would otherwise be rejected because the
+    /// built-in Lucy has 8 qubits. For built-in pins that fit, the
+    /// resulting flow is indistinguishable from the two-action path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::IllegalAction`] unless the flow is in
+    /// `Start` and the circuit fits the device.
+    pub fn pin_device(&mut self, device: Device) -> Result<(), FlowError> {
+        if self.state != FlowState::Start || device.num_qubits() < self.original_width {
+            return Err(FlowError::IllegalAction {
+                action: format!("pin:{}", device.name()),
+                state: self.state,
+            });
+        }
+        let platform = device.platform();
+        let id = device.id();
+        self.platform = Some(platform);
+        self.state = FlowState::PlatformChosen;
+        self.steps += 1;
+        self.history.push(Action::SelectPlatform(platform));
+        self.device = Some(device);
+        self.refresh_state();
+        self.steps += 1;
+        self.history.push(Action::SelectDevice(id));
+        Ok(())
+    }
+
     fn run_pass(&mut self, pass: &dyn qrc_passes::Pass, seed: u64) -> Result<(), FlowError> {
         let ctx = match &self.device {
             Some(dev) => PassContext::for_device(dev).with_seed(seed),
@@ -468,6 +503,70 @@ mod tests {
             .unwrap();
         assert!(flow.circuit().is_empty());
         assert_eq!(flow.state(), FlowState::Start);
+    }
+
+    #[test]
+    fn pin_device_matches_the_two_action_path_exactly() {
+        let mut via_actions = CompilationFlow::new(star(5), 9);
+        via_actions
+            .apply(Action::SelectPlatform(Platform::Ibm))
+            .unwrap();
+        via_actions
+            .apply(Action::SelectDevice(DeviceId::IbmqMontreal))
+            .unwrap();
+        let mut via_pin = CompilationFlow::new(star(5), 9);
+        via_pin
+            .pin_device(Device::get(DeviceId::IbmqMontreal))
+            .unwrap();
+        assert_eq!(via_actions.history(), via_pin.history());
+        assert_eq!(via_actions.steps(), via_pin.steps());
+        assert_eq!(via_actions.state(), via_pin.state());
+        assert_eq!(via_actions.mask_signature(), via_pin.mask_signature());
+        // The continuations stay identical too (same step seeds).
+        for flow in [&mut via_actions, &mut via_pin] {
+            flow.apply(Action::Synthesize).unwrap();
+            flow.apply(Action::Layout(LayoutMethod::Sabre)).unwrap();
+            flow.apply(Action::Route(RoutingMethod::Sabre)).unwrap();
+        }
+        assert_eq!(via_actions.circuit(), via_pin.circuit());
+        assert_eq!(via_actions.layouts(), via_pin.layouts());
+    }
+
+    #[test]
+    fn pin_device_reaches_dynamic_devices_the_action_set_cannot() {
+        use qrc_device::{DeviceRegistry, DeviceSource, DeviceSpec, TopologySpec};
+        let id = DeviceRegistry::register(
+            DeviceSpec::synthetic(
+                "flow_test_ring_16",
+                Platform::Oqc,
+                TopologySpec::Ring { qubits: 16 },
+            ),
+            DeviceSource::Runtime,
+        )
+        .unwrap();
+        let mut flow = CompilationFlow::new(ghz(12), 3);
+        // The action path is closed: no *built-in* OQC device fits 12
+        // qubits, so the platform itself is masked…
+        assert!(!flow.is_legal(Action::SelectPlatform(Platform::Oqc)));
+        // …but an explicit pin to the 16-qubit dynamic ring works.
+        flow.pin_device(Device::get(id)).unwrap();
+        assert_eq!(flow.platform(), Some(Platform::Oqc));
+        assert_eq!(flow.device().unwrap().num_qubits(), 16);
+        flow.apply(Action::Synthesize).unwrap();
+        assert!(flow.is_done(), "GHZ chain is ring-native once synthesized");
+    }
+
+    #[test]
+    fn pin_device_rejects_oversized_circuits_and_non_start_states() {
+        let mut flow = CompilationFlow::new(ghz(9), 0);
+        let err = flow.pin_device(Device::get(DeviceId::OqcLucy)).unwrap_err();
+        assert!(matches!(err, FlowError::IllegalAction { .. }));
+        let mut flow = CompilationFlow::new(ghz(3), 0);
+        flow.apply(Action::SelectPlatform(Platform::Ibm)).unwrap();
+        let err = flow
+            .pin_device(Device::get(DeviceId::IbmqMontreal))
+            .unwrap_err();
+        assert!(matches!(err, FlowError::IllegalAction { .. }));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::env::{observation_of, CompilationEnv, MAX_EPISODE_STEPS, OBS_DIM};
 use crate::flow::{CompilationFlow, FlowError, MaskSignature};
 use crate::reward::RewardKind;
 use qrc_circuit::QuantumCircuit;
-use qrc_device::DeviceId;
+use qrc_device::{Device, DeviceId};
 use qrc_rl::{greedy_from_logits, PpoAgent, PpoConfig, QuantizedMlp, TrainStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -353,7 +353,11 @@ impl TrainedPredictor {
     /// Compiles for a *pinned* target device: the platform and device
     /// selection steps are forced, then the learned policy takes over
     /// for synthesis, layout, routing, and optimization. Used by the
-    /// serving layer when a request pins its hardware target.
+    /// serving layer when a request pins its hardware target. Pinning
+    /// goes through [`CompilationFlow::pin_device`], so dynamic
+    /// registry devices outside the built-in action set are reachable;
+    /// for built-in pins the flow is identical to forcing the two
+    /// selection actions.
     ///
     /// # Errors
     ///
@@ -366,8 +370,7 @@ impl TrainedPredictor {
         seed: u64,
     ) -> Result<CompilationOutcome, crate::flow::FlowError> {
         let mut flow = CompilationFlow::new(circuit.clone(), seed);
-        flow.apply(Action::SelectPlatform(pin.platform()))?;
-        flow.apply(Action::SelectDevice(pin))?;
+        flow.pin_device(Device::get(pin))?;
         Ok(self.finish_rollout(flow, self.reward))
     }
 
@@ -529,10 +532,7 @@ impl TrainedPredictor {
         for (item, req) in items.iter().enumerate() {
             let mut flow = CompilationFlow::new(req.circuit.clone(), req.seed);
             if let Some(pin) = req.pin {
-                let pinned = flow
-                    .apply(Action::SelectPlatform(pin.platform()))
-                    .and_then(|_| flow.apply(Action::SelectDevice(pin)));
-                if let Err(e) = pinned {
+                if let Err(e) = flow.pin_device(Device::get(pin)) {
                     results[item] = Some(Err(e));
                     continue;
                 }

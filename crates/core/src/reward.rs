@@ -38,6 +38,15 @@ impl RewardKind {
         RewardKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
+    /// Whether the metric reads device *calibration* data. A live
+    /// recalibration changes the answers of exactly these objectives;
+    /// [`RewardKind::CriticalDepth`] is pure circuit structure and is
+    /// untouched — the serving cache uses this to invalidate
+    /// selectively.
+    pub const fn uses_calibration(self) -> bool {
+        matches!(self, RewardKind::ExpectedFidelity | RewardKind::Combination)
+    }
+
     /// Evaluates the metric for an *executable* circuit on `device`.
     /// Returns a value in `[0, 1]`; non-executable circuits score 0.
     pub fn evaluate(self, circuit: &QuantumCircuit, device: &Device) -> f64 {

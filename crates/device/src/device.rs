@@ -1,28 +1,49 @@
-//! The five target devices of the paper's action set.
+//! Device handles and device models.
+//!
+//! [`DeviceId`] is an interned handle into the process-wide
+//! [`DeviceRegistry`](crate::DeviceRegistry): slots 0–4 are the five
+//! paper devices (paper Sec. IV-A) with their historical names and
+//! ordering, and every slot past that is a runtime-registered spec.
+//! [`Device`] is an immutable, cheaply clonable (`Arc`-backed) model
+//! snapshot — a live recalibration swaps the registry's copy while
+//! in-flight compilations keep the snapshot they started with.
 
-use crate::calibration::{Calibration, ErrorProfile};
+use crate::calibration::Calibration;
 use crate::gateset::{NativeGateSet, Platform};
+use crate::registry::{DeviceRegistry, BUILTIN_COUNT};
 use crate::topology::CouplingMap;
 use qrc_circuit::{Gate, QuantumCircuit};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Identifier of one of the supported devices (paper Sec. IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum DeviceId {
-    /// IBM `ibmq_montreal`, 27 qubits, heavy-hex.
-    IbmqMontreal,
-    /// IBM `ibmq_washington`, 127 qubits, heavy-hex.
-    IbmqWashington,
-    /// Rigetti `Aspen-M-2`, 80 qubits, octagonal lattice.
-    RigettiAspenM2,
-    /// IonQ `Harmony`, 11 qubits, all-to-all.
-    IonqHarmony,
-    /// OQC `Lucy`, 8 qubits, ring.
-    OqcLucy,
-}
+/// Interned handle of a registered device.
+///
+/// Handles are assigned by the registry in registration order; the
+/// five paper devices are pre-interned and addressable as associated
+/// constants ([`DeviceId::IbmqMontreal`], …) that keep the spelling of
+/// the historical enum variants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(u32);
 
+#[allow(non_upper_case_globals)] // historical enum-variant spelling
 impl DeviceId {
-    /// Every device, in the paper's order.
+    /// IBM `ibmq_montreal`, 27 qubits, heavy-hex.
+    pub const IbmqMontreal: DeviceId = DeviceId(0);
+    /// IBM `ibmq_washington`, 127 qubits, heavy-hex.
+    pub const IbmqWashington: DeviceId = DeviceId(1);
+    /// Rigetti `Aspen-M-2`, 80 qubits, octagonal lattice.
+    pub const RigettiAspenM2: DeviceId = DeviceId(2);
+    /// IonQ `Harmony`, 11 qubits, all-to-all.
+    pub const IonqHarmony: DeviceId = DeviceId(3);
+    /// OQC `Lucy`, 8 qubits, ring.
+    pub const OqcLucy: DeviceId = DeviceId(4);
+
+    /// The five paper devices, in the paper's order.
+    ///
+    /// Dynamic devices are deliberately *not* listed here: the RL
+    /// action set, unpinned device selection, and observation one-hots
+    /// are all built over `ALL`, and checkpoints bake in its size —
+    /// runtime-registered devices are reachable only via explicit pins.
     pub const ALL: [DeviceId; 5] = [
         DeviceId::IbmqMontreal,
         DeviceId::IbmqWashington,
@@ -31,39 +52,44 @@ impl DeviceId {
         DeviceId::OqcLucy,
     ];
 
-    /// The canonical device name.
-    pub const fn name(self) -> &'static str {
-        match self {
-            DeviceId::IbmqMontreal => "ibmq_montreal",
-            DeviceId::IbmqWashington => "ibmq_washington",
-            DeviceId::RigettiAspenM2 => "rigetti_aspen_m2",
-            DeviceId::IonqHarmony => "ionq_harmony",
-            DeviceId::OqcLucy => "oqc_lucy",
-        }
+    pub(crate) fn from_index(index: usize) -> DeviceId {
+        DeviceId(u32::try_from(index).expect("registry index fits u32"))
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The canonical device name (interned for the process lifetime).
+    pub fn name(self) -> &'static str {
+        DeviceRegistry::name(self)
     }
 
     /// The inverse of [`DeviceId::name`], used by the serving protocol
-    /// to resolve device pins from requests.
+    /// to resolve device pins from requests. Resolves dynamic devices
+    /// too, once registered.
     pub fn from_name(name: &str) -> Option<DeviceId> {
-        DeviceId::ALL.into_iter().find(|d| d.name() == name)
+        DeviceRegistry::lookup(name)
     }
 
-    /// The platform the device belongs to.
-    pub const fn platform(self) -> Platform {
-        match self {
-            DeviceId::IbmqMontreal | DeviceId::IbmqWashington => Platform::Ibm,
-            DeviceId::RigettiAspenM2 => Platform::Rigetti,
-            DeviceId::IonqHarmony => Platform::Ionq,
-            DeviceId::OqcLucy => Platform::Oqc,
-        }
+    /// The native gate basis the device compiles to.
+    pub fn platform(self) -> Platform {
+        DeviceRegistry::basis(self)
     }
 
-    /// Devices offered by `platform`.
+    /// Built-in devices offered by `platform`. Dynamic devices never
+    /// appear here — this feeds the RL `SelectDevice` action set,
+    /// which is fixed at checkpoint-creation time.
     pub fn of_platform(platform: Platform) -> Vec<DeviceId> {
         DeviceId::ALL
             .into_iter()
             .filter(|d| d.platform() == platform)
             .collect()
+    }
+
+    /// Whether this is one of the five pre-interned paper devices.
+    pub fn is_builtin(self) -> bool {
+        self.0 < BUILTIN_COUNT
     }
 }
 
@@ -73,7 +99,24 @@ impl std::fmt::Display for DeviceId {
     }
 }
 
+impl std::fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeviceId({})", self.name())
+    }
+}
+
+#[derive(Debug)]
+struct DeviceInner {
+    id: DeviceId,
+    name: &'static str,
+    basis: Platform,
+    coupling: CouplingMap,
+    calibration: Calibration,
+}
+
 /// A fully specified target device: topology, native gates, calibration.
+///
+/// Cloning is cheap (an `Arc` bump); the model itself is immutable.
 ///
 /// # Examples
 ///
@@ -84,55 +127,63 @@ impl std::fmt::Display for DeviceId {
 /// assert_eq!(dev.num_qubits(), 27);
 /// assert!(dev.coupling().is_connected());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Device {
-    id: DeviceId,
-    coupling: CouplingMap,
-    calibration: Calibration,
+    inner: Arc<DeviceInner>,
+}
+
+impl PartialEq for Device {
+    fn eq(&self, other: &Device) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.id == other.inner.id
+                && self.inner.basis == other.inner.basis
+                && self.inner.coupling == other.inner.coupling
+                && self.inner.calibration == other.inner.calibration)
+    }
 }
 
 impl Device {
-    /// Constructs the model of a device (topology + synthetic calibration).
+    /// The current model of a registered device (cheap registry read).
     pub fn get(id: DeviceId) -> Device {
-        let coupling = match id {
-            DeviceId::IbmqMontreal => CouplingMap::ibm_falcon_27(),
-            DeviceId::IbmqWashington => CouplingMap::heavy_hex(7, 15),
-            DeviceId::RigettiAspenM2 => CouplingMap::octagonal(2, 5),
-            DeviceId::IonqHarmony => CouplingMap::all_to_all(11),
-            DeviceId::OqcLucy => CouplingMap::ring(8),
-        };
-        let profile = match id.platform() {
-            Platform::Ibm => ErrorProfile::SUPERCONDUCTING,
-            Platform::Rigetti => ErrorProfile::SUPERCONDUCTING_RIGETTI,
-            Platform::Ionq => ErrorProfile::TRAPPED_ION,
-            Platform::Oqc => ErrorProfile::SUPERCONDUCTING_OQC,
-        };
-        let calibration = Calibration::synthetic(id.name(), &coupling, profile);
-        Device {
-            id,
-            coupling,
-            calibration,
-        }
+        DeviceRegistry::device(id)
     }
 
-    /// All five devices.
+    /// The five paper devices.
     pub fn all() -> Vec<Device> {
         DeviceId::ALL.into_iter().map(Device::get).collect()
     }
 
+    pub(crate) fn from_parts(
+        id: DeviceId,
+        name: &'static str,
+        basis: Platform,
+        coupling: CouplingMap,
+        calibration: Calibration,
+    ) -> Device {
+        Device {
+            inner: Arc::new(DeviceInner {
+                id,
+                name,
+                basis,
+                coupling,
+                calibration,
+            }),
+        }
+    }
+
     /// The device identifier.
     pub fn id(&self) -> DeviceId {
-        self.id
+        self.inner.id
     }
 
     /// The device name.
     pub fn name(&self) -> &'static str {
-        self.id.name()
+        self.inner.name
     }
 
-    /// The platform family.
+    /// The platform family whose native gate set the device uses.
     pub fn platform(&self) -> Platform {
-        self.id.platform()
+        self.inner.basis
     }
 
     /// The native gate set.
@@ -142,17 +193,17 @@ impl Device {
 
     /// Number of physical qubits.
     pub fn num_qubits(&self) -> u32 {
-        self.coupling.num_qubits()
+        self.inner.coupling.num_qubits()
     }
 
     /// The connectivity graph.
     pub fn coupling(&self) -> &CouplingMap {
-        &self.coupling
+        &self.inner.coupling
     }
 
     /// The calibration data.
     pub fn calibration(&self) -> &Calibration {
-        &self.calibration
+        &self.inner.calibration
     }
 
     /// Condition 1 of the paper's MDP: does `circuit` use only gates native
@@ -175,7 +226,10 @@ impl Device {
             }
             match op.qubits.len() {
                 1 => true,
-                2 => self.coupling.are_connected(op.qubits[0].0, op.qubits[1].0),
+                2 => self
+                    .inner
+                    .coupling
+                    .are_connected(op.qubits[0].0, op.qubits[1].0),
                 _ => false,
             }
         })
@@ -191,11 +245,12 @@ impl Device {
     pub fn operation_error(&self, op: &qrc_circuit::Operation) -> Option<f64> {
         match op.gate {
             Gate::Barrier => Some(0.0),
-            Gate::Measure => Some(self.calibration.readout_error[op.qubits[0].index()]),
+            Gate::Measure => Some(self.inner.calibration.readout_error[op.qubits[0].index()]),
             g if g.num_qubits() == 1 => {
-                Some(self.calibration.single_qubit_error[op.qubits[0].index()])
+                Some(self.inner.calibration.single_qubit_error[op.qubits[0].index()])
             }
             g if g.num_qubits() == 2 => self
+                .inner
                 .calibration
                 .two_qubit_error_on(op.qubits[0].0, op.qubits[1].0),
             _ => None,
@@ -228,6 +283,15 @@ mod tests {
         let a = Device::get(DeviceId::OqcLucy);
         let b = Device::get(DeviceId::OqcLucy);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_and_display_are_the_historical_ones() {
+        assert_eq!(DeviceId::IbmqMontreal.name(), "ibmq_montreal");
+        assert_eq!(DeviceId::RigettiAspenM2.to_string(), "rigetti_aspen_m2");
+        assert_eq!(DeviceId::from_name("oqc_lucy"), Some(DeviceId::OqcLucy));
+        assert_eq!(DeviceId::from_name("no_such_device"), None);
+        assert!(DeviceId::OqcLucy.is_builtin());
     }
 
     #[test]

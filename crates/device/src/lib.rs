@@ -11,6 +11,12 @@
 //! * the expected-fidelity estimator ([`expected_fidelity`]) that the RL
 //!   reward functions are built on.
 //!
+//! Devices are data, not code: the paper's five machines are built-in
+//! [`DeviceSpec`]s pre-interned in the process-wide [`DeviceRegistry`],
+//! and arbitrary further devices (parametric topologies, custom noise)
+//! can be registered at runtime from JSON specs and recalibrated live
+//! ([`DeviceRegistry::calibrate`]) without recompiling.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +36,16 @@ mod calibration;
 mod device;
 mod fidelity;
 mod gateset;
+mod registry;
+mod spec;
 mod topology;
 
 pub use calibration::{Calibration, ErrorProfile};
 pub use device::{Device, DeviceId};
 pub use fidelity::{expected_fidelity, optimistic_fidelity};
 pub use gateset::{NativeGateSet, Platform};
+pub use registry::{DeviceRegistry, DeviceSource, BUILTIN_COUNT};
+pub use spec::{
+    platform_profile, CalibrationSpec, DeviceSpec, ProfileSpec, TopologySpec, MAX_SPEC_QUBITS,
+};
 pub use topology::CouplingMap;

@@ -1,0 +1,530 @@
+//! The process-wide device registry: specs interned into [`DeviceId`]s.
+//!
+//! The registry turns the device layer from a closed enum into an open
+//! set: any [`DeviceSpec`] — built-in, loaded from a JSON file, or
+//! registered at runtime — is interned once and handed out as a cheap
+//! `Copy` [`DeviceId`] handle. The five paper devices are pre-interned
+//! at slots 0–4 in the historical order, so their ids, names, seed
+//! tags, and device models are bit-identical to the pre-registry enum.
+//!
+//! Identity is split in two so live recalibration composes with
+//! caching:
+//!
+//! * **Structural identity** (name, platform, basis, topology) feeds
+//!   the per-device *seed tag* mixed into cache keys — stable across
+//!   calibration swaps, FNV-hashed from the canonical spec for dynamic
+//!   devices, fixed at `1..=5` for the built-ins.
+//! * **Calibration identity** (an FNV hash of the calibration content)
+//!   changes on every [`DeviceRegistry::calibrate`], alongside a
+//!   monotonically increasing per-device *calibration generation* —
+//!   the serving layer uses these to invalidate exactly the
+//!   fidelity-keyed cache entries of the recalibrated device.
+
+use crate::calibration::Calibration;
+use crate::device::{Device, DeviceId};
+use crate::gateset::Platform;
+use crate::spec::{CalibrationSpec, DeviceSpec};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+
+/// Number of pre-interned paper devices (registry slots `0..5`).
+pub const BUILTIN_COUNT: u32 = 5;
+
+/// Where a registered spec came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceSource {
+    /// One of the five paper devices, compiled in.
+    Builtin,
+    /// Loaded from a JSON spec file at the given path.
+    File(PathBuf),
+    /// Registered programmatically at runtime.
+    Runtime,
+}
+
+impl DeviceSource {
+    /// Short label for stats output: `builtin`, `file`, or `runtime`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceSource::Builtin => "builtin",
+            DeviceSource::File(_) => "file",
+            DeviceSource::Runtime => "runtime",
+        }
+    }
+}
+
+struct Entry {
+    spec: DeviceSpec,
+    device: Device,
+    name: &'static str,
+    source: DeviceSource,
+    seed_tag: u64,
+    calibration_generation: u64,
+    calibration_hash: u64,
+}
+
+impl Entry {
+    fn build(id: DeviceId, spec: DeviceSpec, source: DeviceSource) -> Result<Entry, String> {
+        let coupling = spec.topology.build();
+        let calibration = spec.calibration.build(&spec.name, &coupling)?;
+        // Interned names live for the process lifetime: `DeviceId` is
+        // `Copy` and its name is handed out as `&'static str`
+        // throughout the compiler (mask signatures, payloads). The
+        // registry is append-only and deduplicates by name, so the
+        // leak is bounded by the number of distinct devices.
+        let name: &'static str = Box::leak(spec.name.clone().into_boxed_str());
+        let seed_tag = if id.index() < BUILTIN_COUNT as usize {
+            1 + id.index() as u64
+        } else {
+            dynamic_seed_tag(&spec)
+        };
+        let calibration_hash = hash_calibration(&calibration);
+        let device = Device::from_parts(id, name, spec.basis, coupling, calibration);
+        Ok(Entry {
+            spec,
+            device,
+            name,
+            source,
+            seed_tag,
+            calibration_generation: 0,
+            calibration_hash,
+        })
+    }
+}
+
+fn state() -> &'static RwLock<Vec<Entry>> {
+    static STATE: OnceLock<RwLock<Vec<Entry>>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let entries = DeviceSpec::builtins()
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Entry::build(DeviceId::from_index(i), spec, DeviceSource::Builtin)
+                    .expect("built-in device specs are valid")
+            })
+            .collect();
+        RwLock::new(entries)
+    })
+}
+
+fn read() -> RwLockReadGuard<'static, Vec<Entry>> {
+    state().read().expect("device registry poisoned")
+}
+
+fn entry_of(entries: &[Entry], id: DeviceId) -> &Entry {
+    entries
+        .get(id.index())
+        .expect("DeviceId not present in the registry")
+}
+
+/// FNV-1a over a byte string — the same constants the calibration
+/// generator seeds from, reused so tags are reproducible everywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed tag for a dynamic device: a pure function of the canonical
+/// structural spec (calibration excluded), so every process derives
+/// the same tag and recalibration does not re-key the cache. Tags
+/// `0..=5` are reserved (0 = unpinned, 1..=5 = built-ins) and remapped
+/// out of the way.
+fn dynamic_seed_tag(spec: &DeviceSpec) -> u64 {
+    let h = fnv1a(spec.structural_string().as_bytes());
+    if h < 6 {
+        h + 6
+    } else {
+        h
+    }
+}
+
+/// Content hash of calibration data: every f64 contributes its exact
+/// bit pattern, every edge its endpoints, in canonical field order.
+fn hash_calibration(c: &Calibration) -> u64 {
+    let mut bytes =
+        Vec::with_capacity(8 * (3 * c.single_qubit_error.len() + 3 * c.two_qubit_error.len() + 4));
+    let push_f64 = |buf: &mut Vec<u8>, v: f64| buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    for field in [&c.single_qubit_error, &c.readout_error, &c.t1_us, &c.t2_us] {
+        bytes.extend_from_slice(&(field.len() as u64).to_le_bytes());
+        for &v in field.iter() {
+            push_f64(&mut bytes, v);
+        }
+    }
+    for (&(a, b), &err) in &c.two_qubit_error {
+        bytes.extend_from_slice(&a.to_le_bytes());
+        bytes.extend_from_slice(&b.to_le_bytes());
+        push_f64(&mut bytes, err);
+    }
+    push_f64(&mut bytes, c.gate_time_1q_ns);
+    push_f64(&mut bytes, c.gate_time_2q_ns);
+    fnv1a(&bytes)
+}
+
+/// Static access point for the process-wide registry.
+///
+/// All methods are associated functions — the registry is global
+/// because `DeviceId` handles flow through every layer (actions,
+/// cache keys, payloads) and must resolve anywhere without threading
+/// a reference.
+pub struct DeviceRegistry;
+
+impl DeviceRegistry {
+    /// Interns `spec`, returning its handle.
+    ///
+    /// Registering the identical spec again is idempotent and returns
+    /// the existing handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec is invalid or its name is
+    /// already registered with a *different* spec.
+    pub fn register(spec: DeviceSpec, source: DeviceSource) -> Result<DeviceId, String> {
+        spec.validate()?;
+        let mut entries = state().write().expect("device registry poisoned");
+        if let Some((i, existing)) = entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.spec.name == spec.name)
+        {
+            if existing.spec == spec {
+                return Ok(DeviceId::from_index(i));
+            }
+            return Err(format!(
+                "device `{}` is already registered with a different spec",
+                spec.name
+            ));
+        }
+        let id = DeviceId::from_index(entries.len());
+        entries.push(Entry::build(id, spec, source)?);
+        Ok(id)
+    }
+
+    /// Loads every `*.json` spec in `dir` (sorted by file name, so
+    /// registration order — and therefore id assignment — is
+    /// deterministic). Returns the handles in that order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending file on read, parse, or
+    /// registration failure.
+    pub fn load_dir(dir: &Path) -> Result<Vec<DeviceId>, String> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read device dir {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut ids = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let spec =
+                DeviceSpec::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let id = Self::register(spec, DeviceSource::File(path.clone()))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Resolves a device name to its handle, if registered.
+    pub fn lookup(name: &str) -> Option<DeviceId> {
+        read()
+            .iter()
+            .position(|e| e.name == name)
+            .map(DeviceId::from_index)
+    }
+
+    /// The interned (process-lifetime) name of `id`.
+    pub fn name(id: DeviceId) -> &'static str {
+        entry_of(&read(), id).name
+    }
+
+    /// The current device model for `id` (cheap: clones an `Arc`).
+    pub fn device(id: DeviceId) -> Device {
+        entry_of(&read(), id).device.clone()
+    }
+
+    /// A clone of the registered spec.
+    pub fn spec(id: DeviceId) -> DeviceSpec {
+        entry_of(&read(), id).spec.clone()
+    }
+
+    /// Where the spec came from.
+    pub fn source(id: DeviceId) -> DeviceSource {
+        entry_of(&read(), id).source.clone()
+    }
+
+    /// The native gate basis the device compiles to.
+    pub fn basis(id: DeviceId) -> Platform {
+        entry_of(&read(), id).spec.basis
+    }
+
+    /// The spec's platform string resolved as a serving device class:
+    /// `Some` when it names a known platform, `None` otherwise.
+    pub fn platform_class(id: DeviceId) -> Option<Platform> {
+        entry_of(&read(), id).spec.platform_class()
+    }
+
+    /// The per-device cache seed tag (structural identity).
+    pub fn seed_tag(id: DeviceId) -> u64 {
+        entry_of(&read(), id).seed_tag
+    }
+
+    /// How many times `id` has been recalibrated since registration.
+    pub fn calibration_generation(id: DeviceId) -> u64 {
+        entry_of(&read(), id).calibration_generation
+    }
+
+    /// Content hash of the device's current calibration data.
+    pub fn calibration_hash(id: DeviceId) -> u64 {
+        entry_of(&read(), id).calibration_hash
+    }
+
+    /// Swaps in new calibration for `id`: rebuilds the device model
+    /// (existing [`Device`] clones keep the old data — copy-on-swap),
+    /// bumps the calibration generation, and re-hashes the calibration
+    /// identity. Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the calibration spec does not fit the
+    /// device's topology; the registered device is left untouched.
+    pub fn calibrate(id: DeviceId, calibration: CalibrationSpec) -> Result<u64, String> {
+        let mut entries = state().write().expect("device registry poisoned");
+        let entry = entries
+            .get_mut(id.index())
+            .expect("DeviceId not present in the registry");
+        let coupling = entry.device.coupling().clone();
+        let built = calibration.build(entry.name, &coupling)?;
+        entry.calibration_hash = hash_calibration(&built);
+        entry.device = Device::from_parts(id, entry.name, entry.spec.basis, coupling, built);
+        entry.spec.calibration = calibration;
+        entry.calibration_generation += 1;
+        Ok(entry.calibration_generation)
+    }
+
+    /// Every registered device, in id order (built-ins first).
+    pub fn all() -> Vec<DeviceId> {
+        (0..read().len()).map(DeviceId::from_index).collect()
+    }
+
+    /// Number of registered devices (≥ [`BUILTIN_COUNT`]).
+    pub fn len() -> usize {
+        read().len()
+    }
+
+    /// The known-device list for `{"cmd":"stats"}`: name, platform,
+    /// qubit count, spec source, and calibration generation per device.
+    pub fn devices_value() -> Value {
+        Value::Array(
+            read()
+                .iter()
+                .map(|e| {
+                    Value::object(vec![
+                        ("name", Value::from(e.name)),
+                        ("platform", Value::from(e.spec.platform.as_str())),
+                        ("basis", Value::from(e.spec.basis.name())),
+                        ("qubits", Value::from(e.device.num_qubits())),
+                        ("source", Value::from(e.source.label())),
+                        (
+                            "calibration_generation",
+                            Value::from(e.calibration_generation),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::ErrorProfile;
+    use crate::spec::{ProfileSpec, TopologySpec};
+    use crate::topology::CouplingMap;
+
+    #[test]
+    fn builtins_keep_ids_names_and_seed_tags() {
+        let expected = [
+            "ibmq_montreal",
+            "ibmq_washington",
+            "rigetti_aspen_m2",
+            "ionq_harmony",
+            "oqc_lucy",
+        ];
+        for (i, name) in expected.iter().enumerate() {
+            let id = DeviceId::ALL[i];
+            assert_eq!(DeviceRegistry::name(id), *name);
+            assert_eq!(DeviceRegistry::lookup(name), Some(id));
+            assert_eq!(DeviceRegistry::seed_tag(id), 1 + i as u64);
+            assert_eq!(DeviceRegistry::source(id), DeviceSource::Builtin);
+            assert_eq!(DeviceRegistry::calibration_generation(id), 0);
+        }
+    }
+
+    #[test]
+    fn builtin_models_match_the_legacy_construction() {
+        let legacy = [
+            (
+                "ibmq_montreal",
+                CouplingMap::ibm_falcon_27(),
+                ErrorProfile::SUPERCONDUCTING,
+            ),
+            (
+                "ibmq_washington",
+                CouplingMap::heavy_hex(7, 15),
+                ErrorProfile::SUPERCONDUCTING,
+            ),
+            (
+                "rigetti_aspen_m2",
+                CouplingMap::octagonal(2, 5),
+                ErrorProfile::SUPERCONDUCTING_RIGETTI,
+            ),
+            (
+                "ionq_harmony",
+                CouplingMap::all_to_all(11),
+                ErrorProfile::TRAPPED_ION,
+            ),
+            (
+                "oqc_lucy",
+                CouplingMap::ring(8),
+                ErrorProfile::SUPERCONDUCTING_OQC,
+            ),
+        ];
+        for (i, (name, coupling, profile)) in legacy.into_iter().enumerate() {
+            let dev = DeviceRegistry::device(DeviceId::ALL[i]);
+            assert_eq!(dev.name(), name);
+            assert_eq!(dev.coupling(), &coupling, "{name}");
+            assert_eq!(
+                dev.calibration(),
+                &Calibration::synthetic(name, &coupling, profile),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_is_idempotent_and_rejects_name_clashes() {
+        let spec = DeviceSpec::synthetic(
+            "registry_test_ring_9",
+            Platform::Oqc,
+            TopologySpec::Ring { qubits: 9 },
+        );
+        let a = DeviceRegistry::register(spec.clone(), DeviceSource::Runtime).unwrap();
+        let b = DeviceRegistry::register(spec.clone(), DeviceSource::Runtime).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_builtin());
+        assert_eq!(DeviceId::from_name("registry_test_ring_9"), Some(a));
+
+        let mut clash = spec;
+        clash.topology = TopologySpec::Ring { qubits: 10 };
+        let err = DeviceRegistry::register(clash, DeviceSource::Runtime).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_seed_tags_avoid_the_reserved_range_and_are_stable() {
+        let spec = DeviceSpec::synthetic(
+            "registry_test_grid_3x4",
+            Platform::Ibm,
+            TopologySpec::Grid { rows: 3, cols: 4 },
+        );
+        let id = DeviceRegistry::register(spec.clone(), DeviceSource::Runtime).unwrap();
+        let tag = DeviceRegistry::seed_tag(id);
+        assert!(tag >= 6, "reserved range: {tag}");
+        assert_eq!(tag, dynamic_seed_tag(&spec), "pure function of the spec");
+    }
+
+    #[test]
+    fn calibrate_bumps_generation_and_identity_but_not_seed_tag() {
+        let spec = DeviceSpec::synthetic(
+            "registry_test_line_6",
+            Platform::Ibm,
+            TopologySpec::Line { qubits: 6 },
+        );
+        let id = DeviceRegistry::register(spec, DeviceSource::Runtime).unwrap();
+        let tag = DeviceRegistry::seed_tag(id);
+        let hash0 = DeviceRegistry::calibration_hash(id);
+        let before = DeviceRegistry::device(id);
+
+        let gen = DeviceRegistry::calibrate(
+            id,
+            CalibrationSpec::Synthetic {
+                profile: ProfileSpec::Named("trapped_ion".into()),
+                seed: Some("drift_1".into()),
+            },
+        )
+        .unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(DeviceRegistry::calibration_generation(id), 1);
+        assert_ne!(DeviceRegistry::calibration_hash(id), hash0);
+        assert_eq!(DeviceRegistry::seed_tag(id), tag);
+        // Copy-on-swap: the clone taken before the swap is untouched.
+        assert_eq!(
+            before.calibration(),
+            &Calibration::synthetic(
+                "registry_test_line_6",
+                before.coupling(),
+                ErrorProfile::SUPERCONDUCTING
+            )
+        );
+        assert_ne!(
+            DeviceRegistry::device(id).calibration(),
+            before.calibration()
+        );
+    }
+
+    #[test]
+    fn calibrate_rejects_mismatched_explicit_data_without_side_effects() {
+        let spec = DeviceSpec::synthetic(
+            "registry_test_ring_7",
+            Platform::Rigetti,
+            TopologySpec::Ring { qubits: 7 },
+        );
+        let id = DeviceRegistry::register(spec, DeviceSource::Runtime).unwrap();
+        let hash0 = DeviceRegistry::calibration_hash(id);
+        let wrong =
+            Calibration::synthetic("x", &CouplingMap::line(3), ErrorProfile::SUPERCONDUCTING);
+        let err = DeviceRegistry::calibrate(id, CalibrationSpec::Explicit(wrong)).unwrap_err();
+        assert!(err.contains("entries"), "{err}");
+        assert_eq!(DeviceRegistry::calibration_generation(id), 0);
+        assert_eq!(DeviceRegistry::calibration_hash(id), hash0);
+    }
+
+    #[test]
+    fn calibration_hash_is_content_sensitive() {
+        let coupling = CouplingMap::line(4);
+        let a = Calibration::synthetic("a", &coupling, ErrorProfile::SUPERCONDUCTING);
+        let mut b = a.clone();
+        assert_eq!(hash_calibration(&a), hash_calibration(&b));
+        b.single_qubit_error[2] += 1e-9;
+        assert_ne!(hash_calibration(&a), hash_calibration(&b));
+        let mut c = a.clone();
+        *c.two_qubit_error.get_mut(&(1, 2)).unwrap() *= 1.0000001;
+        assert_ne!(hash_calibration(&a), hash_calibration(&c));
+    }
+
+    #[test]
+    fn devices_value_reports_source_and_generation() {
+        let value = DeviceRegistry::devices_value();
+        let list = value.as_array().unwrap();
+        assert!(list.len() >= BUILTIN_COUNT as usize);
+        let first = &list[0];
+        assert_eq!(
+            first.get("name").and_then(Value::as_str),
+            Some("ibmq_montreal")
+        );
+        assert_eq!(first.get("source").and_then(Value::as_str), Some("builtin"));
+        assert_eq!(first.get("qubits").and_then(Value::as_u64), Some(27));
+        assert!(first
+            .get("calibration_generation")
+            .and_then(Value::as_u64)
+            .is_some());
+    }
+}

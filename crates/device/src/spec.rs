@@ -1,0 +1,877 @@
+//! JSON device specifications: the data form of a [`Device`](crate::Device).
+//!
+//! A [`DeviceSpec`] describes everything the registry needs to build a
+//! device model at runtime — name, platform string, native gate basis,
+//! a parametric topology, and a calibration source — so new hardware
+//! targets are JSON files instead of enum variants. The five paper
+//! devices are themselves expressed as built-in specs
+//! ([`DeviceSpec::builtins`]) and reproduce the historical device
+//! models bit-identically.
+//!
+//! The offline serde facade has no derive-based data model, so the
+//! schema is hand-rendered to and parsed from [`serde_json::Value`]:
+//! `spec == DeviceSpec::from_value(&spec.to_value())` holds for every
+//! valid spec (property-tested in `crates/device/tests/`).
+//!
+//! ```json
+//! {
+//!   "name": "grid_6x6",
+//!   "platform": "acme_superconducting",
+//!   "basis": "ibm",
+//!   "topology": { "kind": "grid", "rows": 6, "cols": 6 },
+//!   "calibration": { "synthetic": { "profile": "superconducting" } }
+//! }
+//! ```
+
+use crate::calibration::{Calibration, ErrorProfile};
+use crate::gateset::Platform;
+use crate::topology::CouplingMap;
+use serde_json::Value;
+
+/// Upper bound on spec qubit counts: all-pairs BFS distances are
+/// precomputed per device, so unbounded sizes would let one JSON file
+/// allocate quadratic memory.
+pub const MAX_SPEC_QUBITS: u32 = 512;
+
+/// A parametric topology: the generator family plus its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologySpec {
+    /// A path graph of `qubits` nodes.
+    Line {
+        /// Number of qubits (≥ 2).
+        qubits: u32,
+    },
+    /// A cycle of `qubits` nodes.
+    Ring {
+        /// Number of qubits (≥ 3).
+        qubits: u32,
+    },
+    /// A `rows` × `cols` rectangular lattice.
+    Grid {
+        /// Number of rows (≥ 1).
+        rows: u32,
+        /// Number of columns (≥ 1).
+        cols: u32,
+    },
+    /// Full connectivity over `qubits` nodes (trapped-ion style).
+    AllToAll {
+        /// Number of qubits (≥ 2).
+        qubits: u32,
+    },
+    /// An IBM-style heavy-hex lattice.
+    HeavyHex {
+        /// Number of qubit rows (≥ 1).
+        rows: u32,
+        /// Row length (≥ 5).
+        row_len: u32,
+    },
+    /// A Rigetti-style lattice of fused octagons.
+    Octagonal {
+        /// Number of octagon rows (≥ 1).
+        rows: u32,
+        /// Number of octagon columns (≥ 1).
+        cols: u32,
+    },
+    /// The exact 27-qubit IBM Falcon r4 layout (`ibmq_montreal`).
+    IbmFalcon27,
+}
+
+impl TopologySpec {
+    /// The number of qubits this topology generates (saturating at
+    /// `u32::MAX` for absurd parameters, which the validator rejects
+    /// long before).
+    pub fn num_qubits(self) -> u32 {
+        let n: u64 = match self {
+            TopologySpec::Line { qubits }
+            | TopologySpec::Ring { qubits }
+            | TopologySpec::AllToAll { qubits } => qubits as u64,
+            TopologySpec::Grid { rows, cols } => rows as u64 * cols as u64,
+            TopologySpec::HeavyHex { rows, row_len } => {
+                // Mirrors the generator: a single row is full-length;
+                // otherwise the first and last rows are one short.
+                // Each inter-row gap holds a connector every fourth
+                // column, starting at 0 for even gaps and 2 for odd.
+                let (rows, row_len) = (rows as u64, row_len as u64);
+                let row_total = if rows <= 1 {
+                    rows * row_len
+                } else {
+                    rows * row_len - 2
+                };
+                let connectors: u64 = (0..rows.saturating_sub(1))
+                    .map(|r| {
+                        let offset = if r % 2 == 0 { 0 } else { 2 };
+                        row_len.saturating_sub(offset).div_ceil(4)
+                    })
+                    .sum();
+                row_total + connectors
+            }
+            TopologySpec::Octagonal { rows, cols } => rows as u64 * cols as u64 * 8,
+            TopologySpec::IbmFalcon27 => 27,
+        };
+        n.min(u32::MAX as u64) as u32
+    }
+
+    /// Validates the parameters against the generator preconditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated bound.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            TopologySpec::Line { qubits } if qubits < 2 => Err(format!(
+                "line topology needs at least 2 qubits, got {qubits}"
+            )),
+            TopologySpec::Ring { qubits } if qubits < 3 => Err(format!(
+                "ring topology needs at least 3 qubits, got {qubits}"
+            )),
+            TopologySpec::AllToAll { qubits } if qubits < 2 => Err(format!(
+                "all_to_all topology needs at least 2 qubits, got {qubits}"
+            )),
+            TopologySpec::Grid { rows, cols }
+                if rows == 0 || cols == 0 || (rows, cols) == (1, 1) =>
+            {
+                Err(format!(
+                    "grid topology needs at least 1x2, got {rows}x{cols}"
+                ))
+            }
+            TopologySpec::HeavyHex { rows, row_len } if rows == 0 || row_len < 5 => Err(format!(
+                "heavy_hex topology needs rows >= 1 and row_len >= 5, got {rows}x{row_len}"
+            )),
+            TopologySpec::Octagonal { rows, cols } if rows == 0 || cols == 0 => Err(format!(
+                "octagonal topology needs rows >= 1 and cols >= 1, got {rows}x{cols}"
+            )),
+            _ => {
+                let n = self.num_qubits();
+                if n > MAX_SPEC_QUBITS {
+                    return Err(format!(
+                        "topology has {n} qubits, above the {MAX_SPEC_QUBITS}-qubit limit"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the coupling map. Call [`TopologySpec::validate`] first;
+    /// the underlying generators panic on out-of-bounds parameters.
+    pub fn build(self) -> CouplingMap {
+        match self {
+            TopologySpec::Line { qubits } => CouplingMap::line(qubits),
+            TopologySpec::Ring { qubits } => CouplingMap::ring(qubits),
+            TopologySpec::Grid { rows, cols } => CouplingMap::grid(rows, cols),
+            TopologySpec::AllToAll { qubits } => CouplingMap::all_to_all(qubits),
+            TopologySpec::HeavyHex { rows, row_len } => CouplingMap::heavy_hex(rows, row_len),
+            TopologySpec::Octagonal { rows, cols } => CouplingMap::octagonal(rows, cols),
+            TopologySpec::IbmFalcon27 => CouplingMap::ibm_falcon_27(),
+        }
+    }
+
+    /// Canonical JSON form: `{"kind": ..., ...parameters}`.
+    pub fn to_value(self) -> Value {
+        match self {
+            TopologySpec::Line { qubits } => Value::object(vec![
+                ("kind", Value::from("line")),
+                ("qubits", Value::from(qubits as u64)),
+            ]),
+            TopologySpec::Ring { qubits } => Value::object(vec![
+                ("kind", Value::from("ring")),
+                ("qubits", Value::from(qubits as u64)),
+            ]),
+            TopologySpec::Grid { rows, cols } => Value::object(vec![
+                ("kind", Value::from("grid")),
+                ("rows", Value::from(rows as u64)),
+                ("cols", Value::from(cols as u64)),
+            ]),
+            TopologySpec::AllToAll { qubits } => Value::object(vec![
+                ("kind", Value::from("all_to_all")),
+                ("qubits", Value::from(qubits as u64)),
+            ]),
+            TopologySpec::HeavyHex { rows, row_len } => Value::object(vec![
+                ("kind", Value::from("heavy_hex")),
+                ("rows", Value::from(rows as u64)),
+                ("row_len", Value::from(row_len as u64)),
+            ]),
+            TopologySpec::Octagonal { rows, cols } => Value::object(vec![
+                ("kind", Value::from("octagonal")),
+                ("rows", Value::from(rows as u64)),
+                ("cols", Value::from(cols as u64)),
+            ]),
+            TopologySpec::IbmFalcon27 => {
+                Value::object(vec![("kind", Value::from("ibm_falcon_27"))])
+            }
+        }
+    }
+
+    /// Parses the JSON form produced by [`TopologySpec::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown kinds, missing parameters, or
+    /// parameters outside the generator bounds.
+    pub fn from_value(value: &Value) -> Result<TopologySpec, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("topology needs a string \"kind\" field")?;
+        let dim = |field: &str| -> Result<u32, String> {
+            let raw = value
+                .get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("topology kind `{kind}` needs integer \"{field}\""))?;
+            u32::try_from(raw).map_err(|_| format!("topology \"{field}\" = {raw} is out of range"))
+        };
+        let spec = match kind {
+            "line" => TopologySpec::Line {
+                qubits: dim("qubits")?,
+            },
+            "ring" => TopologySpec::Ring {
+                qubits: dim("qubits")?,
+            },
+            "grid" => TopologySpec::Grid {
+                rows: dim("rows")?,
+                cols: dim("cols")?,
+            },
+            "all_to_all" => TopologySpec::AllToAll {
+                qubits: dim("qubits")?,
+            },
+            "heavy_hex" => TopologySpec::HeavyHex {
+                rows: dim("rows")?,
+                row_len: dim("row_len")?,
+            },
+            "octagonal" => TopologySpec::Octagonal {
+                rows: dim("rows")?,
+                cols: dim("cols")?,
+            },
+            "ibm_falcon_27" => TopologySpec::IbmFalcon27,
+            other => {
+                return Err(format!(
+                    "unknown topology kind `{other}` (expected line, ring, grid, \
+                     all_to_all, heavy_hex, octagonal, or ibm_falcon_27)"
+                ))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// The error-magnitude profile a synthetic calibration draws from:
+/// one of the four named technology profiles, or inline means.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileSpec {
+    /// A named [`ErrorProfile`] constant.
+    Named(String),
+    /// Explicit profile means.
+    Inline(ErrorProfile),
+}
+
+/// The named profiles, in declaration order.
+const NAMED_PROFILES: [(&str, ErrorProfile); 4] = [
+    ("superconducting", ErrorProfile::SUPERCONDUCTING),
+    (
+        "superconducting_rigetti",
+        ErrorProfile::SUPERCONDUCTING_RIGETTI,
+    ),
+    ("trapped_ion", ErrorProfile::TRAPPED_ION),
+    ("superconducting_oqc", ErrorProfile::SUPERCONDUCTING_OQC),
+];
+
+/// The default profile (and its name) for a known platform's devices.
+pub fn platform_profile(platform: Platform) -> (&'static str, ErrorProfile) {
+    match platform {
+        Platform::Ibm => NAMED_PROFILES[0],
+        Platform::Rigetti => NAMED_PROFILES[1],
+        Platform::Ionq => NAMED_PROFILES[2],
+        Platform::Oqc => NAMED_PROFILES[3],
+    }
+}
+
+impl ProfileSpec {
+    /// Resolves to the concrete error magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known names for unknown ones.
+    pub fn resolve(&self) -> Result<ErrorProfile, String> {
+        match self {
+            ProfileSpec::Inline(profile) => Ok(*profile),
+            ProfileSpec::Named(name) => NAMED_PROFILES
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| *p)
+                .ok_or_else(|| {
+                    let known: Vec<&str> = NAMED_PROFILES.iter().map(|(n, _)| *n).collect();
+                    format!(
+                        "unknown calibration profile `{name}` (known: {})",
+                        known.join(", ")
+                    )
+                }),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            ProfileSpec::Named(name) => Value::from(name.as_str()),
+            ProfileSpec::Inline(p) => Value::object(vec![
+                ("mean_1q", Value::from(p.mean_1q)),
+                ("mean_2q", Value::from(p.mean_2q)),
+                ("mean_readout", Value::from(p.mean_readout)),
+                ("mean_t1_us", Value::from(p.mean_t1_us)),
+                ("gate_time_1q_ns", Value::from(p.gate_time_1q_ns)),
+                ("gate_time_2q_ns", Value::from(p.gate_time_2q_ns)),
+            ]),
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<ProfileSpec, String> {
+        if let Some(name) = value.as_str() {
+            let spec = ProfileSpec::Named(name.to_string());
+            spec.resolve()?;
+            return Ok(spec);
+        }
+        let field = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("inline profile needs finite non-negative \"{name}\""))
+        };
+        Ok(ProfileSpec::Inline(ErrorProfile {
+            mean_1q: field("mean_1q")?,
+            mean_2q: field("mean_2q")?,
+            mean_readout: field("mean_readout")?,
+            mean_t1_us: field("mean_t1_us")?,
+            gate_time_1q_ns: field("gate_time_1q_ns")?,
+            gate_time_2q_ns: field("gate_time_2q_ns")?,
+        }))
+    }
+}
+
+/// How a spec's calibration data is produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationSpec {
+    /// Deterministic synthetic calibration from an error profile.
+    Synthetic {
+        /// The error-magnitude profile.
+        profile: ProfileSpec,
+        /// Seed string for the deterministic generator; defaults to
+        /// the device name when absent, which is exactly how the
+        /// historical built-in devices were seeded.
+        seed: Option<String>,
+    },
+    /// Fully explicit per-qubit / per-edge calibration arrays.
+    Explicit(Calibration),
+}
+
+impl CalibrationSpec {
+    /// Builds the calibration data for a device named `device_name`
+    /// over `coupling`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a profile name is unknown or explicit
+    /// arrays do not match the topology.
+    pub fn build(&self, device_name: &str, coupling: &CouplingMap) -> Result<Calibration, String> {
+        match self {
+            CalibrationSpec::Synthetic { profile, seed } => {
+                let profile = profile.resolve()?;
+                let seed = seed.as_deref().unwrap_or(device_name);
+                Ok(Calibration::synthetic(seed, coupling, profile))
+            }
+            CalibrationSpec::Explicit(calibration) => {
+                let n = coupling.num_qubits() as usize;
+                for (field, len) in [
+                    ("single_qubit_error", calibration.single_qubit_error.len()),
+                    ("readout_error", calibration.readout_error.len()),
+                    ("t1_us", calibration.t1_us.len()),
+                    ("t2_us", calibration.t2_us.len()),
+                ] {
+                    if len != n {
+                        return Err(format!(
+                            "explicit calibration \"{field}\" has {len} entries, \
+                             topology has {n} qubits"
+                        ));
+                    }
+                }
+                for (a, b) in coupling.edges() {
+                    if calibration.two_qubit_error_on(a, b).is_none() {
+                        return Err(format!("explicit calibration is missing edge ({a}, {b})"));
+                    }
+                }
+                for (a, b) in calibration.two_qubit_error.keys() {
+                    if !coupling.are_connected(*a, *b) {
+                        return Err(format!(
+                            "explicit calibration has edge ({a}, {b}) not in the topology"
+                        ));
+                    }
+                }
+                Ok(calibration.clone())
+            }
+        }
+    }
+
+    /// Canonical JSON form:
+    /// `{"synthetic": {"profile": ..., "seed": ...?}}` or
+    /// `{"explicit": {...arrays...}}`.
+    pub fn to_value(&self) -> Value {
+        match self {
+            CalibrationSpec::Synthetic { profile, seed } => {
+                let mut body = vec![("profile", profile.to_value())];
+                if let Some(seed) = seed {
+                    body.push(("seed", Value::from(seed.as_str())));
+                }
+                Value::object(vec![("synthetic", Value::object(body))])
+            }
+            CalibrationSpec::Explicit(c) => {
+                let floats = |v: &[f64]| Value::Array(v.iter().map(|&x| Value::from(x)).collect());
+                let edges = Value::Array(
+                    c.two_qubit_error
+                        .iter()
+                        .map(|(&(a, b), &err)| {
+                            Value::Array(vec![
+                                Value::from(a as u64),
+                                Value::from(b as u64),
+                                Value::from(err),
+                            ])
+                        })
+                        .collect(),
+                );
+                Value::object(vec![(
+                    "explicit",
+                    Value::object(vec![
+                        ("single_qubit_error", floats(&c.single_qubit_error)),
+                        ("two_qubit_error", edges),
+                        ("readout_error", floats(&c.readout_error)),
+                        ("t1_us", floats(&c.t1_us)),
+                        ("t2_us", floats(&c.t2_us)),
+                        ("gate_time_1q_ns", Value::from(c.gate_time_1q_ns)),
+                        ("gate_time_2q_ns", Value::from(c.gate_time_2q_ns)),
+                    ]),
+                )])
+            }
+        }
+    }
+
+    /// Parses the JSON form produced by [`CalibrationSpec::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown shapes or malformed arrays.
+    pub fn from_value(value: &Value) -> Result<CalibrationSpec, String> {
+        if let Some(synthetic) = value.get("synthetic") {
+            let profile = synthetic
+                .get("profile")
+                .ok_or("synthetic calibration needs a \"profile\"")?;
+            let seed = match synthetic.get("seed") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or("synthetic calibration \"seed\" must be a string")?
+                        .to_string(),
+                ),
+            };
+            return Ok(CalibrationSpec::Synthetic {
+                profile: ProfileSpec::from_value(profile)?,
+                seed,
+            });
+        }
+        let explicit = value
+            .get("explicit")
+            .ok_or("calibration needs either \"synthetic\" or \"explicit\"")?;
+        let floats = |field: &str| -> Result<Vec<f64>, String> {
+            explicit
+                .get(field)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("explicit calibration needs array \"{field}\""))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| format!("non-finite entry in \"{field}\""))
+                })
+                .collect()
+        };
+        let float = |field: &str| -> Result<f64, String> {
+            explicit
+                .get(field)
+                .and_then(Value::as_f64)
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("explicit calibration needs finite \"{field}\""))
+        };
+        let mut two_qubit_error = std::collections::BTreeMap::new();
+        for entry in explicit
+            .get("two_qubit_error")
+            .and_then(Value::as_array)
+            .ok_or("explicit calibration needs array \"two_qubit_error\"")?
+        {
+            let triple = entry
+                .as_array()
+                .filter(|t| t.len() == 3)
+                .ok_or("two_qubit_error entries must be [a, b, error] triples")?;
+            let a = triple[0]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("two_qubit_error qubit index out of range")?;
+            let b = triple[1]
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or("two_qubit_error qubit index out of range")?;
+            let err = triple[2]
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or("two_qubit_error rate must be finite")?;
+            two_qubit_error.insert((a.min(b), a.max(b)), err);
+        }
+        Ok(CalibrationSpec::Explicit(Calibration {
+            single_qubit_error: floats("single_qubit_error")?,
+            two_qubit_error,
+            readout_error: floats("readout_error")?,
+            t1_us: floats("t1_us")?,
+            t2_us: floats("t2_us")?,
+            gate_time_1q_ns: float("gate_time_1q_ns")?,
+            gate_time_2q_ns: float("gate_time_2q_ns")?,
+        }))
+    }
+}
+
+/// A complete runtime device description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Canonical device name (the wire-protocol pin string).
+    pub name: String,
+    /// Free-form platform/vendor string. When it names one of the four
+    /// known platforms it doubles as the serving device class; unknown
+    /// strings route to the device-wildcard shard level.
+    pub platform: String,
+    /// The native gate basis the device compiles to.
+    pub basis: Platform,
+    /// The connectivity generator.
+    pub topology: TopologySpec,
+    /// The calibration source.
+    pub calibration: CalibrationSpec,
+}
+
+impl DeviceSpec {
+    /// A synthetic-calibration spec on a known platform: the basis,
+    /// platform string, and profile all follow from `platform`.
+    pub fn synthetic(name: &str, platform: Platform, topology: TopologySpec) -> DeviceSpec {
+        DeviceSpec {
+            name: name.to_string(),
+            platform: platform.name().to_string(),
+            basis: platform,
+            topology,
+            calibration: CalibrationSpec::Synthetic {
+                profile: ProfileSpec::Named(platform_profile(platform).0.to_string()),
+                seed: None,
+            },
+        }
+    }
+
+    /// The five paper devices as specs, in the historical
+    /// `DeviceId::ALL` order. Building each spec reproduces the
+    /// pre-registry device models bit-identically.
+    pub fn builtins() -> Vec<DeviceSpec> {
+        vec![
+            DeviceSpec::synthetic("ibmq_montreal", Platform::Ibm, TopologySpec::IbmFalcon27),
+            DeviceSpec::synthetic(
+                "ibmq_washington",
+                Platform::Ibm,
+                TopologySpec::HeavyHex {
+                    rows: 7,
+                    row_len: 15,
+                },
+            ),
+            DeviceSpec::synthetic(
+                "rigetti_aspen_m2",
+                Platform::Rigetti,
+                TopologySpec::Octagonal { rows: 2, cols: 5 },
+            ),
+            DeviceSpec::synthetic(
+                "ionq_harmony",
+                Platform::Ionq,
+                TopologySpec::AllToAll { qubits: 11 },
+            ),
+            DeviceSpec::synthetic("oqc_lucy", Platform::Oqc, TopologySpec::Ring { qubits: 8 }),
+        ]
+    }
+
+    /// Validates name, topology bounds, and calibration consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("device spec needs a non-empty name".into());
+        }
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "device name `{}` may only contain ASCII letters, digits, `_`, and `-`",
+                self.name
+            ));
+        }
+        if self.platform.is_empty() {
+            return Err("device spec needs a non-empty platform string".into());
+        }
+        self.topology.validate()?;
+        // Calibration errors (unknown profile, mismatched arrays)
+        // surface by building once against the topology.
+        self.calibration.build(&self.name, &self.topology.build())?;
+        Ok(())
+    }
+
+    /// Canonical JSON rendering. Parsing it back yields an equal spec.
+    pub fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("name", Value::from(self.name.as_str())),
+            ("platform", Value::from(self.platform.as_str())),
+            ("basis", Value::from(self.basis.name())),
+            ("topology", self.topology.to_value()),
+            ("calibration", self.calibration.to_value()),
+        ])
+    }
+
+    /// Parses a spec from JSON, validating it.
+    ///
+    /// The `basis` field may be omitted when `platform` names a known
+    /// platform; unknown platform strings must pick a basis explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/malformed field or the
+    /// violated bound.
+    pub fn from_value(value: &Value) -> Result<DeviceSpec, String> {
+        let text = |field: &str| -> Result<String, String> {
+            value
+                .get(field)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("device spec needs a string \"{field}\""))
+        };
+        let name = text("name")?;
+        let platform = text("platform")?;
+        let basis = match value.get("basis") {
+            Some(v) => {
+                let raw = v.as_str().ok_or("\"basis\" must be a platform name")?;
+                parse_platform(raw).ok_or_else(|| {
+                    format!(
+                        "unknown basis `{raw}` (expected one of {})",
+                        platform_names().join(", ")
+                    )
+                })?
+            }
+            None => parse_platform(&platform).ok_or_else(|| {
+                format!(
+                    "platform `{platform}` is not a known platform; \
+                     add an explicit \"basis\" ({})",
+                    platform_names().join(", ")
+                )
+            })?,
+        };
+        let topology = TopologySpec::from_value(
+            value
+                .get("topology")
+                .ok_or("device spec needs a \"topology\"")?,
+        )?;
+        let calibration = CalibrationSpec::from_value(
+            value
+                .get("calibration")
+                .ok_or("device spec needs a \"calibration\"")?,
+        )?;
+        let spec = DeviceSpec {
+            name,
+            platform,
+            basis,
+            topology,
+            calibration,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for JSON syntax errors or invalid specs.
+    pub fn from_json(text: &str) -> Result<DeviceSpec, String> {
+        let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        DeviceSpec::from_value(&value)
+    }
+
+    /// The platform string resolved as a serving device class: `Some`
+    /// when it names a known platform, `None` for everything else.
+    pub fn platform_class(&self) -> Option<Platform> {
+        parse_platform(&self.platform)
+    }
+
+    /// The canonical *structural* identity string: name, platform,
+    /// basis, and topology — everything except calibration, which has
+    /// its own identity so a live recalibration does not re-key caches.
+    pub fn structural_string(&self) -> String {
+        serde_json::to_string(&Value::object(vec![
+            ("name", Value::from(self.name.as_str())),
+            ("platform", Value::from(self.platform.as_str())),
+            ("basis", Value::from(self.basis.name())),
+            ("topology", self.topology.to_value()),
+        ]))
+    }
+}
+
+fn parse_platform(name: &str) -> Option<Platform> {
+    Platform::ALL.into_iter().find(|p| p.name() == name)
+}
+
+fn platform_names() -> Vec<&'static str> {
+    Platform::ALL.iter().map(|p| p.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_specs_validate_and_round_trip() {
+        for spec in DeviceSpec::builtins() {
+            spec.validate().unwrap();
+            let rendered = serde_json::to_string(&spec.to_value());
+            let parsed = DeviceSpec::from_json(&rendered).unwrap();
+            assert_eq!(parsed, spec, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn builtin_specs_rebuild_the_historical_models() {
+        // The paper table, independent of the registry: topology
+        // generator + platform profile + name-seeded calibration.
+        let spec = &DeviceSpec::builtins()[4]; // oqc_lucy
+        let coupling = spec.topology.build();
+        assert_eq!(coupling.num_qubits(), 8);
+        let built = spec.calibration.build(&spec.name, &coupling).unwrap();
+        let legacy = Calibration::synthetic(
+            "oqc_lucy",
+            &CouplingMap::ring(8),
+            ErrorProfile::SUPERCONDUCTING_OQC,
+        );
+        assert_eq!(built, legacy);
+    }
+
+    #[test]
+    fn basis_defaults_from_known_platform_and_is_required_otherwise() {
+        let ok = DeviceSpec::from_json(
+            r#"{"name":"r5","platform":"oqc",
+                "topology":{"kind":"ring","qubits":5},
+                "calibration":{"synthetic":{"profile":"superconducting_oqc"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.basis, Platform::Oqc);
+        let err = DeviceSpec::from_json(
+            r#"{"name":"r5","platform":"acme",
+                "topology":{"kind":"ring","qubits":5},
+                "calibration":{"synthetic":{"profile":"superconducting"}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("basis"), "{err}");
+    }
+
+    #[test]
+    fn topology_bounds_are_enforced() {
+        for bad in [
+            TopologySpec::Ring { qubits: 2 },
+            TopologySpec::Line { qubits: 1 },
+            TopologySpec::HeavyHex {
+                rows: 0,
+                row_len: 9,
+            },
+            TopologySpec::HeavyHex {
+                rows: 2,
+                row_len: 4,
+            },
+            TopologySpec::Grid { rows: 0, cols: 3 },
+            TopologySpec::Grid { rows: 40, cols: 40 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        for good in [
+            TopologySpec::Ring { qubits: 16 },
+            TopologySpec::Grid { rows: 6, cols: 6 },
+            TopologySpec::HeavyHex {
+                rows: 5,
+                row_len: 11,
+            },
+        ] {
+            good.validate().unwrap();
+            assert_eq!(good.build().num_qubits(), good.num_qubits(), "{good:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_calibration_must_match_the_topology() {
+        let coupling = CouplingMap::line(3);
+        let good = Calibration::synthetic("x", &coupling, ErrorProfile::SUPERCONDUCTING);
+        let spec = CalibrationSpec::Explicit(good.clone());
+        assert_eq!(spec.build("x", &coupling).unwrap(), good);
+
+        let mut short = good.clone();
+        short.single_qubit_error.pop();
+        let err = CalibrationSpec::Explicit(short)
+            .build("x", &coupling)
+            .unwrap_err();
+        assert!(err.contains("single_qubit_error"), "{err}");
+
+        let mut extra = good.clone();
+        extra.two_qubit_error.insert((0, 2), 0.01);
+        let err = CalibrationSpec::Explicit(extra)
+            .build("x", &coupling)
+            .unwrap_err();
+        assert!(err.contains("not in the topology"), "{err}");
+
+        let mut missing = good;
+        missing.two_qubit_error.remove(&(0, 1));
+        let err = CalibrationSpec::Explicit(missing)
+            .build("x", &coupling)
+            .unwrap_err();
+        assert!(err.contains("missing edge"), "{err}");
+    }
+
+    #[test]
+    fn explicit_calibration_round_trips_bit_exactly() {
+        let coupling = CouplingMap::grid(2, 3);
+        let cal = Calibration::synthetic("rt", &coupling, ErrorProfile::TRAPPED_ION);
+        let spec = DeviceSpec {
+            name: "rt_dev".into(),
+            platform: "custom_ions".into(),
+            basis: Platform::Ionq,
+            topology: TopologySpec::Grid { rows: 2, cols: 3 },
+            calibration: CalibrationSpec::Explicit(cal),
+        };
+        spec.validate().unwrap();
+        let parsed = DeviceSpec::from_json(&serde_json::to_string(&spec.to_value())).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn unknown_profile_is_rejected_with_the_known_list() {
+        let err = ProfileSpec::Named("cryogenic".into())
+            .resolve()
+            .unwrap_err();
+        assert!(err.contains("trapped_ion"), "{err}");
+    }
+
+    #[test]
+    fn structural_string_ignores_calibration() {
+        let mut spec = DeviceSpec::synthetic("s", Platform::Ibm, TopologySpec::Ring { qubits: 5 });
+        let before = spec.structural_string();
+        spec.calibration = CalibrationSpec::Synthetic {
+            profile: ProfileSpec::Named("trapped_ion".into()),
+            seed: Some("v2".into()),
+        };
+        assert_eq!(spec.structural_string(), before);
+        spec.name = "t".into();
+        assert_ne!(spec.structural_string(), before);
+    }
+}

@@ -1,8 +1,12 @@
-//! Property-based tests for topologies and the fidelity model.
+//! Property-based tests for topologies, the fidelity model, and the
+//! JSON device-spec schema.
 
 use proptest::prelude::*;
 use qrc_circuit::strategies::small_gate_circuit;
-use qrc_device::{expected_fidelity, optimistic_fidelity, CouplingMap, Device, DeviceId};
+use qrc_device::{
+    expected_fidelity, optimistic_fidelity, Calibration, CalibrationSpec, CouplingMap, Device,
+    DeviceId, DeviceSpec, ErrorProfile, Platform, ProfileSpec, TopologySpec,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -75,6 +79,167 @@ proptest! {
             let optimistic = optimistic_fidelity(&qc, &dev);
             prop_assert!(optimistic >= strict - 1e-12, "{}", dev.name());
         }
+    }
+}
+
+/// A strategy over valid parametric topologies (bounded well under
+/// `MAX_SPEC_QUBITS` so every draw validates).
+fn topology_strategy() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        (2u32..40).prop_map(|qubits| TopologySpec::Line { qubits }),
+        (3u32..40).prop_map(|qubits| TopologySpec::Ring { qubits }),
+        (1u32..8, 1u32..8)
+            .prop_filter("a 1x1 grid has no edges", |&(r, c)| (r, c) != (1, 1))
+            .prop_map(|(rows, cols)| TopologySpec::Grid { rows, cols }),
+        (2u32..16).prop_map(|qubits| TopologySpec::AllToAll { qubits }),
+        (1u32..5, 5u32..13).prop_map(|(rows, row_len)| TopologySpec::HeavyHex { rows, row_len }),
+        (1u32..3, 1u32..4).prop_map(|(rows, cols)| TopologySpec::Octagonal { rows, cols }),
+        Just(TopologySpec::IbmFalcon27),
+    ]
+}
+
+const KNOWN_PLATFORMS: [Platform; 4] = [
+    Platform::Ibm,
+    Platform::Rigetti,
+    Platform::Ionq,
+    Platform::Oqc,
+];
+
+/// A strategy over platforms and platform strings: known platform
+/// names (class-routed) and vendor strings (wildcard-routed). The
+/// vendored proptest has no string-regex strategies, so names are
+/// derived from indices over the legal charset.
+fn platform_strategy() -> impl Strategy<Value = (String, Platform)> {
+    prop_oneof![
+        (0..KNOWN_PLATFORMS.len())
+            .prop_map(|i| (KNOWN_PLATFORMS[i].name().to_string(), KNOWN_PLATFORMS[i])),
+        (0..KNOWN_PLATFORMS.len(), 0..500u32)
+            .prop_map(|(i, v)| (format!("vendor-q{v}"), KNOWN_PLATFORMS[i])),
+    ]
+}
+
+/// A strategy over calibration sources: named profiles (with and
+/// without an explicit seed), inline profiles, and explicit
+/// per-qubit/per-edge data built for `topology`.
+fn calibration_strategy(
+    name: String,
+    topology: TopologySpec,
+) -> impl Strategy<Value = CalibrationSpec> {
+    let names = [
+        "superconducting",
+        "superconducting_rigetti",
+        "trapped_ion",
+        "superconducting_oqc",
+    ];
+    prop_oneof![
+        (0..names.len(), 0..200u32).prop_map(move |(i, s)| {
+            CalibrationSpec::Synthetic {
+                profile: ProfileSpec::Named(names[i].to_string()),
+                // Roughly half the draws pin an explicit seed.
+                seed: (s % 2 == 0).then(|| format!("seed{s}")),
+            }
+        }),
+        (1u32..40, 1u32..40, 1u32..40).prop_map(|(a, b, c)| CalibrationSpec::Synthetic {
+            profile: ProfileSpec::Inline(ErrorProfile {
+                mean_1q: a as f64 / 10_000.0,
+                mean_2q: b as f64 / 1_000.0,
+                mean_readout: c as f64 / 500.0,
+                mean_t1_us: 40.0 + a as f64,
+                gate_time_1q_ns: 10.0 + b as f64,
+                gate_time_2q_ns: 100.0 + c as f64,
+            }),
+            seed: None,
+        }),
+        (0..names.len()).prop_map(move |i| {
+            // Explicit data must cover the topology exactly; building
+            // a synthetic calibration for it guarantees that.
+            let profile = ProfileSpec::Named(names[i].to_string()).resolve().unwrap();
+            CalibrationSpec::Explicit(Calibration::synthetic(&name, &topology.build(), profile))
+        }),
+    ]
+}
+
+/// A strategy over complete, valid device specs.
+fn spec_strategy() -> impl Strategy<Value = DeviceSpec> {
+    (
+        (0..500u32).prop_map(|i| format!("prop-dev_{i}")),
+        platform_strategy(),
+        topology_strategy(),
+    )
+        .prop_flat_map(|(name, (platform, basis), topology)| {
+            calibration_strategy(name.clone(), topology).prop_map(move |calibration| DeviceSpec {
+                name: name.clone(),
+                platform: platform.clone(),
+                basis,
+                topology,
+                calibration,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The schema's core contract: every valid spec survives a JSON
+    /// round trip bit-identically (including explicit calibration
+    /// floats), and the devices built on both sides are equal.
+    #[test]
+    fn device_specs_round_trip_through_json(spec in spec_strategy()) {
+        prop_assert!(spec.validate().is_ok());
+        let text = serde_json::to_string(&spec.to_value());
+        let reparsed = DeviceSpec::from_json(&text).unwrap();
+        prop_assert_eq!(&reparsed, &spec);
+        // The round trip preserves the device model, not just the
+        // spec: identical topology and calibration on both sides.
+        let a = spec.calibration.build(&spec.name, &spec.topology.build()).unwrap();
+        let b = reparsed
+            .calibration
+            .build(&reparsed.name, &reparsed.topology.build())
+            .unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(spec.topology.num_qubits(), reparsed.topology.num_qubits());
+    }
+}
+
+#[test]
+fn shipped_device_spec_files_validate_and_builtins_match() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../devices");
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("devices/ exists at the repo root") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            DeviceSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(spec.name.as_str()),
+            "file name matches the spec name"
+        );
+        names.push(spec.name.clone());
+        // Built-in names must carry exactly the built-in spec, so
+        // loading the directory is an idempotent no-op for them.
+        if let Some(builtin) = DeviceSpec::builtins().iter().find(|b| b.name == spec.name) {
+            assert_eq!(&spec, builtin, "{} drifted from the built-in", spec.name);
+        }
+        if spec.name == "heavy_hex_65" {
+            assert_eq!(spec.topology.num_qubits(), 65);
+        }
+    }
+    names.sort();
+    for expected in [
+        "grid_6x6",
+        "heavy_hex_65",
+        "ibmq_montreal",
+        "ibmq_washington",
+        "ionq_harmony",
+        "oqc_lucy",
+        "rigetti_aspen_m2",
+        "ring_16",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }
 }
 

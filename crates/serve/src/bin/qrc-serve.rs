@@ -9,6 +9,10 @@
 //!                       port 0 picks an ephemeral port, printed to
 //!                       stderr); omitted = stdin/stdout mode
 //!   --models DIR        checkpoint directory            (default models/)
+//!   --device-dir DIR    load every *.json device spec in DIR into the
+//!                       device registry before startup; loaded devices
+//!                       are pinnable by name and hot-recalibratable via
+//!                       {"cmd":"calibrate"}
 //!   --shard SPEC        ensure a policy shard exists (repeatable):
 //!                       objective/device-class/width-band, e.g.
 //!                       fidelity/ibm/narrow — trained on its scoped
@@ -64,11 +68,15 @@
 //!
 //! Protocol: one request object per line in, one response per line
 //! out. `{"cmd":"stats"}` answers with live metrics (including loaded
-//! shard keys and checkpoint mtimes), `{"cmd":"reload"}` hot-swaps the
-//! shard map from the models directory without dropping traffic, and
-//! `{"cmd":"shutdown"}` (or SIGTERM in socket mode, or EOF on stdin)
-//! drains in-flight batches and exits cleanly. See the crate docs for
-//! the field reference.
+//! shard keys, checkpoint mtimes, and the known-device list),
+//! `{"cmd":"reload"}` hot-swaps the shard map from the models
+//! directory without dropping traffic,
+//! `{"cmd":"calibrate","device":NAME,"calibration":SPEC}` hot-swaps
+//! one device's calibration data (selectively invalidating that
+//! device's fidelity-keyed cache entries), and `{"cmd":"shutdown"}`
+//! (or SIGTERM in socket mode, or EOF on stdin) drains in-flight
+//! batches and exits cleanly. See the crate docs for the field
+//! reference.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -81,8 +89,8 @@ use qrc_serve::{
     ServiceConfig, ShardKey, ShutdownFlag,
 };
 
-const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--shard SPEC]... \
-                     [--timesteps N] [--seed N] \
+const USAGE: &str = "usage: qrc-serve [--listen ADDR] [--models DIR] [--device-dir DIR] \
+                     [--shard SPEC]... [--timesteps N] [--seed N] \
                      [--train-max-qubits N] [--cache-capacity N] [--cache-shards N] \
                      [--batch N] [--batch-wait-us N] [--queue N] [--max-line-bytes N] \
                      [--max-width N] [--blocking] [--serial] [--quantized] \
@@ -96,6 +104,7 @@ fn main() {
     let mut config = ServiceConfig::default();
     let mut frontend = FrontendConfig::default();
     let mut listen: Option<String> = None;
+    let mut device_dir: Option<std::path::PathBuf> = None;
     let mut batch: Option<usize> = None;
     let mut batch_wait_us: u64 = 2_000;
     let mut blocking = false;
@@ -119,6 +128,10 @@ fn main() {
             },
             "--models" => match flag_value::<String>(&args, &mut i, "models") {
                 Ok(dir) => config.models_dir = dir.into(),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--device-dir" => match flag_value::<String>(&args, &mut i, "device-dir") {
+                Ok(dir) => device_dir = Some(std::path::PathBuf::from(dir)),
                 Err(e) => usage_error(&e, USAGE),
             },
             "--shard" => match flag_value::<String>(&args, &mut i, "shard") {
@@ -227,6 +240,28 @@ fn main() {
         // unobserved SIGTERM would hang the process instead of
         // terminating it.
         install_sigterm_bridge(&shutdown);
+    }
+
+    // Dynamic device specs load before the service starts: a snapshot
+    // warm-load must already know every device its entries name, and
+    // traffic can pin loaded devices from the first request.
+    if let Some(dir) = &device_dir {
+        match qrc_device::DeviceRegistry::load_dir(dir) {
+            Ok(loaded) => {
+                if config.verbose {
+                    eprintln!(
+                        "device registry: {} spec(s) loaded from {} ({} devices known)",
+                        loaded.len(),
+                        dir.display(),
+                        qrc_device::DeviceRegistry::len(),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not load device dir: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let start = std::time::Instant::now();
@@ -505,6 +540,21 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
                     // answered before this line.
                     flush(&mut pending, &mut out);
                     let _ = writeln!(out, "{}", serde_json::to_string(&service.metrics_value()));
+                    let _ = out.flush();
+                    continue;
+                }
+                Ok(InboundLine::Control(ControlRequest::Calibrate {
+                    device,
+                    calibration,
+                })) => {
+                    // Stream order: everything read before the
+                    // calibrate is answered under the old calibration.
+                    flush(&mut pending, &mut out);
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        serde_json::to_string(&service.calibrate_value(&device, &calibration))
+                    );
                     let _ = out.flush();
                     continue;
                 }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use qrc_device::DeviceId;
+use qrc_device::{DeviceId, DeviceRegistry};
 
 use crate::protocol::CompiledResult;
 use crate::shard::ShardKey;
@@ -38,22 +38,17 @@ pub struct CacheKey {
 }
 
 /// Total, collision-free seed tag of a device pin: `0` is reserved for
-/// "no pin" and every pin maps to its own nonzero value. This is an
-/// exhaustive match rather than a positional scan of [`DeviceId::ALL`]
-/// on purpose — the old `position(…).unwrap_or(0)` silently aliased
-/// any pin missing from `ALL` with `ALL[0]`, sharing that device's
-/// seed index; a new enum variant is now a compile error here instead.
-/// The values keep the historical `1 + position-in-ALL` numbering so
-/// existing seeds (and therefore cached/persisted answers) are
-/// unchanged.
-pub const fn device_seed_tag(pin: Option<DeviceId>) -> u64 {
+/// "no pin" and every pin maps to its own nonzero value, resolved
+/// through the device registry. Built-ins keep the historical
+/// `1 + position-in-ALL` numbering so existing seeds (and therefore
+/// cached/persisted answers) are unchanged; dynamic devices get a tag
+/// FNV-derived from their canonical *structural* spec — a pure
+/// function of the spec, so every replica agrees, and calibration is
+/// excluded so a live recalibration does not re-key the cache.
+pub fn device_seed_tag(pin: Option<DeviceId>) -> u64 {
     match pin {
         None => 0,
-        Some(DeviceId::IbmqMontreal) => 1,
-        Some(DeviceId::IbmqWashington) => 2,
-        Some(DeviceId::RigettiAspenM2) => 3,
-        Some(DeviceId::IonqHarmony) => 4,
-        Some(DeviceId::OqcLucy) => 5,
+        Some(id) => DeviceRegistry::seed_tag(id),
     }
 }
 
@@ -235,11 +230,21 @@ impl ResultCache {
     /// swapped-in model would keep answering popular circuits with the
     /// old policy's cached output forever.
     pub fn retain(&self, keep: impl Fn(&CacheKey) -> bool) -> u64 {
+        self.retain_entries(|key, _| keep(key))
+    }
+
+    /// Like [`ResultCache::retain`] but the predicate also sees the
+    /// cached result. Calibration invalidation needs this: an unpinned
+    /// fidelity-keyed entry carries no device in its *key* — the device
+    /// the rollout chose lives in the cached *payload* — so purging
+    /// "everything whose answer depends on device X's calibration"
+    /// must inspect values.
+    pub fn retain_entries(&self, keep: impl Fn(&CacheKey, &CompiledResult) -> bool) -> u64 {
         let mut removed = 0u64;
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
             let before = shard.map.len();
-            shard.map.retain(|key, _| keep(key));
+            shard.map.retain(|key, entry| keep(key, &entry.value));
             removed += (before - shard.map.len()) as u64;
         }
         removed

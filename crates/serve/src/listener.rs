@@ -16,8 +16,10 @@
 //! `{"cmd":"stats"}` returns a live metrics snapshot (including the
 //! registry's loaded shard keys and checkpoint mtimes),
 //! `{"cmd":"reload"}` rescans the models directory and atomically
-//! swaps the shard map (in-flight batches finish on the old one), and
-//! `{"cmd":"shutdown"}` begins a graceful drain — no new requests are
+//! swaps the shard map (in-flight batches finish on the old one),
+//! `{"cmd":"calibrate"}` hot-swaps one device's calibration data and
+//! selectively invalidates that device's fidelity-keyed cache entries,
+//! and `{"cmd":"shutdown"}` begins a graceful drain — no new requests are
 //! admitted, in-flight batches complete, every accepted request is
 //! answered, then the serve call returns. Control replies and
 //! back-pressure rejections are written as soon as they are produced,
@@ -391,6 +393,12 @@ fn triage(
         Ok(InboundLine::Control(ControlRequest::Metrics)) => {
             Triage::Handled(serde_json::to_string(&service.metrics_value()))
         }
+        Ok(InboundLine::Control(ControlRequest::Calibrate {
+            device,
+            calibration,
+        })) => Triage::Handled(serde_json::to_string(
+            &service.calibrate_value(&device, &calibration),
+        )),
         Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
             shutdown.request();
             Triage::Handled(serde_json::to_string(&Value::object(vec![

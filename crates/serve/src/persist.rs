@@ -9,9 +9,10 @@
 //! eviction order (least recently used first):
 //!
 //! ```text
-//! {"format":"qrc-cache-snapshot","version":1,"entries":2,"shards":[
+//! {"format":"qrc-cache-snapshot","version":2,"entries":2,"shards":[
 //!   {"shard":"fidelity/any/any","checkpoint":"predictor_fidelity.json",
-//!    "mtime_unix_nanos":1753776000000000000,"len":83211}]}
+//!    "mtime_unix_nanos":1753776000000000000,"len":83211}],
+//!  "devices":[{"device":"ionq_harmony","calibration_hash":1234…}]}
 //! {"shard":"fidelity/any/any","circuit_hash":123…,"pin":null,
 //!  "qasm":"OPENQASM 2.0;…","device":"ionq_harmony","actions":[…],"reward":0.93}
 //! …
@@ -19,11 +20,17 @@
 //!
 //! The header pins each persisted shard to the *checkpoint identity*
 //! (file name, full-precision mtime, length) its entries were computed
-//! under. A loader drops every entry whose shard's checkpoint no
-//! longer matches — a swapped model must never serve a stale persisted
-//! answer — and rebases the survivors onto the live registry's policy
-//! generations. Keys are persisted *without* the generation stamp,
-//! which is process-local and meaningless across restarts.
+//! under, and each referenced device to its *calibration identity*
+//! (device name plus a content hash of its calibration data). A loader
+//! drops every entry whose shard's checkpoint no longer matches — a
+//! swapped model must never serve a stale persisted answer — and every
+//! calibration-keyed entry (fidelity/combination objectives) whose
+//! device was recalibrated since the snapshot, then rebases the
+//! survivors onto the live registry's policy generations. Entries
+//! naming a device the running registry does not know (a dynamic spec
+//! whose JSON file went away) are skipped with a count, never a parse
+//! error. Keys are persisted *without* the generation stamp, which is
+//! process-local and meaningless across restarts.
 //!
 //! Writes are crash-safe (`.tmp` + fsync before rename, the same
 //! discipline as checkpoint saves); a torn or truncated snapshot is
@@ -53,7 +60,8 @@ pub const SNAPSHOT_FORMAT: &str = "qrc-cache-snapshot";
 
 /// Current snapshot schema version. Bump when the line layout changes;
 /// loaders reject other versions (cold start, never a misparse).
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Version 2 added per-device calibration stamps to the header.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Where the snapshot of a service rooted at `models_dir` lives.
 pub fn snapshot_path(models_dir: &Path) -> PathBuf {
@@ -68,6 +76,17 @@ pub struct SnapshotShardStamp {
     pub shard: ShardKey,
     /// The checkpoint identity at snapshot time.
     pub identity: CheckpointIdentity,
+}
+
+/// One persisted device's calibration provenance: which calibration
+/// content its fidelity-keyed entries were computed under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDeviceStamp {
+    /// The device's registry name.
+    pub device: String,
+    /// [`qrc_device::DeviceRegistry::calibration_hash`] at snapshot
+    /// time.
+    pub calibration_hash: u64,
 }
 
 /// One persisted cache entry: the content address (minus the
@@ -90,8 +109,14 @@ pub struct PersistedEntry {
 pub struct CacheSnapshot {
     /// Checkpoint identities of every persisted shard.
     pub shards: Vec<SnapshotShardStamp>,
+    /// Calibration identities of every device referenced by an entry.
+    pub devices: Vec<SnapshotDeviceStamp>,
     /// The entries, least recently used first.
     pub entries: Vec<PersistedEntry>,
+    /// Entry lines skipped at decode time because they name a device
+    /// the running registry does not know (not serialized; always 0 on
+    /// a freshly built snapshot).
+    pub skipped_unknown: u64,
 }
 
 impl CacheSnapshot {
@@ -117,6 +142,20 @@ impl CacheSnapshot {
                                     s.identity.mtime_unix_nanos.map_or(Value::Null, Value::from),
                                 ),
                                 ("len", Value::from(s.identity.len)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "devices",
+                Value::Array(
+                    self.devices
+                        .iter()
+                        .map(|d| {
+                            Value::object(vec![
+                                ("device", Value::from(d.device.clone())),
+                                ("calibration_hash", Value::from(d.calibration_hash)),
                             ])
                         })
                         .collect(),
@@ -168,20 +207,50 @@ impl CacheSnapshot {
         {
             shards.push(parse_shard_stamp(stamp)?);
         }
+        let mut devices = Vec::new();
+        for stamp in header
+            .get("devices")
+            .and_then(Value::as_array)
+            .ok_or("missing device stamps")?
+        {
+            devices.push(SnapshotDeviceStamp {
+                device: stamp
+                    .get("device")
+                    .and_then(Value::as_str)
+                    .ok_or("device stamp missing `device`")?
+                    .to_string(),
+                calibration_hash: stamp
+                    .get("calibration_hash")
+                    .and_then(Value::as_u64)
+                    .ok_or("device stamp missing `calibration_hash`")?,
+            });
+        }
         let mut entries = Vec::with_capacity(promised);
+        let mut skipped_unknown = 0u64;
         for line in lines {
             if line.trim().is_empty() {
                 continue;
             }
-            entries.push(parse_entry(line)?);
+            match parse_entry(line)? {
+                Some(entry) => entries.push(entry),
+                // A structurally valid line naming a device this
+                // process does not know: the spec file went away, not
+                // the snapshot — skip it, keep the rest warm.
+                None => skipped_unknown += 1,
+            }
         }
-        if entries.len() != promised {
+        if entries.len() as u64 + skipped_unknown != promised as u64 {
             return Err(format!(
                 "truncated snapshot: header promised {promised} entries, found {}",
-                entries.len()
+                entries.len() as u64 + skipped_unknown
             ));
         }
-        Ok(CacheSnapshot { shards, entries })
+        Ok(CacheSnapshot {
+            shards,
+            devices,
+            entries,
+            skipped_unknown,
+        })
     }
 
     /// Writes the snapshot atomically via the same `.tmp` + fsync +
@@ -204,6 +273,14 @@ impl CacheSnapshot {
             .iter()
             .find(|s| s.shard == shard)
             .map(|s| &s.identity)
+    }
+
+    /// The calibration hash this snapshot recorded for `device`.
+    pub fn calibration_stamp_of(&self, device: &str) -> Option<u64> {
+        self.devices
+            .iter()
+            .find(|d| d.device == device)
+            .map(|d| d.calibration_hash)
     }
 }
 
@@ -300,27 +377,40 @@ fn entry_value(entry: &PersistedEntry) -> Value {
     ])
 }
 
-fn parse_entry(line: &str) -> Result<PersistedEntry, String> {
+/// Decodes one entry line. `Ok(None)` means the line is structurally
+/// valid but names a device this process's registry does not know —
+/// the caller skips and counts it (a vanished dynamic spec must not
+/// cold-start the whole snapshot).
+fn parse_entry(line: &str) -> Result<Option<PersistedEntry>, String> {
     let value: Value = serde_json::from_str(line).map_err(|e| format!("bad entry line: {e}"))?;
-    let device_name = |field: &str| -> Result<Option<DeviceId>, String> {
+    let device_field = |field: &str| -> Result<Option<String>, String> {
         match value.get(field) {
             None | Some(Value::Null) => Ok(None),
-            Some(v) => {
-                let name = v
-                    .as_str()
-                    .ok_or(format!("entry `{field}` must be a string"))?;
-                DeviceId::from_name(name)
-                    .map(Some)
-                    .ok_or(format!("unknown device `{name}`"))
-            }
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or(format!("entry `{field}` must be a string")),
         }
     };
-    Ok(PersistedEntry {
+    let mut unknown = false;
+    let mut resolve = |name: Option<String>| -> Option<DeviceId> {
+        name.and_then(|n| {
+            let id = DeviceId::from_name(&n);
+            unknown |= id.is_none();
+            id
+        })
+    };
+    let device_pin = resolve(device_field("pin")?);
+    let device = resolve(device_field("device")?);
+    if unknown {
+        return Ok(None);
+    }
+    Ok(Some(PersistedEntry {
         circuit_hash: value
             .get("circuit_hash")
             .and_then(Value::as_u64)
             .ok_or("entry missing `circuit_hash`")?,
-        device_pin: device_name("pin")?,
+        device_pin,
         shard: ShardKey::parse(
             value
                 .get("shard")
@@ -333,7 +423,7 @@ fn parse_entry(line: &str) -> Result<PersistedEntry, String> {
                 .and_then(Value::as_str)
                 .ok_or("entry missing `qasm`")?
                 .to_string(),
-            device: device_name("device")?,
+            device,
             actions: value
                 .get("actions")
                 .and_then(Value::as_array)
@@ -350,7 +440,7 @@ fn parse_entry(line: &str) -> Result<PersistedEntry, String> {
                 .and_then(Value::as_f64)
                 .ok_or("entry missing `reward`")?,
         },
-    })
+    }))
 }
 
 /// An append-only log of served compilation requests, one canonical
@@ -454,6 +544,11 @@ mod tests {
                     len: 4321,
                 },
             }],
+            devices: vec![SnapshotDeviceStamp {
+                device: "ionq_harmony".into(),
+                calibration_hash: 0xDEAD_BEEF_CAFE_F00D,
+            }],
+            skipped_unknown: 0,
             entries: vec![
                 PersistedEntry {
                     circuit_hash: u64::MAX - 7,
@@ -503,9 +598,29 @@ mod tests {
         assert!(CacheSnapshot::from_ndjson(&torn).is_err());
         assert!(CacheSnapshot::from_ndjson("").is_err());
         assert!(CacheSnapshot::from_ndjson("{\"format\":\"other\"}\n").is_err());
-        let wrong_version = text.replacen("\"version\":1", "\"version\":999", 1);
+        let wrong_version = text.replacen("\"version\":2", "\"version\":999", 1);
         let err = CacheSnapshot::from_ndjson(&wrong_version).unwrap_err();
         assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_device_entries_skip_with_a_count() {
+        let text = sample_snapshot()
+            .to_ndjson()
+            .replace("\"ionq_harmony\"", "\"vanished_device_9\"");
+        let decoded = CacheSnapshot::from_ndjson(&text).unwrap();
+        // The pinned ionq_harmony entry (pin + device fields both
+        // renamed) skips; the unpinned entry survives; the count
+        // reconciles against the header so truncation detection holds.
+        assert_eq!(decoded.entries.len(), 1);
+        assert_eq!(decoded.skipped_unknown, 1);
+        assert_eq!(decoded.entries[0].circuit_hash, 42);
+        // Device stamps are provenance, not a validity gate: a stamp
+        // for an unknown device decodes fine.
+        assert_eq!(
+            decoded.calibration_stamp_of("vanished_device_9"),
+            Some(0xDEAD_BEEF_CAFE_F00D)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use qrc_device::DeviceId;
+use qrc_device::{DeviceId, DeviceRegistry};
 use qrc_predictor::RewardKind;
 use serde_json::Value;
 
@@ -86,9 +86,17 @@ impl ServeRequest {
             Some(v) => {
                 let name = v.as_str().ok_or("field `device` must be a string")?;
                 Some(DeviceId::from_name(name).ok_or_else(|| {
+                    // Lists every *registered* device — built-ins plus
+                    // whatever `--device-dir` / runtime registration
+                    // added — so the message reflects what this
+                    // replica can actually serve.
                     format!(
                         "unknown device `{name}` (expected one of: {})",
-                        DeviceId::ALL.map(|d| d.name()).join(", ")
+                        DeviceRegistry::all()
+                            .iter()
+                            .map(|d| d.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 })?)
             }
@@ -130,7 +138,7 @@ impl ServeRequest {
 }
 
 /// An in-band control request: a line carrying `cmd` instead of `qasm`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlRequest {
     /// `{"cmd":"stats"}` — answer with a live metrics snapshot.
     Stats,
@@ -148,6 +156,18 @@ pub enum ControlRequest {
     /// rendering of every counter and histogram (as a JSON string
     /// field, since replies are NDJSON).
     Metrics,
+    /// `{"cmd":"calibrate","device":...,"calibration":...}` — hot-swap
+    /// the named device's calibration data (zero downtime, like
+    /// `reload`), bump its calibration generation, and selectively
+    /// invalidate the cache entries whose answers read the old
+    /// calibration.
+    Calibrate {
+        /// The registered device name to recalibrate.
+        device: String,
+        /// The calibration spec (same schema as the `calibration`
+        /// field of a device spec file), decoded by the service.
+        calibration: Value,
+    },
 }
 
 /// One decoded inbound NDJSON line: a compilation request or a control
@@ -179,9 +199,24 @@ impl InboundLine {
                     "snapshot" => Ok(InboundLine::Control(ControlRequest::Snapshot)),
                     "shutdown" => Ok(InboundLine::Control(ControlRequest::Shutdown)),
                     "metrics" => Ok(InboundLine::Control(ControlRequest::Metrics)),
+                    "calibrate" => {
+                        let device = value
+                            .get("device")
+                            .and_then(Value::as_str)
+                            .ok_or("calibrate needs a string `device` field")?
+                            .to_string();
+                        let calibration = value
+                            .get("calibration")
+                            .ok_or("calibrate needs a `calibration` field")?
+                            .clone();
+                        Ok(InboundLine::Control(ControlRequest::Calibrate {
+                            device,
+                            calibration,
+                        }))
+                    }
                     other => Err(format!(
                         "unknown cmd `{other}` (expected one of: stats, reload, snapshot, \
-                         shutdown, metrics)"
+                         shutdown, metrics, calibrate)"
                     )),
                 }
             }
@@ -445,6 +480,25 @@ mod tests {
         );
         let err = InboundLine::parse(r#"{"cmd":"reboot"}"#).unwrap_err();
         assert!(err.contains("unknown cmd"), "{err}");
+        match InboundLine::parse(
+            r#"{"cmd":"calibrate","device":"oqc_lucy",
+                "calibration":{"synthetic":{"profile":"superconducting_oqc","seed":"v2"}}}"#,
+        )
+        .unwrap()
+        {
+            InboundLine::Control(ControlRequest::Calibrate {
+                device,
+                calibration,
+            }) => {
+                assert_eq!(device, "oqc_lucy");
+                assert!(calibration.get("synthetic").is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = InboundLine::parse(r#"{"cmd":"calibrate"}"#).unwrap_err();
+        assert!(err.contains("device"), "{err}");
+        let err = InboundLine::parse(r#"{"cmd":"calibrate","device":"oqc_lucy"}"#).unwrap_err();
+        assert!(err.contains("calibration"), "{err}");
         assert!(matches!(
             InboundLine::parse(r#"{"qasm":"OPENQASM 2.0;"}"#).unwrap(),
             InboundLine::Request(_)

@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use qrc_benchgen::paper_suite;
+use qrc_device::{CalibrationSpec, DeviceId, DeviceRegistry};
 use qrc_obs::{TraceEvent, TraceSink};
 use qrc_predictor::PersistError;
 use serde_json::Value;
@@ -16,7 +17,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics, Stage};
 use crate::persist::{
     head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,
-    SnapshotLoad, SnapshotShardStamp, TrafficLog,
+    SnapshotDeviceStamp, SnapshotLoad, SnapshotShardStamp, TrafficLog,
 };
 use crate::protocol::{ServeRequest, ServeResponse};
 use crate::registry::{ModelRegistry, ReloadReport};
@@ -122,6 +123,11 @@ pub struct CompilationService {
     /// in-memory registries built by tests and the bench harness).
     models_dir: Option<PathBuf>,
     reloads: AtomicU64,
+    /// Live recalibrations applied since start.
+    calibrations: AtomicU64,
+    /// Cache entries invalidated by recalibrations (fidelity-keyed
+    /// answers of the recalibrated device only).
+    calibration_invalidated: AtomicU64,
     cache: ResultCache,
     /// Total cache capacity — caps how many unique jobs a traffic-log
     /// warmup pre-compiles (warming beyond capacity just evicts).
@@ -155,6 +161,13 @@ pub struct SnapshotWarmup {
     /// the snapshot (or the shard is gone): a swapped model must never
     /// serve a stale persisted answer.
     pub stale_dropped: u64,
+    /// Calibration-keyed entries dropped because their device was
+    /// recalibrated since the snapshot (the device's live calibration
+    /// hash no longer matches the persisted stamp).
+    pub calibration_dropped: u64,
+    /// Entry lines skipped because they name a device this process's
+    /// registry does not know (a vanished dynamic spec).
+    pub unknown_skipped: u64,
     /// `true` when a torn/truncated snapshot was quarantined to
     /// `.corrupt` (the service cold-starts cleanly).
     pub quarantined: bool,
@@ -233,6 +246,8 @@ impl CompilationService {
             reload_lock: Mutex::new(()),
             models_dir: None,
             reloads: AtomicU64::new(0),
+            calibrations: AtomicU64::new(0),
+            calibration_invalidated: AtomicU64::new(0),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             cache_capacity: config.cache_capacity,
             metrics: ServeMetrics::new(),
@@ -380,6 +395,77 @@ impl CompilationService {
         self.reloads.load(Ordering::Relaxed)
     }
 
+    /// Applies a live recalibration to `device` and selectively purges
+    /// the result cache: exactly the calibration-keyed entries
+    /// (fidelity/combination objectives) that pinned or landed on that
+    /// device are dropped; structure-only answers and every other
+    /// device's entries stay warm. Serialized under the reload lock —
+    /// the registry's copy-on-swap `Device` means in-flight batches
+    /// finish on the calibration snapshot they started with, and no
+    /// request ever fails because of a concurrent calibrate.
+    ///
+    /// Returns `(calibration_generation, entries_invalidated)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown device or an invalid
+    /// calibration spec; the device keeps its previous calibration and
+    /// the cache is untouched on every error path.
+    pub fn calibrate(&self, device: &str, calibration: &Value) -> Result<(u64, u64), String> {
+        let id = DeviceId::from_name(device).ok_or_else(|| {
+            format!(
+                "unknown device `{device}` (known: {})",
+                DeviceRegistry::all()
+                    .iter()
+                    .map(|d| DeviceRegistry::name(*d))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        let spec = CalibrationSpec::from_value(calibration)?;
+        let _serialized = self.reload_lock.lock().expect("reload lock poisoned");
+        let generation = DeviceRegistry::calibrate(id, spec)?;
+        let invalidated = self.cache.retain_entries(|key, value| {
+            !(key.shard.objective.uses_calibration()
+                && (key.device_pin == Some(id) || value.device == Some(id)))
+        });
+        self.calibrations.fetch_add(1, Ordering::Relaxed);
+        self.calibration_invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
+        Ok((generation, invalidated))
+    }
+
+    /// Performs a live recalibration and renders the
+    /// `{"cmd":"calibrate"}` reply: `{"ok":true,"calibrated":true,…}`
+    /// with the device's new calibration generation and the number of
+    /// cache entries invalidated, or `{"ok":false,"error":…}` (the
+    /// previous calibration keeps serving on failure).
+    pub fn calibrate_value(&self, device: &str, calibration: &Value) -> Value {
+        match self.calibrate(device, calibration) {
+            Ok((generation, invalidated)) => Value::object(vec![
+                ("ok", Value::from(true)),
+                ("calibrated", Value::from(true)),
+                ("device", Value::from(device)),
+                ("calibration_generation", Value::from(generation)),
+                ("invalidated", Value::from(invalidated)),
+            ]),
+            Err(e) => Value::object(vec![
+                ("ok", Value::from(false)),
+                ("error", Value::from(format!("calibrate failed: {e}"))),
+            ]),
+        }
+    }
+
+    /// Number of live recalibrations applied since start.
+    pub fn calibration_count(&self) -> u64 {
+        self.calibrations.load(Ordering::Relaxed)
+    }
+
+    /// Cache entries invalidated by recalibrations since start.
+    pub fn calibration_invalidated(&self) -> u64 {
+        self.calibration_invalidated.load(Ordering::Relaxed)
+    }
+
     /// Starts appending every scheduled compilation request to the
     /// traffic log at `path` (one canonical request line per request;
     /// control commands and unparseable lines are never logged).
@@ -438,7 +524,26 @@ impl CompilationService {
         // header while they are consumed.
         let entries = std::mem::take(&mut snapshot.entries);
         let registry = self.registry();
-        let mut report = SnapshotWarmup::default();
+        let mut report = SnapshotWarmup {
+            unknown_skipped: snapshot.skipped_unknown,
+            ..SnapshotWarmup::default()
+        };
+        // A calibration-keyed entry (fidelity/combination objective) is
+        // only restorable when every device it references still has the
+        // calibration content it was computed under. Structure-only
+        // entries (critical depth) survive any recalibration.
+        let calibration_current = |entry: &PersistedEntry| -> bool {
+            if !entry.shard.objective.uses_calibration() {
+                return true;
+            }
+            [entry.device_pin, entry.result.device]
+                .into_iter()
+                .flatten()
+                .all(|id| {
+                    snapshot.calibration_stamp_of(DeviceRegistry::name(id))
+                        == Some(DeviceRegistry::calibration_hash(id))
+                })
+        };
         let mut imports: Vec<(CacheKey, Arc<crate::protocol::CompiledResult>)> = Vec::new();
         for entry in entries {
             let unchanged = snapshot
@@ -447,6 +552,10 @@ impl CompilationService {
                 .is_some_and(|(persisted, live)| persisted.matches(&live));
             match (unchanged, registry.generation_of(entry.shard)) {
                 (true, Some(generation)) => {
+                    if !calibration_current(&entry) {
+                        report.calibration_dropped += 1;
+                        continue;
+                    }
                     imports.push((
                         CacheKey {
                             circuit_hash: entry.circuit_hash,
@@ -574,11 +683,30 @@ impl CompilationService {
             }
         }
         stamps.sort_by_key(|s| s.shard);
+        // Stamp every referenced device with its current calibration
+        // content hash: a future load drops fidelity-keyed entries
+        // whose device was recalibrated in between.
+        let mut referenced: Vec<DeviceId> = entries
+            .iter()
+            .flat_map(|e| [e.device_pin, e.result.device])
+            .flatten()
+            .collect();
+        referenced.sort();
+        referenced.dedup();
+        let devices: Vec<SnapshotDeviceStamp> = referenced
+            .into_iter()
+            .map(|id| SnapshotDeviceStamp {
+                device: DeviceRegistry::name(id).to_string(),
+                calibration_hash: DeviceRegistry::calibration_hash(id),
+            })
+            .collect();
         let written = entries.len() as u64;
         let path = snapshot_path(&dir);
         CacheSnapshot {
             shards: stamps,
+            devices,
             entries,
+            skipped_unknown: 0,
         }
         .write(&path)?;
         *self.last_snapshot.lock().expect("snapshot stamp poisoned") =
@@ -922,6 +1050,20 @@ impl CompilationService {
                 Value::object(vec![
                     ("shards", self.registry().to_value()),
                     ("reloads", Value::from(self.reload_count())),
+                ]),
+            ));
+            // Every device this process can serve, with calibration
+            // generation and spec provenance — so operators can confirm
+            // a `--device-dir` load or a live calibrate took effect.
+            pairs.push((
+                "devices".into(),
+                Value::object(vec![
+                    ("known", DeviceRegistry::devices_value()),
+                    ("calibrations", Value::from(self.calibration_count())),
+                    (
+                        "calibration_invalidated",
+                        Value::from(self.calibration_invalidated()),
+                    ),
                 ]),
             ));
             let (age, entries) = match *self.last_snapshot.lock().expect("snapshot stamp poisoned")

@@ -16,7 +16,7 @@
 //! answers everything.
 
 use qrc_circuit::QuantumCircuit;
-use qrc_device::{Device, DeviceId, Platform};
+use qrc_device::{Device, DeviceId, DeviceRegistry, Platform};
 use qrc_predictor::RewardKind;
 
 /// The device dimension of a shard: a hardware platform family, or the
@@ -56,10 +56,16 @@ impl DeviceClass {
             .map(DeviceClass::Class)
     }
 
-    /// The class a pinned device belongs to (`Any` for no pin).
+    /// The class a pinned device belongs to (`Any` for no pin). The
+    /// class is derived from the device spec's *platform string*: when
+    /// it names one of the four known platforms the pin routes to that
+    /// class's specialists (every built-in does — their platform
+    /// string is the platform name), while an unknown vendor string
+    /// routes to the device-wildcard level, where the generalist
+    /// shards serve it.
     pub fn of_pin(pin: Option<DeviceId>) -> DeviceClass {
-        match pin {
-            Some(d) => DeviceClass::Class(d.platform()),
+        match pin.and_then(DeviceRegistry::platform_class) {
+            Some(p) => DeviceClass::Class(p),
             None => DeviceClass::Any,
         }
     }
@@ -628,6 +634,35 @@ mod tests {
                 assert_ne!(device_class.tag(), DeviceClass::Any.tag(), "{device_class}");
             }
         }
+    }
+
+    #[test]
+    fn dynamic_pins_route_by_platform_string() {
+        use qrc_device::{DeviceRegistry, DeviceSource, DeviceSpec, TopologySpec};
+        // A spec whose platform string names a known platform routes
+        // to that class's specialists…
+        let known = DeviceRegistry::register(
+            DeviceSpec::synthetic(
+                "shard_test_ring_12",
+                Platform::Ibm,
+                TopologySpec::Ring { qubits: 12 },
+            ),
+            DeviceSource::Runtime,
+        )
+        .unwrap();
+        assert_eq!(
+            DeviceClass::of_pin(Some(known)),
+            DeviceClass::Class(Platform::Ibm)
+        );
+        // …while an unknown vendor string routes to the wildcard level.
+        let mut spec = DeviceSpec::synthetic(
+            "shard_test_acme_9",
+            Platform::Ibm,
+            TopologySpec::Ring { qubits: 9 },
+        );
+        spec.platform = "acme_q".into();
+        let unknown = DeviceRegistry::register(spec, DeviceSource::Runtime).unwrap();
+        assert_eq!(DeviceClass::of_pin(Some(unknown)), DeviceClass::Any);
     }
 
     #[test]

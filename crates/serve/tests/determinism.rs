@@ -137,6 +137,58 @@ fn batched_inference_is_byte_identical_to_serial_inference() {
 }
 
 #[test]
+fn registry_backed_builtins_match_enum_era_payloads() {
+    // The pre-refactor enum path hard-wired the five paper devices with
+    // seed tags 1..=5. The registry must reproduce that contract even
+    // while unrelated runtime devices are being registered: a seeded
+    // traffic mix compiled before and after extra registrations must be
+    // byte-identical, and the built-in seed tags must not move.
+    use qrc_device::{DeviceId, DeviceRegistry, DeviceSource, DeviceSpec, Platform, TopologySpec};
+
+    let traffic = synthetic_mix(&TrafficConfig {
+        requests: 36,
+        max_qubits: 4,
+        pin_fraction: 0.5,
+        ..TrafficConfig::default()
+    });
+
+    let baseline = CompilationService::with_registry(tiny_registry(), &service_config(false));
+    let before = baseline.handle_batch(&traffic);
+
+    for (i, id) in DeviceId::ALL.iter().enumerate() {
+        assert_eq!(DeviceRegistry::seed_tag(*id), 1 + i as u64);
+    }
+    DeviceRegistry::register(
+        DeviceSpec::synthetic(
+            "determinism_dyn_ring_8",
+            Platform::Oqc,
+            TopologySpec::Ring { qubits: 8 },
+        ),
+        DeviceSource::Runtime,
+    )
+    .expect("register a runtime device");
+
+    let after_service = CompilationService::with_registry(tiny_registry(), &service_config(false));
+    let after = after_service.handle_batch(&traffic);
+
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(after.iter()) {
+        assert_eq!(
+            a.payload_value(),
+            b.payload_value(),
+            "registering a runtime device perturbed a built-in payload"
+        );
+    }
+    for (i, id) in DeviceId::ALL.iter().enumerate() {
+        assert_eq!(
+            DeviceRegistry::seed_tag(*id),
+            1 + i as u64,
+            "built-in seed tag drifted after a runtime registration"
+        );
+    }
+}
+
+#[test]
 fn duplicate_requests_in_one_batch_coalesce() {
     let service = CompilationService::with_registry(tiny_registry(), &service_config(true));
     let mut qc = qrc_circuit::QuantumCircuit::new(3);

@@ -272,6 +272,105 @@ fn snapshot_never_resurrects_answers_from_a_changed_checkpoint() {
 }
 
 #[test]
+fn recalibration_drops_exactly_that_devices_fidelity_entries_on_reload() {
+    use qrc_device::{
+        CalibrationSpec, DeviceRegistry, DeviceSource, DeviceSpec, Platform, ProfileSpec,
+        TopologySpec,
+    };
+    let dir = scratch_dir("calibration");
+    save_models(&dir, 5);
+    // A dynamic device unique to this test: the registry is global and
+    // tests share one process, so built-ins are never recalibrated.
+    let ring = DeviceRegistry::register(
+        DeviceSpec::synthetic(
+            "persist_test_ring_9",
+            Platform::Oqc,
+            TopologySpec::Ring { qubits: 9 },
+        ),
+        DeviceSource::Runtime,
+    )
+    .unwrap();
+
+    // Every objective × {dynamic pin, built-in pin}: six unique jobs.
+    let mut bell = qrc_circuit::QuantumCircuit::new(2);
+    bell.h(0).cx(0, 1).measure_all();
+    let qasm = qrc_circuit::qasm::to_qasm(&bell);
+    let mut traffic = Vec::new();
+    for (i, pin) in [Some(ring), Some(DeviceId::IonqHarmony)]
+        .into_iter()
+        .enumerate()
+    {
+        for objective in RewardKind::ALL {
+            let mut request = ServeRequest::new(qasm.clone());
+            request.id = Some(format!("c{i}-{objective}"));
+            request.objective = objective;
+            request.device_pin = pin;
+            traffic.push(request);
+        }
+    }
+
+    let original = dir_service(&dir);
+    let reference = payload_lines(&original.handle_batch(&traffic));
+    assert!(
+        reference.iter().all(|l| l.contains("\"ok\":true")),
+        "{reference:?}"
+    );
+    let written = original.write_snapshot().unwrap();
+    assert_eq!(written.entries, traffic.len() as u64);
+    drop(original);
+
+    // The ring is recalibrated between snapshot and restart (different
+    // synthetic seed → different error rates, same structure).
+    DeviceRegistry::calibrate(
+        ring,
+        CalibrationSpec::Synthetic {
+            profile: ProfileSpec::Named("superconducting_oqc".into()),
+            seed: Some("persist_test_ring_9_recal".into()),
+        },
+    )
+    .unwrap();
+
+    let restarted = dir_service(&dir);
+    let report = restarted.load_snapshot().unwrap();
+    // Exactly the recalibrated device's calibration-keyed entries drop
+    // (fidelity + combination on the ring); its critical-depth entry
+    // and every built-in entry stay warm.
+    assert_eq!(report.calibration_dropped, 2, "{report:?}");
+    assert_eq!(report.stale_dropped, 0, "{report:?}");
+    assert_eq!(report.unknown_skipped, 0, "{report:?}");
+    assert_eq!(report.loaded, written.entries - 2);
+    restarted.finish_warmup();
+
+    let after = payload_lines(&restarted.handle_batch(&traffic));
+    let mut changed = 0;
+    for ((request, before), now) in traffic.iter().zip(&reference).zip(&after) {
+        if request.device_pin == Some(ring) && request.objective.uses_calibration() {
+            assert_ne!(
+                before, now,
+                "recalibrated fidelity answers change: {:?}",
+                request.id
+            );
+            changed += 1;
+        } else {
+            assert_eq!(
+                before, now,
+                "non-calibration answers stay byte-identical: {:?}",
+                request.id
+            );
+        }
+    }
+    assert_eq!(changed, 2);
+    let stats = restarted.metrics();
+    assert_eq!(
+        stats.cache.misses, 2,
+        "only the dropped entries recompute: {:?}",
+        stats.cache
+    );
+    assert!(stats.cache.warm_hits >= 4, "{:?}", stats.cache);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn snapshot_under_load_and_around_reloads_drops_nothing() {
     let dir = scratch_dir("race");
     save_models(&dir, 5);
@@ -411,6 +510,8 @@ proptest! {
         let exported = cache.export();
         let snapshot = CacheSnapshot {
             shards: vec![],
+            devices: vec![],
+            skipped_unknown: 0,
             entries: exported
                 .iter()
                 .map(|(key, value)| PersistedEntry {
