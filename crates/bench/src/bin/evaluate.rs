@@ -15,7 +15,7 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service eight ways:
+//!                           qrc-serve compilation service nine ways:
 //!                           serial, blocking batched, the pipelined
 //!                           socket front end, a sharded registry
 //!                           vs the monolithic baseline over a
@@ -26,10 +26,13 @@
 //!                           f64 vs gate-checked int8 inference), an
 //!                           observability arm (full profiler +
 //!                           span sampling on vs off, with a per-stage
-//!                           latency breakdown), and a dynamic-device
-//!                           arm (runtime-registered device with a
-//!                           live mid-run calibration swap)
-//!                           (writes BENCH_serve.json)
+//!                           latency breakdown), a fleet arm (the mix
+//!                           streamed through the qrc-lb consistent-
+//!                           hash router over three socket replicas at
+//!                           matched total cache capacity), and a
+//!                           dynamic-device arm (runtime-registered
+//!                           device with a live mid-run calibration
+//!                           swap) (writes BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
 //!
@@ -345,6 +348,29 @@ fn run_serve(
         report.obs_profile_mean_us
     );
     println!(
+        "fleet ({} replicas, {} requests routed): {:.3}s ({:.0} req/s, {:.2}x serial) | \
+         payloads identical: {} | effective hit rate {:.1}% vs single-node {:.1}% | \
+         locality ok: {} | {} errors, {} rerouted, {} round-robin",
+        report.fleet_replicas,
+        report.fleet_requests,
+        report.fleet_secs,
+        report.requests_per_sec_fleet(),
+        report.fleet_vs_serial(),
+        report.fleet_identical,
+        report.fleet_hit_rate * 100.0,
+        report.fleet_single_hit_rate * 100.0,
+        report.fleet_locality_ok,
+        report.fleet_errors,
+        report.fleet_rerouted,
+        report.fleet_round_robin
+    );
+    for replica in &report.fleet_stats {
+        println!(
+            "  replica {}: {} routed, {} completed, {} hits / {} misses",
+            replica.addr, replica.routed, replica.completed, replica.hits, replica.misses
+        );
+    }
+    println!(
         "dynamic devices ({} requests incl. `{}` pins, seed tag {}): \
          before {:.3}s | after calibrate {:.3}s | built-in parity: {} | \
          generation {} invalidated {} | {}/{} calibration-keyed payloads changed | \
@@ -460,6 +486,51 @@ fn run_serve(
             "FAIL: the instrumented replay produced no valid trace \
              ({} spans over {} sampled requests)",
             report.obs_trace_events, report.obs_sampled_requests
+        );
+        std::process::exit(1);
+    }
+    if !report.fleet_identical {
+        eprintln!("FAIL: fleet serving diverged from serial execution");
+        std::process::exit(1);
+    }
+    if !report.fleet_locality_ok {
+        eprintln!("FAIL: a routed key bounced between replicas (consistent hashing broke)");
+        std::process::exit(1);
+    }
+    if report.fleet_hit_rate < report.fleet_single_hit_rate {
+        eprintln!(
+            "FAIL: fleet hit rate ({:.3}) fell below the single-node baseline ({:.3}) \
+             at the same total cache capacity",
+            report.fleet_hit_rate, report.fleet_single_hit_rate
+        );
+        std::process::exit(1);
+    }
+    // Throughput: with one worker thread the three replicas share a
+    // single core with the router, so beating the zero-I/O in-process
+    // serial replay is impossible by construction; the hard ≥-serial
+    // gate applies once the host can actually run replicas in
+    // parallel. A pathology floor always applies: losing 4x to serial
+    // means the router itself is broken, not the hardware.
+    if report.threads > 1 && report.fleet_vs_serial() < 1.0 {
+        eprintln!(
+            "FAIL: the routed fleet ({:.3}s) must not lose to one serial node ({:.3}s) \
+             on a multi-core host",
+            report.fleet_secs, report.serial_secs
+        );
+        std::process::exit(1);
+    }
+    if report.fleet_vs_serial() < 0.25 {
+        eprintln!(
+            "FAIL: the routed fleet ({:.3}s) lost more than 4x to one serial node \
+             ({:.3}s) — routing overhead is pathological",
+            report.fleet_secs, report.serial_secs
+        );
+        std::process::exit(1);
+    }
+    if report.fleet_errors > 0 {
+        eprintln!(
+            "FAIL: {} requests failed in the fleet replay (must be 0)",
+            report.fleet_errors
         );
         std::process::exit(1);
     }

@@ -61,7 +61,18 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// payloads, `calibration` generation/invalidation counters,
 /// `changed`/`expected_changed` over the calibration-keyed payloads,
 /// `others_identical`, and `errors`).
-pub const BENCH_SCHEMA_VERSION: u64 = 8;
+///
+/// v9: the serve report grew the fleet arm (`fleet` block: the arm-1
+/// mix streamed through the `qrc-lb` consistent-hash router over
+/// three in-process socket replicas at matched total cache capacity;
+/// `payloads_identical` against the serial replay by request id,
+/// aggregate effective `hit_rate` (1 − misses/requests, so in-batch
+/// coalescing counts) vs the `single_node_hit_rate` baseline,
+/// `locality_ok` — every routed key on exactly one replica —
+/// `round_robin`/`rerouted`/`errors` counters, throughput vs the
+/// serial arm, and a nested per-replica `replicas` array with each
+/// replica's routed/completed and cache counters).
+pub const BENCH_SCHEMA_VERSION: u64 = 9;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -250,8 +261,53 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ("restart", restart_value(report)),
         ("miss_path", miss_path_value(report)),
         ("observability", observability_value(report)),
+        ("fleet", fleet_value(report)),
         ("dynamic_devices", dynamic_devices_value(report)),
         ("settings", settings_value(settings)),
+    ])
+}
+
+/// The fleet block of `BENCH_serve.json`: the consistent-hash router
+/// over a warm replica fleet, gated on payload parity, cache
+/// locality, and zero lost requests.
+fn fleet_value(report: &ServeBenchReport) -> Value {
+    let replicas: Vec<Value> = report
+        .fleet_stats
+        .iter()
+        .map(|replica| {
+            Value::object(vec![
+                ("addr", Value::from(replica.addr.clone())),
+                ("routed", Value::from(replica.routed)),
+                ("completed", Value::from(replica.completed)),
+                ("rerouted", Value::from(replica.rerouted)),
+                ("ejections", Value::from(replica.ejections)),
+                ("hits", Value::from(replica.hits)),
+                ("misses", Value::from(replica.misses)),
+            ])
+        })
+        .collect();
+    Value::object(vec![
+        ("replicas_count", Value::from(report.fleet_replicas)),
+        ("requests", Value::from(report.fleet_requests)),
+        ("secs", Value::from(report.fleet_secs)),
+        (
+            "requests_per_sec",
+            Value::from(report.requests_per_sec_fleet()),
+        ),
+        ("vs_serial", Value::from(report.fleet_vs_serial())),
+        ("payloads_identical", Value::from(report.fleet_identical)),
+        ("hits", Value::from(report.fleet_hits)),
+        ("misses", Value::from(report.fleet_misses)),
+        ("hit_rate", Value::from(report.fleet_hit_rate)),
+        (
+            "single_node_hit_rate",
+            Value::from(report.fleet_single_hit_rate),
+        ),
+        ("locality_ok", Value::from(report.fleet_locality_ok)),
+        ("errors", Value::from(report.fleet_errors)),
+        ("rerouted", Value::from(report.fleet_rerouted)),
+        ("round_robin", Value::from(report.fleet_round_robin)),
+        ("replicas", Value::Array(replicas)),
     ])
 }
 
@@ -554,6 +610,27 @@ mod tests {
             obs_admission_mean_us: 60.0,
             obs_compute_mean_us: 9_700.0,
             obs_profile_mean_us: 9_000.0,
+            fleet_replicas: 3,
+            fleet_requests: 400,
+            fleet_secs: 0.2,
+            fleet_identical: true,
+            fleet_hits: 130,
+            fleet_misses: 270,
+            fleet_hit_rate: 0.325,
+            fleet_single_hit_rate: 0.3,
+            fleet_locality_ok: true,
+            fleet_errors: 0,
+            fleet_rerouted: 0,
+            fleet_round_robin: 0,
+            fleet_stats: vec![crate::serve_bench::FleetReplicaStat {
+                addr: "127.0.0.1:41001".into(),
+                routed: 140,
+                completed: 140,
+                rerouted: 0,
+                ejections: 0,
+                hits: 45,
+                misses: 95,
+            }],
             dyn_requests: 436,
             dyn_device: "bench_dyn_ring_12".into(),
             dyn_seed_tag: 6,
@@ -611,6 +688,12 @@ mod tests {
             "stage_means_us",
             "profile_drilldown",
             "stage_breakdown_frac",
+            "fleet",
+            "replicas_count",
+            "single_node_hit_rate",
+            "locality_ok",
+            "round_robin",
+            "127.0.0.1:41001",
             "dynamic_devices",
             "bench_dyn_ring_12",
             "seed_tag",
@@ -657,6 +740,8 @@ mod tests {
         assert!((report.miss_quantized_multiple() - 4.0).abs() < 1e-9);
         assert!((report.obs_overhead_frac() - 0.025).abs() < 1e-9);
         assert!((report.obs_breakdown_frac() - 0.98).abs() < 1e-9);
+        assert!((report.requests_per_sec_fleet() - 2000.0).abs() < 1e-9);
+        assert!((report.fleet_vs_serial() - 10.0).abs() < 1e-9);
         assert!(report.dyn_recalibration_ok());
     }
 }

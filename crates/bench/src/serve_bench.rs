@@ -32,25 +32,37 @@
 //! histograms must account for (nearly all of) the mean miss latency
 //! the responses themselves reported.
 //!
-//! An eighth arm exercises the dynamic device registry: a runtime
+//! An eighth arm scales out horizontally: the arm-1 mix streamed
+//! through a real `FleetRouter` fronting three in-process socket
+//! replicas, each owning a third of the single-node cache capacity so
+//! total capacity matches the single-node arms. Payloads must be
+//! byte-identical to the serial replay, consistent hashing must keep
+//! every routed key on exactly one replica, and the fleet's aggregate
+//! cache hit rate must not fall below the single-node pipelined
+//! baseline — the whole point of content-hashed routing is that
+//! splitting the cache three ways loses no locality.
+//!
+//! A ninth arm exercises the dynamic device registry: a runtime
 //! device spec is registered alongside the built-ins and the arm-1 mix
 //! is extended with requests pinned to it. The built-in prefix must be
 //! byte-identical to the arm-1 serial payloads (registering extra
 //! devices must not perturb anything), and a live calibration swap on
 //! the dynamic device mid-run must change exactly the
 //! calibration-keyed payloads pinned to it — every other payload stays
-//! byte-identical, with zero failed requests.
+//! byte-identical, with zero failed requests. This arm stays last: the
+//! calibration swap mutates the process-wide device registry.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qrc_predictor::task_seed;
 use qrc_serve::{
-    serve_socket, synthetic_mix, CacheStatus, CompilationService, DeviceClass, FrontendConfig,
-    ModelRegistry, QueuedLine, RouteCounts, ServeRequest, ServeResponse, ServiceConfig,
-    ShardCounters, ShardKey, ShutdownFlag, Stage, TrafficConfig, WidthBand,
+    bind_ephemeral, serve_socket, synthetic_mix, CacheStatus, CompilationService, DeviceClass,
+    FleetRouter, FrontendConfig, ModelRegistry, QueuedLine, RouteCounts, RouterConfig,
+    ServeRequest, ServeResponse, ServiceConfig, ShardCounters, ShardKey, ShutdownFlag, Stage,
+    TrafficConfig, WidthBand,
 };
 use serde_json::Value;
 
@@ -87,6 +99,27 @@ pub struct ShardStat {
     pub shard: String,
     /// The routing/cache counters the shard accumulated.
     pub counters: ShardCounters,
+}
+
+/// Per-replica outcome of the fleet arm: the router's view (routing
+/// counters) joined with the replica's own cache counters.
+#[derive(Debug, Clone)]
+pub struct FleetReplicaStat {
+    /// The replica's loopback address.
+    pub addr: String,
+    /// Requests the router consistently hashed onto this replica.
+    pub routed: u64,
+    /// Responses the replica actually returned through the router.
+    pub completed: u64,
+    /// In-flight requests re-forwarded here after another replica's
+    /// ejection (zero in the steady-state bench).
+    pub rerouted: u64,
+    /// Times the router ejected this replica (zero in the bench).
+    pub ejections: u64,
+    /// Cache hits this replica's service recorded during the replay.
+    pub hits: u64,
+    /// Cache misses this replica's service recorded during the replay.
+    pub misses: u64,
 }
 
 /// Measured results of one serve benchmark run.
@@ -243,6 +276,46 @@ pub struct ServeBenchReport {
     /// Profiler-attributed time (rollout ticks + named compute
     /// sections) per miss (µs) — the drill-down under `compute`.
     pub obs_profile_mean_us: f64,
+    /// Socket replicas behind the fleet arm's router.
+    pub fleet_replicas: usize,
+    /// Requests streamed through the router (the arm-1 mix).
+    pub fleet_requests: usize,
+    /// Wall-clock of the routed fleet replay (seconds).
+    pub fleet_secs: f64,
+    /// `true` iff every fleet response's compilation payload was
+    /// byte-identical to the serial replay's answer for the same
+    /// request id.
+    pub fleet_identical: bool,
+    /// Cache hits summed across all replicas.
+    pub fleet_hits: u64,
+    /// Cache misses summed across all replicas.
+    pub fleet_misses: u64,
+    /// Aggregate effective hit rate: the fraction of requests the
+    /// fleet answered *without* a fresh policy inference
+    /// (`1 − misses/requests`, so cache hits and in-batch coalescing
+    /// both count — which of the two a repeat becomes depends only on
+    /// batch-boundary timing, not on cache locality).
+    pub fleet_hit_rate: f64,
+    /// The single-node pipelined arm's effective hit rate over the
+    /// same mix and the same total cache capacity — the locality
+    /// baseline the fleet must not fall below. A key that bounced
+    /// between replicas would miss (and infer) more than once and
+    /// drag the fleet below this line.
+    pub fleet_single_hit_rate: f64,
+    /// `true` iff every routed key landed on exactly one replica for
+    /// the whole replay (consistent hashing held; nothing bounced).
+    pub fleet_locality_ok: bool,
+    /// Error responses across the fleet replay (router-synthesized or
+    /// replica-returned; must be 0).
+    pub fleet_errors: u64,
+    /// In-flight requests re-forwarded after an ejection (0 here: no
+    /// replica dies in the bench; the kill path is CI's job).
+    pub fleet_rerouted: u64,
+    /// Requests that fell back to round-robin because no routing key
+    /// could be extracted (0: the synthetic mix is all well-formed).
+    pub fleet_round_robin: u64,
+    /// Per-replica routing and cache counters.
+    pub fleet_stats: Vec<FleetReplicaStat>,
     /// Requests in the dynamic-device arm's mix (the arm-1 mix plus
     /// requests pinned to the runtime-registered device).
     pub dyn_requests: usize,
@@ -353,6 +426,17 @@ impl ServeBenchReport {
     pub fn obs_breakdown_frac(&self) -> f64 {
         (self.obs_parse_mean_us + self.obs_admission_mean_us + self.obs_compute_mean_us)
             / self.obs_mean_miss_us.max(1e-12)
+    }
+
+    /// Requests per second of the routed fleet replay.
+    pub fn requests_per_sec_fleet(&self) -> f64 {
+        self.fleet_requests as f64 / self.fleet_secs.max(1e-12)
+    }
+
+    /// Serial wall-clock divided by fleet wall-clock: what three
+    /// routed replicas bought over one serial node on the same mix.
+    pub fn fleet_vs_serial(&self) -> f64 {
+        self.serial_secs / self.fleet_secs.max(1e-12)
     }
 
     /// `true` iff the live calibration swap changed every
@@ -756,6 +840,31 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         _ => (0, false),
     };
 
+    // --- The fleet arm ----------------------------------------------------
+    // The arm-1 mix streamed through a real consistent-hash router
+    // over three in-process socket replicas. Total cache capacity
+    // matches the single-node arms (each replica owns a third), so
+    // any hit-rate loss would be a routing-locality failure, not a
+    // memory handicap. The single-node pipelined service's hit rate
+    // over the same streamed mix is the baseline.
+    const FLEET_REPLICAS: usize = 3;
+    // Effective hit rate — requests answered without a fresh policy
+    // inference. Raw hit counters are timing-dependent (a repeat that
+    // lands in the same batch as its first occurrence coalesces
+    // instead of hitting), but every *miss* is an inference, so
+    // 1 − misses/requests is the batch-boundary-invariant locality
+    // measure.
+    let effective_hit_rate = |misses: u64| 1.0 - misses as f64 / (traffic.len() as f64).max(1.0);
+    let fleet_single_hit_rate = effective_hit_rate(service.metrics().cache.misses);
+    let fleet = replay_fleet(
+        &models,
+        &traffic,
+        &serial_responses,
+        serve.batch_size,
+        settings.seed,
+        FLEET_REPLICAS,
+    );
+
     // --- The dynamic-device / live-calibration arm ------------------------
     // A runtime spec joins the built-ins in the process-wide registry,
     // and the arm-1 mix is extended with requests pinned to it. One
@@ -913,6 +1022,19 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         obs_admission_mean_us: stage_mean(Stage::Admission),
         obs_compute_mean_us: stage_mean(Stage::Compute),
         obs_profile_mean_us,
+        fleet_replicas: fleet.replicas,
+        fleet_requests: traffic.len(),
+        fleet_secs: fleet.secs,
+        fleet_identical: fleet.identical,
+        fleet_hits: fleet.hits,
+        fleet_misses: fleet.misses,
+        fleet_hit_rate: effective_hit_rate(fleet.misses),
+        fleet_single_hit_rate,
+        fleet_locality_ok: fleet.locality_ok,
+        fleet_errors: fleet.errors,
+        fleet_rerouted: fleet.rerouted,
+        fleet_round_robin: fleet.round_robin,
+        fleet_stats: fleet.stats,
         dyn_requests: dynamic_traffic.len(),
         dyn_device: DYN_DEVICE.to_string(),
         dyn_seed_tag,
@@ -965,16 +1087,7 @@ fn replay_pipelined(
     batch_size: usize,
     listen: Option<&str>,
 ) -> (Vec<Value>, f64, u16) {
-    let listener = match listen {
-        Some(addr) => TcpListener::bind(addr).unwrap_or_else(|e| {
-            eprintln!(
-                "warning: could not bind {addr} ({e}); \
-                 retrying on an ephemeral loopback port"
-            );
-            TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port")
-        }),
-        None => TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port"),
-    };
+    let listener = bind_ephemeral(listen).expect("bind ephemeral loopback port");
     let local = listener.local_addr().expect("local addr");
     let port = local.port();
     let frontend = FrontendConfig {
@@ -1036,4 +1149,213 @@ fn replay_pipelined(
         .expect("serve thread panicked")
         .expect("socket front end failed");
     (payloads, elapsed, port)
+}
+
+/// Everything the fleet arm measures in one replay.
+struct FleetOutcome {
+    replicas: usize,
+    secs: f64,
+    identical: bool,
+    errors: u64,
+    hits: u64,
+    misses: u64,
+    locality_ok: bool,
+    round_robin: u64,
+    rerouted: u64,
+    stats: Vec<FleetReplicaStat>,
+}
+
+/// Streams the traffic through a real `FleetRouter` fronting
+/// `replicas` in-process socket replicas of the same registry, each
+/// given an equal slice of the single-node cache capacity (so total
+/// capacity matches the single-node arms and the comparison isolates
+/// routing, not memory). Responses come back in per-replica order, so
+/// they are correlated with the serial baseline by request id.
+fn replay_fleet(
+    models: &[qrc_predictor::TrainedPredictor],
+    traffic: &[ServeRequest],
+    serial_responses: &[ServeResponse],
+    batch_size: usize,
+    seed: u64,
+    replicas: usize,
+) -> FleetOutcome {
+    let per_replica_cache = (ServiceConfig::default().cache_capacity / replicas).max(1);
+    let frontend = FrontendConfig {
+        batch_size: batch_size.max(1),
+        batch_wait: Duration::from_micros(500),
+        // The benchmark measures routing, not overload: size each
+        // replica's queue so nothing is ever rejected.
+        queue_capacity: traffic.len().max(16),
+        ..FrontendConfig::default()
+    };
+    let mut services = Vec::with_capacity(replicas);
+    let mut servers = Vec::with_capacity(replicas);
+    let mut flags = Vec::with_capacity(replicas);
+    let mut addrs = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let service = Arc::new(CompilationService::with_registry(
+            ModelRegistry::from_models(models.to_vec()),
+            &ServiceConfig {
+                parallel: true,
+                seed,
+                verbose: false,
+                cache_capacity: per_replica_cache,
+                ..ServiceConfig::default()
+            },
+        ));
+        let listener = bind_ephemeral(None).expect("bind replica listener");
+        addrs.push(listener.local_addr().expect("replica addr").to_string());
+        let shutdown = ShutdownFlag::new();
+        flags.push(shutdown.clone());
+        servers.push({
+            let service = Arc::clone(&service);
+            let frontend = frontend.clone();
+            std::thread::spawn(move || serve_socket(&service, listener, &frontend, &shutdown))
+        });
+        services.push(service);
+    }
+
+    let router = Arc::new(
+        FleetRouter::new(RouterConfig {
+            replicas: addrs.clone(),
+            record_routes: true,
+            ..RouterConfig::default()
+        })
+        .expect("resolve replica addresses"),
+    );
+    router.start().expect("dial the replica fleet");
+    let listener = bind_ephemeral(None).expect("bind router listener");
+    let local = listener.local_addr().expect("router addr");
+    let router_thread = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || router.run(listener))
+    };
+
+    let start = Instant::now();
+    let stream = TcpStream::connect(local).expect("connect to router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("set read timeout");
+    let writer = {
+        let mut write_half = stream.try_clone().expect("clone stream for writing");
+        let lines: Vec<String> = traffic.iter().map(ServeRequest::to_line).collect();
+        std::thread::spawn(move || {
+            for line in lines {
+                if writeln!(write_half, "{line}").is_err() {
+                    return;
+                }
+            }
+            let _ = write_half.flush();
+        })
+    };
+    let mut by_id: Vec<Option<Value>> = Vec::new();
+    by_id.resize(traffic.len(), None);
+    let mut errors = 0u64;
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream for reading"));
+    let mut line = String::new();
+    let mut received = 0usize;
+    while received < traffic.len() {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        received += 1;
+        let mut value = serde_json::from_str(line.trim_end()).expect("response line is JSON");
+        if value.get("ok").and_then(Value::as_bool) != Some(true) {
+            errors += 1;
+        }
+        if let Value::Object(pairs) = &mut value {
+            pairs.retain(|(key, _)| key != "cache" && key != "micros" && key != "rid");
+        }
+        // `synthetic_mix` ids are `req-{index}`: recover the slot.
+        let slot = value
+            .get("id")
+            .and_then(Value::as_str)
+            .and_then(|id| id.strip_prefix("req-"))
+            .and_then(|index| index.parse::<usize>().ok());
+        match slot {
+            Some(index) if index < by_id.len() && by_id[index].is_none() => {
+                by_id[index] = Some(value);
+            }
+            _ => errors += 1,
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    writer.join().expect("request writer panicked");
+
+    let identical = received == traffic.len()
+        && serial_responses.len() == traffic.len()
+        && by_id
+            .iter()
+            .zip(serial_responses.iter())
+            .all(|(got, want)| got.as_ref() == Some(&want.payload_value()));
+    let locality_ok = !router.route_log().is_empty()
+        && router
+            .route_log()
+            .iter()
+            .all(|(_, owners)| owners.len() == 1);
+    let round_robin = router.round_robin_count();
+
+    // Drain the router (replicas stay up so their metrics can be
+    // read), then stop each replica.
+    let mut control = stream;
+    let _ = control.write_all(b"{\"cmd\":\"shutdown\"}\n");
+    let _ = control.flush();
+    line.clear();
+    let _ = reader.read_line(&mut line);
+    drop(control);
+    drop(reader);
+    router_thread
+        .join()
+        .expect("router thread panicked")
+        .expect("router failed");
+
+    let counters = router.replica_counters();
+    let mut stats = Vec::with_capacity(replicas);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut rerouted = 0u64;
+    for (index, service) in services.iter().enumerate() {
+        let metrics = service.metrics();
+        errors += metrics.errors;
+        hits += metrics.cache.hits;
+        misses += metrics.cache.misses;
+        let (addr, routed, completed, re_forwarded, ejections, _healthy) = counters
+            .iter()
+            .find(|entry| entry.0 == addrs[index])
+            .cloned()
+            .unwrap_or_else(|| (addrs[index].clone(), 0, 0, 0, 0, false));
+        rerouted += re_forwarded;
+        stats.push(FleetReplicaStat {
+            addr,
+            routed,
+            completed,
+            rerouted: re_forwarded,
+            ejections,
+            hits: metrics.cache.hits,
+            misses: metrics.cache.misses,
+        });
+    }
+    for flag in &flags {
+        flag.request();
+    }
+    for server in servers {
+        server
+            .join()
+            .expect("replica thread panicked")
+            .expect("replica front end failed");
+    }
+
+    FleetOutcome {
+        replicas,
+        secs,
+        identical,
+        errors,
+        hits,
+        misses,
+        locality_ok,
+        round_robin,
+        rerouted,
+        stats,
+    }
 }

@@ -74,12 +74,12 @@
 //! `{"cmd":"calibrate","device":NAME,"calibration":SPEC}` hot-swaps
 //! one device's calibration data (selectively invalidating that
 //! device's fidelity-keyed cache entries), and `{"cmd":"shutdown"}`
-//! (or SIGTERM in socket mode, or EOF on stdin) drains in-flight
-//! batches and exits cleanly. See the crate docs for the field
-//! reference.
+//! (or SIGTERM in any mode, or EOF on stdin) drains in-flight
+//! batches and exits cleanly — a TERM-initiated drain answers
+//! everything already read and exits 0. See the crate docs for the
+//! field reference.
 
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -226,21 +226,17 @@ fn main() {
     }
 
     let shutdown = ShutdownFlag::new();
-    if listen.is_some() {
-        // Socket mode polls the flag everywhere (nonblocking accept,
-        // read timeouts), so SIGTERM can drain gracefully. Installed
-        // *before* the (possibly minutes-long) model startup: a TERM
-        // during training used to hit the default disposition and kill
-        // the process with exit 143, which orchestrators read as a
-        // failed shutdown. Now it marks the flag, startup completes,
-        // and the front end drains immediately and exits 0.
-        //
-        // Stdin mode keeps the default disposition: its reader blocks
-        // in an uninterruptible stdin read, where a trapped-but-
-        // unobserved SIGTERM would hang the process instead of
-        // terminating it.
-        install_sigterm_bridge(&shutdown);
-    }
+    // Every front end drains on SIGTERM now. Socket mode polls the
+    // flag everywhere (nonblocking accept, read timeouts); the stdin
+    // modes observe it from their drain side, which answers and
+    // flushes everything already read and then returns without waiting
+    // on a reader that SA_RESTART keeps parked in a blocking stdin
+    // read. Installed *before* the (possibly minutes-long) model
+    // startup: a TERM during training used to hit the default
+    // disposition and kill the process with exit 143, which
+    // orchestrators read as a failed shutdown. Now it marks the flag,
+    // startup completes, and the front end drains and exits 0.
+    qrc_serve::install_sigterm_bridge(&shutdown);
 
     // Dynamic device specs load before the service starts: a snapshot
     // warm-load must already know every device its entries name, and
@@ -405,7 +401,7 @@ fn main() {
             }
             qrc_serve::serve_socket(&service, listener, &frontend, &shutdown)
         }
-        None if blocking => serve_stdin_blocking(&service, blocking_batch),
+        None if blocking => serve_stdin_blocking(&service, blocking_batch, &shutdown),
         None => qrc_serve::serve_stdin(&service, &frontend, &shutdown),
     };
 
@@ -476,8 +472,28 @@ fn main() {
 /// them (plain `BufRead::lines`), so unlike the pipelined front ends
 /// this path buffers an oversized line in memory first — acceptable
 /// for its trusted-operator-pipe use, not for network input.
-fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std::io::Result<()> {
-    let stdin = std::io::stdin();
+///
+/// Lines arrive through a channel fed by a reader thread so the loop
+/// can observe an out-of-band shutdown (the SIGTERM bridge) between
+/// reads: a TERM-initiated drain answers and flushes everything read,
+/// then returns cleanly — exit 0, not 143 — while the reader may stay
+/// parked in a blocking stdin read until the process exits.
+fn serve_stdin_blocking(
+    service: &CompilationService,
+    batch_size: usize,
+    shutdown: &ShutdownFlag,
+) -> std::io::Result<()> {
+    let (line_tx, line_rx) =
+        std::sync::mpsc::sync_channel::<std::io::Result<String>>(batch_size.max(1));
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let broken = line.is_err();
+            if line_tx.send(line).is_err() || broken {
+                return;
+            }
+        }
+    });
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut pending: Vec<String> = Vec::with_capacity(batch_size);
@@ -492,16 +508,26 @@ fn serve_stdin_blocking(service: &CompilationService, batch_size: usize) -> std:
         pending.clear();
     };
     let mut read_error: Option<std::io::Error> = None;
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
+    loop {
+        let line = match line_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => {
                 // A broken input stream (e.g. invalid UTF-8) kills the
                 // session: answer what we have, report the error so
                 // main exits nonzero — the caller must learn that
                 // responses are missing.
                 read_error = Some(e);
                 break;
+            }
+            // EOF: the reader thread finished and dropped its sender.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Quiet stdin: the moment a TERM-initiated drain can
+                // finish — everything read is answered below.
+                if shutdown.is_requested() {
+                    break;
+                }
+                continue;
             }
         };
         if line.trim().is_empty() {
@@ -603,34 +629,3 @@ fn parse_into<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, 
         Err(e) => usage_error(&e, USAGE),
     }
 }
-
-/// SIGTERM → graceful drain. Signal handlers may only touch atomics,
-/// so the handler sets a process-global flag and a watcher thread
-/// forwards it to the front end's [`ShutdownFlag`].
-static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
-
-extern "C" fn on_sigterm(_signum: i32) {
-    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
-}
-
-#[cfg(unix)]
-fn install_sigterm_bridge(shutdown: &ShutdownFlag) {
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, on_sigterm);
-    }
-    let shutdown = shutdown.clone();
-    std::thread::spawn(move || loop {
-        if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
-            shutdown.request();
-            return;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(50));
-    });
-}
-
-#[cfg(not(unix))]
-fn install_sigterm_bridge(_shutdown: &ShutdownFlag) {}

@@ -1,0 +1,157 @@
+//! The `qrc-lb` binary: a consistent-hash load balancer fronting a
+//! fleet of `qrc-serve --listen` replicas.
+//!
+//! ```text
+//! cargo run --release -p qrc-serve --bin qrc-lb -- [flags]
+//!
+//! flags:
+//!   --replica ADDR      a qrc-serve replica (host:port); repeatable,
+//!                       at least one required
+//!   --listen ADDR       client-facing NDJSON/TCP address (default
+//!                       127.0.0.1:0 — the chosen port is printed to
+//!                       stderr); busy addresses fall back to an
+//!                       ephemeral loopback port
+//!   --vnodes N          virtual nodes per replica on the hash ring
+//!                       (default 64)
+//!   --window N          most in-flight requests per replica; keep at
+//!                       or below the replicas' --queue capacity
+//!                       (default 64)
+//!   --connect-timeout-ms N   replica dial timeout       (default 2000)
+//!   --control-timeout-ms N   control fan-out read timeout (default 60000)
+//!   --reconnect-ms N    re-admission probe interval     (default 250)
+//!   --max-line-bytes N  reject client lines longer than N bytes
+//!                       (default 1048576)
+//!   --snapshot-on-drain fan {"cmd":"snapshot"} to every replica when
+//!                       the router drains, so replicas rejoin warm
+//!                       via --warm-cache
+//!   --drain-replicas    also fan {"cmd":"shutdown"} on drain, taking
+//!                       the fleet down with the router
+//!   --stats             print the merged fleet stats JSON to stderr
+//!                       at exit (live: send {"cmd":"stats"})
+//! ```
+//!
+//! Protocol: identical to `qrc-serve` — clients need no changes.
+//! Compilation requests are consistently hashed (circuit structural
+//! hash × shard tag) onto the replica ring; `{"cmd":"stats"}` and
+//! `{"cmd":"metrics"}` fan out to every replica and come back merged
+//! (counters summed, per-replica blocks nested under `fleet` /
+//! `replicas`); `{"cmd":"snapshot"}`, `{"cmd":"reload"}`, and
+//! `{"cmd":"calibrate"}` fan out and nest each replica's reply;
+//! `{"cmd":"shutdown"}` (or SIGTERM) drains the router. A replica
+//! that dies mid-stream is ejected from the ring and its in-flight
+//! requests are re-routed to the ring successors — rerouted, not
+//! dropped; a background probe re-admits it (onto exactly its old
+//! arcs) when it answers again.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrc_serve::cliargs::{flag_value, usage_error};
+use qrc_serve::{bind_ephemeral, install_sigterm_bridge, FleetRouter, RouterConfig};
+
+const USAGE: &str = "usage: qrc-lb --replica ADDR [--replica ADDR]... [--listen ADDR] \
+                     [--vnodes N] [--window N] [--connect-timeout-ms N] \
+                     [--control-timeout-ms N] [--reconnect-ms N] [--max-line-bytes N] \
+                     [--snapshot-on-drain] [--drain-replicas] [--stats]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RouterConfig::default();
+    let mut listen: Option<String> = None;
+    let mut print_stats = false;
+    let mut connect_timeout_ms: u64 = 2_000;
+    let mut control_timeout_ms: u64 = 60_000;
+    let mut reconnect_ms: u64 = 250;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--replica" => match flag_value::<String>(&args, &mut i, "replica") {
+                Ok(addr) => config.replicas.push(addr),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--listen" => match flag_value::<String>(&args, &mut i, "listen") {
+                Ok(addr) => listen = Some(addr),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--vnodes" => parse_into(&args, &mut i, "vnodes", &mut config.vnodes),
+            "--window" => parse_into(&args, &mut i, "window", &mut config.window),
+            "--connect-timeout-ms" => {
+                parse_into(&args, &mut i, "connect-timeout-ms", &mut connect_timeout_ms)
+            }
+            "--control-timeout-ms" => {
+                parse_into(&args, &mut i, "control-timeout-ms", &mut control_timeout_ms)
+            }
+            "--reconnect-ms" => parse_into(&args, &mut i, "reconnect-ms", &mut reconnect_ms),
+            "--max-line-bytes" => {
+                parse_into(&args, &mut i, "max-line-bytes", &mut config.max_line_bytes)
+            }
+            "--snapshot-on-drain" => config.snapshot_on_drain = true,
+            "--drain-replicas" => config.drain_replicas = true,
+            "--stats" => print_stats = true,
+            other => usage_error(&format!("unknown flag `{other}`"), USAGE),
+        }
+        i += 1;
+    }
+    if config.replicas.is_empty() {
+        usage_error("at least one --replica is required", USAGE);
+    }
+    if config.vnodes == 0 {
+        usage_error("--vnodes must be at least 1", USAGE);
+    }
+    if config.window == 0 {
+        usage_error("--window must be at least 1", USAGE);
+    }
+    config.connect_timeout = Duration::from_millis(connect_timeout_ms.max(1));
+    config.control_timeout = Duration::from_millis(control_timeout_ms.max(1));
+    config.reconnect_wait = Duration::from_millis(reconnect_ms.max(1));
+
+    let router = match FleetRouter::new(config) {
+        Ok(router) => Arc::new(router),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    // SIGTERM drains exactly like {"cmd":"shutdown"} — installed
+    // before the replica dials so a TERM during a slow fleet startup
+    // still exits cleanly.
+    install_sigterm_bridge(&router.shutdown_flag());
+    if let Err(e) = router.start() {
+        eprintln!("error: could not reach the fleet: {e}");
+        std::process::exit(1);
+    }
+    let listener = match bind_ephemeral(listen.as_deref()) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: could not bind a client listener: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Always printed: with an ephemeral port this is the only way to
+    // learn the address clients should dial.
+    match listener.local_addr() {
+        Ok(local) => eprintln!("qrc-lb listening on {local}"),
+        Err(_) => eprintln!("qrc-lb listening"),
+    }
+    let served = router.run(listener);
+    if print_stats {
+        eprintln!("{}", serde_json::to_string_pretty(&router.merged_stats()));
+    }
+    if let Err(e) = served {
+        eprintln!("error: router ended early: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Parses the flag's value into `slot`, exiting with a usage error on
+/// missing or malformed input.
+fn parse_into<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, slot: &mut T) {
+    match flag_value(args, i, flag) {
+        Ok(v) => *slot = v,
+        Err(e) => usage_error(&e, USAGE),
+    }
+}

@@ -31,7 +31,13 @@
 //!   while the scheduler drains batches, so I/O overlaps compute;
 //!   with request size/width limits, batch-collection timeouts,
 //!   back-pressure rejections, live `{"cmd":"stats"}`, and graceful
-//!   `{"cmd":"shutdown"}`/SIGTERM/EOF draining.
+//!   `{"cmd":"shutdown"}`/SIGTERM/EOF draining,
+//! * [`ring`] + [`router`] — horizontal scale-out: the `qrc-lb`
+//!   consistent-hash router fronts N socket replicas, routing each
+//!   request's `structural_hash` (mixed with its shard tag) onto a
+//!   virtual-node hash ring so every replica's cache owns a disjoint
+//!   slice of the workload; ejected replicas spill their arcs to ring
+//!   successors and rejoin warm.
 //!
 //! # Protocol
 //!
@@ -83,6 +89,8 @@ pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
+pub mod ring;
+pub mod router;
 pub mod scheduler;
 pub mod service;
 pub mod shard;
@@ -90,7 +98,9 @@ pub mod traffic;
 
 pub use cache::{device_seed_tag, CacheKey, CacheStats, ResultCache};
 pub use http::serve_metrics_http;
-pub use listener::{serve_socket, serve_stdin, FrontendConfig, ShutdownFlag};
+pub use listener::{
+    bind_ephemeral, install_sigterm_bridge, serve_socket, serve_stdin, FrontendConfig, ShutdownFlag,
+};
 pub use metrics::{
     percentile_us, MetricsSnapshot, RouteCounts, ServeMetrics, ShardCounterSnapshot, ShardCounters,
     Stage,
@@ -105,6 +115,8 @@ pub use protocol::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{CheckpointIdentity, ModelRegistry, ReloadReport, RoutedShard};
+pub use ring::{mix_key, splitmix64, HashRing};
+pub use router::{FleetRouter, RouterConfig};
 pub use scheduler::{BatchOptions, BatchReport, InferenceMode, MissModeCounts};
 pub use service::{
     CompilationService, QueuedLine, ReplayWarmup, ServiceConfig, SnapshotWarmup, SnapshotWritten,

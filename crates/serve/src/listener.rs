@@ -21,10 +21,12 @@
 //! selectively invalidates that device's fidelity-keyed cache entries,
 //! and `{"cmd":"shutdown"}` begins a graceful drain — no new requests are
 //! admitted, in-flight batches complete, every accepted request is
-//! answered, then the serve call returns. Control replies and
-//! back-pressure rejections are written as soon as they are produced,
-//! so they may overtake compile responses that are still queued;
-//! clients correlate by `id`.
+//! answered, then the serve call returns. On the socket transport,
+//! control replies and back-pressure rejections are written as soon as
+//! they are produced, so they may overtake compile responses that are
+//! still queued; clients correlate by `id`. The stdin transport routes
+//! inline replies through the request queue instead, so its responses
+//! come back in stream order.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -101,32 +103,21 @@ impl Drop for ReaderGuard<'_> {
     }
 }
 
-/// Routes response lines back to one client through a *bounded*
-/// channel, so a client that stops reading cannot grow server memory
-/// without limit.
+/// Routes response lines back to one socket client through a
+/// *bounded* channel: if the client's reply window fills (it streams
+/// requests but never reads responses), the connection is severed
+/// instead of buffering unboundedly; the reader then sees EOF and the
+/// writer drains what it already holds.
 #[derive(Clone)]
-enum ReplySink {
-    /// stdin/stdout: block until the writer catches up — lossless, and
-    /// the operator's pipe provides end-to-end back-pressure.
-    Blocking(mpsc::SyncSender<String>),
-    /// Socket: if the client's reply window fills (it streams requests
-    /// but never reads responses), sever the connection instead of
-    /// buffering unboundedly; the reader then sees EOF and the writer
-    /// drains what it already holds.
-    Disconnecting(mpsc::SyncSender<String>, Arc<TcpStream>),
+struct ReplySink {
+    tx: mpsc::SyncSender<String>,
+    stream: Arc<TcpStream>,
 }
 
 impl ReplySink {
     fn send(&self, line: String) {
-        match self {
-            ReplySink::Blocking(tx) => {
-                let _ = tx.send(line);
-            }
-            ReplySink::Disconnecting(tx, stream) => {
-                if tx.try_send(line).is_err() {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                }
-            }
+        if self.tx.try_send(line).is_err() {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
@@ -221,11 +212,29 @@ pub fn serve_socket(
     Ok(())
 }
 
+/// One unit the stdin pipeline hands from the reader to the drain
+/// loop, in arrival order: a request to schedule, or a reply the
+/// reader already produced inline (control line, parse error,
+/// oversized line). Routing inline replies through the queue keeps
+/// stdin responses in stream order and leaves stdout owned by a single
+/// thread — the drain loop — so a TERM-initiated drain flushes
+/// everything it answered before returning, without having to join a
+/// reader that is parked in an uninterruptible blocking stdin read.
+enum StdinItem {
+    /// A compilation request bound for the scheduler.
+    Request { line: String, arrival: Instant },
+    /// A reply the reader produced inline, already rendered.
+    Answered(String),
+}
+
 /// Serves NDJSON on stdin/stdout through the same pipelined queue: a
 /// reader thread pulls lines (blocking on back-pressure rather than
 /// rejecting) while the scheduler compiles the previous batch. Returns
 /// after EOF or `{"cmd":"shutdown"}`, once every read request is
-/// answered.
+/// answered — or, when `shutdown` is requested out-of-band (the
+/// SIGTERM bridge), once everything already read has been answered and
+/// flushed, even though the reader may still be parked in a blocking
+/// stdin read that no signal will interrupt.
 ///
 /// # Errors
 ///
@@ -239,13 +248,6 @@ pub fn serve_stdin(
 ) -> std::io::Result<()> {
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
     install_queue_probe(service, &queue);
-    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(1));
-    let reply = ReplySink::Blocking(reply_tx);
-
-    let writer = std::thread::spawn(move || {
-        let mut out = std::io::stdout().lock();
-        write_loop(&mut out, &reply_rx);
-    });
 
     let reader = {
         let service = Arc::clone(service);
@@ -268,7 +270,10 @@ pub fn serve_stdin(
                     Ok(ReadLine::TooLong(bytes)) => {
                         let response = oversized_response(bytes, config.max_line_bytes);
                         service.record(&response);
-                        reply.send(log_reply(&config, 0, &response));
+                        let answer = log_reply(&config, 0, &response);
+                        if queue.push_wait(StdinItem::Answered(answer)).is_err() {
+                            break;
+                        }
                     }
                     Ok(ReadLine::Line(line)) => {
                         if line.trim().is_empty() {
@@ -276,21 +281,19 @@ pub fn serve_stdin(
                         }
                         match triage(&service, &line, &shutdown, 0, &config) {
                             Triage::Handled(answer) => {
-                                reply.send(answer);
-                                if shutdown.is_requested() {
+                                let stop = shutdown.is_requested();
+                                if queue.push_wait(StdinItem::Answered(answer)).is_err() || stop {
                                     break;
                                 }
                             }
                             Triage::Schedule => {
-                                let envelope = Envelope {
+                                let item = StdinItem::Request {
                                     line,
                                     arrival: Instant::now(),
-                                    reply: reply.clone(),
-                                    conn: 0,
                                 };
                                 // Lossless: stdin lines block on a full
                                 // queue instead of being rejected.
-                                if queue.push_wait(envelope).is_err() {
+                                if queue.push_wait(item).is_err() {
                                     break;
                                 }
                             }
@@ -299,7 +302,6 @@ pub fn serve_stdin(
                 }
             }
             queue.close();
-            drop(reply);
             match read_error {
                 Some(e) => Err(e),
                 None => Ok(()),
@@ -307,10 +309,94 @@ pub fn serve_stdin(
         })
     };
 
-    drain_queue(service, &queue, config);
-    let read_result = reader.join().expect("stdin reader panicked");
-    writer.join().expect("stdout writer panicked");
-    read_result
+    // The drain loop owns stdout. Between batches it wakes on an idle
+    // bound so an out-of-band shutdown (SIGTERM) is observed even while
+    // the reader is parked in a blocking stdin read.
+    let mut out = std::io::stdout().lock();
+    let mut idle_rounds = 0u32;
+    loop {
+        match queue.pop_batch_or_idle(
+            config.batch_size,
+            config.batch_wait,
+            Duration::from_millis(50),
+        ) {
+            // Closed and drained: the reader finished (EOF, shutdown
+            // command, or broken stream).
+            None => break,
+            Some((batch, _)) if batch.is_empty() => {
+                if shutdown.is_requested() {
+                    // Two consecutive idle polls after the flag: the
+                    // reader is either parked or about to observe the
+                    // flag, and everything it read has been answered.
+                    idle_rounds += 1;
+                    if idle_rounds >= 2 {
+                        break;
+                    }
+                }
+                continue;
+            }
+            Some((batch, assembly)) => {
+                idle_rounds = 0;
+                service.record_stage(
+                    crate::metrics::Stage::BatchAssembly,
+                    assembly.as_micros() as u64,
+                );
+                // Split in arrival order: schedule the requests, then
+                // interleave their responses back between the inline
+                // replies so the output stream mirrors the input.
+                let mut slots: Vec<Option<String>> = Vec::with_capacity(batch.len());
+                let mut items = Vec::new();
+                for item in batch {
+                    match item {
+                        StdinItem::Answered(answer) => slots.push(Some(answer)),
+                        StdinItem::Request { line, arrival } => {
+                            items.push(QueuedLine {
+                                line,
+                                queue_us: arrival.elapsed().as_micros() as u64,
+                            });
+                            slots.push(None);
+                        }
+                    }
+                }
+                let responses = service.handle_queued(&items);
+                let mut next = responses.iter();
+                for slot in slots {
+                    match slot {
+                        Some(answer) => {
+                            let _ = writeln!(out, "{answer}");
+                        }
+                        None => {
+                            if let Some(response) = next.next() {
+                                if config.log_requests {
+                                    eprintln!("{}", request_log_line(0, response));
+                                }
+                                let _ = writeln!(out, "{}", response.to_line());
+                            }
+                        }
+                    }
+                }
+                let _ = out.flush();
+            }
+        }
+    }
+    let _ = out.flush();
+
+    // EOF / shutdown-command / broken-stream drains end with the reader
+    // closing the queue and finishing: join it for the read error. A
+    // TERM-initiated drain instead leaves it parked in a blocking stdin
+    // read (SA_RESTART keeps the syscall alive through the signal) —
+    // poll briefly, then return without joining: everything read was
+    // answered and flushed above, and process exit reclaims the thread.
+    if !shutdown.is_requested() {
+        return reader.join().expect("stdin reader panicked");
+    }
+    for _ in 0..50 {
+        if reader.is_finished() {
+            return reader.join().expect("stdin reader panicked");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
 }
 
 /// The scheduler half of the pipeline: pops batches off the queue
@@ -352,10 +438,68 @@ fn drain_queue(
 /// Hands the service a live view of this front end's request queue:
 /// `{"cmd":"stats"}` and the Prometheus rendering report its depth as
 /// a gauge.
-fn install_queue_probe(service: &Arc<CompilationService>, queue: &Arc<BoundedQueue<Envelope>>) {
+fn install_queue_probe<T: Send + 'static>(
+    service: &Arc<CompilationService>,
+    queue: &Arc<BoundedQueue<T>>,
+) {
     let probe_queue = Arc::clone(queue);
     service.install_queue_probe(Box::new(move || probe_queue.len() as u64));
 }
+
+/// Binds `preferred` when given, falling back to an ephemeral loopback
+/// port (with a warning) when that address is busy or unbindable; with
+/// no preference it binds an ephemeral loopback port directly. Shared
+/// by the bench harness's pipelined arm and the router/replica test
+/// fixtures, which all want "the requested port if free, any free
+/// port otherwise".
+///
+/// # Errors
+///
+/// Returns the I/O error if even the ephemeral fallback bind fails.
+pub fn bind_ephemeral(preferred: Option<&str>) -> std::io::Result<TcpListener> {
+    if let Some(addr) = preferred {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => eprintln!(
+                "warning: could not bind {addr} ({e}); retrying on an ephemeral loopback port"
+            ),
+        }
+    }
+    TcpListener::bind("127.0.0.1:0")
+}
+
+/// SIGTERM → graceful drain. Signal handlers may only touch atomics,
+/// so the handler sets a process-global flag and a watcher thread
+/// forwards it to the front end's [`ShutdownFlag`]. Install before
+/// any (possibly minutes-long) model startup: a TERM during training
+/// marks the flag, startup completes, and the front end drains
+/// immediately and exits cleanly instead of dying with exit 143.
+#[cfg(unix)]
+pub fn install_sigterm_bridge(shutdown: &ShutdownFlag) {
+    static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    let shutdown = shutdown.clone();
+    std::thread::spawn(move || loop {
+        if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+            shutdown.request();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+/// SIGTERM → graceful drain (no-op off Unix: no SIGTERM to bridge).
+#[cfg(not(unix))]
+pub fn install_sigterm_bridge(_shutdown: &ShutdownFlag) {}
 
 /// How the front end disposed of one inbound line before scheduling.
 enum Triage {
@@ -464,7 +608,10 @@ fn handle_connection(
     // above the kernel's own socket buffering, so only a client that
     // has genuinely stopped reading can fill it.
     let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(256));
-    let reply = ReplySink::Disconnecting(reply_tx, disconnect_handle);
+    let reply = ReplySink {
+        tx: reply_tx,
+        stream: disconnect_handle,
+    };
     let writer = std::thread::spawn(move || {
         let mut out = BufWriter::new(write_half);
         write_loop(&mut out, &reply_rx);
@@ -526,7 +673,7 @@ fn handle_connection(
 
 /// Writes reply lines as they arrive, coalescing bursts into one
 /// flush. Exits when every sender is gone or the sink breaks.
-fn write_loop<W: Write>(out: &mut W, replies: &mpsc::Receiver<String>) {
+pub(crate) fn write_loop<W: Write>(out: &mut W, replies: &mpsc::Receiver<String>) {
     while let Ok(line) = replies.recv() {
         if writeln!(out, "{line}").is_err() {
             return;
@@ -544,7 +691,7 @@ fn write_loop<W: Write>(out: &mut W, replies: &mpsc::Receiver<String>) {
 }
 
 /// One bounded line read.
-enum ReadLine {
+pub(crate) enum ReadLine {
     /// The stream ended.
     Eof,
     /// A line exceeded the byte limit (its length so far; the rest of
@@ -558,7 +705,7 @@ enum ReadLine {
 /// buffering more than the limit. Read timeouts poll the shutdown
 /// flag (a requested shutdown reads as EOF), so blocked socket reads
 /// wake up to drain.
-fn read_bounded_line<R: BufRead>(
+pub(crate) fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     max: usize,
     shutdown: &ShutdownFlag,

@@ -139,14 +139,55 @@ impl<T> BoundedQueue<T> {
         max: usize,
         collect_window: Duration,
     ) -> Option<(Vec<T>, Duration)> {
+        self.pop_batch_bounded(max, collect_window, None)
+    }
+
+    /// [`BoundedQueue::pop_batch_timed`] with the phase-1 block bounded
+    /// by `idle`: if no item arrives within it, an *empty* batch is
+    /// returned so the consumer can poll an out-of-band signal (e.g. a
+    /// shutdown flag whose producer is parked in an uninterruptible
+    /// read) between quiet stretches. `None` still means closed and
+    /// drained.
+    pub fn pop_batch_or_idle(
+        &self,
+        max: usize,
+        collect_window: Duration,
+        idle: Duration,
+    ) -> Option<(Vec<T>, Duration)> {
+        self.pop_batch_bounded(max, collect_window, Some(idle))
+    }
+
+    fn pop_batch_bounded(
+        &self,
+        max: usize,
+        collect_window: Duration,
+        idle: Option<Duration>,
+    ) -> Option<(Vec<T>, Duration)> {
         let max = max.max(1);
         let mut state = self.lock();
-        // Phase 1: block for the first item (or closure).
+        // Phase 1: block for the first item (or closure; or, when an
+        // idle bound is given, its expiry).
+        let idle_deadline = idle.map(|d| Instant::now() + d);
         while state.items.is_empty() {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            match idle_deadline {
+                None => {
+                    state = self.not_empty.wait(state).expect("queue lock poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Some((Vec::new(), Duration::ZERO));
+                    }
+                    let (next, _) = self
+                        .not_empty
+                        .wait_timeout(state, deadline - now)
+                        .expect("queue lock poisoned");
+                    state = next;
+                }
+            }
         }
         let assembly_start = Instant::now();
         let mut batch = Vec::with_capacity(max.min(state.items.len()));
@@ -270,6 +311,27 @@ mod tests {
         let (batch, linger) = q.pop_batch_timed(2, Duration::from_millis(30)).unwrap();
         assert_eq!(batch, vec![3]);
         assert!(linger >= Duration::from_millis(30), "{linger:?}");
+    }
+
+    #[test]
+    fn pop_batch_or_idle_polls_through_quiet_stretches() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        // Quiet queue: the idle bound returns an empty batch instead of
+        // blocking forever.
+        let (batch, _) = q
+            .pop_batch_or_idle(4, NO_WAIT, Duration::from_millis(10))
+            .unwrap();
+        assert!(batch.is_empty());
+        q.try_push(9).unwrap();
+        let (batch, _) = q
+            .pop_batch_or_idle(4, NO_WAIT, Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(batch, vec![9]);
+        q.close();
+        assert_eq!(
+            q.pop_batch_or_idle(4, NO_WAIT, Duration::from_millis(10)),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! A consistent-hash ring with virtual nodes: the routing core of the
+//! `qrc-lb` fleet router.
+//!
+//! Each replica is inserted as `vnodes` points on a 64-bit ring, every
+//! point the hash of `(replica label, vnode index)`. A request's
+//! routing key — its circuit `structural_hash` mixed with the resolved
+//! shard tag via [`mix_key`] — routes to the first point at or after
+//! it (wrapping), so the key space is carved into arcs owned by
+//! replicas. Virtual nodes keep the arcs statistically balanced, and
+//! removing a replica hands exactly its arcs to their ring successors:
+//! every other key keeps its owner (the minimal-disruption property
+//! that makes per-replica caches worth warming).
+//!
+//! The ring is plain data — no I/O, no locking — so the router wraps
+//! it in whatever synchronization its health tracking needs, and tests
+//! can drive membership churn directly.
+
+/// The 64-bit finalizer from splitmix64: a cheap, well-dispersed
+/// avalanche over the whole word. Used both to place vnode points and
+/// to mix routing keys, so short labels and low-entropy tags still
+/// spread across the ring.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string — the same family the circuit
+/// `structural_hash` builds on, kept dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Mixes a circuit's `structural_hash` with its resolved shard tag
+/// into one routing key. The tag rides along so shard-affine traffic
+/// (e.g. a `fidelity/ionq/*` specialist's slice) colocates: the same
+/// circuit compiled under two objectives is two cache entries, and
+/// routing them to the same replica as their shard-mates keeps each
+/// replica's cache a coherent slice of the workload.
+pub fn mix_key(structural_hash: u64, shard_tag: u64) -> u64 {
+    splitmix64(structural_hash ^ splitmix64(shard_tag))
+}
+
+/// A consistent-hash ring over small-integer member ids (the router's
+/// replica indices), each expanded into virtual-node points.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    /// Sorted `(point hash, member)` pairs — binary-searched per route.
+    points: Vec<(u64, usize)>,
+    /// Live members and the labels their points were derived from.
+    members: Vec<(usize, String)>,
+}
+
+impl HashRing {
+    /// An empty ring placing `vnodes` points per member (minimum 1).
+    pub fn new(vnodes: usize) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Inserts `member` with `label` (idempotent: re-inserting an
+    /// existing member is a no-op). Point placement depends only on
+    /// the label and vnode index, so a member that leaves and rejoins
+    /// reclaims exactly the arcs it owned before.
+    pub fn insert(&mut self, member: usize, label: &str) {
+        if self.contains(member) {
+            return;
+        }
+        self.members.push((member, label.to_string()));
+        let seed = fnv1a(label.as_bytes());
+        for vnode in 0..self.vnodes {
+            let point = splitmix64(seed ^ splitmix64(vnode as u64 + 1));
+            self.points.push((point, member));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes `member`; its arcs fall to their ring successors while
+    /// every other key keeps its owner.
+    pub fn remove(&mut self, member: usize) {
+        self.members.retain(|(m, _)| *m != member);
+        self.points.retain(|(_, m)| *m != member);
+    }
+
+    /// Returns `true` while `member` is on the ring.
+    pub fn contains(&self, member: usize) -> bool {
+        self.members.iter().any(|(m, _)| *m == member)
+    }
+
+    /// Live member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when no members remain.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Live member ids, in insertion order.
+    pub fn members(&self) -> Vec<usize> {
+        self.members.iter().map(|(m, _)| *m).collect()
+    }
+
+    /// Routes a key to the owner of the first point at or after it,
+    /// wrapping past the top of the ring. `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|(point, _)| *point < key);
+        let (_, member) = self.points[at % self.points.len()];
+        Some(member)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(labels: &[&str], vnodes: usize) -> HashRing {
+        let mut ring = HashRing::new(vnodes);
+        for (i, label) in labels.iter().enumerate() {
+            ring.insert(i, label);
+        }
+        ring
+    }
+
+    #[test]
+    fn routes_deterministically_and_wraps() {
+        let ring = ring_of(&["a:1", "b:2", "c:3"], 16);
+        for key in [0u64, 1, u64::MAX, 0x1234_5678_9abc_def0] {
+            let first = ring.route(key).unwrap();
+            assert_eq!(ring.route(key).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+    }
+
+    #[test]
+    fn removal_moves_only_the_removed_members_keys() {
+        let mut ring = ring_of(&["a:1", "b:2", "c:3"], 64);
+        let keys: Vec<u64> = (0..512u64).map(splitmix64).collect();
+        let before: Vec<usize> = keys.iter().map(|&k| ring.route(k).unwrap()).collect();
+        ring.remove(1);
+        for (&key, &owner) in keys.iter().zip(&before) {
+            let now = ring.route(key).unwrap();
+            if owner != 1 {
+                assert_eq!(now, owner, "key {key:#x} moved off a surviving replica");
+            } else {
+                assert_ne!(now, 1, "key {key:#x} still routes to the removed replica");
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_reclaims_the_same_arcs() {
+        let mut ring = ring_of(&["a:1", "b:2", "c:3"], 64);
+        let keys: Vec<u64> = (0..256u64).map(splitmix64).collect();
+        let before: Vec<usize> = keys.iter().map(|&k| ring.route(k).unwrap()).collect();
+        ring.remove(2);
+        ring.insert(2, "c:3");
+        let after: Vec<usize> = keys.iter().map(|&k| ring.route(k).unwrap()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut ring = ring_of(&["a:1"], 32);
+        ring.insert(0, "a:1");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.members(), vec![0]);
+    }
+
+    #[test]
+    fn mix_key_separates_tags() {
+        // The same circuit under two shard tags must produce distinct
+        // routing keys (two cache entries, possibly two owners).
+        let hash = 0xdead_beef_cafe_f00d;
+        assert_ne!(mix_key(hash, 0), mix_key(hash, 1));
+    }
+}

@@ -1,0 +1,1209 @@
+//! The fleet router behind `qrc-lb`: consistent-hash request routing
+//! over N `qrc-serve --listen` replicas.
+//!
+//! One [`FleetRouter`] fronts a fleet of NDJSON/TCP replicas. Each
+//! compilation request is parsed just far enough to extract a routing
+//! key — the circuit's `structural_hash` mixed with its resolved
+//! [`ShardKey`] tag via [`crate::ring::mix_key`] — and consistently
+//! hashed onto a [`HashRing`] of replicas with virtual nodes, so every
+//! replica's LRU cache owns a disjoint slice of the repeated workload
+//! and aggregate cache capacity scales linearly with replica count.
+//! Lines that cannot yield a key (malformed requests, unparsable QASM)
+//! fall back to round-robin and are still forwarded, so the replica
+//! produces the byte-identical error payload a single-node deployment
+//! would.
+//!
+//! Per replica the router keeps one persistent data connection with a
+//! bounded in-flight window. The window is the router's overload
+//! contract: sized at or below the replica's queue capacity it cannot
+//! trigger `overloaded` rejections, and because the replica answers
+//! scheduled requests in FIFO order per connection, responses are
+//! matched to forwarded requests positionally — only an `overloaded`
+//! rejection (possible when other clients share the replica) can
+//! overtake, and those are matched by echoed `id` and passed through.
+//! Control lines are never forwarded on the data connection: `stats` /
+//! `metrics` / `snapshot` fan out over dedicated short-lived
+//! connections so control replies cannot desynchronize the FIFO.
+//!
+//! Health: a connect failure, EOF, or I/O error ejects the replica
+//! from the ring, and every request still in its window is re-routed
+//! to the ring successors of its keys — rerouted, not dropped. A
+//! background reconnector re-admits the replica (and exactly its old
+//! arcs, see [`HashRing`]) once it answers again. On drain the router
+//! can fan `{"cmd":"snapshot"}` out so replicas persist their cache
+//! slice and rejoin warm via `--warm-cache`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::listener::{read_bounded_line, write_loop, ReadLine, ShutdownFlag};
+use crate::protocol::{ControlRequest, InboundLine, ServeRequest, ServeResponse, OVERLOADED_ERROR};
+use crate::ring::{mix_key, HashRing};
+use crate::shard::ShardKey;
+
+/// Tuning of the fleet router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Replica addresses (`host:port`), the fleet membership.
+    pub replicas: Vec<String>,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: usize,
+    /// Most in-flight requests per replica connection. Keep at or
+    /// below the replica's `--queue` capacity so the router itself can
+    /// never trigger an `overloaded` rejection.
+    pub window: usize,
+    /// Dial timeout for replica connections (data and control).
+    pub connect_timeout: Duration,
+    /// Read timeout for control fan-out replies (stats can sit behind
+    /// an in-flight batch).
+    pub control_timeout: Duration,
+    /// How long the reconnector sleeps between re-admission probes of
+    /// an ejected replica.
+    pub reconnect_wait: Duration,
+    /// Reject client lines longer than this many bytes.
+    pub max_line_bytes: usize,
+    /// Fan `{"cmd":"snapshot"}` out to every live replica when the
+    /// router drains, so replicas rejoin warm via `--warm-cache`.
+    pub snapshot_on_drain: bool,
+    /// Also fan `{"cmd":"shutdown"}` out on drain, taking the fleet
+    /// down with the router.
+    pub drain_replicas: bool,
+    /// Record which replica every routed key landed on (the locality
+    /// log the bench harness audits); costs a map insert per request.
+    pub record_routes: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: Vec::new(),
+            vnodes: 64,
+            window: 64,
+            connect_timeout: Duration::from_secs(2),
+            control_timeout: Duration::from_secs(60),
+            reconnect_wait: Duration::from_millis(250),
+            max_line_bytes: 1 << 20,
+            snapshot_on_drain: false,
+            drain_replicas: false,
+            record_routes: false,
+        }
+    }
+}
+
+/// One request the router has forwarded and not yet seen answered:
+/// the raw line (so an ejection can re-route it), its routing key, and
+/// the client to answer.
+struct Ticket {
+    line: String,
+    key: Option<u64>,
+    reply: ClientSink,
+}
+
+/// Routes reply lines back to one router client through a bounded
+/// channel; a client that stops reading is severed rather than
+/// buffered without limit (same policy as the replica front end).
+#[derive(Clone)]
+struct ClientSink {
+    tx: mpsc::SyncSender<String>,
+    stream: Arc<TcpStream>,
+}
+
+impl ClientSink {
+    fn send(&self, line: String) {
+        if self.tx.try_send(line).is_err() {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// The per-replica connection state guarded by one mutex: the write
+/// half of the data connection, the FIFO of in-flight tickets, and the
+/// stop flag of the current reader generation.
+struct ConnState {
+    writer: Option<BufWriter<TcpStream>>,
+    pending: VecDeque<Ticket>,
+    /// Stops the reader of the current connection; replaced on every
+    /// reconnect so a stale reader can never eject its successor.
+    stop: ShutdownFlag,
+    /// Bumped on ejection: an eject call carrying a stale generation
+    /// is a no-op, making ejection idempotent across the racing
+    /// writer-failure and reader-failure paths.
+    generation: u64,
+}
+
+/// One replica of the fleet: address, health, connection state, and
+/// the counters the merged stats report nests per replica.
+struct Replica {
+    index: usize,
+    addr: String,
+    sockaddr: SocketAddr,
+    healthy: AtomicBool,
+    state: Mutex<ConnState>,
+    /// Signals window slots freeing up (a response arrived) and state
+    /// transitions (ejection) to blocked forwarders.
+    window_open: Condvar,
+    /// Guards against concurrent reconnector threads for one replica.
+    reconnecting: AtomicBool,
+    /// Requests successfully written to this replica.
+    routed: AtomicU64,
+    /// Responses received and delivered to clients.
+    completed: AtomicU64,
+    /// Tickets taken back from this replica's window at ejection and
+    /// re-routed to ring successors.
+    rerouted: AtomicU64,
+    /// Times this replica was ejected from the ring.
+    ejections: AtomicU64,
+}
+
+/// Router-wide counters surfaced in the merged stats `fleet` block.
+#[derive(Default)]
+struct RouterCounters {
+    /// Requests answered inline because no replica was healthy.
+    unroutable: AtomicU64,
+    /// Requests forwarded round-robin because no routing key could be
+    /// extracted (the replica still answers them, FIFO).
+    round_robin: AtomicU64,
+    /// `overloaded` rejections passed through from replicas.
+    overloaded: AtomicU64,
+    /// Malformed control-looking lines the router answered inline
+    /// (byte-identical to the replica front end's own reply).
+    parse_errors: AtomicU64,
+}
+
+/// The consistent-hash fleet router. Construct with [`FleetRouter::new`],
+/// connect the fleet with [`FleetRouter::start`], then serve clients
+/// with [`FleetRouter::run`].
+pub struct FleetRouter {
+    config: RouterConfig,
+    ring: Mutex<HashRing>,
+    replicas: Vec<Arc<Replica>>,
+    rr_cursor: AtomicUsize,
+    counters: RouterCounters,
+    shutdown: ShutdownFlag,
+    /// Reader/reconnector threads, joined at the end of [`FleetRouter::run`].
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// key → replicas it was routed to (only with `record_routes`).
+    route_log: Mutex<HashMap<u64, Vec<usize>>>,
+}
+
+impl FleetRouter {
+    /// Builds a router over `config.replicas`. Addresses are resolved
+    /// here; an unresolvable address is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the replica list is empty or an address
+    /// does not resolve.
+    pub fn new(config: RouterConfig) -> std::io::Result<FleetRouter> {
+        if config.replicas.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one --replica",
+            ));
+        }
+        let mut replicas = Vec::with_capacity(config.replicas.len());
+        for (index, addr) in config.replicas.iter().enumerate() {
+            let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("replica address `{addr}` did not resolve"),
+                )
+            })?;
+            replicas.push(Arc::new(Replica {
+                index,
+                addr: addr.clone(),
+                sockaddr,
+                healthy: AtomicBool::new(false),
+                state: Mutex::new(ConnState {
+                    writer: None,
+                    pending: VecDeque::new(),
+                    stop: ShutdownFlag::new(),
+                    generation: 0,
+                }),
+                window_open: Condvar::new(),
+                reconnecting: AtomicBool::new(false),
+                routed: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                rerouted: AtomicU64::new(0),
+                ejections: AtomicU64::new(0),
+            }));
+        }
+        let ring = HashRing::new(config.vnodes);
+        Ok(FleetRouter {
+            config,
+            ring: Mutex::new(ring),
+            replicas,
+            rr_cursor: AtomicUsize::new(0),
+            counters: RouterCounters::default(),
+            shutdown: ShutdownFlag::new(),
+            threads: Mutex::new(Vec::new()),
+            route_log: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The router's shutdown flag: request it (SIGTERM bridge, embedding
+    /// application) to begin a graceful drain of [`FleetRouter::run`].
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// Dials every replica and admits the reachable ones to the ring.
+    /// Unreachable replicas start ejected with a reconnector probing
+    /// for them; at least one replica must be reachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no replica could be reached.
+    pub fn start(self: &Arc<Self>) -> std::io::Result<()> {
+        let mut reached = 0usize;
+        for replica in &self.replicas {
+            match self.connect_replica(replica) {
+                Ok(()) => reached += 1,
+                Err(e) => {
+                    eprintln!(
+                        "qrc-lb: replica {} unreachable at startup ({e}); probing in background",
+                        replica.addr
+                    );
+                    self.spawn_reconnector(replica);
+                }
+            }
+        }
+        if reached == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no replica reachable at startup",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serves router clients on `listener` until shutdown is requested
+    /// (SIGTERM bridge or a client's `{"cmd":"shutdown"}`), then
+    /// drains: in-flight tickets complete or re-route, snapshot /
+    /// shutdown fan-out per config, and all threads join.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the listener cannot be
+    /// configured. Per-connection errors end that connection only.
+    pub fn run(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let active_clients = Arc::new(AtomicUsize::new(0));
+        while !self.shutdown.is_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    active_clients.fetch_add(1, Ordering::SeqCst);
+                    let router = Arc::clone(self);
+                    let active = Arc::clone(&active_clients);
+                    std::thread::spawn(move || {
+                        router.handle_client(stream);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        // Drain: clients finish answering what they already forwarded…
+        while active_clients.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // …then every window runs dry (responses arrive or ejection
+        // re-routes; an empty ring answers the leftovers inline).
+        loop {
+            let pending: usize = self
+                .replicas
+                .iter()
+                .map(|r| r.state.lock().expect("replica lock poisoned").pending.len())
+                .sum();
+            if pending == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if self.config.snapshot_on_drain {
+            for (addr, result) in self.fan_control(r#"{"cmd":"snapshot"}"#) {
+                match result {
+                    Ok(_) => eprintln!("qrc-lb: snapshot fanned out to {addr}"),
+                    Err(e) => eprintln!("qrc-lb: snapshot fan-out to {addr} failed: {e}"),
+                }
+            }
+        }
+        if self.config.drain_replicas {
+            for (addr, result) in self.fan_control(r#"{"cmd":"shutdown"}"#) {
+                if let Err(e) = result {
+                    eprintln!("qrc-lb: shutdown fan-out to {addr} failed: {e}");
+                }
+            }
+        }
+        // Stop replica readers and reconnectors, then join them.
+        for replica in &self.replicas {
+            replica
+                .state
+                .lock()
+                .expect("replica lock poisoned")
+                .stop
+                .request();
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().expect("threads lock poisoned"));
+        for handle in threads {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// The observed locality log: every routing key and the replicas
+    /// it landed on (in landing order). Empty unless
+    /// [`RouterConfig::record_routes`] is set.
+    pub fn route_log(&self) -> Vec<(u64, Vec<usize>)> {
+        self.route_log
+            .lock()
+            .expect("route log poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+
+    /// Per-replica `(addr, routed, completed, rerouted, ejections,
+    /// healthy)` counters, indexed like the config's replica list.
+    pub fn replica_counters(&self) -> Vec<(String, u64, u64, u64, u64, bool)> {
+        self.replicas
+            .iter()
+            .map(|r| {
+                (
+                    r.addr.clone(),
+                    r.routed.load(Ordering::Relaxed),
+                    r.completed.load(Ordering::Relaxed),
+                    r.rerouted.load(Ordering::Relaxed),
+                    r.ejections.load(Ordering::Relaxed),
+                    r.healthy.load(Ordering::SeqCst),
+                )
+            })
+            .collect()
+    }
+
+    /// Requests the router forwarded round-robin because no routing
+    /// key could be extracted.
+    pub fn round_robin_count(&self) -> u64 {
+        self.counters.round_robin.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered inline because no replica was healthy.
+    pub fn unroutable_count(&self) -> u64 {
+        self.counters.unroutable.load(Ordering::Relaxed)
+    }
+
+    // ----- client side ------------------------------------------------
+
+    /// One router client: reads NDJSON lines, answers control lines
+    /// from the fleet, forwards everything else.
+    fn handle_client(self: &Arc<Self>, stream: TcpStream) {
+        let write_half = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        };
+        let disconnect = match stream.try_clone() {
+            Ok(clone) => Arc::new(clone),
+            Err(_) => return,
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1024);
+        let sink = ClientSink {
+            tx: reply_tx,
+            stream: disconnect,
+        };
+        let writer = std::thread::spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            write_loop(&mut out, &reply_rx);
+        });
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        let mut reader = BufReader::new(stream);
+        loop {
+            if self.shutdown.is_requested() {
+                break;
+            }
+            match read_bounded_line(&mut reader, self.config.max_line_bytes, &self.shutdown) {
+                Err(_) | Ok(ReadLine::Eof) => break,
+                Ok(ReadLine::TooLong(bytes)) => {
+                    let response = ServeResponse {
+                        id: None,
+                        result: Err(crate::service::oversized_error(
+                            bytes,
+                            self.config.max_line_bytes,
+                        )),
+                        micros: 1,
+                        route: None,
+                        rid: None,
+                    };
+                    sink.send(response.to_line());
+                }
+                Ok(ReadLine::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if self.triage_client_line(line, &sink) {
+                        break;
+                    }
+                }
+            }
+        }
+        drop(sink);
+        writer.join().expect("router client writer panicked");
+    }
+
+    /// Dispatches one client line; returns `true` when the connection
+    /// should stop (shutdown requested).
+    fn triage_client_line(self: &Arc<Self>, line: String, sink: &ClientSink) -> bool {
+        if !line.contains("\"cmd\"") {
+            let key = routing_key(&line);
+            self.forward(line, key, sink);
+            return false;
+        }
+        match InboundLine::parse(&line) {
+            Ok(InboundLine::Request(_)) => {
+                // `"cmd"` appeared inside an ordinary request's payload.
+                let key = routing_key(&line);
+                self.forward(line, key, sink);
+                false
+            }
+            Ok(InboundLine::Control(ControlRequest::Stats)) => {
+                sink.send(serde_json::to_string(&self.merged_stats()));
+                false
+            }
+            Ok(InboundLine::Control(ControlRequest::Metrics)) => {
+                sink.send(serde_json::to_string(&self.merged_metrics()));
+                false
+            }
+            Ok(InboundLine::Control(ControlRequest::Shutdown)) => {
+                self.shutdown.request();
+                sink.send(serde_json::to_string(&Value::object(vec![
+                    ("ok", Value::from(true)),
+                    ("shutting_down", Value::from(true)),
+                ])));
+                true
+            }
+            // Snapshot / reload / calibrate apply fleet-wide: fan the
+            // raw line out and nest each replica's own reply.
+            Ok(InboundLine::Control(_)) => {
+                sink.send(serde_json::to_string(&self.fanned_reply(&line)));
+                false
+            }
+            Err(message) => {
+                // Byte-identical to the replica front end's own inline
+                // reply, so single-node and fleet clients see the same
+                // error payloads.
+                self.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let response = ServeResponse {
+                    id: ServeRequest::recover_id(&line),
+                    result: Err(message),
+                    micros: 1,
+                    route: None,
+                    rid: None,
+                };
+                sink.send(response.to_line());
+                false
+            }
+        }
+    }
+
+    // ----- data path --------------------------------------------------
+
+    /// Forwards one request line: consistent-hash on its key, round-
+    /// robin without one, retrying across ejections until a replica
+    /// accepts it or the ring is empty.
+    fn forward(self: &Arc<Self>, mut line: String, key: Option<u64>, reply: &ClientSink) {
+        if key.is_none() {
+            self.counters.round_robin.fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            let target = match key {
+                Some(k) => self.ring.lock().expect("ring lock poisoned").route(k),
+                None => self.next_round_robin(),
+            };
+            let Some(index) = target else {
+                self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+                let response = ServeResponse {
+                    id: ServeRequest::recover_id(&line),
+                    result: Err("unavailable: no healthy replicas".to_string()),
+                    micros: 1,
+                    route: None,
+                    rid: None,
+                };
+                reply.send(response.to_line());
+                return;
+            };
+            match self.try_send(index, line, key, reply) {
+                Ok(()) => {
+                    if self.config.record_routes {
+                        if let Some(k) = key {
+                            let mut log = self.route_log.lock().expect("route log poisoned");
+                            let owners = log.entry(k).or_default();
+                            if owners.last() != Some(&index) {
+                                owners.push(index);
+                            }
+                        }
+                    }
+                    return;
+                }
+                // The target was ejected under us; the ring has moved
+                // its arcs, so re-route.
+                Err(returned) => line = returned,
+            }
+        }
+    }
+
+    /// Queues one line into `index`'s bounded window and writes it on
+    /// the data connection. Blocks while the window is full (lossless
+    /// back-pressure toward the client). Hands the line back when the
+    /// replica is (or becomes) unavailable.
+    #[allow(clippy::result_large_err)]
+    fn try_send(
+        self: &Arc<Self>,
+        index: usize,
+        line: String,
+        key: Option<u64>,
+        reply: &ClientSink,
+    ) -> Result<(), String> {
+        let replica = &self.replicas[index];
+        let mut state = replica.state.lock().expect("replica lock poisoned");
+        loop {
+            if state.writer.is_none() || !replica.healthy.load(Ordering::SeqCst) {
+                return Err(line);
+            }
+            if state.pending.len() < self.config.window.max(1) {
+                break;
+            }
+            let (next, _) = replica
+                .window_open
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("replica lock poisoned");
+            state = next;
+        }
+        state.pending.push_back(Ticket {
+            line: line.clone(),
+            key,
+            reply: reply.clone(),
+        });
+        let generation = state.generation;
+        let writer = state.writer.as_mut().expect("writer checked above");
+        let wrote = writeln!(writer, "{line}").and_then(|()| writer.flush());
+        match wrote {
+            Ok(()) => {
+                replica.routed.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                Ok(())
+            }
+            Err(_) => {
+                // Undo our own enqueue (the lock was held throughout,
+                // so the back element is ours), then eject: the ring
+                // loses this replica and the caller re-routes.
+                state.pending.pop_back();
+                drop(state);
+                self.eject(replica, generation);
+                Err(line)
+            }
+        }
+    }
+
+    /// The next healthy replica after the round-robin cursor, if any.
+    fn next_round_robin(&self) -> Option<usize> {
+        let n = self.replicas.len();
+        let start = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
+        (0..n)
+            .map(|offset| (start + offset) % n)
+            .find(|&index| self.replicas[index].healthy.load(Ordering::SeqCst))
+    }
+
+    // ----- replica side -----------------------------------------------
+
+    /// Dials one replica, installs its writer, marks it healthy, joins
+    /// it to the ring, and spawns its response reader.
+    fn connect_replica(self: &Arc<Self>, replica: &Arc<Replica>) -> std::io::Result<()> {
+        let stream = TcpStream::connect_timeout(&replica.sockaddr, self.config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        read_half
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        let stop = ShutdownFlag::new();
+        let generation;
+        {
+            let mut state = replica.state.lock().expect("replica lock poisoned");
+            state.writer = Some(BufWriter::new(stream));
+            state.stop = stop.clone();
+            generation = state.generation;
+        }
+        replica.healthy.store(true, Ordering::SeqCst);
+        self.ring
+            .lock()
+            .expect("ring lock poisoned")
+            .insert(replica.index, &replica.addr);
+        let router = Arc::clone(self);
+        let replica = Arc::clone(replica);
+        let handle = std::thread::spawn(move || {
+            router.read_responses(&replica, read_half, &stop, generation);
+        });
+        self.threads
+            .lock()
+            .expect("threads lock poisoned")
+            .push(handle);
+        Ok(())
+    }
+
+    /// One replica connection's response reader: matches each response
+    /// line to the head of the in-flight FIFO (or by `id` for an
+    /// overtaking `overloaded` rejection) and delivers it.
+    fn read_responses(
+        self: &Arc<Self>,
+        replica: &Arc<Replica>,
+        read_half: TcpStream,
+        stop: &ShutdownFlag,
+        generation: u64,
+    ) {
+        let mut reader = BufReader::new(read_half);
+        loop {
+            match read_bounded_line(&mut reader, self.config.max_line_bytes, stop) {
+                Ok(ReadLine::Line(line)) => {
+                    let ticket = {
+                        let mut state = replica.state.lock().expect("replica lock poisoned");
+                        if line.contains(OVERLOADED_ERROR) {
+                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            take_by_id(&mut state.pending, &line)
+                        } else {
+                            state.pending.pop_front()
+                        }
+                    };
+                    replica.window_open.notify_all();
+                    if let Some(ticket) = ticket {
+                        replica.completed.fetch_add(1, Ordering::Relaxed);
+                        ticket.reply.send(line);
+                    }
+                }
+                Ok(ReadLine::TooLong(_)) => {
+                    // A replica response over the line limit is a
+                    // protocol violation; treat like a broken stream.
+                    self.eject(replica, generation);
+                    return;
+                }
+                Ok(ReadLine::Eof) | Err(_) => {
+                    // A requested stop reads as EOF: clean drain. A real
+                    // EOF or error is the replica dying mid-stream.
+                    if !stop.is_requested() {
+                        self.eject(replica, generation);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Ejects a replica: off the ring, connection dropped, and every
+    /// ticket still in its window re-routed to the keys' new owners.
+    /// Idempotent per connection generation.
+    fn eject(self: &Arc<Self>, replica: &Arc<Replica>, generation: u64) {
+        let pending = {
+            let mut state = replica.state.lock().expect("replica lock poisoned");
+            if state.generation != generation {
+                return;
+            }
+            state.generation += 1;
+            state.stop.request();
+            state.writer = None;
+            replica.healthy.store(false, Ordering::SeqCst);
+            std::mem::take(&mut state.pending)
+        };
+        replica.window_open.notify_all();
+        self.ring
+            .lock()
+            .expect("ring lock poisoned")
+            .remove(replica.index);
+        replica.ejections.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "qrc-lb: replica {} ejected ({} in-flight re-routed)",
+            replica.addr,
+            pending.len()
+        );
+        if !self.shutdown.is_requested() {
+            self.spawn_reconnector(replica);
+        }
+        for ticket in pending {
+            replica.rerouted.fetch_add(1, Ordering::Relaxed);
+            self.forward(ticket.line, ticket.key, &ticket.reply);
+        }
+    }
+
+    /// Probes an ejected replica until it answers again, then re-admits
+    /// it (the ring hands back exactly its old arcs). One probe thread
+    /// per replica at a time.
+    fn spawn_reconnector(self: &Arc<Self>, replica: &Arc<Replica>) {
+        if replica
+            .reconnecting
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let router = Arc::clone(self);
+        let replica = Arc::clone(replica);
+        let handle = std::thread::spawn(move || {
+            while !router.shutdown.is_requested() {
+                std::thread::sleep(router.config.reconnect_wait);
+                match router.connect_replica(&replica) {
+                    Ok(()) => {
+                        eprintln!("qrc-lb: replica {} re-admitted", replica.addr);
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            replica.reconnecting.store(false, Ordering::SeqCst);
+        });
+        self.threads
+            .lock()
+            .expect("threads lock poisoned")
+            .push(handle);
+    }
+
+    // ----- control fan-out --------------------------------------------
+
+    /// Sends one control line to every replica over a dedicated
+    /// short-lived connection (never the data connection, which must
+    /// stay FIFO) and collects each reply.
+    fn fan_control(&self, line: &str) -> Vec<(String, Result<Value, String>)> {
+        self.replicas
+            .iter()
+            .map(|replica| (replica.addr.clone(), self.control_round_trip(replica, line)))
+            .collect()
+    }
+
+    /// One control round trip to one replica.
+    fn control_round_trip(&self, replica: &Replica, line: &str) -> Result<Value, String> {
+        let stream = TcpStream::connect_timeout(&replica.sockaddr, self.config.connect_timeout)
+            .map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.config.control_timeout))
+            .ok();
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        writeln!(writer, "{line}").map_err(|e| format!("write: {e}"))?;
+        writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut reply = String::new();
+        BufReader::new(stream)
+            .read_line(&mut reply)
+            .map_err(|e| format!("read: {e}"))?;
+        if reply.trim().is_empty() {
+            return Err("empty reply".to_string());
+        }
+        serde_json::from_str(reply.trim()).map_err(|e| format!("parse: {e}"))
+    }
+
+    /// Fans a control line out and nests every replica's reply under
+    /// its address, with a top-level `ok` that ands the fleet.
+    fn fanned_reply(&self, line: &str) -> Value {
+        let per = self.fan_control(line);
+        let mut all_ok = true;
+        let mut nested = Vec::with_capacity(per.len());
+        for (addr, result) in per {
+            match result {
+                Ok(value) => {
+                    all_ok &= value.get("ok").and_then(Value::as_bool).unwrap_or(false);
+                    nested.push((addr, value));
+                }
+                Err(e) => {
+                    all_ok = false;
+                    nested.push((
+                        addr,
+                        Value::object(vec![("ok", Value::from(false)), ("error", Value::from(e))]),
+                    ));
+                }
+            }
+        }
+        Value::object(vec![
+            ("ok", Value::from(all_ok)),
+            ("replicas", Value::object(nested)),
+        ])
+    }
+
+    /// The merged `{"cmd":"stats"}` reply: fleet-wide counters summed
+    /// across replicas (rates recomputed, never summed), plus a
+    /// `fleet` block nesting each replica's own stats snapshot and the
+    /// router's routing counters.
+    pub fn merged_stats(&self) -> Value {
+        let per = self.fan_control(r#"{"cmd":"stats"}"#);
+        let stats: Vec<&Value> = per.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+        let sum = |path: &[&str]| -> u64 { stats.iter().map(|v| get_u64(v, path)).sum() };
+        let hits = sum(&["cache", "hits"]);
+        let misses = sum(&["cache", "misses"]);
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let mut pairs = vec![
+            ("requests".to_string(), Value::from(sum(&["requests"]))),
+            ("errors".to_string(), Value::from(sum(&["errors"]))),
+            ("rejected".to_string(), Value::from(sum(&["rejected"]))),
+            (
+                "responses".to_string(),
+                Value::object(vec![
+                    ("hit", Value::from(sum(&["responses", "hit"]))),
+                    ("miss", Value::from(sum(&["responses", "miss"]))),
+                    ("coalesced", Value::from(sum(&["responses", "coalesced"]))),
+                ]),
+            ),
+            (
+                "cache".to_string(),
+                Value::object(vec![
+                    ("hits", Value::from(hits)),
+                    ("warm_hits", Value::from(sum(&["cache", "warm_hits"]))),
+                    ("misses", Value::from(misses)),
+                    ("insertions", Value::from(sum(&["cache", "insertions"]))),
+                    ("evictions", Value::from(sum(&["cache", "evictions"]))),
+                    ("hit_rate", Value::from(hit_rate)),
+                ]),
+            ),
+            ("shards".to_string(), merge_shards(&stats)),
+            (
+                "routes".to_string(),
+                Value::object(vec![
+                    ("exact", Value::from(sum(&["routes", "exact"]))),
+                    (
+                        "band_wildcard",
+                        Value::from(sum(&["routes", "band_wildcard"])),
+                    ),
+                    (
+                        "device_wildcard",
+                        Value::from(sum(&["routes", "device_wildcard"])),
+                    ),
+                    (
+                        "objective_only",
+                        Value::from(sum(&["routes", "objective_only"])),
+                    ),
+                ]),
+            ),
+        ];
+        pairs.push(("fleet".to_string(), self.fleet_block(&per)));
+        Value::object(pairs)
+    }
+
+    /// The per-replica block nested under `fleet` in merged stats.
+    fn fleet_block(&self, per: &[(String, Result<Value, String>)]) -> Value {
+        let healthy = self
+            .replicas
+            .iter()
+            .filter(|r| r.healthy.load(Ordering::SeqCst))
+            .count();
+        let mut nested = Vec::with_capacity(per.len());
+        for (replica, (addr, result)) in self.replicas.iter().zip(per) {
+            let stats = match result {
+                Ok(value) => value.clone(),
+                Err(e) => Value::object(vec![
+                    ("ok", Value::from(false)),
+                    ("error", Value::from(e.clone())),
+                ]),
+            };
+            nested.push((
+                addr.clone(),
+                Value::object(vec![
+                    (
+                        "healthy",
+                        Value::from(replica.healthy.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "routed",
+                        Value::from(replica.routed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "completed",
+                        Value::from(replica.completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rerouted",
+                        Value::from(replica.rerouted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "ejections",
+                        Value::from(replica.ejections.load(Ordering::Relaxed)),
+                    ),
+                    ("stats", stats),
+                ]),
+            ));
+        }
+        Value::object(vec![
+            ("replicas".to_string(), Value::from(per.len() as u64)),
+            ("healthy".to_string(), Value::from(healthy as u64)),
+            (
+                "router".to_string(),
+                Value::object(vec![
+                    (
+                        "round_robin",
+                        Value::from(self.counters.round_robin.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "unroutable",
+                        Value::from(self.counters.unroutable.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "overloaded",
+                        Value::from(self.counters.overloaded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "parse_errors",
+                        Value::from(self.counters.parse_errors.load(Ordering::Relaxed)),
+                    ),
+                    ("vnodes", Value::from(self.config.vnodes as u64)),
+                ]),
+            ),
+            ("per_replica".to_string(), Value::object(nested)),
+        ])
+    }
+
+    /// The merged `{"cmd":"metrics"}` reply: every replica's Prometheus
+    /// exposition fetched and merged series-by-series (cumulative
+    /// counters and histogram buckets sum; so do depth gauges).
+    pub fn merged_metrics(&self) -> Value {
+        let per = self.fan_control(r#"{"cmd":"metrics"}"#);
+        let mut texts = Vec::new();
+        let mut oks = Vec::new();
+        let mut all_ok = true;
+        for (addr, result) in &per {
+            let ok = match result {
+                Ok(value) => {
+                    if let Some(text) = value.get("metrics").and_then(Value::as_str) {
+                        texts.push(text.to_string());
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => false,
+            };
+            all_ok &= ok;
+            oks.push((addr.clone(), Value::from(ok)));
+        }
+        Value::object(vec![
+            ("ok".to_string(), Value::from(all_ok)),
+            ("format".to_string(), Value::from("prometheus_text_0_0_4")),
+            ("metrics".to_string(), Value::from(merge_prometheus(&texts))),
+            ("replicas".to_string(), Value::object(oks)),
+        ])
+    }
+}
+
+/// Extracts the consistent-hash routing key from a request line:
+/// parse the request, parse its QASM, then mix the circuit's
+/// `structural_hash` with the resolved shard tag. `None` (→ round-
+/// robin) when any stage fails — the replica still answers the line,
+/// producing the same error payload a single node would.
+fn routing_key(line: &str) -> Option<u64> {
+    let request = ServeRequest::parse(line).ok()?;
+    let circuit = qrc_circuit::qasm::from_qasm(&request.qasm).ok()?;
+    let tag =
+        ShardKey::for_request(request.objective, request.device_pin, circuit.num_qubits()).tag();
+    Some(mix_key(circuit.structural_hash(), tag))
+}
+
+/// Removes the pending ticket whose request `id` matches the one
+/// echoed on `line` (an overtaking `overloaded` rejection); falls back
+/// to the FIFO head when no id matches.
+fn take_by_id(pending: &mut VecDeque<Ticket>, line: &str) -> Option<Ticket> {
+    if let Some(id) = ServeRequest::recover_id(line) {
+        if let Some(at) = pending
+            .iter()
+            .position(|t| ServeRequest::recover_id(&t.line).as_deref() == Some(id.as_str()))
+        {
+            return pending.remove(at);
+        }
+    }
+    pending.pop_front()
+}
+
+/// Walks a JSON path of object keys.
+fn get_path<'v>(value: &'v Value, path: &[&str]) -> Option<&'v Value> {
+    let mut at = value;
+    for key in path {
+        at = at.get(key)?;
+    }
+    Some(at)
+}
+
+/// A summable counter at a JSON path (0 when absent).
+fn get_u64(value: &Value, path: &[&str]) -> u64 {
+    get_path(value, path).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// Merges the per-shard counter blocks of several stats snapshots:
+/// union of shard names (first-seen order), counters summed.
+fn merge_shards(stats: &[&Value]) -> Value {
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, [u64; 5]> = HashMap::new();
+    const FIELDS: [&str; 5] = ["routed", "hit", "miss", "coalesced", "errors"];
+    for value in stats {
+        let Some(shards) = value.get("shards").and_then(Value::as_object) else {
+            continue;
+        };
+        for (name, counters) in shards {
+            let slot = merged.entry(name.clone()).or_insert_with(|| {
+                order.push(name.clone());
+                [0; 5]
+            });
+            for (i, field) in FIELDS.iter().enumerate() {
+                slot[i] += get_u64(counters, &[field]);
+            }
+        }
+    }
+    Value::object(
+        order
+            .into_iter()
+            .map(|name| {
+                let slot = merged[&name];
+                (
+                    name,
+                    Value::object(
+                        FIELDS
+                            .iter()
+                            .zip(slot)
+                            .map(|(field, count)| (field.to_string(), Value::from(count)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Merges Prometheus text expositions series-by-series: every sample
+/// value with the same series key (name plus labels) is summed —
+/// correct for cumulative counters, histogram bucket counts, and
+/// additive gauges like queue depth. Comment lines and series order
+/// follow the first exposition; series only later replicas expose are
+/// appended.
+fn merge_prometheus(texts: &[String]) -> String {
+    enum Entry {
+        Comment(String),
+        Series(String),
+    }
+    let mut order: Vec<Entry> = Vec::new();
+    let mut values: HashMap<String, f64> = HashMap::new();
+    for (i, text) in texts.iter().enumerate() {
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('#') {
+                if i == 0 {
+                    order.push(Entry::Comment(line.to_string()));
+                }
+                continue;
+            }
+            let Some(split) = line.rfind(' ') else {
+                continue;
+            };
+            let key = &line[..split];
+            let value: f64 = line[split + 1..].parse().unwrap_or(0.0);
+            if !values.contains_key(key) {
+                order.push(Entry::Series(key.to_string()));
+            }
+            *values.entry(key.to_string()).or_insert(0.0) += value;
+        }
+    }
+    let mut out = String::new();
+    for entry in order {
+        match entry {
+            Entry::Comment(line) => {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Entry::Series(key) => {
+                let value = values[&key];
+                if value.fract() == 0.0 && value.abs() < 9.0e15 {
+                    out.push_str(&format!("{key} {}\n", value as i64));
+                } else {
+                    out.push_str(&format!("{key} {value}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_none_for_unparsable_lines() {
+        assert_eq!(routing_key("not json"), None);
+        assert_eq!(routing_key(r#"{"id":"a","qasm":"h q[0];"}"#), None);
+    }
+
+    #[test]
+    fn routing_key_stable_and_tag_sensitive() {
+        let circuit = qrc_benchgen::BenchmarkFamily::Ghz.generate(3);
+        let qasm = qrc_circuit::qasm::to_qasm(&circuit);
+        let line = |objective: &str| {
+            serde_json::to_string(&Value::object(vec![
+                ("id", Value::from("k")),
+                ("qasm", Value::from(qasm.clone())),
+                ("objective", Value::from(objective)),
+            ]))
+        };
+        let depth = routing_key(&line("critical_depth")).unwrap();
+        assert_eq!(routing_key(&line("critical_depth")).unwrap(), depth);
+        // Same circuit, different objective → different shard tag →
+        // different routing key.
+        assert_ne!(routing_key(&line("fidelity")).unwrap(), depth);
+    }
+
+    #[test]
+    fn prometheus_merge_sums_series() {
+        let a = "# HELP x a counter\n# TYPE x counter\nx_total 3\ny{q=\"0.5\"} 1.5\n".to_string();
+        let b = "# HELP x a counter\n# TYPE x counter\nx_total 4\ny{q=\"0.5\"} 2.5\nz_only 1\n"
+            .to_string();
+        let merged = merge_prometheus(&[a, b]);
+        assert!(merged.contains("x_total 7\n"), "{merged}");
+        assert!(merged.contains("y{q=\"0.5\"} 4\n"), "{merged}");
+        assert!(merged.contains("z_only 1\n"), "{merged}");
+        assert_eq!(merged.matches("# HELP x").count(), 1);
+    }
+
+    #[test]
+    fn take_by_id_matches_overtaking_rejections() {
+        let (tx, _rx) = mpsc::sync_channel(4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let sink = ClientSink {
+            tx,
+            stream: Arc::new(stream),
+        };
+        let mut pending = VecDeque::new();
+        for id in ["a", "b", "c"] {
+            pending.push_back(Ticket {
+                line: format!(r#"{{"id":"{id}","qasm":"x"}}"#),
+                key: None,
+                reply: sink.clone(),
+            });
+        }
+        let taken = take_by_id(&mut pending, r#"{"id":"b","ok":false}"#).unwrap();
+        assert!(taken.line.contains(r#""id":"b""#));
+        assert_eq!(pending.len(), 2);
+        // No id → FIFO head.
+        let taken = take_by_id(&mut pending, r#"{"ok":false}"#).unwrap();
+        assert!(taken.line.contains(r#""id":"a""#));
+    }
+}

@@ -1,0 +1,103 @@
+//! Regression tests for SIGTERM draining in the stdin front ends.
+//!
+//! Before the fix, a TERM delivered while the pipelined or blocking
+//! stdin loop was parked in a blocking `read_line` never interrupted
+//! the read (glibc's `signal()` implies `SA_RESTART`), so the process
+//! either hung until the next input line or died with exit 143 from
+//! the raw default disposition. Now every front end shares the
+//! drain-on-TERM path: answer everything already read, flush, and
+//! exit 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Spawns the real `qrc-serve` binary against a private freshly
+/// trained model directory (tiny budget: this is a drain test, not a
+/// quality test).
+fn spawn_server(name: &str, extra: &[&str]) -> (Child, std::path::PathBuf) {
+    let models = std::env::temp_dir().join(format!("qrc_drain_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&models);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qrc-serve"));
+    cmd.arg("--models")
+        .arg(&models)
+        .args(["--timesteps", "600", "--train-max-qubits", "3", "--quiet"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    (cmd.spawn().expect("spawn qrc-serve"), models)
+}
+
+fn bell_line(id: &str) -> String {
+    let mut qc = qrc_circuit::QuantumCircuit::new(2);
+    qc.h(0).cx(0, 1).measure_all();
+    format!(
+        r#"{{"id":"{id}","qasm":{}}}"#,
+        serde_json::to_string(&serde_json::Value::from(qrc_circuit::qasm::to_qasm(&qc)))
+    )
+}
+
+/// Waits for the child to exit, failing the test if it is still alive
+/// after the deadline (the pre-fix hang mode).
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("server did not exit within {deadline:?} after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Drives one server: answer a request to prove it is up, TERM it
+/// while its reader is parked on the open-but-quiet stdin pipe, and
+/// require a clean exit-0 drain.
+fn term_drains_cleanly(name: &str, extra: &[&str]) {
+    let (mut child, models) = spawn_server(name, extra);
+    let mut stdin = child.stdin.take().expect("stdin handle");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout handle"));
+
+    writeln!(stdin, "{}", bell_line("warm")).expect("write request");
+    stdin.flush().expect("flush request");
+    let mut reply = String::new();
+    stdout.read_line(&mut reply).expect("read reply");
+    assert!(
+        reply.contains(r#""ok":true"#),
+        "warmup request failed: {reply}"
+    );
+
+    // Stdin stays open: the reader thread is now parked in a blocking
+    // read that SIGTERM cannot interrupt. The drain loop must notice
+    // the flag on its own.
+    let pid = child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+
+    let status = wait_with_deadline(&mut child, Duration::from_secs(60));
+    assert!(
+        status.success(),
+        "expected exit 0 after SIGTERM drain, got {status:?}"
+    );
+    drop(stdin);
+    let _ = std::fs::remove_dir_all(models);
+}
+
+#[test]
+fn sigterm_drains_pipelined_stdin_with_exit_zero() {
+    term_drains_cleanly("pipelined", &[]);
+}
+
+#[test]
+fn sigterm_drains_blocking_stdin_with_exit_zero() {
+    term_drains_cleanly("blocking", &["--blocking"]);
+}

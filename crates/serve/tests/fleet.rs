@@ -1,0 +1,198 @@
+//! End-to-end fleet tests: a real `FleetRouter` fronting in-process
+//! socket replicas. Exercises consistent routing, merged control
+//! fan-out, mid-stream replica loss with zero lost requests, and a
+//! clean drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrc_benchgen::BenchmarkFamily;
+use qrc_predictor::{train, PredictorConfig, RewardKind};
+use qrc_rl::PpoConfig;
+use qrc_serve::{
+    serve_socket, CompilationService, FleetRouter, FrontendConfig, ModelRegistry, RouterConfig,
+    ServiceConfig, ShutdownFlag,
+};
+
+fn tiny_service() -> Arc<CompilationService> {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Dj.generate(3),
+    ];
+    let models = RewardKind::ALL
+        .into_iter()
+        .map(|reward| {
+            let config = PredictorConfig {
+                reward,
+                total_timesteps: 1200,
+                ppo: PpoConfig {
+                    steps_per_update: 128,
+                    minibatch_size: 32,
+                    epochs: 4,
+                    hidden: vec![24],
+                    learning_rate: 1e-3,
+                    ..PpoConfig::default()
+                },
+                seed: 5,
+                step_penalty: 0.005,
+            };
+            train(suite.clone(), &config)
+        })
+        .collect();
+    Arc::new(CompilationService::with_registry(
+        ModelRegistry::from_models(models),
+        &ServiceConfig {
+            verbose: false,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+struct Replica {
+    addr: String,
+    shutdown: ShutdownFlag,
+    server: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// Starts one socket replica of the shared service on an ephemeral
+/// port, returning its address, its shutdown flag (to simulate a
+/// crash mid-test), and its serve thread.
+fn start_replica(service: &Arc<CompilationService>) -> Replica {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = Arc::clone(service);
+    let shutdown = ShutdownFlag::new();
+    let flag = shutdown.clone();
+    let config = FrontendConfig::default();
+    let server = std::thread::spawn(move || serve_socket(&service, listener, &config, &flag));
+    Replica {
+        addr,
+        shutdown,
+        server,
+    }
+}
+
+/// Starts the router over `replicas`, returning the client-facing
+/// address, the router handle (for counters), and its run thread.
+fn start_router(
+    replicas: &[&Replica],
+) -> (
+    String,
+    Arc<FleetRouter>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let router = Arc::new(
+        FleetRouter::new(RouterConfig {
+            replicas: replicas.iter().map(|r| r.addr.clone()).collect(),
+            record_routes: true,
+            reconnect_wait: Duration::from_millis(50),
+            ..RouterConfig::default()
+        })
+        .unwrap(),
+    );
+    router.start().unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let run = Arc::clone(&router);
+    let thread = std::thread::spawn(move || run.run(listener));
+    (addr, router, thread)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+}
+
+/// A request line whose circuit varies with `variant`, so different
+/// ids spread across the ring instead of collapsing onto one key.
+fn request_line(id: &str, variant: usize) -> String {
+    let family = if variant.is_multiple_of(2) {
+        BenchmarkFamily::Ghz
+    } else {
+        BenchmarkFamily::Dj
+    };
+    let qc = family.generate(2 + (variant as u32 / 2) % 2);
+    let objective = ["fidelity", "critical_depth", "combination"][variant % 3];
+    format!(
+        r#"{{"id":"{id}","qasm":{},"objective":"{objective}"}}"#,
+        serde_json::to_string(&serde_json::Value::from(qrc_circuit::qasm::to_qasm(&qc)))
+    )
+}
+
+#[test]
+fn fleet_routes_merges_stats_and_survives_replica_loss() {
+    let service = tiny_service();
+    let a = start_replica(&service);
+    let b = start_replica(&service);
+    let (addr, router, router_thread) = start_router(&[&a, &b]);
+
+    let stream = connect(&addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+
+    // Phase 1: both replicas healthy. Every request must come back ok.
+    for i in 0..12 {
+        writeln!(writer, "{}", request_line(&format!("p1-{i}"), i)).unwrap();
+    }
+    writer.flush().unwrap();
+    for _ in 0..12 {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "phase-1 failure: {line}");
+    }
+
+    // Merged stats nest both replicas and sum their counters.
+    writeln!(writer, r#"{{"cmd":"stats"}}"#).unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""fleet""#), "no fleet block: {line}");
+    assert!(line.contains(&a.addr) && line.contains(&b.addr));
+
+    // Consistent hashing: identical repeated traffic stays put, so
+    // every distinct key was owned by exactly one replica.
+    for (key, owners) in router.route_log() {
+        assert_eq!(owners.len(), 1, "key {key:#x} bounced between replicas");
+    }
+    let counters = router.replica_counters();
+    let routed: Vec<u64> = counters.iter().map(|c| c.1).collect();
+    assert!(
+        routed.iter().all(|&n| n > 0),
+        "one replica never saw traffic: {routed:?}"
+    );
+
+    // Phase 2: replica A dies mid-stream. The router must eject it,
+    // reroute, and keep answering — zero lost or failed requests.
+    a.shutdown.request();
+    a.server.join().unwrap().unwrap();
+    for i in 0..12 {
+        writeln!(writer, "{}", request_line(&format!("p2-{i}"), i)).unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "post-loss failure: {line}");
+    }
+    let counters = router.replica_counters();
+    let alive = counters.iter().filter(|c| c.5).count();
+    assert_eq!(alive, 1, "dead replica not ejected: {counters:?}");
+
+    // Clean drain: shutdown drains the router; replica B keeps
+    // running until we stop it ourselves.
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#).unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "shutdown reply: {line}");
+    drop(writer);
+    drop(reader);
+    router_thread.join().unwrap().unwrap();
+
+    b.shutdown.request();
+    b.server.join().unwrap().unwrap();
+}

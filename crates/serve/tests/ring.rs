@@ -1,0 +1,117 @@
+//! Property tests for the consistent-hash ring behind `qrc-lb`.
+//!
+//! Two invariants the router leans on:
+//!
+//! * **balance** — with enough virtual nodes (the router defaults to
+//!   64 per replica) no replica owns a wildly outsized share of the
+//!   key space, so replica caches stay comparably warm,
+//! * **minimal disruption** — removing one replica moves only the
+//!   keys that replica owned; every other key keeps its assignment,
+//!   so an ejection never cold-starts the survivors' caches.
+
+use proptest::prelude::*;
+use qrc_serve::{splitmix64, HashRing};
+
+/// A deterministic spread of keys: splitmix64 of consecutive integers
+/// is as close to uniform as the ring's own point hashing, which is
+/// exactly the population the ring routes in production (`mix_key`
+/// output is splitmix64-finalized too).
+fn keys(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(splitmix64)
+}
+
+/// Builds a ring of `replicas` members labelled the way the router
+/// labels them (by address string; here a synthetic stand-in).
+fn ring_of(replicas: usize, vnodes: usize) -> HashRing {
+    let mut ring = HashRing::new(vnodes);
+    for r in 0..replicas {
+        ring.insert(r, &format!("replica-{r}"));
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// At >= 64 vnodes each replica's share of a large uniform key
+    /// population stays within tolerance of fair: no replica is
+    /// starved below 40% of its fair share or bloated past 180%.
+    #[test]
+    fn balance_within_tolerance_at_64_vnodes(
+        replicas in 2..8usize,
+        vnodes in 64..129usize,
+    ) {
+        let ring = ring_of(replicas, vnodes);
+        const KEYS: u64 = 4096;
+        let mut counts = vec![0u64; replicas];
+        for key in keys(KEYS) {
+            counts[ring.route(key).unwrap()] += 1;
+        }
+        let fair = KEYS as f64 / replicas as f64;
+        for (idx, &count) in counts.iter().enumerate() {
+            let share = count as f64 / fair;
+            prop_assert!(
+                (0.4..=1.8).contains(&share),
+                "replica-{} owns {} of {} keys ({:.2}x fair share) at {} vnodes",
+                idx, count, KEYS, share, vnodes
+            );
+        }
+    }
+
+    /// Removing one replica moves exactly that replica's keys: every
+    /// key previously owned by a survivor keeps its owner, and every
+    /// orphaned key lands on some survivor.
+    #[test]
+    fn removal_moves_only_the_removed_replicas_keys(
+        replicas in 2..8usize,
+        vnodes in 64..129usize,
+        removed in 0..8usize,
+    ) {
+        let removed = removed % replicas;
+        let mut ring = ring_of(replicas, vnodes);
+        let before: Vec<(u64, usize)> = keys(2048)
+            .map(|k| (k, ring.route(k).unwrap()))
+            .collect();
+        ring.remove(removed);
+        let mut moved = 0u64;
+        for &(key, owner_before) in &before {
+            let owner_after = ring.route(key).unwrap();
+            if owner_before == removed {
+                moved += 1;
+                prop_assert_ne!(
+                    owner_after, removed,
+                    "orphaned key {} still routes to the removed replica", key
+                );
+            } else {
+                prop_assert_eq!(
+                    owner_after, owner_before,
+                    "key {} owned by surviving replica-{} moved on unrelated removal",
+                    key, owner_before
+                );
+            }
+        }
+        let orphaned = before.iter().filter(|&&(_, o)| o == removed).count() as u64;
+        prop_assert_eq!(moved, orphaned);
+    }
+
+    /// A removed replica that rejoins reclaims exactly its old arcs:
+    /// the ring's point placement depends only on (label, vnode
+    /// index), never on insertion order or ring history.
+    #[test]
+    fn rejoin_restores_the_exact_prior_assignment(
+        replicas in 2..6usize,
+        vnodes in 64..97usize,
+        bounced in 0..6usize,
+    ) {
+        let bounced = bounced % replicas;
+        let mut ring = ring_of(replicas, vnodes);
+        let before: Vec<(u64, usize)> = keys(1024)
+            .map(|k| (k, ring.route(k).unwrap()))
+            .collect();
+        ring.remove(bounced);
+        ring.insert(bounced, &format!("replica-{bounced}"));
+        for &(key, owner_before) in &before {
+            prop_assert_eq!(ring.route(key).unwrap(), owner_before);
+        }
+    }
+}
