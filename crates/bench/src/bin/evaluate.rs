@@ -15,7 +15,7 @@
 //!   perf                    serial-vs-parallel scoring throughput only
 //!                           (writes BENCH_eval.json)
 //!   serve                   replay a synthetic traffic mix through the
-//!                           qrc-serve compilation service nine ways:
+//!                           qrc-serve compilation service ten ways:
 //!                           serial, blocking batched, the pipelined
 //!                           socket front end, a sharded registry
 //!                           vs the monolithic baseline over a
@@ -29,10 +29,15 @@
 //!                           latency breakdown), a fleet arm (the mix
 //!                           streamed through the qrc-lb consistent-
 //!                           hash router over three socket replicas at
-//!                           matched total cache capacity), and a
-//!                           dynamic-device arm (runtime-registered
-//!                           device with a live mid-run calibration
-//!                           swap) (writes BENCH_serve.json)
+//!                           matched total cache capacity), a
+//!                           closed-loop retrain arm (weak checkpoints
+//!                           serve a logged skewed mix, qrc-retrain
+//!                           fine-tunes on the logged head, the gate
+//!                           promotes, and reload swaps the candidate
+//!                           in under live load), and a dynamic-device
+//!                           arm (runtime-registered device with a
+//!                           live mid-run calibration swap) (writes
+//!                           BENCH_serve.json)
 //!   all                     everything above except `serve` from one
 //!                           evaluation run
 //!
@@ -371,6 +376,32 @@ fn run_serve(
         );
     }
     println!(
+        "closed-loop retrain ({} logged requests, {:.1}s offline): \
+         {} considered / {} skipped / {} candidates / {} promoted / {} rejected | \
+         head {:.4} -> {:.4} (+{:.4}) | holdout {:.4} -> {:.4} | \
+         entropy {:.3} (floor {:.3}) | swap: {} served, {} failed | \
+         post-swap payloads identical: {} | served reward {:.4} -> {:.4}",
+        report.retrain_requests,
+        report.retrain_secs,
+        report.retrain_shards_considered,
+        report.retrain_skipped,
+        report.retrain_candidates,
+        report.retrain_promoted,
+        report.retrain_rejected,
+        report.retrain_incumbent_head_reward,
+        report.retrain_candidate_head_reward,
+        report.retrain_head_improvement(),
+        report.retrain_incumbent_holdout_reward,
+        report.retrain_candidate_holdout_reward,
+        report.retrain_candidate_entropy,
+        report.retrain_entropy_floor,
+        report.retrain_swap_served,
+        report.retrain_swap_failed,
+        report.retrain_identical,
+        report.retrain_before_mean_reward,
+        report.retrain_after_mean_reward
+    );
+    println!(
         "dynamic devices ({} requests incl. `{}` pins, seed tag {}): \
          before {:.3}s | after calibrate {:.3}s | built-in parity: {} | \
          generation {} invalidated {} | {}/{} calibration-keyed payloads changed | \
@@ -531,6 +562,25 @@ fn run_serve(
         eprintln!(
             "FAIL: {} requests failed in the fleet replay (must be 0)",
             report.fleet_errors
+        );
+        std::process::exit(1);
+    }
+    if !report.retrain_loop_ok() {
+        eprintln!(
+            "FAIL: the closed retrain loop broke a guarantee \
+             ({} promoted / {} rejected, head {:+.4}, holdout {:.4} vs {:.4}, \
+             entropy {:.3} vs floor {:.3}, swap {} served / {} failed, \
+             payloads identical: {})",
+            report.retrain_promoted,
+            report.retrain_rejected,
+            report.retrain_head_improvement(),
+            report.retrain_candidate_holdout_reward,
+            report.retrain_incumbent_holdout_reward,
+            report.retrain_candidate_entropy,
+            report.retrain_entropy_floor,
+            report.retrain_swap_served,
+            report.retrain_swap_failed,
+            report.retrain_identical
         );
         std::process::exit(1);
     }

@@ -72,7 +72,21 @@ use crate::{score_suite, CircuitEval, EvalSettings, Evaluation};
 /// `round_robin`/`rerouted`/`errors` counters, throughput vs the
 /// serial arm, and a nested per-replica `replicas` array with each
 /// replica's routed/completed and cache counters).
-pub const BENCH_SCHEMA_VERSION: u64 = 9;
+///
+/// v10: the serve report grew the closed-loop retrain arm (`retrain`
+/// block: deliberately weak checkpoints serve a skewed, traffic-logged
+/// mix, `qrc-retrain`'s offline flow fine-tunes the traffic-bearing
+/// shard on the frequency-weighted logged head with the
+/// action-diversity entropy bonus, and the promotion gate replays
+/// held-out logged traffic; `promoted`/`rejected`/`skipped` counters,
+/// incumbent-vs-candidate `head`/`holdout` reward pairs with
+/// `head_improvement`, the `entropy` floor and the candidate's
+/// rollout entropy, live-swap counters — `swap_served`/`swap_failed`
+/// across the under-load `reload()` — `payloads_identical` against a
+/// fresh serial service on the promoted checkpoints,
+/// before/after served-reward means, and the aggregate `loop_ok`
+/// gate).
+pub const BENCH_SCHEMA_VERSION: u64 = 10;
 
 /// Wall-clock comparison of the serial vs parallel scoring paths.
 #[derive(Debug, Clone)]
@@ -262,6 +276,7 @@ pub fn bench_serve_value(report: &ServeBenchReport, settings: &EvalSettings) -> 
         ("miss_path", miss_path_value(report)),
         ("observability", observability_value(report)),
         ("fleet", fleet_value(report)),
+        ("retrain", retrain_value(report)),
         ("dynamic_devices", dynamic_devices_value(report)),
         ("settings", settings_value(settings)),
     ])
@@ -308,6 +323,74 @@ fn fleet_value(report: &ServeBenchReport) -> Value {
         ("rerouted", Value::from(report.fleet_rerouted)),
         ("round_robin", Value::from(report.fleet_round_robin)),
         ("replicas", Value::Array(replicas)),
+    ])
+}
+
+/// The retrain block of `BENCH_serve.json`: the closed training loop —
+/// serve → log → curriculum fine-tune → promotion gate → live reload
+/// under load — gated on a strict head improvement, no held-out
+/// regression, action diversity above the entropy floor, a zero-failure
+/// swap, and byte-identical post-swap payloads.
+fn retrain_value(report: &ServeBenchReport) -> Value {
+    Value::object(vec![
+        ("requests", Value::from(report.retrain_requests)),
+        (
+            "shards_considered",
+            Value::from(report.retrain_shards_considered),
+        ),
+        ("skipped", Value::from(report.retrain_skipped)),
+        ("candidates", Value::from(report.retrain_candidates)),
+        ("promoted", Value::from(report.retrain_promoted)),
+        ("rejected", Value::from(report.retrain_rejected)),
+        (
+            "head",
+            Value::object(vec![
+                (
+                    "incumbent_reward",
+                    Value::from(report.retrain_incumbent_head_reward),
+                ),
+                (
+                    "candidate_reward",
+                    Value::from(report.retrain_candidate_head_reward),
+                ),
+                (
+                    "improvement",
+                    Value::from(report.retrain_head_improvement()),
+                ),
+            ]),
+        ),
+        (
+            "holdout",
+            Value::object(vec![
+                (
+                    "incumbent_reward",
+                    Value::from(report.retrain_incumbent_holdout_reward),
+                ),
+                (
+                    "candidate_reward",
+                    Value::from(report.retrain_candidate_holdout_reward),
+                ),
+            ]),
+        ),
+        (
+            "entropy",
+            Value::object(vec![
+                ("floor", Value::from(report.retrain_entropy_floor)),
+                ("candidate", Value::from(report.retrain_candidate_entropy)),
+            ]),
+        ),
+        ("secs", Value::from(report.retrain_secs)),
+        ("swap_served", Value::from(report.retrain_swap_served)),
+        ("swap_failed", Value::from(report.retrain_swap_failed)),
+        ("payloads_identical", Value::from(report.retrain_identical)),
+        (
+            "served_reward",
+            Value::object(vec![
+                ("before", Value::from(report.retrain_before_mean_reward)),
+                ("after", Value::from(report.retrain_after_mean_reward)),
+            ]),
+        ),
+        ("loop_ok", Value::from(report.retrain_loop_ok())),
     ])
 }
 
@@ -631,6 +714,24 @@ mod tests {
                 hits: 45,
                 misses: 95,
             }],
+            retrain_requests: 22,
+            retrain_shards_considered: 3,
+            retrain_skipped: 2,
+            retrain_candidates: 1,
+            retrain_promoted: 1,
+            retrain_rejected: 0,
+            retrain_incumbent_head_reward: 0.0,
+            retrain_candidate_head_reward: 0.97,
+            retrain_incumbent_holdout_reward: 0.0,
+            retrain_candidate_holdout_reward: 0.95,
+            retrain_entropy_floor: 0.05,
+            retrain_candidate_entropy: 1.8,
+            retrain_secs: 3.0,
+            retrain_swap_served: 48,
+            retrain_swap_failed: 0,
+            retrain_identical: true,
+            retrain_before_mean_reward: 0.0,
+            retrain_after_mean_reward: 0.9,
             dyn_requests: 436,
             dyn_device: "bench_dyn_ring_12".into(),
             dyn_seed_tag: 6,
@@ -694,6 +795,19 @@ mod tests {
             "locality_ok",
             "round_robin",
             "127.0.0.1:41001",
+            "retrain",
+            "shards_considered",
+            "head",
+            "holdout",
+            "incumbent_reward",
+            "candidate_reward",
+            "improvement",
+            "entropy",
+            "floor",
+            "swap_served",
+            "swap_failed",
+            "served_reward",
+            "loop_ok",
             "dynamic_devices",
             "bench_dyn_ring_12",
             "seed_tag",
@@ -731,6 +845,8 @@ mod tests {
         );
         assert!((report.speedup() - 4.0).abs() < 1e-9);
         assert!((report.requests_per_sec() - 800.0).abs() < 1e-9);
+        assert!((report.retrain_head_improvement() - 0.97).abs() < 1e-9);
+        assert!(report.retrain_loop_ok());
         assert!((report.requests_per_sec_pipelined() - 1600.0).abs() < 1e-9);
         assert!((report.pipelined_speedup() - 2.0).abs() < 1e-9);
         assert!((report.requests_per_sec_sharded() - 1000.0).abs() < 1e-9);

@@ -51,6 +51,21 @@
 //! calibration-keyed payloads pinned to it — every other payload stays
 //! byte-identical, with zero failed requests. This arm stays last: the
 //! calibration swap mutates the process-wide device registry.
+//!
+//! A tenth arm closes the training loop (it runs just *before* the
+//! dynamic-device arm, which must stay last): deliberately weak
+//! wildcard checkpoints serve a skewed, traffic-logged mix, the
+//! offline retrain flow builds a frequency-weighted curriculum from
+//! the logged head and fine-tunes the traffic-bearing shard with the
+//! action-diversity entropy bonus, and the promotion gate replays
+//! held-out logged traffic candidate-vs-incumbent — only a candidate
+//! no worse on held-out reward and strictly better on the logged head
+//! installs. The promoted checkpoint then swaps into the live service
+//! through the `reload()` path while worker threads keep the request
+//! stream flowing: zero failed requests across the swap, candidate
+//! rollout entropy at or above the collapse floor, and every
+//! post-swap answer byte-identical to a fresh serial service started
+//! from the promoted checkpoints.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -59,10 +74,10 @@ use std::time::{Duration, Instant};
 
 use qrc_predictor::task_seed;
 use qrc_serve::{
-    bind_ephemeral, serve_socket, synthetic_mix, CacheStatus, CompilationService, DeviceClass,
-    FleetRouter, FrontendConfig, ModelRegistry, QueuedLine, RouteCounts, RouterConfig,
-    ServeRequest, ServeResponse, ServiceConfig, ShardCounters, ShardKey, ShutdownFlag, Stage,
-    TrafficConfig, WidthBand,
+    bind_ephemeral, head_of_distribution_counts, run_retrain, serve_socket, synthetic_mix,
+    CacheStatus, CompilationService, DeviceClass, FleetRouter, FrontendConfig, ModelRegistry,
+    QueuedLine, RetrainConfig, RouteCounts, RouterConfig, ServeRequest, ServeResponse,
+    ServiceConfig, ShardCounters, ShardKey, ShutdownFlag, Stage, TrafficConfig, WidthBand,
 };
 use serde_json::Value;
 
@@ -316,6 +331,52 @@ pub struct ServeBenchReport {
     pub fleet_round_robin: u64,
     /// Per-replica routing and cache counters.
     pub fleet_stats: Vec<FleetReplicaStat>,
+    /// Logged requests the closed-loop arm served (and retrained from).
+    pub retrain_requests: usize,
+    /// Shards the retrain flow considered (registry keys, or the
+    /// configured restriction).
+    pub retrain_shards_considered: usize,
+    /// Shards skipped for thin traffic (below the request floor).
+    pub retrain_skipped: usize,
+    /// Candidate checkpoints fine-tuned and gated.
+    pub retrain_candidates: usize,
+    /// Candidates the gate promoted into the live directory (the arm
+    /// requires exactly 1 — the traffic-bearing wildcard shard).
+    pub retrain_promoted: usize,
+    /// Candidates the gate quarantined (must be 0 here: weak
+    /// incumbents leave real headroom).
+    pub retrain_rejected: usize,
+    /// Incumbent's frequency-weighted mean reward on the logged head.
+    pub retrain_incumbent_head_reward: f64,
+    /// Promoted candidate's reward on the same head — the gate
+    /// requires this strictly above the incumbent's.
+    pub retrain_candidate_head_reward: f64,
+    /// Incumbent's weighted mean reward on the held-out log slice.
+    pub retrain_incumbent_holdout_reward: f64,
+    /// Candidate's held-out reward — the gate requires no regression.
+    pub retrain_candidate_holdout_reward: f64,
+    /// Minimum rollout entropy (nats) a candidate may promote with.
+    pub retrain_entropy_floor: f64,
+    /// Promoted candidate's rollout entropy over the curriculum —
+    /// reported so action-diversity is auditable, must be ≥ the floor.
+    pub retrain_candidate_entropy: f64,
+    /// Wall-clock of the offline retrain (curriculum + fine-tune +
+    /// gate replay), seconds.
+    pub retrain_secs: f64,
+    /// Requests the load workers served across the live swap (> 0, or
+    /// the swap was not exercised under load).
+    pub retrain_swap_served: u64,
+    /// Failed requests across the live swap (must be 0).
+    pub retrain_swap_failed: u64,
+    /// `true` iff every post-swap answer was byte-identical to a fresh
+    /// *serial* service started from the promoted checkpoints — the
+    /// generation-stamped cache keys left nothing stale behind.
+    pub retrain_identical: bool,
+    /// Mean served reward over the distinct logged circuits before the
+    /// swap (the weak incumbents' answers).
+    pub retrain_before_mean_reward: f64,
+    /// Mean served reward over the same circuits after the swap.
+    pub retrain_after_mean_reward: f64,
     /// Requests in the dynamic-device arm's mix (the arm-1 mix plus
     /// requests pinned to the runtime-registered device).
     pub dyn_requests: usize,
@@ -444,6 +505,30 @@ impl ServeBenchReport {
     /// the set was non-empty to begin with).
     pub fn dyn_recalibration_ok(&self) -> bool {
         self.dyn_expected_changed > 0 && self.dyn_changed == self.dyn_expected_changed
+    }
+
+    /// Reward the promoted candidate gained over the incumbent on the
+    /// logged head — the quantity the promotion gate requires to be
+    /// strictly positive.
+    pub fn retrain_head_improvement(&self) -> f64 {
+        self.retrain_candidate_head_reward - self.retrain_incumbent_head_reward
+    }
+
+    /// `true` iff the closed loop did what it promises: a promotion
+    /// happened, nothing was quarantined, the head strictly improved,
+    /// held-out reward did not regress, the candidate kept action
+    /// diversity, the live swap failed zero requests while actually
+    /// carrying load, and post-swap answers were byte-identical to
+    /// fresh serial compilation under the new checkpoint.
+    pub fn retrain_loop_ok(&self) -> bool {
+        self.retrain_promoted == 1
+            && self.retrain_rejected == 0
+            && self.retrain_head_improvement() > 0.0
+            && self.retrain_candidate_holdout_reward >= self.retrain_incumbent_holdout_reward
+            && self.retrain_candidate_entropy >= self.retrain_entropy_floor
+            && self.retrain_swap_failed == 0
+            && self.retrain_swap_served > 0
+            && self.retrain_identical
     }
 }
 
@@ -865,6 +950,212 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         FLEET_REPLICAS,
     );
 
+    // --- The closed-loop retrain arm --------------------------------------
+    // Deliberately weak wildcard checkpoints (a 300-timestep budget,
+    // far too small to learn even this toy suite) serve a skewed,
+    // traffic-logged mix; the offline retrain flow fine-tunes the
+    // traffic-bearing shard on the logged head with the entropy
+    // bonus, the gate replays held-out traffic, and `reload()` swaps
+    // the promoted checkpoint in while three workers keep requests
+    // flowing. Weak incumbents are the point: promotion must
+    // deterministically fire, so the arm measures the whole loop, not
+    // a coin flip on whether fine-tuning happened to help.
+    const RETRAIN_WEAK_TIMESTEPS: usize = 300;
+    let retrain_dir =
+        std::env::temp_dir().join(format!("qrc_serve_bench_retrain_{}", std::process::id()));
+    std::fs::remove_dir_all(&retrain_dir).ok();
+    std::fs::create_dir_all(&retrain_dir).expect("create retrain-arm models dir");
+    let weak_suite = vec![
+        qrc_benchgen::BenchmarkFamily::Ghz.generate(3),
+        qrc_benchgen::BenchmarkFamily::Dj.generate(3),
+    ];
+    let weak_settings = EvalSettings {
+        timesteps: RETRAIN_WEAK_TIMESTEPS,
+        verbose: false,
+        ..settings.clone()
+    };
+    for model in &train_models(&weak_suite, &weak_settings) {
+        model
+            .save(&ModelRegistry::model_path(
+                &retrain_dir,
+                ShardKey::wildcard(model.reward()),
+            ))
+            .expect("save retrain-arm weak checkpoint");
+    }
+    let retrain_log = retrain_dir.join("traffic.ndjson");
+    let retrain_service = Arc::new(
+        CompilationService::start(&ServiceConfig {
+            models_dir: retrain_dir.clone(),
+            seed: settings.seed,
+            verbose: false,
+            ..ServiceConfig::default()
+        })
+        .expect("start retrain-arm service"),
+    );
+    retrain_service
+        .set_traffic_log(&retrain_log)
+        .expect("attach retrain-arm traffic log");
+    // The skewed mix the loop learns from: one hot circuit dominating,
+    // a warm and a cool one behind it, and a one-off tail —
+    // interleaved so the frequency ranking is real work.
+    let retrain_request = |family: qrc_benchgen::BenchmarkFamily, qubits: u32, id: String| {
+        let mut request = ServeRequest::new(qrc_circuit::qasm::to_qasm(&family.generate(qubits)));
+        request.id = Some(id);
+        request
+    };
+    let mut retrain_traffic = Vec::new();
+    for i in 0..12 {
+        retrain_traffic.push(retrain_request(
+            qrc_benchgen::BenchmarkFamily::Ghz,
+            3,
+            format!("hot-{i}"),
+        ));
+        if i < 6 {
+            retrain_traffic.push(retrain_request(
+                qrc_benchgen::BenchmarkFamily::Dj,
+                3,
+                format!("warm-{i}"),
+            ));
+        }
+        if i < 3 {
+            retrain_traffic.push(retrain_request(
+                qrc_benchgen::BenchmarkFamily::Ghz,
+                2,
+                format!("cool-{i}"),
+            ));
+        }
+    }
+    retrain_traffic.push(retrain_request(
+        qrc_benchgen::BenchmarkFamily::Ghz,
+        4,
+        "tail-0".into(),
+    ));
+    for chunk in retrain_traffic.chunks(serve.batch_size.max(1)) {
+        for response in retrain_service.handle_batch(chunk) {
+            assert!(
+                response.result.is_ok(),
+                "retrain-arm serve failed: {:?}",
+                response.result
+            );
+        }
+    }
+    let retrain_uniques: Vec<ServeRequest> =
+        head_of_distribution_counts(&retrain_traffic, usize::MAX)
+            .into_iter()
+            .map(|(request, _)| request)
+            .collect();
+    let retrain_payload = |service: &CompilationService, request: &ServeRequest| -> Value {
+        service.handle_batch(std::slice::from_ref(request))[0].payload_value()
+    };
+    let mean_reward = |payloads: &[Value]| -> f64 {
+        payloads
+            .iter()
+            .map(|p| p.get("reward").and_then(Value::as_f64).unwrap_or(0.0))
+            .sum::<f64>()
+            / (payloads.len() as f64).max(1.0)
+    };
+    let retrain_before: Vec<Value> = retrain_uniques
+        .iter()
+        .map(|r| retrain_payload(&retrain_service, r))
+        .collect();
+    let retrain_before_mean_reward = mean_reward(&retrain_before);
+
+    let retrain_start = Instant::now();
+    let retrain_outcome = run_retrain(&RetrainConfig {
+        models_dir: retrain_dir.clone(),
+        log_path: retrain_log.clone(),
+        timesteps: 1500,
+        curriculum_cap: 8,
+        max_repeats: 6,
+        min_requests: 4,
+        seed: settings.seed,
+        verbose: false,
+        ..RetrainConfig::default()
+    })
+    .expect("offline retrain over the logged traffic");
+    let retrain_secs = retrain_start.elapsed().as_secs_f64();
+    let promoted_gate = retrain_outcome
+        .outcomes
+        .iter()
+        .find(|o| o.gate.promoted)
+        .map(|o| o.gate.clone())
+        .unwrap_or_else(|| panic!("retrain arm promotes a candidate: {:?}", retrain_outcome));
+
+    // Swap the promoted checkpoint in through the live reload path
+    // under 3-thread load; a served counter brackets the reload so the
+    // swap provably happens while traffic flows.
+    let retrain_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let retrain_served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let retrain_workers: Vec<_> = (0..3)
+        .map(|w| {
+            let service = Arc::clone(&retrain_service);
+            let stop = Arc::clone(&retrain_stop);
+            let served = Arc::clone(&retrain_served);
+            let mix = retrain_traffic.clone();
+            std::thread::spawn(move || -> (u64, u64) {
+                use std::sync::atomic::Ordering;
+                let (mut ok, mut failed, mut i) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::SeqCst) {
+                    let mut request = mix[(i as usize) % mix.len()].clone();
+                    request.id = Some(format!("swap-w{w}-{i}"));
+                    match service.handle_batch(std::slice::from_ref(&request))[0].result {
+                        Ok(_) => ok += 1,
+                        Err(_) => failed += 1,
+                    }
+                    served.fetch_add(1, Ordering::SeqCst);
+                    i += 1;
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    {
+        use std::sync::atomic::Ordering;
+        while retrain_served.load(Ordering::SeqCst) < 6 {
+            std::thread::yield_now();
+        }
+        let reload = retrain_service
+            .reload()
+            .expect("reload promoted checkpoint");
+        assert!(
+            !reload.loaded.is_empty(),
+            "the promoted checkpoint is picked up: {reload:?}"
+        );
+        let at_swap = retrain_served.load(Ordering::SeqCst);
+        while retrain_served.load(Ordering::SeqCst) < at_swap + 6 {
+            std::thread::yield_now();
+        }
+        retrain_stop.store(true, Ordering::SeqCst);
+    }
+    let (mut retrain_swap_served, mut retrain_swap_failed) = (0u64, 0u64);
+    for worker in retrain_workers {
+        let (ok, failed) = worker.join().expect("join retrain-arm load worker");
+        retrain_swap_served += ok;
+        retrain_swap_failed += failed;
+    }
+    // Zero stale answers: post-swap payloads must be byte-identical to
+    // a fresh *serial* service started from the promoted checkpoints.
+    let retrain_fresh = CompilationService::start(&ServiceConfig {
+        models_dir: retrain_dir.clone(),
+        parallel: false,
+        seed: settings.seed,
+        verbose: false,
+        ..ServiceConfig::default()
+    })
+    .expect("start fresh post-promotion reference service");
+    let retrain_after: Vec<Value> = retrain_uniques
+        .iter()
+        .map(|r| retrain_payload(&retrain_service, r))
+        .collect();
+    let retrain_identical = retrain_uniques
+        .iter()
+        .zip(retrain_after.iter())
+        .all(|(request, swapped)| *swapped == retrain_payload(&retrain_fresh, request));
+    let retrain_after_mean_reward = mean_reward(&retrain_after);
+    drop(retrain_fresh);
+    drop(retrain_service);
+    std::fs::remove_dir_all(&retrain_dir).ok();
+
     // --- The dynamic-device / live-calibration arm ------------------------
     // A runtime spec joins the built-ins in the process-wide registry,
     // and the arm-1 mix is extended with requests pinned to it. One
@@ -1035,6 +1326,24 @@ pub fn run_serve_bench(settings: &EvalSettings, serve: &ServeBenchSettings) -> S
         fleet_rerouted: fleet.rerouted,
         fleet_round_robin: fleet.round_robin,
         fleet_stats: fleet.stats,
+        retrain_requests: retrain_traffic.len(),
+        retrain_shards_considered: retrain_outcome.shards_considered,
+        retrain_skipped: retrain_outcome.skipped,
+        retrain_candidates: retrain_outcome.candidates,
+        retrain_promoted: retrain_outcome.promoted,
+        retrain_rejected: retrain_outcome.rejected,
+        retrain_incumbent_head_reward: promoted_gate.incumbent_head_reward,
+        retrain_candidate_head_reward: promoted_gate.candidate_head_reward,
+        retrain_incumbent_holdout_reward: promoted_gate.incumbent_holdout_reward,
+        retrain_candidate_holdout_reward: promoted_gate.candidate_holdout_reward,
+        retrain_entropy_floor: retrain_outcome.entropy_floor,
+        retrain_candidate_entropy: promoted_gate.candidate_entropy,
+        retrain_secs,
+        retrain_swap_served,
+        retrain_swap_failed,
+        retrain_identical,
+        retrain_before_mean_reward,
+        retrain_after_mean_reward,
         dyn_requests: dynamic_traffic.len(),
         dyn_device: DYN_DEVICE.to_string(),
         dyn_seed_tag,

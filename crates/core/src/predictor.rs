@@ -102,6 +102,38 @@ pub fn train_with_progress(
     }
 }
 
+/// Configuration for fine-tuning an already-trained predictor on a
+/// new circuit slice (the offline retraining flow's entry into this
+/// crate). Distinct from [`PredictorConfig`]: the network shapes and
+/// most hyperparameters come from the checkpoint being tuned — only
+/// the budget, the rollout seed, and the diversity shaping are free.
+#[derive(Debug, Clone)]
+pub struct FineTuneConfig {
+    /// Additional environment steps to train for.
+    pub total_timesteps: usize,
+    /// Seed for the fine-tuning rollouts (the checkpoint's own seed
+    /// keeps driving its deterministic *inference* rollouts).
+    pub seed: u64,
+    /// Reward-shaping step penalty for the fine-tuning environment.
+    pub step_penalty: f64,
+    /// Entropy-bonus override: `Some(c)` replaces the checkpoint's
+    /// coefficient (retraining turns this up so the tuned policy keeps
+    /// action diversity instead of collapsing onto one pass); `None`
+    /// keeps whatever the checkpoint trained with.
+    pub entropy_coef: Option<f64>,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig {
+            total_timesteps: 2_000,
+            seed: 0,
+            step_penalty: 0.005,
+            entropy_coef: Some(0.03),
+        }
+    }
+}
+
 /// Why loading a persisted model failed.
 #[derive(Debug)]
 pub enum PersistError {
@@ -320,6 +352,91 @@ impl TrainedPredictor {
     /// checkpoint.
     pub fn load(path: &std::path::Path) -> Result<TrainedPredictor, PersistError> {
         TrainedPredictor::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Continues training this model's policy on a new circuit slice
+    /// — fine-tune-from-checkpoint. The returned predictor keeps the
+    /// objective and inference seed of the original (so serving-side
+    /// determinism guarantees carry over) but its networks have seen
+    /// `config.total_timesteps` further steps on `circuits`, with the
+    /// entropy bonus optionally raised per `config.entropy_coef`. The
+    /// incumbent is untouched: the promotion gate decides which of the
+    /// two checkpoints serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty circuit slice, like [`train_with_progress`]
+    /// — a curriculum that filtered down to nothing is a caller bug.
+    pub fn fine_tune_with_progress(
+        &self,
+        circuits: Vec<QuantumCircuit>,
+        config: &FineTuneConfig,
+        progress: impl FnMut(&TrainStats),
+    ) -> TrainedPredictor {
+        assert!(
+            !circuits.is_empty(),
+            "cannot fine-tune a predictor on an empty circuit slice"
+        );
+        let mut env =
+            CompilationEnv::new(circuits, self.reward).with_step_penalty(config.step_penalty);
+        let mut agent = self.agent.clone();
+        if let Some(coef) = config.entropy_coef {
+            agent.set_entropy_coef(coef);
+        }
+        agent.train(&mut env, config.total_timesteps, config.seed, progress);
+        TrainedPredictor {
+            agent,
+            reward: self.reward,
+            seed: self.seed,
+            quantized: OnceLock::new(),
+        }
+    }
+
+    /// Mean entropy (nats) of the masked policy distribution over the
+    /// states of this model's deterministic greedy rollout on
+    /// `circuit`. This is the action-diversity probe the retraining
+    /// promotion gate reads: a policy that has collapsed onto one
+    /// action scores ≈0 on every state it visits, however healthy its
+    /// reward looks on the curriculum it collapsed to.
+    pub fn rollout_entropy(&self, circuit: &QuantumCircuit) -> f64 {
+        let all = Action::all();
+        let mut flow = CompilationFlow::new(circuit.clone(), self.seed);
+        let mut sum = 0.0;
+        let mut states = 0usize;
+        for _ in 0..MAX_EPISODE_STEPS {
+            if flow.is_done() {
+                break;
+            }
+            let mask = flow.action_mask();
+            if !mask.iter().any(|&m| m) {
+                break;
+            }
+            let obs = observation_of(&flow);
+            sum += self.agent.policy_entropy(&obs, &mask);
+            states += 1;
+            let choice = self.agent.act_greedy(&obs, &mask);
+            if flow.apply(all[choice]).is_err() {
+                break;
+            }
+        }
+        if states == 0 {
+            0.0
+        } else {
+            sum / states as f64
+        }
+    }
+
+    /// Mean [`Self::rollout_entropy`] over a circuit slice (0 for an
+    /// empty slice).
+    pub fn mean_rollout_entropy(&self, circuits: &[QuantumCircuit]) -> f64 {
+        if circuits.is_empty() {
+            return 0.0;
+        }
+        circuits
+            .iter()
+            .map(|c| self.rollout_entropy(c))
+            .sum::<f64>()
+            / circuits.len() as f64
     }
 
     /// Compiles a circuit by greedy rollout of the learned policy.

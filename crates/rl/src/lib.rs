@@ -33,6 +33,7 @@ mod quant;
 pub use env::{Environment, Step};
 pub use nn::{Adam, Gradients, Mlp};
 pub use ppo::{
-    greedy_from_logits, masked_softmax, sample_categorical, PpoAgent, PpoConfig, TrainStats,
+    distribution_entropy, greedy_from_logits, masked_softmax, sample_categorical, PpoAgent,
+    PpoConfig, TrainStats,
 };
 pub use quant::{fast_tanh, QuantizedMlp};

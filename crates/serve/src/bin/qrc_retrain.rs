@@ -1,0 +1,119 @@
+//! The `qrc-retrain` binary: offline closed-loop retraining from a
+//! `qrc-serve --log-traffic` log.
+//!
+//! ```text
+//! cargo run --release -p qrc-serve --bin qrc-retrain -- [flags]
+//!
+//! flags:
+//!   --models DIR        live checkpoint directory (default models);
+//!                       candidates, quarantined rejects, and the
+//!                       retrain_state.json summary land here too
+//!   --log FILE          traffic log to learn from (required — the
+//!                       path given to qrc-serve --log-traffic)
+//!   --timesteps N       fine-tuning budget per shard  (default 2000)
+//!   --cap N             unique jobs kept from each shard's head
+//!                       (default 32)
+//!   --max-repeats N     per-job frequency repetition cap (default 8)
+//!   --holdout-every N   hold every Nth logged request out for the
+//!                       promotion gate (default 4, min 2)
+//!   --min-requests N    skip shards with fewer logged requests
+//!                       (default 4)
+//!   --entropy-coef X    entropy-bonus coefficient for fine-tuning
+//!                       (default 0.03)
+//!   --entropy-floor X   minimum candidate rollout entropy, nats
+//!                       (default 0.05)
+//!   --seed N            master seed (default 17)
+//!   --shard KEY         restrict to one shard (`obj/class/band`,
+//!                       e.g. fidelity/any/any); repeatable
+//!   --quiet             suppress per-shard progress on stderr
+//! ```
+//!
+//! The report JSON is printed to stdout. Promotion only touches the
+//! file system — point a running `qrc-serve` at the same `--models`
+//! directory and send `{"cmd":"reload"}` to swap promoted checkpoints
+//! in with zero downtime.
+
+use qrc_serve::cliargs::{flag_value, usage_error};
+use qrc_serve::{run_retrain, RetrainConfig, ShardKey};
+
+const USAGE: &str = "usage: qrc-retrain --log FILE [--models DIR] [--timesteps N] [--cap N] \
+                     [--max-repeats N] [--holdout-every N] [--min-requests N] \
+                     [--entropy-coef X] [--entropy-floor X] [--seed N] \
+                     [--shard KEY]... [--quiet]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RetrainConfig {
+        verbose: true,
+        ..RetrainConfig::default()
+    };
+    let mut log: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--models" => match flag_value::<String>(&args, &mut i, "models") {
+                Ok(dir) => config.models_dir = dir.into(),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--log" => match flag_value::<String>(&args, &mut i, "log") {
+                Ok(path) => log = Some(path),
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--timesteps" => parse_into(&args, &mut i, "timesteps", &mut config.timesteps),
+            "--cap" => parse_into(&args, &mut i, "cap", &mut config.curriculum_cap),
+            "--max-repeats" => parse_into(&args, &mut i, "max-repeats", &mut config.max_repeats),
+            "--holdout-every" => {
+                parse_into(&args, &mut i, "holdout-every", &mut config.holdout_every)
+            }
+            "--min-requests" => parse_into(&args, &mut i, "min-requests", &mut config.min_requests),
+            "--entropy-coef" => parse_into(&args, &mut i, "entropy-coef", &mut config.entropy_coef),
+            "--entropy-floor" => {
+                parse_into(&args, &mut i, "entropy-floor", &mut config.entropy_floor)
+            }
+            "--seed" => parse_into(&args, &mut i, "seed", &mut config.seed),
+            "--shard" => match flag_value::<String>(&args, &mut i, "shard") {
+                Ok(text) => match ShardKey::parse(&text) {
+                    Ok(key) => config.shards.push(key),
+                    Err(e) => usage_error(&e, USAGE),
+                },
+                Err(e) => usage_error(&e, USAGE),
+            },
+            "--quiet" => config.verbose = false,
+            other => usage_error(&format!("unknown flag `{other}`"), USAGE),
+        }
+        i += 1;
+    }
+    let Some(log) = log else {
+        usage_error("--log FILE is required", USAGE);
+    };
+    config.log_path = log.into();
+    if config.timesteps == 0 {
+        usage_error("--timesteps must be at least 1", USAGE);
+    }
+    if config.curriculum_cap == 0 {
+        usage_error("--cap must be at least 1", USAGE);
+    }
+
+    match run_retrain(&config) {
+        Ok(report) => {
+            println!("{}", serde_json::to_string_pretty(&report.to_value()));
+        }
+        Err(e) => {
+            eprintln!("error: retrain failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses the flag's value into `slot`, exiting with a usage error on
+/// missing or malformed input.
+fn parse_into<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str, slot: &mut T) {
+    match flag_value(args, i, flag) {
+        Ok(v) => *slot = v,
+        Err(e) => usage_error(&e, USAGE),
+    }
+}

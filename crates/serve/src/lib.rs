@@ -37,7 +37,13 @@
 //!   request's `structural_hash` (mixed with its shard tag) onto a
 //!   virtual-node hash ring so every replica's cache owns a disjoint
 //!   slice of the workload; ejected replicas spill their arcs to ring
-//!   successors and rejoin warm.
+//!   successors and rejoin warm,
+//! * [`retrain`] — the closed loop: `qrc-retrain` fine-tunes shard
+//!   specialists offline on a frequency-weighted curriculum drawn from
+//!   the traffic log (with entropy-bonus action-diversity shaping),
+//!   and a promotion gate installs only candidates that are no worse
+//!   on held-out reward and strictly better on the logged head; the
+//!   next `{"cmd":"reload"}` swaps them in with zero stale answers.
 //!
 //! # Protocol
 //!
@@ -89,6 +95,7 @@ pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
+pub mod retrain;
 pub mod ring;
 pub mod router;
 pub mod scheduler;
@@ -106,8 +113,9 @@ pub use metrics::{
     Stage,
 };
 pub use persist::{
-    head_of_distribution, load_snapshot_file, snapshot_path, CacheSnapshot, PersistedEntry,
-    SnapshotLoad, SnapshotShardStamp, TrafficLog, SNAPSHOT_FILE, SNAPSHOT_VERSION,
+    head_of_distribution, head_of_distribution_counts, load_snapshot_file, snapshot_path,
+    CacheSnapshot, PersistedEntry, SnapshotLoad, SnapshotShardStamp, TrafficLog, SNAPSHOT_FILE,
+    SNAPSHOT_VERSION,
 };
 pub use protocol::{
     CacheStatus, CompiledResult, ControlRequest, InboundLine, ServeRequest, ServeResponse,
@@ -115,6 +123,11 @@ pub use protocol::{
 };
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{CheckpointIdentity, ModelRegistry, ReloadReport, RoutedShard};
+pub use retrain::{
+    build_curriculum, candidate_path, gate_candidate, install_or_quarantine, load_retrain_state,
+    rejected_path, run_retrain, serving_shard, shard_slice, split_log, Curriculum, GateDecision,
+    RetrainConfig, RetrainReport, ShardOutcome, RETRAIN_STATE_FILE,
+};
 pub use ring::{mix_key, splitmix64, HashRing};
 pub use router::{FleetRouter, RouterConfig};
 pub use scheduler::{BatchOptions, BatchReport, InferenceMode, MissModeCounts};

@@ -508,6 +508,19 @@ impl TrafficLog {
 /// result is deterministic), truncated to `cap`. Replaying these
 /// pre-compiles the circuits most likely to be asked again first.
 pub fn head_of_distribution(requests: &[ServeRequest], cap: usize) -> Vec<ServeRequest> {
+    head_of_distribution_counts(requests, cap)
+        .into_iter()
+        .map(|(request, _)| request)
+        .collect()
+}
+
+/// Like [`head_of_distribution`], additionally returning each unique
+/// request's observed frequency — the weights the offline retraining
+/// curriculum is built from.
+pub fn head_of_distribution_counts(
+    requests: &[ServeRequest],
+    cap: usize,
+) -> Vec<(ServeRequest, usize)> {
     let mut counts: HashMap<String, (usize, usize)> = HashMap::new();
     for (i, request) in requests.iter().enumerate() {
         // The id is caller correlation, not content: two requests that
@@ -525,7 +538,7 @@ pub fn head_of_distribution(requests: &[ServeRequest], cap: usize) -> Vec<ServeR
     ranked
         .into_iter()
         .take(cap)
-        .filter_map(|(line, _, _)| ServeRequest::parse(&line).ok())
+        .filter_map(|(line, count, _)| ServeRequest::parse(&line).ok().map(|r| (r, count)))
         .collect()
 }
 

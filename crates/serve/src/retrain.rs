@@ -1,0 +1,660 @@
+//! Offline retraining from served traffic — the closed loop.
+//!
+//! [`run_retrain`] connects the two halves the service already has:
+//! the traffic log (a recording of the real workload distribution)
+//! and zero-downtime checkpoint hot-swap (`rescan()` behind
+//! `{"cmd":"reload"}`). The flow:
+//!
+//! 1. read the log, split it deterministically into a curriculum
+//!    slice and a **held-out** gate slice ([`split_log`]),
+//! 2. group requests by the shard that actually serves them (the same
+//!    fallback chain the scheduler routes with — [`shard_slice`]),
+//! 3. per shard, build a frequency-weighted curriculum from the head
+//!    of the distribution ([`build_curriculum`]): hot circuits appear
+//!    in the fine-tuning suite proportionally to how often they were
+//!    requested,
+//! 4. fine-tune the incumbent checkpoint on its curriculum with the
+//!    entropy bonus raised — action-diversity shaping, because a
+//!    policy fine-tuned on a narrow hot set otherwise collapses onto
+//!    one action (Fösel et al., arXiv:2103.07585),
+//! 5. hand the candidate to the promotion gate ([`gate_candidate`]):
+//!    **no worse on reward** over the held-out slice, **strictly
+//!    better on the logged head**, and **rollout entropy above a
+//!    floor** (a collapsed policy never ships, however good its
+//!    curriculum reward looks),
+//! 6. install gate-passed candidates over the live checkpoint
+//!    (same-directory atomic rename) and quarantine the rest to
+//!    `*.rejected.json` — the incumbent keeps serving byte-identical
+//!    answers either way.
+//!
+//! Promotion deliberately stops at the file system: the serving
+//! process picks the new checkpoint up through its existing
+//! `{"cmd":"reload"}` path, whose generation-stamped cache keys
+//! guarantee no stale answer survives the swap. The report summary is
+//! persisted beside the checkpoints ([`RETRAIN_STATE_FILE`]) and
+//! surfaced by the service under the `retrain` block of
+//! `{"cmd":"stats"}` after the next reload.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use qrc_circuit::{qasm, QuantumCircuit};
+use qrc_device::DeviceId;
+use qrc_predictor::{atomic_write, task_seed, FineTuneConfig, PersistError, TrainedPredictor};
+use serde_json::Value;
+
+use crate::persist::{head_of_distribution_counts, TrafficLog};
+use crate::protocol::ServeRequest;
+use crate::registry::ModelRegistry;
+use crate::shard::ShardKey;
+
+/// File name (inside the models directory) the retrain flow persists
+/// its last report summary to; `{"cmd":"stats"}` surfaces it as the
+/// `retrain` block after the next reload.
+pub const RETRAIN_STATE_FILE: &str = "retrain_state.json";
+
+/// Configuration of one offline retraining run.
+#[derive(Debug, Clone)]
+pub struct RetrainConfig {
+    /// Directory holding the live checkpoints (and receiving candidate
+    /// / quarantined / state files).
+    pub models_dir: PathBuf,
+    /// The traffic log to learn from (the service's `--log-traffic`
+    /// path).
+    pub log_path: PathBuf,
+    /// Unique jobs kept from the head of each shard's distribution.
+    pub curriculum_cap: usize,
+    /// Per-unique-job cap on frequency repetition in the curriculum (a
+    /// single viral circuit must not drown out the rest of the head).
+    pub max_repeats: usize,
+    /// Every `holdout_every`-th logged request is held out for the
+    /// promotion gate instead of entering the curriculum (min 2).
+    pub holdout_every: usize,
+    /// Fine-tuning budget per shard, in environment steps.
+    pub timesteps: usize,
+    /// Reward-shaping step penalty for the fine-tuning environment.
+    pub step_penalty: f64,
+    /// Entropy-bonus coefficient for fine-tuning (the action-diversity
+    /// shaping; the incumbent's own coefficient is overridden).
+    pub entropy_coef: f64,
+    /// Minimum mean rollout entropy (nats, over the head circuits) a
+    /// candidate must keep to be promotable.
+    pub entropy_floor: f64,
+    /// Shards with fewer curriculum-slice requests than this are
+    /// skipped (too little signal to fine-tune on).
+    pub min_requests: usize,
+    /// Master seed: drives per-shard fine-tuning and gate-replay seeds.
+    pub seed: u64,
+    /// Restrict the run to these shards (empty = every shard with a
+    /// checkpoint in the models directory).
+    pub shards: Vec<ShardKey>,
+    /// Print per-shard progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            models_dir: PathBuf::from("models"),
+            log_path: PathBuf::from("traffic.ndjson"),
+            curriculum_cap: 32,
+            max_repeats: 8,
+            holdout_every: 4,
+            timesteps: 2_000,
+            step_penalty: 0.005,
+            entropy_coef: 0.03,
+            entropy_floor: 0.05,
+            min_requests: 4,
+            seed: 17,
+            shards: Vec::new(),
+            verbose: false,
+        }
+    }
+}
+
+/// Splits a request log into `(curriculum slice, held-out slice)`:
+/// every `holdout_every`-th line (by position, so the split is
+/// deterministic for a fixed log) goes to the held-out gate slice and
+/// never into the curriculum — the gate must score candidates on
+/// traffic they did not fine-tune on. `holdout_every` is clamped to at
+/// least 2 so neither slice can swallow the whole log.
+pub fn split_log(
+    requests: &[ServeRequest],
+    holdout_every: usize,
+) -> (Vec<ServeRequest>, Vec<ServeRequest>) {
+    let every = holdout_every.max(2);
+    let mut curriculum = Vec::new();
+    let mut holdout = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        if (i + 1) % every == 0 {
+            holdout.push(request.clone());
+        } else {
+            curriculum.push(request.clone());
+        }
+    }
+    (curriculum, holdout)
+}
+
+/// The shard that would *serve* `request` against a registry holding
+/// exactly `available` shards — the scheduler's routing reproduced
+/// offline: the most specific requested key, walked down its fallback
+/// chain to the first registered shard. `None` when the QASM does not
+/// parse or no registered shard covers the objective.
+pub fn serving_shard(request: &ServeRequest, available: &[ShardKey]) -> Option<ShardKey> {
+    let circuit = qasm::from_qasm(&request.qasm).ok()?;
+    let requested =
+        ShardKey::for_request(request.objective, request.device_pin, circuit.num_qubits());
+    requested
+        .fallback_chain()
+        .into_iter()
+        .find(|key| available.contains(key))
+}
+
+/// The slice of `requests` that route to `key` under `available` —
+/// never a request another shard would serve, so each specialist
+/// fine-tunes only on traffic it actually answers.
+pub fn shard_slice(
+    requests: &[ServeRequest],
+    key: ShardKey,
+    available: &[ShardKey],
+) -> Vec<ServeRequest> {
+    requests
+        .iter()
+        .filter(|r| serving_shard(r, available) == Some(key))
+        .cloned()
+        .collect()
+}
+
+/// A frequency-weighted fine-tuning curriculum for one shard.
+#[derive(Debug, Clone)]
+pub struct Curriculum {
+    /// Training circuits, each repeated `min(count, max_repeats)`
+    /// times — the environment samples uniformly, so repetition *is*
+    /// the frequency weighting.
+    pub circuits: Vec<QuantumCircuit>,
+    /// The head of the shard's distribution with observed counts
+    /// (unique requests, frequency-ranked) — also the gate's
+    /// "logged head" evidence.
+    pub head: Vec<(ServeRequest, usize)>,
+}
+
+/// Builds the curriculum for one shard slice: the head of its request
+/// distribution (unique, frequency-ranked, capped at `cap`), each
+/// parsed circuit repeated by its capped observed count. Deterministic
+/// for a fixed slice; requests whose QASM fails to parse are dropped.
+pub fn build_curriculum(slice: &[ServeRequest], cap: usize, max_repeats: usize) -> Curriculum {
+    let head = head_of_distribution_counts(slice, cap);
+    let mut circuits = Vec::new();
+    for (request, count) in &head {
+        if let Ok(circuit) = qasm::from_qasm(&request.qasm) {
+            for _ in 0..(*count).min(max_repeats.max(1)) {
+                circuits.push(circuit.clone());
+            }
+        }
+    }
+    Curriculum { circuits, head }
+}
+
+/// The promotion gate's verdict on one candidate, with the evidence it
+/// was reached on.
+#[derive(Debug, Clone)]
+pub struct GateDecision {
+    /// `true` when every gate criterion passed.
+    pub promoted: bool,
+    /// Why the gate refused (`None` when promoted).
+    pub reason: Option<String>,
+    /// Incumbent's frequency-weighted mean reward on the logged head.
+    pub incumbent_head_reward: f64,
+    /// Candidate's frequency-weighted mean reward on the logged head.
+    pub candidate_head_reward: f64,
+    /// Incumbent's mean reward over the held-out slice.
+    pub incumbent_holdout_reward: f64,
+    /// Candidate's mean reward over the held-out slice.
+    pub candidate_holdout_reward: f64,
+    /// Incumbent's mean rollout entropy over the head circuits (nats).
+    pub incumbent_entropy: f64,
+    /// Candidate's mean rollout entropy over the head circuits (nats).
+    pub candidate_entropy: f64,
+}
+
+/// One compile job reconstructed from a logged request for gate
+/// replay.
+struct GateJob {
+    circuit: QuantumCircuit,
+    pin: Option<DeviceId>,
+    weight: f64,
+}
+
+/// Parses unique gate-replay jobs (frequency-weighted) out of a
+/// request slice.
+fn gate_jobs(head: &[(ServeRequest, usize)]) -> Vec<GateJob> {
+    head.iter()
+        .filter_map(|(request, count)| {
+            qasm::from_qasm(&request.qasm).ok().map(|circuit| GateJob {
+                circuit,
+                pin: request.device_pin,
+                weight: *count as f64,
+            })
+        })
+        .collect()
+}
+
+/// Weighted mean reward of `model` over `jobs`. Both contenders replay
+/// with identical content-derived seeds, so the comparison isolates
+/// the policy. An infeasible pin scores 0 for either model alike.
+fn weighted_mean_reward(model: &TrainedPredictor, jobs: &[GateJob], seed: u64) -> f64 {
+    let total: f64 = jobs.iter().map(|j| j.weight).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for job in jobs {
+        let job_seed = task_seed(seed, job.circuit.structural_hash());
+        let reward = model
+            .compile_request(&job.circuit, job.pin, job_seed)
+            .map_or(0.0, |outcome| outcome.reward);
+        sum += job.weight * reward;
+    }
+    sum / total
+}
+
+/// Replays candidate vs. incumbent and decides promotion. The three
+/// criteria, in the order they are checked:
+///
+/// 1. **diversity floor** — the candidate's mean rollout entropy over
+///    the head circuits must reach `entropy_floor` (refuses
+///    action-collapsed policies outright),
+/// 2. **no worse on reward** — over the held-out slice the candidate's
+///    mean reward must not fall below the incumbent's (vacuously true
+///    when the held-out slice is empty),
+/// 3. **strictly better on the logged head** — the candidate must beat
+///    the incumbent's frequency-weighted mean reward on the head (an
+///    empty head can never promote: there is no evidence to ship on).
+pub fn gate_candidate(
+    incumbent: &TrainedPredictor,
+    candidate: &TrainedPredictor,
+    head: &[(ServeRequest, usize)],
+    holdout: &[ServeRequest],
+    seed: u64,
+    entropy_floor: f64,
+) -> GateDecision {
+    let head_jobs = gate_jobs(head);
+    // The held-out slice gates on its own distribution: unique jobs
+    // weighted by how often they were actually asked.
+    let holdout_head = head_of_distribution_counts(holdout, usize::MAX);
+    let holdout_jobs = gate_jobs(&holdout_head);
+
+    let head_circuits: Vec<QuantumCircuit> = head_jobs.iter().map(|j| j.circuit.clone()).collect();
+    let incumbent_entropy = incumbent.mean_rollout_entropy(&head_circuits);
+    let candidate_entropy = candidate.mean_rollout_entropy(&head_circuits);
+    let incumbent_head_reward = weighted_mean_reward(incumbent, &head_jobs, seed);
+    let candidate_head_reward = weighted_mean_reward(candidate, &head_jobs, seed);
+    let incumbent_holdout_reward = weighted_mean_reward(incumbent, &holdout_jobs, seed);
+    let candidate_holdout_reward = weighted_mean_reward(candidate, &holdout_jobs, seed);
+
+    let reason = if head_jobs.is_empty() {
+        Some("empty curriculum head: no evidence to promote on".to_string())
+    } else if candidate_entropy < entropy_floor {
+        Some(format!(
+            "action entropy {candidate_entropy:.4} nats below the {entropy_floor:.4} floor \
+             (policy collapse)"
+        ))
+    } else if !holdout_jobs.is_empty() && candidate_holdout_reward + 1e-9 < incumbent_holdout_reward
+    {
+        Some(format!(
+            "held-out reward regressed: {candidate_holdout_reward:.6} < \
+             {incumbent_holdout_reward:.6}"
+        ))
+    } else if candidate_head_reward <= incumbent_head_reward + 1e-9 {
+        Some(format!(
+            "no strict improvement on the logged head: {candidate_head_reward:.6} vs \
+             {incumbent_head_reward:.6}"
+        ))
+    } else {
+        None
+    };
+    GateDecision {
+        promoted: reason.is_none(),
+        reason,
+        incumbent_head_reward,
+        candidate_head_reward,
+        incumbent_holdout_reward,
+        candidate_holdout_reward,
+        incumbent_entropy,
+        candidate_entropy,
+    }
+}
+
+/// Where a shard's candidate checkpoint is written while the gate
+/// deliberates. The name deliberately does not parse as a shard
+/// checkpoint (`ShardKey::from_file_name` rejects it), so a concurrent
+/// `rescan()` never picks an ungated candidate up.
+pub fn candidate_path(dir: &Path, key: ShardKey) -> PathBuf {
+    dir.join(key.file_name().replace(".json", ".candidate.json"))
+}
+
+/// Where a gate-rejected candidate is quarantined (again invisible to
+/// `rescan()`), kept on disk for post-mortem instead of deleted.
+pub fn rejected_path(dir: &Path, key: ShardKey) -> PathBuf {
+    dir.join(key.file_name().replace(".json", ".rejected.json"))
+}
+
+/// Applies one gate verdict to the files on disk: promotion renames
+/// the candidate over the live checkpoint (same-directory atomic
+/// rename — the next `rescan()` sees either the old checkpoint or the
+/// complete new one, never a torn hybrid); rejection quarantines it to
+/// [`rejected_path`]. Returns where the candidate ended up.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the live checkpoint is untouched
+/// on every rejection path.
+pub fn install_or_quarantine(
+    promoted: bool,
+    dir: &Path,
+    key: ShardKey,
+) -> Result<PathBuf, PersistError> {
+    let candidate = candidate_path(dir, key);
+    let target = if promoted {
+        ModelRegistry::model_path(dir, key)
+    } else {
+        let rejected = rejected_path(dir, key);
+        // Only one quarantined candidate is kept per shard.
+        let _ = std::fs::remove_file(&rejected);
+        rejected
+    };
+    std::fs::rename(&candidate, &target)?;
+    Ok(target)
+}
+
+/// One shard's outcome within a retraining run.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard retrained.
+    pub key: ShardKey,
+    /// Curriculum-slice requests that routed to this shard.
+    pub log_requests: usize,
+    /// Unique jobs in the curriculum head.
+    pub curriculum_unique: usize,
+    /// Curriculum length after frequency repetition.
+    pub curriculum_len: usize,
+    /// Held-out requests that routed to this shard.
+    pub holdout_requests: usize,
+    /// The gate's verdict and evidence.
+    pub gate: GateDecision,
+    /// Where the candidate ended up (live checkpoint or quarantine).
+    pub candidate_path: PathBuf,
+}
+
+impl ShardOutcome {
+    /// Renders the outcome for the report JSON.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("shard".to_string(), Value::from(self.key.name())),
+            ("log_requests".to_string(), Value::from(self.log_requests)),
+            (
+                "curriculum_unique".to_string(),
+                Value::from(self.curriculum_unique),
+            ),
+            (
+                "curriculum_len".to_string(),
+                Value::from(self.curriculum_len),
+            ),
+            (
+                "holdout_requests".to_string(),
+                Value::from(self.holdout_requests),
+            ),
+            ("promoted".to_string(), Value::from(self.gate.promoted)),
+            (
+                "incumbent_head_reward".to_string(),
+                Value::from(self.gate.incumbent_head_reward),
+            ),
+            (
+                "candidate_head_reward".to_string(),
+                Value::from(self.gate.candidate_head_reward),
+            ),
+            (
+                "incumbent_holdout_reward".to_string(),
+                Value::from(self.gate.incumbent_holdout_reward),
+            ),
+            (
+                "candidate_holdout_reward".to_string(),
+                Value::from(self.gate.candidate_holdout_reward),
+            ),
+            (
+                "incumbent_entropy".to_string(),
+                Value::from(self.gate.incumbent_entropy),
+            ),
+            (
+                "candidate_entropy".to_string(),
+                Value::from(self.gate.candidate_entropy),
+            ),
+            (
+                "candidate_path".to_string(),
+                Value::from(self.candidate_path.display().to_string()),
+            ),
+        ];
+        if let Some(reason) = &self.gate.reason {
+            pairs.push(("rejection".to_string(), Value::from(reason.clone())));
+        }
+        Value::Object(pairs)
+    }
+}
+
+/// What one retraining run did, across every considered shard.
+#[derive(Debug, Clone, Default)]
+pub struct RetrainReport {
+    /// Parseable request lines read from the traffic log.
+    pub log_requests: usize,
+    /// Requests held out for the promotion gate.
+    pub holdout_requests: usize,
+    /// Shards looked at (with a live checkpoint).
+    pub shards_considered: usize,
+    /// Shards skipped for too little logged traffic.
+    pub skipped: usize,
+    /// Candidates fine-tuned and gated.
+    pub candidates: usize,
+    /// Candidates installed over their live checkpoint.
+    pub promoted: usize,
+    /// Candidates quarantined by the gate.
+    pub rejected: usize,
+    /// The entropy floor the gate enforced (nats).
+    pub entropy_floor: f64,
+    /// Smallest candidate entropy observed (`None` with no candidates).
+    pub min_candidate_entropy: Option<f64>,
+    /// Per-shard outcomes, in shard order.
+    pub outcomes: Vec<ShardOutcome>,
+}
+
+impl RetrainReport {
+    /// Renders the full report (summary + per-shard outcomes).
+    pub fn to_value(&self) -> Value {
+        let mut pairs = summary_pairs(self);
+        pairs.push((
+            "shards".to_string(),
+            Value::Array(self.outcomes.iter().map(ShardOutcome::to_value).collect()),
+        ));
+        Value::Object(pairs)
+    }
+
+    /// Renders the aggregate counters only — what the service embeds
+    /// as the `retrain` block of `{"cmd":"stats"}`.
+    pub fn summary_value(&self) -> Value {
+        Value::Object(summary_pairs(self))
+    }
+}
+
+fn summary_pairs(report: &RetrainReport) -> Vec<(String, Value)> {
+    vec![
+        ("log_requests".to_string(), Value::from(report.log_requests)),
+        (
+            "holdout_requests".to_string(),
+            Value::from(report.holdout_requests),
+        ),
+        (
+            "shards_considered".to_string(),
+            Value::from(report.shards_considered),
+        ),
+        ("skipped".to_string(), Value::from(report.skipped)),
+        ("candidates".to_string(), Value::from(report.candidates)),
+        ("promoted".to_string(), Value::from(report.promoted)),
+        ("rejected".to_string(), Value::from(report.rejected)),
+        (
+            "entropy_floor".to_string(),
+            Value::from(report.entropy_floor),
+        ),
+        (
+            "min_candidate_entropy".to_string(),
+            report
+                .min_candidate_entropy
+                .map_or(Value::Null, Value::from),
+        ),
+    ]
+}
+
+/// Reads the last persisted retrain report summary from a models
+/// directory, if one exists (unreadable/garbled files read as `None` —
+/// the stats block is best-effort observability, never a serving
+/// error).
+pub fn load_retrain_state(dir: &Path) -> Option<Value> {
+    let text = std::fs::read_to_string(dir.join(RETRAIN_STATE_FILE)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Runs the full offline retraining flow described in the module docs
+/// and persists the report summary to [`RETRAIN_STATE_FILE`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when the traffic log or a checkpoint
+/// cannot be read, or candidate files cannot be written. Per-shard
+/// gate rejections are not errors — they are the gate working.
+pub fn run_retrain(config: &RetrainConfig) -> Result<RetrainReport, PersistError> {
+    let requests = TrafficLog::read_requests(&config.log_path)?;
+    let registry = ModelRegistry::load(&config.models_dir)?;
+    let available = registry.keys();
+    let targets: Vec<ShardKey> = if config.shards.is_empty() {
+        available.clone()
+    } else {
+        config.shards.clone()
+    };
+    let (curriculum_slice, holdout_slice) = split_log(&requests, config.holdout_every);
+
+    let mut report = RetrainReport {
+        log_requests: requests.len(),
+        holdout_requests: holdout_slice.len(),
+        entropy_floor: config.entropy_floor,
+        ..RetrainReport::default()
+    };
+    // Route every logged request once, exactly as the scheduler would.
+    let mut by_shard: HashMap<ShardKey, Vec<ServeRequest>> = HashMap::new();
+    for request in &curriculum_slice {
+        if let Some(key) = serving_shard(request, &available) {
+            by_shard.entry(key).or_default().push(request.clone());
+        }
+    }
+    let mut holdout_by_shard: HashMap<ShardKey, Vec<ServeRequest>> = HashMap::new();
+    for request in &holdout_slice {
+        if let Some(key) = serving_shard(request, &available) {
+            holdout_by_shard
+                .entry(key)
+                .or_default()
+                .push(request.clone());
+        }
+    }
+
+    for key in targets {
+        if !available.contains(&key) {
+            continue;
+        }
+        report.shards_considered += 1;
+        let slice = by_shard.get(&key).map_or(&[] as &[_], Vec::as_slice);
+        if slice.len() < config.min_requests {
+            if config.verbose {
+                eprintln!(
+                    "retrain: skipping `{}` ({} logged requests < {})",
+                    key.name(),
+                    slice.len(),
+                    config.min_requests
+                );
+            }
+            report.skipped += 1;
+            continue;
+        }
+        let curriculum = build_curriculum(slice, config.curriculum_cap, config.max_repeats);
+        if curriculum.circuits.is_empty() {
+            report.skipped += 1;
+            continue;
+        }
+        let live_path = ModelRegistry::model_path(&config.models_dir, key);
+        let incumbent = TrainedPredictor::load(&live_path)?;
+        if config.verbose {
+            eprintln!(
+                "retrain: fine-tuning `{}` on {} curriculum circuits ({} unique) for {} steps…",
+                key.name(),
+                curriculum.circuits.len(),
+                curriculum.head.len(),
+                config.timesteps
+            );
+        }
+        let fine_tune = FineTuneConfig {
+            total_timesteps: config.timesteps,
+            seed: task_seed(config.seed, key.tag()),
+            step_penalty: config.step_penalty,
+            entropy_coef: Some(config.entropy_coef),
+        };
+        let candidate =
+            incumbent.fine_tune_with_progress(curriculum.circuits.clone(), &fine_tune, |_| {});
+        candidate.save(&candidate_path(&config.models_dir, key))?;
+        report.candidates += 1;
+
+        let holdout = holdout_by_shard
+            .get(&key)
+            .map_or(&[] as &[_], Vec::as_slice);
+        let gate = gate_candidate(
+            &incumbent,
+            &candidate,
+            &curriculum.head,
+            holdout,
+            task_seed(config.seed, key.tag() ^ 0xD1CE),
+            config.entropy_floor,
+        );
+        report.min_candidate_entropy = Some(
+            report
+                .min_candidate_entropy
+                .map_or(gate.candidate_entropy, |m| m.min(gate.candidate_entropy)),
+        );
+        let landed = install_or_quarantine(gate.promoted, &config.models_dir, key)?;
+        if gate.promoted {
+            report.promoted += 1;
+        } else {
+            report.rejected += 1;
+        }
+        if config.verbose {
+            match &gate.reason {
+                None => eprintln!(
+                    "retrain: promoted `{}` (head {:.4} → {:.4}, entropy {:.3})",
+                    key.name(),
+                    gate.incumbent_head_reward,
+                    gate.candidate_head_reward,
+                    gate.candidate_entropy
+                ),
+                Some(reason) => eprintln!("retrain: rejected `{}`: {reason}", key.name()),
+            }
+        }
+        report.outcomes.push(ShardOutcome {
+            key,
+            log_requests: slice.len(),
+            curriculum_unique: curriculum.head.len(),
+            curriculum_len: curriculum.circuits.len(),
+            holdout_requests: holdout.len(),
+            gate,
+            candidate_path: landed,
+        });
+    }
+    atomic_write(
+        &config.models_dir.join(RETRAIN_STATE_FILE),
+        (serde_json::to_string(&report.to_value()) + "\n").as_bytes(),
+    )?;
+    Ok(report)
+}

@@ -150,6 +150,12 @@ pub struct CompilationService {
     trace: RwLock<Arc<TraceSink>>,
     /// Live queue-depth gauge, installed by the pipelined front ends.
     queue_probe: RwLock<Option<QueueDepthProbe>>,
+    /// The last offline retraining run's persisted report, read from
+    /// [`RETRAIN_STATE_FILE`](crate::retrain::RETRAIN_STATE_FILE)
+    /// beside the checkpoints at startup and after every reload (a
+    /// reload is the moment a finished `qrc-retrain` run becomes
+    /// visible to this process).
+    retrain_state: Mutex<Option<Value>>,
 }
 
 /// What loading a persisted cache snapshot did at startup.
@@ -234,6 +240,7 @@ impl CompilationService {
         )?;
         let mut service = Self::with_registry(registry, config);
         service.models_dir = Some(config.models_dir.clone());
+        service.refresh_retrain_state();
         Ok(service)
     }
 
@@ -268,7 +275,19 @@ impl CompilationService {
             rids: AtomicU64::new(0),
             trace: RwLock::new(Arc::new(TraceSink::disabled())),
             queue_probe: RwLock::new(None),
+            retrain_state: Mutex::new(None),
         }
+    }
+
+    /// Re-reads the persisted retrain report (written by `qrc-retrain`
+    /// beside the checkpoints) into the stats cache. Best-effort: a
+    /// missing or garbled state file reads as "no retrain yet".
+    fn refresh_retrain_state(&self) {
+        let state = self
+            .models_dir
+            .as_deref()
+            .and_then(crate::retrain::load_retrain_state);
+        *self.retrain_state.lock().expect("retrain state poisoned") = state;
     }
 
     /// Enables request tracing: one request in `sample_every` gets a
@@ -354,6 +373,7 @@ impl CompilationService {
         // the rescan).
         report.invalidated = self.cache.retain(|key| !changed.contains(&key.shard));
         self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.refresh_retrain_state();
         Ok(report)
     }
 
@@ -1079,6 +1099,16 @@ impl CompilationService {
                     ("snapshot_entries", entries),
                 ]),
             ));
+            // The last offline retraining run (promotion counters,
+            // entropy floor, per-shard gate evidence) — all zeros
+            // before any run so the block is always present.
+            let retrain = self
+                .retrain_state
+                .lock()
+                .expect("retrain state poisoned")
+                .clone()
+                .unwrap_or_else(|| crate::retrain::RetrainReport::default().summary_value());
+            pairs.push(("retrain".into(), retrain));
             // Live gauge, not a counter: only meaningful while a
             // pipelined front end is driving the service.
             if let Some(depth) = self.queue_depth() {

@@ -1,0 +1,580 @@
+//! Closed-loop retraining tests: serve a skewed mix with traffic
+//! logging, retrain offline, promote through the reload path under
+//! concurrent load — zero failed requests, zero stale payloads. Plus
+//! the promotion gate's rejection path (a poisoned, action-collapsed
+//! candidate must quarantine, never install) and property tests for
+//! curriculum construction (frequency weighting under ties, caps,
+//! torn log tails, shard slicing, determinism).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qrc_benchgen::BenchmarkFamily;
+use qrc_device::DeviceId;
+use qrc_predictor::{train, PredictorConfig, RewardKind, TrainedPredictor};
+use qrc_rl::PpoConfig;
+use qrc_serve::{
+    build_curriculum, candidate_path, gate_candidate, head_of_distribution_counts,
+    install_or_quarantine, rejected_path, run_retrain, serving_shard, shard_slice, split_log,
+    CompilationService, DeviceClass, ModelRegistry, RetrainConfig, ServeRequest, ServiceConfig,
+    ShardKey, TrafficLog, WidthBand, RETRAIN_STATE_FILE,
+};
+use serde_json::Value;
+
+/// A deliberately *weak* incumbent: far too few timesteps to learn the
+/// suite, so a curriculum fine-tune has real headroom to beat it.
+fn weak_model(reward: RewardKind, seed: u64) -> TrainedPredictor {
+    let suite = vec![
+        BenchmarkFamily::Ghz.generate(3),
+        BenchmarkFamily::Dj.generate(3),
+    ];
+    let config = PredictorConfig {
+        reward,
+        total_timesteps: 300,
+        ppo: PpoConfig {
+            steps_per_update: 128,
+            minibatch_size: 32,
+            epochs: 4,
+            hidden: vec![24],
+            learning_rate: 1e-3,
+            ..PpoConfig::default()
+        },
+        seed,
+        step_penalty: 0.005,
+    };
+    train(suite, &config)
+}
+
+/// A scratch directory under the system temp dir, unique per test.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qrc_retrain_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Starts a dir-backed service from pre-saved weak checkpoints (a warm
+/// start: nothing trains).
+fn weak_service(dir: &std::path::Path, parallel: bool) -> Arc<CompilationService> {
+    for reward in RewardKind::ALL {
+        let path = ModelRegistry::model_path(dir, ShardKey::wildcard(reward));
+        if !path.exists() {
+            weak_model(reward, 5).save(&path).unwrap();
+        }
+    }
+    Arc::new(
+        CompilationService::start(&ServiceConfig {
+            models_dir: dir.to_path_buf(),
+            parallel,
+            verbose: false,
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    )
+}
+
+fn request_for(family: BenchmarkFamily, qubits: u32, id: &str) -> ServeRequest {
+    let mut request = ServeRequest::new(qrc_circuit::qasm::to_qasm(&family.generate(qubits)));
+    request.id = Some(id.to_string());
+    request
+}
+
+/// The skewed mix the closed loop learns from: one hot circuit
+/// dominating, a warm and a cool one behind it, and a one-off tail.
+/// Interleaved (not sorted) so frequency ranking is actually exercised.
+fn skewed_mix() -> Vec<ServeRequest> {
+    let mut requests = Vec::new();
+    for i in 0..12 {
+        requests.push(request_for(BenchmarkFamily::Ghz, 3, &format!("hot-{i}")));
+        if i < 6 {
+            requests.push(request_for(BenchmarkFamily::Dj, 3, &format!("warm-{i}")));
+        }
+        if i < 3 {
+            requests.push(request_for(BenchmarkFamily::Ghz, 2, &format!("cool-{i}")));
+        }
+    }
+    requests.push(request_for(BenchmarkFamily::Ghz, 4, "tail-0"));
+    requests
+}
+
+/// The canonical payload string of one served request (cache status
+/// and latency stripped — byte-comparable across services and time).
+fn payload_of(service: &CompilationService, request: &ServeRequest) -> String {
+    let responses = service.handle_batch(std::slice::from_ref(request));
+    assert!(
+        responses[0].result.is_ok(),
+        "request must serve: {:?}",
+        responses[0].result
+    );
+    serde_json::to_string(&responses[0].payload_value())
+}
+
+#[test]
+fn closed_loop_retrain_promotes_and_swaps_with_zero_stale_answers() {
+    let dir = scratch_dir("loop");
+    let log_path = dir.join("traffic.ndjson");
+    let service = weak_service(&dir, true);
+    service.set_traffic_log(&log_path).unwrap();
+
+    // Serve the skewed mix (logged), remembering each unique request's
+    // incumbent answer.
+    let mix = skewed_mix();
+    for batch in mix.chunks(8) {
+        for response in service.handle_batch(batch) {
+            assert!(response.result.is_ok(), "{:?}", response.result);
+        }
+    }
+    let uniques: Vec<ServeRequest> = head_of_distribution_counts(&mix, usize::MAX)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    assert_eq!(uniques.len(), 4, "four distinct circuits in the mix");
+    let before: Vec<String> = uniques.iter().map(|r| payload_of(&service, r)).collect();
+
+    // Retrain offline from the log the service just wrote.
+    let config = RetrainConfig {
+        models_dir: dir.clone(),
+        log_path: log_path.clone(),
+        timesteps: 1500,
+        curriculum_cap: 8,
+        max_repeats: 6,
+        min_requests: 4,
+        ..RetrainConfig::default()
+    };
+    let report = run_retrain(&config).unwrap();
+    assert_eq!(report.shards_considered, 3);
+    assert_eq!(
+        report.skipped, 2,
+        "critical-depth and combination shards saw no traffic"
+    );
+    assert_eq!(report.candidates, 1);
+    assert_eq!(report.promoted, 1, "outcome: {:?}", report.outcomes);
+    assert_eq!(report.rejected, 0);
+    let outcome = &report.outcomes[0];
+    assert_eq!(
+        outcome.key,
+        ShardKey::wildcard(RewardKind::ExpectedFidelity)
+    );
+    assert!(
+        outcome.gate.candidate_head_reward > outcome.gate.incumbent_head_reward,
+        "promotion requires a strict head improvement: {:?}",
+        outcome.gate
+    );
+    assert!(
+        outcome.gate.candidate_holdout_reward >= outcome.gate.incumbent_holdout_reward,
+        "promotion requires no held-out regression: {:?}",
+        outcome.gate
+    );
+    assert!(
+        outcome.gate.candidate_entropy >= report.entropy_floor,
+        "promoted candidates keep action diversity: {:?}",
+        outcome.gate
+    );
+    assert!(dir.join(RETRAIN_STATE_FILE).exists());
+    let key = outcome.key;
+    assert!(
+        !candidate_path(&dir, key).exists() && !rejected_path(&dir, key).exists(),
+        "a promoted candidate leaves no stray files behind"
+    );
+
+    // Promote into the serving process through the reload path, under
+    // 3-thread concurrent load: zero failed requests across the swap.
+    // A shared served-counter brackets the reload so the swap provably
+    // happens *while* traffic flows, not before or after it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let mix = skewed_mix();
+            std::thread::spawn(move || -> (u64, u64) {
+                let (mut ok, mut failed, mut i) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::SeqCst) {
+                    let mut request = mix[(i as usize) % mix.len()].clone();
+                    request.id = Some(format!("w{w}-{i}"));
+                    match service.handle_batch(std::slice::from_ref(&request))[0].result {
+                        Ok(_) => ok += 1,
+                        Err(_) => failed += 1,
+                    }
+                    served.fetch_add(1, Ordering::SeqCst);
+                    i += 1;
+                }
+                (ok, failed)
+            })
+        })
+        .collect();
+    while served.load(Ordering::SeqCst) < 6 {
+        std::thread::yield_now();
+    }
+    let reload = service.reload().unwrap();
+    assert!(
+        reload.loaded.contains(&key),
+        "the promoted checkpoint is picked up: {reload:?}"
+    );
+    let at_swap = served.load(Ordering::SeqCst);
+    while served.load(Ordering::SeqCst) < at_swap + 6 {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let mut total_ok = 0;
+    for worker in workers {
+        let (ok, failed) = worker.join().unwrap();
+        assert_eq!(failed, 0, "the swap must fail zero requests");
+        total_ok += ok;
+    }
+    assert!(total_ok > 0, "the load generators actually ran");
+
+    // Zero stale payloads: every post-swap answer is byte-identical to
+    // a fresh *serial* service started from the promoted checkpoints.
+    let fresh = weak_service(&dir, false);
+    for (request, old) in uniques.iter().zip(&before) {
+        let swapped = payload_of(&service, request);
+        let recomputed = payload_of(&fresh, request);
+        assert_eq!(
+            swapped, recomputed,
+            "post-swap answers match fresh serial compilation under the new checkpoint"
+        );
+        let _ = old;
+    }
+    // …and the hot head actually improved — the swap changed answers
+    // rather than replaying the incumbent's.
+    let reward_of = |payload: &str| {
+        serde_json::from_str(payload)
+            .ok()
+            .and_then(|v: Value| v.get("reward").and_then(Value::as_f64))
+            .unwrap()
+    };
+    let before_mean: f64 = before.iter().map(|p| reward_of(p)).sum::<f64>() / before.len() as f64;
+    let after_mean: f64 = uniques
+        .iter()
+        .map(|r| reward_of(&payload_of(&service, r)))
+        .sum::<f64>()
+        / uniques.len() as f64;
+    assert!(
+        after_mean > before_mean,
+        "promoted policy serves better answers on the logged circuits: \
+         {after_mean:.4} vs {before_mean:.4}"
+    );
+
+    // The stats block surfaces the run to operators.
+    let stats = serde_json::to_string(&service.stats_value());
+    assert!(stats.contains("\"retrain\""), "{stats}");
+    assert!(
+        stats.contains("\"promoted\": 1") || stats.contains("\"promoted\":1"),
+        "{stats}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Borrows the named field of a JSON object mutably.
+fn field_mut<'a>(value: &'a mut Value, key: &str) -> &'a mut Value {
+    match value {
+        Value::Object(pairs) => pairs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("checkpoint JSON has no `{key}` field")),
+        other => panic!("expected an object around `{key}`, got {other:?}"),
+    }
+}
+
+/// Poisons a checkpoint into an action-collapsed policy: the final
+/// policy layer's weights are zeroed and its biases replaced with a
+/// steep descending ramp, so under ANY legality mask ~all probability
+/// sits on the lowest-index legal action — rollout entropy ≈ 0
+/// everywhere.
+fn poison_checkpoint(live: &std::path::Path, out: &std::path::Path) {
+    let text = std::fs::read_to_string(live).unwrap();
+    let mut doc: Value = serde_json::from_str(&text).unwrap();
+    let policy = field_mut(field_mut(&mut doc, "agent"), "policy");
+    let Value::Array(layers) = policy else {
+        panic!("policy is a layer array");
+    };
+    let last = layers.last_mut().expect("policy has layers");
+    let outputs = last
+        .get("outputs")
+        .and_then(Value::as_u64)
+        .expect("outputs is numeric") as usize;
+    let weights = last
+        .get("w")
+        .and_then(Value::as_array)
+        .expect("weights are an array")
+        .len();
+    *field_mut(last, "w") = Value::Array(vec![Value::from(0.0); weights]);
+    *field_mut(last, "b") = Value::Array(
+        (0..outputs)
+            .map(|k| Value::from(-10.0 * k as f64))
+            .collect(),
+    );
+    std::fs::write(out, serde_json::to_string(&doc)).unwrap();
+}
+
+#[test]
+fn gate_rejects_poisoned_candidate_and_incumbent_keeps_serving() {
+    let dir = scratch_dir("gate");
+    let log_path = dir.join("traffic.ndjson");
+    let service = weak_service(&dir, true);
+    service.set_traffic_log(&log_path).unwrap();
+
+    let mix = skewed_mix();
+    for batch in mix.chunks(8) {
+        for response in service.handle_batch(batch) {
+            assert!(response.result.is_ok(), "{:?}", response.result);
+        }
+    }
+    let uniques: Vec<ServeRequest> = head_of_distribution_counts(&mix, usize::MAX)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    let before: Vec<String> = uniques.iter().map(|r| payload_of(&service, r)).collect();
+
+    // Hand the gate a deliberately poisoned candidate: collapsed onto
+    // one action, exactly what unshaped narrow-curriculum fine-tuning
+    // produces at its worst.
+    let key = ShardKey::wildcard(RewardKind::ExpectedFidelity);
+    let live = ModelRegistry::model_path(&dir, key);
+    let live_bytes = std::fs::read(&live).unwrap();
+    poison_checkpoint(&live, &candidate_path(&dir, key));
+    let incumbent = TrainedPredictor::load(&live).unwrap();
+    let poisoned = TrainedPredictor::load(&candidate_path(&dir, key)).unwrap();
+
+    let logged = TrafficLog::read_requests(&log_path).unwrap();
+    let (curriculum_slice, holdout) = split_log(&logged, 4);
+    let head = head_of_distribution_counts(&curriculum_slice, 8);
+    let decision = gate_candidate(&incumbent, &poisoned, &head, &holdout, 11, 0.05);
+    assert!(!decision.promoted, "a collapsed policy must never ship");
+    assert!(
+        decision.candidate_entropy < 0.05,
+        "the poisoned policy reads as collapsed: {decision:?}"
+    );
+    let reason = decision.reason.as_deref().unwrap();
+    assert!(
+        reason.contains("entropy") && reason.contains("collapse"),
+        "the rejection names the diversity floor: {reason}"
+    );
+
+    // Quarantine: the candidate lands in `.rejected.json`, the live
+    // checkpoint is byte-untouched, and a rescan sees neither file.
+    let landed = install_or_quarantine(decision.promoted, &dir, key).unwrap();
+    assert_eq!(landed, rejected_path(&dir, key));
+    assert!(!candidate_path(&dir, key).exists());
+    assert_eq!(
+        std::fs::read(&live).unwrap(),
+        live_bytes,
+        "rejection leaves the incumbent checkpoint byte-identical"
+    );
+    let reload = service.reload().unwrap();
+    assert!(
+        reload.loaded.is_empty() && reload.quarantined.is_empty(),
+        "quarantined candidates are invisible to rescan: {reload:?}"
+    );
+    assert_eq!(
+        service.registry().keys(),
+        RewardKind::ALL.map(ShardKey::wildcard).to_vec()
+    );
+    for (request, old) in uniques.iter().zip(&before) {
+        assert_eq!(
+            &payload_of(&service, request),
+            old,
+            "the incumbent keeps serving byte-identical answers"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Properties: curriculum construction is deterministic, frequency
+// weighting respects ties/caps, shard slicing never leaks, and torn
+// log tails never change the head.
+
+/// The canonical identity of a request with its id stripped — the
+/// equivalence the head-of-distribution ranks by.
+fn identity(request: &ServeRequest) -> String {
+    let mut stripped = request.clone();
+    stripped.id = None;
+    stripped.to_line()
+}
+
+fn shard_key_strategy() -> impl Strategy<Value = ShardKey> {
+    let bands = [
+        WidthBand::Any,
+        WidthBand::Narrow,
+        WidthBand::Medium,
+        WidthBand::Wide,
+    ];
+    let classes = DeviceClass::all();
+    let class_count = classes.len();
+    (0..RewardKind::ALL.len(), 0..class_count, 0..bands.len()).prop_map(move |(o, c, b)| ShardKey {
+        objective: RewardKind::ALL[o],
+        device_class: classes[c],
+        width_band: bands[b],
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = ServeRequest> {
+    (
+        qrc_circuit::strategies::circuit(1..=5u32, 8),
+        0..RewardKind::ALL.len(),
+        0..=DeviceId::ALL.len(),
+    )
+        .prop_map(|(qc, o, p)| {
+            let mut request = ServeRequest::new(qrc_circuit::qasm::to_qasm(&qc));
+            request.objective = RewardKind::ALL[o];
+            request.device_pin = match p {
+                0 => None,
+                p => Some(DeviceId::ALL[p - 1]),
+            };
+            request
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_log_partitions_deterministically(
+        requests in proptest::collection::vec(request_strategy(), 0..24),
+        holdout_every in 0..8usize,
+    ) {
+        let (curriculum, holdout) = split_log(&requests, holdout_every);
+        let again = split_log(&requests, holdout_every);
+        prop_assert_eq!(&again.0, &curriculum, "deterministic for a fixed log");
+        prop_assert_eq!(&again.1, &holdout);
+        // A partition: merging the slices back by position recovers the
+        // log exactly (order preserved within each slice).
+        let every = holdout_every.max(2);
+        prop_assert_eq!(holdout.len(), requests.len() / every);
+        prop_assert_eq!(curriculum.len() + holdout.len(), requests.len());
+        let (mut c, mut h) = (curriculum.iter(), holdout.iter());
+        for (i, request) in requests.iter().enumerate() {
+            let side = if (i + 1) % every == 0 { h.next() } else { c.next() };
+            prop_assert_eq!(side.unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn curriculum_head_respects_frequency_ties_and_caps(
+        requests in proptest::collection::vec(request_strategy(), 0..32),
+        cap in 1..8usize,
+        max_repeats in 0..6usize,
+    ) {
+        let head = head_of_distribution_counts(&requests, cap);
+        prop_assert!(head.len() <= cap, "the cap bounds the head");
+
+        // Counts are the true id-stripped frequencies.
+        let mut expected: HashMap<String, usize> = HashMap::new();
+        for request in &requests {
+            *expected.entry(identity(request)).or_default() += 1;
+        }
+        for (request, count) in &head {
+            prop_assert_eq!(expected.get(&identity(request)), Some(count));
+        }
+
+        // Ranked by count descending; ties broken by first appearance
+        // in the log (stable under re-serving the same traffic).
+        let first_at = |r: &ServeRequest| {
+            requests.iter().position(|x| identity(x) == identity(r)).unwrap()
+        };
+        for pair in head.windows(2) {
+            let (a, ca) = (&pair[0].0, pair[0].1);
+            let (b, cb) = (&pair[1].0, pair[1].1);
+            prop_assert!(
+                ca > cb || (ca == cb && first_at(a) < first_at(b)),
+                "head is count-desc, first-appearance-asc: {ca} vs {cb}"
+            );
+        }
+
+        // The curriculum repeats each head circuit min(count, repeats)
+        // times — and twice in a row is byte-stable.
+        let curriculum = build_curriculum(&requests, cap, max_repeats);
+        let expected_len: usize = head
+            .iter()
+            .map(|(_, count)| (*count).min(max_repeats.max(1)))
+            .sum();
+        prop_assert_eq!(curriculum.circuits.len(), expected_len);
+        let again = build_curriculum(&requests, cap, max_repeats);
+        prop_assert_eq!(again.circuits.len(), curriculum.circuits.len());
+        for (a, b) in curriculum.circuits.iter().zip(again.circuits.iter()) {
+            prop_assert_eq!(a.structural_hash(), b.structural_hash());
+        }
+    }
+
+    #[test]
+    fn shard_slices_never_leak_across_shards(
+        requests in proptest::collection::vec(request_strategy(), 0..24),
+        available in proptest::collection::vec(shard_key_strategy(), 1..6),
+    ) {
+        let mut sliced_total = 0;
+        for &key in &available {
+            let slice = shard_slice(&requests, key, &available);
+            for request in &slice {
+                prop_assert_eq!(
+                    serving_shard(request, &available),
+                    Some(key),
+                    "a slice only holds requests its shard would serve"
+                );
+            }
+            sliced_total += slice.len();
+        }
+        // Every request routes to at most one serving shard, so the
+        // per-shard slices partition the routable subset.
+        let routable = requests
+            .iter()
+            .filter(|r| {
+                serving_shard(r, &available).is_some_and(|k| available.contains(&k))
+            })
+            .count();
+        let unique: std::collections::HashSet<_> =
+            available.iter().copied().collect();
+        if unique.len() == available.len() {
+            prop_assert_eq!(sliced_total, routable);
+        }
+    }
+
+    #[test]
+    fn torn_log_tails_never_change_the_curriculum(
+        requests in proptest::collection::vec(request_strategy(), 1..16),
+        // The vendored proptest has no regex strategies: indices into a
+        // fixed alphabet give the torn-tail bytes (no quotes, so the
+        // garbage can never form a parseable request line).
+        garbage_indices in proptest::collection::vec(0..29usize, 0..40),
+        cap in 1..8usize,
+    ) {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz {}";
+        let garbage: String = garbage_indices
+            .iter()
+            .map(|&i| ALPHABET[i] as char)
+            .collect();
+        let dir = scratch_dir("torn");
+        let path = dir.join("traffic.ndjson");
+        {
+            let log = TrafficLog::append(&path).unwrap();
+            log.log_batch(&requests);
+        }
+        // A crash mid-append leaves a torn, newline-less tail.
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(garbage.as_bytes()).unwrap();
+        drop(file);
+
+        let read = TrafficLog::read_requests(&path).unwrap();
+        // The torn tail is dropped; every complete line survives. (The
+        // garbage itself never parses: it has no `qasm` field.)
+        prop_assert_eq!(read.len(), requests.len());
+        for (a, b) in read.iter().zip(requests.iter()) {
+            prop_assert_eq!(a.to_line(), b.to_line());
+        }
+        let from_disk = head_of_distribution_counts(&read, cap);
+        let from_memory = head_of_distribution_counts(&requests, cap);
+        prop_assert_eq!(from_disk.len(), from_memory.len());
+        for ((a, ca), (b, cb)) in from_disk.iter().zip(from_memory.iter()) {
+            prop_assert_eq!(identity(a), identity(b));
+            prop_assert_eq!(ca, cb);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
